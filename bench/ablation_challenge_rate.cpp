@@ -1,0 +1,81 @@
+// Ablation: challenge rate vs detection latency and sensing overhead.
+//
+// The paper's fixed schedule (k = 15, 50, 175, ...) leaves long blind
+// windows: an attack starting mid-run goes undetected until the next
+// challenge, during which corrupted data drives the controller. This bench
+// sweeps PRBS challenge probabilities and reports mean detection latency,
+// collision outcomes, and the fraction of epochs sacrificed to challenges.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace safe;
+
+struct RateResult {
+  double mean_latency = 0.0;
+  int collisions = 0;
+  int missed = 0;
+  double overhead = 0.0;
+};
+
+RateResult run_rate(std::uint32_t numer, std::uint32_t denom,
+                    const std::vector<double>& onsets) {
+  RateResult out;
+  int detected = 0;
+  for (std::size_t i = 0; i < onsets.size(); ++i) {
+    core::ScenarioOptions o;
+    o.attack = core::AttackKind::kDosJammer;
+    o.attack_start_s = onsets[i];
+    o.estimator = radar::BeatEstimator::kPeriodogram;  // fast; same defense
+    core::Scenario scenario = core::make_paper_scenario(o);
+    const auto key = static_cast<std::uint16_t>(0x1234 + 17 * i);
+    auto schedule = std::make_shared<cra::PrbsChallengeSchedule>(
+        key, numer, denom, scenario.config.horizon_steps);
+    out.overhead = schedule->challenge_rate();
+    scenario.schedule = schedule;
+
+    const auto result = scenario.run();
+    if (result.collided) ++out.collisions;
+    if (result.detection_step) {
+      out.mean_latency +=
+          static_cast<double>(*result.detection_step) - onsets[i];
+      ++detected;
+    } else {
+      ++out.missed;
+    }
+  }
+  if (detected > 0) out.mean_latency /= detected;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<double> onsets{60.0, 100.0, 140.0, 182.0, 220.0};
+
+  std::printf(
+      "Challenge-rate ablation: PRBS Bernoulli schedules, DoS attack at "
+      "varying onsets (%zu onsets each)\n\n",
+      onsets.size());
+  std::printf("%12s %12s %16s %11s %8s\n", "P(challenge)", "overhead",
+              "mean latency [s]", "collisions", "missed");
+
+  const std::vector<std::pair<std::uint32_t, std::uint32_t>> rates{
+      {1, 50}, {1, 20}, {1, 10}, {1, 6}, {1, 3}, {1, 2}};
+  for (const auto& [numer, denom] : rates) {
+    const RateResult r = run_rate(numer, denom, onsets);
+    std::printf("%9u/%-2u %12.3f %16.2f %11d %8d\n", numer, denom, r.overhead,
+                r.mean_latency, r.collisions, r.missed);
+  }
+  std::printf(
+      "\nshape: latency ~ 1/rate, and sparse schedules leave blind windows "
+      "long enough for the jammer to cause collisions before detection. Very "
+      "dense schedules (~1/2) start hurting again: half the epochs carry no "
+      "fresh radar data, so the controller coasts on estimates. The sweet "
+      "spot here is around 1/3.\n");
+  return 0;
+}

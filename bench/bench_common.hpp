@@ -1,0 +1,89 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each figure bench runs the case study three times with root-MUSIC (as the
+// paper does): clean ("RadarData-Without-Attack"), attacked with the defense
+// off ("RadarData-With-Attack"), and attacked with the defense on
+// ("Estimated Radar Data"), then prints the three series side by side.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace safe::bench {
+
+struct FigureRuns {
+  core::CarFollowingResult without_attack;
+  core::CarFollowingResult with_attack;    // defense off
+  core::CarFollowingResult estimated;      // defense on
+};
+
+inline FigureRuns run_figure(core::LeaderScenario leader,
+                             core::AttackKind attack, double attack_start_s) {
+  core::ScenarioOptions o;
+  o.leader = leader;
+  o.attack = attack;
+  o.attack_start_s = attack_start_s;
+  o.estimator = radar::BeatEstimator::kRootMusic;
+
+  FigureRuns runs;
+  o.attack = core::AttackKind::kNone;
+  runs.without_attack = core::make_paper_scenario(o).run();
+
+  o.attack = attack;
+  o.defense_enabled = false;
+  runs.with_attack = core::make_paper_scenario(o).run();
+
+  o.defense_enabled = true;
+  runs.estimated = core::make_paper_scenario(o).run();
+  return runs;
+}
+
+/// Prints the paper's plotted series: relative distance and relative
+/// velocity, for the three traces, every `stride` seconds.
+inline void print_figure(const char* title, const FigureRuns& runs,
+                         std::size_t stride = 5) {
+  const auto& t = runs.without_attack.trace.column("time_s");
+  const auto& d_clean = runs.without_attack.trace.column("meas_gap_m");
+  const auto& v_clean = runs.without_attack.trace.column("meas_dv_mps");
+  const auto& d_attack = runs.with_attack.trace.column("meas_gap_m");
+  const auto& v_attack = runs.with_attack.trace.column("meas_dv_mps");
+  const auto& d_est = runs.estimated.trace.column("safe_gap_m");
+  const auto& v_est = runs.estimated.trace.column("safe_dv_mps");
+
+  std::printf("%s\n", title);
+  std::printf("%6s %14s %14s %14s %14s %14s %14s\n", "t[s]", "d_noattack[m]",
+              "d_attacked[m]", "d_estimated[m]", "dv_noattack", "dv_attacked",
+              "dv_estimated");
+  for (std::size_t k = 0; k < t.size(); k += stride) {
+    std::printf("%6.0f %14.2f %14.2f %14.2f %14.3f %14.3f %14.3f\n", t[k],
+                d_clean[k], d_attack[k], d_est[k], v_clean[k], v_attack[k],
+                v_est[k]);
+  }
+
+  const std::string collision_at =
+      runs.with_attack.collided
+          ? " (k = " + std::to_string(*runs.with_attack.collision_step) + ")"
+          : std::string{};
+  const std::string detected_at =
+      runs.estimated.detection_step
+          ? std::to_string(*runs.estimated.detection_step)
+          : std::string("never");
+
+  std::printf("\nsummary:\n");
+  std::printf("  without attack : min gap %.2f m, collision %s\n",
+              runs.without_attack.min_gap_m,
+              runs.without_attack.collided ? "YES" : "no");
+  std::printf("  with attack    : min gap %.2f m, collision %s%s\n",
+              runs.with_attack.min_gap_m,
+              runs.with_attack.collided ? "YES" : "no", collision_at.c_str());
+  std::printf(
+      "  defended       : min gap %.2f m, collision %s, detected at k = %s, "
+      "FP %zu, FN %zu\n\n",
+      runs.estimated.min_gap_m, runs.estimated.collided ? "YES" : "no",
+      detected_at.c_str(), runs.estimated.detection_stats.false_positives,
+      runs.estimated.detection_stats.false_negatives);
+}
+
+}  // namespace safe::bench

@@ -1,0 +1,17 @@
+// Reproduces paper Figure 2a: DoS (jamming) attack on the radar's reflected
+// signal with the leader decelerating at a constant -0.1082 m/s^2.
+//
+// Expected shape (paper): the attacked trace blows up to large corrupted
+// values after onset at k = 182; the CRA detector fires at k = 182; the
+// estimated trace continues the no-attack trend so the follower stays safe.
+#include "bench_common.hpp"
+
+int main() {
+  const auto runs = safe::bench::run_figure(
+      safe::core::LeaderScenario::kConstantDecel,
+      safe::core::AttackKind::kDosJammer, /*attack_start_s=*/182.0);
+  safe::bench::print_figure(
+      "Figure 2a: DoS attack, leader constant deceleration -0.1082 m/s^2",
+      runs);
+  return 0;
+}

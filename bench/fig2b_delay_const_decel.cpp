@@ -1,0 +1,18 @@
+// Reproduces paper Figure 2b: delay-injection attack (+6 m spoofed range
+// from k = 180) with the leader decelerating at a constant -0.1082 m/s^2.
+//
+// Expected shape (paper): the attacked distance trace sits ~6 m above the
+// truth after onset, so the undefended follower fails to slow down and the
+// real gap shrinks; detection fires at k = 182 and the estimated trace
+// restores the true trend.
+#include "bench_common.hpp"
+
+int main() {
+  const auto runs = safe::bench::run_figure(
+      safe::core::LeaderScenario::kConstantDecel,
+      safe::core::AttackKind::kDelayInjection, /*attack_start_s=*/180.0);
+  safe::bench::print_figure(
+      "Figure 2b: delay-injection attack, leader constant deceleration",
+      runs);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces paper Figure 3a: DoS (jamming) attack with the leader first
+// decelerating at -0.1082 m/s^2 and then accelerating at +0.012 m/s^2.
+#include "bench_common.hpp"
+
+int main() {
+  const auto runs = safe::bench::run_figure(
+      safe::core::LeaderScenario::kDecelThenAccel,
+      safe::core::AttackKind::kDosJammer, /*attack_start_s=*/182.0);
+  safe::bench::print_figure(
+      "Figure 3a: DoS attack, leader decelerates then accelerates", runs);
+  return 0;
+}

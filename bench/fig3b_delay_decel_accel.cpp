@@ -1,0 +1,13 @@
+// Reproduces paper Figure 3b: delay-injection attack with the leader first
+// decelerating at -0.1082 m/s^2 and then accelerating at +0.012 m/s^2.
+#include "bench_common.hpp"
+
+int main() {
+  const auto runs = safe::bench::run_figure(
+      safe::core::LeaderScenario::kDecelThenAccel,
+      safe::core::AttackKind::kDelayInjection, /*attack_start_s=*/180.0);
+  safe::bench::print_figure(
+      "Figure 3b: delay-injection attack, leader decelerates then accelerates",
+      runs);
+  return 0;
+}

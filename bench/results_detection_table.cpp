@@ -1,0 +1,97 @@
+// Reproduces the paper's "Results" paragraph (Section 6.2) as a table:
+// detection instant, false positives/negatives, and the RLS runtime for the
+// attack-window holdover, for both attacks on both leader scenarios.
+//
+// Paper reference points: detection at k = 182 for both attacks; zero FP and
+// FN; RLS runtimes of 1.2e7 ns (DoS) and 1.3e7 ns (delay) for the k = 182 to
+// 300 window. Absolute runtimes differ from the authors' MATLAB testbed; the
+// claim that holds is "orders of magnitude below the 1 s sample period".
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "estimation/rls_predictor.hpp"
+
+namespace {
+
+using namespace safe;
+
+/// Wall-clock of the paper's estimation workload: train the two RLS
+/// predictors on the pre-attack series and free-run them across the attack
+/// window (both channels).
+double rls_holdover_ns(const core::CarFollowingResult& clean,
+                       std::int64_t onset, std::int64_t horizon) {
+  const auto& d = clean.trace.column("meas_gap_m");
+  const auto& v = clean.trace.column("meas_dv_mps");
+  const auto& challenge = clean.trace.column("challenge");
+
+  estimation::RlsArPredictor dist, vel;
+  for (std::int64_t k = 0; k < onset; ++k) {
+    const auto i = static_cast<std::size_t>(k);
+    if (challenge[i] != 0.0) continue;
+    dist.observe(d[i]);
+    vel.observe(v[i]);
+  }
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::int64_t k = onset; k < horizon; ++k) {
+    static_cast<void>(dist.predict_next());
+    static_cast<void>(vel.predict_next());
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+          .count());
+}
+
+void run_case(core::LeaderScenario leader, core::AttackKind attack,
+              double onset, const char* scenario_label,
+              const char* attack_label) {
+  core::ScenarioOptions o;
+  o.leader = leader;
+  o.attack = attack;
+  o.attack_start_s = onset;
+  o.estimator = radar::BeatEstimator::kRootMusic;
+
+  o.defense_enabled = true;
+  const auto defended = core::make_paper_scenario(o).run();
+  o.defense_enabled = false;
+  const auto undefended = core::make_paper_scenario(o).run();
+
+  o.attack = core::AttackKind::kNone;
+  const auto clean = core::make_paper_scenario(o).run();
+  const double ns = rls_holdover_ns(clean, 182, 300);
+
+  const std::string detected =
+      defended.detection_step ? std::to_string(*defended.detection_step)
+                              : std::string("never");
+  std::printf("%-14s %-16s %9s %4zu %4zu %12.3e %11s %11s\n", scenario_label,
+              attack_label, detected.c_str(),
+              defended.detection_stats.false_positives,
+              defended.detection_stats.false_negatives, ns,
+              undefended.collided ? "COLLISION" : "safe",
+              defended.collided ? "COLLISION" : "safe");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Results table (paper Section 6.2): detection instant, FP/FN, RLS "
+      "holdover runtime\n");
+  std::printf("paper: detection at k = 182, zero FP/FN, RLS ~1.2-1.3e7 ns\n\n");
+  std::printf("%-14s %-16s %9s %4s %4s %12s %11s %11s\n", "scenario",
+              "attack", "detected@", "FP", "FN", "RLS[ns]", "undefended",
+              "defended");
+  run_case(safe::core::LeaderScenario::kConstantDecel,
+           safe::core::AttackKind::kDosJammer, 182.0, "const-decel", "dos");
+  run_case(safe::core::LeaderScenario::kConstantDecel,
+           safe::core::AttackKind::kDelayInjection, 180.0, "const-decel",
+           "delay-injection");
+  run_case(safe::core::LeaderScenario::kDecelThenAccel,
+           safe::core::AttackKind::kDosJammer, 182.0, "decel-accel", "dos");
+  run_case(safe::core::LeaderScenario::kDecelThenAccel,
+           safe::core::AttackKind::kDelayInjection, 180.0, "decel-accel",
+           "delay-injection");
+  return 0;
+}

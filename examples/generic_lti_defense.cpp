@@ -1,0 +1,67 @@
+// The paper's Section 3 formalism on plants that are not cars: a DC-motor
+// speed loop and a double integrator under output attacks, defended by the
+// same CRA + RLS recipe.
+#include <iostream>
+#include <memory>
+
+#include "core/lti_case.hpp"
+
+namespace {
+
+using namespace safe;
+using namespace safe::core;
+
+void report(const char* label, const LtiCaseResult& r) {
+  std::cout << label << ": max tracking error "
+            << r.max_tracking_error << ", tail error "
+            << r.tail_tracking_error << ", detected at "
+            << (r.detection_step ? std::to_string(*r.detection_step)
+                                 : std::string("-"))
+            << " (FP " << r.detection_stats.false_positives << ", FN "
+            << r.detection_stats.false_negatives << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  const auto schedule =
+      std::make_shared<cra::PrbsChallengeSchedule>(0x5151, 1, 5, 300);
+
+  std::cout << "DC motor speed loop, +0.5 output bias from k = 150\n";
+  LtiOutputAttack bias;
+  bias.kind = LtiOutputAttack::Kind::kBias;
+  bias.window = attack::AttackWindow{150.0, 300.0};
+  bias.value = linalg::RVector(1, 0.5);
+
+  {
+    LtiCaseConfig cfg = make_dc_motor_case();
+    cfg.defense_enabled = false;
+    report("  undefended", LtiSecureCase(cfg, schedule, bias).run());
+  }
+  report("  defended  ",
+         LtiSecureCase(make_dc_motor_case(), schedule, bias).run());
+
+  std::cout << "\nDouble integrator, DoS (outputs replaced by 50) for 20 "
+               "steps starting on a challenge slot\n";
+  std::int64_t onset = 150;
+  while (!schedule->is_challenge(onset)) ++onset;
+  LtiOutputAttack dos;
+  dos.kind = LtiOutputAttack::Kind::kDos;
+  dos.window = attack::AttackWindow{static_cast<double>(onset),
+                                    static_cast<double>(onset + 20)};
+  dos.value = linalg::RVector(2, 50.0);
+
+  {
+    LtiCaseConfig cfg = make_double_integrator_case();
+    cfg.defense_enabled = false;
+    report("  undefended", LtiSecureCase(cfg, schedule, dos).run());
+  }
+  report("  defended  ",
+         LtiSecureCase(make_double_integrator_case(), schedule, dos).run());
+
+  std::cout << "\nTakeaway: the defense transplants unchanged to any LTI "
+               "plant with an active sensor; for open-loop-unstable plants "
+               "it bridges bounded attack windows but cannot replace "
+               "feedback forever.\n";
+  return 0;
+}

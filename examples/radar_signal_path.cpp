@@ -1,0 +1,93 @@
+// Radar signal path walkthrough: Eqs. 5-9 and the root-MUSIC receiver.
+//
+// Synthesizes the complex baseband segments for a target scene, extracts the
+// beat frequencies with root-MUSIC and with the FFT periodogram, and inverts
+// them back to range / range-rate — the measurement chain every simulation
+// step runs.
+#include <algorithm>
+#include <iostream>
+#include <random>
+
+#include "dsp/music.hpp"
+#include "dsp/spectral.hpp"
+#include "radar/link_budget.hpp"
+#include "radar/processor.hpp"
+
+int main() {
+  using namespace safe;
+
+  const double true_distance = 73.4;   // m
+  const double true_range_rate = -2.6; // m/s (closing)
+
+  radar::RadarProcessorConfig cfg;
+  cfg.waveform = radar::bosch_lrr2_parameters();
+  cfg.noise_floor_w = radar::thermal_noise_power_w(cfg.waveform);
+
+  std::cout << "FMCW waveform: 77 GHz, B_s = 150 MHz, T_s = 2 ms, lambda = "
+               "3.89 mm\n\n";
+
+  // --- Forward map (Eqs. 5-6).
+  const auto beats =
+      radar::beat_frequencies(cfg.waveform, true_distance, true_range_rate);
+  std::cout << "target: d = " << true_distance << " m, dv = " << true_range_rate
+            << " m/s\n"
+            << "beat frequencies: f_b+ = " << beats.up_hz
+            << " Hz, f_b- = " << beats.down_hz << " Hz\n";
+
+  // --- Link budget (Eq. 9).
+  const double echo_power =
+      radar::received_echo_power_w(cfg.waveform, true_distance, 10.0);
+  std::cout << "received echo power (sigma = 10 m^2): " << echo_power
+            << " W, thermal floor " << cfg.noise_floor_w << " W\n\n";
+
+  // --- Synthesize the baseband segments and estimate with both receivers.
+  radar::EchoScene scene;
+  scene.echoes.push_back(radar::EchoComponent{
+      .distance_m = true_distance,
+      .range_rate_mps = true_range_rate,
+      .power_w = echo_power,
+  });
+  scene.noise_power_w = cfg.noise_floor_w;
+
+  for (const auto est : {radar::BeatEstimator::kRootMusic,
+                         radar::BeatEstimator::kPeriodogram}) {
+    cfg.estimator = est;
+    radar::RadarProcessor radar(cfg, /*seed=*/42);
+    const auto m = radar.measure(scene);
+    std::cout << (est == radar::BeatEstimator::kRootMusic ? "root-MUSIC"
+                                                          : "periodogram")
+              << " receiver:\n"
+              << "  estimated f_b+ = " << m.beats.up_hz
+              << " Hz, f_b- = " << m.beats.down_hz << " Hz\n"
+              << "  estimated d = " << m.estimate.distance_m
+              << " m (err " << m.estimate.distance_m - true_distance
+              << "), dv = " << m.estimate.range_rate_mps << " m/s (err "
+              << m.estimate.range_rate_mps - true_range_rate << ")\n"
+              << "  peak/average coherence: " << m.peak_to_average << "\n\n";
+  }
+
+  // --- Super-resolution demo: two tones one FFT bin apart.
+  std::cout << "super-resolution: two tones 1.5 kHz apart, 256 samples at "
+               "1 MHz (FFT bin = 3.9 kHz)\n";
+  // A touch of noise keeps the sample covariance full rank (a perfectly
+  // noiseless covariance has a degenerate noise subspace).
+  std::mt19937 rng(7);
+  std::normal_distribution<double> awgn(0.0, 0.05);
+  dsp::ComplexSignal two_tone(256);
+  for (std::size_t n = 0; n < two_tone.size(); ++n) {
+    const double t = static_cast<double>(n) / 1.0e6;
+    two_tone[n] = std::polar(1.0, 2.0 * 3.14159265358979 * 100'000.0 * t) +
+                  std::polar(1.0, 2.0 * 3.14159265358979 * 101'500.0 * t + 1.0) +
+                  dsp::Complex{awgn(rng), awgn(rng)};
+  }
+  auto music = dsp::root_music_frequencies(two_tone, 1.0e6, 2,
+                                           {.covariance_order = 24});
+  std::sort(music.begin(), music.end());
+  const auto fft_tones = dsp::estimate_tones_periodogram(two_tone, 1.0e6, 2);
+  std::cout << "  root-MUSIC: " << music[0] << " Hz and " << music[1]
+            << " Hz\n  periodogram: ";
+  for (const auto& t : fft_tones) std::cout << t.frequency_hz << " Hz  ";
+  std::cout << "\n  (the periodogram merges or mislocates the pair; MUSIC "
+               "resolves both)\n";
+  return 0;
+}

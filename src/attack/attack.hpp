@@ -1,0 +1,46 @@
+// Sensor attack interface (paper Section 4).
+//
+// An attack observes the true RF environment of one measurement epoch and
+// mutates the EchoScene the radar receiver will process. Attacks are pure
+// scene transformations: all randomness lives in the receiver's noise
+// synthesis, which keeps attack behaviour reproducible and unit-testable.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "radar/echo_scene.hpp"
+#include "radar/fmcw.hpp"
+
+namespace safe::attack {
+
+/// Ground-truth context available to an attack when it fires.
+struct AttackContext {
+  double time_s = 0.0;                 ///< Simulation time k.
+  double true_distance_m = 0.0;        ///< Actual leader-follower gap.
+  double true_range_rate_mps = 0.0;    ///< Actual gap rate (dv).
+  double true_echo_power_w = 0.0;      ///< Echo power of the real target.
+  const radar::FmcwParameters* waveform = nullptr;
+};
+
+/// Interface for sensor-level attacks.
+class SensorAttack {
+ public:
+  virtual ~SensorAttack() = default;
+
+  /// Mutates `scene` to reflect the attack during this epoch.
+  virtual void apply(const AttackContext& context,
+                     radar::EchoScene& scene) const = 0;
+
+  /// Human-readable attack name for traces and benches.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Identity attack: leaves the scene untouched (baseline runs).
+class NoAttack final : public SensorAttack {
+ public:
+  void apply(const AttackContext&, radar::EchoScene&) const override {}
+  [[nodiscard]] std::string name() const override { return "none"; }
+};
+
+}  // namespace safe::attack

@@ -1,0 +1,47 @@
+#include "attack/delay_injection.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "radar/fmcw.hpp"
+
+namespace safe::attack {
+
+DelayInjectionAttack::DelayInjectionAttack(DelayInjectionConfig config)
+    : config_(config) {
+  if (config_.extra_delay_s <= 0.0) {
+    throw std::invalid_argument(
+        "DelayInjectionAttack: extra delay must be positive");
+  }
+  if (config_.power_advantage <= 0.0) {
+    throw std::invalid_argument(
+        "DelayInjectionAttack: power advantage must be positive");
+  }
+}
+
+double DelayInjectionAttack::range_offset_m() const {
+  return radar::spoofed_range_offset_m(config_.extra_delay_s);
+}
+
+void DelayInjectionAttack::apply(const AttackContext& context,
+                                 radar::EchoScene& scene) const {
+  if (context.true_distance_m <= 0.0) return;
+
+  if (!scene.tx_enabled && config_.evades_challenges) {
+    // The hypothetical fast adversary notices the suppressed probe in time
+    // and stays silent: CRA sees the expected zero output.
+    return;
+  }
+
+  if (config_.replaces_true_echo) {
+    scene.echoes.clear();
+  }
+  scene.echoes.push_back(radar::EchoComponent{
+      .distance_m = context.true_distance_m + range_offset_m(),
+      .range_rate_mps = context.true_range_rate_mps,
+      .power_w = std::max(context.true_echo_power_w * config_.power_advantage,
+                          config_.min_power_w),
+  });
+}
+
+}  // namespace safe::attack

@@ -1,0 +1,59 @@
+// Delay-injection (spoofing) attack (paper Section 4.1).
+//
+// The attacker records the radar's probe, replays a counterfeit echo with an
+// additional physical delay tau, and overpowers the genuine reflection, so
+// the target appears c*tau/2 meters further away than it is. Because the
+// replay pipeline has non-zero latency, the counterfeit keeps radiating even
+// in epochs where the CRA modulator suppressed the probe — which is exactly
+// how Algorithm 2 catches it.
+#pragma once
+
+#include "attack/attack.hpp"
+
+namespace safe::attack {
+
+struct DelayInjectionConfig {
+  /// Extra round-trip delay injected into the counterfeit (seconds).
+  /// 40 ns fakes the paper's +6 m.
+  double extra_delay_s = 4.0e-8;
+
+  /// Counterfeit power relative to the genuine echo; > 1 so the receiver
+  /// locks onto the counterfeit rather than the true reflection.
+  double power_advantage = 4.0;
+
+  /// Floor on the counterfeit power at the victim receiver (watts). The
+  /// replay hardware radiates one-way, so its coupled power does not vanish
+  /// when the genuine echo does (e.g. target beyond the radar's range
+  /// window); ~0.1 nW is a conservative one-way link at town-traffic
+  /// distances.
+  double min_power_w = 1.0e-10;
+
+  /// When true the counterfeit fully masks the genuine echo (capture
+  /// effect); when false both tones reach the receiver.
+  bool replaces_true_echo = true;
+
+  /// Future-work adversary (paper Section 7): samples the probe faster than
+  /// the defender and mutes its replay during challenge slots, evading CRA.
+  /// Default false = the realistic attacker with pipeline latency.
+  bool evades_challenges = false;
+};
+
+class DelayInjectionAttack final : public SensorAttack {
+ public:
+  explicit DelayInjectionAttack(DelayInjectionConfig config);
+
+  void apply(const AttackContext& context,
+             radar::EchoScene& scene) const override;
+
+  [[nodiscard]] std::string name() const override { return "delay-injection"; }
+
+  [[nodiscard]] const DelayInjectionConfig& config() const { return config_; }
+
+  /// Range offset this attack fakes (c * tau / 2, meters).
+  [[nodiscard]] double range_offset_m() const;
+
+ private:
+  DelayInjectionConfig config_;
+};
+
+}  // namespace safe::attack

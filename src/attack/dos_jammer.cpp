@@ -1,0 +1,32 @@
+#include "attack/dos_jammer.hpp"
+
+#include <stdexcept>
+
+namespace safe::attack {
+
+DosJammerAttack::DosJammerAttack(radar::JammerParameters jammer)
+    : jammer_(jammer) {
+  if (jammer_.peak_power_w <= 0.0 || jammer_.bandwidth_hz <= 0.0) {
+    throw std::invalid_argument(
+        "DosJammerAttack: jammer power and bandwidth must be positive");
+  }
+}
+
+void DosJammerAttack::apply(const AttackContext& context,
+                            radar::EchoScene& scene) const {
+  if (context.waveform == nullptr) {
+    throw std::invalid_argument("DosJammerAttack: context missing waveform");
+  }
+  if (context.true_distance_m <= 0.0) {
+    return;  // collided / degenerate geometry: nothing to jam through
+  }
+  scene.noise_power_w += radar::received_jammer_power_w(
+      *context.waveform, jammer_, context.true_distance_m);
+}
+
+bool DosJammerAttack::succeeds_at(const radar::FmcwParameters& waveform,
+                                  double distance_m, double rcs_m2) const {
+  return radar::jamming_succeeds(waveform, jammer_, distance_m, rcs_m2);
+}
+
+}  // namespace safe::attack

@@ -1,0 +1,39 @@
+// Denial-of-service attack: self-screening jammer (paper Section 4.1).
+//
+// The jammer rides on the leader vehicle and floods the follower radar's
+// receiver with wideband noise. It succeeds when the signal-to-jammer power
+// ratio of Eq. 11 drops below unity, after which the radar's beat-frequency
+// estimates are garbage — the "very high corrupted measurements" of
+// Figures 2a and 3a.
+#pragma once
+
+#include "attack/attack.hpp"
+#include "radar/link_budget.hpp"
+
+namespace safe::attack {
+
+class DosJammerAttack final : public SensorAttack {
+ public:
+  explicit DosJammerAttack(radar::JammerParameters jammer);
+
+  /// Adds the coupled jammer power (Eq. 10 at the true geometry) to the
+  /// scene's incoherent noise. The genuine echo is left in place: whether it
+  /// survives is decided by physics (Eq. 11), not by fiat.
+  void apply(const AttackContext& context,
+             radar::EchoScene& scene) const override;
+
+  [[nodiscard]] std::string name() const override { return "dos-jammer"; }
+
+  [[nodiscard]] const radar::JammerParameters& jammer() const {
+    return jammer_;
+  }
+
+  /// Eq. 11 success predicate at a given geometry.
+  [[nodiscard]] bool succeeds_at(const radar::FmcwParameters& waveform,
+                                 double distance_m, double rcs_m2) const;
+
+ private:
+  radar::JammerParameters jammer_;
+};
+
+}  // namespace safe::attack

@@ -1,0 +1,58 @@
+// Time-windowed attack scheduling.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "attack/attack.hpp"
+
+namespace safe::attack {
+
+/// Half-open activity interval [start_s, end_s).
+struct AttackWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+
+  [[nodiscard]] bool contains(double time_s) const {
+    return time_s >= start_s && time_s < end_s;
+  }
+  [[nodiscard]] double duration_s() const { return end_s - start_s; }
+};
+
+/// Applies an inner attack only while inside its window — the paper's
+/// "attack over a finite interval [k1, kn], k1 != 0" formulation.
+class ScheduledAttack final : public SensorAttack {
+ public:
+  ScheduledAttack(std::shared_ptr<const SensorAttack> inner,
+                  AttackWindow window)
+      : inner_(std::move(inner)), window_(window) {
+    if (!inner_) {
+      throw std::invalid_argument("ScheduledAttack: null inner attack");
+    }
+    if (!(window_.end_s > window_.start_s)) {
+      throw std::invalid_argument("ScheduledAttack: empty window");
+    }
+  }
+
+  void apply(const AttackContext& context,
+             radar::EchoScene& scene) const override {
+    if (window_.contains(context.time_s)) {
+      inner_->apply(context, scene);
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return inner_->name() + "@[" + std::to_string(window_.start_s) + "," +
+           std::to_string(window_.end_s) + ")";
+  }
+
+  [[nodiscard]] const AttackWindow& window() const { return window_; }
+  [[nodiscard]] const SensorAttack& inner() const { return *inner_; }
+
+ private:
+  std::shared_ptr<const SensorAttack> inner_;
+  AttackWindow window_;
+};
+
+}  // namespace safe::attack

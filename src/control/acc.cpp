@@ -1,0 +1,119 @@
+#include "control/acc.hpp"
+
+#include <stdexcept>
+
+namespace safe::control {
+
+void validate_parameters(const AccParameters& params) {
+  if (params.headway_time_s <= 0.0 || params.min_gap_m < 0.0) {
+    throw std::invalid_argument("AccParameters: bad headway/min gap");
+  }
+  if (params.system_gain <= 0.0 || params.time_constant_s <= 0.0) {
+    throw std::invalid_argument("AccParameters: bad gain/time constant");
+  }
+  if (params.sample_time_s <= 0.0) {
+    throw std::invalid_argument("AccParameters: bad sample time");
+  }
+  if (params.set_speed_mps < 0.0) {
+    throw std::invalid_argument("AccParameters: bad set speed");
+  }
+  if (params.max_accel_mps2 <= 0.0 || params.max_decel_mps2 <= 0.0) {
+    throw std::invalid_argument("AccParameters: bad acceleration limits");
+  }
+}
+
+double desired_distance_m(const AccParameters& params,
+                          double follower_speed_mps) {
+  return params.min_gap_m + params.headway_time_s * follower_speed_mps;
+}
+
+UpperLevelController::UpperLevelController(const AccParameters& params)
+    : params_(params) {
+  validate_parameters(params_);
+}
+
+AccCommand UpperLevelController::step(const AccInputs& inputs) {
+  const double t = params_.sample_time_s;
+  AccCommand cmd;
+  cmd.desired_distance_m = desired_distance_m(params_, inputs.follower_speed_mps);
+
+  // Spacing control engages when a target sits inside the CTH envelope
+  // (with a small hysteresis margin so mode flapping does not excite the
+  // lower-level lag).
+  const bool spacing = inputs.target_present &&
+                       inputs.distance_m < 1.2 * cmd.desired_distance_m;
+
+  double v_des;
+  if (spacing) {
+    cmd.mode = AccMode::kSpacingControl;
+    const double clearance_error = inputs.distance_m - cmd.desired_distance_m;
+    const double gain = t / (params_.headway_time_s * params_.system_gain);
+    v_des = inputs.follower_speed_mps +
+            gain * (clearance_error + t * inputs.relative_velocity_mps);
+    // Never exceed the driver's set speed in spacing mode.
+    v_des = std::min(v_des, params_.set_speed_mps);
+  } else {
+    cmd.mode = AccMode::kSpeedControl;
+    v_des = params_.set_speed_mps;
+  }
+  v_des = std::max(v_des, 0.0);
+  cmd.desired_speed_mps = v_des;
+
+  // Eq. 16: a_des from the desired-speed difference.
+  const double prev = primed_ ? prev_desired_speed_ : inputs.follower_speed_mps;
+  double a_des = (v_des - prev) / t;
+  a_des = std::clamp(a_des, -params_.max_decel_mps2, params_.max_accel_mps2);
+  cmd.desired_accel_mps2 = a_des;
+
+  prev_desired_speed_ = v_des;
+  primed_ = true;
+  return cmd;
+}
+
+void UpperLevelController::reset() {
+  prev_desired_speed_ = 0.0;
+  primed_ = false;
+}
+
+LowerLevelController::LowerLevelController(const AccParameters& params)
+    : params_(params) {
+  validate_parameters(params_);
+}
+
+ActuationState LowerLevelController::step(double desired_accel_mps2) {
+  const double alpha = params_.sample_time_s / params_.time_constant_s;
+  const double target = params_.system_gain * desired_accel_mps2;
+  // Discretized first-order lag; alpha >= 1 (T >= T_i) saturates to an
+  // immediate step so the filter stays stable for any sample time.
+  const double blend = std::min(alpha, 1.0);
+  state_.actual_accel_mps2 += blend * (target - state_.actual_accel_mps2);
+
+  if (state_.actual_accel_mps2 >= 0.0) {
+    state_.pedal_accel_mps2 = state_.actual_accel_mps2;
+    state_.brake_pressure = 0.0;
+  } else {
+    state_.pedal_accel_mps2 = 0.0;
+    state_.brake_pressure =
+        -state_.actual_accel_mps2 * params_.brake_pressure_per_mps2;
+  }
+  return state_;
+}
+
+void LowerLevelController::reset() { state_ = ActuationState{}; }
+
+AccController::AccController(const AccParameters& params)
+    : params_(params), upper_(params), lower_(params) {}
+
+AccController::Output AccController::step(const AccInputs& inputs) {
+  Output out;
+  out.command = upper_.step(inputs);
+  out.actuation = lower_.step(out.command.desired_accel_mps2);
+  return out;
+}
+
+void AccController::reset() {
+  upper_.reset();
+  lower_.reset();
+}
+
+}  // namespace safe::control

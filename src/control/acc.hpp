@@ -1,0 +1,123 @@
+// Adaptive cruise control: hierarchical longitudinal controller (Section 6.1).
+//
+// Upper level (constant-time-headway policy, Eqs. 12-13, 16):
+//   d_des(k)    = d_0 + tau_h * v_F(k)
+//   v_des(k+1)  = v_F(k) + T / (tau_h K_1) * (dd(k) + T * dv(k))
+//   a_des(k+1)  = (v_des(k+1) - v_des(k)) / T
+// with clearance error dd = d - d_des and relative speed dv = v_L - v_F.
+//
+// Lower level (Eq. 14, first-order lag K_1 / (T_i s + 1) discretized):
+//   a_F(k+1) = a_F(k) + T / T_i * (K_1 a_des(k) - a_F(k))
+// split into throttle (a >= 0) and brake (a < 0) actuation.
+#pragma once
+
+#include <algorithm>
+
+namespace safe::control {
+
+struct AccParameters {
+  double headway_time_s = 3.0;      ///< tau_h
+  double min_gap_m = 5.0;           ///< d_0 (minimum stopping distance)
+  double system_gain = 1.0;         ///< K_1
+  double time_constant_s = 1.008;   ///< T_i
+  double sample_time_s = 1.0;       ///< T (k is in seconds in the paper)
+  double set_speed_mps = 29.9517;   ///< v_set (67 mph)
+  double max_accel_mps2 = 2.5;      ///< Actuation limits for a_des.
+  double max_decel_mps2 = 5.0;
+  /// Brake pressure per m/s^2 of commanded deceleration (actuator map).
+  double brake_pressure_per_mps2 = 40.0;
+};
+
+/// Throws std::invalid_argument on non-physical parameters.
+void validate_parameters(const AccParameters& params);
+
+/// Desired inter-vehicle distance (Eq. 12).
+double desired_distance_m(const AccParameters& params,
+                          double follower_speed_mps);
+
+enum class AccMode {
+  kSpeedControl,    ///< No (close) target: track the set speed.
+  kSpacingControl,  ///< Maintain the CTH gap to the preceding vehicle.
+};
+
+/// Sensor-facing inputs of the upper-level controller.
+struct AccInputs {
+  bool target_present = false;       ///< Radar sees a preceding vehicle.
+  double distance_m = 0.0;           ///< d (radar)
+  double relative_velocity_mps = 0.0;  ///< dv = v_L - v_F (radar)
+  double follower_speed_mps = 0.0;   ///< v_F (trusted wheel-speed sensor)
+};
+
+/// Upper-level outputs.
+struct AccCommand {
+  AccMode mode = AccMode::kSpeedControl;
+  double desired_speed_mps = 0.0;   ///< v_des(k+1)
+  double desired_accel_mps2 = 0.0;  ///< a_des(k+1), clamped to limits
+  double desired_distance_m = 0.0;  ///< d_des(k) for tracing
+};
+
+/// Stateful upper-level controller (remembers v_des for Eq. 16).
+class UpperLevelController {
+ public:
+  explicit UpperLevelController(const AccParameters& params);
+
+  AccCommand step(const AccInputs& inputs);
+
+  void reset();
+
+  [[nodiscard]] const AccParameters& parameters() const { return params_; }
+
+ private:
+  AccParameters params_;
+  double prev_desired_speed_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Lower-level actuation outputs.
+struct ActuationState {
+  double actual_accel_mps2 = 0.0;
+  double pedal_accel_mps2 = 0.0;    ///< a_pedal (>= 0)
+  double brake_pressure = 0.0;      ///< P_brake (>= 0, arbitrary units)
+};
+
+/// Stateful lower-level controller tracking a_des through the lag of Eq. 14.
+class LowerLevelController {
+ public:
+  explicit LowerLevelController(const AccParameters& params);
+
+  /// Advances one sample toward `desired_accel_mps2`; returns the actuated
+  /// state (the follower plant consumes `actual_accel_mps2`).
+  ActuationState step(double desired_accel_mps2);
+
+  void reset();
+
+  [[nodiscard]] double actual_accel() const { return state_.actual_accel_mps2; }
+
+ private:
+  AccParameters params_;
+  ActuationState state_;
+};
+
+/// Convenience facade running upper + lower level in sequence.
+class AccController {
+ public:
+  explicit AccController(const AccParameters& params = {});
+
+  struct Output {
+    AccCommand command;
+    ActuationState actuation;
+  };
+
+  Output step(const AccInputs& inputs);
+
+  void reset();
+
+  [[nodiscard]] const AccParameters& parameters() const { return params_; }
+
+ private:
+  AccParameters params_;
+  UpperLevelController upper_;
+  LowerLevelController lower_;
+};
+
+}  // namespace safe::control

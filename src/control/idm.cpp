@@ -1,0 +1,57 @@
+#include "control/idm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace safe::control {
+
+void validate_parameters(const IdmParameters& params) {
+  if (params.desired_speed_mps <= 0.0 || params.min_gap_m < 0.0) {
+    throw std::invalid_argument("IdmParameters: bad speed/min gap");
+  }
+  if (params.headway_time_s < 0.0) {
+    throw std::invalid_argument("IdmParameters: bad headway");
+  }
+  if (params.max_accel_mps2 <= 0.0 || params.comfortable_decel_mps2 <= 0.0) {
+    throw std::invalid_argument("IdmParameters: bad accel/decel");
+  }
+  if (params.accel_exponent <= 0.0) {
+    throw std::invalid_argument("IdmParameters: bad exponent");
+  }
+}
+
+double idm_desired_gap_m(const IdmParameters& params, double speed_mps,
+                         double lead_speed_mps) {
+  validate_parameters(params);
+  const double closing = speed_mps - lead_speed_mps;
+  const double dynamic =
+      speed_mps * params.headway_time_s +
+      speed_mps * closing /
+          (2.0 * std::sqrt(params.max_accel_mps2 *
+                           params.comfortable_decel_mps2));
+  return params.min_gap_m + std::max(dynamic, 0.0);
+}
+
+double idm_acceleration(const IdmParameters& params, double speed_mps,
+                        double lead_speed_mps, double gap_m) {
+  validate_parameters(params);
+  if (gap_m <= 0.0) {
+    return -params.comfortable_decel_mps2 * 4.0;  // emergency clamp
+  }
+  const double free_term =
+      std::pow(std::max(speed_mps, 0.0) / params.desired_speed_mps,
+               params.accel_exponent);
+  const double gap_ratio =
+      idm_desired_gap_m(params, speed_mps, lead_speed_mps) / gap_m;
+  return params.max_accel_mps2 * (1.0 - free_term - gap_ratio * gap_ratio);
+}
+
+double idm_free_acceleration(const IdmParameters& params, double speed_mps) {
+  validate_parameters(params);
+  const double free_term =
+      std::pow(std::max(speed_mps, 0.0) / params.desired_speed_mps,
+               params.accel_exponent);
+  return params.max_accel_mps2 * (1.0 - free_term);
+}
+
+}  // namespace safe::control

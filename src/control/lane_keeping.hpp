@@ -1,0 +1,32 @@
+// Lane-keeping controller (Stanley-style) for the lateral-dynamics
+// extension.
+//
+// Steers toward the lane centerline from a measured lateral offset e_y and
+// heading error e_psi:
+//   delta = -k_psi * e_psi - atan(k_e * e_y / (v + v_soft))
+//
+// The lateral offset comes from a perception sensor (camera / lidar) whose
+// measurement an attacker can bias; the lane_keeping tests show how a
+// spoofed offset steers the vehicle out of its lane, and how the same
+// holdover strategy as the longitudinal pipeline contains it.
+#pragma once
+
+namespace safe::control {
+
+struct LaneKeepingParameters {
+  double heading_gain = 1.0;     ///< k_psi
+  double crosstrack_gain = 0.8;  ///< k_e
+  double softening_mps = 1.0;    ///< v_soft (low-speed conditioning)
+  double max_steer_rad = 0.5;
+};
+
+/// Throws std::invalid_argument for non-positive gains.
+void validate_parameters(const LaneKeepingParameters& params);
+
+/// Steering command from measured lateral offset (m, + = left of center),
+/// heading error (rad), and speed.
+double lane_keeping_steer(const LaneKeepingParameters& params,
+                          double lateral_offset_m, double heading_error_rad,
+                          double speed_mps);
+
+}  // namespace safe::control

@@ -1,0 +1,192 @@
+#include "core/car_following.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "radar/link_budget.hpp"
+
+namespace safe::core {
+
+std::vector<std::string> CarFollowingResult::columns() {
+  return {
+      "time_s",       "true_gap_m",  "true_dv_mps",  "meas_gap_m",
+      "meas_dv_mps",  "safe_gap_m",  "safe_dv_mps",  "leader_v_mps",
+      "follower_v_mps", "follower_a_mps2", "challenge", "under_attack",
+      "estimated",    "collided",
+  };
+}
+
+CarFollowingSimulation::CarFollowingSimulation(
+    CarFollowingConfig config,
+    std::shared_ptr<const vehicle::LeaderProfile> leader,
+    std::shared_ptr<const attack::SensorAttack> attack,
+    std::shared_ptr<const cra::ChallengeSchedule> schedule)
+    : config_(std::move(config)),
+      leader_profile_(std::move(leader)),
+      attack_(std::move(attack)),
+      schedule_(std::move(schedule)) {
+  if (!leader_profile_) {
+    throw std::invalid_argument("CarFollowingSimulation: null leader profile");
+  }
+  if (!schedule_) {
+    throw std::invalid_argument("CarFollowingSimulation: null schedule");
+  }
+  if (config_.horizon_steps <= 0 || config_.sample_time_s <= 0.0) {
+    throw std::invalid_argument("CarFollowingSimulation: bad horizon/T");
+  }
+  if (config_.initial_gap_m <= 0.0) {
+    throw std::invalid_argument("CarFollowingSimulation: bad initial gap");
+  }
+}
+
+CarFollowingResult CarFollowingSimulation::run() {
+  const double t_sample = config_.sample_time_s;
+  const radar::FmcwParameters& wf = config_.radar.waveform;
+
+  radar::RadarProcessor radar(config_.radar, config_.seed);
+  SafeMeasurementPipeline pipeline = make_default_pipeline(schedule_);
+  control::AccController acc(config_.acc);
+
+  vehicle::VehicleState leader{.position_m = config_.initial_gap_m,
+                               .velocity_mps = config_.leader_speed_mps};
+  vehicle::VehicleState follower{.position_m = 0.0,
+                                 .velocity_mps = config_.follower_speed_mps};
+
+  CarFollowingResult result;
+  result.min_gap_m = config_.initial_gap_m;
+
+  // Undefended runs still need target tracking across challenge slots and
+  // dropouts: a real radar holds its last track briefly.
+  double held_gap = config_.initial_gap_m;
+  double held_dv = vehicle::relative_velocity_mps(leader, follower);
+  bool held_valid = false;
+
+  for (std::int64_t k = 0; k < config_.horizon_steps; ++k) {
+    const double t = static_cast<double>(k) * t_sample;
+
+    // --- Leader dynamics (Eq. 15).
+    if (!result.collided) {
+      leader = vehicle::step(leader, leader_profile_->acceleration_mps2(t),
+                             t_sample);
+    }
+
+    const double true_gap = vehicle::gap_m(leader, follower);
+    const double true_dv = vehicle::relative_velocity_mps(leader, follower);
+
+    // --- RF scene: genuine echo if the probe radiates and the target is in
+    // the radar's range window.
+    radar::EchoScene scene;
+    scene.tx_enabled = !pipeline.probe_suppressed(k);
+    scene.noise_power_w = config_.radar.noise_floor_w;
+    const bool in_window =
+        true_gap >= wf.min_range_m && true_gap <= wf.max_range_m;
+    double echo_power = 0.0;
+    if (scene.tx_enabled && in_window && !result.collided) {
+      echo_power =
+          radar::received_echo_power_w(wf, true_gap, config_.target_rcs_m2);
+      scene.echoes.push_back(radar::EchoComponent{
+          .distance_m = true_gap,
+          .range_rate_mps = true_dv,
+          .power_w = echo_power,
+      });
+    } else if (in_window && !result.collided) {
+      echo_power =
+          radar::received_echo_power_w(wf, true_gap, config_.target_rcs_m2);
+    }
+
+    bool attack_active = false;
+    if (attack_ && !result.collided) {
+      const attack::AttackContext ctx{
+          .time_s = t,
+          .true_distance_m = true_gap,
+          .true_range_rate_mps = true_dv,
+          .true_echo_power_w = echo_power,
+          .waveform = &wf,
+      };
+      const radar::EchoScene before = scene;
+      attack_->apply(ctx, scene);
+      attack_active = scene.echoes.size() != before.echoes.size() ||
+                      scene.noise_power_w != before.noise_power_w ||
+                      (!scene.echoes.empty() && !before.echoes.empty() &&
+                       scene.echoes[0].distance_m != before.echoes[0].distance_m);
+    }
+
+    // --- Radar receiver.
+    const radar::RadarMeasurement meas = radar.measure(scene);
+
+    // --- Defense pipeline (Algorithm 2).
+    const SafeMeasurement safe =
+        pipeline.process_scored(k, meas, attack_active);
+
+    // --- Controller input selection.
+    control::AccInputs inputs;
+    inputs.follower_speed_mps = follower.velocity_mps;
+    if (config_.defense_enabled) {
+      inputs.target_present = safe.target_present;
+      inputs.distance_m = safe.distance_m;
+      inputs.relative_velocity_mps = safe.relative_velocity_mps;
+    } else {
+      // Raw radar consumer with a one-epoch track hold across dropouts.
+      if (meas.coherent_echo) {
+        held_gap = meas.estimate.distance_m;
+        held_dv = meas.estimate.range_rate_mps;
+        held_valid = true;
+      }
+      inputs.target_present = held_valid;
+      inputs.distance_m = held_gap;
+      inputs.relative_velocity_mps = held_dv;
+    }
+
+    // --- Follower controller + dynamics (Eqs. 13-17, or IDM baseline).
+    double follower_accel;
+    if (config_.controller == FollowerController::kAccHierarchy) {
+      follower_accel = acc.step(inputs).actuation.actual_accel_mps2;
+    } else {
+      follower_accel =
+          inputs.target_present
+              ? control::idm_acceleration(
+                    config_.idm, follower.velocity_mps,
+                    follower.velocity_mps + inputs.relative_velocity_mps,
+                    inputs.distance_m)
+              : control::idm_free_acceleration(config_.idm,
+                                               follower.velocity_mps);
+    }
+    if (!result.collided) {
+      follower = vehicle::step(follower, follower_accel, t_sample);
+    }
+
+    const double gap_after = vehicle::gap_m(leader, follower);
+    result.min_gap_m = std::min(result.min_gap_m, gap_after);
+    if (!result.collided && gap_after <= 0.0) {
+      result.collided = true;
+      result.collision_step = k;
+    }
+
+    // The recorded radar output is zero when the receiver saw nothing
+    // (challenge slots in clean runs: the zero-spikes of Figures 2-3), and
+    // the possibly-corrupted estimate whenever anything radiated.
+    const bool receiver_output = meas.nonzero_output();
+    result.trace.append_row({
+        t,
+        true_gap,
+        true_dv,
+        receiver_output ? meas.estimate.distance_m : 0.0,
+        receiver_output ? meas.estimate.range_rate_mps : 0.0,
+        safe.distance_m,
+        safe.relative_velocity_mps,
+        leader.velocity_mps,
+        follower.velocity_mps,
+        follower.acceleration_mps2,
+        safe.challenge_slot ? 1.0 : 0.0,
+        safe.under_attack ? 1.0 : 0.0,
+        safe.estimated ? 1.0 : 0.0,
+        result.collided ? 1.0 : 0.0,
+    });
+  }
+
+  result.detection_step = pipeline.detection_step();
+  result.detection_stats = pipeline.detection_stats();
+  return result;
+}
+
+}  // namespace safe::core

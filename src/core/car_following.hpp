@@ -1,0 +1,88 @@
+// Closed-loop car-following simulation (paper Figure 1 and Section 6).
+//
+// leader kinematics -> RF scene -> (attack) -> CRA radar -> safe-measurement
+// pipeline -> ACC hierarchy -> follower kinematics, sampled at T = 1 s.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "attack/attack.hpp"
+#include "control/acc.hpp"
+#include "control/idm.hpp"
+#include "core/pipeline.hpp"
+#include "cra/challenge.hpp"
+#include "radar/processor.hpp"
+#include "sim/trace.hpp"
+#include "vehicle/leader_profile.hpp"
+#include "vehicle/longitudinal.hpp"
+
+namespace safe::core {
+
+/// Which longitudinal controller drives the follower.
+enum class FollowerController {
+  kAccHierarchy,  ///< The paper's upper/lower-level ACC (default).
+  kIdm,           ///< Plain intelligent-driver model (baseline).
+};
+
+struct CarFollowingConfig {
+  /// Initial speeds (paper: leader 65 mph, follower set speed 67 mph).
+  double leader_speed_mps = 29.0576;
+  double follower_speed_mps = 29.0576;
+  double initial_gap_m = 100.0;
+  std::int64_t horizon_steps = 300;
+  double sample_time_s = 1.0;
+  double target_rcs_m2 = 10.0;
+
+  FollowerController controller = FollowerController::kAccHierarchy;
+  control::AccParameters acc{};
+  control::IdmParameters idm{};
+  radar::RadarProcessorConfig radar{};
+
+  /// Radar noise seed (kept distinct per run for without/with comparisons).
+  std::uint64_t seed = 1;
+
+  /// Feed raw (possibly corrupted) radar data to the ACC instead of the
+  /// pipeline output. The "RadarData-With-Attack" failure traces of
+  /// Figures 2-3 are produced with the defense disabled.
+  bool defense_enabled = true;
+};
+
+/// Everything recorded about one simulation run.
+struct CarFollowingResult {
+  sim::Trace trace;
+  bool collided = false;
+  std::optional<std::int64_t> collision_step;
+  std::optional<std::int64_t> detection_step;
+  cra::DetectionStats detection_stats;
+  double min_gap_m = 0.0;
+
+  CarFollowingResult() : trace(columns()) {}
+
+  /// Trace column names, in order.
+  static std::vector<std::string> columns();
+};
+
+class CarFollowingSimulation {
+ public:
+  /// `attack` may be nullptr (clean run). `schedule` drives both the radar's
+  /// probe gating and the pipeline's detector.
+  CarFollowingSimulation(CarFollowingConfig config,
+                         std::shared_ptr<const vehicle::LeaderProfile> leader,
+                         std::shared_ptr<const attack::SensorAttack> attack,
+                         std::shared_ptr<const cra::ChallengeSchedule> schedule);
+
+  /// Runs the full horizon and returns the recorded result. Stops stepping
+  /// vehicles after a collision (gap <= 0) but keeps recording rows so all
+  /// traces have `horizon_steps` rows.
+  CarFollowingResult run();
+
+ private:
+  CarFollowingConfig config_;
+  std::shared_ptr<const vehicle::LeaderProfile> leader_profile_;
+  std::shared_ptr<const attack::SensorAttack> attack_;
+  std::shared_ptr<const cra::ChallengeSchedule> schedule_;
+};
+
+}  // namespace safe::core

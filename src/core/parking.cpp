@@ -1,0 +1,156 @@
+#include "core/parking.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "estimation/rls_predictor.hpp"
+
+namespace safe::core {
+
+ParkingResult::ParkingResult()
+    : trace({"time_s", "clearance_m", "measured_m", "used_m", "speed_mps",
+             "challenge", "under_attack"}) {}
+
+ParkingSimulation::ParkingSimulation(
+    ParkingConfig config,
+    std::shared_ptr<const cra::ChallengeSchedule> schedule,
+    std::optional<ParkingAttack> attack)
+    : config_(std::move(config)),
+      schedule_(std::move(schedule)),
+      attack_(std::move(attack)) {
+  if (!schedule_) {
+    throw std::invalid_argument("ParkingSimulation: null schedule");
+  }
+  if (config_.initial_clearance_m <= config_.stop_distance_m) {
+    throw std::invalid_argument("ParkingSimulation: nothing to approach");
+  }
+  if (config_.sample_time_s <= 0.0 || config_.horizon_steps <= 0) {
+    throw std::invalid_argument("ParkingSimulation: bad time base");
+  }
+  if (config_.approach_gain <= 0.0 || config_.max_speed_mps <= 0.0) {
+    throw std::invalid_argument("ParkingSimulation: bad controller");
+  }
+}
+
+ParkingResult ParkingSimulation::run() {
+  sensors::TofSensor sensor(config_.sensor, config_.seed);
+  cra::ChallengeResponseDetector detector;
+  estimation::RlsArPredictor predictor;
+  std::size_t trained = 0;
+  double last_trusted = config_.initial_clearance_m;
+
+  // Rollback snapshot at verified-clean challenges (same policy as the
+  // radar pipeline).
+  estimation::RlsArPredictor snapshot = predictor;
+  std::size_t snapshot_trained = 0;
+  double snapshot_last = last_trusted;
+  std::int64_t snapshot_step = -1;
+
+  double clearance = config_.initial_clearance_m;
+  ParkingResult result;
+
+  for (std::int64_t k = 0; k < config_.horizon_steps; ++k) {
+    const double t = static_cast<double>(k) * config_.sample_time_s;
+    const bool challenge = schedule_->is_challenge(k);
+    // Post-collision the run is frozen and the attacker stops radiating;
+    // scoring must match what actually reaches the receiver.
+    const bool attack_active = attack_ &&
+                               attack_->window.contains(static_cast<double>(k)) &&
+                               !result.collided;
+
+    // --- Acoustic/optical scene.
+    radar::EchoScene scene;
+    scene.tx_enabled = !challenge;
+    scene.noise_power_w = config_.sensor.noise_floor_w;
+    const bool in_window = clearance >= config_.sensor.min_range_m &&
+                           clearance <= config_.sensor.max_range_m;
+    if (scene.tx_enabled && in_window && !result.collided) {
+      scene.echoes.push_back(radar::EchoComponent{
+          .distance_m = clearance,
+          .range_rate_mps = 0.0,
+          .power_w = 0.0,  // sensor's own link budget
+      });
+    }
+    if (attack_active && !result.collided) {
+      if (attack_->kind == ParkingAttack::Kind::kSpoof) {
+        // Counterfeit replaces the genuine echo and persists through
+        // challenge slots (replay latency, Section 5.2).
+        scene.echoes.clear();
+        scene.echoes.push_back(radar::EchoComponent{
+            .distance_m = clearance + attack_->spoof_offset_m,
+            .range_rate_mps = 0.0,
+            .power_w =
+                10.0 * sensors::tof_received_power_w(
+                           config_.sensor,
+                           std::max(clearance, config_.sensor.min_range_m)),
+        });
+      } else {
+        scene.noise_power_w += attack_->blinder_power_w;
+      }
+    }
+
+    const auto meas = sensor.measure(scene);
+    const auto decision = detector.observe_scored(
+        k, challenge, meas.nonzero_output(), attack_active);
+
+    if (decision.attack_started && snapshot_step >= 0 &&
+        config_.defense_enabled) {
+      predictor = snapshot;
+      trained = snapshot_trained;
+      last_trusted = snapshot_last;
+      for (std::int64_t j = snapshot_step + 1; j < k; ++j) {
+        last_trusted = std::max(predictor.predict_next(), 0.0);
+      }
+    }
+
+    // --- Clearance estimate consumed by the controller.
+    double used;
+    if (config_.defense_enabled && (decision.under_attack || challenge)) {
+      if (trained >= config_.min_training_samples) {
+        used = std::max(predictor.predict_next(), 0.0);
+      } else {
+        used = last_trusted;
+      }
+      if (challenge && !decision.under_attack && !decision.attack_started) {
+        snapshot = predictor;
+        snapshot_trained = trained;
+        snapshot_last = last_trusted;
+        snapshot_step = k;
+      }
+    } else if (meas.target_detected) {
+      used = meas.distance_m;
+      if (config_.defense_enabled) {
+        predictor.observe(used);
+        ++trained;
+      }
+      last_trusted = used;
+    } else {
+      // Blind epoch (challenge without defense, dropout, or jam): hold.
+      used = last_trusted;
+    }
+
+    // --- Proportional approach control.
+    const double v_cmd = std::clamp(
+        config_.approach_gain * (used - config_.stop_distance_m), 0.0,
+        config_.max_speed_mps);
+    if (!result.collided) {
+      clearance -= v_cmd * config_.sample_time_s;
+      if (clearance <= 0.0) {
+        clearance = 0.0;
+        result.collided = true;
+      }
+    }
+
+    result.trace.append_row({t, clearance,
+                             meas.target_detected ? meas.distance_m : 0.0,
+                             used, v_cmd, challenge ? 1.0 : 0.0,
+                             decision.under_attack ? 1.0 : 0.0});
+  }
+
+  result.final_clearance_m = clearance;
+  result.detection_step = detector.detection_step();
+  result.detection_stats = detector.stats();
+  return result;
+}
+
+}  // namespace safe::core

@@ -1,0 +1,143 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "estimation/rls_predictor.hpp"
+
+namespace safe::core {
+
+SafeMeasurementPipeline::SafeMeasurementPipeline(
+    std::shared_ptr<const cra::ChallengeSchedule> schedule,
+    estimation::SeriesPredictorPtr distance_predictor,
+    estimation::SeriesPredictorPtr velocity_predictor,
+    const PipelineOptions& options)
+    : modulator_(std::move(schedule)),
+      distance_predictor_(std::move(distance_predictor)),
+      velocity_predictor_(std::move(velocity_predictor)),
+      options_(options) {
+  if (!distance_predictor_ || !velocity_predictor_) {
+    throw std::invalid_argument("SafeMeasurementPipeline: null predictor");
+  }
+}
+
+bool SafeMeasurementPipeline::probe_suppressed(std::int64_t step) const {
+  return !modulator_.tx_enabled(step);
+}
+
+SafeMeasurement SafeMeasurementPipeline::process(
+    std::int64_t step, const radar::RadarMeasurement& measurement) {
+  const cra::DetectionDecision decision = detector_.observe(
+      step, probe_suppressed(step), measurement.nonzero_output());
+  return finish(step, measurement, decision);
+}
+
+SafeMeasurement SafeMeasurementPipeline::process_scored(
+    std::int64_t step, const radar::RadarMeasurement& measurement,
+    bool attack_actually_active) {
+  const cra::DetectionDecision decision = detector_.observe_scored(
+      step, probe_suppressed(step), measurement.nonzero_output(),
+      attack_actually_active);
+  return finish(step, measurement, decision);
+}
+
+void SafeMeasurementPipeline::take_snapshot(std::int64_t step) {
+  snapshot_distance_ = distance_predictor_->clone();
+  snapshot_velocity_ = velocity_predictor_->clone();
+  snapshot_state_ = state_;
+  snapshot_step_ = step;
+}
+
+void SafeMeasurementPipeline::restore_snapshot(std::int64_t detection_step) {
+  if (!snapshot_step_) return;
+  distance_predictor_ = snapshot_distance_->clone();
+  velocity_predictor_ = snapshot_velocity_->clone();
+  state_ = snapshot_state_;
+  // Free-run across the quarantined interval (the samples between the last
+  // verified-clean challenge and detection are discarded as suspect). The
+  // snapshot already covers its own slot, so advance from the next step.
+  for (std::int64_t k = *snapshot_step_ + 1; k < detection_step; ++k) {
+    state_.last_distance = std::max(distance_predictor_->predict_next(), 0.0);
+    state_.last_velocity = velocity_predictor_->predict_next();
+  }
+}
+
+SafeMeasurement SafeMeasurementPipeline::finish(
+    std::int64_t step, const radar::RadarMeasurement& measurement,
+    const cra::DetectionDecision& decision) {
+  SafeMeasurement out;
+  out.challenge_slot = decision.challenge_slot;
+  out.under_attack = decision.under_attack;
+  out.attack_started = decision.attack_started;
+  out.attack_cleared = decision.attack_cleared;
+
+  if (decision.attack_started && options_.rollback_on_detection) {
+    restore_snapshot(step);
+  }
+
+  const bool can_estimate =
+      state_.had_target &&
+      state_.trained_samples >= options_.min_training_samples;
+
+  if (decision.under_attack || decision.challenge_slot) {
+    // No trustworthy radar data this epoch: hold over with the RLS
+    // estimates when trained, else repeat the last trusted values.
+    out.target_present = state_.had_target;
+    if (can_estimate) {
+      // Distances are physical ranges: clamp the free-run at zero.
+      out.distance_m = std::max(distance_predictor_->predict_next(), 0.0);
+      out.relative_velocity_mps = velocity_predictor_->predict_next();
+      out.estimated = true;
+      state_.last_distance = out.distance_m;
+      state_.last_velocity = out.relative_velocity_mps;
+    } else {
+      out.distance_m = state_.last_distance;
+      out.relative_velocity_mps = state_.last_velocity;
+      out.estimated = state_.had_target;
+    }
+    // A silent challenge re-verifies cleanliness; snapshot the rolled-
+    // forward state so the next detection quarantines from here.
+    if (decision.challenge_slot && !decision.under_attack &&
+        !decision.attack_started) {
+      take_snapshot(step);
+    }
+    return out;
+  }
+
+  // Clean, probing epoch: pass the radar measurement through.
+  if (measurement.coherent_echo) {
+    out.target_present = true;
+    out.distance_m = measurement.estimate.distance_m;
+    out.relative_velocity_mps = measurement.estimate.range_rate_mps;
+    distance_predictor_->observe(out.distance_m);
+    velocity_predictor_->observe(out.relative_velocity_mps);
+    ++state_.trained_samples;
+    state_.had_target = true;
+    state_.last_distance = out.distance_m;
+    state_.last_velocity = out.relative_velocity_mps;
+  } else {
+    out.target_present = false;
+  }
+  return out;
+}
+
+void SafeMeasurementPipeline::reset() {
+  detector_.reset();
+  distance_predictor_->reset();
+  velocity_predictor_->reset();
+  state_ = TrustedState{};
+  snapshot_distance_.reset();
+  snapshot_velocity_.reset();
+  snapshot_state_ = TrustedState{};
+  snapshot_step_.reset();
+}
+
+SafeMeasurementPipeline make_default_pipeline(
+    std::shared_ptr<const cra::ChallengeSchedule> schedule) {
+  return SafeMeasurementPipeline(
+      std::move(schedule),
+      std::make_unique<estimation::RlsArPredictor>(),
+      std::make_unique<estimation::RlsArPredictor>());
+}
+
+}  // namespace safe::core

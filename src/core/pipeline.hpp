@@ -1,0 +1,118 @@
+// SafeMeasurementPipeline: the paper's contribution glued together
+// (Algorithm 2 end to end).
+//
+// Per sample instant the pipeline
+//   1. gates the radar probe through the CRA modulator (m(t) p(t)),
+//   2. compares the receiver output against the expected silence at
+//      challenge slots (detection, Algorithm 2 lines 7-9),
+//   3. while clean, passes measurements through and trains one RLS
+//      predictor per channel (distance, relative velocity),
+//   4. while under attack, replaces the corrupted radar data with RLS
+//      free-run estimates (Algorithm 1) so the controller keeps receiving
+//      plausible inputs, and
+//   5. clears the attack state when a challenge comes back silent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cra/detector.hpp"
+#include "cra/modulator.hpp"
+#include "estimation/series_predictor.hpp"
+#include "radar/processor.hpp"
+
+namespace safe::core {
+
+/// What the pipeline hands to the controller each step.
+struct SafeMeasurement {
+  bool target_present = false;     ///< Controller should track a target.
+  double distance_m = 0.0;         ///< d (measured or estimated)
+  double relative_velocity_mps = 0.0;  ///< dv (measured or estimated)
+  bool estimated = false;          ///< Values came from the RLS holdover.
+  bool under_attack = false;       ///< Detector state after this step.
+  bool challenge_slot = false;     ///< Probe was suppressed this step.
+  bool attack_started = false;
+  bool attack_cleared = false;
+};
+
+struct PipelineOptions {
+  /// Minimum consecutive trusted samples before estimates are considered
+  /// trained enough to substitute for measurements.
+  std::size_t min_training_samples = 8;
+  /// Snapshot predictor state at every verified-clean challenge slot and
+  /// roll back to it on detection. Samples recorded between attack onset
+  /// and the detecting challenge are thereby quarantined: a stealthy offset
+  /// injected just before detection cannot bias the holdover estimates.
+  bool rollback_on_detection = true;
+};
+
+class SafeMeasurementPipeline {
+ public:
+  /// The pipeline owns its detector state; the modulator is shared with the
+  /// simulation (which uses it to gate the transmitter), and the two
+  /// predictors are injected so benches can swap estimators.
+  SafeMeasurementPipeline(std::shared_ptr<const cra::ChallengeSchedule> schedule,
+                          estimation::SeriesPredictorPtr distance_predictor,
+                          estimation::SeriesPredictorPtr velocity_predictor,
+                          const PipelineOptions& options = {});
+
+  /// True when the transmitter must stay silent at `step` (challenge slot).
+  [[nodiscard]] bool probe_suppressed(std::int64_t step) const;
+
+  /// Consumes the radar output for `step` and produces the safe measurement.
+  SafeMeasurement process(std::int64_t step,
+                          const radar::RadarMeasurement& measurement);
+
+  /// Same as process, with ground-truth attack activity for FP/FN scoring.
+  SafeMeasurement process_scored(std::int64_t step,
+                                 const radar::RadarMeasurement& measurement,
+                                 bool attack_actually_active);
+
+  [[nodiscard]] bool under_attack() const { return detector_.under_attack(); }
+  [[nodiscard]] std::optional<std::int64_t> detection_step() const {
+    return detector_.detection_step();
+  }
+  [[nodiscard]] const cra::DetectionStats& detection_stats() const {
+    return detector_.stats();
+  }
+  [[nodiscard]] const cra::ChallengeSchedule& schedule() const {
+    return modulator_.schedule();
+  }
+
+  void reset();
+
+ private:
+  SafeMeasurement finish(std::int64_t step,
+                         const radar::RadarMeasurement& measurement,
+                         const cra::DetectionDecision& decision);
+
+  /// Trusted-history bookkeeping shared between live and snapshot state.
+  struct TrustedState {
+    std::size_t trained_samples = 0;
+    bool had_target = false;
+    double last_distance = 0.0;
+    double last_velocity = 0.0;
+  };
+
+  void take_snapshot(std::int64_t step);
+  void restore_snapshot(std::int64_t detection_step);
+
+  cra::ProbeModulator modulator_;
+  cra::ChallengeResponseDetector detector_;
+  estimation::SeriesPredictorPtr distance_predictor_;
+  estimation::SeriesPredictorPtr velocity_predictor_;
+  PipelineOptions options_;
+  TrustedState state_;
+
+  estimation::SeriesPredictorPtr snapshot_distance_;
+  estimation::SeriesPredictorPtr snapshot_velocity_;
+  TrustedState snapshot_state_;
+  std::optional<std::int64_t> snapshot_step_;
+};
+
+/// Builds the paper's default pipeline: RLS-AR predictors on both channels
+/// over the given schedule.
+SafeMeasurementPipeline make_default_pipeline(
+    std::shared_ptr<const cra::ChallengeSchedule> schedule);
+
+}  // namespace safe::core

@@ -1,0 +1,64 @@
+#include "core/scenario.hpp"
+
+#include "attack/delay_injection.hpp"
+#include "attack/dos_jammer.hpp"
+#include "attack/window.hpp"
+#include "radar/link_budget.hpp"
+#include "sim/units.hpp"
+
+namespace safe::core {
+
+namespace units = safe::sim::units;
+
+Scenario make_paper_scenario(const ScenarioOptions& options) {
+  Scenario s;
+
+  s.config.leader_speed_mps = units::mph_to_mps(65.0);
+  s.config.follower_speed_mps = units::mph_to_mps(65.0);
+  s.config.initial_gap_m = 100.0;
+  s.config.horizon_steps = options.horizon_steps;
+  s.config.sample_time_s = 1.0;
+  s.config.seed = options.seed;
+  s.config.defense_enabled = options.defense_enabled;
+
+  s.config.acc.set_speed_mps = units::mph_to_mps(67.0);
+
+  s.config.radar.waveform = radar::bosch_lrr2_parameters();
+  s.config.radar.estimator = options.estimator;
+  s.config.radar.noise_floor_w =
+      radar::thermal_noise_power_w(s.config.radar.waveform);
+
+  switch (options.leader) {
+    case LeaderScenario::kConstantDecel:
+      s.leader = std::make_shared<vehicle::ConstantDecelProfile>();
+      break;
+    case LeaderScenario::kDecelThenAccel:
+      s.leader = std::make_shared<vehicle::DecelThenAccelProfile>();
+      break;
+  }
+
+  std::shared_ptr<const attack::SensorAttack> inner;
+  switch (options.attack) {
+    case AttackKind::kNone:
+      break;
+    case AttackKind::kDosJammer:
+      inner = std::make_shared<attack::DosJammerAttack>(
+          radar::JammerParameters{});
+      break;
+    case AttackKind::kDelayInjection:
+      inner = std::make_shared<attack::DelayInjectionAttack>(
+          attack::DelayInjectionConfig{});
+      break;
+  }
+  if (inner) {
+    s.attack = std::make_shared<attack::ScheduledAttack>(
+        std::move(inner), attack::AttackWindow{options.attack_start_s,
+                                               options.attack_end_s});
+  }
+
+  s.schedule = std::make_shared<cra::FixedChallengeSchedule>(
+      cra::paper_challenge_schedule(options.horizon_steps));
+  return s;
+}
+
+}  // namespace safe::core

@@ -1,0 +1,71 @@
+#include "cra/challenge.hpp"
+
+#include <stdexcept>
+
+namespace safe::cra {
+
+std::vector<std::int64_t> ChallengeSchedule::challenge_steps(
+    std::int64_t horizon) const {
+  std::vector<std::int64_t> steps;
+  for (std::int64_t k = 0; k < horizon; ++k) {
+    if (is_challenge(k)) steps.push_back(k);
+  }
+  return steps;
+}
+
+FixedChallengeSchedule::FixedChallengeSchedule(std::vector<std::int64_t> steps)
+    : steps_(steps.begin(), steps.end()) {
+  for (const std::int64_t s : steps_) {
+    if (s < 0) {
+      throw std::invalid_argument(
+          "FixedChallengeSchedule: steps must be non-negative");
+    }
+  }
+}
+
+bool FixedChallengeSchedule::is_challenge(std::int64_t step) const {
+  return steps_.contains(step);
+}
+
+PrbsChallengeSchedule::PrbsChallengeSchedule(std::uint16_t key,
+                                             std::uint32_t numer,
+                                             std::uint32_t denom,
+                                             std::int64_t horizon) {
+  if (horizon <= 0) {
+    throw std::invalid_argument("PrbsChallengeSchedule: horizon must be > 0");
+  }
+  dsp::Prbs prbs(key);
+  slots_.reserve(static_cast<std::size_t>(horizon));
+  for (std::int64_t k = 0; k < horizon; ++k) {
+    slots_.push_back(prbs.bernoulli(numer, denom));
+  }
+}
+
+bool PrbsChallengeSchedule::is_challenge(std::int64_t step) const {
+  if (step < 0 || static_cast<std::size_t>(step) >= slots_.size()) {
+    return false;
+  }
+  return slots_[static_cast<std::size_t>(step)];
+}
+
+double PrbsChallengeSchedule::challenge_rate() const {
+  if (slots_.empty()) return 0.0;
+  std::size_t count = 0;
+  for (const bool b : slots_) count += b ? 1u : 0u;
+  return static_cast<double>(count) / static_cast<double>(slots_.size());
+}
+
+FixedChallengeSchedule paper_challenge_schedule(std::int64_t horizon,
+                                                std::int64_t tail_period) {
+  if (tail_period <= 0) {
+    throw std::invalid_argument(
+        "paper_challenge_schedule: tail period must be > 0");
+  }
+  std::vector<std::int64_t> steps{15, 50, 175};
+  for (std::int64_t k = 182; k < horizon; k += tail_period) {
+    steps.push_back(k);
+  }
+  return FixedChallengeSchedule(std::move(steps));
+}
+
+}  // namespace safe::cra

@@ -1,0 +1,69 @@
+// Challenge schedules for challenge-response authentication (Section 5.2).
+//
+// A schedule decides at which discrete sample instants k the probe signal is
+// suppressed (m(t) = 0 for t in T_c). The paper uses pseudo-random times
+// (k = 15, 50, 175, ... in the case study); we provide both that fixed list
+// and a PRBS-driven Bernoulli schedule.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dsp/prbs.hpp"
+
+namespace safe::cra {
+
+/// Decides which discrete steps are challenge (probe-suppressed) slots.
+class ChallengeSchedule {
+ public:
+  virtual ~ChallengeSchedule() = default;
+
+  /// True when step k is a challenge slot (t in T_c).
+  [[nodiscard]] virtual bool is_challenge(std::int64_t step) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// All challenge steps within [0, horizon).
+  [[nodiscard]] std::vector<std::int64_t> challenge_steps(
+      std::int64_t horizon) const;
+};
+
+/// Explicit list of challenge steps — the paper's {15, 50, 175, ...}.
+class FixedChallengeSchedule final : public ChallengeSchedule {
+ public:
+  explicit FixedChallengeSchedule(std::vector<std::int64_t> steps);
+
+  [[nodiscard]] bool is_challenge(std::int64_t step) const override;
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+
+ private:
+  std::set<std::int64_t> steps_;
+};
+
+/// PRBS-driven Bernoulli schedule: each step is a challenge with probability
+/// numer/denom, decided by a keyed LFSR stream the attacker cannot predict.
+class PrbsChallengeSchedule final : public ChallengeSchedule {
+ public:
+  PrbsChallengeSchedule(std::uint16_t key, std::uint32_t numer,
+                        std::uint32_t denom, std::int64_t horizon);
+
+  [[nodiscard]] bool is_challenge(std::int64_t step) const override;
+  [[nodiscard]] std::string name() const override { return "prbs"; }
+
+  [[nodiscard]] double challenge_rate() const;
+
+ private:
+  std::vector<bool> slots_;  // precomputed over [0, horizon)
+};
+
+/// Paper case-study schedule: challenges at k = 15, 50, 175 (the instants
+/// visible as zero-spikes in Figures 2-3) plus a tail at k = 182, 182 +
+/// tail_period, ... so the attacks starting at k = 180-182 are caught at
+/// k = 182 exactly as the paper reports.
+FixedChallengeSchedule paper_challenge_schedule(std::int64_t horizon,
+                                                std::int64_t tail_period = 7);
+
+}  // namespace safe::cra

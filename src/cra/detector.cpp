@@ -1,0 +1,53 @@
+#include "cra/detector.hpp"
+
+namespace safe::cra {
+
+DetectionDecision ChallengeResponseDetector::observe(std::int64_t step,
+                                                     bool challenge_slot,
+                                                     bool receiver_nonzero) {
+  DetectionDecision decision;
+  decision.challenge_slot = challenge_slot;
+
+  if (challenge_slot) {
+    if (!under_attack_ && receiver_nonzero) {
+      under_attack_ = true;
+      detection_step_ = step;
+      decision.attack_started = true;
+    } else if (under_attack_ && !receiver_nonzero) {
+      under_attack_ = false;
+      decision.attack_cleared = true;
+    }
+  }
+  decision.under_attack = under_attack_;
+  return decision;
+}
+
+DetectionDecision ChallengeResponseDetector::observe_scored(
+    std::int64_t step, bool challenge_slot, bool receiver_nonzero,
+    bool attack_actually_active) {
+  const DetectionDecision decision =
+      observe(step, challenge_slot, receiver_nonzero);
+  if (challenge_slot) {
+    ++stats_.challenges;
+    // Score the raw per-challenge comparison: did "non-zero output" agree
+    // with "attack active"? (The paper's no-FP/no-FN claim.)
+    if (receiver_nonzero && attack_actually_active) {
+      ++stats_.true_positives;
+    } else if (receiver_nonzero && !attack_actually_active) {
+      ++stats_.false_positives;
+    } else if (!receiver_nonzero && attack_actually_active) {
+      ++stats_.false_negatives;
+    } else {
+      ++stats_.true_negatives;
+    }
+  }
+  return decision;
+}
+
+void ChallengeResponseDetector::reset() {
+  under_attack_ = false;
+  detection_step_.reset();
+  stats_ = DetectionStats{};
+}
+
+}  // namespace safe::cra

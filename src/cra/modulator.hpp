@@ -1,0 +1,42 @@
+// Probe modulator: p'(t) = m(t) p(t) (Section 5.2).
+//
+// The modulator is the only hardware change CRA requires: the radar's
+// modulation unit gains a binary gate driven by the challenge schedule. When
+// m(k) = 0 the probe is suppressed and a trusted environment must return
+// silence at the corresponding sample instant.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "cra/challenge.hpp"
+
+namespace safe::cra {
+
+class ProbeModulator {
+ public:
+  explicit ProbeModulator(std::shared_ptr<const ChallengeSchedule> schedule)
+      : schedule_(std::move(schedule)) {
+    if (!schedule_) {
+      throw std::invalid_argument("ProbeModulator: null schedule");
+    }
+  }
+
+  /// m(k): 0 in challenge slots, 1 otherwise.
+  [[nodiscard]] int modulation(std::int64_t step) const {
+    return schedule_->is_challenge(step) ? 0 : 1;
+  }
+
+  /// Whether the transmitter radiates at step k (m(k) == 1).
+  [[nodiscard]] bool tx_enabled(std::int64_t step) const {
+    return modulation(step) == 1;
+  }
+
+  [[nodiscard]] const ChallengeSchedule& schedule() const { return *schedule_; }
+
+ private:
+  std::shared_ptr<const ChallengeSchedule> schedule_;
+};
+
+}  // namespace safe::cra

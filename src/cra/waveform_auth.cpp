@@ -1,0 +1,117 @@
+#include "cra/waveform_auth.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace safe::cra {
+
+WaveformModulator::WaveformModulator(std::uint16_t key,
+                                     const WaveformAuthOptions& options)
+    : options_(options), prbs_(key) {
+  if (options_.chip_length == 0) {
+    throw std::invalid_argument("WaveformModulator: chip length must be >= 1");
+  }
+  if (options_.suppress_denom == 0 ||
+      options_.suppress_numer > options_.suppress_denom) {
+    throw std::invalid_argument("WaveformModulator: bad suppression ratio");
+  }
+  if (options_.violation_factor <= 1.0) {
+    throw std::invalid_argument(
+        "WaveformModulator: violation factor must exceed 1");
+  }
+  if (options_.violated_chip_fraction <= 0.0 ||
+      options_.violated_chip_fraction > 1.0) {
+    throw std::invalid_argument(
+        "WaveformModulator: violated fraction must be in (0, 1]");
+  }
+}
+
+std::vector<bool> WaveformModulator::next_mask(std::size_t num_samples) {
+  std::vector<bool> mask(num_samples, true);
+  for (std::size_t start = 0; start < num_samples;
+       start += options_.chip_length) {
+    const bool suppress =
+        prbs_.bernoulli(options_.suppress_numer, options_.suppress_denom);
+    if (suppress) {
+      const std::size_t end =
+          std::min(start + options_.chip_length, num_samples);
+      for (std::size_t i = start; i < end; ++i) mask[i] = false;
+    }
+  }
+  return mask;
+}
+
+void apply_mask(dsp::ComplexSignal& signal, const std::vector<bool>& mask) {
+  if (signal.size() != mask.size()) {
+    throw std::invalid_argument("apply_mask: length mismatch");
+  }
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    if (!mask[i]) signal[i] = dsp::Complex{};
+  }
+}
+
+dsp::ComplexSignal replay_with_latency(const dsp::ComplexSignal& clean_echo,
+                                       const std::vector<bool>& mask,
+                                       std::size_t attacker_latency_samples) {
+  if (clean_echo.size() != mask.size()) {
+    throw std::invalid_argument("replay_with_latency: length mismatch");
+  }
+  // The attacker observes the probe and keys its own transmitter from it,
+  // but its decision about sample i is based on the probe state at
+  // i - latency: during the first `latency` samples of a suppressed run it
+  // is still transmitting, and during the first `latency` samples of a
+  // radiating run it is still silent.
+  dsp::ComplexSignal received(clean_echo.size());
+  for (std::size_t i = 0; i < clean_echo.size(); ++i) {
+    const std::size_t lagged =
+        i >= attacker_latency_samples ? i - attacker_latency_samples : 0;
+    const bool attacker_on =
+        i < attacker_latency_samples ? mask.front() : mask[lagged];
+    if (attacker_on) received[i] = clean_echo[i];
+  }
+  return received;
+}
+
+WaveformAuthResult verify_epoch(const dsp::ComplexSignal& received,
+                                const std::vector<bool>& mask,
+                                double noise_floor_w,
+                                const WaveformAuthOptions& options) {
+  if (received.size() != mask.size()) {
+    throw std::invalid_argument("verify_epoch: length mismatch");
+  }
+  if (noise_floor_w <= 0.0) {
+    throw std::invalid_argument("verify_epoch: noise floor must be > 0");
+  }
+
+  WaveformAuthResult result;
+  for (std::size_t start = 0; start < mask.size();
+       start += options.chip_length) {
+    const std::size_t end = std::min(start + options.chip_length, mask.size());
+    bool fully_suppressed = true;
+    for (std::size_t i = start; i < end; ++i) {
+      if (mask[i]) {
+        fully_suppressed = false;
+        break;
+      }
+    }
+    if (!fully_suppressed) continue;
+
+    ++result.suppressed_chips;
+    double power = 0.0;
+    for (std::size_t i = start; i < end; ++i) power += std::norm(received[i]);
+    power /= static_cast<double>(end - start);
+    if (power > options.violation_factor * noise_floor_w) {
+      ++result.violated_chips;
+    }
+  }
+
+  result.attack_detected =
+      result.suppressed_chips > 0 &&
+      static_cast<double>(result.violated_chips) >=
+          options.violated_chip_fraction *
+              static_cast<double>(result.suppressed_chips);
+  return result;
+}
+
+}  // namespace safe::cra

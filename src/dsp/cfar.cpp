@@ -1,0 +1,47 @@
+#include "dsp/cfar.hpp"
+
+#include <stdexcept>
+
+namespace safe::dsp {
+
+std::vector<CfarDetection> cfar_detect(const RealSignal& power_spectrum,
+                                       const CfarOptions& options) {
+  if (options.training_cells == 0) {
+    throw std::invalid_argument("cfar_detect: need training cells");
+  }
+  if (options.threshold_factor <= 0.0) {
+    throw std::invalid_argument("cfar_detect: threshold factor must be > 0");
+  }
+  const std::size_t n = power_spectrum.size();
+  const std::size_t window = options.guard_cells + options.training_cells;
+  if (n == 0 || 2 * window + 1 > n) {
+    throw std::invalid_argument("cfar_detect: spectrum shorter than window");
+  }
+
+  std::vector<CfarDetection> detections;
+  for (std::size_t cut = 0; cut < n; ++cut) {
+    double noise = 0.0;
+    for (std::size_t off = options.guard_cells + 1; off <= window; ++off) {
+      noise += power_spectrum[(cut + off) % n];
+      noise += power_spectrum[(cut + n - off) % n];
+    }
+    noise /= static_cast<double>(2 * options.training_cells);
+
+    const double cell = power_spectrum[cut];
+    if (cell <= options.threshold_factor * noise) continue;
+    // Local-maximum suppression within the guard region.
+    bool is_peak = true;
+    for (std::size_t off = 1; off <= options.guard_cells && is_peak; ++off) {
+      if (power_spectrum[(cut + off) % n] > cell ||
+          power_spectrum[(cut + n - off) % n] > cell) {
+        is_peak = false;
+      }
+    }
+    if (is_peak) {
+      detections.push_back(CfarDetection{cut, cell, noise});
+    }
+  }
+  return detections;
+}
+
+}  // namespace safe::dsp

@@ -1,0 +1,38 @@
+// Cell-averaging CFAR (constant false-alarm rate) detection.
+//
+// Real FMCW receivers do not use fixed power thresholds: each range bin is
+// compared against the noise level estimated from its neighbours, which
+// keeps the false-alarm rate constant as the noise floor moves (e.g. under
+// partial jamming). Provided both as a realistic detection stage for the
+// radar spectrum and as the statistical backbone for choosing the
+// peak-to-average coherence threshold in the processor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+namespace safe::dsp {
+
+struct CfarOptions {
+  std::size_t guard_cells = 2;     ///< Cells adjacent to the CUT to skip.
+  std::size_t training_cells = 8;  ///< Cells per side used for the estimate.
+  double threshold_factor = 12.0;  ///< Scale over the local noise estimate.
+};
+
+/// One CFAR detection.
+struct CfarDetection {
+  std::size_t bin = 0;
+  double power = 0.0;
+  double noise_estimate = 0.0;
+};
+
+/// Runs CA-CFAR over a power spectrum (wrapping at the edges, appropriate
+/// for FFT bins). Returns detections where power > factor * local noise,
+/// keeping only local maxima so one physical peak yields one detection.
+/// Throws std::invalid_argument for degenerate window configurations.
+std::vector<CfarDetection> cfar_detect(const RealSignal& power_spectrum,
+                                       const CfarOptions& options = {});
+
+}  // namespace safe::dsp

@@ -1,0 +1,54 @@
+#include "dsp/covariance.hpp"
+
+#include <stdexcept>
+
+namespace safe::dsp {
+
+using linalg::CMatrix;
+
+CMatrix sample_covariance(const ComplexSignal& signal, std::size_t order) {
+  if (order == 0) {
+    throw std::invalid_argument("sample_covariance: order must be >= 1");
+  }
+  if (signal.size() < order) {
+    throw std::invalid_argument("sample_covariance: signal shorter than order");
+  }
+  const std::size_t snapshots = signal.size() - order + 1;
+  CMatrix r(order, order);
+  for (std::size_t n = 0; n < snapshots; ++n) {
+    for (std::size_t i = 0; i < order; ++i) {
+      const Complex yi = signal[n + i];
+      for (std::size_t j = 0; j < order; ++j) {
+        r(i, j) += yi * std::conj(signal[n + j]);
+      }
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(snapshots);
+  for (std::size_t i = 0; i < order; ++i) {
+    for (std::size_t j = 0; j < order; ++j) r(i, j) *= scale;
+  }
+  return r;
+}
+
+CMatrix exchange_conjugate(const CMatrix& r) {
+  const std::size_t n = r.rows();
+  CMatrix out(n, r.cols());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < r.cols(); ++j) {
+      out(i, j) = std::conj(r(n - 1 - i, r.cols() - 1 - j));
+    }
+  }
+  return out;
+}
+
+CMatrix forward_backward_covariance(const ComplexSignal& signal,
+                                    std::size_t order) {
+  const CMatrix fwd = sample_covariance(signal, order);
+  const CMatrix bwd = exchange_conjugate(fwd);
+  CMatrix avg = fwd;
+  avg += bwd;
+  avg *= Complex{0.5, 0.0};
+  return avg;
+}
+
+}  // namespace safe::dsp

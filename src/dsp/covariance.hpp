@@ -1,0 +1,27 @@
+// Sample covariance estimation for subspace methods.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/fft.hpp"
+#include "linalg/matrix.hpp"
+
+namespace safe::dsp {
+
+/// Forward-only sample covariance of order `order` built from overlapping
+/// snapshots y(n) = [x(n), x(n+1), ..., x(n+order-1)]^T:
+///   R = 1/(N-order+1) * sum_n y(n) y(n)^H.
+/// Throws std::invalid_argument when the signal is shorter than `order`.
+linalg::CMatrix sample_covariance(const ComplexSignal& signal,
+                                  std::size_t order);
+
+/// Forward-backward averaged covariance R_fb = (R + J conj(R) J) / 2 where J
+/// is the exchange matrix. Halves the variance of the estimate and enforces
+/// the persymmetry MUSIC expects; this is what MATLAB's rootmusic uses.
+linalg::CMatrix forward_backward_covariance(const ComplexSignal& signal,
+                                            std::size_t order);
+
+/// J conj(R) J for a square matrix (exchange-conjugate reflection).
+linalg::CMatrix exchange_conjugate(const linalg::CMatrix& r);
+
+}  // namespace safe::dsp

@@ -1,0 +1,80 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace safe::dsp {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1U;
+  return p;
+}
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+namespace {
+
+void fft_core(ComplexSignal& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n)) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1U;
+    for (; j & bit; bit >>= 1U) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  // Danielson-Lanczos butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1U) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen = std::polar(1.0, angle);
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& xi : x) xi *= inv_n;
+  }
+}
+
+}  // namespace
+
+void fft_inplace(ComplexSignal& x) { fft_core(x, /*inverse=*/false); }
+
+void ifft_inplace(ComplexSignal& x) { fft_core(x, /*inverse=*/true); }
+
+ComplexSignal fft(const ComplexSignal& x, std::size_t min_size) {
+  ComplexSignal padded = x;
+  padded.resize(std::max(next_pow2(x.size()), next_pow2(min_size)));
+  fft_inplace(padded);
+  return padded;
+}
+
+ComplexSignal fft(const RealSignal& x, std::size_t min_size) {
+  ComplexSignal cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex{x[i], 0.0};
+  return fft(cx, min_size);
+}
+
+RealSignal power_spectrum(const ComplexSignal& spectrum) {
+  RealSignal p(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i) {
+    p[i] = std::norm(spectrum[i]);
+  }
+  return p;
+}
+
+}  // namespace safe::dsp

@@ -1,0 +1,149 @@
+#include "dsp/levinson.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace safe::dsp {
+
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag) {
+  if (series.empty()) {
+    throw std::invalid_argument("autocorrelation: empty series");
+  }
+  if (max_lag >= series.size()) {
+    throw std::invalid_argument("autocorrelation: lag exceeds series");
+  }
+  std::vector<double> r(max_lag + 1, 0.0);
+  const double n = static_cast<double>(series.size());
+  for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    for (std::size_t i = lag; i < series.size(); ++i) {
+      acc += series[i] * series[i - lag];
+    }
+    r[lag] = acc / n;  // biased estimator: guarantees a PSD sequence
+  }
+  return r;
+}
+
+ArFit levinson_durbin(const std::vector<double>& autocorr,
+                      std::size_t order) {
+  if (order == 0) {
+    throw std::invalid_argument("levinson_durbin: order must be >= 1");
+  }
+  if (autocorr.size() <= order) {
+    throw std::invalid_argument("levinson_durbin: need order+1 lags");
+  }
+
+  ArFit fit;
+  fit.coefficients.assign(order, 0.0);
+  fit.reflection.reserve(order);
+  double error = autocorr[0];
+  if (error <= 0.0) {
+    // Degenerate (all-zero) series: the zero model is the right answer.
+    fit.error_power = 0.0;
+    fit.reflection.assign(order, 0.0);
+    return fit;
+  }
+
+  std::vector<double> a(order, 0.0);
+  for (std::size_t m = 0; m < order; ++m) {
+    double acc = autocorr[m + 1];
+    for (std::size_t i = 0; i < m; ++i) {
+      acc -= a[i] * autocorr[m - i];
+    }
+    const double k = acc / error;
+    fit.reflection.push_back(k);
+
+    std::vector<double> next = a;
+    next[m] = k;
+    for (std::size_t i = 0; i < m; ++i) {
+      next[i] = a[i] - k * a[m - 1 - i];
+    }
+    a = std::move(next);
+    error *= (1.0 - k * k);
+    if (error <= 0.0) {
+      error = 0.0;
+      break;
+    }
+  }
+  fit.coefficients = std::move(a);
+  fit.error_power = error;
+  return fit;
+}
+
+LevinsonPredictor::LevinsonPredictor(std::size_t order, std::size_t window)
+    : order_(order), window_(window) {
+  if (order_ == 0) {
+    throw std::invalid_argument("LevinsonPredictor: order must be >= 1");
+  }
+  if (window_ < 4 * order_) {
+    throw std::invalid_argument(
+        "LevinsonPredictor: window must be >= 4 * order");
+  }
+}
+
+void LevinsonPredictor::refit() {
+  if (diffs_.size() < 2 * order_ + 2) {
+    model_.clear();
+    mean_diff_ = diffs_.empty()
+                     ? 0.0
+                     : std::accumulate(diffs_.begin(), diffs_.end(), 0.0) /
+                           static_cast<double>(diffs_.size());
+    dirty_ = false;
+    return;
+  }
+  // Model the demeaned differences so the free-run steady state sits at
+  // the mean slope (same rationale as the RLS intercept).
+  mean_diff_ = std::accumulate(diffs_.begin(), diffs_.end(), 0.0) /
+               static_cast<double>(diffs_.size());
+  std::vector<double> centered(diffs_.size());
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    centered[i] = diffs_[i] - mean_diff_;
+  }
+  const auto r = autocorrelation(centered, order_);
+  model_ = levinson_durbin(r, order_).coefficients;
+  dirty_ = false;
+}
+
+void LevinsonPredictor::observe(double y) {
+  if (has_last_) {
+    diffs_.push_back(y - last_value_);
+    if (diffs_.size() > window_) {
+      diffs_.erase(diffs_.begin());
+    }
+    dirty_ = true;
+  }
+  last_value_ = y;
+  has_last_ = true;
+}
+
+double LevinsonPredictor::predict_next() {
+  if (!has_last_) return 0.0;
+  if (dirty_) refit();
+
+  double increment = mean_diff_;
+  if (!model_.empty() && diffs_.size() >= model_.size()) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < model_.size(); ++k) {
+      acc += model_[k] * (diffs_[diffs_.size() - 1 - k] - mean_diff_);
+    }
+    increment += acc;
+  }
+  diffs_.push_back(increment);
+  if (diffs_.size() > window_) diffs_.erase(diffs_.begin());
+  last_value_ += increment;
+  return last_value_;
+}
+
+void LevinsonPredictor::reset() {
+  diffs_.clear();
+  model_.clear();
+  mean_diff_ = 0.0;
+  last_value_ = 0.0;
+  has_last_ = false;
+  dirty_ = true;
+}
+
+}  // namespace safe::dsp

@@ -1,0 +1,67 @@
+// Levinson-Durbin recursion: autocorrelation-method AR model fitting.
+//
+// Fits an AR(p) linear predictor from the sample autocorrelation in O(p^2)
+// — the classical batch counterpart of the RLS filter of Algorithm 1, and
+// the engine behind the LevinsonPredictor baseline used in the estimator
+// ablation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "estimation/series_predictor.hpp"
+
+namespace safe::dsp {
+
+/// Biased sample autocorrelation r[0..max_lag] of a real series.
+std::vector<double> autocorrelation(const std::vector<double>& series,
+                                    std::size_t max_lag);
+
+/// Result of the Levinson-Durbin recursion.
+struct ArFit {
+  /// Prediction coefficients: x_hat[n] = sum_k coeffs[k] * x[n-1-k].
+  std::vector<double> coefficients;
+  /// Final prediction-error power.
+  double error_power = 0.0;
+  /// Reflection coefficients (|k_i| < 1 iff the model is minimum phase).
+  std::vector<double> reflection;
+};
+
+/// Solves the Yule-Walker equations for an AR(`order`) model given the
+/// autocorrelation sequence (r.size() must exceed `order`). Throws
+/// std::invalid_argument on degenerate input; a zero-lag autocorrelation of
+/// zero (constant-zero series) yields an all-zero model.
+ArFit levinson_durbin(const std::vector<double>& autocorr, std::size_t order);
+
+/// SeriesPredictor built on block-refitted Levinson AR models: maintains a
+/// sliding window of trusted samples, refits on demand, and free-runs the
+/// AR model during holdover. Works on first differences like the RLS
+/// default so ramps extrapolate.
+class LevinsonPredictor final : public estimation::SeriesPredictor {
+ public:
+  explicit LevinsonPredictor(std::size_t order = 4,
+                             std::size_t window = 64);
+
+  void observe(double y) override;
+  double predict_next() override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<SeriesPredictor> clone() const override {
+    return std::make_unique<LevinsonPredictor>(*this);
+  }
+  [[nodiscard]] std::string name() const override { return "levinson-ar"; }
+
+ private:
+  void refit();
+
+  std::size_t order_;
+  std::size_t window_;
+  std::vector<double> diffs_;   ///< Sliding window of differences.
+  std::vector<double> model_;   ///< AR coefficients (most recent lag first).
+  double mean_diff_ = 0.0;
+  double last_value_ = 0.0;
+  bool has_last_ = false;
+  bool dirty_ = true;
+};
+
+}  // namespace safe::dsp

@@ -1,0 +1,45 @@
+#include "dsp/prbs.hpp"
+
+#include <stdexcept>
+
+namespace safe::dsp {
+
+Prbs::Prbs(std::uint16_t seed) : state_(seed == 0 ? std::uint16_t{0xACE1u} : seed) {}
+
+bool Prbs::next_bit() {
+  // Fibonacci LFSR: feedback from taps 16, 14, 13, 11 (1-indexed from LSB).
+  const std::uint16_t bit = static_cast<std::uint16_t>(
+      ((state_ >> 0) ^ (state_ >> 2) ^ (state_ >> 3) ^ (state_ >> 5)) & 1u);
+  const bool out = (state_ & 1u) != 0;
+  state_ = static_cast<std::uint16_t>((state_ >> 1) | (bit << 15));
+  return out;
+}
+
+std::uint32_t Prbs::next_bits(unsigned bits) {
+  if (bits == 0 || bits > 32) {
+    throw std::invalid_argument("Prbs::next_bits: bits must be in [1, 32]");
+  }
+  std::uint32_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    value = (value << 1) | (next_bit() ? 1u : 0u);
+  }
+  return value;
+}
+
+bool Prbs::bernoulli(std::uint32_t numer, std::uint32_t denom) {
+  if (denom == 0 || numer > denom) {
+    throw std::invalid_argument("Prbs::bernoulli: need 0 <= numer <= denom");
+  }
+  // draw in [0, 2^16); compare against numer/denom scaled to that range.
+  const std::uint64_t draw = next_bits(16);
+  return draw * denom < static_cast<std::uint64_t>(numer) * 65536u;
+}
+
+std::vector<bool> prbs_sequence(std::uint16_t seed, std::size_t length) {
+  Prbs gen(seed);
+  std::vector<bool> bits(length);
+  for (std::size_t i = 0; i < length; ++i) bits[i] = gen.next_bit();
+  return bits;
+}
+
+}  // namespace safe::dsp

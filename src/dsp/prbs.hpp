@@ -1,0 +1,42 @@
+// Pseudo-random binary sequence generation (Fibonacci LFSR).
+//
+// The CRA probe modulator m(t) draws its challenge pattern from a PRBS so
+// that an attacker cannot predict which probe slots are suppressed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace safe::dsp {
+
+/// 16-bit maximal-length Fibonacci LFSR (taps 16,14,13,11 -> 0xB400).
+///
+/// Deterministic given its seed; a zero seed is remapped to a fixed nonzero
+/// state because the all-zero LFSR state is absorbing.
+class Prbs {
+ public:
+  explicit Prbs(std::uint16_t seed = 0xACE1u);
+
+  /// One pseudo-random bit.
+  bool next_bit();
+
+  /// `bits`-wide pseudo-random value (1..32 bits).
+  std::uint32_t next_bits(unsigned bits);
+
+  /// Bernoulli event with probability numer/denom (both >= 1, numer <=
+  /// denom); uses 16 PRBS bits of precision.
+  bool bernoulli(std::uint32_t numer, std::uint32_t denom);
+
+  [[nodiscard]] std::uint16_t state() const { return state_; }
+
+  /// Period of the maximal-length 16-bit LFSR.
+  static constexpr std::uint32_t kPeriod = 65535;
+
+ private:
+  std::uint16_t state_;
+};
+
+/// First `length` bits of the PRBS with the given seed.
+std::vector<bool> prbs_sequence(std::uint16_t seed, std::size_t length);
+
+}  // namespace safe::dsp

@@ -1,0 +1,47 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace safe::dsp {
+
+RealSignal make_window(WindowKind kind, std::size_t length) {
+  RealSignal w(length, 1.0);
+  if (length <= 1) return w;
+  const double denom = static_cast<double>(length - 1);
+  for (std::size_t n = 0; n < length; ++n) {
+    const double x = static_cast<double>(n) / denom;
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[n] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[n] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * x);
+        break;
+      case WindowKind::kHamming:
+        w[n] = 0.54 - 0.46 * std::cos(2.0 * std::numbers::pi * x);
+        break;
+      case WindowKind::kBlackman:
+        w[n] = 0.42 - 0.5 * std::cos(2.0 * std::numbers::pi * x) +
+               0.08 * std::cos(4.0 * std::numbers::pi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+double window_coherent_gain(const RealSignal& window) {
+  double acc = 0.0;
+  for (const double w : window) acc += w;
+  return acc;
+}
+
+void apply_window(ComplexSignal& signal, const RealSignal& window) {
+  if (signal.size() != window.size()) {
+    throw std::invalid_argument("apply_window: length mismatch");
+  }
+  for (std::size_t i = 0; i < signal.size(); ++i) signal[i] *= window[i];
+}
+
+}  // namespace safe::dsp

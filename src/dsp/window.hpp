@@ -1,0 +1,29 @@
+// Window functions for spectral estimation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+namespace safe::dsp {
+
+enum class WindowKind {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Window coefficients of the given length (symmetric form).
+RealSignal make_window(WindowKind kind, std::size_t length);
+
+/// Sum of window coefficients (coherent gain * N); used to normalize
+/// amplitude estimates taken from windowed spectra.
+double window_coherent_gain(const RealSignal& window);
+
+/// Multiplies a complex signal by a real window in place.
+/// Throws std::invalid_argument on length mismatch.
+void apply_window(ComplexSignal& signal, const RealSignal& window);
+
+}  // namespace safe::dsp

@@ -1,0 +1,42 @@
+#include "estimation/chi_square.hpp"
+
+#include <stdexcept>
+
+namespace safe::estimation {
+
+ChiSquareDetector::ChiSquareDetector(KalmanModel model,
+                                     linalg::RVector initial_state,
+                                     linalg::RMatrix initial_covariance,
+                                     const ChiSquareOptions& options)
+    : options_(options),
+      filter_(std::move(model), std::move(initial_state),
+              std::move(initial_covariance)) {
+  if (!(options_.threshold > 0.0)) {
+    throw std::invalid_argument("ChiSquareDetector: threshold must be > 0");
+  }
+  if (options_.required_consecutive == 0) {
+    throw std::invalid_argument(
+        "ChiSquareDetector: required_consecutive must be >= 1");
+  }
+}
+
+ChiSquareDetector::Decision ChiSquareDetector::observe(
+    const linalg::RVector& y) {
+  if (primed_) filter_.predict();
+  primed_ = true;
+
+  Decision decision;
+  decision.statistic = filter_.innovation_statistic(y);
+  decision.alarmed = decision.statistic > options_.threshold;
+
+  if (decision.alarmed) {
+    ++consecutive_;
+  } else {
+    consecutive_ = 0;
+    filter_.correct(y);  // trust the measurement only when consistent
+  }
+  decision.under_attack = under_attack();
+  return decision;
+}
+
+}  // namespace safe::estimation

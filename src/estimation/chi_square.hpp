@@ -1,0 +1,53 @@
+// Chi-square innovation detector (the PyCRA-adjacent baseline).
+//
+// Shoukry et al. detect spoofing by thresholding the Mahalanobis norm of the
+// Kalman innovation. Unlike CRA it needs no transmitter modification, but it
+// is threshold-tuned: measurement noise causes false positives and stealthy
+// offsets (e.g. the +6 m delay injection) can stay under the threshold.
+// Included so the benches can demonstrate why the paper moved to CRA.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "estimation/kalman.hpp"
+
+namespace safe::estimation {
+
+struct ChiSquareOptions {
+  /// Alarm threshold on the innovation statistic (chi^2_1 quantile; 6.63 is
+  /// the 99% point for one output).
+  double threshold = 6.63;
+  /// Consecutive above-threshold samples required before declaring attack.
+  std::size_t required_consecutive = 1;
+};
+
+class ChiSquareDetector {
+ public:
+  ChiSquareDetector(KalmanModel model, linalg::RVector initial_state,
+                    linalg::RMatrix initial_covariance,
+                    const ChiSquareOptions& options = {});
+
+  /// Result of one step.
+  struct Decision {
+    double statistic = 0.0;
+    bool alarmed = false;        ///< This sample exceeded the threshold.
+    bool under_attack = false;   ///< Persistent detector state.
+  };
+
+  /// Feeds measurement y_k; runs predict + statistic + (conditional)
+  /// correct. While alarmed, the filter coasts (no correction) so the
+  /// attacker cannot drag the state estimate along.
+  Decision observe(const linalg::RVector& y);
+
+  [[nodiscard]] bool under_attack() const { return consecutive_ >= options_.required_consecutive; }
+  [[nodiscard]] const KalmanFilter& filter() const { return filter_; }
+
+ private:
+  ChiSquareOptions options_;
+  KalmanFilter filter_;
+  std::size_t consecutive_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace safe::estimation

@@ -1,0 +1,73 @@
+#include "estimation/kalman.hpp"
+
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace safe::estimation {
+
+using linalg::RMatrix;
+using linalg::RVector;
+
+KalmanFilter::KalmanFilter(KalmanModel model, RVector initial_state,
+                           RMatrix initial_covariance)
+    : model_(std::move(model)),
+      x_(std::move(initial_state)),
+      p_(std::move(initial_covariance)) {
+  const std::size_t n = model_.a.rows();
+  if (!model_.a.is_square() || n == 0) {
+    throw std::invalid_argument("KalmanFilter: A must be square");
+  }
+  if (model_.c.cols() != n || model_.c.rows() == 0) {
+    throw std::invalid_argument("KalmanFilter: C shape mismatch");
+  }
+  if (model_.q.rows() != n || model_.q.cols() != n) {
+    throw std::invalid_argument("KalmanFilter: Q shape mismatch");
+  }
+  const std::size_t m = model_.c.rows();
+  if (model_.r.rows() != m || model_.r.cols() != m) {
+    throw std::invalid_argument("KalmanFilter: R shape mismatch");
+  }
+  if (x_.size() != n || p_.rows() != n || p_.cols() != n) {
+    throw std::invalid_argument("KalmanFilter: initial state/covariance");
+  }
+}
+
+void KalmanFilter::predict() {
+  x_ = model_.a * x_;
+  p_ = model_.a * p_ * model_.a.transpose() + model_.q;
+}
+
+RVector KalmanFilter::correct(const RVector& y) {
+  if (y.size() != model_.c.rows()) {
+    throw std::invalid_argument("KalmanFilter::correct: output dimension");
+  }
+  const RMatrix ct = model_.c.transpose();
+  const RMatrix s = model_.c * p_ * ct + model_.r;
+  const linalg::LuDecomposition<double> lu(s);
+  if (lu.singular()) {
+    throw std::domain_error("KalmanFilter: singular innovation covariance");
+  }
+  // K = P C^T S^{-1}  computed as solving S K^T = C P^T.
+  const RMatrix k = (lu.solve(model_.c * p_.transpose())).transpose();
+
+  const RVector innovation = y - model_.c * x_;
+  x_ += k * innovation;
+  const RMatrix eye = RMatrix::identity(x_.size());
+  p_ = (eye - k * model_.c) * p_;
+  // Symmetrize against roundoff.
+  p_ = 0.5 * (p_ + p_.transpose());
+  return innovation;
+}
+
+double KalmanFilter::innovation_statistic(const RVector& y) const {
+  if (y.size() != model_.c.rows()) {
+    throw std::invalid_argument("KalmanFilter: output dimension");
+  }
+  const RMatrix s = model_.c * p_ * model_.c.transpose() + model_.r;
+  const RVector nu = y - model_.c * x_;
+  const RVector s_inv_nu = linalg::solve(s, nu);
+  return linalg::dot(nu, s_inv_nu);
+}
+
+}  // namespace safe::estimation

@@ -1,0 +1,49 @@
+// Discrete-time Kalman filter for LTI plants.
+//
+// Used both as an estimation baseline (constant-velocity model holdover)
+// and as the innovation source for the chi-square detector baseline
+// (PyCRA-style detection, Shoukry et al. [10] in the paper).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace safe::estimation {
+
+/// Model: x' = A x + w (process noise cov Q), y = C x + v (cov R).
+struct KalmanModel {
+  linalg::RMatrix a;
+  linalg::RMatrix c;
+  linalg::RMatrix q;
+  linalg::RMatrix r;
+};
+
+class KalmanFilter {
+ public:
+  /// Throws std::invalid_argument on inconsistent dimensions.
+  KalmanFilter(KalmanModel model, linalg::RVector initial_state,
+               linalg::RMatrix initial_covariance);
+
+  /// Time update: x = A x, P = A P A^T + Q.
+  void predict();
+
+  /// Measurement update with innovation bookkeeping. Returns the a-priori
+  /// innovation y - C x (before the state is corrected).
+  linalg::RVector correct(const linalg::RVector& y);
+
+  /// Squared Mahalanobis norm of the innovation for measurement y:
+  /// nu^T S^{-1} nu with S = C P C^T + R. Does not mutate state.
+  [[nodiscard]] double innovation_statistic(const linalg::RVector& y) const;
+
+  [[nodiscard]] const linalg::RVector& state() const { return x_; }
+  [[nodiscard]] const linalg::RMatrix& covariance() const { return p_; }
+  [[nodiscard]] linalg::RVector predicted_output() const {
+    return model_.c * x_;
+  }
+
+ private:
+  KalmanModel model_;
+  linalg::RVector x_;
+  linalg::RMatrix p_;
+};
+
+}  // namespace safe::estimation

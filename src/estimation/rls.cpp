@@ -1,0 +1,82 @@
+#include "estimation/rls.hpp"
+
+#include <stdexcept>
+
+namespace safe::estimation {
+
+using linalg::RMatrix;
+using linalg::RVector;
+
+RlsFilter::RlsFilter(std::size_t dimension, const RlsOptions& options)
+    : options_(options),
+      w_(dimension),
+      p_(RMatrix::scaled_identity(dimension, options.initial_covariance)) {
+  if (dimension == 0) {
+    throw std::invalid_argument("RlsFilter: dimension must be >= 1");
+  }
+  if (!(options.forgetting_factor > 0.0) || options.forgetting_factor > 1.0) {
+    throw std::invalid_argument("RlsFilter: lambda must be in (0, 1]");
+  }
+  if (!(options.initial_covariance > 0.0)) {
+    throw std::invalid_argument("RlsFilter: delta must be > 0");
+  }
+}
+
+double RlsFilter::predict(const RVector& h) const {
+  if (h.size() != w_.size()) {
+    throw std::invalid_argument("RlsFilter::predict: dimension mismatch");
+  }
+  return linalg::dot(w_, h);
+}
+
+RlsUpdate RlsFilter::update(const RVector& h, double y) {
+  const std::size_t n = w_.size();
+  if (h.size() != n) {
+    throw std::invalid_argument("RlsFilter::update: dimension mismatch");
+  }
+  const double lambda = options_.forgetting_factor;
+
+  // g = h^T P (row vector, stored as RVector).
+  RVector g(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += h[i] * p_(i, j);
+    g[j] = acc;
+  }
+  const double gamma = lambda + linalg::dot(g, h);
+
+  // Gain j = g^T / gamma.
+  RVector gain = g;
+  gain /= gamma;
+
+  RlsUpdate result;
+  result.prediction = linalg::dot(w_, h);
+  result.error = y - result.prediction;
+  result.gamma = gamma;
+
+  for (std::size_t i = 0; i < n; ++i) w_[i] += gain[i] * result.error;
+
+  // P = (P - j g) / lambda, then enforce symmetry against roundoff drift.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      p_(i, j) = (p_(i, j) - gain[i] * g[j]) / lambda;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double avg = 0.5 * (p_(i, j) + p_(j, i));
+      p_(i, j) = avg;
+      p_(j, i) = avg;
+    }
+  }
+  ++updates_;
+  return result;
+}
+
+void RlsFilter::reset() {
+  w_ = RVector(w_.size());
+  p_ = RMatrix::scaled_identity(w_.size(), options_.initial_covariance);
+  updates_ = 0;
+}
+
+}  // namespace safe::estimation

@@ -1,0 +1,61 @@
+// Recursive least squares (paper Algorithm 1, after Haykin).
+//
+// Per update with regressor h_k and measurement y_k:
+//   g     = h_k^T P_{k-1}
+//   gamma = lambda + g h_k
+//   j     = g^T / gamma            (gain vector)
+//   e     = y_k - w_{k-1}^T h_k    (a-priori error)
+//   w_k   = w_{k-1} + j e
+//   P_k   = (P_{k-1} - j g) / lambda
+//
+// with w_0 = 0 and P_0 = delta * I (the paper takes delta = 1).
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace safe::estimation {
+
+struct RlsOptions {
+  double forgetting_factor = 0.98;  ///< lambda in (0, 1].
+  double initial_covariance = 1.0;  ///< delta (P_0 = delta I).
+};
+
+/// One RLS update's byproducts.
+struct RlsUpdate {
+  double prediction = 0.0;  ///< w_{k-1}^T h_k (a-priori).
+  double error = 0.0;       ///< y_k - prediction.
+  double gamma = 0.0;       ///< Conversion factor lambda + g h.
+};
+
+class RlsFilter {
+ public:
+  /// `dimension` is the regressor length. Throws std::invalid_argument for
+  /// dimension 0, lambda outside (0, 1], or non-positive delta.
+  RlsFilter(std::size_t dimension, const RlsOptions& options = {});
+
+  /// Processes one (h, y) pair (Algorithm 1 lines 5-11).
+  RlsUpdate update(const linalg::RVector& h, double y);
+
+  /// A-priori prediction w^T h without mutating state.
+  [[nodiscard]] double predict(const linalg::RVector& h) const;
+
+  [[nodiscard]] const linalg::RVector& weights() const { return w_; }
+  [[nodiscard]] const linalg::RMatrix& covariance() const { return p_; }
+  [[nodiscard]] std::size_t dimension() const { return w_.size(); }
+  [[nodiscard]] double forgetting_factor() const {
+    return options_.forgetting_factor;
+  }
+  [[nodiscard]] std::size_t updates() const { return updates_; }
+
+  void reset();
+
+ private:
+  RlsOptions options_;
+  linalg::RVector w_;
+  linalg::RMatrix p_;
+  std::size_t updates_ = 0;
+};
+
+}  // namespace safe::estimation

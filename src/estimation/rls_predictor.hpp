@@ -1,0 +1,94 @@
+// RLS-based time-series predictors (the paper's estimator, Section 5.3).
+//
+// Two regressor choices are provided:
+//  * AR(p): h_k is built from the last p samples. By default the filter
+//    models first differences (ARIMA-style d = 1): ramps become stationary,
+//    so a long free-run through an attack window integrates the learned
+//    slope instead of accumulating drift. `difference = false` gives the
+//    textbook raw-value AR filter.
+//  * Polynomial-in-time: h_k = [1, t, t^2, ...]. RLS fits a trend curve;
+//    prediction evaluates the curve at future instants.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+#include "estimation/rls.hpp"
+#include "estimation/series_predictor.hpp"
+
+namespace safe::estimation {
+
+struct RlsArOptions {
+  std::size_t order = 4;  ///< p: number of past samples in h.
+  RlsOptions rls{};       ///< Forgetting factor / initial covariance.
+  /// Model first differences of the series instead of raw values.
+  bool difference = true;
+  /// Prepend a constant 1 to the regressor. With differencing this anchors
+  /// the free-run steady-state increment at the learned mean slope instead
+  /// of letting it decay toward zero on noisy data.
+  bool intercept = true;
+  /// Freeze weights while free-running (default). When false the filter
+  /// keeps adapting against its own predictions (self-confirming; exposed
+  /// for the ablation bench).
+  bool freeze_during_prediction = true;
+};
+
+class RlsArPredictor final : public SeriesPredictor {
+ public:
+  explicit RlsArPredictor(const RlsArOptions& options = {});
+
+  void observe(double y) override;
+  double predict_next() override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<SeriesPredictor> clone() const override {
+    return std::make_unique<RlsArPredictor>(*this);
+  }
+  [[nodiscard]] std::string name() const override {
+    return options_.difference ? "rls-ar-d1" : "rls-ar";
+  }
+
+  [[nodiscard]] const RlsFilter& filter() const { return filter_; }
+
+ private:
+  /// Regressor over the modeled series (raw values or differences),
+  /// most-recent-first with warm-up padding.
+  [[nodiscard]] linalg::RVector regressor() const;
+
+  /// Pushes a value of the modeled series (and trains when ready).
+  void ingest(double value, bool train);
+
+  RlsArOptions options_;
+  RlsFilter filter_;
+  std::deque<double> series_;  ///< Modeled series, most recent first.
+  double last_value_ = 0.0;    ///< Last raw value (for undifferencing).
+  bool has_last_ = false;
+};
+
+struct RlsPolyOptions {
+  std::size_t degree = 1;  ///< Trend polynomial degree (1 = linear).
+  RlsOptions rls{.forgetting_factor = 0.9, .initial_covariance = 100.0};
+  /// Time scale for numerical conditioning of t^n terms.
+  double time_scale = 100.0;
+};
+
+class RlsPolyPredictor final : public SeriesPredictor {
+ public:
+  explicit RlsPolyPredictor(const RlsPolyOptions& options = {});
+
+  void observe(double y) override;
+  double predict_next() override;
+  void reset() override;
+  [[nodiscard]] std::unique_ptr<SeriesPredictor> clone() const override {
+    return std::make_unique<RlsPolyPredictor>(*this);
+  }
+  [[nodiscard]] std::string name() const override { return "rls-poly"; }
+
+ private:
+  [[nodiscard]] linalg::RVector regressor(double t) const;
+
+  RlsPolyOptions options_;
+  RlsFilter filter_;
+  double next_time_ = 0.0;
+};
+
+}  // namespace safe::estimation

@@ -1,0 +1,40 @@
+// Common interface for one-dimensional time-series predictors.
+//
+// During normal operation predictors `observe` trusted measurements; during
+// an attack the pipeline calls `predict_next` repeatedly and feeds the
+// estimates to the controller (sensor holdover). The interface is shared by
+// the paper's RLS estimator and every baseline so that the ablation benches
+// can swap them freely.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace safe::estimation {
+
+class SeriesPredictor {
+ public:
+  virtual ~SeriesPredictor() = default;
+
+  /// Ingests a trusted measurement y_k (normal operation).
+  virtual void observe(double y) = 0;
+
+  /// One-step-ahead estimate; advances internal history with the estimate
+  /// so repeated calls free-run through an attack window.
+  virtual double predict_next() = 0;
+
+  /// Restores the just-constructed state.
+  virtual void reset() = 0;
+
+  /// Deep copy of the current state. The safe-measurement pipeline uses
+  /// clones to snapshot predictor state at verified-clean challenge slots
+  /// and roll back on detection, so samples recorded between attack onset
+  /// and detection cannot poison the holdover.
+  [[nodiscard]] virtual std::unique_ptr<SeriesPredictor> clone() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using SeriesPredictorPtr = std::unique_ptr<SeriesPredictor>;
+
+}  // namespace safe::estimation

@@ -1,0 +1,91 @@
+// Cholesky factorization of symmetric / Hermitian positive-definite matrices.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+
+#include "linalg/matrix.hpp"
+
+namespace safe::linalg {
+
+/// A = L L^H with L lower triangular.
+///
+/// Construction leaves `valid()` false (instead of throwing) when the matrix
+/// is not positive definite; covariance-matrix consumers use that as a
+/// numerical health check.
+template <typename T>
+class CholeskyDecomposition {
+ public:
+  explicit CholeskyDecomposition(const Matrix<T>& a) : l_(a.rows(), a.cols()) {
+    if (!a.is_square()) {
+      throw std::invalid_argument("Cholesky: matrix must be square");
+    }
+    const std::size_t n = a.rows();
+    for (std::size_t j = 0; j < n; ++j) {
+      // Diagonal entry: must come out real and strictly positive.
+      real_of_t<T> diag = std::real(std::complex<real_of_t<T>>(a(j, j)));
+      for (std::size_t k = 0; k < j; ++k) {
+        diag -= std::norm(std::complex<real_of_t<T>>(l_(j, k)));
+      }
+      if (!(diag > real_of_t<T>{})) {
+        valid_ = false;
+        return;
+      }
+      const real_of_t<T> ljj = std::sqrt(diag);
+      l_(j, j) = static_cast<T>(ljj);
+      for (std::size_t i = j + 1; i < n; ++i) {
+        T acc = a(i, j);
+        for (std::size_t k = 0; k < j; ++k) {
+          acc -= l_(i, k) * conj_scalar(l_(j, k));
+        }
+        l_(i, j) = acc / static_cast<T>(ljj);
+      }
+    }
+    valid_ = true;
+  }
+
+  /// True when the input was (numerically) positive definite.
+  [[nodiscard]] bool valid() const { return valid_; }
+
+  [[nodiscard]] const Matrix<T>& lower() const { return l_; }
+  [[nodiscard]] std::size_t size() const { return l_.rows(); }
+
+  /// Solves A x = b via two triangular solves.
+  [[nodiscard]] Vector<T> solve(const Vector<T>& b) const {
+    if (!valid_) throw std::domain_error("Cholesky::solve: not SPD");
+    if (b.size() != size()) {
+      throw std::invalid_argument("Cholesky::solve: size mismatch");
+    }
+    const std::size_t n = size();
+    Vector<T> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[i];
+      for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+      y[i] = acc / l_(i, i);
+    }
+    Vector<T> x(n);
+    for (std::size_t ip1 = n; ip1 > 0; --ip1) {
+      const std::size_t i = ip1 - 1;
+      T acc = y[i];
+      for (std::size_t j = i + 1; j < n; ++j) {
+        acc -= conj_scalar(l_(j, i)) * x[j];
+      }
+      x[i] = acc / l_(i, i);
+    }
+    return x;
+  }
+
+ private:
+  Matrix<T> l_;
+  bool valid_ = false;
+};
+
+/// True iff `a` is numerically symmetric/Hermitian positive definite.
+template <typename T>
+bool is_positive_definite(const Matrix<T>& a) {
+  return a.is_square() && CholeskyDecomposition<T>(a).valid();
+}
+
+}  // namespace safe::linalg

@@ -1,0 +1,146 @@
+// Cyclic Jacobi eigensolver for Hermitian (or real symmetric) matrices.
+//
+// MUSIC operates on forward-backward sample covariance matrices of modest
+// order (<= a few dozen), for which Jacobi iteration is simple, numerically
+// robust, and produces the full orthonormal eigenbasis the noise-subspace
+// projection requires.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace safe::linalg {
+
+/// Eigen-decomposition A = V diag(w) V^H with real eigenvalues `w` sorted
+/// ascending and orthonormal eigenvector columns in `v`.
+template <typename T>
+struct HermitianEigenResult {
+  Vector<real_of_t<T>> eigenvalues;
+  Matrix<T> eigenvectors;
+  std::size_t sweeps = 0;   ///< Jacobi sweeps used.
+  bool converged = false;   ///< Off-diagonal norm fell below tolerance.
+};
+
+namespace detail {
+
+/// Sum of squared magnitudes of strictly-off-diagonal entries.
+template <typename T>
+real_of_t<T> off_diagonal_norm2(const Matrix<T>& a) {
+  using R = real_of_t<T>;
+  R acc{};
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (i != j) acc += std::norm(std::complex<R>(a(i, j)));
+    }
+  }
+  return acc;
+}
+
+}  // namespace detail
+
+/// Computes the eigen-decomposition of a Hermitian matrix.
+///
+/// Preconditions: `a` square and Hermitian to roundoff (the routine uses only
+/// the upper triangle's values via the Hermitian symmetry of its updates).
+/// Throws std::invalid_argument on a non-square input.
+template <typename T>
+HermitianEigenResult<T> eigen_hermitian(Matrix<T> a,
+                                        real_of_t<T> tol = 1e-13,
+                                        std::size_t max_sweeps = 64) {
+  using R = real_of_t<T>;
+  if (!a.is_square()) {
+    throw std::invalid_argument("eigen_hermitian: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  Matrix<T> v = Matrix<T>::identity(n);
+
+  HermitianEigenResult<T> result;
+  const R scale = frobenius_norm(a);
+  const R threshold2 = (scale == R{} ? R{1} : scale * scale) * tol * tol;
+
+  std::size_t sweep = 0;
+  for (; sweep < max_sweeps; ++sweep) {
+    if (detail::off_diagonal_norm2(a) <= threshold2) break;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const T apq = a(p, q);
+        const R alpha = std::abs(apq);
+        if (alpha <= tol * scale / static_cast<R>(n * n) || alpha == R{}) {
+          continue;
+        }
+        const R app = std::real(std::complex<R>(a(p, p)));
+        const R aqq = std::real(std::complex<R>(a(q, q)));
+        // Unit phase so that apq * conj(phase) is the real number alpha.
+        const T phase = apq / static_cast<T>(alpha);
+
+        const R tau = (aqq - app) / (R{2} * alpha);
+        R t;
+        if (tau >= R{}) {
+          t = R{1} / (tau + std::sqrt(R{1} + tau * tau));
+        } else {
+          t = R{-1} / (-tau + std::sqrt(R{1} + tau * tau));
+        }
+        const R c = R{1} / std::sqrt(R{1} + t * t);
+        const R s = t * c;
+
+        // New diagonal entries (exactly real).
+        const R app_new = c * c * app - R{2} * c * s * alpha + s * s * aqq;
+        const R aqq_new = s * s * app + R{2} * c * s * alpha + c * c * aqq;
+
+        // Rotate rows/columns p and q of A: A <- U^H A U with
+        //   U(p,p)=c, U(p,q)=s*phase, U(q,p)=-s*conj(phase), U(q,q)=c.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (i == p || i == q) continue;
+          const T aip = a(i, p);
+          const T aiq = a(i, q);
+          const T new_ip = aip * static_cast<T>(c) - aiq * static_cast<T>(s) * conj_scalar(phase);
+          const T new_iq = aip * static_cast<T>(s) * phase + aiq * static_cast<T>(c);
+          a(i, p) = new_ip;
+          a(p, i) = conj_scalar(new_ip);
+          a(i, q) = new_iq;
+          a(q, i) = conj_scalar(new_iq);
+        }
+        a(p, p) = static_cast<T>(app_new);
+        a(q, q) = static_cast<T>(aqq_new);
+        a(p, q) = T{};
+        a(q, p) = T{};
+
+        // Accumulate eigenvectors: V <- V U.
+        for (std::size_t i = 0; i < n; ++i) {
+          const T vip = v(i, p);
+          const T viq = v(i, q);
+          v(i, p) = vip * static_cast<T>(c) - viq * static_cast<T>(s) * conj_scalar(phase);
+          v(i, q) = vip * static_cast<T>(s) * phase + viq * static_cast<T>(c);
+        }
+      }
+    }
+  }
+  result.sweeps = sweep;
+  result.converged = detail::off_diagonal_norm2(a) <= threshold2;
+
+  // Extract and sort eigenpairs ascending by eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  Vector<R> raw(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    raw[i] = std::real(std::complex<R>(a(i, i)));
+  }
+  std::sort(order.begin(), order.end(),
+            [&raw](std::size_t x, std::size_t y) { return raw[x] < raw[y]; });
+
+  result.eigenvalues = Vector<R>(n);
+  result.eigenvectors = Matrix<T>(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    result.eigenvalues[k] = raw[order[k]];
+    result.eigenvectors.set_col(k, v.col(order[k]));
+  }
+  return result;
+}
+
+}  // namespace safe::linalg

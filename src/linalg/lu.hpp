@@ -1,0 +1,139 @@
+// LU decomposition with partial pivoting, plus solve / inverse / determinant.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace safe::linalg {
+
+/// PA = LU factorization of a square matrix with partial (row) pivoting.
+///
+/// L is unit lower triangular and U upper triangular, both packed into a
+/// single matrix. Singularity is reported through `singular()` rather than an
+/// exception so that callers probing near-singular systems (e.g. the RLS
+/// covariance reset logic) can branch on it cheaply.
+template <typename T>
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix<T> a)
+      : lu_(std::move(a)), perm_(lu_.rows()), sign_(1) {
+    if (!lu_.is_square()) {
+      throw std::invalid_argument("LuDecomposition: matrix must be square");
+    }
+    const std::size_t n = lu_.rows();
+    std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+    for (std::size_t k = 0; k < n; ++k) {
+      // Partial pivot: pick the largest |entry| in column k at/below row k.
+      std::size_t pivot = k;
+      auto best = std::abs(lu_(k, k));
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const auto cand = std::abs(lu_(i, k));
+        if (cand > best) {
+          best = cand;
+          pivot = i;
+        }
+      }
+      if (best == real_of_t<T>{}) {
+        singular_ = true;
+        continue;  // column already eliminated; keep scanning for rank info
+      }
+      if (pivot != k) {
+        for (std::size_t c = 0; c < n; ++c) {
+          std::swap(lu_(k, c), lu_(pivot, c));
+        }
+        std::swap(perm_[k], perm_[pivot]);
+        sign_ = -sign_;
+      }
+      for (std::size_t i = k + 1; i < n; ++i) {
+        const T m = lu_(i, k) / lu_(k, k);
+        lu_(i, k) = m;
+        for (std::size_t c = k + 1; c < n; ++c) {
+          lu_(i, c) -= m * lu_(k, c);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool singular() const { return singular_; }
+  [[nodiscard]] std::size_t size() const { return lu_.rows(); }
+
+  /// Solves A x = b. Throws std::domain_error if A is singular.
+  [[nodiscard]] Vector<T> solve(const Vector<T>& b) const {
+    if (singular_) throw std::domain_error("LuDecomposition::solve: singular");
+    if (b.size() != size()) {
+      throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+    }
+    const std::size_t n = size();
+    Vector<T> x(n);
+    // Forward substitution with permuted RHS (L has implicit unit diagonal).
+    for (std::size_t i = 0; i < n; ++i) {
+      T acc = b[perm_[i]];
+      for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * x[j];
+      x[i] = acc;
+    }
+    // Backward substitution on U.
+    for (std::size_t ip1 = n; ip1 > 0; --ip1) {
+      const std::size_t i = ip1 - 1;
+      T acc = x[i];
+      for (std::size_t j = i + 1; j < n; ++j) acc -= lu_(i, j) * x[j];
+      x[i] = acc / lu_(i, i);
+    }
+    return x;
+  }
+
+  /// Solves A X = B column-by-column.
+  [[nodiscard]] Matrix<T> solve(const Matrix<T>& b) const {
+    if (b.rows() != size()) {
+      throw std::invalid_argument("LuDecomposition::solve: row mismatch");
+    }
+    Matrix<T> x(size(), b.cols());
+    for (std::size_t c = 0; c < b.cols(); ++c) {
+      x.set_col(c, solve(b.col(c)));
+    }
+    return x;
+  }
+
+  [[nodiscard]] Matrix<T> inverse() const {
+    return solve(Matrix<T>::identity(size()));
+  }
+
+  [[nodiscard]] T determinant() const {
+    if (singular_) return T{};
+    T det = static_cast<T>(sign_);
+    for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+    return det;
+  }
+
+ private:
+  Matrix<T> lu_;
+  std::vector<std::size_t> perm_;
+  int sign_;
+  bool singular_ = false;
+};
+
+/// Convenience one-shot solve of A x = b.
+template <typename T>
+Vector<T> solve(const Matrix<T>& a, const Vector<T>& b) {
+  return LuDecomposition<T>(a).solve(b);
+}
+
+/// Convenience inverse; throws std::domain_error if singular.
+template <typename T>
+Matrix<T> inverse(const Matrix<T>& a) {
+  return LuDecomposition<T>(a).inverse();
+}
+
+/// Determinant via LU; zero for singular matrices.
+template <typename T>
+T determinant(const Matrix<T>& a) {
+  return LuDecomposition<T>(a).determinant();
+}
+
+}  // namespace safe::linalg

@@ -1,0 +1,71 @@
+// Complex polynomials and root finding.
+//
+// root-MUSIC forms a conjugate-symmetric polynomial from the noise-subspace
+// projector and needs all of its roots. We use the Durand-Kerner
+// (Weierstrass) simultaneous iteration, which is dependency-free and robust
+// for the moderate degrees (< 64) that arise here, with a companion-matrix
+// builder provided for cross-checking.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace safe::linalg {
+
+using Complex = std::complex<double>;
+
+/// Polynomial with coefficients in ascending-power order:
+/// p(z) = c[0] + c[1] z + ... + c[n] z^n.
+class Polynomial {
+ public:
+  Polynomial() = default;
+
+  /// Coefficients in ascending powers; trailing (near-)zero leading
+  /// coefficients are trimmed so degree() is meaningful.
+  explicit Polynomial(std::vector<Complex> ascending_coeffs);
+
+  /// Degree of the zero polynomial is reported as 0.
+  [[nodiscard]] std::size_t degree() const;
+
+  [[nodiscard]] const std::vector<Complex>& coefficients() const {
+    return coeffs_;
+  }
+
+  /// Horner evaluation.
+  [[nodiscard]] Complex evaluate(Complex z) const;
+
+  /// Derivative polynomial.
+  [[nodiscard]] Polynomial derivative() const;
+
+  /// Monic copy (divides by the leading coefficient).
+  [[nodiscard]] Polynomial monic() const;
+
+  /// Builds the monic polynomial with the given roots.
+  static Polynomial from_roots(const std::vector<Complex>& roots);
+
+ private:
+  std::vector<Complex> coeffs_{Complex{}};
+};
+
+/// Options controlling the Durand-Kerner iteration.
+struct RootFindingOptions {
+  std::size_t max_iterations = 400;
+  double tolerance = 1e-12;  ///< max per-root displacement for convergence
+};
+
+/// All complex roots of `p` (degree >= 1) via Durand-Kerner iteration.
+///
+/// Deterministic: the initial guesses lie on a fixed spiral. Throws
+/// std::invalid_argument for (near-)zero polynomials of degree 0.
+std::vector<Complex> find_roots(const Polynomial& p,
+                                const RootFindingOptions& options = {});
+
+/// Frobenius companion matrix of a monic polynomial (for cross-validation of
+/// the iterative root finder in tests; eigenvalues of the companion matrix
+/// are the polynomial's roots).
+CMatrix companion_matrix(const Polynomial& p);
+
+}  // namespace safe::linalg

@@ -1,0 +1,134 @@
+// Householder QR factorization and least-squares solve.
+//
+// Used by the batch least-squares reference implementation that the RLS
+// (Algorithm 1) tests compare against, and by rank-revealing checks.
+#pragma once
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace safe::linalg {
+
+/// A = Q R with Q (m x m) unitary and R (m x n) upper trapezoidal, m >= n.
+template <typename T>
+class QrDecomposition {
+ public:
+  explicit QrDecomposition(Matrix<T> a)
+      : r_(std::move(a)), q_(Matrix<T>::identity(r_.rows())) {
+    const std::size_t m = r_.rows();
+    const std::size_t n = r_.cols();
+    if (m < n) {
+      throw std::invalid_argument("QrDecomposition: needs rows >= cols");
+    }
+    using R = real_of_t<T>;
+    for (std::size_t k = 0; k < n; ++k) {
+      // Build the Householder reflector for column k.
+      R xnorm{};
+      for (std::size_t i = k; i < m; ++i) {
+        xnorm += std::norm(std::complex<R>(r_(i, k)));
+      }
+      xnorm = std::sqrt(xnorm);
+      if (xnorm == R{}) continue;
+
+      // alpha = -sign(x0) * ||x||, with complex phase for complex T.
+      T x0 = r_(k, k);
+      const R x0abs = std::abs(x0);
+      T alpha;
+      if (x0abs == R{}) {
+        alpha = static_cast<T>(-xnorm);
+      } else {
+        alpha = -(x0 / static_cast<T>(x0abs)) * static_cast<T>(xnorm);
+      }
+
+      std::vector<T> v(m - k);
+      v[0] = x0 - alpha;
+      for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r_(i, k);
+      R vnorm2{};
+      for (const auto& vi : v) vnorm2 += std::norm(std::complex<R>(vi));
+      if (vnorm2 == R{}) continue;
+
+      // Apply H = I - 2 v v^H / (v^H v) to R (columns k..n-1).
+      for (std::size_t c = k; c < n; ++c) {
+        T proj{};
+        for (std::size_t i = k; i < m; ++i) {
+          proj += conj_scalar(v[i - k]) * r_(i, c);
+        }
+        const T scale = static_cast<T>(R{2} / vnorm2) * proj;
+        for (std::size_t i = k; i < m; ++i) {
+          r_(i, c) -= scale * v[i - k];
+        }
+      }
+      // Accumulate Q <- Q H (apply H to Q's columns from the right).
+      for (std::size_t row = 0; row < m; ++row) {
+        T proj{};
+        for (std::size_t i = k; i < m; ++i) {
+          proj += q_(row, i) * v[i - k];
+        }
+        const T scale = static_cast<T>(R{2} / vnorm2) * proj;
+        for (std::size_t i = k; i < m; ++i) {
+          q_(row, i) -= scale * conj_scalar(v[i - k]);
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] const Matrix<T>& q() const { return q_; }
+  [[nodiscard]] const Matrix<T>& r() const { return r_; }
+
+  /// Minimum-norm residual solve of the overdetermined system A x = b.
+  [[nodiscard]] Vector<T> solve_least_squares(const Vector<T>& b) const {
+    const std::size_t m = r_.rows();
+    const std::size_t n = r_.cols();
+    if (b.size() != m) {
+      throw std::invalid_argument("QR solve: size mismatch");
+    }
+    // x solves R x = Q^H b (top n rows). Rank deficiency is judged relative
+    // to the largest diagonal magnitude, since exact zeros rarely survive
+    // floating-point Householder updates.
+    real_of_t<T> top{};
+    for (std::size_t i = 0; i < n; ++i) {
+      top = std::max(top, std::abs(r_(i, i)));
+    }
+    const Vector<T> qtb = q_.adjoint() * b;
+    Vector<T> x(n);
+    for (std::size_t ip1 = n; ip1 > 0; --ip1) {
+      const std::size_t i = ip1 - 1;
+      T acc = qtb[i];
+      for (std::size_t j = i + 1; j < n; ++j) acc -= r_(i, j) * x[j];
+      if (std::abs(r_(i, i)) <= real_of_t<T>(1e-12) * top) {
+        throw std::domain_error("QR solve: rank deficient");
+      }
+      x[i] = acc / r_(i, i);
+    }
+    return x;
+  }
+
+  /// Numerical rank: count of diagonal entries of R above tol * max|diag|.
+  [[nodiscard]] std::size_t rank(real_of_t<T> rel_tol = 1e-12) const {
+    const std::size_t n = std::min(r_.rows(), r_.cols());
+    real_of_t<T> top{};
+    for (std::size_t i = 0; i < n; ++i) top = std::max(top, std::abs(r_(i, i)));
+    std::size_t rank = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::abs(r_(i, i)) > rel_tol * top) ++rank;
+    }
+    return rank;
+  }
+
+ private:
+  Matrix<T> r_;
+  Matrix<T> q_;
+};
+
+/// Batch (one-shot) least squares: argmin_x ||A x - b||_2.
+template <typename T>
+Vector<T> least_squares(const Matrix<T>& a, const Vector<T>& b) {
+  return QrDecomposition<T>(a).solve_least_squares(b);
+}
+
+}  // namespace safe::linalg

@@ -1,0 +1,33 @@
+// Description of everything arriving at the radar receiver in one epoch.
+//
+// The attack models (attack/) build EchoScenes; the RadarProcessor turns a
+// scene into synthesized baseband segments and a measurement. Keeping the
+// scene explicit separates "what the RF environment contains" from "what the
+// receiver estimates", which is exactly the boundary the CRA defense probes.
+#pragma once
+
+#include <vector>
+
+namespace safe::radar {
+
+/// One echo (true target reflection or attacker-injected counterfeit).
+struct EchoComponent {
+  double distance_m = 0.0;        ///< Apparent range (includes spoof delay).
+  double range_rate_mps = 0.0;    ///< Apparent range rate.
+  double power_w = 0.0;           ///< Power at the receiver input.
+};
+
+/// Receiver-input contents for one measurement epoch.
+struct EchoScene {
+  /// False when the CRA modulator suppressed the probe (challenge slot): a
+  /// genuine reflection cannot exist, so `echoes` should then only contain
+  /// attacker-injected components.
+  bool tx_enabled = true;
+
+  std::vector<EchoComponent> echoes;
+
+  /// Total incoherent noise power (thermal + jammer), watts.
+  double noise_power_w = 0.0;
+};
+
+}  // namespace safe::radar

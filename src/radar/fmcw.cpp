@@ -1,0 +1,69 @@
+#include "radar/fmcw.hpp"
+
+#include "sim/units.hpp"
+
+namespace safe::radar {
+
+namespace units = safe::sim::units;
+
+FmcwParameters bosch_lrr2_parameters() {
+  // Values quoted in Sections 4.1 and 6 of the paper.
+  return FmcwParameters{};
+}
+
+void validate_parameters(const FmcwParameters& params) {
+  if (params.sweep_bandwidth_hz <= 0.0 || params.sweep_time_s <= 0.0) {
+    throw std::invalid_argument("FmcwParameters: sweep must be positive");
+  }
+  if (params.wavelength_m <= 0.0 || params.carrier_frequency_hz <= 0.0) {
+    throw std::invalid_argument("FmcwParameters: carrier must be positive");
+  }
+  if (params.tx_power_w <= 0.0) {
+    throw std::invalid_argument("FmcwParameters: tx power must be positive");
+  }
+  if (params.receiver_bandwidth_hz <= 0.0) {
+    throw std::invalid_argument("FmcwParameters: bandwidth must be positive");
+  }
+  if (!(params.min_range_m >= 0.0) || params.max_range_m <= params.min_range_m) {
+    throw std::invalid_argument("FmcwParameters: bad range limits");
+  }
+}
+
+BeatFrequencies beat_frequencies(const FmcwParameters& params,
+                                 double distance_m, double range_rate_mps) {
+  validate_parameters(params);
+  if (distance_m < 0.0) {
+    throw std::invalid_argument("beat_frequencies: negative distance");
+  }
+  const double sweep_slope =
+      params.sweep_bandwidth_hz / params.sweep_time_s;  // B_s / T_s
+  const double range_term =
+      (2.0 * distance_m / units::kSpeedOfLightMps) * sweep_slope;
+  const double doppler = 2.0 * range_rate_mps / params.wavelength_m;
+  return BeatFrequencies{
+      .up_hz = range_term - doppler,
+      .down_hz = range_term + doppler,
+  };
+}
+
+RangeRate range_rate_from_beats(const FmcwParameters& params,
+                                const BeatFrequencies& beats) {
+  validate_parameters(params);
+  return RangeRate{
+      .distance_m = units::kSpeedOfLightMps * params.sweep_time_s *
+                    (beats.up_hz + beats.down_hz) /
+                    (4.0 * params.sweep_bandwidth_hz),
+      .range_rate_mps =
+          params.wavelength_m / 4.0 * (beats.down_hz - beats.up_hz),
+  };
+}
+
+double spoofed_range_offset_m(double extra_delay_s) {
+  return units::delay_to_range_m(extra_delay_s);
+}
+
+double injection_delay_for_offset_s(double extra_distance_m) {
+  return units::range_to_delay_s(extra_distance_m);
+}
+
+}  // namespace safe::radar

@@ -1,0 +1,70 @@
+// FMCW (frequency-modulated continuous wave) radar waveform model.
+//
+// Implements the triangular-chirp beat-frequency relations of Section 4.1:
+//
+//   f_b+ = (2 d / c) (B_s / T_s) - 2 dv / lambda          (Eq. 5)
+//   f_b- = (2 d / c) (B_s / T_s) + 2 dv / lambda          (Eq. 6)
+//   d    = c T_s (f_b+ + f_b-) / (4 B_s)                  (Eq. 7)
+//   dv   = (lambda / 4) (f_b- - f_b+)                     (Eq. 8)
+//
+// where dv is the range rate (positive = target receding).
+#pragma once
+
+#include <stdexcept>
+
+namespace safe::radar {
+
+/// Waveform and antenna parameters of a 77 GHz automotive FMCW radar.
+struct FmcwParameters {
+  double carrier_frequency_hz = 77.0e9;
+  double sweep_bandwidth_hz = 150.0e6;   ///< B_s
+  double sweep_time_s = 2.0e-3;          ///< T_s (full triangle)
+  double wavelength_m = 3.89e-3;         ///< lambda
+  double tx_power_w = 10.0e-3;           ///< P_t (10 mW)
+  double antenna_gain_dbi = 28.0;        ///< G
+  double system_loss_db = 0.10;          ///< L
+  double receiver_bandwidth_hz = 150.0e6;  ///< B (RF band, for jammer coupling)
+  /// Post-dechirp anti-alias bandwidth: thermal noise integrates over this
+  /// narrow beat-frequency band, not the RF sweep bandwidth.
+  double baseband_bandwidth_hz = 1.0e6;
+  double min_range_m = 2.0;
+  double max_range_m = 200.0;
+};
+
+/// Bosch LRR2-class long-range radar profile used by the paper's case study.
+FmcwParameters bosch_lrr2_parameters();
+
+/// Throws std::invalid_argument when a parameter set is physically
+/// meaningless (non-positive bandwidth/time/power or inverted range limits).
+void validate_parameters(const FmcwParameters& params);
+
+/// Beat-frequency pair extracted from the triangular sweep.
+struct BeatFrequencies {
+  double up_hz = 0.0;    ///< f_b+ (positive-slope segment)
+  double down_hz = 0.0;  ///< f_b- (negative-slope segment)
+};
+
+/// Forward map (Eqs. 5-6): target range and range rate to beat frequencies.
+/// `range_rate_mps` is d(dv)/dt positive when the gap is opening.
+BeatFrequencies beat_frequencies(const FmcwParameters& params,
+                                 double distance_m, double range_rate_mps);
+
+/// Measured range/range-rate pair.
+struct RangeRate {
+  double distance_m = 0.0;
+  double range_rate_mps = 0.0;
+};
+
+/// Inverse map (Eqs. 7-8): beat frequencies to range and range rate.
+RangeRate range_rate_from_beats(const FmcwParameters& params,
+                                const BeatFrequencies& beats);
+
+/// Extra distance conjured by a delay-injection attack that adds
+/// `extra_delay_s` of round-trip delay (c * tau / 2).
+double spoofed_range_offset_m(double extra_delay_s);
+
+/// Round-trip delay an attacker must inject to fake `extra_distance_m` of
+/// additional range.
+double injection_delay_for_offset_s(double extra_distance_m);
+
+}  // namespace safe::radar

@@ -1,0 +1,80 @@
+#include "radar/link_budget.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "sim/units.hpp"
+
+namespace safe::radar {
+
+namespace units = safe::sim::units;
+
+namespace {
+
+constexpr double kBoltzmann = 1.380649e-23;
+constexpr double kReferenceTemperatureK = 290.0;
+
+void check_geometry(double distance_m, double rcs_m2) {
+  if (distance_m <= 0.0) {
+    throw std::invalid_argument("link budget: distance must be positive");
+  }
+  if (rcs_m2 < 0.0) {
+    throw std::invalid_argument("link budget: RCS must be non-negative");
+  }
+}
+
+}  // namespace
+
+double received_echo_power_w(const FmcwParameters& radar, double distance_m,
+                             double rcs_m2) {
+  validate_parameters(radar);
+  check_geometry(distance_m, rcs_m2);
+  const double gain = units::db_to_linear(radar.antenna_gain_dbi);
+  const double loss = units::db_to_linear(radar.system_loss_db);
+  const double four_pi = 4.0 * std::numbers::pi;
+  return radar.tx_power_w * gain * gain * radar.wavelength_m *
+         radar.wavelength_m * rcs_m2 /
+         (four_pi * four_pi * four_pi * std::pow(distance_m, 4.0) * loss);
+}
+
+double received_jammer_power_w(const FmcwParameters& radar,
+                               const JammerParameters& jammer,
+                               double distance_m) {
+  validate_parameters(radar);
+  check_geometry(distance_m, 0.0);
+  if (jammer.peak_power_w <= 0.0 || jammer.bandwidth_hz <= 0.0) {
+    throw std::invalid_argument("jammer: power and bandwidth must be positive");
+  }
+  const double gain = units::db_to_linear(radar.antenna_gain_dbi);
+  const double jammer_gain = units::db_to_linear(jammer.antenna_gain_dbi);
+  const double jammer_loss = units::db_to_linear(jammer.loss_db);
+  const double four_pi = 4.0 * std::numbers::pi;
+  // One-way propagation, bandwidth-coupling factor B / B_J.
+  return jammer.peak_power_w * jammer_gain * radar.wavelength_m *
+         radar.wavelength_m * gain * radar.receiver_bandwidth_hz /
+         (four_pi * four_pi * distance_m * distance_m * jammer.bandwidth_hz *
+          jammer_loss);
+}
+
+double signal_to_jammer_ratio(const FmcwParameters& radar,
+                              const JammerParameters& jammer,
+                              double distance_m, double rcs_m2) {
+  return received_echo_power_w(radar, distance_m, rcs_m2) /
+         received_jammer_power_w(radar, jammer, distance_m);
+}
+
+bool jamming_succeeds(const FmcwParameters& radar,
+                      const JammerParameters& jammer, double distance_m,
+                      double rcs_m2) {
+  return signal_to_jammer_ratio(radar, jammer, distance_m, rcs_m2) < 1.0;
+}
+
+double thermal_noise_power_w(const FmcwParameters& radar,
+                             double noise_figure_db) {
+  validate_parameters(radar);
+  return kBoltzmann * kReferenceTemperatureK * radar.baseband_bandwidth_hz *
+         units::db_to_linear(noise_figure_db);
+}
+
+}  // namespace safe::radar

@@ -1,0 +1,114 @@
+#include "radar/processor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "dsp/music.hpp"
+#include "dsp/spectral.hpp"
+
+namespace safe::radar {
+
+using dsp::Complex;
+using dsp::ComplexSignal;
+
+RadarProcessor::RadarProcessor(RadarProcessorConfig config, std::uint64_t seed)
+    : config_(std::move(config)), noise_(0.0, 1.0, seed) {
+  validate_parameters(config_.waveform);
+  if (config_.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("RadarProcessor: sample rate must be > 0");
+  }
+  if (config_.samples_per_segment < 2 * config_.music_order) {
+    throw std::invalid_argument(
+        "RadarProcessor: segment too short for the MUSIC covariance order");
+  }
+  const double segment_duration = static_cast<double>(config_.samples_per_segment) /
+                                  config_.sample_rate_hz;
+  if (segment_duration > config_.waveform.sweep_time_s / 2.0) {
+    throw std::invalid_argument(
+        "RadarProcessor: segment longer than a half sweep");
+  }
+}
+
+RadarProcessor::Segments RadarProcessor::synthesize(const EchoScene& scene) {
+  const std::size_t n = config_.samples_per_segment;
+  Segments seg{ComplexSignal(n), ComplexSignal(n)};
+
+  // Incoherent noise: complex AWGN with total power scene.noise_power_w.
+  const double sigma_per_axis = std::sqrt(std::max(scene.noise_power_w, 0.0) / 2.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    seg.up[i] = Complex{sigma_per_axis * noise_.sample(),
+                        sigma_per_axis * noise_.sample()};
+    seg.down[i] = Complex{sigma_per_axis * noise_.sample(),
+                          sigma_per_axis * noise_.sample()};
+  }
+
+  // Coherent echoes: one complex tone per component in each segment.
+  for (const EchoComponent& echo : scene.echoes) {
+    const BeatFrequencies beats = beat_frequencies(
+        config_.waveform, echo.distance_m, echo.range_rate_mps);
+    const double amplitude = std::sqrt(std::max(echo.power_w, 0.0));
+    // Deterministic pseudo-random starting phases from the noise stream.
+    const double phase_up = 2.0 * std::numbers::pi * 0.5 *
+                            (1.0 + std::tanh(noise_.sample()));
+    const double phase_down = 2.0 * std::numbers::pi * 0.5 *
+                              (1.0 + std::tanh(noise_.sample()));
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = static_cast<double>(i) / config_.sample_rate_hz;
+      seg.up[i] += std::polar(
+          amplitude, 2.0 * std::numbers::pi * beats.up_hz * t + phase_up);
+      seg.down[i] += std::polar(
+          amplitude, 2.0 * std::numbers::pi * beats.down_hz * t + phase_down);
+    }
+  }
+  return seg;
+}
+
+double RadarProcessor::estimate_beat_hz(const ComplexSignal& segment,
+                                        std::size_t num_components) const {
+  if (config_.estimator == BeatEstimator::kPeriodogram) {
+    const auto tone =
+        dsp::estimate_dominant_tone(segment, config_.sample_rate_hz);
+    return tone ? tone->frequency_hz : 0.0;
+  }
+  const dsp::MusicOptions options{.covariance_order = config_.music_order,
+                                  .forward_backward = true};
+  const auto candidates = dsp::root_music_frequencies(
+      segment, config_.sample_rate_hz, std::max<std::size_t>(num_components, 1),
+      options);
+  if (candidates.empty()) return 0.0;
+  // Rank candidates by coherent power: the receiver locks to the strongest.
+  double best_freq = candidates.front();
+  double best_power = -1.0;
+  for (const double f : candidates) {
+    const double p = dsp::tone_power(segment, f, config_.sample_rate_hz);
+    if (p > best_power) {
+      best_power = p;
+      best_freq = f;
+    }
+  }
+  return best_freq;
+}
+
+RadarMeasurement RadarProcessor::measure(const EchoScene& scene) {
+  const Segments seg = synthesize(scene);
+
+  RadarMeasurement m;
+  m.rx_power_w = 0.5 * (dsp::mean_power(seg.up) + dsp::mean_power(seg.down));
+  m.peak_to_average = dsp::peak_to_average_power(seg.up);
+  m.coherent_echo = m.peak_to_average > config_.coherence_threshold;
+  m.power_alarm =
+      m.rx_power_w > config_.power_alarm_factor * config_.noise_floor_w;
+
+  // Estimate beats even when no coherent echo stands out: under jamming the
+  // receiver still produces (corrupted) measurements, which is precisely the
+  // failure mode of Figures 2a/3a.
+  const std::size_t components = std::max<std::size_t>(scene.echoes.size(), 1);
+  m.beats.up_hz = estimate_beat_hz(seg.up, components);
+  m.beats.down_hz = estimate_beat_hz(seg.down, components);
+  m.estimate = range_rate_from_beats(config_.waveform, m.beats);
+  return m;
+}
+
+}  // namespace safe::radar

@@ -1,0 +1,107 @@
+#include "radar/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace safe::radar {
+
+RangeTracker::RangeTracker(const TrackerOptions& options) : options_(options) {
+  if (options_.sample_time_s <= 0.0 || options_.gate_m <= 0.0) {
+    throw std::invalid_argument("RangeTracker: bad sample time / gate");
+  }
+  if (options_.alpha <= 0.0 || options_.alpha > 1.0 || options_.beta < 0.0 ||
+      options_.beta > 1.0) {
+    throw std::invalid_argument("RangeTracker: gains out of range");
+  }
+  if (options_.confirm_hits == 0 || options_.drop_misses == 0) {
+    throw std::invalid_argument("RangeTracker: bad confirm/drop counts");
+  }
+}
+
+const std::vector<Track>& RangeTracker::update(
+    const std::vector<RangeRate>& detections) {
+  const double t = options_.sample_time_s;
+
+  // Predict.
+  for (Track& track : tracks_) {
+    track.range_m += track.range_rate_mps * t;
+    ++track.age;
+  }
+
+  // Greedy nearest-neighbour association (adequate for the handful of
+  // targets a forward-looking automotive radar tracks).
+  std::vector<bool> detection_used(detections.size(), false);
+  for (Track& track : tracks_) {
+    double best_dist = options_.gate_m;
+    std::size_t best = detections.size();
+    for (std::size_t i = 0; i < detections.size(); ++i) {
+      if (detection_used[i]) continue;
+      const double dist = std::abs(detections[i].distance_m - track.range_m);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = i;
+      }
+    }
+    if (best != detections.size()) {
+      detection_used[best] = true;
+      const RangeRate& det = detections[best];
+      const double residual = det.distance_m - track.range_m;
+      track.range_m += options_.alpha * residual;
+      track.range_rate_mps += options_.beta * residual / t;
+      // Blend the measured rate too (the radar measures Doppler directly).
+      track.range_rate_mps =
+          0.5 * (track.range_rate_mps + det.range_rate_mps);
+      ++track.hits;
+      track.misses = 0;
+      if (track.state == TrackState::kCoasting) {
+        track.state = TrackState::kConfirmed;
+      } else if (track.state == TrackState::kTentative &&
+                 track.hits >= options_.confirm_hits) {
+        track.state = TrackState::kConfirmed;
+      }
+    } else {
+      ++track.misses;
+      if (track.state == TrackState::kConfirmed) {
+        track.state = TrackState::kCoasting;
+      }
+    }
+  }
+
+  // Spawn tentative tracks for unassociated detections.
+  for (std::size_t i = 0; i < detections.size(); ++i) {
+    if (detection_used[i]) continue;
+    Track track;
+    track.id = next_id_++;
+    track.range_m = detections[i].distance_m;
+    track.range_rate_mps = detections[i].range_rate_mps;
+    track.hits = 1;
+    tracks_.push_back(track);
+  }
+
+  // Drop stale tracks (tentative ones die faster: one miss).
+  std::erase_if(tracks_, [this](const Track& track) {
+    if (track.state == TrackState::kTentative) return track.misses >= 1;
+    return track.misses >= options_.drop_misses;
+  });
+
+  return tracks_;
+}
+
+std::optional<Track> RangeTracker::primary_track() const {
+  const Track* best = nullptr;
+  for (const Track& track : tracks_) {
+    if (track.state == TrackState::kTentative) continue;
+    if (best == nullptr || track.range_m < best->range_m) best = &track;
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+void RangeTracker::reset() {
+  tracks_.clear();
+  next_id_ = 1;
+}
+
+}  // namespace safe::radar

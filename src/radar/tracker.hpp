@@ -1,0 +1,67 @@
+// Multi-target range tracker (alpha-beta, nearest-neighbour association).
+//
+// Automotive radars do not hand raw detections to the controller: a tracker
+// associates per-epoch detections to persistent tracks, confirms them after
+// a few consistent hits, coasts through dropouts (including CRA challenge
+// slots), and drops stale tracks. This is the "track memory" the undefended
+// consumer in the car-following simulation approximates, factored out as a
+// reusable component.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "radar/fmcw.hpp"
+
+namespace safe::radar {
+
+struct TrackerOptions {
+  double sample_time_s = 1.0;
+  /// Association gate: a detection within this range of a track's
+  /// prediction belongs to it.
+  double gate_m = 5.0;
+  /// Alpha-beta filter gains.
+  double alpha = 0.6;
+  double beta = 0.2;
+  /// Hits needed to confirm a tentative track.
+  std::size_t confirm_hits = 3;
+  /// Consecutive misses before a track is dropped.
+  std::size_t drop_misses = 5;
+};
+
+enum class TrackState { kTentative, kConfirmed, kCoasting };
+
+struct Track {
+  std::uint32_t id = 0;
+  TrackState state = TrackState::kTentative;
+  double range_m = 0.0;
+  double range_rate_mps = 0.0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t age = 0;
+};
+
+class RangeTracker {
+ public:
+  explicit RangeTracker(const TrackerOptions& options = {});
+
+  /// Processes one epoch of detections (range/range-rate pairs). Returns
+  /// the post-update track list.
+  const std::vector<Track>& update(const std::vector<RangeRate>& detections);
+
+  [[nodiscard]] const std::vector<Track>& tracks() const { return tracks_; }
+
+  /// Nearest confirmed (or coasting) track, if any — what an ACC would
+  /// follow.
+  [[nodiscard]] std::optional<Track> primary_track() const;
+
+  void reset();
+
+ private:
+  TrackerOptions options_;
+  std::vector<Track> tracks_;
+  std::uint32_t next_id_ = 1;
+};
+
+}  // namespace safe::radar

@@ -1,0 +1,39 @@
+#include "sensors/fusion_detector.hpp"
+
+#include <cmath>
+
+namespace safe::sensors {
+
+FusionDetector::FusionDetector(const FusionDetectorOptions& options)
+    : options_(options) {
+  if (options_.disagreement_threshold_m <= 0.0) {
+    throw std::invalid_argument("FusionDetector: threshold must be > 0");
+  }
+  if (options_.required_consecutive == 0) {
+    throw std::invalid_argument(
+        "FusionDetector: required_consecutive must be >= 1");
+  }
+}
+
+FusionDetector::Decision FusionDetector::observe(bool a_valid,
+                                                 double range_a_m,
+                                                 bool b_valid,
+                                                 double range_b_m) {
+  Decision decision;
+  if (a_valid && b_valid) {
+    decision.disagreement_m = std::abs(range_a_m - range_b_m);
+    decision.suspicious =
+        decision.disagreement_m > options_.disagreement_threshold_m;
+    if (decision.suspicious) {
+      ++consecutive_;
+    } else {
+      consecutive_ = 0;
+    }
+  }
+  decision.under_attack = under_attack();
+  return decision;
+}
+
+void FusionDetector::reset() { consecutive_ = 0; }
+
+}  // namespace safe::sensors

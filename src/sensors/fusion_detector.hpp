@@ -1,0 +1,52 @@
+// Redundancy-based attack detection (the related-work baseline the paper
+// argues against: Park et al. [8] and classic sensor-fusion schemes detect
+// attacks by cross-checking redundant sensors).
+//
+// Two independent range sensors watch the same target; a persistent
+// disagreement beyond the combined noise budget raises an alarm. Strengths
+// and weaknesses relative to CRA fall out of the model directly:
+//   + no transmitter modification, detects a one-sensor spoof immediately
+//   - needs (and pays for) a second sensor
+//   - blind when the attacker corrupts both channels consistently
+//   - threshold-tuned: noise causes false alarms near the margin.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+namespace safe::sensors {
+
+struct FusionDetectorOptions {
+  /// Disagreement (m) beyond which a sample counts as suspicious.
+  double disagreement_threshold_m = 2.0;
+  /// Consecutive suspicious samples before declaring an attack.
+  std::size_t required_consecutive = 2;
+};
+
+class FusionDetector {
+ public:
+  explicit FusionDetector(const FusionDetectorOptions& options = {});
+
+  struct Decision {
+    double disagreement_m = 0.0;
+    bool suspicious = false;
+    bool under_attack = false;
+  };
+
+  /// Feeds one pair of simultaneous range measurements. Samples where
+  /// either sensor saw nothing are skipped (no evidence either way).
+  Decision observe(bool a_valid, double range_a_m, bool b_valid,
+                   double range_b_m);
+
+  [[nodiscard]] bool under_attack() const {
+    return consecutive_ >= options_.required_consecutive;
+  }
+
+  void reset();
+
+ private:
+  FusionDetectorOptions options_;
+  std::size_t consecutive_ = 0;
+};
+
+}  // namespace safe::sensors

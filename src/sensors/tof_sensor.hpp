@@ -1,0 +1,89 @@
+// Generic pulsed time-of-flight active sensor (paper Section 5.2: CRA
+// "considers sensors which are active, e.g. radar, ultrasonic, lidar").
+//
+// Unlike the FMCW radar (which measures range through beat frequencies), a
+// pulsed ToF sensor emits a pulse and thresholds the returned echo envelope;
+// range = propagation_speed * delay / 2. The same CRA contract holds: when
+// the probe is suppressed the receiver must stay silent, so jammers and
+// replayers reveal themselves at challenge slots.
+//
+// The model is parameterized so one implementation covers both the
+// ultrasonic parking sensor and the pulsed automotive lidar profiles below.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "radar/echo_scene.hpp"
+#include "sim/noise.hpp"
+
+namespace safe::sensors {
+
+/// Physical profile of a pulsed time-of-flight sensor.
+struct TofSensorParameters {
+  std::string name = "tof";
+  double propagation_speed_mps = 299'792'458.0;
+  double min_range_m = 0.2;
+  double max_range_m = 200.0;
+  /// Transmitted pulse power (W) and link exponent: received power
+  /// ~ tx_power * gain / d^exponent (2 for a retroreflecting lidar target,
+  /// 4 for diffuse radar-like scattering).
+  double tx_power_w = 1.0;
+  double link_gain = 1.0e-6;
+  double link_exponent = 2.0;
+  /// Receiver noise floor (W) and detection threshold relative to it.
+  double noise_floor_w = 1.0e-12;
+  double detection_snr = 10.0;
+  /// One-sigma ranging noise (m) of the timing discriminator.
+  double range_noise_m = 0.05;
+  /// One-sigma velocity noise (m/s) from pulse-pair differencing.
+  double velocity_noise_mps = 0.2;
+};
+
+/// Automotive pulsed lidar (905 nm class): centimeter ranging to ~150 m.
+TofSensorParameters lidar_parameters();
+
+/// Ultrasonic park-assist sensor: ~5 m range, centimeter-class at short
+/// range, sound-speed propagation.
+TofSensorParameters ultrasonic_parameters();
+
+/// Output of one ping.
+struct TofMeasurement {
+  bool target_detected = false;    ///< An echo crossed the threshold.
+  double distance_m = 0.0;         ///< Range of the strongest echo.
+  double range_rate_mps = 0.0;     ///< Pulse-pair range rate.
+  double rx_power_w = 0.0;         ///< Total received power.
+  bool power_alarm = false;        ///< Noise floor grossly exceeded (jam).
+
+  /// CRA comparison value: receiver produced a non-zero output.
+  [[nodiscard]] bool nonzero_output() const {
+    return target_detected || power_alarm;
+  }
+};
+
+/// Received echo power for a target at `distance_m` under this profile.
+double tof_received_power_w(const TofSensorParameters& params,
+                            double distance_m);
+
+/// Pulsed ToF receiver. Reuses radar::EchoScene as the RF/acoustic
+/// environment description: component power fields are interpreted through
+/// this sensor's own link budget when `power_w` is zero.
+class TofSensor {
+ public:
+  explicit TofSensor(TofSensorParameters params, std::uint64_t seed = 1);
+
+  TofMeasurement measure(const radar::EchoScene& scene);
+
+  [[nodiscard]] const TofSensorParameters& parameters() const {
+    return params_;
+  }
+
+ private:
+  TofSensorParameters params_;
+  sim::GaussianNoise range_noise_;
+  sim::GaussianNoise velocity_noise_;
+  sim::GaussianNoise power_noise_;
+};
+
+}  // namespace safe::sensors

@@ -1,0 +1,85 @@
+#include "sim/lti_system.hpp"
+
+#include <stdexcept>
+
+#include "linalg/qr.hpp"
+
+namespace safe::sim {
+
+using linalg::RMatrix;
+using linalg::RVector;
+
+void validate_model(const LtiModel& model) {
+  if (!model.a.is_square() || model.a.rows() == 0) {
+    throw std::invalid_argument("LtiModel: A must be square and non-empty");
+  }
+  const std::size_t n = model.a.rows();
+  if (model.b.rows() != n) {
+    throw std::invalid_argument("LtiModel: B row count must match A");
+  }
+  if (model.c.cols() != n) {
+    throw std::invalid_argument("LtiModel: C column count must match A");
+  }
+  if (model.c.rows() == 0 || model.b.cols() == 0) {
+    throw std::invalid_argument("LtiModel: B and C must be non-empty");
+  }
+}
+
+LtiSystem::LtiSystem(LtiModel model, RVector initial_state,
+                     double measurement_noise_stddev, std::uint64_t seed)
+    : model_(std::move(model)),
+      x_(std::move(initial_state)),
+      noise_(0.0, measurement_noise_stddev, seed) {
+  validate_model(model_);
+  if (x_.size() != model_.a.rows()) {
+    throw std::invalid_argument("LtiSystem: initial state dimension mismatch");
+  }
+}
+
+const RVector& LtiSystem::step(const RVector& u) {
+  if (u.size() != input_dim()) {
+    throw std::invalid_argument("LtiSystem::step: input dimension mismatch");
+  }
+  x_ = model_.a * x_ + model_.b * u;
+  return x_;
+}
+
+RVector LtiSystem::measure() {
+  RVector y = model_.c * x_;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += noise_.sample();
+  return y;
+}
+
+RVector LtiSystem::true_output() const { return model_.c * x_; }
+
+void LtiSystem::reset(RVector initial_state) {
+  if (initial_state.size() != state_dim()) {
+    throw std::invalid_argument("LtiSystem::reset: dimension mismatch");
+  }
+  x_ = std::move(initial_state);
+}
+
+RMatrix observability_matrix(const LtiModel& model) {
+  validate_model(model);
+  const std::size_t n = model.a.rows();
+  const std::size_t q = model.c.rows();
+  RMatrix obs(n * q, n);
+  RMatrix block = model.c;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t r = 0; r < q; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        obs(k * q + r, c) = block(r, c);
+      }
+    }
+    block = block * model.a;
+  }
+  return obs;
+}
+
+bool is_observable(const LtiModel& model) {
+  const RMatrix obs = observability_matrix(model);
+  // QR needs rows >= cols; the observability matrix has n*q >= n rows.
+  return linalg::QrDecomposition<double>(obs).rank() == model.a.rows();
+}
+
+}  // namespace safe::sim

@@ -1,0 +1,28 @@
+#include "sim/noise.hpp"
+
+#include <stdexcept>
+
+namespace safe::sim {
+
+GaussianNoise::GaussianNoise(double mean, double stddev, std::uint64_t seed)
+    : mean_(mean), stddev_(stddev), rng_(seed), dist_(mean, stddev) {
+  if (stddev < 0.0) {
+    throw std::invalid_argument("GaussianNoise: stddev must be >= 0");
+  }
+}
+
+double GaussianNoise::sample() {
+  if (stddev_ == 0.0) return mean_;
+  return dist_(rng_);
+}
+
+UniformNoise::UniformNoise(double lo, double hi, std::uint64_t seed)
+    : rng_(seed), dist_(lo, hi) {
+  if (!(lo < hi)) {
+    throw std::invalid_argument("UniformNoise: need lo < hi");
+  }
+}
+
+double UniformNoise::sample() { return dist_(rng_); }
+
+}  // namespace safe::sim

@@ -1,0 +1,36 @@
+// Unit conversions shared by the radar and vehicle models.
+//
+// Everything inside the library is SI; these helpers exist only at the edges
+// (paper parameters quoted in mph, dBi, dB, ...).
+#pragma once
+
+#include <cmath>
+
+namespace safe::sim::units {
+
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+inline constexpr double kMilesPerHourToMps = 0.44704;
+
+/// Miles per hour -> meters per second.
+constexpr double mph_to_mps(double mph) { return mph * kMilesPerHourToMps; }
+
+/// Meters per second -> miles per hour.
+constexpr double mps_to_mph(double mps) { return mps / kMilesPerHourToMps; }
+
+/// Decibels -> linear power ratio.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Linear power ratio -> decibels.
+inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// Round-trip delay for a target at `distance_m` (seconds).
+constexpr double range_to_delay_s(double distance_m) {
+  return 2.0 * distance_m / kSpeedOfLightMps;
+}
+
+/// Target distance implied by a round-trip delay (meters).
+constexpr double delay_to_range_m(double delay_s) {
+  return delay_s * kSpeedOfLightMps / 2.0;
+}
+
+}  // namespace safe::sim::units

@@ -1,0 +1,39 @@
+#include "vehicle/lateral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace safe::vehicle {
+
+BicycleState step(const BicycleParameters& params, const BicycleState& state,
+                  const BicycleInput& input, double dt_s) {
+  if (dt_s <= 0.0) {
+    throw std::invalid_argument("bicycle step: dt must be > 0");
+  }
+  if (params.wheelbase_m <= 0.0) {
+    throw std::invalid_argument("bicycle step: wheelbase must be > 0");
+  }
+  const double steer =
+      std::clamp(input.steer_rad, -params.max_steer_rad, params.max_steer_rad);
+  const double accel = std::clamp(input.accel_mps2, -params.max_decel_mps2,
+                                  params.max_accel_mps2);
+
+  BicycleState next;
+  next.x_m = state.x_m + state.speed_mps * std::cos(state.heading_rad) * dt_s;
+  next.y_m = state.y_m + state.speed_mps * std::sin(state.heading_rad) * dt_s;
+  next.heading_rad = state.heading_rad +
+                     state.speed_mps / params.wheelbase_m * std::tan(steer) *
+                         dt_s;
+  // Wrap heading into (-pi, pi] to keep downstream trig well-conditioned.
+  while (next.heading_rad > 3.14159265358979323846) {
+    next.heading_rad -= 2.0 * 3.14159265358979323846;
+  }
+  while (next.heading_rad <= -3.14159265358979323846) {
+    next.heading_rad += 2.0 * 3.14159265358979323846;
+  }
+  next.speed_mps = std::max(state.speed_mps + accel * dt_s, 0.0);
+  return next;
+}
+
+}  // namespace safe::vehicle

@@ -1,0 +1,39 @@
+// Kinematic bicycle model with lateral dynamics (the paper's stated future
+// work: "extend our case study ... to include a non-linear system model with
+// lateral dynamics").
+//
+//   x'   = v cos(psi)
+//   y'   = v sin(psi)
+//   psi' = v / L * tan(delta)
+//   v'   = a
+//
+// integrated with forward Euler at the simulation sample time.
+#pragma once
+
+namespace safe::vehicle {
+
+struct BicycleParameters {
+  double wheelbase_m = 2.8;
+  double max_steer_rad = 0.5;      ///< Steering actuator limit.
+  double max_accel_mps2 = 3.0;
+  double max_decel_mps2 = 6.0;
+};
+
+struct BicycleState {
+  double x_m = 0.0;
+  double y_m = 0.0;        ///< Lateral position (lane-centerline frame).
+  double heading_rad = 0.0;
+  double speed_mps = 0.0;
+};
+
+struct BicycleInput {
+  double steer_rad = 0.0;
+  double accel_mps2 = 0.0;
+};
+
+/// Advances one step; inputs are clamped to the actuator limits and speed
+/// is clamped at zero. Throws std::invalid_argument for bad dt.
+BicycleState step(const BicycleParameters& params, const BicycleState& state,
+                  const BicycleInput& input, double dt_s);
+
+}  // namespace safe::vehicle

@@ -1,0 +1,48 @@
+#include "vehicle/leader_profile.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace safe::vehicle {
+
+ConstantDecelProfile::ConstantDecelProfile(double decel_mps2)
+    : decel_(decel_mps2) {
+  if (decel_ >= 0.0) {
+    throw std::invalid_argument("ConstantDecelProfile: decel must be < 0");
+  }
+}
+
+double ConstantDecelProfile::acceleration_mps2(double) const { return decel_; }
+
+DecelThenAccelProfile::DecelThenAccelProfile(double decel_mps2,
+                                             double accel_mps2,
+                                             double switch_time_s)
+    : decel_(decel_mps2), accel_(accel_mps2), switch_time_(switch_time_s) {
+  if (decel_ >= 0.0) {
+    throw std::invalid_argument("DecelThenAccelProfile: decel must be < 0");
+  }
+  if (accel_ <= 0.0) {
+    throw std::invalid_argument("DecelThenAccelProfile: accel must be > 0");
+  }
+  if (switch_time_ <= 0.0) {
+    throw std::invalid_argument("DecelThenAccelProfile: bad switch time");
+  }
+}
+
+double DecelThenAccelProfile::acceleration_mps2(double time_s) const {
+  return time_s < switch_time_ ? decel_ : accel_;
+}
+
+StopAndGoProfile::StopAndGoProfile(double amplitude_mps2, double period_s)
+    : amplitude_(amplitude_mps2), period_(period_s) {
+  if (amplitude_ <= 0.0 || period_ <= 0.0) {
+    throw std::invalid_argument("StopAndGoProfile: bad amplitude/period");
+  }
+}
+
+double StopAndGoProfile::acceleration_mps2(double time_s) const {
+  return amplitude_ *
+         std::sin(2.0 * 3.14159265358979323846 * time_s / period_);
+}
+
+}  // namespace safe::vehicle

@@ -1,0 +1,77 @@
+// Leader-vehicle acceleration profiles for the two case-study scenarios.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace safe::vehicle {
+
+/// Commanded acceleration of the leader as a function of time.
+class LeaderProfile {
+ public:
+  virtual ~LeaderProfile() = default;
+
+  [[nodiscard]] virtual double acceleration_mps2(double time_s) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Constant acceleration (use 0 for a cruising leader).
+class ConstantAccelProfile final : public LeaderProfile {
+ public:
+  explicit ConstantAccelProfile(double accel_mps2) : accel_(accel_mps2) {}
+
+  [[nodiscard]] double acceleration_mps2(double) const override {
+    return accel_;
+  }
+  [[nodiscard]] std::string name() const override { return "constant"; }
+
+ private:
+  double accel_;
+};
+
+/// Scenario (i): the leader decelerates at -0.1082 m/s^2 throughout.
+class ConstantDecelProfile final : public LeaderProfile {
+ public:
+  explicit ConstantDecelProfile(double decel_mps2 = -0.1082);
+
+  [[nodiscard]] double acceleration_mps2(double time_s) const override;
+  [[nodiscard]] std::string name() const override { return "const-decel"; }
+
+ private:
+  double decel_;
+};
+
+/// Scenario (ii): decelerate at `decel` until `switch_time_s`, then
+/// accelerate at `accel` (paper values -0.1082 and +0.012 m/s^2).
+class DecelThenAccelProfile final : public LeaderProfile {
+ public:
+  DecelThenAccelProfile(double decel_mps2 = -0.1082,
+                        double accel_mps2 = 0.012,
+                        double switch_time_s = 150.0);
+
+  [[nodiscard]] double acceleration_mps2(double time_s) const override;
+  [[nodiscard]] std::string name() const override { return "decel-accel"; }
+
+  [[nodiscard]] double switch_time_s() const { return switch_time_; }
+
+ private:
+  double decel_;
+  double accel_;
+  double switch_time_;
+};
+
+/// Stop-and-go traffic: sinusoidal acceleration a(t) = A sin(2 pi t / T).
+/// Exercises estimators and trackers with a continuously changing trend.
+class StopAndGoProfile final : public LeaderProfile {
+ public:
+  StopAndGoProfile(double amplitude_mps2 = 0.3, double period_s = 120.0);
+
+  [[nodiscard]] double acceleration_mps2(double time_s) const override;
+  [[nodiscard]] std::string name() const override { return "stop-and-go"; }
+
+ private:
+  double amplitude_;
+  double period_;
+};
+
+}  // namespace safe::vehicle

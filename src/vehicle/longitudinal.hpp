@@ -1,0 +1,30 @@
+// Longitudinal vehicle kinematics (Eqs. 15 and 17).
+//
+//   v(k+1) = v(k) + a(k+1) T                          (Eq. 15)
+//   x(k+1) = x(k) + v(k) T + a(k+1) T^2 / 2           (Eq. 17)
+//
+// Velocity is clamped at zero: these are road vehicles, not pendulums.
+#pragma once
+
+namespace safe::vehicle {
+
+struct VehicleState {
+  double position_m = 0.0;
+  double velocity_mps = 0.0;
+  double acceleration_mps2 = 0.0;
+};
+
+/// Advances one sample with commanded acceleration `accel_mps2` over
+/// `sample_time_s`. Returns the new state; clamps velocity at zero (and
+/// zeroes acceleration when the clamp engages mid-step).
+VehicleState step(const VehicleState& state, double accel_mps2,
+                  double sample_time_s);
+
+/// Gap between a leader and a follower (positive when the leader is ahead).
+double gap_m(const VehicleState& leader, const VehicleState& follower);
+
+/// Relative velocity dv = v_L - v_F (negative when closing).
+double relative_velocity_mps(const VehicleState& leader,
+                             const VehicleState& follower);
+
+}  // namespace safe::vehicle

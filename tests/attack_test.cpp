@@ -1,0 +1,211 @@
+// Tests for the attack models and scheduling.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "attack/attack.hpp"
+#include "attack/delay_injection.hpp"
+#include "attack/dos_jammer.hpp"
+#include "attack/window.hpp"
+#include "radar/link_budget.hpp"
+
+namespace safe::attack {
+namespace {
+
+radar::FmcwParameters waveform() { return radar::bosch_lrr2_parameters(); }
+
+AttackContext context_at(double time_s, double distance_m,
+                         const radar::FmcwParameters& wf,
+                         double range_rate = -1.0) {
+  return AttackContext{
+      .time_s = time_s,
+      .true_distance_m = distance_m,
+      .true_range_rate_mps = range_rate,
+      .true_echo_power_w =
+          radar::received_echo_power_w(wf, distance_m, 10.0),
+      .waveform = &wf,
+  };
+}
+
+radar::EchoScene normal_scene(const AttackContext& ctx) {
+  radar::EchoScene scene;
+  scene.echoes.push_back(radar::EchoComponent{
+      .distance_m = ctx.true_distance_m,
+      .range_rate_mps = ctx.true_range_rate_mps,
+      .power_w = ctx.true_echo_power_w,
+  });
+  scene.noise_power_w = 4.0e-14;
+  return scene;
+}
+
+TEST(NoAttack, LeavesSceneUntouched) {
+  const auto wf = waveform();
+  const auto ctx = context_at(0.0, 100.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  const radar::EchoScene before = scene;
+  NoAttack{}.apply(ctx, scene);
+  EXPECT_EQ(scene.echoes.size(), before.echoes.size());
+  EXPECT_EQ(scene.noise_power_w, before.noise_power_w);
+}
+
+TEST(AttackWindow, ContainsIsHalfOpen) {
+  const AttackWindow w{.start_s = 182.0, .end_s = 300.0};
+  EXPECT_FALSE(w.contains(181.999));
+  EXPECT_TRUE(w.contains(182.0));
+  EXPECT_TRUE(w.contains(299.999));
+  EXPECT_FALSE(w.contains(300.0));
+  EXPECT_DOUBLE_EQ(w.duration_s(), 118.0);
+}
+
+TEST(ScheduledAttack, ValidatesArguments) {
+  EXPECT_THROW(ScheduledAttack(nullptr, AttackWindow{0.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(ScheduledAttack(std::make_shared<NoAttack>(),
+                               AttackWindow{5.0, 5.0}),
+               std::invalid_argument);
+}
+
+TEST(ScheduledAttack, FiresOnlyInsideWindow) {
+  const auto wf = waveform();
+  const ScheduledAttack attack(
+      std::make_shared<DosJammerAttack>(radar::JammerParameters{}),
+      AttackWindow{182.0, 300.0});
+
+  auto ctx = context_at(100.0, 100.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  const double clean_noise = scene.noise_power_w;
+  attack.apply(ctx, scene);
+  EXPECT_EQ(scene.noise_power_w, clean_noise);  // before window
+
+  ctx.time_s = 200.0;
+  attack.apply(ctx, scene);
+  EXPECT_GT(scene.noise_power_w, clean_noise);  // inside window
+}
+
+TEST(ScheduledAttack, NameMentionsInner) {
+  const ScheduledAttack attack(std::make_shared<NoAttack>(),
+                               AttackWindow{1.0, 2.0});
+  EXPECT_NE(attack.name().find("none"), std::string::npos);
+}
+
+TEST(DosJammer, RejectsBadParameters) {
+  radar::JammerParameters j{};
+  j.peak_power_w = 0.0;
+  EXPECT_THROW(DosJammerAttack{j}, std::invalid_argument);
+}
+
+TEST(DosJammer, AddsEquationTenPower) {
+  const auto wf = waveform();
+  const auto ctx = context_at(0.0, 100.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  const double before = scene.noise_power_w;
+  const DosJammerAttack attack{radar::JammerParameters{}};
+  attack.apply(ctx, scene);
+  EXPECT_NEAR(scene.noise_power_w - before,
+              radar::received_jammer_power_w(wf, radar::JammerParameters{},
+                                             100.0),
+              1e-20);
+}
+
+TEST(DosJammer, LeavesGenuineEchoInScene) {
+  const auto wf = waveform();
+  const auto ctx = context_at(0.0, 100.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  DosJammerAttack{radar::JammerParameters{}}.apply(ctx, scene);
+  ASSERT_EQ(scene.echoes.size(), 1u);
+  EXPECT_DOUBLE_EQ(scene.echoes[0].distance_m, 100.0);
+}
+
+TEST(DosJammer, PaperParametersSucceedAtHundredMeters) {
+  const DosJammerAttack attack{radar::JammerParameters{}};
+  EXPECT_TRUE(attack.succeeds_at(waveform(), 100.0, 10.0));
+  EXPECT_FALSE(attack.succeeds_at(waveform(), 2.0, 10.0));
+}
+
+TEST(DosJammer, SkipsDegenerateGeometry) {
+  const auto wf = waveform();
+  auto ctx = context_at(0.0, 100.0, wf);
+  ctx.true_distance_m = 0.0;
+  radar::EchoScene scene;
+  scene.noise_power_w = 1.0e-14;
+  DosJammerAttack{radar::JammerParameters{}}.apply(ctx, scene);
+  EXPECT_DOUBLE_EQ(scene.noise_power_w, 1.0e-14);
+}
+
+TEST(DosJammer, MissingWaveformThrows) {
+  AttackContext ctx;
+  ctx.true_distance_m = 50.0;
+  radar::EchoScene scene;
+  EXPECT_THROW(DosJammerAttack{radar::JammerParameters{}}.apply(ctx, scene),
+               std::invalid_argument);
+}
+
+TEST(DelayInjection, ValidatesConfig) {
+  EXPECT_THROW(DelayInjectionAttack({.extra_delay_s = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(DelayInjectionAttack({.power_advantage = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(DelayInjection, DefaultDelayFakesSixMeters) {
+  const DelayInjectionAttack attack{DelayInjectionConfig{}};
+  EXPECT_NEAR(attack.range_offset_m(), 6.0, 0.01);
+}
+
+TEST(DelayInjection, ReplacesEchoWithShiftedCounterfeit) {
+  const auto wf = waveform();
+  const auto ctx = context_at(190.0, 80.0, wf, -2.5);
+  radar::EchoScene scene = normal_scene(ctx);
+  const DelayInjectionAttack attack{DelayInjectionConfig{}};
+  attack.apply(ctx, scene);
+  ASSERT_EQ(scene.echoes.size(), 1u);
+  EXPECT_NEAR(scene.echoes[0].distance_m, 86.0, 0.01);
+  EXPECT_DOUBLE_EQ(scene.echoes[0].range_rate_mps, -2.5);
+  EXPECT_GT(scene.echoes[0].power_w, ctx.true_echo_power_w);
+}
+
+TEST(DelayInjection, NonReplacingModeKeepsBothEchoes) {
+  const auto wf = waveform();
+  const auto ctx = context_at(190.0, 80.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  DelayInjectionConfig cfg;
+  cfg.replaces_true_echo = false;
+  DelayInjectionAttack{cfg}.apply(ctx, scene);
+  EXPECT_EQ(scene.echoes.size(), 2u);
+}
+
+TEST(DelayInjection, PersistsIntoChallengeSlots) {
+  // Realistic attacker (pipeline latency): counterfeit present even though
+  // the probe was suppressed. This is what CRA detects.
+  const auto wf = waveform();
+  const auto ctx = context_at(190.0, 80.0, wf);
+  radar::EchoScene scene;
+  scene.tx_enabled = false;
+  scene.noise_power_w = 4.0e-14;
+  DelayInjectionAttack{DelayInjectionConfig{}}.apply(ctx, scene);
+  EXPECT_EQ(scene.echoes.size(), 1u);
+}
+
+TEST(DelayInjection, FastAdversaryEvadesChallenges) {
+  // The paper's future-work adversary mutes during challenges: scene stays
+  // silent and CRA cannot see it.
+  const auto wf = waveform();
+  const auto ctx = context_at(190.0, 80.0, wf);
+  radar::EchoScene scene;
+  scene.tx_enabled = false;
+  scene.noise_power_w = 4.0e-14;
+  DelayInjectionConfig cfg;
+  cfg.evades_challenges = true;
+  DelayInjectionAttack{cfg}.apply(ctx, scene);
+  EXPECT_TRUE(scene.echoes.empty());
+}
+
+TEST(DelayInjection, CustomDelayScalesOffset) {
+  DelayInjectionConfig cfg;
+  cfg.extra_delay_s = 8.0e-8;  // twice the default
+  const DelayInjectionAttack attack{cfg};
+  EXPECT_NEAR(attack.range_offset_m(), 12.0, 0.02);
+}
+
+}  // namespace
+}  // namespace safe::attack

@@ -1,0 +1,205 @@
+// Tests for the ACC hierarchy (Eqs. 12-14, 16) and the IDM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/acc.hpp"
+#include "control/idm.hpp"
+
+namespace safe::control {
+namespace {
+
+TEST(AccParameters, Validation) {
+  AccParameters p;
+  p.headway_time_s = 0.0;
+  EXPECT_THROW(validate_parameters(p), std::invalid_argument);
+  p = AccParameters{};
+  p.time_constant_s = -1.0;
+  EXPECT_THROW(validate_parameters(p), std::invalid_argument);
+  p = AccParameters{};
+  p.sample_time_s = 0.0;
+  EXPECT_THROW(validate_parameters(p), std::invalid_argument);
+  p = AccParameters{};
+  p.max_accel_mps2 = 0.0;
+  EXPECT_THROW(validate_parameters(p), std::invalid_argument);
+}
+
+TEST(DesiredDistance, EquationTwelve) {
+  // d_des = d_0 + tau_h * v_F with the paper's tau_h = 3 s, d_0 = 5 m.
+  const AccParameters p;
+  EXPECT_DOUBLE_EQ(desired_distance_m(p, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(desired_distance_m(p, 20.0), 65.0);
+}
+
+TEST(UpperLevel, SpeedModeWithoutTarget) {
+  UpperLevelController ctrl{AccParameters{}};
+  AccInputs in;
+  in.target_present = false;
+  in.follower_speed_mps = 20.0;
+  const AccCommand cmd = ctrl.step(in);
+  EXPECT_EQ(cmd.mode, AccMode::kSpeedControl);
+  EXPECT_DOUBLE_EQ(cmd.desired_speed_mps, AccParameters{}.set_speed_mps);
+  EXPECT_GT(cmd.desired_accel_mps2, 0.0);  // below set speed: accelerate
+}
+
+TEST(UpperLevel, SpeedModeWhenTargetFarAway) {
+  UpperLevelController ctrl{AccParameters{}};
+  AccInputs in;
+  in.target_present = true;
+  in.distance_m = 200.0;  // far beyond the CTH envelope at any speed
+  in.follower_speed_mps = 25.0;
+  EXPECT_EQ(ctrl.step(in).mode, AccMode::kSpeedControl);
+}
+
+TEST(UpperLevel, SpacingModeInsideEnvelope) {
+  UpperLevelController ctrl{AccParameters{}};
+  AccInputs in;
+  in.target_present = true;
+  in.follower_speed_mps = 25.0;      // d_des = 80
+  in.distance_m = 60.0;              // inside
+  in.relative_velocity_mps = -2.0;   // closing
+  const AccCommand cmd = ctrl.step(in);
+  EXPECT_EQ(cmd.mode, AccMode::kSpacingControl);
+  // Closing and too near: decelerate.
+  EXPECT_LT(cmd.desired_accel_mps2, 0.0);
+  EXPECT_LT(cmd.desired_speed_mps, in.follower_speed_mps);
+}
+
+TEST(UpperLevel, DesiredAccelClampedToLimits) {
+  AccParameters p;
+  p.max_decel_mps2 = 2.0;
+  UpperLevelController ctrl{p};
+  AccInputs in;
+  in.target_present = true;
+  in.follower_speed_mps = 30.0;
+  in.distance_m = 10.0;               // emergency-close
+  in.relative_velocity_mps = -10.0;
+  const AccCommand cmd = ctrl.step(in);
+  EXPECT_GE(cmd.desired_accel_mps2, -2.0);
+}
+
+TEST(UpperLevel, SpacingNeverExceedsSetSpeed) {
+  UpperLevelController ctrl{AccParameters{}};
+  AccInputs in;
+  in.target_present = true;
+  in.follower_speed_mps = 29.0;
+  in.distance_m = 95.0;              // just inside the 1.2x envelope
+  in.relative_velocity_mps = 10.0;   // leader racing away
+  const AccCommand cmd = ctrl.step(in);
+  EXPECT_LE(cmd.desired_speed_mps, AccParameters{}.set_speed_mps + 1e-12);
+}
+
+TEST(UpperLevel, ResetForgetsPreviousDesiredSpeed) {
+  UpperLevelController ctrl{AccParameters{}};
+  AccInputs in;
+  in.follower_speed_mps = 10.0;
+  ctrl.step(in);
+  ctrl.reset();
+  // After reset the Eq. 16 difference is taken against current speed again.
+  const AccCommand cmd = ctrl.step(in);
+  EXPECT_LE(cmd.desired_accel_mps2, AccParameters{}.max_accel_mps2);
+}
+
+TEST(LowerLevel, FirstOrderLagApproachesTarget) {
+  LowerLevelController ctrl{AccParameters{}};
+  double a = 0.0;
+  for (int k = 0; k < 30; ++k) a = ctrl.step(1.5).actual_accel_mps2;
+  EXPECT_NEAR(a, 1.5, 1e-6);  // K1 = 1: tracks a_des
+}
+
+TEST(LowerLevel, SingleStepMatchesDiscretization) {
+  // a1 = a0 + T/Ti * (K1 a_des - a0); T = 1, Ti = 1.008 -> blend 0.992.
+  LowerLevelController ctrl{AccParameters{}};
+  const auto s = ctrl.step(2.0);
+  EXPECT_NEAR(s.actual_accel_mps2, std::min(1.0 / 1.008, 1.0) * 2.0, 1e-12);
+}
+
+TEST(LowerLevel, PedalAndBrakeSplit) {
+  LowerLevelController ctrl{AccParameters{}};
+  const auto accel = ctrl.step(2.0);
+  EXPECT_GT(accel.pedal_accel_mps2, 0.0);
+  EXPECT_EQ(accel.brake_pressure, 0.0);
+
+  LowerLevelController ctrl2{AccParameters{}};
+  const auto brake = ctrl2.step(-2.0);
+  EXPECT_EQ(brake.pedal_accel_mps2, 0.0);
+  EXPECT_GT(brake.brake_pressure, 0.0);
+  // P_brake proportional to commanded deceleration.
+  EXPECT_NEAR(brake.brake_pressure,
+              -brake.actual_accel_mps2 * AccParameters{}.brake_pressure_per_mps2,
+              1e-9);
+}
+
+TEST(LowerLevel, ResetZeroesState) {
+  LowerLevelController ctrl{AccParameters{}};
+  ctrl.step(2.0);
+  ctrl.reset();
+  EXPECT_EQ(ctrl.actual_accel(), 0.0);
+}
+
+TEST(AccController, FacadeRunsBothLevels) {
+  AccController acc;
+  AccInputs in;
+  in.target_present = true;
+  in.follower_speed_mps = 25.0;
+  in.distance_m = 40.0;
+  in.relative_velocity_mps = -3.0;
+  const auto out = acc.step(in);
+  EXPECT_EQ(out.command.mode, AccMode::kSpacingControl);
+  EXPECT_LT(out.actuation.actual_accel_mps2, 0.0);
+}
+
+TEST(Idm, Validation) {
+  IdmParameters p;
+  p.max_accel_mps2 = 0.0;
+  EXPECT_THROW(validate_parameters(p), std::invalid_argument);
+  p = IdmParameters{};
+  p.desired_speed_mps = 0.0;
+  EXPECT_THROW(validate_parameters(p), std::invalid_argument);
+}
+
+TEST(Idm, FreeRoadAcceleratesBelowDesiredSpeed) {
+  const IdmParameters p;
+  EXPECT_GT(idm_free_acceleration(p, 10.0), 0.0);
+  EXPECT_NEAR(idm_free_acceleration(p, p.desired_speed_mps), 0.0, 1e-9);
+  EXPECT_LT(idm_free_acceleration(p, p.desired_speed_mps * 1.2), 0.0);
+}
+
+TEST(Idm, DesiredGapGrowsWithSpeedAndClosingRate) {
+  const IdmParameters p;
+  EXPECT_GT(idm_desired_gap_m(p, 30.0, 30.0), idm_desired_gap_m(p, 10.0, 10.0));
+  EXPECT_GT(idm_desired_gap_m(p, 20.0, 15.0), idm_desired_gap_m(p, 20.0, 20.0));
+}
+
+TEST(Idm, BrakesWhenGapTooSmall) {
+  const IdmParameters p;
+  EXPECT_LT(idm_acceleration(p, 20.0, 20.0, 5.0), 0.0);
+}
+
+TEST(Idm, EmergencyClampOnContact) {
+  const IdmParameters p;
+  EXPECT_LT(idm_acceleration(p, 20.0, 20.0, 0.0), -4.0);
+}
+
+TEST(Idm, EquilibriumIsStable) {
+  // From a perturbed start, an IDM follower behind a constant-speed leader
+  // settles to a constant gap.
+  const IdmParameters p;
+  double v = 25.0, gap = 20.0;
+  const double v_lead = 22.0;
+  for (int k = 0; k < 2000; ++k) {
+    const double a = idm_acceleration(p, v, v_lead, gap);
+    v = std::max(v + a * 0.1, 0.0);
+    gap += (v_lead - v) * 0.1;
+  }
+  EXPECT_NEAR(v, v_lead, 0.05);
+  // Analytic equilibrium: a = 0 at s_eq = s* / sqrt(1 - (v/v0)^delta).
+  const double free_term =
+      std::pow(v / p.desired_speed_mps, p.accel_exponent);
+  const double s_eq =
+      idm_desired_gap_m(p, v, v_lead) / std::sqrt(1.0 - free_term);
+  EXPECT_NEAR(gap, s_eq, 1.0);
+}
+
+}  // namespace
+}  // namespace safe::control

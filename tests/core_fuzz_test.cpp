@@ -1,0 +1,114 @@
+// Randomized closed-loop property tests: for arbitrary PRBS challenge
+// schedules, attack kinds, and attack windows, the defense invariants must
+// hold.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <random>
+
+#include "core/scenario.hpp"
+
+namespace safe::core {
+namespace {
+
+struct FuzzCase {
+  unsigned seed;
+};
+
+class DefenseInvariants : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DefenseInvariants, HoldUnderRandomizedAttacksAndSchedules) {
+  std::mt19937 rng(GetParam() * 2654435761u + 17u);
+  std::uniform_int_distribution<int> attack_pick(0, 1);
+  std::uniform_real_distribution<double> onset_dist(30.0, 250.0);
+  std::uniform_int_distribution<int> denom_dist(3, 8);
+  std::uniform_int_distribution<int> key_dist(1, 0xFFFF);
+
+  ScenarioOptions o;
+  o.estimator = radar::BeatEstimator::kPeriodogram;
+  o.attack = attack_pick(rng) == 0 ? AttackKind::kDosJammer
+                                   : AttackKind::kDelayInjection;
+  o.attack_start_s = std::floor(onset_dist(rng));
+  o.attack_end_s = 300.0;
+  o.seed = GetParam() + 7000;
+  o.leader = attack_pick(rng) == 0 ? LeaderScenario::kConstantDecel
+                                   : LeaderScenario::kDecelThenAccel;
+
+  Scenario scenario = make_paper_scenario(o);
+  scenario.schedule = std::make_shared<cra::PrbsChallengeSchedule>(
+      static_cast<std::uint16_t>(key_dist(rng)), 1,
+      static_cast<std::uint32_t>(denom_dist(rng)),
+      scenario.config.horizon_steps);
+
+  const auto result = scenario.run();
+
+  // Invariant 1: the challenge-level comparison never miscounts — zero
+  // false positives and zero false negatives on every run.
+  EXPECT_EQ(result.detection_stats.false_positives, 0u)
+      << "attack=" << static_cast<int>(o.attack) << " onset="
+      << o.attack_start_s;
+  EXPECT_EQ(result.detection_stats.false_negatives, 0u);
+
+  // Invariant 2: if the run survived to the first challenge after onset,
+  // detection happened exactly there.
+  std::int64_t first_challenge_after_onset = -1;
+  for (std::int64_t k = static_cast<std::int64_t>(o.attack_start_s); k < 300;
+       ++k) {
+    if (scenario.schedule->is_challenge(k)) {
+      first_challenge_after_onset = k;
+      break;
+    }
+  }
+  const bool survived_to_challenge =
+      !result.collided ||
+      (result.collision_step &&
+       *result.collision_step >= first_challenge_after_onset);
+  if (first_challenge_after_onset >= 0 && survived_to_challenge) {
+    ASSERT_TRUE(result.detection_step.has_value());
+    EXPECT_EQ(*result.detection_step, first_challenge_after_onset);
+  }
+
+  // Invariant 3: every recorded value is finite and safe distances are
+  // non-negative.
+  for (std::size_t c = 0; c < result.trace.num_columns(); ++c) {
+    for (const double v : result.trace.column(c)) {
+      EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+  for (const double d : result.trace.column("safe_gap_m")) {
+    EXPECT_GE(d, 0.0);
+  }
+
+  // Invariant 4: the under_attack flag never rises outside the window's
+  // closure [onset, horizon].
+  const auto& under = result.trace.column("under_attack");
+  for (std::size_t k = 0; k < static_cast<std::size_t>(o.attack_start_s);
+       ++k) {
+    EXPECT_EQ(under[k], 0.0) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Randomized, DefenseInvariants,
+                         ::testing::Range(0u, 14u));
+
+class CleanRunInvariants : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CleanRunInvariants, NoAttackMeansNoDetectionEver) {
+  ScenarioOptions o;
+  o.estimator = radar::BeatEstimator::kPeriodogram;
+  o.seed = GetParam() + 100;
+  Scenario scenario = make_paper_scenario(o);
+  scenario.schedule = std::make_shared<cra::PrbsChallengeSchedule>(
+      static_cast<std::uint16_t>(GetParam() * 131 + 7), 1, 4,
+      scenario.config.horizon_steps);
+  const auto result = scenario.run();
+  EXPECT_FALSE(result.detection_step.has_value());
+  EXPECT_EQ(result.detection_stats.false_positives, 0u);
+  EXPECT_FALSE(result.collided);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CleanRunInvariants, ::testing::Range(0u, 8u));
+
+}  // namespace
+}  // namespace safe::core

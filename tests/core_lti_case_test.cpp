@@ -1,0 +1,186 @@
+// Tests for the generic Section-3 LTI secure-sensing harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/lti_case.hpp"
+
+namespace safe::core {
+namespace {
+
+std::shared_ptr<const cra::ChallengeSchedule> dense_schedule(
+    std::int64_t horizon = 300) {
+  return std::make_shared<cra::PrbsChallengeSchedule>(0x5151, 1, 5, horizon);
+}
+
+LtiOutputAttack bias_attack(std::size_t outputs, double start, double end,
+                            double magnitude) {
+  LtiOutputAttack attack;
+  attack.kind = LtiOutputAttack::Kind::kBias;
+  attack.window = attack::AttackWindow{start, end};
+  attack.value = linalg::RVector(outputs, magnitude);
+  return attack;
+}
+
+LtiOutputAttack dos_attack(std::size_t outputs, double start, double end,
+                           double magnitude) {
+  LtiOutputAttack attack;
+  attack.kind = LtiOutputAttack::Kind::kDos;
+  attack.window = attack::AttackWindow{start, end};
+  attack.value = linalg::RVector(outputs, magnitude);
+  return attack;
+}
+
+TEST(LtiCase, ConstructionValidation) {
+  LtiCaseConfig cfg = make_dc_motor_case();
+  EXPECT_THROW(LtiSecureCase(cfg, nullptr, std::nullopt),
+               std::invalid_argument);
+
+  cfg = make_dc_motor_case();
+  cfg.feedback_gain = linalg::RMatrix(2, 1);
+  EXPECT_THROW(LtiSecureCase(cfg, dense_schedule(), std::nullopt),
+               std::invalid_argument);
+
+  cfg = make_dc_motor_case();
+  cfg.reference_output = linalg::RVector(2);
+  EXPECT_THROW(LtiSecureCase(cfg, dense_schedule(), std::nullopt),
+               std::invalid_argument);
+
+  cfg = make_dc_motor_case();
+  EXPECT_THROW(LtiSecureCase(cfg, dense_schedule(),
+                             bias_attack(3, 0.0, 1.0, 1.0)),
+               std::invalid_argument);
+
+  cfg = make_dc_motor_case();
+  cfg.horizon_steps = 0;
+  EXPECT_THROW(LtiSecureCase(cfg, dense_schedule(), std::nullopt),
+               std::invalid_argument);
+}
+
+TEST(LtiCase, DcMotorTracksReferenceWithoutAttack) {
+  LtiSecureCase sim(make_dc_motor_case(), dense_schedule(), std::nullopt);
+  const auto r = sim.run();
+  EXPECT_FALSE(r.detection_step.has_value());
+  EXPECT_EQ(r.detection_stats.false_positives, 0u);
+  // Proportional output feedback has ~9% steady-state droop (no
+  // integrator): |1/1.1 - 1| ~ 0.09, plus noise.
+  EXPECT_LT(r.max_tracking_error, 0.15);
+}
+
+TEST(LtiCase, DoubleIntegratorTracksReferenceWithoutAttack) {
+  LtiSecureCase sim(make_double_integrator_case(), dense_schedule(),
+                    std::nullopt);
+  const auto r = sim.run();
+  EXPECT_LT(r.max_tracking_error, 0.5);
+}
+
+TEST(LtiCase, BiasAttackDetectedAtFirstChallenge) {
+  const auto schedule = dense_schedule();
+  LtiSecureCase sim(make_dc_motor_case(), schedule,
+                    bias_attack(1, 150.0, 300.0, 0.5));
+  const auto r = sim.run();
+  std::int64_t expected = -1;
+  for (std::int64_t k = 150; k < 300; ++k) {
+    if (schedule->is_challenge(k)) {
+      expected = k;
+      break;
+    }
+  }
+  ASSERT_TRUE(r.detection_step.has_value());
+  EXPECT_EQ(*r.detection_step, expected);
+  EXPECT_EQ(r.detection_stats.false_positives, 0u);
+  EXPECT_EQ(r.detection_stats.false_negatives, 0u);
+}
+
+TEST(LtiCase, DefenseKeepsDcMotorOnReferenceThroughBias) {
+  LtiSecureCase sim(make_dc_motor_case(), dense_schedule(),
+                    bias_attack(1, 150.0, 300.0, 0.5));
+  const auto r = sim.run();
+  // The few pre-detection steps let the bias through (a transient dip); the
+  // tail error measures the recovered holdover: near the loop's droopy
+  // operating point ~0.91, far from the biased ~0.45.
+  EXPECT_LT(r.tail_tracking_error, 0.25);
+  EXPECT_LT(r.max_tracking_error, 0.7);  // latency transient is bounded
+}
+
+TEST(LtiCase, UndefendedBiasDragsOutputOffReference) {
+  LtiCaseConfig cfg = make_dc_motor_case();
+  cfg.defense_enabled = false;
+  LtiSecureCase sim(cfg, dense_schedule(), bias_attack(1, 150.0, 300.0, 0.5));
+  const auto r = sim.run();
+  EXPECT_GT(r.max_tracking_error, 0.3);
+  EXPECT_GT(r.tail_tracking_error, 0.3);  // never recovers
+}
+
+TEST(LtiCase, DosOnUnstablePlantDefenseBridgesBoundedWindow) {
+  // A double integrator cannot be stabilized open-loop: holdover only
+  // *bridges* attacks of bounded duration (here 20 steps). To isolate the
+  // bridging property from detection latency (which on this plant is
+  // catastrophic on its own — see the challenge-rate ablation), the attack
+  // starts exactly on a challenge slot, so it is caught on its first step.
+  const auto schedule = dense_schedule();
+  std::int64_t onset = -1;
+  for (std::int64_t k = 150; k < 250; ++k) {
+    if (schedule->is_challenge(k)) {
+      onset = k;
+      break;
+    }
+  }
+  ASSERT_GT(onset, 0);
+  const auto attack = dos_attack(2, static_cast<double>(onset),
+                                 static_cast<double>(onset + 20), 50.0);
+
+  LtiCaseConfig cfg = make_double_integrator_case();
+  cfg.defense_enabled = false;
+  LtiSecureCase sim(cfg, schedule, attack);
+  const auto undefended = sim.run();
+
+  LtiSecureCase defended_sim(make_double_integrator_case(), schedule, attack);
+  const auto defended = defended_sim.run();
+
+  EXPECT_GT(undefended.max_tracking_error, 100.0);
+  // Holdover keeps u near zero, but prediction noise random-walks the
+  // unprotected velocity state: a ~30-step blind window costs a few meters
+  // of position error — orders of magnitude below the undefended wreck.
+  EXPECT_LT(defended.max_tracking_error, 15.0);
+  EXPECT_LT(defended.max_tracking_error,
+            0.1 * undefended.max_tracking_error);
+}
+
+TEST(LtiCase, UnboundedBlindWindowDivergesEvenDefended) {
+  // The flip side, worth pinning down as a property: with the attack
+  // running to the horizon, the unstable plant drifts without feedback no
+  // matter how good the holdover — sensor recovery is not a substitute for
+  // re-establishing trusted sensing on open-loop-unstable systems.
+  LtiSecureCase sim(make_double_integrator_case(), dense_schedule(),
+                    dos_attack(2, 150.0, 300.0, 50.0));
+  const auto r = sim.run();
+  EXPECT_GT(r.max_tracking_error, 3.0);
+}
+
+TEST(LtiCase, ScoringIsCleanOverFullRun) {
+  LtiSecureCase sim(make_double_integrator_case(), dense_schedule(),
+                    dos_attack(2, 100.0, 200.0, 25.0));
+  const auto r = sim.run();
+  EXPECT_EQ(r.detection_stats.false_positives, 0u);
+  EXPECT_EQ(r.detection_stats.false_negatives, 0u);
+  // Attack clears after its window: under_attack falls back to zero.
+  const auto& under = r.trace.column("under_attack");
+  bool cleared = false;
+  for (std::size_t k = 210; k < under.size(); ++k) {
+    if (under[k] == 0.0) cleared = true;
+  }
+  EXPECT_TRUE(cleared);
+}
+
+TEST(LtiCase, TraceShapeMatchesOutputs) {
+  LtiSecureCase sim(make_double_integrator_case(), dense_schedule(),
+                    std::nullopt);
+  const auto r = sim.run();
+  EXPECT_EQ(r.trace.num_columns(), 3u + 2u * 2u);
+  EXPECT_EQ(r.trace.num_rows(), 300u);
+}
+
+}  // namespace
+}  // namespace safe::core

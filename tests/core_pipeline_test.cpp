@@ -1,0 +1,251 @@
+// Unit tests for SafeMeasurementPipeline (Algorithm 2 glue).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/pipeline.hpp"
+#include "cra/challenge.hpp"
+#include "estimation/rls_predictor.hpp"
+
+namespace safe::core {
+namespace {
+
+std::shared_ptr<const cra::ChallengeSchedule> schedule_with(
+    std::vector<std::int64_t> steps) {
+  return std::make_shared<cra::FixedChallengeSchedule>(std::move(steps));
+}
+
+SafeMeasurementPipeline make_pipeline(
+    std::shared_ptr<const cra::ChallengeSchedule> schedule) {
+  return SafeMeasurementPipeline(
+      std::move(schedule), std::make_unique<estimation::RlsArPredictor>(),
+      std::make_unique<estimation::RlsArPredictor>());
+}
+
+radar::RadarMeasurement echo_measurement(double d, double dv) {
+  radar::RadarMeasurement m;
+  m.estimate = radar::RangeRate{.distance_m = d, .range_rate_mps = dv};
+  m.coherent_echo = true;
+  m.peak_to_average = 500.0;
+  return m;
+}
+
+radar::RadarMeasurement silent_measurement() {
+  radar::RadarMeasurement m;
+  m.coherent_echo = false;
+  m.power_alarm = false;
+  return m;
+}
+
+radar::RadarMeasurement jammed_measurement() {
+  radar::RadarMeasurement m;
+  m.coherent_echo = false;
+  m.power_alarm = true;
+  m.estimate = radar::RangeRate{.distance_m = 999.0, .range_rate_mps = 50.0};
+  return m;
+}
+
+TEST(Pipeline, NullPredictorThrows) {
+  EXPECT_THROW(SafeMeasurementPipeline(schedule_with({1}), nullptr,
+                                       std::make_unique<estimation::RlsArPredictor>()),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, ProbeSuppressionFollowsSchedule) {
+  auto p = make_pipeline(schedule_with({3, 8}));
+  EXPECT_TRUE(p.probe_suppressed(3));
+  EXPECT_TRUE(p.probe_suppressed(8));
+  EXPECT_FALSE(p.probe_suppressed(4));
+}
+
+TEST(Pipeline, PassesThroughCleanMeasurements) {
+  auto p = make_pipeline(schedule_with({100}));
+  const auto safe = p.process(0, echo_measurement(80.0, -2.0));
+  EXPECT_TRUE(safe.target_present);
+  EXPECT_FALSE(safe.estimated);
+  EXPECT_DOUBLE_EQ(safe.distance_m, 80.0);
+  EXPECT_DOUBLE_EQ(safe.relative_velocity_mps, -2.0);
+}
+
+TEST(Pipeline, NoTargetWhenNoEcho) {
+  auto p = make_pipeline(schedule_with({100}));
+  const auto safe = p.process(0, silent_measurement());
+  EXPECT_FALSE(safe.target_present);
+  EXPECT_FALSE(safe.under_attack);
+}
+
+TEST(Pipeline, SilentChallengeStaysClean) {
+  auto p = make_pipeline(schedule_with({5}));
+  for (std::int64_t k = 0; k < 5; ++k) {
+    p.process(k, echo_measurement(100.0 - static_cast<double>(k), -1.0));
+  }
+  const auto safe = p.process(5, silent_measurement());
+  EXPECT_TRUE(safe.challenge_slot);
+  EXPECT_FALSE(safe.under_attack);
+  // Radar was mute this epoch: the pipeline must still report the target.
+  EXPECT_TRUE(safe.target_present);
+  EXPECT_TRUE(safe.estimated);
+}
+
+TEST(Pipeline, DetectsAttackAtChallenge) {
+  auto p = make_pipeline(schedule_with({10}));
+  for (std::int64_t k = 0; k < 10; ++k) {
+    p.process(k, echo_measurement(100.0 - static_cast<double>(k), -1.0));
+  }
+  const auto safe = p.process(10, jammed_measurement());
+  EXPECT_TRUE(safe.attack_started);
+  EXPECT_TRUE(safe.under_attack);
+  ASSERT_TRUE(p.detection_step().has_value());
+  EXPECT_EQ(*p.detection_step(), 10);
+}
+
+TEST(Pipeline, HoldsOverWithEstimatesDuringAttack) {
+  auto p = make_pipeline(schedule_with({20}));
+  for (std::int64_t k = 0; k < 20; ++k) {
+    p.process(k, echo_measurement(100.0 - 0.5 * static_cast<double>(k), -0.5));
+  }
+  p.process(20, jammed_measurement());
+  // Corrupted data keeps arriving; outputs must be estimates continuing the
+  // pre-attack ramp, not the corrupted 999 m.
+  for (std::int64_t k = 21; k < 40; ++k) {
+    const auto safe = p.process(k, jammed_measurement());
+    EXPECT_TRUE(safe.estimated);
+    const double expected = 100.0 - 0.5 * static_cast<double>(k);
+    EXPECT_NEAR(safe.distance_m, expected, 2.0) << "k=" << k;
+  }
+}
+
+TEST(Pipeline, UntrainedPipelineHoldsLastValue) {
+  PipelineOptions opts;
+  opts.min_training_samples = 50;  // never reached here
+  SafeMeasurementPipeline p(schedule_with({4}),
+                            std::make_unique<estimation::RlsArPredictor>(),
+                            std::make_unique<estimation::RlsArPredictor>(),
+                            opts);
+  p.process(0, echo_measurement(60.0, -1.5));
+  const auto safe = p.process(4, jammed_measurement());
+  EXPECT_TRUE(safe.under_attack);
+  EXPECT_DOUBLE_EQ(safe.distance_m, 60.0);
+  EXPECT_DOUBLE_EQ(safe.relative_velocity_mps, -1.5);
+}
+
+TEST(Pipeline, AttackClearsOnSilentChallenge) {
+  auto p = make_pipeline(schedule_with({10, 30}));
+  for (std::int64_t k = 0; k < 10; ++k) {
+    p.process(k, echo_measurement(100.0, -1.0));
+  }
+  p.process(10, jammed_measurement());
+  EXPECT_TRUE(p.under_attack());
+  const auto safe = p.process(30, silent_measurement());
+  EXPECT_TRUE(safe.attack_cleared);
+  EXPECT_FALSE(p.under_attack());
+}
+
+TEST(Pipeline, ResumesPassThroughAfterClear) {
+  auto p = make_pipeline(schedule_with({10, 20}));
+  for (std::int64_t k = 0; k < 10; ++k) {
+    p.process(k, echo_measurement(100.0, -1.0));
+  }
+  p.process(10, jammed_measurement());
+  p.process(20, silent_measurement());  // clears
+  const auto safe = p.process(21, echo_measurement(42.0, -0.25));
+  EXPECT_FALSE(safe.estimated);
+  EXPECT_DOUBLE_EQ(safe.distance_m, 42.0);
+}
+
+TEST(Pipeline, EstimatedDistanceNeverNegative) {
+  auto p = make_pipeline(schedule_with({30}));
+  // Steep closing ramp: free-run would cross zero quickly.
+  for (std::int64_t k = 0; k < 30; ++k) {
+    p.process(k, echo_measurement(30.0 - static_cast<double>(k), -1.0));
+  }
+  p.process(30, jammed_measurement());
+  for (std::int64_t k = 31; k < 60; ++k) {
+    const auto safe = p.process(k, jammed_measurement());
+    EXPECT_GE(safe.distance_m, 0.0);
+  }
+}
+
+TEST(Pipeline, ScoredStatsAccumulate) {
+  auto p = make_pipeline(schedule_with({5, 10}));
+  for (std::int64_t k = 0; k < 5; ++k) {
+    p.process_scored(k, echo_measurement(50.0, 0.0), false);
+  }
+  p.process_scored(5, silent_measurement(), false);   // TN
+  p.process_scored(10, jammed_measurement(), true);   // TP
+  const auto& stats = p.detection_stats();
+  EXPECT_EQ(stats.challenges, 2u);
+  EXPECT_EQ(stats.true_negatives, 1u);
+  EXPECT_EQ(stats.true_positives, 1u);
+  EXPECT_EQ(stats.false_positives, 0u);
+  EXPECT_EQ(stats.false_negatives, 0u);
+}
+
+TEST(Pipeline, ResetRestoresCleanState) {
+  auto p = make_pipeline(schedule_with({5}));
+  for (std::int64_t k = 0; k < 5; ++k) {
+    p.process(k, echo_measurement(50.0, 0.0));
+  }
+  p.process(5, jammed_measurement());
+  p.reset();
+  EXPECT_FALSE(p.under_attack());
+  EXPECT_FALSE(p.detection_step().has_value());
+  const auto safe = p.process(0, silent_measurement());
+  EXPECT_FALSE(safe.target_present);
+}
+
+TEST(Pipeline, RollbackQuarantinesPoisonedSamples) {
+  // Clean challenge at 20 (snapshot), stealth bias from 21, detecting
+  // challenge at 30: the nine biased samples must not leak into the
+  // holdover level.
+  auto p = make_pipeline(schedule_with({20, 30}));
+  for (std::int64_t k = 0; k < 20; ++k) {
+    p.process(k, echo_measurement(100.0 - 0.5 * static_cast<double>(k), -0.5));
+  }
+  p.process(20, silent_measurement());  // snapshot here
+  for (std::int64_t k = 21; k < 30; ++k) {
+    // Attacker feeds +6 m while staying coherent.
+    p.process(k, echo_measurement(
+                     100.0 - 0.5 * static_cast<double>(k) + 6.0, -0.5));
+  }
+  const auto at_detect = p.process(30, jammed_measurement());
+  EXPECT_TRUE(at_detect.attack_started);
+  // Without rollback the estimate would sit near 91 (85 + 6); with
+  // quarantine it continues the clean ramp (~85).
+  EXPECT_NEAR(at_detect.distance_m, 100.0 - 0.5 * 30.0, 2.0);
+  const auto next = p.process(31, jammed_measurement());
+  EXPECT_NEAR(next.distance_m, 100.0 - 0.5 * 31.0, 2.0);
+}
+
+TEST(Pipeline, RollbackDisabledKeepsPoisonedLevel) {
+  PipelineOptions opts;
+  opts.rollback_on_detection = false;
+  SafeMeasurementPipeline p(schedule_with({20, 30}),
+                            std::make_unique<estimation::RlsArPredictor>(),
+                            std::make_unique<estimation::RlsArPredictor>(),
+                            opts);
+  for (std::int64_t k = 0; k < 20; ++k) {
+    p.process(k, echo_measurement(100.0 - 0.5 * static_cast<double>(k), -0.5));
+  }
+  p.process(20, silent_measurement());
+  for (std::int64_t k = 21; k < 30; ++k) {
+    p.process(k, echo_measurement(
+                     100.0 - 0.5 * static_cast<double>(k) + 6.0, -0.5));
+  }
+  const auto at_detect = p.process(30, jammed_measurement());
+  // The +6 m poison survives: ablation-style counterexample.
+  EXPECT_GT(at_detect.distance_m, 100.0 - 0.5 * 30.0 + 3.0);
+}
+
+TEST(Pipeline, DefaultFactoryProducesWorkingPipeline) {
+  auto p = make_default_pipeline(schedule_with({8}));
+  for (std::int64_t k = 0; k < 8; ++k) {
+    p.process(k, echo_measurement(90.0 - static_cast<double>(k), -1.0));
+  }
+  const auto safe = p.process(8, silent_measurement());
+  EXPECT_TRUE(safe.target_present);
+  EXPECT_NEAR(safe.distance_m, 82.0, 1.5);
+}
+
+}  // namespace
+}  // namespace safe::core

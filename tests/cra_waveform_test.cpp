@@ -1,0 +1,190 @@
+// Tests for the signal-level CRA: per-sample probe modulation and the
+// per-chip energy verifier, including the Section 7 fast-adversary limit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "cra/waveform_auth.hpp"
+
+namespace safe::cra {
+namespace {
+
+dsp::ComplexSignal make_echo(std::size_t n, double amplitude = 1.0,
+                             double freq = 0.05) {
+  dsp::ComplexSignal x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::polar(amplitude, 2.0 * std::numbers::pi * freq *
+                                     static_cast<double>(i));
+  }
+  return x;
+}
+
+void add_noise(dsp::ComplexSignal& x, double power_w, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, std::sqrt(power_w / 2.0));
+  for (auto& xi : x) xi += dsp::Complex{dist(rng), dist(rng)};
+}
+
+TEST(WaveformModulator, OptionValidation) {
+  WaveformAuthOptions o;
+  o.chip_length = 0;
+  EXPECT_THROW(WaveformModulator(1, o), std::invalid_argument);
+  o = WaveformAuthOptions{};
+  o.suppress_denom = 0;
+  EXPECT_THROW(WaveformModulator(1, o), std::invalid_argument);
+  o = WaveformAuthOptions{};
+  o.violation_factor = 1.0;
+  EXPECT_THROW(WaveformModulator(1, o), std::invalid_argument);
+  o = WaveformAuthOptions{};
+  o.violated_chip_fraction = 0.0;
+  EXPECT_THROW(WaveformModulator(1, o), std::invalid_argument);
+}
+
+TEST(WaveformModulator, MaskIsChipGranular) {
+  WaveformAuthOptions o;
+  o.chip_length = 8;
+  WaveformModulator mod(0x1234, o);
+  const auto mask = mod.next_mask(64);
+  ASSERT_EQ(mask.size(), 64u);
+  for (std::size_t start = 0; start < 64; start += 8) {
+    for (std::size_t i = start; i < start + 8; ++i) {
+      EXPECT_EQ(mask[i], mask[start]) << "chip boundary violated at " << i;
+    }
+  }
+}
+
+TEST(WaveformModulator, SuppressionRateMatchesRequest) {
+  WaveformAuthOptions o;
+  o.chip_length = 4;
+  o.suppress_numer = 1;
+  o.suppress_denom = 4;
+  WaveformModulator mod(0xBEEF, o);
+  std::size_t suppressed = 0, total = 0;
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    const auto mask = mod.next_mask(256);
+    for (std::size_t i = 0; i < mask.size(); i += 4) {
+      ++total;
+      suppressed += mask[i] ? 0u : 1u;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(suppressed) / static_cast<double>(total),
+              0.25, 0.04);
+}
+
+TEST(WaveformModulator, MasksAdvanceBetweenEpochs) {
+  WaveformModulator mod(0x7777, {});
+  const auto a = mod.next_mask(128);
+  const auto b = mod.next_mask(128);
+  EXPECT_NE(a, b);
+}
+
+TEST(ApplyMask, ZeroesSuppressedSamples) {
+  dsp::ComplexSignal x = make_echo(16);
+  std::vector<bool> mask(16, true);
+  mask[3] = false;
+  mask[4] = false;
+  apply_mask(x, mask);
+  EXPECT_EQ(x[3], dsp::Complex{});
+  EXPECT_EQ(x[4], dsp::Complex{});
+  EXPECT_NE(x[5], dsp::Complex{});
+  std::vector<bool> wrong(8, true);
+  EXPECT_THROW(apply_mask(x, wrong), std::invalid_argument);
+}
+
+TEST(VerifyEpoch, CleanMaskedEchoPasses) {
+  // Honest reflection: suppressed chips carry only noise.
+  WaveformAuthOptions o;
+  WaveformModulator mod(0x2468, o);
+  const auto mask = mod.next_mask(512);
+  dsp::ComplexSignal rx = make_echo(512, 1.0);
+  apply_mask(rx, mask);  // echo honestly follows the probe
+  add_noise(rx, 1e-4, 3);
+  const auto result = verify_epoch(rx, mask, 1e-4, o);
+  EXPECT_GT(result.suppressed_chips, 0u);
+  EXPECT_FALSE(result.attack_detected);
+}
+
+TEST(VerifyEpoch, ContinuousSpooferCaught) {
+  // Attacker ignores the mask entirely (classic replay of a recorded
+  // probe): every suppressed chip is hot.
+  WaveformAuthOptions o;
+  WaveformModulator mod(0x2468, o);
+  const auto mask = mod.next_mask(512);
+  dsp::ComplexSignal rx = make_echo(512, 1.0);  // no masking: always on
+  add_noise(rx, 1e-4, 5);
+  const auto result = verify_epoch(rx, mask, 1e-4, o);
+  EXPECT_TRUE(result.attack_detected);
+  EXPECT_EQ(result.violated_chips, result.suppressed_chips);
+}
+
+TEST(VerifyEpoch, JammerCaught) {
+  WaveformAuthOptions o;
+  WaveformModulator mod(0x1357, o);
+  const auto mask = mod.next_mask(512);
+  dsp::ComplexSignal rx(512);
+  add_noise(rx, 1e-1, 7);  // wideband jam >> floor
+  const auto result = verify_epoch(rx, mask, 1e-4, o);
+  EXPECT_TRUE(result.attack_detected);
+}
+
+TEST(VerifyEpoch, InputValidation) {
+  const WaveformAuthOptions o;
+  dsp::ComplexSignal rx(16);
+  std::vector<bool> mask(16, false);
+  EXPECT_THROW(verify_epoch(rx, std::vector<bool>(8, false), 1e-4, o),
+               std::invalid_argument);
+  EXPECT_THROW(verify_epoch(rx, mask, 0.0, o), std::invalid_argument);
+}
+
+TEST(ReplayLatency, SlowAttackerLeaksIntoSuppressedChips) {
+  // Latency of half a chip: the start of every suppressed chip stays hot.
+  WaveformAuthOptions o;
+  o.chip_length = 16;
+  WaveformModulator mod(0x4321, o);
+  const auto mask = mod.next_mask(512);
+  const auto clean = make_echo(512, 1.0);
+  auto rx = replay_with_latency(clean, mask, 8);
+  add_noise(rx, 1e-4, 9);
+  const auto result = verify_epoch(rx, mask, 1e-4, o);
+  EXPECT_TRUE(result.attack_detected);
+}
+
+TEST(ReplayLatency, ZeroLatencyAdversaryEvades) {
+  // Section 7: an adversary sampling faster than the defender (latency ~ 0)
+  // perfectly mimics the mask and is indistinguishable from a true echo.
+  WaveformAuthOptions o;
+  WaveformModulator mod(0x4321, o);
+  const auto mask = mod.next_mask(512);
+  const auto clean = make_echo(512, 1.0);
+  auto rx = replay_with_latency(clean, mask, 0);
+  add_noise(rx, 1e-4, 11);
+  const auto result = verify_epoch(rx, mask, 1e-4, o);
+  EXPECT_FALSE(result.attack_detected);
+}
+
+TEST(ReplayLatency, DetectionImprovesWithLatency) {
+  WaveformAuthOptions o;
+  o.chip_length = 16;
+  const auto clean = make_echo(1024, 1.0);
+  std::size_t prev_violations = 0;
+  for (const std::size_t latency : {2u, 8u, 16u}) {
+    WaveformModulator mod(0x9999, o);
+    const auto mask = mod.next_mask(1024);
+    auto rx = replay_with_latency(clean, mask, latency);
+    add_noise(rx, 1e-4, 13);
+    const auto result = verify_epoch(rx, mask, 1e-4, o);
+    EXPECT_GE(result.violated_chips, prev_violations);
+    prev_violations = result.violated_chips;
+  }
+}
+
+TEST(ReplayLatency, LengthMismatchThrows) {
+  EXPECT_THROW(
+      replay_with_latency(make_echo(16), std::vector<bool>(8, true), 1),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace safe::cra

@@ -1,0 +1,264 @@
+// Tests for FFT, windows, and the periodogram tone estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "dsp/fft.hpp"
+#include "dsp/spectral.hpp"
+#include "dsp/window.hpp"
+
+namespace safe::dsp {
+namespace {
+
+ComplexSignal make_tone(double freq_hz, double fs, std::size_t n,
+                        double amplitude = 1.0, double phase = 0.0) {
+  ComplexSignal x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::polar(amplitude, 2.0 * std::numbers::pi * freq_hz *
+                                         static_cast<double>(i) / fs +
+                                     phase);
+  }
+  return x;
+}
+
+void add_noise(ComplexSignal& x, double sigma, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, sigma / std::sqrt(2.0));
+  for (auto& xi : x) xi += Complex{dist(rng), dist(rng)};
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Fft, RejectsNonPowerOfTwoInPlace) {
+  ComplexSignal x(3);
+  EXPECT_THROW(fft_inplace(x), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToFlatSpectrum) {
+  ComplexSignal x(8);
+  x[0] = Complex{1.0, 0.0};
+  fft_inplace(x);
+  for (const auto& bin : x) {
+    EXPECT_NEAR(bin.real(), 1.0, 1e-12);
+    EXPECT_NEAR(bin.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConstantTransformsToDcBin) {
+  ComplexSignal x(16, Complex{1.0, 0.0});
+  fft_inplace(x);
+  EXPECT_NEAR(std::abs(x[0]), 16.0, 1e-10);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, SingleBinToneLandsOnBin) {
+  const std::size_t n = 64;
+  // Tone at exactly bin 5: f = 5 * fs / n.
+  const ComplexSignal x = make_tone(5.0, static_cast<double>(n), n);
+  ComplexSignal spec = x;
+  fft_inplace(spec);
+  EXPECT_NEAR(std::abs(spec[5]), static_cast<double>(n), 1e-9);
+  EXPECT_NEAR(std::abs(spec[4]), 0.0, 1e-9);
+}
+
+TEST(Fft, RoundTripIdentity) {
+  std::mt19937 rng(7);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  ComplexSignal x(128);
+  for (auto& xi : x) xi = Complex{dist(rng), dist(rng)};
+  ComplexSignal y = x;
+  fft_inplace(y);
+  ifft_inplace(y);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(y[i] - x[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalTheorem) {
+  std::mt19937 rng(11);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  ComplexSignal x(256);
+  for (auto& xi : x) xi = Complex{dist(rng), dist(rng)};
+  double time_energy = 0.0;
+  for (const auto& xi : x) time_energy += std::norm(xi);
+  ComplexSignal spec = x;
+  fft_inplace(spec);
+  double freq_energy = 0.0;
+  for (const auto& si : spec) freq_energy += std::norm(si);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy, 1e-8);
+}
+
+TEST(Fft, LinearityProperty) {
+  const ComplexSignal a = make_tone(3.0, 64.0, 64);
+  const ComplexSignal b = make_tone(9.0, 64.0, 64, 0.5);
+  ComplexSignal sum(64);
+  for (std::size_t i = 0; i < 64; ++i) sum[i] = 2.0 * a[i] + b[i];
+  ComplexSignal fa = a, fb = b, fsum = sum;
+  fft_inplace(fa);
+  fft_inplace(fb);
+  fft_inplace(fsum);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(fsum[i] - (2.0 * fa[i] + fb[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, ZeroPaddingPreservesSpectralShape) {
+  const ComplexSignal x = make_tone(100.0, 1000.0, 100);
+  const ComplexSignal spec = fft(x, 1024);
+  EXPECT_EQ(spec.size(), 1024u);
+  // Peak should be near bin 1024 * 100/1000 = 102.4.
+  std::size_t peak = 0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    if (std::abs(spec[i]) > best) {
+      best = std::abs(spec[i]);
+      peak = i;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(peak), 102.4, 1.0);
+}
+
+TEST(Fft, RealSignalOverloadMatchesComplex) {
+  RealSignal r{1.0, 2.0, 3.0, 4.0};
+  ComplexSignal c{{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}, {4.0, 0.0}};
+  const auto fr = fft(r);
+  const auto fc = fft(c);
+  ASSERT_EQ(fr.size(), fc.size());
+  for (std::size_t i = 0; i < fr.size(); ++i) {
+    EXPECT_NEAR(std::abs(fr[i] - fc[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Window, RectangularIsAllOnes) {
+  const auto w = make_window(WindowKind::kRectangular, 8);
+  for (const double wi : w) EXPECT_EQ(wi, 1.0);
+}
+
+TEST(Window, HannEndpointsAreZero) {
+  const auto w = make_window(WindowKind::kHann, 16);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[8], 1.0, 0.05);  // near-center near 1
+}
+
+TEST(Window, HammingEndpointsNonZero) {
+  const auto w = make_window(WindowKind::kHamming, 16);
+  EXPECT_NEAR(w.front(), 0.08, 1e-12);
+}
+
+TEST(Window, BlackmanIsSymmetric) {
+  const auto w = make_window(WindowKind::kBlackman, 33);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+  }
+}
+
+TEST(Window, LengthOneIsUnity) {
+  for (auto kind : {WindowKind::kRectangular, WindowKind::kHann,
+                    WindowKind::kHamming, WindowKind::kBlackman}) {
+    const auto w = make_window(kind, 1);
+    ASSERT_EQ(w.size(), 1u);
+    EXPECT_EQ(w[0], 1.0);
+  }
+}
+
+TEST(Window, CoherentGainOfRectangularIsLength) {
+  const auto w = make_window(WindowKind::kRectangular, 10);
+  EXPECT_DOUBLE_EQ(window_coherent_gain(w), 10.0);
+}
+
+TEST(Window, ApplyWindowLengthMismatchThrows) {
+  ComplexSignal x(4);
+  EXPECT_THROW(apply_window(x, make_window(WindowKind::kHann, 5)),
+               std::invalid_argument);
+}
+
+TEST(Periodogram, RecoversSingleToneFrequency) {
+  const double fs = 1.0e6;
+  const ComplexSignal x = make_tone(47'000.0, fs, 512);
+  const auto tone = estimate_dominant_tone(x, fs);
+  ASSERT_TRUE(tone.has_value());
+  EXPECT_NEAR(tone->frequency_hz, 47'000.0, 100.0);
+}
+
+TEST(Periodogram, RecoversNegativeFrequency) {
+  const double fs = 1.0e6;
+  const ComplexSignal x = make_tone(-123'456.0, fs, 512);
+  const auto tone = estimate_dominant_tone(x, fs);
+  ASSERT_TRUE(tone.has_value());
+  EXPECT_NEAR(tone->frequency_hz, -123'456.0, 200.0);
+}
+
+TEST(Periodogram, SeparatesTwoTones) {
+  const double fs = 1.0e6;
+  ComplexSignal x = make_tone(50'000.0, fs, 1024);
+  const ComplexSignal y = make_tone(200'000.0, fs, 1024, 0.8);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+  const auto tones = estimate_tones_periodogram(x, fs, 2);
+  ASSERT_EQ(tones.size(), 2u);
+  // Strongest first.
+  EXPECT_NEAR(tones[0].frequency_hz, 50'000.0, 300.0);
+  EXPECT_NEAR(tones[1].frequency_hz, 200'000.0, 300.0);
+}
+
+TEST(Periodogram, ZeroSignalYieldsNoTone) {
+  ComplexSignal x(256);
+  EXPECT_FALSE(estimate_dominant_tone(x, 1.0e6).has_value());
+}
+
+TEST(Periodogram, EmptySignalYieldsNothing) {
+  EXPECT_TRUE(estimate_tones_periodogram({}, 1.0e6, 3).empty());
+}
+
+TEST(Periodogram, InvalidSampleRateThrows) {
+  ComplexSignal x(16, Complex{1.0, 0.0});
+  EXPECT_THROW(estimate_tones_periodogram(x, 0.0, 1), std::invalid_argument);
+}
+
+TEST(Periodogram, ToleratesModerateNoise) {
+  const double fs = 1.0e6;
+  ComplexSignal x = make_tone(75'000.0, fs, 1024);
+  add_noise(x, 0.3, 99);
+  const auto tone = estimate_dominant_tone(x, fs);
+  ASSERT_TRUE(tone.has_value());
+  EXPECT_NEAR(tone->frequency_hz, 75'000.0, 500.0);
+}
+
+class PeriodogramSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PeriodogramSweep, FrequencyRecoveredAcrossBand) {
+  const double fs = 1.0e6;
+  const double f = GetParam();
+  const ComplexSignal x = make_tone(f, fs, 1024);
+  const auto tone = estimate_dominant_tone(x, fs);
+  ASSERT_TRUE(tone.has_value());
+  EXPECT_NEAR(tone->frequency_hz, f, 250.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Band, PeriodogramSweep,
+                         ::testing::Values(-400'000.0, -250'000.0, -60'500.0,
+                                           -5'000.0, 5'250.0, 33'333.0,
+                                           120'000.0, 249'999.0, 333'221.0,
+                                           450'000.0));
+
+}  // namespace
+}  // namespace safe::dsp

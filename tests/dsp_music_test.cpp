@@ -1,0 +1,237 @@
+// Tests for covariance estimation, MUSIC, root-MUSIC, and the PRBS.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <set>
+
+#include "dsp/covariance.hpp"
+#include "dsp/music.hpp"
+#include "dsp/prbs.hpp"
+
+namespace safe::dsp {
+namespace {
+
+ComplexSignal make_tone(double freq_hz, double fs, std::size_t n,
+                        double amplitude = 1.0, double phase = 0.0) {
+  ComplexSignal x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::polar(amplitude, 2.0 * std::numbers::pi * freq_hz *
+                                         static_cast<double>(i) / fs +
+                                     phase);
+  }
+  return x;
+}
+
+void add_noise(ComplexSignal& x, double sigma, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::normal_distribution<double> dist(0.0, sigma / std::sqrt(2.0));
+  for (auto& xi : x) xi += Complex{dist(rng), dist(rng)};
+}
+
+TEST(Covariance, RejectsZeroOrder) {
+  EXPECT_THROW(sample_covariance(ComplexSignal(8), 0), std::invalid_argument);
+}
+
+TEST(Covariance, RejectsShortSignal) {
+  EXPECT_THROW(sample_covariance(ComplexSignal(3), 4), std::invalid_argument);
+}
+
+TEST(Covariance, IsHermitian) {
+  ComplexSignal x = make_tone(0.1, 1.0, 64);
+  add_noise(x, 0.2, 5);
+  const auto r = sample_covariance(x, 8);
+  EXPECT_LT(linalg::max_abs(r - r.adjoint()), 1e-12);
+}
+
+TEST(Covariance, DiagonalIsSignalPower) {
+  // Unit-amplitude tone: every diagonal entry approximates power 1.
+  const ComplexSignal x = make_tone(0.11, 1.0, 512);
+  const auto r = sample_covariance(x, 6);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(std::real(r(i, i)), 1.0, 1e-9);
+  }
+}
+
+TEST(Covariance, ForwardBackwardIsPersymmetricHermitian) {
+  ComplexSignal x = make_tone(0.2, 1.0, 128, 1.0, 0.7);
+  add_noise(x, 0.1, 17);
+  const auto r = forward_backward_covariance(x, 8);
+  EXPECT_LT(linalg::max_abs(r - r.adjoint()), 1e-12);
+  // Persymmetry: J conj(R) J == R.
+  EXPECT_LT(linalg::max_abs(exchange_conjugate(r) - r), 1e-12);
+}
+
+TEST(Covariance, ExchangeConjugateIsInvolution) {
+  ComplexSignal x = make_tone(0.05, 1.0, 64);
+  add_noise(x, 0.3, 23);
+  const auto r = sample_covariance(x, 5);
+  EXPECT_LT(linalg::max_abs(exchange_conjugate(exchange_conjugate(r)) - r),
+            1e-14);
+}
+
+TEST(RootMusic, SingleCleanTone) {
+  const double fs = 1.0e6;
+  const ComplexSignal x = make_tone(47'000.0, fs, 256);
+  const auto freqs = root_music_frequencies(x, fs, 1);
+  ASSERT_EQ(freqs.size(), 1u);
+  EXPECT_NEAR(freqs[0], 47'000.0, 50.0);
+}
+
+TEST(RootMusic, NegativeFrequencyTone) {
+  const double fs = 1.0e6;
+  const ComplexSignal x = make_tone(-210'000.0, fs, 256);
+  const auto freqs = root_music_frequencies(x, fs, 1);
+  ASSERT_EQ(freqs.size(), 1u);
+  EXPECT_NEAR(freqs[0], -210'000.0, 50.0);
+}
+
+TEST(RootMusic, ResolvesCloselySpacedTones) {
+  // Two tones 1.5 kHz apart with only 256 samples at 1 MHz: the raw FFT bin
+  // width is ~3.9 kHz, so a periodogram cannot separate them. MUSIC can.
+  const double fs = 1.0e6;
+  ComplexSignal x = make_tone(100'000.0, fs, 256, 1.0, 0.3);
+  const ComplexSignal y = make_tone(101'500.0, fs, 256, 1.0, 2.1);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+  add_noise(x, 0.05, 31);
+  auto freqs = root_music_frequencies(x, fs, 2, {.covariance_order = 24});
+  ASSERT_EQ(freqs.size(), 2u);
+  std::sort(freqs.begin(), freqs.end());
+  EXPECT_NEAR(freqs[0], 100'000.0, 300.0);
+  EXPECT_NEAR(freqs[1], 101'500.0, 300.0);
+}
+
+TEST(RootMusic, NoisyToneStillRecovered) {
+  const double fs = 1.0e6;
+  ComplexSignal x = make_tone(84'000.0, fs, 512);
+  add_noise(x, 0.5, 47);  // SNR = 6 dB
+  const auto freqs = root_music_frequencies(x, fs, 1);
+  ASSERT_EQ(freqs.size(), 1u);
+  EXPECT_NEAR(freqs[0], 84'000.0, 500.0);
+}
+
+TEST(RootMusic, ZeroSourcesReturnsEmpty) {
+  const ComplexSignal x = make_tone(1000.0, 1.0e6, 64);
+  EXPECT_TRUE(root_music_frequencies(x, 1.0e6, 0).empty());
+}
+
+TEST(RootMusic, TooManySourcesThrows) {
+  const ComplexSignal x = make_tone(1000.0, 1.0e6, 64);
+  EXPECT_THROW(
+      root_music_frequencies(x, 1.0e6, 16, {.covariance_order = 16}),
+      std::invalid_argument);
+}
+
+TEST(RootMusic, InvalidSampleRateThrows) {
+  const ComplexSignal x = make_tone(1000.0, 1.0e6, 64);
+  EXPECT_THROW(root_music_frequencies(x, -1.0, 1), std::invalid_argument);
+}
+
+TEST(MusicPseudospectrum, PeaksAtToneFrequency) {
+  const double fs = 1.0e6;
+  const double f = 125'000.0;  // omega = 2*pi*f/fs = pi/4
+  ComplexSignal x = make_tone(f, fs, 512);
+  add_noise(x, 0.1, 3);
+  const std::size_t grid = 1024;
+  const auto spec = music_pseudospectrum(x, 1, grid);
+  ASSERT_EQ(spec.size(), grid);
+  std::size_t peak = 0;
+  for (std::size_t i = 1; i < grid; ++i) {
+    if (spec[i] > spec[peak]) peak = i;
+  }
+  const double omega = -std::numbers::pi +
+                       2.0 * std::numbers::pi * static_cast<double>(peak) /
+                           static_cast<double>(grid);
+  EXPECT_NEAR(omega, 2.0 * std::numbers::pi * f / fs, 0.02);
+}
+
+TEST(MusicPseudospectrum, EmptyGridThrows) {
+  const ComplexSignal x = make_tone(1000.0, 1.0e6, 64);
+  EXPECT_THROW(music_pseudospectrum(x, 1, 0), std::invalid_argument);
+}
+
+class RootMusicSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RootMusicSweep, FrequencyRecoveredAcrossBand) {
+  const double fs = 1.0e6;
+  const double f = GetParam();
+  ComplexSignal x = make_tone(f, fs, 384);
+  add_noise(x, 0.1, static_cast<unsigned>(std::abs(f)));
+  const auto freqs = root_music_frequencies(x, fs, 1);
+  ASSERT_EQ(freqs.size(), 1u);
+  EXPECT_NEAR(freqs[0], f, 300.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Band, RootMusicSweep,
+                         ::testing::Values(-420'000.0, -111'000.0, -9'000.0,
+                                           4'000.0, 36'000.0, 47'500.0,
+                                           52'000.0, 149'000.0, 260'000.0,
+                                           431'000.0));
+
+TEST(Prbs, ZeroSeedRemapped) {
+  Prbs p(0);
+  EXPECT_NE(p.state(), 0);
+}
+
+TEST(Prbs, DeterministicForSameSeed) {
+  EXPECT_EQ(prbs_sequence(0x1234, 256), prbs_sequence(0x1234, 256));
+}
+
+TEST(Prbs, DifferentSeedsDiffer) {
+  EXPECT_NE(prbs_sequence(0x1234, 256), prbs_sequence(0x4321, 256));
+}
+
+TEST(Prbs, MaximalLengthPeriod) {
+  // The 16-bit maximal LFSR revisits its seed state after exactly 65535
+  // steps and not before half that (spot-check).
+  Prbs p(0xACE1);
+  const std::uint16_t start = p.state();
+  std::uint32_t steps = 0;
+  do {
+    p.next_bit();
+    ++steps;
+  } while (p.state() != start && steps <= Prbs::kPeriod);
+  EXPECT_EQ(steps, Prbs::kPeriod);
+}
+
+TEST(Prbs, BitBalanceIsNearHalf) {
+  const auto bits = prbs_sequence(0xBEEF, 4096);
+  std::size_t ones = 0;
+  for (const bool b : bits) ones += b ? 1 : 0;
+  const double ratio = static_cast<double>(ones) / 4096.0;
+  EXPECT_NEAR(ratio, 0.5, 0.03);
+}
+
+TEST(Prbs, NextBitsRange) {
+  Prbs p(0x5555);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(p.next_bits(4), 16u);
+  }
+  EXPECT_THROW(p.next_bits(0), std::invalid_argument);
+  EXPECT_THROW(p.next_bits(33), std::invalid_argument);
+}
+
+TEST(Prbs, BernoulliFrequencyMatchesProbability) {
+  Prbs p(0x2468);
+  std::size_t hits = 0;
+  const std::size_t trials = 8192;
+  for (std::size_t i = 0; i < trials; ++i) {
+    hits += p.bernoulli(1, 10) ? 1u : 0u;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / static_cast<double>(trials), 0.1,
+              0.02);
+}
+
+TEST(Prbs, BernoulliEdgeCases) {
+  Prbs p(0x1357);
+  EXPECT_THROW(p.bernoulli(1, 0), std::invalid_argument);
+  EXPECT_THROW(p.bernoulli(3, 2), std::invalid_argument);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(p.bernoulli(1, 1));
+    EXPECT_FALSE(p.bernoulli(0, 1));
+  }
+}
+
+}  // namespace
+}  // namespace safe::dsp

@@ -1,0 +1,146 @@
+// Tests for the lateral-dynamics extension: bicycle model + lane keeping,
+// including a spoofed lateral-offset attack and its holdover defense.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/lane_keeping.hpp"
+#include "estimation/rls_predictor.hpp"
+#include "vehicle/lateral.hpp"
+
+namespace safe {
+namespace {
+
+using control::LaneKeepingParameters;
+using control::lane_keeping_steer;
+using vehicle::BicycleInput;
+using vehicle::BicycleParameters;
+using vehicle::BicycleState;
+
+TEST(Bicycle, ValidatesInputs) {
+  EXPECT_THROW(vehicle::step({}, {}, {}, 0.0), std::invalid_argument);
+  BicycleParameters p;
+  p.wheelbase_m = 0.0;
+  EXPECT_THROW(vehicle::step(p, {}, {}, 0.1), std::invalid_argument);
+}
+
+TEST(Bicycle, StraightLineAtConstantSpeed) {
+  BicycleState s{.speed_mps = 20.0};
+  for (int k = 0; k < 100; ++k) {
+    s = vehicle::step({}, s, BicycleInput{}, 0.1);
+  }
+  EXPECT_NEAR(s.x_m, 200.0, 1e-9);
+  EXPECT_NEAR(s.y_m, 0.0, 1e-12);
+  EXPECT_NEAR(s.heading_rad, 0.0, 1e-12);
+}
+
+TEST(Bicycle, SteeringCurvesThePath) {
+  BicycleState s{.speed_mps = 10.0};
+  const BicycleInput input{.steer_rad = 0.1};
+  for (int k = 0; k < 50; ++k) {
+    s = vehicle::step({}, s, input, 0.1);
+  }
+  EXPECT_GT(s.y_m, 1.0);       // turned left
+  EXPECT_GT(s.heading_rad, 0.1);
+}
+
+TEST(Bicycle, SteeringClampsToActuatorLimit) {
+  BicycleParameters p;
+  p.max_steer_rad = 0.2;
+  BicycleState a{.speed_mps = 10.0};
+  BicycleState b{.speed_mps = 10.0};
+  a = vehicle::step(p, a, BicycleInput{.steer_rad = 0.2}, 0.1);
+  b = vehicle::step(p, b, BicycleInput{.steer_rad = 5.0}, 0.1);
+  EXPECT_DOUBLE_EQ(a.heading_rad, b.heading_rad);
+}
+
+TEST(Bicycle, SpeedClampsAtZero) {
+  BicycleState s{.speed_mps = 1.0};
+  s = vehicle::step({}, s, BicycleInput{.accel_mps2 = -6.0}, 1.0);
+  EXPECT_EQ(s.speed_mps, 0.0);
+}
+
+TEST(Bicycle, HeadingStaysWrapped) {
+  BicycleState s{.speed_mps = 10.0};
+  const BicycleInput input{.steer_rad = 0.5};
+  for (int k = 0; k < 500; ++k) {
+    s = vehicle::step({}, s, input, 0.1);
+  }
+  EXPECT_LE(std::abs(s.heading_rad), 3.1416);
+}
+
+TEST(LaneKeeping, ParameterValidation) {
+  LaneKeepingParameters p;
+  p.heading_gain = 0.0;
+  EXPECT_THROW(lane_keeping_steer(p, 0.0, 0.0, 10.0), std::invalid_argument);
+}
+
+TEST(LaneKeeping, SteersAgainstOffset) {
+  // Left of center (positive offset): steer right (negative).
+  EXPECT_LT(lane_keeping_steer({}, 1.0, 0.0, 20.0), 0.0);
+  EXPECT_GT(lane_keeping_steer({}, -1.0, 0.0, 20.0), 0.0);
+  EXPECT_EQ(lane_keeping_steer({}, 0.0, 0.0, 20.0), 0.0);
+}
+
+TEST(LaneKeeping, ConvergesToCenterline) {
+  BicycleState s{.y_m = 2.0, .speed_mps = 20.0};
+  for (int k = 0; k < 300; ++k) {
+    const double steer = lane_keeping_steer({}, s.y_m, s.heading_rad, s.speed_mps);
+    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, 0.05);
+  }
+  EXPECT_NEAR(s.y_m, 0.0, 0.05);
+  EXPECT_NEAR(s.heading_rad, 0.0, 0.02);
+}
+
+TEST(LaneKeeping, SpoofedOffsetDrivesVehicleOutOfLane) {
+  // The lateral analogue of the delay attack: the perception stack reports
+  // the car 1 m left of where it is, so the controller "corrects" into the
+  // oncoming lane.
+  BicycleState s{.speed_mps = 20.0};
+  for (int k = 0; k < 200; ++k) {
+    const double measured_offset = s.y_m + 1.0;  // spoofed +1 m bias
+    const double steer =
+        lane_keeping_steer({}, measured_offset, s.heading_rad, s.speed_mps);
+    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, 0.05);
+  }
+  EXPECT_LT(s.y_m, -0.8);  // pushed ~1 m off center: out of a 3.5 m lane half
+}
+
+TEST(LaneKeeping, HoldoverContainsSpoofedOffsetForShortAttack) {
+  // Same attack, but the lateral channel holds over with an RLS predictor
+  // trained on the clean approach (the longitudinal pipeline's strategy
+  // transplanted to the lateral sensor). Unlike the longitudinal case,
+  // lateral position is open-loop unstable under a steering bias (a tiny
+  // residual prediction offset integrates into cross-track drift), so the
+  // holdover can only contain *short* attacks — one concrete reason the
+  // paper defers lateral dynamics to future work. Over a 5 s window the
+  // vehicle must stay inside its 3.5 m lane.
+  BicycleState s{.y_m = 1.5, .speed_mps = 20.0};
+  estimation::RlsArPredictor offset_predictor;
+  // Clean phase: converge toward center while training the predictor.
+  for (int k = 0; k < 150; ++k) {
+    const double measured = s.y_m;
+    offset_predictor.observe(measured);
+    const double steer =
+        lane_keeping_steer({}, measured, s.heading_rad, s.speed_mps);
+    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, 0.05);
+  }
+  // Attack phase (5 s): sensor spoofed, controller uses predictions.
+  for (int k = 0; k < 100; ++k) {
+    const double estimated = offset_predictor.predict_next();
+    const double steer =
+        lane_keeping_steer({}, estimated, s.heading_rad, s.speed_mps);
+    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, 0.05);
+  }
+  EXPECT_LT(std::abs(s.y_m), 1.75);  // still inside the lane
+}
+
+TEST(LaneKeeping, SteeringRespectsActuatorLimit) {
+  // A huge offset saturates at the steering clamp rather than diverging.
+  const double steer = lane_keeping_steer({}, 2.0, 0.0, 0.0);
+  EXPECT_GE(steer, -0.5);
+  EXPECT_LE(std::abs(lane_keeping_steer({}, 100.0, -3.0, 1.0)), 0.5);
+}
+
+}  // namespace
+}  // namespace safe

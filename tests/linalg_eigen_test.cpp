@@ -1,0 +1,150 @@
+// Tests for the Jacobi Hermitian eigensolver.
+#include "linalg/eigen_hermitian.hpp"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <random>
+
+#include "linalg/matrix.hpp"
+
+namespace safe::linalg {
+namespace {
+
+using C = std::complex<double>;
+
+RMatrix random_symmetric(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  RMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = dist(rng);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+CMatrix random_hermitian(std::size_t n, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m(i, i) = C{dist(rng), 0.0};
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const C v{dist(rng), dist(rng)};
+      m(i, j) = v;
+      m(j, i) = std::conj(v);
+    }
+  }
+  return m;
+}
+
+TEST(EigenHermitian, DiagonalMatrixEigenvaluesSorted) {
+  RMatrix a{{3.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {0.0, 0.0, 2.0}};
+  const auto eig = eigen_hermitian(a);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(EigenHermitian, Known2x2Symmetric) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  RMatrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const auto eig = eigen_hermitian(a);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(EigenHermitian, Known2x2Hermitian) {
+  // [[2, i],[-i, 2]] has eigenvalues 1 and 3.
+  CMatrix a{{C{2.0, 0.0}, C{0.0, 1.0}}, {C{0.0, -1.0}, C{2.0, 0.0}}};
+  const auto eig = eigen_hermitian(a);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-12);
+}
+
+TEST(EigenHermitian, RejectsNonSquare) {
+  EXPECT_THROW(eigen_hermitian(RMatrix(2, 3)), std::invalid_argument);
+}
+
+TEST(EigenHermitian, ZeroMatrixConvergesTrivially) {
+  const auto eig = eigen_hermitian(RMatrix(4, 4));
+  EXPECT_TRUE(eig.converged);
+  EXPECT_EQ(eig.sweeps, 0u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(eig.eigenvalues[i], 0.0);
+}
+
+TEST(EigenHermitian, TraceEqualsEigenvalueSum) {
+  const RMatrix a = random_symmetric(7, 21);
+  const auto eig = eigen_hermitian(a);
+  double trace = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < 7; ++i) {
+    trace += a(i, i);
+    sum += eig.eigenvalues[i];
+  }
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+class EigenProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(EigenProperty, RealSymmetricReconstruction) {
+  const std::size_t n = 2 + GetParam() % 9;
+  const RMatrix a = random_symmetric(n, GetParam() + 37);
+  const auto eig = eigen_hermitian(a);
+  ASSERT_TRUE(eig.converged);
+  const RMatrix d = RMatrix::from_diagonal(eig.eigenvalues);
+  const RMatrix recon =
+      eig.eigenvectors * d * eig.eigenvectors.adjoint();
+  EXPECT_LT(max_abs(recon - a), 1e-10 * (1.0 + max_abs(a)));
+}
+
+TEST_P(EigenProperty, ComplexHermitianReconstruction) {
+  const std::size_t n = 2 + GetParam() % 9;
+  const CMatrix a = random_hermitian(n, GetParam() + 91);
+  const auto eig = eigen_hermitian(a);
+  ASSERT_TRUE(eig.converged);
+  CMatrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) d(i, i) = C{eig.eigenvalues[i], 0.0};
+  const CMatrix recon = eig.eigenvectors * d * eig.eigenvectors.adjoint();
+  EXPECT_LT(max_abs(recon - a), 1e-10 * (1.0 + max_abs(a)));
+}
+
+TEST_P(EigenProperty, EigenvectorsOrthonormal) {
+  const std::size_t n = 2 + GetParam() % 9;
+  const CMatrix a = random_hermitian(n, GetParam() + 173);
+  const auto eig = eigen_hermitian(a);
+  ASSERT_TRUE(eig.converged);
+  const CMatrix gram = eig.eigenvectors.adjoint() * eig.eigenvectors;
+  EXPECT_LT(max_abs(gram - CMatrix::identity(n)), 1e-11);
+}
+
+TEST_P(EigenProperty, EigenvaluesSortedAscending) {
+  const std::size_t n = 3 + GetParam() % 8;
+  const CMatrix a = random_hermitian(n, GetParam() + 211);
+  const auto eig = eigen_hermitian(a);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_LE(eig.eigenvalues[i], eig.eigenvalues[i + 1] + 1e-12);
+  }
+}
+
+TEST_P(EigenProperty, ResidualPerEigenpairIsSmall) {
+  const std::size_t n = 2 + GetParam() % 6;
+  const CMatrix a = random_hermitian(n, GetParam() + 311);
+  const auto eig = eigen_hermitian(a);
+  for (std::size_t k = 0; k < n; ++k) {
+    const CVector v = eig.eigenvectors.col(k);
+    const CVector r = a * v - C{eig.eigenvalues[k], 0.0} * v;
+    EXPECT_LT(norm2(r), 1e-10 * (1.0 + std::abs(eig.eigenvalues[k])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EigenProperty, ::testing::Range(0u, 10u));
+
+}  // namespace
+}  // namespace safe::linalg

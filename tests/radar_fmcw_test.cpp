@@ -1,0 +1,197 @@
+// Tests for the FMCW waveform equations and link budgets (Eqs. 5-11).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "radar/fmcw.hpp"
+#include "radar/link_budget.hpp"
+#include "sim/units.hpp"
+
+namespace safe::radar {
+namespace {
+
+namespace units = safe::sim::units;
+
+TEST(FmcwParameters, BoschLrr2Defaults) {
+  const FmcwParameters p = bosch_lrr2_parameters();
+  EXPECT_DOUBLE_EQ(p.carrier_frequency_hz, 77.0e9);
+  EXPECT_DOUBLE_EQ(p.sweep_bandwidth_hz, 150.0e6);
+  EXPECT_DOUBLE_EQ(p.sweep_time_s, 2.0e-3);
+  EXPECT_DOUBLE_EQ(p.wavelength_m, 3.89e-3);
+  EXPECT_DOUBLE_EQ(p.tx_power_w, 10.0e-3);
+  EXPECT_DOUBLE_EQ(p.antenna_gain_dbi, 28.0);
+  EXPECT_DOUBLE_EQ(p.min_range_m, 2.0);
+  EXPECT_DOUBLE_EQ(p.max_range_m, 200.0);
+}
+
+TEST(FmcwParameters, ValidationRejectsBadValues) {
+  FmcwParameters p = bosch_lrr2_parameters();
+  p.sweep_bandwidth_hz = 0.0;
+  EXPECT_THROW(validate_parameters(p), std::invalid_argument);
+
+  p = bosch_lrr2_parameters();
+  p.tx_power_w = -1.0;
+  EXPECT_THROW(validate_parameters(p), std::invalid_argument);
+
+  p = bosch_lrr2_parameters();
+  p.max_range_m = 1.0;  // below min_range
+  EXPECT_THROW(validate_parameters(p), std::invalid_argument);
+}
+
+TEST(BeatFrequencies, StationaryTargetHasSymmetricBeats) {
+  const FmcwParameters p = bosch_lrr2_parameters();
+  const BeatFrequencies b = beat_frequencies(p, 100.0, 0.0);
+  EXPECT_DOUBLE_EQ(b.up_hz, b.down_hz);
+  // Range term: (2 * 100 / c) * (150e6 / 2e-3) = 50.03 kHz.
+  EXPECT_NEAR(b.up_hz, 2.0 * 100.0 / units::kSpeedOfLightMps * 150.0e6 / 2.0e-3,
+              1e-6);
+}
+
+TEST(BeatFrequencies, RecedingTargetShiftsBeatsApart) {
+  const FmcwParameters p = bosch_lrr2_parameters();
+  const BeatFrequencies b = beat_frequencies(p, 100.0, 5.0);
+  // Receding (positive range rate): up beat decreases, down beat increases.
+  EXPECT_LT(b.up_hz, b.down_hz);
+  EXPECT_NEAR(b.down_hz - b.up_hz, 4.0 * 5.0 / p.wavelength_m, 1e-9);
+}
+
+TEST(BeatFrequencies, NegativeDistanceThrows) {
+  EXPECT_THROW(beat_frequencies(bosch_lrr2_parameters(), -1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(BeatFrequencies, RoundTripThroughInverseMap) {
+  const FmcwParameters p = bosch_lrr2_parameters();
+  for (const double d : {2.0, 10.0, 55.5, 100.0, 200.0}) {
+    for (const double v : {-10.0, -1.5, 0.0, 0.3, 8.0}) {
+      const RangeRate rr = range_rate_from_beats(p, beat_frequencies(p, d, v));
+      EXPECT_NEAR(rr.distance_m, d, 1e-9);
+      EXPECT_NEAR(rr.range_rate_mps, v, 1e-9);
+    }
+  }
+}
+
+TEST(SpoofedRange, SixMetersNeedsFortyNanoseconds) {
+  // The paper's delay attack adds 6 m; round-trip delay = 2*6/c = 40 ns.
+  const double tau = injection_delay_for_offset_s(6.0);
+  EXPECT_NEAR(tau, 2.0 * 6.0 / units::kSpeedOfLightMps, 1e-15);
+  EXPECT_NEAR(spoofed_range_offset_m(tau), 6.0, 1e-9);
+}
+
+TEST(LinkBudget, EchoPowerFallsWithFourthPowerOfRange) {
+  const FmcwParameters p = bosch_lrr2_parameters();
+  const double p50 = received_echo_power_w(p, 50.0, 10.0);
+  const double p100 = received_echo_power_w(p, 100.0, 10.0);
+  EXPECT_NEAR(p50 / p100, 16.0, 1e-9);
+}
+
+TEST(LinkBudget, EchoPowerScalesLinearlyWithRcs) {
+  const FmcwParameters p = bosch_lrr2_parameters();
+  EXPECT_NEAR(received_echo_power_w(p, 80.0, 20.0) /
+                  received_echo_power_w(p, 80.0, 10.0),
+              2.0, 1e-12);
+}
+
+TEST(LinkBudget, EchoPowerMagnitudeIsPlausible) {
+  // At 100 m with sigma = 10 m^2 the LRR2-class budget lands in the
+  // picowatt regime (hand computation: ~3e-12 W).
+  const double pr = received_echo_power_w(bosch_lrr2_parameters(), 100.0, 10.0);
+  EXPECT_GT(pr, 1.0e-13);
+  EXPECT_LT(pr, 1.0e-10);
+}
+
+TEST(LinkBudget, GeometryValidation) {
+  const FmcwParameters p = bosch_lrr2_parameters();
+  EXPECT_THROW(received_echo_power_w(p, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(received_echo_power_w(p, 10.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(received_jammer_power_w(p, JammerParameters{}, -5.0),
+               std::invalid_argument);
+}
+
+TEST(LinkBudget, JammerPowerFallsWithSquareOfRange) {
+  const FmcwParameters p = bosch_lrr2_parameters();
+  const JammerParameters j{};
+  const double p50 = received_jammer_power_w(p, j, 50.0);
+  const double p100 = received_jammer_power_w(p, j, 100.0);
+  EXPECT_NEAR(p50 / p100, 4.0, 1e-9);
+}
+
+TEST(LinkBudget, JammerParameterValidation) {
+  const FmcwParameters p = bosch_lrr2_parameters();
+  JammerParameters j{};
+  j.peak_power_w = 0.0;
+  EXPECT_THROW(received_jammer_power_w(p, j, 100.0), std::invalid_argument);
+}
+
+TEST(LinkBudget, PaperJammerDefeatsRadarAtHundredMeters) {
+  // Section 6.2: P_J = 100 mW, G_J = 10 dBi, B_J = 155 MHz, L_J = 0.10 dB
+  // jams the follower's radar => signal-to-jammer ratio < 1.
+  const FmcwParameters radar = bosch_lrr2_parameters();
+  const JammerParameters jammer{};
+  EXPECT_LT(signal_to_jammer_ratio(radar, jammer, 100.0, 10.0), 1.0);
+  EXPECT_TRUE(jamming_succeeds(radar, jammer, 100.0, 10.0));
+}
+
+TEST(LinkBudget, JammingFailsAtVeryShortRange) {
+  // Echo power grows ~d^-4 vs jammer ~d^-2: close in, the echo wins.
+  const FmcwParameters radar = bosch_lrr2_parameters();
+  const JammerParameters jammer{};
+  EXPECT_FALSE(jamming_succeeds(radar, jammer, 2.0, 10.0));
+}
+
+TEST(LinkBudget, SignalToJammerRatioIsConsistent) {
+  const FmcwParameters radar = bosch_lrr2_parameters();
+  const JammerParameters jammer{};
+  const double ratio = signal_to_jammer_ratio(radar, jammer, 60.0, 10.0);
+  EXPECT_NEAR(ratio,
+              received_echo_power_w(radar, 60.0, 10.0) /
+                  received_jammer_power_w(radar, jammer, 60.0),
+              1e-18);
+}
+
+TEST(LinkBudget, ThermalNoiseFloorMagnitude) {
+  // kTBF over the 1 MHz dechirped baseband with F = 10 dB: ~4e-14 W.
+  const double n = thermal_noise_power_w(bosch_lrr2_parameters());
+  EXPECT_GT(n, 1.0e-14);
+  EXPECT_LT(n, 1.0e-13);
+}
+
+TEST(LinkBudget, EchoExceedsThermalNoiseAcrossSpecifiedRange) {
+  // The radar is usable over its whole 2-200 m window: the echo from a
+  // 10 m^2 target clears the baseband thermal floor everywhere.
+  const FmcwParameters p = bosch_lrr2_parameters();
+  const double floor = thermal_noise_power_w(p);
+  for (const double d : {2.0, 50.0, 100.0, 150.0, 200.0}) {
+    EXPECT_GT(received_echo_power_w(p, d, 10.0), floor) << "range " << d;
+  }
+}
+
+TEST(Units, MphConversionRoundTrip) {
+  EXPECT_NEAR(units::mph_to_mps(65.0), 29.0576, 1e-4);
+  EXPECT_NEAR(units::mps_to_mph(units::mph_to_mps(42.0)), 42.0, 1e-12);
+}
+
+TEST(Units, DbRoundTrip) {
+  EXPECT_NEAR(units::db_to_linear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(units::db_to_linear(28.0), 630.957, 1e-3);
+  EXPECT_NEAR(units::linear_to_db(units::db_to_linear(-3.3)), -3.3, 1e-12);
+}
+
+// Crossover sweep: jamming succeeds beyond some range, fails below it.
+class JammerCrossover : public ::testing::TestWithParam<double> {};
+
+TEST_P(JammerCrossover, MonotoneRatioInRange) {
+  const FmcwParameters radar = bosch_lrr2_parameters();
+  const JammerParameters jammer{};
+  const double d = GetParam();
+  const double near_ratio = signal_to_jammer_ratio(radar, jammer, d, 10.0);
+  const double far_ratio = signal_to_jammer_ratio(radar, jammer, d * 1.5, 10.0);
+  EXPECT_GT(near_ratio, far_ratio);  // ratio decays with distance
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, JammerCrossover,
+                         ::testing::Values(2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+                                           130.0));
+
+}  // namespace
+}  // namespace safe::radar

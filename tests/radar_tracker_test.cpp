@@ -1,0 +1,135 @@
+// Tests for the multi-target range tracker.
+#include <gtest/gtest.h>
+
+#include "radar/tracker.hpp"
+
+namespace safe::radar {
+namespace {
+
+RangeRate det(double d, double v = -1.0) {
+  return RangeRate{.distance_m = d, .range_rate_mps = v};
+}
+
+TEST(Tracker, OptionValidation) {
+  TrackerOptions o;
+  o.gate_m = 0.0;
+  EXPECT_THROW(RangeTracker{o}, std::invalid_argument);
+  o = TrackerOptions{};
+  o.alpha = 1.5;
+  EXPECT_THROW(RangeTracker{o}, std::invalid_argument);
+  o = TrackerOptions{};
+  o.confirm_hits = 0;
+  EXPECT_THROW(RangeTracker{o}, std::invalid_argument);
+}
+
+TEST(Tracker, SingleTargetConfirmsAfterHits) {
+  RangeTracker tracker;
+  tracker.update({det(100.0)});
+  EXPECT_EQ(tracker.tracks()[0].state, TrackState::kTentative);
+  tracker.update({det(99.0)});
+  const auto& tracks = tracker.update({det(98.0)});
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].state, TrackState::kConfirmed);
+  EXPECT_NEAR(tracks[0].range_m, 98.0, 1.0);
+}
+
+TEST(Tracker, NoPrimaryWhileTentative) {
+  RangeTracker tracker;
+  tracker.update({det(50.0)});
+  EXPECT_FALSE(tracker.primary_track().has_value());
+}
+
+TEST(Tracker, PrimaryIsNearestConfirmed) {
+  RangeTracker tracker;
+  for (int k = 0; k < 4; ++k) {
+    tracker.update({det(100.0 - k), det(40.0 - k)});
+  }
+  const auto primary = tracker.primary_track();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_NEAR(primary->range_m, 37.0, 1.5);
+}
+
+TEST(Tracker, CoastsThroughDropout) {
+  RangeTracker tracker;
+  for (int k = 0; k < 4; ++k) tracker.update({det(100.0 - 2.0 * k, -2.0)});
+  // Challenge slot: no detections. Track coasts on its rate estimate.
+  const auto& tracks = tracker.update({});
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].state, TrackState::kCoasting);
+  EXPECT_NEAR(tracks[0].range_m, 92.0, 1.5);
+  // Re-acquires on the next detection.
+  const auto& after = tracker.update({det(90.0, -2.0)});
+  EXPECT_EQ(after[0].state, TrackState::kConfirmed);
+}
+
+TEST(Tracker, DropsAfterConsecutiveMisses) {
+  TrackerOptions o;
+  o.drop_misses = 3;
+  RangeTracker tracker(o);
+  for (int k = 0; k < 4; ++k) tracker.update({det(60.0)});
+  for (int k = 0; k < 3; ++k) tracker.update({});
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(Tracker, TentativeGhostDiesImmediately) {
+  RangeTracker tracker;
+  tracker.update({det(80.0)});   // tentative
+  tracker.update({});            // one miss kills a tentative track
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(Tracker, TwoTargetsKeepDistinctIds) {
+  RangeTracker tracker;
+  for (int k = 0; k < 5; ++k) {
+    tracker.update({det(100.0 - k, -1.0), det(50.0 - 2.0 * k, -2.0)});
+  }
+  const auto& tracks = tracker.tracks();
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_NE(tracks[0].id, tracks[1].id);
+  EXPECT_EQ(tracks[0].state, TrackState::kConfirmed);
+  EXPECT_EQ(tracks[1].state, TrackState::kConfirmed);
+}
+
+TEST(Tracker, SpoofedJumpSpawnsNewTrackInsteadOfDraggingOld) {
+  RangeTracker tracker;
+  for (int k = 0; k < 4; ++k) tracker.update({det(40.0 - 0.3 * k, -0.3)});
+  const auto before = tracker.primary_track();
+  ASSERT_TRUE(before.has_value());
+  // Sudden +6 m jump (outside the 5 m gate): association fails, old track
+  // coasts, new tentative track appears — a usable spoofing tell.
+  const auto& tracks = tracker.update({det(before->range_m + 6.0, -0.3)});
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_EQ(tracks[0].state, TrackState::kCoasting);
+  EXPECT_EQ(tracks[1].state, TrackState::kTentative);
+}
+
+TEST(Tracker, TrackFollowsManeuver) {
+  RangeTracker tracker;
+  double d = 80.0, v = -2.0;
+  for (int k = 0; k < 20; ++k) {
+    d += v;
+    if (k == 10) v = 1.0;  // leader speeds up
+    tracker.update({det(d, v)});
+  }
+  const auto primary = tracker.primary_track();
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_NEAR(primary->range_m, d, 1.5);
+  EXPECT_NEAR(primary->range_rate_mps, 1.0, 0.6);
+}
+
+TEST(Tracker, ResetDropsEverything) {
+  RangeTracker tracker;
+  for (int k = 0; k < 4; ++k) tracker.update({det(70.0)});
+  tracker.reset();
+  EXPECT_TRUE(tracker.tracks().empty());
+  EXPECT_FALSE(tracker.primary_track().has_value());
+}
+
+TEST(Tracker, AgeAccumulates) {
+  RangeTracker tracker;
+  for (int k = 0; k < 6; ++k) tracker.update({det(90.0)});
+  EXPECT_GE(tracker.tracks()[0].age, 5u);
+}
+
+}  // namespace
+}  // namespace safe::radar

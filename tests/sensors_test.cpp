@@ -1,0 +1,213 @@
+// Tests for the generalized ToF active sensors (lidar / ultrasonic) and the
+// redundancy-based fusion detector baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensors/fusion_detector.hpp"
+#include "sensors/tof_sensor.hpp"
+
+namespace safe::sensors {
+namespace {
+
+radar::EchoScene scene_with_target(const TofSensorParameters& params,
+                                   double distance, double rate = -1.0) {
+  radar::EchoScene scene;
+  scene.echoes.push_back(radar::EchoComponent{
+      .distance_m = distance,
+      .range_rate_mps = rate,
+      .power_w = 0.0,  // let the sensor's own link budget fill it in
+  });
+  scene.noise_power_w = params.noise_floor_w;
+  return scene;
+}
+
+TEST(TofSensor, ParameterValidation) {
+  TofSensorParameters p = lidar_parameters();
+  p.tx_power_w = 0.0;
+  EXPECT_THROW(TofSensor{p}, std::invalid_argument);
+
+  p = lidar_parameters();
+  p.max_range_m = p.min_range_m;
+  EXPECT_THROW(TofSensor{p}, std::invalid_argument);
+
+  p = lidar_parameters();
+  p.noise_floor_w = 0.0;
+  EXPECT_THROW(TofSensor{p}, std::invalid_argument);
+}
+
+TEST(TofSensor, ReceivedPowerFollowsLinkExponent) {
+  const auto lidar = lidar_parameters();
+  EXPECT_NEAR(tof_received_power_w(lidar, 10.0) /
+                  tof_received_power_w(lidar, 20.0),
+              4.0, 1e-9);  // d^-2
+  const auto sonar = ultrasonic_parameters();
+  EXPECT_NEAR(tof_received_power_w(sonar, 1.0) /
+                  tof_received_power_w(sonar, 2.0),
+              16.0, 1e-9);  // d^-4
+  EXPECT_THROW(tof_received_power_w(lidar, 0.0), std::invalid_argument);
+}
+
+TEST(TofSensor, LidarMeasuresRangeAcrossWindow) {
+  const auto params = lidar_parameters();
+  TofSensor lidar(params, 5);
+  for (const double d : {1.0, 10.0, 50.0, 100.0, 149.0}) {
+    const auto m = lidar.measure(scene_with_target(params, d));
+    EXPECT_TRUE(m.target_detected) << "d=" << d;
+    EXPECT_NEAR(m.distance_m, d, 0.2) << "d=" << d;
+  }
+}
+
+TEST(TofSensor, UltrasonicShortRangeOnly) {
+  const auto params = ultrasonic_parameters();
+  TofSensor sonar(params, 7);
+  const auto near = sonar.measure(scene_with_target(params, 1.5));
+  EXPECT_TRUE(near.target_detected);
+  EXPECT_NEAR(near.distance_m, 1.5, 0.05);
+  // Beyond the acoustic window: silence.
+  const auto far = sonar.measure(scene_with_target(params, 30.0));
+  EXPECT_FALSE(far.target_detected);
+}
+
+TEST(TofSensor, EmptySceneIsSilent) {
+  const auto params = lidar_parameters();
+  TofSensor lidar(params, 9);
+  radar::EchoScene scene;
+  scene.noise_power_w = params.noise_floor_w;
+  const auto m = lidar.measure(scene);
+  EXPECT_FALSE(m.target_detected);
+  EXPECT_FALSE(m.power_alarm);
+  EXPECT_FALSE(m.nonzero_output());
+}
+
+TEST(TofSensor, JammingRaisesPowerAlarm) {
+  const auto params = lidar_parameters();
+  TofSensor lidar(params, 11);
+  radar::EchoScene scene;
+  scene.noise_power_w = 100.0 * params.noise_floor_w;  // saturating blinder
+  const auto m = lidar.measure(scene);
+  EXPECT_TRUE(m.power_alarm);
+  EXPECT_TRUE(m.nonzero_output());
+}
+
+TEST(TofSensor, StrongestEchoWinsCapture) {
+  const auto params = lidar_parameters();
+  TofSensor lidar(params, 13);
+  auto scene = scene_with_target(params, 40.0);
+  // Spoofer overpowers the true echo with a counterfeit at +6 m.
+  scene.echoes.push_back(radar::EchoComponent{
+      .distance_m = 46.0,
+      .range_rate_mps = -1.0,
+      .power_w = 10.0 * tof_received_power_w(params, 40.0),
+  });
+  const auto m = lidar.measure(scene);
+  EXPECT_TRUE(m.target_detected);
+  EXPECT_NEAR(m.distance_m, 46.0, 0.2);
+}
+
+TEST(TofSensor, ChallengeSlotSpoofIsVisible) {
+  // tx suppressed, attacker still replaying: non-zero output -> CRA detects
+  // exactly as with the radar.
+  const auto params = lidar_parameters();
+  TofSensor lidar(params, 17);
+  radar::EchoScene scene;
+  scene.tx_enabled = false;
+  scene.noise_power_w = params.noise_floor_w;
+  scene.echoes.push_back(radar::EchoComponent{
+      .distance_m = 30.0,
+      .range_rate_mps = 0.0,
+      .power_w = 100.0 * params.noise_floor_w * params.detection_snr,
+  });
+  const auto m = lidar.measure(scene);
+  EXPECT_TRUE(m.nonzero_output());
+}
+
+TEST(TofSensor, WeakEchoBelowThresholdIgnored) {
+  const auto params = lidar_parameters();
+  TofSensor lidar(params, 19);
+  radar::EchoScene scene;
+  scene.noise_power_w = params.noise_floor_w;
+  scene.echoes.push_back(radar::EchoComponent{
+      .distance_m = 50.0,
+      .range_rate_mps = 0.0,
+      .power_w = params.noise_floor_w,  // at the floor: undetectable
+  });
+  const auto m = lidar.measure(scene);
+  EXPECT_FALSE(m.target_detected);
+}
+
+TEST(TofSensor, RangeRateMeasured) {
+  const auto params = lidar_parameters();
+  TofSensor lidar(params, 23);
+  const auto m = lidar.measure(scene_with_target(params, 60.0, -3.5));
+  ASSERT_TRUE(m.target_detected);
+  EXPECT_NEAR(m.range_rate_mps, -3.5, 0.6);
+}
+
+TEST(TofSensor, DeterministicGivenSeed) {
+  const auto params = ultrasonic_parameters();
+  TofSensor a(params, 99), b(params, 99);
+  const auto scene = scene_with_target(params, 2.0);
+  EXPECT_EQ(a.measure(scene).distance_m, b.measure(scene).distance_m);
+}
+
+TEST(FusionDetector, OptionValidation) {
+  EXPECT_THROW(FusionDetector({.disagreement_threshold_m = 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(FusionDetector({.required_consecutive = 0}),
+               std::invalid_argument);
+}
+
+TEST(FusionDetector, AgreementStaysQuiet) {
+  FusionDetector det;
+  for (int k = 0; k < 50; ++k) {
+    const auto d = det.observe(true, 40.0 - 0.1 * k, true, 40.02 - 0.1 * k);
+    EXPECT_FALSE(d.under_attack);
+  }
+}
+
+TEST(FusionDetector, OneSensorSpoofDetected) {
+  FusionDetector det({.disagreement_threshold_m = 2.0,
+                      .required_consecutive = 2});
+  det.observe(true, 40.0, true, 46.0);  // radar spoofed +6 m, lidar honest
+  const auto d = det.observe(true, 39.7, true, 45.7);
+  EXPECT_TRUE(d.under_attack);
+}
+
+TEST(FusionDetector, ConsistentTwoSensorSpoofIsInvisible) {
+  // The structural blind spot: corrupt both channels identically and the
+  // redundancy check never fires (CRA still would).
+  FusionDetector det;
+  for (int k = 0; k < 50; ++k) {
+    const auto d = det.observe(true, 46.0, true, 46.0);
+    EXPECT_FALSE(d.under_attack);
+  }
+}
+
+TEST(FusionDetector, MissingDataIsSkipped) {
+  FusionDetector det({.disagreement_threshold_m = 2.0,
+                      .required_consecutive = 1});
+  const auto d = det.observe(false, 0.0, true, 46.0);
+  EXPECT_FALSE(d.suspicious);
+  EXPECT_FALSE(d.under_attack);
+}
+
+TEST(FusionDetector, TransientGlitchBelowConsecutiveBarIgnored) {
+  FusionDetector det({.disagreement_threshold_m = 2.0,
+                      .required_consecutive = 3});
+  det.observe(true, 40.0, true, 45.0);  // one glitch
+  const auto d = det.observe(true, 40.0, true, 40.1);
+  EXPECT_FALSE(d.under_attack);
+}
+
+TEST(FusionDetector, ResetClearsState) {
+  FusionDetector det({.disagreement_threshold_m = 2.0,
+                      .required_consecutive = 1});
+  det.observe(true, 40.0, true, 50.0);
+  EXPECT_TRUE(det.under_attack());
+  det.reset();
+  EXPECT_FALSE(det.under_attack());
+}
+
+}  // namespace
+}  // namespace safe::sensors
