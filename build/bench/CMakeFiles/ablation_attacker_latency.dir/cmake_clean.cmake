@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_attacker_latency.dir/ablation_attacker_latency.cpp.o"
+  "CMakeFiles/ablation_attacker_latency.dir/ablation_attacker_latency.cpp.o.d"
+  "ablation_attacker_latency"
+  "ablation_attacker_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attacker_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

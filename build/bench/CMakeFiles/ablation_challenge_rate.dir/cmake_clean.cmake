@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_challenge_rate.dir/ablation_challenge_rate.cpp.o"
+  "CMakeFiles/ablation_challenge_rate.dir/ablation_challenge_rate.cpp.o.d"
+  "ablation_challenge_rate"
+  "ablation_challenge_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_challenge_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

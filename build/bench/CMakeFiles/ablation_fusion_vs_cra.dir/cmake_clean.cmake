@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fusion_vs_cra.dir/ablation_fusion_vs_cra.cpp.o"
+  "CMakeFiles/ablation_fusion_vs_cra.dir/ablation_fusion_vs_cra.cpp.o.d"
+  "ablation_fusion_vs_cra"
+  "ablation_fusion_vs_cra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fusion_vs_cra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jammer_sweep.dir/ablation_jammer_sweep.cpp.o"
+  "CMakeFiles/ablation_jammer_sweep.dir/ablation_jammer_sweep.cpp.o.d"
+  "ablation_jammer_sweep"
+  "ablation_jammer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jammer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

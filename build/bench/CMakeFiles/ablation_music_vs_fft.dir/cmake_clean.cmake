@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_music_vs_fft.dir/ablation_music_vs_fft.cpp.o"
+  "CMakeFiles/ablation_music_vs_fft.dir/ablation_music_vs_fft.cpp.o.d"
+  "ablation_music_vs_fft"
+  "ablation_music_vs_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_music_vs_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

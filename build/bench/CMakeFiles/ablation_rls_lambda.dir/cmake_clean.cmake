@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rls_lambda.dir/ablation_rls_lambda.cpp.o"
+  "CMakeFiles/ablation_rls_lambda.dir/ablation_rls_lambda.cpp.o.d"
+  "ablation_rls_lambda"
+  "ablation_rls_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rls_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sensors.dir/ablation_sensors.cpp.o"
+  "CMakeFiles/ablation_sensors.dir/ablation_sensors.cpp.o.d"
+  "ablation_sensors"
+  "ablation_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

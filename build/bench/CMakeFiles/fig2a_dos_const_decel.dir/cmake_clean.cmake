@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_dos_const_decel.dir/fig2a_dos_const_decel.cpp.o"
+  "CMakeFiles/fig2a_dos_const_decel.dir/fig2a_dos_const_decel.cpp.o.d"
+  "fig2a_dos_const_decel"
+  "fig2a_dos_const_decel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_dos_const_decel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

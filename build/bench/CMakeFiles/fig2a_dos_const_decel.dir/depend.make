@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2a_dos_const_decel.
+# This may be replaced when dependencies are built.

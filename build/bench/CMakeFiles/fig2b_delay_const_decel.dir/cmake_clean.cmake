@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_delay_const_decel.dir/fig2b_delay_const_decel.cpp.o"
+  "CMakeFiles/fig2b_delay_const_decel.dir/fig2b_delay_const_decel.cpp.o.d"
+  "fig2b_delay_const_decel"
+  "fig2b_delay_const_decel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_delay_const_decel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

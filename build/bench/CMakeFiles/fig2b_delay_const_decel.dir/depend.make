@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2b_delay_const_decel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_delay_decel_accel.dir/fig3b_delay_decel_accel.cpp.o"
+  "CMakeFiles/fig3b_delay_decel_accel.dir/fig3b_delay_decel_accel.cpp.o.d"
+  "fig3b_delay_decel_accel"
+  "fig3b_delay_decel_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_delay_decel_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/results_detection_table.dir/results_detection_table.cpp.o"
+  "CMakeFiles/results_detection_table.dir/results_detection_table.cpp.o.d"
+  "results_detection_table"
+  "results_detection_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/results_detection_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_attack_acc.dir/delay_attack_acc.cpp.o"
+  "CMakeFiles/delay_attack_acc.dir/delay_attack_acc.cpp.o.d"
+  "delay_attack_acc"
+  "delay_attack_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_attack_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

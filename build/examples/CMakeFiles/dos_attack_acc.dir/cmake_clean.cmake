@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dos_attack_acc.dir/dos_attack_acc.cpp.o"
+  "CMakeFiles/dos_attack_acc.dir/dos_attack_acc.cpp.o.d"
+  "dos_attack_acc"
+  "dos_attack_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dos_attack_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_lti_defense.dir/generic_lti_defense.cpp.o"
+  "CMakeFiles/generic_lti_defense.dir/generic_lti_defense.cpp.o.d"
+  "generic_lti_defense"
+  "generic_lti_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_lti_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_sensor_defense.dir/multi_sensor_defense.cpp.o"
+  "CMakeFiles/multi_sensor_defense.dir/multi_sensor_defense.cpp.o.d"
+  "multi_sensor_defense"
+  "multi_sensor_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_sensor_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

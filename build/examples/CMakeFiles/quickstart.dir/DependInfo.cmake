@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/safe_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/safe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/safe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/safe_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/safe_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/safe_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cra/CMakeFiles/safe_cra.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/safe_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/safe_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/safe_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/safe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radar_signal_path.dir/radar_signal_path.cpp.o"
+  "CMakeFiles/radar_signal_path.dir/radar_signal_path.cpp.o.d"
+  "radar_signal_path"
+  "radar_signal_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radar_signal_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("linalg")
+subdirs("dsp")
+subdirs("sim")
+subdirs("radar")
+subdirs("sensors")
+subdirs("attack")
+subdirs("cra")
+subdirs("estimation")
+subdirs("control")
+subdirs("vehicle")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_attack.dir/delay_injection.cpp.o"
+  "CMakeFiles/safe_attack.dir/delay_injection.cpp.o.d"
+  "CMakeFiles/safe_attack.dir/dos_jammer.cpp.o"
+  "CMakeFiles/safe_attack.dir/dos_jammer.cpp.o.d"
+  "libsafe_attack.a"
+  "libsafe_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

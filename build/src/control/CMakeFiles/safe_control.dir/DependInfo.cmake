@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/acc.cpp" "src/control/CMakeFiles/safe_control.dir/acc.cpp.o" "gcc" "src/control/CMakeFiles/safe_control.dir/acc.cpp.o.d"
+  "/root/repo/src/control/idm.cpp" "src/control/CMakeFiles/safe_control.dir/idm.cpp.o" "gcc" "src/control/CMakeFiles/safe_control.dir/idm.cpp.o.d"
+  "/root/repo/src/control/lane_keeping.cpp" "src/control/CMakeFiles/safe_control.dir/lane_keeping.cpp.o" "gcc" "src/control/CMakeFiles/safe_control.dir/lane_keeping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

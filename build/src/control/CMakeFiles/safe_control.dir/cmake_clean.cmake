@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_control.dir/acc.cpp.o"
+  "CMakeFiles/safe_control.dir/acc.cpp.o.d"
+  "CMakeFiles/safe_control.dir/idm.cpp.o"
+  "CMakeFiles/safe_control.dir/idm.cpp.o.d"
+  "CMakeFiles/safe_control.dir/lane_keeping.cpp.o"
+  "CMakeFiles/safe_control.dir/lane_keeping.cpp.o.d"
+  "libsafe_control.a"
+  "libsafe_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/car_following.cpp" "src/core/CMakeFiles/safe_core.dir/car_following.cpp.o" "gcc" "src/core/CMakeFiles/safe_core.dir/car_following.cpp.o.d"
+  "/root/repo/src/core/lti_case.cpp" "src/core/CMakeFiles/safe_core.dir/lti_case.cpp.o" "gcc" "src/core/CMakeFiles/safe_core.dir/lti_case.cpp.o.d"
+  "/root/repo/src/core/parking.cpp" "src/core/CMakeFiles/safe_core.dir/parking.cpp.o" "gcc" "src/core/CMakeFiles/safe_core.dir/parking.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/safe_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/safe_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/safe_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/safe_core.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/safe_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/safe_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/cra/CMakeFiles/safe_cra.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/safe_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/safe_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/safe_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/safe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/safe_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/safe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/safe_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_core.dir/car_following.cpp.o"
+  "CMakeFiles/safe_core.dir/car_following.cpp.o.d"
+  "CMakeFiles/safe_core.dir/lti_case.cpp.o"
+  "CMakeFiles/safe_core.dir/lti_case.cpp.o.d"
+  "CMakeFiles/safe_core.dir/parking.cpp.o"
+  "CMakeFiles/safe_core.dir/parking.cpp.o.d"
+  "CMakeFiles/safe_core.dir/pipeline.cpp.o"
+  "CMakeFiles/safe_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/safe_core.dir/scenario.cpp.o"
+  "CMakeFiles/safe_core.dir/scenario.cpp.o.d"
+  "libsafe_core.a"
+  "libsafe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cra/challenge.cpp" "src/cra/CMakeFiles/safe_cra.dir/challenge.cpp.o" "gcc" "src/cra/CMakeFiles/safe_cra.dir/challenge.cpp.o.d"
+  "/root/repo/src/cra/detector.cpp" "src/cra/CMakeFiles/safe_cra.dir/detector.cpp.o" "gcc" "src/cra/CMakeFiles/safe_cra.dir/detector.cpp.o.d"
+  "/root/repo/src/cra/waveform_auth.cpp" "src/cra/CMakeFiles/safe_cra.dir/waveform_auth.cpp.o" "gcc" "src/cra/CMakeFiles/safe_cra.dir/waveform_auth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/safe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/safe_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/safe_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_cra.dir/challenge.cpp.o"
+  "CMakeFiles/safe_cra.dir/challenge.cpp.o.d"
+  "CMakeFiles/safe_cra.dir/detector.cpp.o"
+  "CMakeFiles/safe_cra.dir/detector.cpp.o.d"
+  "CMakeFiles/safe_cra.dir/waveform_auth.cpp.o"
+  "CMakeFiles/safe_cra.dir/waveform_auth.cpp.o.d"
+  "libsafe_cra.a"
+  "libsafe_cra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_cra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsafe_cra.a"
+)

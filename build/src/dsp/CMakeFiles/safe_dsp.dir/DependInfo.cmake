@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/cfar.cpp" "src/dsp/CMakeFiles/safe_dsp.dir/cfar.cpp.o" "gcc" "src/dsp/CMakeFiles/safe_dsp.dir/cfar.cpp.o.d"
+  "/root/repo/src/dsp/covariance.cpp" "src/dsp/CMakeFiles/safe_dsp.dir/covariance.cpp.o" "gcc" "src/dsp/CMakeFiles/safe_dsp.dir/covariance.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/safe_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/safe_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/levinson.cpp" "src/dsp/CMakeFiles/safe_dsp.dir/levinson.cpp.o" "gcc" "src/dsp/CMakeFiles/safe_dsp.dir/levinson.cpp.o.d"
+  "/root/repo/src/dsp/music.cpp" "src/dsp/CMakeFiles/safe_dsp.dir/music.cpp.o" "gcc" "src/dsp/CMakeFiles/safe_dsp.dir/music.cpp.o.d"
+  "/root/repo/src/dsp/prbs.cpp" "src/dsp/CMakeFiles/safe_dsp.dir/prbs.cpp.o" "gcc" "src/dsp/CMakeFiles/safe_dsp.dir/prbs.cpp.o.d"
+  "/root/repo/src/dsp/spectral.cpp" "src/dsp/CMakeFiles/safe_dsp.dir/spectral.cpp.o" "gcc" "src/dsp/CMakeFiles/safe_dsp.dir/spectral.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/safe_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/safe_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/safe_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/safe_estimation.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

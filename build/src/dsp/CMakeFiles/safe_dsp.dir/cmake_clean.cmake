@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_dsp.dir/cfar.cpp.o"
+  "CMakeFiles/safe_dsp.dir/cfar.cpp.o.d"
+  "CMakeFiles/safe_dsp.dir/covariance.cpp.o"
+  "CMakeFiles/safe_dsp.dir/covariance.cpp.o.d"
+  "CMakeFiles/safe_dsp.dir/fft.cpp.o"
+  "CMakeFiles/safe_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/safe_dsp.dir/levinson.cpp.o"
+  "CMakeFiles/safe_dsp.dir/levinson.cpp.o.d"
+  "CMakeFiles/safe_dsp.dir/music.cpp.o"
+  "CMakeFiles/safe_dsp.dir/music.cpp.o.d"
+  "CMakeFiles/safe_dsp.dir/prbs.cpp.o"
+  "CMakeFiles/safe_dsp.dir/prbs.cpp.o.d"
+  "CMakeFiles/safe_dsp.dir/spectral.cpp.o"
+  "CMakeFiles/safe_dsp.dir/spectral.cpp.o.d"
+  "CMakeFiles/safe_dsp.dir/window.cpp.o"
+  "CMakeFiles/safe_dsp.dir/window.cpp.o.d"
+  "libsafe_dsp.a"
+  "libsafe_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimation/baselines.cpp" "src/estimation/CMakeFiles/safe_estimation.dir/baselines.cpp.o" "gcc" "src/estimation/CMakeFiles/safe_estimation.dir/baselines.cpp.o.d"
+  "/root/repo/src/estimation/chi_square.cpp" "src/estimation/CMakeFiles/safe_estimation.dir/chi_square.cpp.o" "gcc" "src/estimation/CMakeFiles/safe_estimation.dir/chi_square.cpp.o.d"
+  "/root/repo/src/estimation/kalman.cpp" "src/estimation/CMakeFiles/safe_estimation.dir/kalman.cpp.o" "gcc" "src/estimation/CMakeFiles/safe_estimation.dir/kalman.cpp.o.d"
+  "/root/repo/src/estimation/rls.cpp" "src/estimation/CMakeFiles/safe_estimation.dir/rls.cpp.o" "gcc" "src/estimation/CMakeFiles/safe_estimation.dir/rls.cpp.o.d"
+  "/root/repo/src/estimation/rls_predictor.cpp" "src/estimation/CMakeFiles/safe_estimation.dir/rls_predictor.cpp.o" "gcc" "src/estimation/CMakeFiles/safe_estimation.dir/rls_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/safe_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_estimation.dir/baselines.cpp.o"
+  "CMakeFiles/safe_estimation.dir/baselines.cpp.o.d"
+  "CMakeFiles/safe_estimation.dir/chi_square.cpp.o"
+  "CMakeFiles/safe_estimation.dir/chi_square.cpp.o.d"
+  "CMakeFiles/safe_estimation.dir/kalman.cpp.o"
+  "CMakeFiles/safe_estimation.dir/kalman.cpp.o.d"
+  "CMakeFiles/safe_estimation.dir/rls.cpp.o"
+  "CMakeFiles/safe_estimation.dir/rls.cpp.o.d"
+  "CMakeFiles/safe_estimation.dir/rls_predictor.cpp.o"
+  "CMakeFiles/safe_estimation.dir/rls_predictor.cpp.o.d"
+  "libsafe_estimation.a"
+  "libsafe_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_linalg.dir/polynomial.cpp.o"
+  "CMakeFiles/safe_linalg.dir/polynomial.cpp.o.d"
+  "libsafe_linalg.a"
+  "libsafe_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

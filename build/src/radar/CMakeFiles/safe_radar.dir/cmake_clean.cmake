@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_radar.dir/fmcw.cpp.o"
+  "CMakeFiles/safe_radar.dir/fmcw.cpp.o.d"
+  "CMakeFiles/safe_radar.dir/link_budget.cpp.o"
+  "CMakeFiles/safe_radar.dir/link_budget.cpp.o.d"
+  "CMakeFiles/safe_radar.dir/processor.cpp.o"
+  "CMakeFiles/safe_radar.dir/processor.cpp.o.d"
+  "CMakeFiles/safe_radar.dir/tracker.cpp.o"
+  "CMakeFiles/safe_radar.dir/tracker.cpp.o.d"
+  "libsafe_radar.a"
+  "libsafe_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

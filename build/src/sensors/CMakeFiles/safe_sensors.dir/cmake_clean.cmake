@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_sensors.dir/fusion_detector.cpp.o"
+  "CMakeFiles/safe_sensors.dir/fusion_detector.cpp.o.d"
+  "CMakeFiles/safe_sensors.dir/tof_sensor.cpp.o"
+  "CMakeFiles/safe_sensors.dir/tof_sensor.cpp.o.d"
+  "libsafe_sensors.a"
+  "libsafe_sensors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_sensors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

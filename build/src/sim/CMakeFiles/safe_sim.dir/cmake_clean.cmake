@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_sim.dir/lti_system.cpp.o"
+  "CMakeFiles/safe_sim.dir/lti_system.cpp.o.d"
+  "CMakeFiles/safe_sim.dir/noise.cpp.o"
+  "CMakeFiles/safe_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/safe_sim.dir/trace.cpp.o"
+  "CMakeFiles/safe_sim.dir/trace.cpp.o.d"
+  "libsafe_sim.a"
+  "libsafe_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vehicle/lateral.cpp" "src/vehicle/CMakeFiles/safe_vehicle.dir/lateral.cpp.o" "gcc" "src/vehicle/CMakeFiles/safe_vehicle.dir/lateral.cpp.o.d"
+  "/root/repo/src/vehicle/leader_profile.cpp" "src/vehicle/CMakeFiles/safe_vehicle.dir/leader_profile.cpp.o" "gcc" "src/vehicle/CMakeFiles/safe_vehicle.dir/leader_profile.cpp.o.d"
+  "/root/repo/src/vehicle/longitudinal.cpp" "src/vehicle/CMakeFiles/safe_vehicle.dir/longitudinal.cpp.o" "gcc" "src/vehicle/CMakeFiles/safe_vehicle.dir/longitudinal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_vehicle.dir/lateral.cpp.o"
+  "CMakeFiles/safe_vehicle.dir/lateral.cpp.o.d"
+  "CMakeFiles/safe_vehicle.dir/leader_profile.cpp.o"
+  "CMakeFiles/safe_vehicle.dir/leader_profile.cpp.o.d"
+  "CMakeFiles/safe_vehicle.dir/longitudinal.cpp.o"
+  "CMakeFiles/safe_vehicle.dir/longitudinal.cpp.o.d"
+  "libsafe_vehicle.a"
+  "libsafe_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/attack_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/attack_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/attack_test.cpp.o.d"
+  "/root/repo/tests/control_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/control_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/control_test.cpp.o.d"
+  "/root/repo/tests/core_car_following_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/core_car_following_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/core_car_following_test.cpp.o.d"
+  "/root/repo/tests/core_fuzz_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/core_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/core_fuzz_test.cpp.o.d"
+  "/root/repo/tests/core_lti_case_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/core_lti_case_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/core_lti_case_test.cpp.o.d"
+  "/root/repo/tests/core_parking_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/core_parking_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/core_parking_test.cpp.o.d"
+  "/root/repo/tests/core_pipeline_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/core_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/core_pipeline_test.cpp.o.d"
+  "/root/repo/tests/cra_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/cra_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/cra_test.cpp.o.d"
+  "/root/repo/tests/cra_waveform_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/cra_waveform_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/cra_waveform_test.cpp.o.d"
+  "/root/repo/tests/dsp_cfar_levinson_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/dsp_cfar_levinson_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/dsp_cfar_levinson_test.cpp.o.d"
+  "/root/repo/tests/dsp_fft_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/dsp_fft_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/dsp_fft_test.cpp.o.d"
+  "/root/repo/tests/dsp_music_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/dsp_music_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/dsp_music_test.cpp.o.d"
+  "/root/repo/tests/estimation_baselines_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/estimation_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/estimation_baselines_test.cpp.o.d"
+  "/root/repo/tests/estimation_rls_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/estimation_rls_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/estimation_rls_test.cpp.o.d"
+  "/root/repo/tests/lateral_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/lateral_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/lateral_test.cpp.o.d"
+  "/root/repo/tests/linalg_decompositions_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/linalg_decompositions_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/linalg_decompositions_test.cpp.o.d"
+  "/root/repo/tests/linalg_eigen_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/linalg_eigen_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/linalg_eigen_test.cpp.o.d"
+  "/root/repo/tests/linalg_matrix_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/linalg_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/linalg_matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg_polynomial_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/linalg_polynomial_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/linalg_polynomial_test.cpp.o.d"
+  "/root/repo/tests/radar_fmcw_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/radar_fmcw_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/radar_fmcw_test.cpp.o.d"
+  "/root/repo/tests/radar_integration_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/radar_integration_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/radar_integration_test.cpp.o.d"
+  "/root/repo/tests/radar_processor_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/radar_processor_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/radar_processor_test.cpp.o.d"
+  "/root/repo/tests/radar_tracker_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/radar_tracker_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/radar_tracker_test.cpp.o.d"
+  "/root/repo/tests/sensors_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/sensors_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/sensors_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/vehicle_test.cpp" "tests/CMakeFiles/safe_sensing_tests.dir/vehicle_test.cpp.o" "gcc" "tests/CMakeFiles/safe_sensing_tests.dir/vehicle_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/safe_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/safe_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/safe_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/safe_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensors/CMakeFiles/safe_sensors.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/safe_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/cra/CMakeFiles/safe_cra.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimation/CMakeFiles/safe_estimation.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/safe_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/vehicle/CMakeFiles/safe_vehicle.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/safe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
