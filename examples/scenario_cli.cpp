@@ -6,9 +6,15 @@
 //                [--attack none|dos|delay] [--onset K] [--end K]
 //                [--no-defense] [--estimator music|fft] [--seed N]
 //                [--horizon K] [--csv PATH]
+//                [--fault SPEC] [--hardened] [--max-holdover K]
 //
 // Example: reproduce Figure 2b and dump the series:
 //   scenario_cli --leader decel --attack delay --onset 180 --csv fig2b.csv
+//
+// Example: drop 10 frames mid-run and emit NaNs, with the hardened
+// degradation manager enabled:
+//   scenario_cli --hardened
+//                --fault "dropout:start=60,len=10;nan:start=100,period=25"
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -16,6 +22,7 @@
 #include <string>
 
 #include "core/scenario.hpp"
+#include "fault/schedule.hpp"
 #include "vehicle/leader_profile.hpp"
 
 namespace {
@@ -25,7 +32,9 @@ namespace {
       << "usage: " << argv0
       << " [--leader decel|decel-accel|stop-and-go] [--attack none|dos|delay]\n"
          "       [--onset K] [--end K] [--no-defense] [--estimator music|fft]\n"
-         "       [--seed N] [--horizon K] [--csv PATH]\n";
+         "       [--seed N] [--horizon K] [--csv PATH]\n"
+         "       [--fault SPEC] [--hardened] [--max-holdover K]\n"
+         "run `--fault help` for the fault-spec mini-language.\n";
   std::exit(2);
 }
 
@@ -37,6 +46,8 @@ int main(int argc, char** argv) {
   core::ScenarioOptions options;
   std::string leader = "decel";
   std::string csv_path;
+  bool hardened = false;
+  std::size_t max_holdover = 15;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,10 +89,22 @@ int main(int argc, char** argv) {
       options.horizon_steps = std::stoll(next());
     } else if (arg == "--csv") {
       csv_path = next();
+    } else if (arg == "--fault") {
+      options.fault_spec = next();
+      if (options.fault_spec == "help") {
+        std::cout << fault::fault_spec_help() << "\n";
+        return 0;
+      }
+    } else if (arg == "--hardened") {
+      hardened = true;
+    } else if (arg == "--max-holdover") {
+      max_holdover = std::stoull(next());
+      hardened = true;
     } else {
       usage(argv[0]);
     }
   }
+  if (hardened) options.pipeline = core::hardened_pipeline_options(max_holdover);
 
   if (leader == "decel") {
     options.leader = core::LeaderScenario::kConstantDecel;
@@ -91,7 +114,14 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
 
-  core::Scenario scenario = core::make_paper_scenario(options);
+  core::Scenario scenario = [&] {
+    try {
+      return core::make_paper_scenario(options);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n" << fault::fault_spec_help() << "\n";
+      std::exit(2);
+    }
+  }();
   if (leader == "stop-and-go") {
     scenario.leader = std::make_shared<vehicle::StopAndGoProfile>();
   }
@@ -109,6 +139,22 @@ int main(int argc, char** argv) {
                                       : std::string("never"))
             << " (FP " << result.detection_stats.false_positives << ", FN "
             << result.detection_stats.false_negatives << ")\n";
+
+  if (!options.fault_spec.empty() || hardened) {
+    const auto& hs = result.health_stats;
+    std::cout << "faults: "
+              << (scenario.config.faults ? scenario.config.faults->name()
+                                         : std::string("none"))
+              << "\nhealth: rejected non-finite " << hs.rejected_nonfinite
+              << ", out-of-range " << hs.rejected_out_of_range
+              << ", innovation " << hs.rejected_innovation
+              << "; predictor resets " << hs.predictor_resets
+              << "; bridged dropouts " << hs.bridged_dropouts << "\n"
+              << "safe-stop steps: " << result.safe_stop_steps << " (entries "
+              << hs.safe_stop_entries << ")\n"
+              << "non-finite controller inputs: "
+              << result.nonfinite_controller_inputs << "\n";
+  }
 
   if (!csv_path.empty()) {
     std::ofstream csv(csv_path);

@@ -20,6 +20,10 @@ void validate_parameters(const AccParameters& params) {
   if (params.max_accel_mps2 <= 0.0 || params.max_decel_mps2 <= 0.0) {
     throw std::invalid_argument("AccParameters: bad acceleration limits");
   }
+  if (params.safe_stop_decel_mps2 <= 0.0 ||
+      params.safe_stop_decel_mps2 > params.max_decel_mps2) {
+    throw std::invalid_argument("AccParameters: bad safe-stop deceleration");
+  }
 }
 
 double desired_distance_m(const AccParameters& params,
@@ -36,6 +40,38 @@ AccCommand UpperLevelController::step(const AccInputs& inputs) {
   const double t = params_.sample_time_s;
   AccCommand cmd;
   cmd.desired_distance_m = desired_distance_m(params_, inputs.follower_speed_mps);
+
+  if (inputs.degraded_safe_stop) {
+    // The radar channels are stale: disregard them entirely and ramp the
+    // speed down at the conservative safe-stop rate.
+    cmd.mode = AccMode::kSafeStop;
+    const double v_des = std::max(
+        inputs.follower_speed_mps - params_.safe_stop_decel_mps2 * t, 0.0);
+    cmd.desired_speed_mps = v_des;
+    // Command the ramp against the *current* speed, not the previous
+    // desired speed: the Eq. 16 difference law degenerates to tracking the
+    // follower's own acceleration (a no-op) once v_des locks to v_F - step.
+    cmd.desired_accel_mps2 = std::clamp(
+        (v_des - inputs.follower_speed_mps) / t,
+        -params_.safe_stop_decel_mps2, 0.0);
+    prev_desired_speed_ = v_des;
+    primed_ = true;
+    return cmd;
+  }
+
+  if (params_.emergency_headway_s > 0.0 && inputs.target_present &&
+      inputs.distance_m < params_.min_gap_m + params_.emergency_headway_s *
+                                                  inputs.follower_speed_mps) {
+    // Imminent-collision floor: the CTH law has lost the gap; brake as hard
+    // as the actuators allow until the clearance recovers.
+    cmd.mode = AccMode::kSafeStop;
+    cmd.desired_speed_mps = 0.0;
+    cmd.desired_accel_mps2 = -params_.max_decel_mps2;
+    prev_desired_speed_ = std::max(
+        inputs.follower_speed_mps - params_.max_decel_mps2 * t, 0.0);
+    primed_ = true;
+    return cmd;
+  }
 
   // Spacing control engages when a target sits inside the CTH envelope
   // (with a small hysteresis margin so mode flapping does not excite the
@@ -55,6 +91,10 @@ AccCommand UpperLevelController::step(const AccInputs& inputs) {
   } else {
     cmd.mode = AccMode::kSpeedControl;
     v_des = params_.set_speed_mps;
+  }
+  if (params_.hold_speed_on_degraded_holdover && inputs.degraded_holdover) {
+    // Estimated (or absent) radar data cannot justify speeding up.
+    v_des = std::min(v_des, inputs.follower_speed_mps);
   }
   v_des = std::max(v_des, 0.0);
   cmd.desired_speed_mps = v_des;

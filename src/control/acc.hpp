@@ -26,6 +26,24 @@ struct AccParameters {
   double max_decel_mps2 = 5.0;
   /// Brake pressure per m/s^2 of commanded deceleration (actuator map).
   double brake_pressure_per_mps2 = 40.0;
+  /// Deceleration commanded while the pipeline reports DEGRADED_SAFE_STOP:
+  /// firm enough to shed speed quickly, gentle enough not to provoke
+  /// rear-end collisions (~0.2 g).
+  double safe_stop_decel_mps2 = 2.0;
+  /// When true, the controller never raises the desired speed above the
+  /// current speed while `AccInputs::degraded_holdover` is set: holdover
+  /// estimates can only prove the gap is shrinking, never that it is safe
+  /// to speed up, and a free-run whose gap drifts open (or a dead sensor
+  /// reporting "no target") must not talk the follower into accelerating
+  /// at a leader it cannot see. Off by default (paper behaviour).
+  bool hold_speed_on_degraded_holdover = false;
+  /// Emergency-brake headway: when > 0 and the reported gap falls below
+  /// d_0 + emergency_headway_s * v_F, the controller overrides the CTH law
+  /// with maximum braking. The paper's upper level (Eq. 16) regulates the
+  /// *derivative* of the desired speed, so after a disturbance it rides a
+  /// clearance deficit instead of actively restoring it; the floor is the
+  /// last-resort backstop for that regime. 0 disables (paper behaviour).
+  double emergency_headway_s = 0.0;
 };
 
 /// Throws std::invalid_argument on non-physical parameters.
@@ -38,6 +56,7 @@ double desired_distance_m(const AccParameters& params,
 enum class AccMode {
   kSpeedControl,    ///< No (close) target: track the set speed.
   kSpacingControl,  ///< Maintain the CTH gap to the preceding vehicle.
+  kSafeStop,        ///< Degraded pipeline: conservative deceleration.
 };
 
 /// Sensor-facing inputs of the upper-level controller.
@@ -46,6 +65,14 @@ struct AccInputs {
   double distance_m = 0.0;           ///< d (radar)
   double relative_velocity_mps = 0.0;  ///< dv = v_L - v_F (radar)
   double follower_speed_mps = 0.0;   ///< v_F (trusted wheel-speed sensor)
+  /// The safe-measurement pipeline exhausted its holdover budget
+  /// (DEGRADED_SAFE_STOP): ignore the stale radar channels and bleed speed
+  /// at `safe_stop_decel_mps2` until the pipeline recovers or the vehicle
+  /// stands still.
+  bool degraded_safe_stop = false;
+  /// The pipeline is holding over (estimates or dead sensor, no attack).
+  /// Acted on only when `hold_speed_on_degraded_holdover` is enabled.
+  bool degraded_holdover = false;
 };
 
 /// Upper-level outputs.

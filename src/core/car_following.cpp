@@ -1,6 +1,7 @@
 #include "core/car_following.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "radar/link_budget.hpp"
@@ -12,7 +13,7 @@ std::vector<std::string> CarFollowingResult::columns() {
       "time_s",       "true_gap_m",  "true_dv_mps",  "meas_gap_m",
       "meas_dv_mps",  "safe_gap_m",  "safe_dv_mps",  "leader_v_mps",
       "follower_v_mps", "follower_a_mps2", "challenge", "under_attack",
-      "estimated",    "collided",
+      "estimated",    "collided",    "degradation",  "holdover",
   };
 }
 
@@ -44,8 +45,15 @@ CarFollowingResult CarFollowingSimulation::run() {
   const radar::FmcwParameters& wf = config_.radar.waveform;
 
   radar::RadarProcessor radar(config_.radar, config_.seed);
-  SafeMeasurementPipeline pipeline = make_default_pipeline(schedule_);
+  SafeMeasurementPipeline pipeline =
+      make_default_pipeline(schedule_, config_.pipeline);
   control::AccController acc(config_.acc);
+
+  // Local copy of the fault schedule: stream state (stuck frames, challenge
+  // counts) is per-run.
+  fault::FaultSchedule faults =
+      config_.faults ? *config_.faults : fault::FaultSchedule{};
+  faults.reset();
 
   vehicle::VehicleState leader{.position_m = config_.initial_gap_m,
                                .velocity_mps = config_.leader_speed_mps};
@@ -111,12 +119,16 @@ CarFollowingResult CarFollowingSimulation::run() {
                        scene.echoes[0].distance_m != before.echoes[0].distance_m);
     }
 
-    // --- Radar receiver.
-    const radar::RadarMeasurement meas = radar.measure(scene);
+    // --- Radar receiver (+ post-digitization sensor faults, if scheduled).
+    radar::RadarMeasurement meas = radar.measure(scene);
+    if (!faults.empty()) {
+      meas = faults.apply(k, pipeline.probe_suppressed(k), meas);
+    }
 
     // --- Defense pipeline (Algorithm 2).
     const SafeMeasurement safe =
         pipeline.process_scored(k, meas, attack_active);
+    if (safe.safe_stop) ++result.safe_stop_steps;
 
     // --- Controller input selection.
     control::AccInputs inputs;
@@ -125,6 +137,9 @@ CarFollowingResult CarFollowingSimulation::run() {
       inputs.target_present = safe.target_present;
       inputs.distance_m = safe.distance_m;
       inputs.relative_velocity_mps = safe.relative_velocity_mps;
+      inputs.degraded_safe_stop = safe.safe_stop;
+      inputs.degraded_holdover =
+          safe.degradation == DegradationState::kHoldover;
     } else {
       // Raw radar consumer with a one-epoch track hold across dropouts.
       if (meas.coherent_echo) {
@@ -135,6 +150,13 @@ CarFollowingResult CarFollowingSimulation::run() {
       inputs.target_present = held_valid;
       inputs.distance_m = held_gap;
       inputs.relative_velocity_mps = held_dv;
+    }
+
+    // Audit what the controller is about to consume: with the defense on,
+    // the health monitor must have filtered every non-finite value.
+    if (inputs.target_present && (!std::isfinite(inputs.distance_m) ||
+                                  !std::isfinite(inputs.relative_velocity_mps))) {
+      ++result.nonfinite_controller_inputs;
     }
 
     // --- Follower controller + dynamics (Eqs. 13-17, or IDM baseline).
@@ -181,11 +203,14 @@ CarFollowingResult CarFollowingSimulation::run() {
         safe.under_attack ? 1.0 : 0.0,
         safe.estimated ? 1.0 : 0.0,
         result.collided ? 1.0 : 0.0,
+        static_cast<double>(safe.degradation),
+        static_cast<double>(safe.holdover_steps),
     });
   }
 
   result.detection_step = pipeline.detection_step();
   result.detection_stats = pipeline.detection_stats();
+  result.health_stats = pipeline.health_stats();
   return result;
 }
 

@@ -13,6 +13,7 @@
 #include "control/idm.hpp"
 #include "core/pipeline.hpp"
 #include "cra/challenge.hpp"
+#include "fault/schedule.hpp"
 #include "radar/processor.hpp"
 #include "sim/trace.hpp"
 #include "vehicle/leader_profile.hpp"
@@ -47,6 +48,15 @@ struct CarFollowingConfig {
   /// pipeline output. The "RadarData-With-Attack" failure traces of
   /// Figures 2-3 are produced with the defense disabled.
   bool defense_enabled = true;
+
+  /// Safe-measurement pipeline configuration (defaults reproduce the paper;
+  /// see hardened_pipeline_options for the fault-robust profile).
+  PipelineOptions pipeline{};
+
+  /// Optional sensor-fault schedule applied to the radar measurement stream
+  /// between receiver and pipeline (null/empty = no faults). The simulation
+  /// copies the schedule so repeated runs start from identical state.
+  std::shared_ptr<const fault::FaultSchedule> faults;
 };
 
 /// Everything recorded about one simulation run.
@@ -57,6 +67,13 @@ struct CarFollowingResult {
   std::optional<std::int64_t> detection_step;
   cra::DetectionStats detection_stats;
   double min_gap_m = 0.0;
+  /// Health / degradation outcome of the run.
+  HealthStats health_stats;
+  std::size_t safe_stop_steps = 0;       ///< Steps spent in DEGRADED_SAFE_STOP.
+  /// Controller epochs whose selected distance/velocity inputs were not
+  /// finite. Must be zero whenever the defense pipeline is enabled — the
+  /// whole point of the health monitor.
+  std::size_t nonfinite_controller_inputs = 0;
 
   CarFollowingResult() : trace(columns()) {}
 

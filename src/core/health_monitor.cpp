@@ -1,0 +1,134 @@
+#include "core/health_monitor.hpp"
+
+#include <cmath>
+
+namespace safe::core {
+
+namespace units = safe::sim::units;
+
+const char* to_string(DegradationState state) {
+  switch (state) {
+    case DegradationState::kClean: return "clean";
+    case DegradationState::kUnderAttack: return "under-attack";
+    case DegradationState::kHoldover: return "holdover";
+    case DegradationState::kSafeStop: return "safe-stop";
+  }
+  return "unknown";
+}
+
+namespace {
+
+estimation::InnovationGate::Options gate_options(const HealthOptions& o,
+                                                 double innovation_floor) {
+  estimation::InnovationGate::Options g;
+  g.threshold = o.innovation_threshold;
+  g.min_samples = o.innovation_min_samples;
+  g.variance_floor =
+      std::max(innovation_floor * innovation_floor, 1e-12);
+  return g;
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(const HealthOptions& options)
+    : options_(options),
+      distance_gate_(gate_options(options, options.innovation_floor_m)),
+      velocity_gate_(gate_options(options, options.innovation_floor_mps)) {}
+
+HealthMonitor::Verdict HealthMonitor::validate(double distance_m,
+                                               double velocity_mps,
+                                               bool has_reference,
+                                               double last_distance_m,
+                                               double last_velocity_mps) {
+  if (options_.validate_measurements) {
+    if (!std::isfinite(distance_m) || !std::isfinite(velocity_mps)) {
+      ++stats_.rejected_nonfinite;
+      return Verdict::kRejectNonFinite;
+    }
+    if (!units::plausible_range_m(distance_m, options_.max_range_m) ||
+        !units::plausible_speed_mps(velocity_mps, options_.max_speed_mps)) {
+      ++stats_.rejected_out_of_range;
+      return Verdict::kRejectRange;
+    }
+  }
+  if (options_.max_identical_measurements > 0) {
+    // Frozen-stream check on the raw report stream: exact repeats beyond
+    // what noise could ever produce mean a stuck tracker or a dead clock.
+    if (has_prev_measurement_ && distance_m == prev_distance_ &&
+        velocity_mps == prev_velocity_) {
+      ++identical_run_;
+    } else {
+      identical_run_ = 0;
+    }
+    prev_distance_ = distance_m;
+    prev_velocity_ = velocity_mps;
+    has_prev_measurement_ = true;
+    if (identical_run_ >= options_.max_identical_measurements) {
+      ++stats_.rejected_stuck;
+      return Verdict::kRejectStuck;
+    }
+  }
+  if (options_.innovation_threshold > 0.0 && has_reference) {
+    // Gate both channels; feed the second gate regardless so its variance
+    // estimate tracks even when the first channel rejects.
+    const bool d_outlier = distance_gate_.observe(distance_m - last_distance_m);
+    const bool v_outlier =
+        velocity_gate_.observe(velocity_mps - last_velocity_mps);
+    if (d_outlier || v_outlier) {
+      ++innovation_streak_;
+      if (options_.innovation_max_consecutive_rejections > 0 &&
+          innovation_streak_ >
+              options_.innovation_max_consecutive_rejections) {
+        // Everything has been "an outlier" for a while: the reference is
+        // stale (regime change, re-acquired target), not the data. Re-sync
+        // on this sample with fresh gates.
+        distance_gate_.reset();
+        velocity_gate_.reset();
+        innovation_streak_ = 0;
+        ++stats_.innovation_resyncs;
+        return Verdict::kAccept;
+      }
+      ++stats_.rejected_innovation;
+      return Verdict::kRejectInnovation;
+    }
+    innovation_streak_ = 0;
+  }
+  return Verdict::kAccept;
+}
+
+bool HealthMonitor::prediction_ok(double distance_m,
+                                  double velocity_mps) const {
+  return std::isfinite(distance_m) && std::isfinite(velocity_mps) &&
+         units::plausible_range_m(std::fmax(distance_m, 0.0),
+                                  options_.max_range_m) &&
+         units::plausible_speed_mps(velocity_mps, options_.max_speed_mps);
+}
+
+void HealthMonitor::note_holdover_step() {
+  ++holdover_steps_;
+  if (!safe_stop_ && options_.max_holdover_steps > 0 &&
+      holdover_steps_ > options_.max_holdover_steps) {
+    safe_stop_ = true;
+    ++stats_.safe_stop_entries;
+  }
+}
+
+void HealthMonitor::note_trusted_sample(bool attack_over) {
+  holdover_steps_ = 0;
+  if (safe_stop_ && attack_over) safe_stop_ = false;
+}
+
+void HealthMonitor::reset() {
+  distance_gate_.reset();
+  velocity_gate_.reset();
+  innovation_streak_ = 0;
+  prev_distance_ = 0.0;
+  prev_velocity_ = 0.0;
+  has_prev_measurement_ = false;
+  identical_run_ = 0;
+  holdover_steps_ = 0;
+  safe_stop_ = false;
+  stats_ = HealthStats{};
+}
+
+}  // namespace safe::core

@@ -7,15 +7,27 @@
 
 namespace safe::core {
 
+PipelineOptions hardened_pipeline_options(std::size_t max_holdover_steps) {
+  PipelineOptions options;
+  options.health.innovation_threshold = 25.0;  // ~5-sigma jumps quarantined
+  options.health.max_holdover_steps = max_holdover_steps;
+  options.health.dropout_holdover_steps = 5;
+  options.health.max_identical_measurements = 8;
+  options.detector.clear_after_silent_challenges = 2;
+  return options;
+}
+
 SafeMeasurementPipeline::SafeMeasurementPipeline(
     std::shared_ptr<const cra::ChallengeSchedule> schedule,
     estimation::SeriesPredictorPtr distance_predictor,
     estimation::SeriesPredictorPtr velocity_predictor,
     const PipelineOptions& options)
     : modulator_(std::move(schedule)),
+      detector_(options.detector),
       distance_predictor_(std::move(distance_predictor)),
       velocity_predictor_(std::move(velocity_predictor)),
-      options_(options) {
+      options_(options),
+      health_(options.health) {
   if (!distance_predictor_ || !velocity_predictor_) {
     throw std::invalid_argument("SafeMeasurementPipeline: null predictor");
   }
@@ -62,6 +74,39 @@ void SafeMeasurementPipeline::restore_snapshot(std::int64_t detection_step) {
   }
 }
 
+void SafeMeasurementPipeline::hold_over(SafeMeasurement& out,
+                                        bool can_estimate) {
+  out.target_present = state_.had_target;
+  if (can_estimate) {
+    double d = distance_predictor_->predict_next();
+    double v = velocity_predictor_->predict_next();
+    if (!health_.prediction_ok(d, v)) {
+      // The free-run diverged (non-finite or non-physical): re-train from
+      // scratch instead of feeding garbage to the controller, and fall back
+      // to the last trusted values for this step.
+      distance_predictor_->reset();
+      velocity_predictor_->reset();
+      state_.trained_samples = 0;
+      health_.record_predictor_reset();
+      d = state_.last_distance;
+      v = state_.last_velocity;
+    } else {
+      // Distances are physical ranges: clamp the free-run at zero.
+      d = std::max(d, 0.0);
+    }
+    out.distance_m = d;
+    out.relative_velocity_mps = v;
+    out.estimated = true;
+    state_.last_distance = d;
+    state_.last_velocity = v;
+  } else {
+    out.distance_m = state_.last_distance;
+    out.relative_velocity_mps = state_.last_velocity;
+    out.estimated = state_.had_target;
+  }
+  if (state_.had_target) health_.note_holdover_step();
+}
+
 SafeMeasurement SafeMeasurementPipeline::finish(
     std::int64_t step, const radar::RadarMeasurement& measurement,
     const cra::DetectionDecision& decision) {
@@ -78,46 +123,78 @@ SafeMeasurement SafeMeasurementPipeline::finish(
   const bool can_estimate =
       state_.had_target &&
       state_.trained_samples >= options_.min_training_samples;
+  bool sensor_dead = false;
 
   if (decision.under_attack || decision.challenge_slot) {
     // No trustworthy radar data this epoch: hold over with the RLS
     // estimates when trained, else repeat the last trusted values.
-    out.target_present = state_.had_target;
-    if (can_estimate) {
-      // Distances are physical ranges: clamp the free-run at zero.
-      out.distance_m = std::max(distance_predictor_->predict_next(), 0.0);
-      out.relative_velocity_mps = velocity_predictor_->predict_next();
-      out.estimated = true;
-      state_.last_distance = out.distance_m;
-      state_.last_velocity = out.relative_velocity_mps;
-    } else {
-      out.distance_m = state_.last_distance;
-      out.relative_velocity_mps = state_.last_velocity;
-      out.estimated = state_.had_target;
-    }
+    hold_over(out, can_estimate);
     // A silent challenge re-verifies cleanliness; snapshot the rolled-
     // forward state so the next detection quarantines from here.
     if (decision.challenge_slot && !decision.under_attack &&
         !decision.attack_started) {
       take_snapshot(step);
     }
-    return out;
-  }
-
-  // Clean, probing epoch: pass the radar measurement through.
-  if (measurement.coherent_echo) {
-    out.target_present = true;
-    out.distance_m = measurement.estimate.distance_m;
-    out.relative_velocity_mps = measurement.estimate.range_rate_mps;
-    distance_predictor_->observe(out.distance_m);
-    velocity_predictor_->observe(out.relative_velocity_mps);
-    ++state_.trained_samples;
-    state_.had_target = true;
-    state_.last_distance = out.distance_m;
-    state_.last_velocity = out.relative_velocity_mps;
+  } else if (measurement.coherent_echo) {
+    // Clean, probing epoch with a report: validate before trusting it.
+    const HealthMonitor::Verdict verdict = health_.validate(
+        measurement.estimate.distance_m, measurement.estimate.range_rate_mps,
+        state_.had_target, state_.last_distance, state_.last_velocity);
+    if (verdict == HealthMonitor::Verdict::kAccept) {
+      silent_run_ = 0;
+      out.target_present = true;
+      out.distance_m = measurement.estimate.distance_m;
+      out.relative_velocity_mps = measurement.estimate.range_rate_mps;
+      distance_predictor_->observe(out.distance_m);
+      velocity_predictor_->observe(out.relative_velocity_mps);
+      ++state_.trained_samples;
+      state_.had_target = true;
+      state_.last_distance = out.distance_m;
+      state_.last_velocity = out.relative_velocity_mps;
+      health_.note_trusted_sample(/*attack_over=*/!decision.under_attack);
+    } else {
+      // Quarantined report (non-finite, out of range, or innovation
+      // outlier): never train on it; hold over when a target is tracked.
+      out.measurement_rejected = true;
+      if (state_.had_target) {
+        hold_over(out, can_estimate);
+      } else {
+        out.target_present = false;
+      }
+    }
+  } else if (state_.had_target && options_.health.dropout_holdover_steps > 0 &&
+             silent_run_ < options_.health.dropout_holdover_steps) {
+    // Unexpected silence while tracking (sensor dropout, not a challenge):
+    // bridge a bounded number of epochs with estimates before declaring the
+    // target lost.
+    ++silent_run_;
+    health_.record_bridged_dropout();
+    hold_over(out, can_estimate);
   } else {
     out.target_present = false;
+    if (state_.had_target && options_.health.dropout_holdover_steps > 0) {
+      // Bridging exhausted while a target was being tracked: the sensor is
+      // dead, not the road clear. Keep charging the holdover budget so a
+      // prolonged outage forces DEGRADED_SAFE_STOP instead of letting the
+      // controller resume cruise on "no target".
+      health_.note_holdover_step();
+      sensor_dead = true;
+    }
   }
+
+  // Resolve the degradation state after this step's bookkeeping.
+  if (health_.safe_stop()) {
+    degradation_ = DegradationState::kSafeStop;
+  } else if (decision.under_attack) {
+    degradation_ = DegradationState::kUnderAttack;
+  } else if (out.estimated || out.measurement_rejected || sensor_dead) {
+    degradation_ = DegradationState::kHoldover;
+  } else {
+    degradation_ = DegradationState::kClean;
+  }
+  out.degradation = degradation_;
+  out.safe_stop = degradation_ == DegradationState::kSafeStop;
+  out.holdover_steps = health_.holdover_steps();
   return out;
 }
 
@@ -126,6 +203,9 @@ void SafeMeasurementPipeline::reset() {
   distance_predictor_->reset();
   velocity_predictor_->reset();
   state_ = TrustedState{};
+  health_.reset();
+  degradation_ = DegradationState::kClean;
+  silent_run_ = 0;
   snapshot_distance_.reset();
   snapshot_velocity_.reset();
   snapshot_state_ = TrustedState{};
@@ -133,11 +213,12 @@ void SafeMeasurementPipeline::reset() {
 }
 
 SafeMeasurementPipeline make_default_pipeline(
-    std::shared_ptr<const cra::ChallengeSchedule> schedule) {
+    std::shared_ptr<const cra::ChallengeSchedule> schedule,
+    const PipelineOptions& options) {
   return SafeMeasurementPipeline(
       std::move(schedule),
       std::make_unique<estimation::RlsArPredictor>(),
-      std::make_unique<estimation::RlsArPredictor>());
+      std::make_unique<estimation::RlsArPredictor>(), options);
 }
 
 }  // namespace safe::core

@@ -11,11 +11,18 @@
 //      free-run estimates (Algorithm 1) so the controller keeps receiving
 //      plausible inputs, and
 //   5. clears the attack state when a challenge comes back silent.
+//
+// Beyond the paper, a HealthMonitor degrades the pipeline gracefully under
+// sensor faults: it validates every measurement, quarantines innovation
+// outliers, re-trains diverged predictors, debounces flapping clearance, and
+// bounds the holdover budget — entering an explicit DEGRADED_SAFE_STOP state
+// instead of free-running on stale estimates forever.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
+#include "core/health_monitor.hpp"
 #include "cra/detector.hpp"
 #include "cra/modulator.hpp"
 #include "estimation/series_predictor.hpp"
@@ -33,6 +40,16 @@ struct SafeMeasurement {
   bool challenge_slot = false;     ///< Probe was suppressed this step.
   bool attack_started = false;
   bool attack_cleared = false;
+
+  /// Degradation machine state after this step (see health_monitor.hpp).
+  DegradationState degradation = DegradationState::kClean;
+  /// Convenience: degradation == kSafeStop. Controllers switch to the
+  /// conservative deceleration profile while set.
+  bool safe_stop = false;
+  /// The health monitor quarantined this epoch's radar report.
+  bool measurement_rejected = false;
+  /// Consecutive estimated steps so far (0 while passing through).
+  std::size_t holdover_steps = 0;
 };
 
 struct PipelineOptions {
@@ -44,7 +61,20 @@ struct PipelineOptions {
   /// and the detecting challenge are thereby quarantined: a stealthy offset
   /// injected just before detection cannot bias the holdover estimates.
   bool rollback_on_detection = true;
+  /// Measurement validation, innovation gating, holdover budget.
+  HealthOptions health{};
+  /// Detector debounce (clearance after M consecutive silent challenges).
+  cra::DetectorOptions detector{};
 };
+
+/// Pipeline options hardened for deployments that must degrade gracefully
+/// under compound sensor faults: innovation gate on, clearance debounced
+/// over 2 silent challenges, bounded holdover, short dropout bridging. The
+/// default-constructed PipelineOptions reproduce the paper exactly; these
+/// trade a little fidelity for fault robustness (the fault-matrix bench
+/// sweeps them).
+[[nodiscard]] PipelineOptions hardened_pipeline_options(
+    std::size_t max_holdover_steps = 15);
 
 class SafeMeasurementPipeline {
  public:
@@ -78,6 +108,10 @@ class SafeMeasurementPipeline {
   [[nodiscard]] const cra::ChallengeSchedule& schedule() const {
     return modulator_.schedule();
   }
+  [[nodiscard]] const HealthStats& health_stats() const {
+    return health_.stats();
+  }
+  [[nodiscard]] DegradationState degradation() const { return degradation_; }
 
   void reset();
 
@@ -97,12 +131,19 @@ class SafeMeasurementPipeline {
   void take_snapshot(std::int64_t step);
   void restore_snapshot(std::int64_t detection_step);
 
+  /// Free-runs both predictors one step with divergence protection; updates
+  /// `out` and the trusted state.
+  void hold_over(SafeMeasurement& out, bool can_estimate);
+
   cra::ProbeModulator modulator_;
   cra::ChallengeResponseDetector detector_;
   estimation::SeriesPredictorPtr distance_predictor_;
   estimation::SeriesPredictorPtr velocity_predictor_;
   PipelineOptions options_;
   TrustedState state_;
+  HealthMonitor health_;
+  DegradationState degradation_ = DegradationState::kClean;
+  std::size_t silent_run_ = 0;  ///< Consecutive unexpected-silence epochs.
 
   estimation::SeriesPredictorPtr snapshot_distance_;
   estimation::SeriesPredictorPtr snapshot_velocity_;
@@ -113,6 +154,7 @@ class SafeMeasurementPipeline {
 /// Builds the paper's default pipeline: RLS-AR predictors on both channels
 /// over the given schedule.
 SafeMeasurementPipeline make_default_pipeline(
-    std::shared_ptr<const cra::ChallengeSchedule> schedule);
+    std::shared_ptr<const cra::ChallengeSchedule> schedule,
+    const PipelineOptions& options = {});
 
 }  // namespace safe::core

@@ -20,8 +20,21 @@ Scenario make_paper_scenario(const ScenarioOptions& options) {
   s.config.sample_time_s = 1.0;
   s.config.seed = options.seed;
   s.config.defense_enabled = options.defense_enabled;
+  s.config.pipeline = options.pipeline;
+  if (!options.fault_spec.empty() && options.fault_spec != "none") {
+    s.config.faults = std::make_shared<fault::FaultSchedule>(
+        fault::parse_fault_spec(options.fault_spec, options.seed));
+  }
 
   s.config.acc.set_speed_mps = units::mph_to_mps(67.0);
+  // A bounded holdover budget is the graceful-degradation opt-in; pair it
+  // with the conservative controller policy so a drifting free-run (or a
+  // dead sensor reporting "no target") cannot command acceleration.
+  s.config.acc.hold_speed_on_degraded_holdover =
+      options.pipeline.health.max_holdover_steps > 0;
+  if (options.pipeline.health.max_holdover_steps > 0) {
+    s.config.acc.emergency_headway_s = 0.5;
+  }
 
   s.config.radar.waveform = radar::bosch_lrr2_parameters();
   s.config.radar.estimator = options.estimator;

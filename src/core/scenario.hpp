@@ -2,6 +2,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "attack/attack.hpp"
 #include "core/car_following.hpp"
@@ -35,6 +36,11 @@ struct ScenarioOptions {
   radar::BeatEstimator estimator = radar::BeatEstimator::kRootMusic;
   std::uint64_t seed = 1;
   std::int64_t horizon_steps = 300;
+  /// Safe-measurement pipeline configuration (paper defaults).
+  PipelineOptions pipeline{};
+  /// Sensor-fault schedule in the `--fault` spec language (see
+  /// fault/schedule.hpp); empty or "none" = no injected faults.
+  std::string fault_spec{};
 };
 
 /// Assembled simulation pieces for one run.

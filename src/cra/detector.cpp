@@ -1,6 +1,18 @@
 #include "cra/detector.hpp"
 
+#include <stdexcept>
+
 namespace safe::cra {
+
+ChallengeResponseDetector::ChallengeResponseDetector(
+    const DetectorOptions& options)
+    : options_(options) {
+  if (options_.clear_after_silent_challenges == 0) {
+    throw std::invalid_argument(
+        "ChallengeResponseDetector: clear_after_silent_challenges must be "
+        ">= 1");
+  }
+}
 
 DetectionDecision ChallengeResponseDetector::observe(std::int64_t step,
                                                      bool challenge_slot,
@@ -11,11 +23,19 @@ DetectionDecision ChallengeResponseDetector::observe(std::int64_t step,
   if (challenge_slot) {
     if (!under_attack_ && receiver_nonzero) {
       under_attack_ = true;
+      consecutive_silent_ = 0;
       detection_step_ = step;
       decision.attack_started = true;
-    } else if (under_attack_ && !receiver_nonzero) {
-      under_attack_ = false;
-      decision.attack_cleared = true;
+    } else if (under_attack_) {
+      if (receiver_nonzero) {
+        // Still radiating: any clearance progress resets (flap debounce).
+        consecutive_silent_ = 0;
+      } else if (++consecutive_silent_ >=
+                 options_.clear_after_silent_challenges) {
+        under_attack_ = false;
+        consecutive_silent_ = 0;
+        decision.attack_cleared = true;
+      }
     }
   }
   decision.under_attack = under_attack_;
@@ -46,6 +66,7 @@ DetectionDecision ChallengeResponseDetector::observe_scored(
 
 void ChallengeResponseDetector::reset() {
   under_attack_ = false;
+  consecutive_silent_ = 0;
   detection_step_.reset();
   stats_ = DetectionStats{};
 }

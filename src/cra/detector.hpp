@@ -30,8 +30,20 @@ struct DetectionStats {
   std::size_t false_negatives = 0;
 };
 
+struct DetectorOptions {
+  /// Consecutive silent challenges required before an attack is declared
+  /// over. The paper clears on the first silent challenge (M = 1); a jammer
+  /// that flaps between radiating and silent then bounces the pipeline
+  /// between measured and estimated inputs every challenge. M >= 2 debounces
+  /// that oscillation at the cost of M-1 extra holdover challenges.
+  std::size_t clear_after_silent_challenges = 1;
+};
+
 class ChallengeResponseDetector {
  public:
+  ChallengeResponseDetector() = default;
+  explicit ChallengeResponseDetector(const DetectorOptions& options);
+
   /// Processes the receiver output of step k. `challenge_slot` says whether
   /// the probe was suppressed; `receiver_nonzero` is Val(y') != 0 from the
   /// radar (coherent echo or power alarm).
@@ -54,10 +66,17 @@ class ChallengeResponseDetector {
 
   [[nodiscard]] const DetectionStats& stats() const { return stats_; }
 
+  /// Silent challenges seen in a row while under attack (debounce progress).
+  [[nodiscard]] std::size_t consecutive_silent_challenges() const {
+    return consecutive_silent_;
+  }
+
   void reset();
 
  private:
+  DetectorOptions options_;
   bool under_attack_ = false;
+  std::size_t consecutive_silent_ = 0;
   std::optional<std::int64_t> detection_step_;
   DetectionStats stats_;
 };

@@ -8,8 +8,9 @@ Prbs::Prbs(std::uint16_t seed) : state_(seed == 0 ? std::uint16_t{0xACE1u} : see
 
 bool Prbs::next_bit() {
   // Fibonacci LFSR: feedback from taps 16, 14, 13, 11 (1-indexed from LSB).
+  const unsigned s = state_;
   const std::uint16_t bit = static_cast<std::uint16_t>(
-      ((state_ >> 0) ^ (state_ >> 2) ^ (state_ >> 3) ^ (state_ >> 5)) & 1u);
+      ((s >> 0) ^ (s >> 2) ^ (s >> 3) ^ (s >> 5)) & 1u);
   const bool out = (state_ & 1u) != 0;
   state_ = static_cast<std::uint16_t>((state_ >> 1) | (bit << 15));
   return out;

@@ -1,5 +1,6 @@
 #include "estimation/rls.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace safe::estimation {
@@ -34,6 +35,19 @@ RlsUpdate RlsFilter::update(const RVector& h, double y) {
   if (h.size() != n) {
     throw std::invalid_argument("RlsFilter::update: dimension mismatch");
   }
+
+  // Guard: a single NaN/Inf sample would otherwise poison w and P forever.
+  bool inputs_finite = std::isfinite(y);
+  for (std::size_t i = 0; inputs_finite && i < n; ++i) {
+    inputs_finite = std::isfinite(h[i]);
+  }
+  if (!inputs_finite) {
+    ++divergences_;
+    RlsUpdate rejected;
+    rejected.rejected = true;
+    return rejected;
+  }
+
   const double lambda = options_.forgetting_factor;
 
   // g = h^T P (row vector, stored as RVector).
@@ -70,13 +84,33 @@ RlsUpdate RlsFilter::update(const RVector& h, double y) {
     }
   }
   ++updates_;
+
+  // Divergence check: finite inputs can still blow up P (e.g. gamma
+  // underflow with tiny lambda). Re-train from scratch rather than free-run
+  // on a corrupted filter.
+  bool state_finite = true;
+  for (std::size_t i = 0; state_finite && i < n; ++i) {
+    state_finite = std::isfinite(w_[i]);
+    for (std::size_t j = 0; state_finite && j < n; ++j) {
+      state_finite = std::isfinite(p_(i, j));
+    }
+  }
+  if (!state_finite) {
+    ++divergences_;
+    reinitialize();
+  }
   return result;
 }
 
-void RlsFilter::reset() {
+void RlsFilter::reinitialize() {
   w_ = RVector(w_.size());
   p_ = RMatrix::scaled_identity(w_.size(), options_.initial_covariance);
   updates_ = 0;
+}
+
+void RlsFilter::reset() {
+  reinitialize();
+  divergences_ = 0;
 }
 
 }  // namespace safe::estimation

@@ -27,6 +27,8 @@ struct RlsUpdate {
   double prediction = 0.0;  ///< w_{k-1}^T h_k (a-priori).
   double error = 0.0;       ///< y_k - prediction.
   double gamma = 0.0;       ///< Conversion factor lambda + g h.
+  /// The pair was rejected (non-finite h or y): state was left untouched.
+  bool rejected = false;
 };
 
 class RlsFilter {
@@ -35,7 +37,11 @@ class RlsFilter {
   /// dimension 0, lambda outside (0, 1], or non-positive delta.
   RlsFilter(std::size_t dimension, const RlsOptions& options = {});
 
-  /// Processes one (h, y) pair (Algorithm 1 lines 5-11).
+  /// Processes one (h, y) pair (Algorithm 1 lines 5-11). Non-finite inputs
+  /// are rejected without touching state; a non-finite weight/covariance
+  /// after the update (numerical divergence) reinitializes w = 0 and
+  /// P = delta I. Both paths increment the divergence counter instead of
+  /// silently propagating NaN downstream.
   RlsUpdate update(const linalg::RVector& h, double y);
 
   /// A-priori prediction w^T h without mutating state.
@@ -49,13 +55,20 @@ class RlsFilter {
   }
   [[nodiscard]] std::size_t updates() const { return updates_; }
 
+  /// Rejected inputs + divergence recoveries since construction or reset().
+  [[nodiscard]] std::size_t divergences() const { return divergences_; }
+
   void reset();
 
  private:
+  /// Restores w = 0, P = delta I without clearing the divergence counter.
+  void reinitialize();
+
   RlsOptions options_;
   linalg::RVector w_;
   linalg::RMatrix p_;
   std::size_t updates_ = 0;
+  std::size_t divergences_ = 0;
 };
 
 }  // namespace safe::estimation

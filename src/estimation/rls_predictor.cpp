@@ -38,6 +38,12 @@ void RlsArPredictor::ingest(double value, bool train) {
 }
 
 void RlsArPredictor::observe(double y) {
+  if (!std::isfinite(y)) {
+    // A NaN/Inf sample would corrupt the undifferencing anchor and the
+    // regressor history; drop it and let the divergence counter report.
+    ++rejected_inputs_;
+    return;
+  }
   if (options_.difference) {
     if (has_last_) ingest(y - last_value_, /*train=*/true);
   } else {
@@ -60,6 +66,13 @@ double RlsArPredictor::predict_next() {
     increment_or_value = series_.front();
   } else {
     increment_or_value = filter_.predict(regressor());
+    if (!std::isfinite(increment_or_value)) {
+      // The free-run went non-finite despite finite weights (overflow):
+      // re-train and degrade to a hold for this step.
+      filter_.reset();
+      ++rejected_inputs_;
+      increment_or_value = series_.front();
+    }
   }
 
   ingest(increment_or_value,

@@ -49,6 +49,12 @@ class RlsArPredictor final : public SeriesPredictor {
 
   [[nodiscard]] const RlsFilter& filter() const { return filter_; }
 
+  /// Non-finite observations ignored plus filter-level divergences: when
+  /// this grows, upstream data was corrupt and the filter protected itself.
+  [[nodiscard]] std::size_t divergences() const {
+    return rejected_inputs_ + filter_.divergences();
+  }
+
  private:
   /// Regressor over the modeled series (raw values or differences),
   /// most-recent-first with warm-up padding.
@@ -62,6 +68,7 @@ class RlsArPredictor final : public SeriesPredictor {
   std::deque<double> series_;  ///< Modeled series, most recent first.
   double last_value_ = 0.0;    ///< Last raw value (for undifferencing).
   bool has_last_ = false;
+  std::size_t rejected_inputs_ = 0;  ///< Non-finite observations dropped.
 };
 
 struct RlsPolyOptions {

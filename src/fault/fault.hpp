@@ -1,0 +1,88 @@
+// Fault-injection interface for the safe-measurement pipeline.
+//
+// The attack models (attack/) corrupt the analog EchoScene an adversary can
+// reach; fault injectors model everything that goes wrong *inside* the sensor
+// after digitization — dropouts, stuck frames, non-finite outputs, bias
+// drift, quantizer faults, flapping challenge returns, skipped clocks. They
+// wrap the radar::RadarMeasurement stream between the receiver and the
+// pipeline, so robustness of the degradation manager can be exercised
+// without touching the RF model.
+//
+// Injectors are deterministic: any randomness is derived from a splitmix64
+// hash of (seed, step), so the same spec + seed reproduces the same corrupted
+// stream regardless of composition order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "radar/processor.hpp"
+
+namespace safe::fault {
+
+/// Per-epoch context handed to every injector.
+struct FaultContext {
+  std::int64_t step = 0;
+  /// The CRA modulator suppressed the probe this epoch.
+  bool challenge_slot = false;
+  /// Number of challenge slots seen so far (including this one when
+  /// `challenge_slot` is set); drives deterministic flapping patterns.
+  std::int64_t challenge_index = 0;
+  /// Measurement delivered on the previous epoch (post-fault), when any.
+  bool has_previous = false;
+  radar::RadarMeasurement previous{};
+  /// Schedule-level seed for hash-derived randomness.
+  std::uint64_t seed = 1;
+};
+
+/// splitmix64 of (seed, step): the deterministic per-step random source.
+[[nodiscard]] constexpr std::uint64_t step_hash(std::uint64_t seed,
+                                                std::int64_t step) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL *
+                               (static_cast<std::uint64_t>(step) + 1ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) from a step hash.
+[[nodiscard]] constexpr double hash_to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Interface for measurement-stream fault injectors. Implementations are
+/// immutable; per-run state (previous measurement, challenge count) lives in
+/// the FaultSchedule so schedules can be copied per simulation.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Mutates `measurement` in place for this epoch.
+  virtual void apply(const FaultContext& context,
+                     radar::RadarMeasurement& measurement) const = 0;
+
+  /// Short spec-style name for traces and benches (e.g. "dropout").
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using FaultInjectorPtr = std::shared_ptr<const FaultInjector>;
+
+/// Half-open step window [start, start + length); length <= 0 means
+/// unbounded. `period` > 0 repeats the window every `period` steps.
+struct FaultWindow {
+  std::int64_t start = 0;
+  std::int64_t length = 0;
+  std::int64_t period = 0;
+
+  [[nodiscard]] bool active(std::int64_t step) const {
+    if (step < start) return false;
+    const std::int64_t offset = step - start;
+    if (period > 0) {
+      return length <= 0 || (offset % period) < length;
+    }
+    return length <= 0 || offset < length;
+  }
+};
+
+}  // namespace safe::fault

@@ -1,0 +1,120 @@
+#include "fault/injectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace safe::fault {
+
+namespace {
+
+/// Wipes a measurement down to "receiver saw nothing".
+void make_silent(radar::RadarMeasurement& m) {
+  m = radar::RadarMeasurement{};
+}
+
+}  // namespace
+
+DropoutBurstFault::DropoutBurstFault(FaultWindow window, double probability)
+    : window_(window), probability_(probability) {}
+
+void DropoutBurstFault::apply(const FaultContext& context,
+                              radar::RadarMeasurement& measurement) const {
+  if (!window_.active(context.step)) return;
+  if (probability_ < 1.0 &&
+      hash_to_unit(step_hash(context.seed, context.step)) >= probability_) {
+    return;
+  }
+  make_silent(measurement);
+}
+
+StuckAtFault::StuckAtFault(FaultWindow window) : window_(window) {}
+
+void StuckAtFault::apply(const FaultContext& context,
+                         radar::RadarMeasurement& measurement) const {
+  if (!window_.active(context.step)) return;
+  if (context.has_previous) measurement = context.previous;
+}
+
+NonFiniteFault::NonFiniteFault(FaultWindow window, bool use_inf)
+    : window_(window), use_inf_(use_inf) {}
+
+void NonFiniteFault::apply(const FaultContext& context,
+                           radar::RadarMeasurement& measurement) const {
+  if (!window_.active(context.step)) return;
+  const double bad = use_inf_ ? std::numeric_limits<double>::infinity()
+                              : std::numeric_limits<double>::quiet_NaN();
+  measurement.estimate.distance_m = bad;
+  measurement.estimate.range_rate_mps = bad;
+  // The receiver still believes it locked onto something: the hazard this
+  // fault exercises is a consumer trusting coherent_echo alone.
+  measurement.coherent_echo = true;
+}
+
+BiasRampFault::BiasRampFault(FaultWindow window,
+                             double distance_slope_m_per_step,
+                             double velocity_slope_mps_per_step)
+    : window_(window),
+      distance_slope_(distance_slope_m_per_step),
+      velocity_slope_(velocity_slope_mps_per_step) {}
+
+void BiasRampFault::apply(const FaultContext& context,
+                          radar::RadarMeasurement& measurement) const {
+  if (!window_.active(context.step) || !measurement.coherent_echo) return;
+  const double age = static_cast<double>(context.step - window_.start);
+  measurement.estimate.distance_m += distance_slope_ * age;
+  measurement.estimate.range_rate_mps += velocity_slope_ * age;
+}
+
+QuantizeSaturateFault::QuantizeSaturateFault(FaultWindow window,
+                                             double distance_step_m,
+                                             double max_distance_m,
+                                             double max_speed_mps)
+    : window_(window),
+      distance_step_m_(std::max(distance_step_m, 0.0)),
+      max_distance_m_(max_distance_m),
+      max_speed_mps_(max_speed_mps) {}
+
+void QuantizeSaturateFault::apply(const FaultContext& context,
+                                  radar::RadarMeasurement& measurement) const {
+  if (!window_.active(context.step) || !measurement.coherent_echo) return;
+  double d = measurement.estimate.distance_m;
+  double v = measurement.estimate.range_rate_mps;
+  if (distance_step_m_ > 0.0) {
+    d = std::round(d / distance_step_m_) * distance_step_m_;
+  }
+  d = std::clamp(d, 0.0, max_distance_m_);
+  v = std::clamp(v, -max_speed_mps_, max_speed_mps_);
+  measurement.estimate.distance_m = d;
+  measurement.estimate.range_rate_mps = v;
+}
+
+ChallengeFlappingFault::ChallengeFlappingFault(FaultWindow window)
+    : window_(window) {}
+
+void ChallengeFlappingFault::apply(const FaultContext& context,
+                                   radar::RadarMeasurement& measurement) const {
+  if (!window_.active(context.step) || !context.challenge_slot) return;
+  if (context.challenge_index % 2 == 0) {
+    // Jammed return: radiation where silence was expected.
+    make_silent(measurement);
+    measurement.power_alarm = true;
+  } else {
+    // Silent return: looks like the attacker backed off.
+    make_silent(measurement);
+  }
+}
+
+ClockSkipFault::ClockSkipFault(FaultWindow window) : window_(window) {}
+
+void ClockSkipFault::apply(const FaultContext& context,
+                           radar::RadarMeasurement& measurement) const {
+  if (!window_.active(context.step)) return;
+  if (context.has_previous) {
+    measurement = context.previous;
+  } else {
+    make_silent(measurement);
+  }
+}
+
+}  // namespace safe::fault

@@ -1,0 +1,125 @@
+// Concrete fault injectors for radar::RadarMeasurement streams.
+//
+// Each injector corrupts one failure axis; they compose through a
+// FaultSchedule. All are window-gated (FaultWindow) and deterministic.
+#pragma once
+
+#include "fault/fault.hpp"
+
+namespace safe::fault {
+
+/// Receiver delivers nothing: no coherent echo, no power alarm. With
+/// `probability` in (0, 1) each in-window step drops independently (hash
+/// driven); probability >= 1 drops every in-window step.
+class DropoutBurstFault final : public FaultInjector {
+ public:
+  explicit DropoutBurstFault(FaultWindow window, double probability = 1.0);
+
+  void apply(const FaultContext& context,
+             radar::RadarMeasurement& measurement) const override;
+  [[nodiscard]] std::string name() const override { return "dropout"; }
+
+ private:
+  FaultWindow window_;
+  double probability_;
+};
+
+/// Tracker latch-up: the previous epoch's measurement is delivered again
+/// verbatim for every in-window step.
+class StuckAtFault final : public FaultInjector {
+ public:
+  explicit StuckAtFault(FaultWindow window);
+
+  void apply(const FaultContext& context,
+             radar::RadarMeasurement& measurement) const override;
+  [[nodiscard]] std::string name() const override { return "stuck"; }
+
+ private:
+  FaultWindow window_;
+};
+
+/// Arithmetic fault: the range/range-rate estimates come back NaN (or +Inf)
+/// while the receiver still flags a coherent echo — the worst case for any
+/// consumer that trusts `coherent_echo` without checking finiteness.
+class NonFiniteFault final : public FaultInjector {
+ public:
+  NonFiniteFault(FaultWindow window, bool use_inf);
+
+  void apply(const FaultContext& context,
+             radar::RadarMeasurement& measurement) const override;
+  [[nodiscard]] std::string name() const override {
+    return use_inf_ ? "inf" : "nan";
+  }
+
+ private:
+  FaultWindow window_;
+  bool use_inf_;
+};
+
+/// Slow calibration drift: distance (and optionally velocity) gains an
+/// additive ramp growing `slope` per step from window start.
+class BiasRampFault final : public FaultInjector {
+ public:
+  BiasRampFault(FaultWindow window, double distance_slope_m_per_step,
+                double velocity_slope_mps_per_step = 0.0);
+
+  void apply(const FaultContext& context,
+             radar::RadarMeasurement& measurement) const override;
+  [[nodiscard]] std::string name() const override { return "bias"; }
+
+ private:
+  FaultWindow window_;
+  double distance_slope_;
+  double velocity_slope_;
+};
+
+/// ADC degradation: estimates are quantized to a coarse grid and saturated
+/// at hard rails.
+class QuantizeSaturateFault final : public FaultInjector {
+ public:
+  QuantizeSaturateFault(FaultWindow window, double distance_step_m,
+                        double max_distance_m, double max_speed_mps);
+
+  void apply(const FaultContext& context,
+             radar::RadarMeasurement& measurement) const override;
+  [[nodiscard]] std::string name() const override { return "quantize"; }
+
+ private:
+  FaultWindow window_;
+  double distance_step_m_;
+  double max_distance_m_;
+  double max_speed_mps_;
+};
+
+/// Challenge-slot flapping: at in-window challenge slots the receiver output
+/// alternates between forced silence and a forced power alarm, so a naive
+/// detector oscillates between "attack" and "clear" on consecutive
+/// challenges. Alternation is keyed to the schedule's challenge index.
+class ChallengeFlappingFault final : public FaultInjector {
+ public:
+  explicit ChallengeFlappingFault(FaultWindow window);
+
+  void apply(const FaultContext& context,
+             radar::RadarMeasurement& measurement) const override;
+  [[nodiscard]] std::string name() const override { return "flap"; }
+
+ private:
+  FaultWindow window_;
+};
+
+/// Clock skip: the sensor misses its processing deadline and re-delivers the
+/// stale previous frame at in-window steps (first skipped step of a run
+/// behaves as a dropout).
+class ClockSkipFault final : public FaultInjector {
+ public:
+  explicit ClockSkipFault(FaultWindow window);
+
+  void apply(const FaultContext& context,
+             radar::RadarMeasurement& measurement) const override;
+  [[nodiscard]] std::string name() const override { return "skip"; }
+
+ private:
+  FaultWindow window_;
+};
+
+}  // namespace safe::fault

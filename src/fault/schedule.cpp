@@ -1,0 +1,158 @@
+#include "fault/schedule.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace safe::fault {
+
+void FaultSchedule::add(FaultInjectorPtr injector) {
+  if (!injector) {
+    throw std::invalid_argument("FaultSchedule::add: null injector");
+  }
+  injectors_.push_back(std::move(injector));
+}
+
+radar::RadarMeasurement FaultSchedule::apply(
+    std::int64_t step, bool challenge_slot,
+    radar::RadarMeasurement measurement) {
+  if (challenge_slot) ++challenge_count_;
+  FaultContext context;
+  context.step = step;
+  context.challenge_slot = challenge_slot;
+  context.challenge_index = challenge_count_;
+  context.seed = seed_;
+  context.has_previous = previous_.has_value();
+  if (previous_) context.previous = *previous_;
+
+  for (const auto& injector : injectors_) {
+    injector->apply(context, measurement);
+  }
+  previous_ = measurement;
+  return measurement;
+}
+
+void FaultSchedule::reset() {
+  previous_.reset();
+  challenge_count_ = 0;
+}
+
+std::string FaultSchedule::name() const {
+  if (injectors_.empty()) return "none";
+  std::string joined;
+  for (const auto& injector : injectors_) {
+    if (!joined.empty()) joined += '+';
+    joined += injector->name();
+  }
+  return joined;
+}
+
+namespace {
+
+using KeyValues = std::map<std::string, double>;
+
+/// Parses "key=val,key=val" into a map; throws on malformed tokens.
+KeyValues parse_key_values(const std::string& body, const std::string& spec) {
+  KeyValues kv;
+  std::stringstream ss(body);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("fault spec: bad token '" + token +
+                                  "' in '" + spec + "'");
+    }
+    const std::string key = token.substr(0, eq);
+    try {
+      kv[key] = std::stod(token.substr(eq + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault spec: bad value in '" + token + "'");
+    }
+  }
+  return kv;
+}
+
+double take(KeyValues& kv, const std::string& key, double fallback) {
+  const auto it = kv.find(key);
+  if (it == kv.end()) return fallback;
+  const double v = it->second;
+  kv.erase(it);
+  return v;
+}
+
+FaultWindow take_window(KeyValues& kv) {
+  FaultWindow w;
+  w.start = static_cast<std::int64_t>(take(kv, "start", 0.0));
+  w.length = static_cast<std::int64_t>(take(kv, "len", 0.0));
+  w.period = static_cast<std::int64_t>(take(kv, "period", 0.0));
+  return w;
+}
+
+FaultInjectorPtr build_injector(const std::string& kind, KeyValues kv,
+                                const std::string& spec) {
+  const FaultWindow window = take_window(kv);
+  FaultInjectorPtr injector;
+  if (kind == "dropout") {
+    injector = std::make_shared<DropoutBurstFault>(window,
+                                                   take(kv, "prob", 1.0));
+  } else if (kind == "stuck") {
+    injector = std::make_shared<StuckAtFault>(window);
+  } else if (kind == "nan") {
+    injector = std::make_shared<NonFiniteFault>(window, /*use_inf=*/false);
+  } else if (kind == "inf") {
+    injector = std::make_shared<NonFiniteFault>(window, /*use_inf=*/true);
+  } else if (kind == "bias") {
+    injector = std::make_shared<BiasRampFault>(window, take(kv, "slope", 0.5),
+                                               take(kv, "vslope", 0.0));
+  } else if (kind == "quantize") {
+    injector = std::make_shared<QuantizeSaturateFault>(
+        window, take(kv, "step", 4.0), take(kv, "max", 120.0),
+        take(kv, "vmax", 30.0));
+  } else if (kind == "flap") {
+    injector = std::make_shared<ChallengeFlappingFault>(window);
+  } else if (kind == "skip") {
+    injector = std::make_shared<ClockSkipFault>(window);
+  } else {
+    throw std::invalid_argument("fault spec: unknown injector '" + kind +
+                                "' in '" + spec + "'");
+  }
+  if (!kv.empty()) {
+    throw std::invalid_argument("fault spec: unknown key '" +
+                                kv.begin()->first + "' for '" + kind + "'");
+  }
+  return injector;
+}
+
+}  // namespace
+
+FaultSchedule parse_fault_spec(const std::string& spec, std::uint64_t seed) {
+  FaultSchedule schedule(seed);
+  if (spec.empty() || spec == "none") return schedule;
+
+  std::string normalized = spec;
+  for (char& c : normalized) {
+    if (c == '+') c = ';';
+  }
+  std::stringstream ss(normalized);
+  std::string clause;
+  while (std::getline(ss, clause, ';')) {
+    if (clause.empty()) continue;
+    const auto colon = clause.find(':');
+    const std::string kind = clause.substr(0, colon);
+    const std::string body =
+        colon == std::string::npos ? std::string{} : clause.substr(colon + 1);
+    schedule.add(build_injector(kind, parse_key_values(body, spec), spec));
+  }
+  return schedule;
+}
+
+std::string fault_spec_help() {
+  return "fault spec: <kind>:<k=v,...>[;<kind>:...] with kinds "
+         "dropout(start,len,period,prob) stuck(start,len,period) "
+         "nan|inf(start,len,period) bias(start,len,slope,vslope) "
+         "quantize(start,len,step,max,vmax) flap(start,len) "
+         "skip(start,len,period); len=0 means unbounded";
+}
+
+}  // namespace safe::fault

@@ -33,4 +33,30 @@ constexpr double delay_to_range_m(double delay_s) {
   return delay_s * kSpeedOfLightMps / 2.0;
 }
 
+// --- Physical plausibility limits ---------------------------------------
+//
+// Bounds on what an automotive ranging sensor can legitimately report.
+// Anything outside is a sensor fault or an implausibly crude spoof; the
+// pipeline's health monitor rejects such samples before they reach the
+// controller or the predictors.
+
+/// Generous ceiling on any automotive radar range report (Bosch LRR2 tops
+/// out at 200 m; 1 km covers every profile in sensors/).
+inline constexpr double kMaxPlausibleRangeM = 1000.0;
+
+/// |relative velocity| ceiling: two vehicles closing at ~270 mph.
+inline constexpr double kMaxPlausibleSpeedMps = 120.0;
+
+/// Range report within [0, max]: finite and physically representable.
+inline bool plausible_range_m(double d,
+                              double max_range_m = kMaxPlausibleRangeM) {
+  return std::isfinite(d) && d >= 0.0 && d <= max_range_m;
+}
+
+/// Relative-velocity report within +/- max: finite and physical.
+inline bool plausible_speed_mps(double v,
+                                double max_speed_mps = kMaxPlausibleSpeedMps) {
+  return std::isfinite(v) && v >= -max_speed_mps && v <= max_speed_mps;
+}
+
 }  // namespace safe::sim::units

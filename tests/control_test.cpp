@@ -100,6 +100,73 @@ TEST(UpperLevel, ResetForgetsPreviousDesiredSpeed) {
   EXPECT_LE(cmd.desired_accel_mps2, AccParameters{}.max_accel_mps2);
 }
 
+TEST(UpperLevel, SafeStopCommandsFullRampEveryStep) {
+  // Regression: the safe-stop ramp must be computed against the *current*
+  // speed. The Eq. 16 difference (v_des(k) - v_des(k-1)) degenerates to the
+  // follower's own acceleration once v_des locks to v_F - decel*T, i.e. the
+  // "conservative stop" commanded no braking at all.
+  const AccParameters p;
+  UpperLevelController ctrl{p};
+  AccInputs in;
+  in.degraded_safe_stop = true;
+  in.follower_speed_mps = 20.0;
+  for (int k = 0; k < 5; ++k) {
+    const AccCommand cmd = ctrl.step(in);
+    EXPECT_EQ(cmd.mode, AccMode::kSafeStop);
+    EXPECT_DOUBLE_EQ(cmd.desired_accel_mps2, -p.safe_stop_decel_mps2);
+    // The plant barely responds (worst case): the command must not decay.
+    in.follower_speed_mps -= 0.01;
+  }
+}
+
+TEST(UpperLevel, SafeStopNeverCommandsReverse) {
+  const AccParameters p;
+  UpperLevelController ctrl{p};
+  AccInputs in;
+  in.degraded_safe_stop = true;
+  in.follower_speed_mps = 0.5;  // less than one decel step from standstill
+  const AccCommand cmd = ctrl.step(in);
+  EXPECT_DOUBLE_EQ(cmd.desired_speed_mps, 0.0);
+  EXPECT_DOUBLE_EQ(cmd.desired_accel_mps2, -0.5 / p.sample_time_s);
+}
+
+TEST(UpperLevel, HoldoverNeverRaisesSpeedWhenPolicyEnabled) {
+  AccParameters p;
+  p.hold_speed_on_degraded_holdover = true;
+  UpperLevelController ctrl{p};
+  AccInputs in;
+  in.target_present = false;  // dead sensor: "no target" is not "road clear"
+  in.follower_speed_mps = 20.0;
+  in.degraded_holdover = true;
+  const AccCommand cmd = ctrl.step(in);
+  EXPECT_LE(cmd.desired_speed_mps, in.follower_speed_mps);
+  EXPECT_LE(cmd.desired_accel_mps2, 0.0);
+
+  // Same inputs with the policy off (paper behaviour): resume set speed.
+  UpperLevelController legacy{AccParameters{}};
+  EXPECT_DOUBLE_EQ(legacy.step(in).desired_speed_mps,
+                   AccParameters{}.set_speed_mps);
+}
+
+TEST(UpperLevel, EmergencyFloorOverridesSpacingLaw) {
+  AccParameters p;
+  p.emergency_headway_s = 0.5;
+  UpperLevelController ctrl{p};
+  AccInputs in;
+  in.target_present = true;
+  in.follower_speed_mps = 20.0;
+  in.distance_m = 10.0;  // below d_0 + 0.5 * v_F = 15 m
+  in.relative_velocity_mps = -1.0;
+  const AccCommand cmd = ctrl.step(in);
+  EXPECT_EQ(cmd.mode, AccMode::kSafeStop);
+  EXPECT_DOUBLE_EQ(cmd.desired_accel_mps2, -p.max_decel_mps2);
+
+  // The floor is opt-in: default parameters keep the paper's CTH law even
+  // this deep inside the envelope.
+  UpperLevelController legacy{AccParameters{}};
+  EXPECT_EQ(legacy.step(in).mode, AccMode::kSpacingControl);
+}
+
 TEST(LowerLevel, FirstOrderLagApproachesTarget) {
   LowerLevelController ctrl{AccParameters{}};
   double a = 0.0;

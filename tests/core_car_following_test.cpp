@@ -212,7 +212,7 @@ TEST(CarFollowing, InvalidConfigurationThrows) {
 
 TEST(CarFollowing, TraceColumnsAreComplete) {
   const auto cols = CarFollowingResult::columns();
-  EXPECT_EQ(cols.size(), 14u);
+  EXPECT_EQ(cols.size(), 16u);
   ScenarioOptions o = fast_options();
   o.horizon_steps = 20;
   const auto result = make_paper_scenario(o).run();

@@ -237,6 +237,69 @@ TEST(Pipeline, RollbackDisabledKeepsPoisonedLevel) {
   EXPECT_GT(at_detect.distance_m, 100.0 - 0.5 * 30.0 + 3.0);
 }
 
+TEST(Pipeline, SnapshotRefreshesAtEachCleanChallenge) {
+  // Two clean challenges: rollback must restore the state captured at the
+  // SECOND one, i.e. samples between 10 and 20 stay in the training set and
+  // only the post-20 poison is quarantined.
+  auto p = make_pipeline(schedule_with({10, 20, 30}));
+  for (std::int64_t k = 0; k < 10; ++k) {
+    p.process(k, echo_measurement(100.0 - 0.5 * static_cast<double>(k), -0.5));
+  }
+  p.process(10, silent_measurement());  // snapshot #1
+  for (std::int64_t k = 11; k < 20; ++k) {
+    p.process(k, echo_measurement(100.0 - 0.5 * static_cast<double>(k), -0.5));
+  }
+  p.process(20, silent_measurement());  // snapshot #2 replaces #1
+  for (std::int64_t k = 21; k < 30; ++k) {
+    p.process(k, echo_measurement(
+                     100.0 - 0.5 * static_cast<double>(k) + 6.0, -0.5));
+  }
+  const auto at_detect = p.process(30, jammed_measurement());
+  EXPECT_TRUE(at_detect.attack_started);
+  // Rolling back to snapshot #1 and replaying nothing would free-run from
+  // ~95 m; the refreshed snapshot holds the clean ramp at ~85 m.
+  EXPECT_NEAR(at_detect.distance_m, 100.0 - 0.5 * 30.0, 2.0);
+}
+
+TEST(Pipeline, DebouncedClearanceIgnoresFlappingJammer) {
+  PipelineOptions opts;
+  opts.detector.clear_after_silent_challenges = 2;
+  SafeMeasurementPipeline p(schedule_with({10, 20, 30, 40, 50}),
+                            std::make_unique<estimation::RlsArPredictor>(),
+                            std::make_unique<estimation::RlsArPredictor>(),
+                            opts);
+  for (std::int64_t k = 0; k < 10; ++k) {
+    p.process(k, echo_measurement(100.0, -0.5));
+  }
+  p.process(10, jammed_measurement());  // detect
+  EXPECT_TRUE(p.under_attack());
+
+  // Flapping jammer: silent at 20, radiating again at 30. With M = 2 the
+  // single silent challenge must NOT clear the attack.
+  const auto first_silent = p.process(20, silent_measurement());
+  EXPECT_FALSE(first_silent.attack_cleared);
+  EXPECT_TRUE(p.under_attack());
+  p.process(30, jammed_measurement());  // flap back: run resets
+  EXPECT_TRUE(p.under_attack());
+
+  // Two consecutive silent challenges finally clear it.
+  const auto second_silent = p.process(40, silent_measurement());
+  EXPECT_FALSE(second_silent.attack_cleared);
+  const auto third_silent = p.process(50, silent_measurement());
+  EXPECT_TRUE(third_silent.attack_cleared);
+  EXPECT_FALSE(p.under_attack());
+}
+
+TEST(Pipeline, DefaultClearanceIsImmediate) {
+  auto p = make_pipeline(schedule_with({10, 20}));
+  for (std::int64_t k = 0; k < 10; ++k) {
+    p.process(k, echo_measurement(100.0, -0.5));
+  }
+  p.process(10, jammed_measurement());
+  const auto safe = p.process(20, silent_measurement());
+  EXPECT_TRUE(safe.attack_cleared);  // paper behaviour: M = 1
+}
+
 TEST(Pipeline, DefaultFactoryProducesWorkingPipeline) {
   auto p = make_default_pipeline(schedule_with({8}));
   for (std::int64_t k = 0; k < 8; ++k) {

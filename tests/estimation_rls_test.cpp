@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
+#include "estimation/chi_square.hpp"
 #include "estimation/rls.hpp"
 #include "estimation/rls_predictor.hpp"
 #include "linalg/qr.hpp"
@@ -263,6 +265,110 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::pair{1.6, -0.64}, std::pair{0.5, 0.3},
                       std::pair{1.2, -0.36}, std::pair{0.9, 0.0},
                       std::pair{1.9, -0.9025}, std::pair{-0.5, 0.2}));
+
+TEST(RlsFilter, RejectsNonFiniteInputsWithoutTouchingState) {
+  RlsFilter f(2);
+  f.update(linalg::RVector{1.0, 0.5}, 2.0);
+  const auto w_before = f.weights();
+  const auto p_before = f.covariance();
+
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const auto r1 = f.update(linalg::RVector{1.0, 0.5}, nan);
+  const auto r2 = f.update(linalg::RVector{nan, 0.5}, 2.0);
+  EXPECT_TRUE(r1.rejected);
+  EXPECT_TRUE(r2.rejected);
+  EXPECT_EQ(f.divergences(), 2u);
+  EXPECT_EQ(f.updates(), 1u);
+  EXPECT_EQ(f.weights(), w_before);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_EQ(f.covariance()(i, j), p_before(i, j));
+    }
+  }
+  // Finite updates keep working afterwards.
+  const auto r3 = f.update(linalg::RVector{1.0, 0.5}, 2.0);
+  EXPECT_FALSE(r3.rejected);
+}
+
+TEST(RlsFilter, NumericalDivergenceReinitializesCovariance) {
+  // Huge regressors with lambda near zero overflow P within a few updates;
+  // the filter must detect the non-finite state and reinitialize to
+  // P = delta I rather than free-running on garbage.
+  RlsFilter f(2, {.forgetting_factor = 1e-3, .initial_covariance = 1.0});
+  for (int k = 0; k < 400 && f.divergences() == 0; ++k) {
+    f.update(linalg::RVector{1e150, 1e150}, 1e150);
+  }
+  EXPECT_GE(f.divergences(), 1u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_TRUE(std::isfinite(f.weights()[i]));
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_TRUE(std::isfinite(f.covariance()(i, j)));
+    }
+  }
+}
+
+TEST(RlsFilter, ResetClearsDivergenceCounter) {
+  RlsFilter f(1);
+  f.update(linalg::RVector{1.0}, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(f.divergences(), 1u);
+  f.reset();
+  EXPECT_EQ(f.divergences(), 0u);
+}
+
+TEST(RlsArPredictor, IgnoresNonFiniteObservations) {
+  RlsArPredictor clean;
+  RlsArPredictor poisoned;
+  for (int k = 0; k < 30; ++k) {
+    const double y = 100.0 - 0.5 * k;
+    clean.observe(y);
+    poisoned.observe(y);
+    if (k % 7 == 0) {
+      poisoned.observe(std::numeric_limits<double>::quiet_NaN());
+      poisoned.observe(std::numeric_limits<double>::infinity());
+    }
+  }
+  EXPECT_GE(poisoned.divergences(), 2u);
+  // The NaNs left no trace: both predictors free-run identically and stay
+  // finite.
+  for (int k = 0; k < 10; ++k) {
+    const double a = clean.predict_next();
+    const double b = poisoned.predict_next();
+    EXPECT_TRUE(std::isfinite(b));
+    EXPECT_DOUBLE_EQ(a, b) << "k=" << k;
+  }
+}
+
+TEST(InnovationGate, WarmsUpBeforeRejecting) {
+  InnovationGate gate({.threshold = 6.63, .min_samples = 4});
+  // Giant first sample: still within warm-up, must not reject.
+  EXPECT_FALSE(gate.observe(100.0));
+  EXPECT_FALSE(gate.observe(1.0));
+  EXPECT_FALSE(gate.observe(-1.0));
+  EXPECT_FALSE(gate.observe(1.0));
+  EXPECT_EQ(gate.samples(), 4u);
+}
+
+TEST(InnovationGate, FlagsOutliersWithoutAbsorbingThem) {
+  InnovationGate gate({.threshold = 9.0, .min_samples = 4});
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_FALSE(gate.observe(k % 2 == 0 ? 1.0 : -1.0));
+  }
+  const double var_before = gate.variance();
+  EXPECT_TRUE(gate.observe(50.0));
+  EXPECT_EQ(gate.rejections(), 1u);
+  // The outlier was quarantined, not absorbed: the gate stays tight, so a
+  // repeat of the same outlier is rejected again.
+  EXPECT_EQ(gate.variance(), var_before);
+  EXPECT_TRUE(gate.observe(50.0));
+}
+
+TEST(InnovationGate, NonFiniteInnovationIsAlwaysRejected) {
+  InnovationGate gate({.min_samples = 0});
+  EXPECT_TRUE(gate.observe(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_TRUE(gate.observe(std::numeric_limits<double>::infinity()));
+  EXPECT_EQ(gate.rejections(), 2u);
+  EXPECT_TRUE(std::isfinite(gate.variance()));
+}
 
 }  // namespace
 }  // namespace safe::estimation
