@@ -29,7 +29,7 @@ RateResult run_rate(std::uint32_t numer, std::uint32_t denom,
   for (std::size_t i = 0; i < onsets.size(); ++i) {
     core::ScenarioOptions o;
     o.attack = core::AttackKind::kDosJammer;
-    o.attack_start_s = onsets[i];
+    o.attack_start_s = safe::units::Seconds{onsets[i]};
     o.estimator = radar::BeatEstimator::kPeriodogram;  // fast; same defense
     core::Scenario scenario = core::make_paper_scenario(o);
     const auto key = static_cast<std::uint16_t>(0x1234 + 17 * i);

@@ -27,7 +27,8 @@ void run_case(core::FollowerController controller, core::AttackKind attack,
       r.detection_step ? std::to_string(*r.detection_step)
                        : std::string("-");
   std::printf("%-14s %-22s %10.2f %10s %9s %4zu %4zu\n", controller_label,
-              case_label, r.min_gap_m, r.collided ? "COLLISION" : "safe",
+              case_label, r.min_gap_m.value(),
+              r.collided ? "COLLISION" : "safe",
               detected.c_str(), r.detection_stats.false_positives,
               r.detection_stats.false_negatives);
 }

@@ -63,14 +63,15 @@ void run_cell(const ScenarioCase& sc, const FaultCase& fc) {
   const double deg_max = result.trace.column_max("degradation");
   const auto& hs = result.health_stats;
   std::printf("%-12s %-10s %8.2f %5s %6zu %6zu %6zu %5zu %5zu %4.0f\n",
-              sc.label, fc.label, result.min_gap_m,
+              sc.label, fc.label, result.min_gap_m.value(),
               result.collided ? "CRASH" : "ok", hs.rejected_nonfinite,
               hs.rejected_out_of_range + hs.rejected_innovation +
                   hs.rejected_stuck,
               hs.bridged_dropouts, hs.predictor_resets,
               result.safe_stop_steps, deg_max);
 
-  check(result.min_gap_m > 0.0 && !result.collided, "collision", cell);
+  check(result.min_gap_m > safe::units::Meters{0.0} && !result.collided,
+        "collision", cell);
   check(result.nonfinite_controller_inputs == 0,
         "non-finite value reached the controller", cell);
 }

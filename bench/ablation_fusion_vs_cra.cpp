@@ -35,7 +35,7 @@ PhaseResult run_phase(bool attack_radar, bool attack_lidar, double noise_sigma,
   std::normal_distribution<double> noise(0.0, noise_sigma);
 
   sensors::FusionDetector fusion(
-      {.disagreement_threshold_m = fusion_threshold,
+      {.disagreement_threshold_m = safe::units::Meters{fusion_threshold},
        .required_consecutive = 2});
   const auto schedule = cra::paper_challenge_schedule(horizon);
   cra::ChallengeResponseDetector cra_radar;
@@ -51,7 +51,8 @@ PhaseResult run_phase(bool attack_radar, bool attack_lidar, double noise_sigma,
     if (attacked && attack_lidar) lidar_range += 6.0;
 
     // Fusion: always-on cross-check.
-    const auto fd = fusion.observe(true, radar_range, true, lidar_range);
+    const auto fd = fusion.observe(true, safe::units::Meters{radar_range},
+                                   true, safe::units::Meters{lidar_range});
     const bool any_attack = attacked && (attack_radar || attack_lidar);
     if (fd.under_attack && !any_attack) ++result.fusion_false_alarms;
     if (fd.under_attack && any_attack && result.fusion_detect_step < 0) {

@@ -17,16 +17,17 @@ int main() {
               "S/J", "jam wins");
 
   double crossover = -1.0;
-  double prev_d = wf.min_range_m;
+  double prev_d = wf.min_range_m.value();
   bool prev_wins = jamming_succeeds(wf, jam, wf.min_range_m, rcs);
-  for (double d = wf.min_range_m; d <= wf.max_range_m; d += 2.0) {
-    const double pr = received_echo_power_w(wf, d, rcs);
-    const double pj = received_jammer_power_w(wf, jam, d);
+  for (double d = wf.min_range_m.value(); d <= wf.max_range_m.value();
+       d += 2.0) {
+    const double pr = received_echo_power_w(wf, safe::units::Meters{d}, rcs);
+    const double pj = received_jammer_power_w(wf, jam, safe::units::Meters{d});
     const bool wins = pr / pj < 1.0;
     if (wins != prev_wins && crossover < 0.0) {
       crossover = 0.5 * (prev_d + d);
     }
-    if (static_cast<long>(d - wf.min_range_m) % 10 == 0) {
+    if (static_cast<long>(d - wf.min_range_m.value()) % 10 == 0) {
       std::printf("%8.1f %14.3e %14.3e %12.4e %9s\n", d, pr, pj, pr / pj,
                   wins ? "yes" : "no");
     }

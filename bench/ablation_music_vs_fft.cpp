@@ -11,6 +11,8 @@
 
 #include "dsp/music.hpp"
 #include "dsp/spectral.hpp"
+#include "radar/fmcw.hpp"
+#include "units/units.hpp"
 
 namespace {
 
@@ -18,7 +20,7 @@ using namespace safe::dsp;
 
 ComplexSignal make_tone(double freq_hz, double fs, std::size_t n,
                         double snr_db, std::mt19937& rng) {
-  const double noise_power = std::pow(10.0, -snr_db / 10.0);
+  const double noise_power = safe::units::Decibels{-snr_db}.to_linear();
   std::normal_distribution<double> awgn(0.0, std::sqrt(noise_power / 2.0));
   std::uniform_real_distribution<double> phase(0.0, 6.283185307179586);
   const double p0 = phase(rng);
@@ -50,7 +52,10 @@ int main() {
 
   // Range error per Hz of beat error: d = c*Ts*(f+ + f-)/(4*Bs) ->
   // dd/df = c*Ts/(4*Bs) * 2 (both beats move together for range error).
-  const double m_per_hz = 299792458.0 * 2.0e-3 / (4.0 * 150.0e6) * 2.0;
+  const safe::radar::FmcwParameters wf = safe::radar::bosch_lrr2_parameters();
+  const double m_per_hz = safe::units::kSpeedOfLightMps *
+                          wf.sweep_time_s.value() /
+                          (4.0 * wf.sweep_bandwidth_hz.value()) * 2.0;
 
   for (const double snr : {-10.0, -5.0, 0.0, 5.0, 10.0, 20.0, 30.0}) {
     double se_music = 0.0, se_fft = 0.0;

@@ -12,6 +12,7 @@
 namespace {
 
 using namespace safe;
+namespace units = safe::units;
 using core::ParkingAttack;
 using core::ParkingConfig;
 using core::ParkingSimulation;
@@ -29,7 +30,8 @@ void run_case(const ParkingConfig& cfg, std::optional<ParkingAttack> attack,
                        : std::string("-");
   std::printf("%-11s %-22s %-9s %12.2f %10s %9s %4zu %4zu\n", sensor_label,
               case_label, cfg.defense_enabled ? "on" : "off",
-              r.final_clearance_m, r.collided ? "COLLISION" : "stopped",
+              r.final_clearance_m.value(),
+              r.collided ? "COLLISION" : "stopped",
               detected.c_str(), r.detection_stats.false_positives,
               r.detection_stats.false_negatives);
 }
@@ -37,14 +39,16 @@ void run_case(const ParkingConfig& cfg, std::optional<ParkingAttack> attack,
 ParkingAttack spoof() {
   ParkingAttack a;
   a.kind = ParkingAttack::Kind::kSpoof;
-  a.window = attack::AttackWindow{40.0, 200.0};
+  a.window = attack::AttackWindow{units::Seconds{40.0},
+                                  units::Seconds{200.0}};
   return a;
 }
 
 ParkingAttack dos(double power) {
   ParkingAttack a;
   a.kind = ParkingAttack::Kind::kDos;
-  a.window = attack::AttackWindow{40.0, 200.0};
+  a.window = attack::AttackWindow{units::Seconds{40.0},
+                                  units::Seconds{200.0}};
   a.blinder_power_w = power;
   return a;
 }
@@ -68,7 +72,7 @@ int main() {
     ParkingConfig lidar;
     lidar.defense_enabled = defended;
     lidar.sensor = sensors::lidar_parameters();
-    lidar.initial_clearance_m = 8.0;
+    lidar.initial_clearance_m = units::Meters{8.0};
     run_case(lidar, spoof(), "lidar", "spoof +1 m");
   }
 

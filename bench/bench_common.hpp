@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/scenario.hpp"
+#include "units/units.hpp"
 
 namespace safe::bench {
 
@@ -24,7 +25,7 @@ inline FigureRuns run_figure(core::LeaderScenario leader,
   core::ScenarioOptions o;
   o.leader = leader;
   o.attack = attack;
-  o.attack_start_s = attack_start_s;
+  o.attack_start_s = units::Seconds{attack_start_s};
   o.estimator = radar::BeatEstimator::kRootMusic;
 
   FigureRuns runs;
@@ -73,15 +74,16 @@ inline void print_figure(const char* title, const FigureRuns& runs,
 
   std::printf("\nsummary:\n");
   std::printf("  without attack : min gap %.2f m, collision %s\n",
-              runs.without_attack.min_gap_m,
+              runs.without_attack.min_gap_m.value(),
               runs.without_attack.collided ? "YES" : "no");
   std::printf("  with attack    : min gap %.2f m, collision %s%s\n",
-              runs.with_attack.min_gap_m,
+              runs.with_attack.min_gap_m.value(),
               runs.with_attack.collided ? "YES" : "no", collision_at.c_str());
   std::printf(
       "  defended       : min gap %.2f m, collision %s, detected at k = %s, "
       "FP %zu, FN %zu\n\n",
-      runs.estimated.min_gap_m, runs.estimated.collided ? "YES" : "no",
+      runs.estimated.min_gap_m.value(),
+      runs.estimated.collided ? "YES" : "no",
       detected_at.c_str(), runs.estimated.detection_stats.false_positives,
       runs.estimated.detection_stats.false_negatives);
 }

@@ -12,6 +12,7 @@
 
 #include "core/scenario.hpp"
 #include "estimation/rls_predictor.hpp"
+#include "units/units.hpp"
 
 namespace {
 
@@ -50,7 +51,7 @@ void run_case(core::LeaderScenario leader, core::AttackKind attack,
   core::ScenarioOptions o;
   o.leader = leader;
   o.attack = attack;
-  o.attack_start_s = onset;
+  o.attack_start_s = units::Seconds{onset};
   o.estimator = radar::BeatEstimator::kRootMusic;
 
   o.defense_enabled = true;

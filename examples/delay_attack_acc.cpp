@@ -19,18 +19,20 @@ void run_standard(safe::core::LeaderScenario leader, const char* label) {
   ScenarioOptions o;
   o.leader = leader;
   o.attack = AttackKind::kDelayInjection;
-  o.attack_start_s = 180.0;  // paper: spoofed distances from k = 180
+  o.attack_start_s =
+      safe::units::Seconds{180.0};  // paper: spoofed distances from k = 180
 
   std::cout << "--- " << label << " ---\n";
 
   o.defense_enabled = false;
   const auto undefended = make_paper_scenario(o).run();
-  std::cout << "undefended: min real gap " << undefended.min_gap_m << " m"
+  std::cout << "undefended: min real gap " << undefended.min_gap_m.value()
+            << " m"
             << (undefended.collided ? " (COLLISION)" : "") << "\n";
 
   o.defense_enabled = true;
   const auto defended = make_paper_scenario(o).run();
-  std::cout << "defended:   min real gap " << defended.min_gap_m
+  std::cout << "defended:   min real gap " << defended.min_gap_m.value()
             << " m, detected at k = "
             << (defended.detection_step
                     ? std::to_string(*defended.detection_step)
@@ -62,14 +64,14 @@ void run_evading_adversary() {
   cfg.evades_challenges = true;
   scenario.attack = std::make_shared<attack::ScheduledAttack>(
       std::make_shared<attack::DelayInjectionAttack>(cfg),
-      attack::AttackWindow{180.0, 300.0});
+      attack::AttackWindow{units::Seconds{180.0}, units::Seconds{300.0}});
 
   const auto result = scenario.run();
   std::cout << "--- fast adversary that evades challenges (paper Sec. 7) ---\n"
             << "detected: "
             << (result.detection_step ? "yes" : "NO (defense blind, as the "
                                                 "paper's future work warns)")
-            << ", min real gap " << result.min_gap_m << " m\n";
+            << ", min real gap " << result.min_gap_m.value() << " m\n";
 }
 
 }  // namespace

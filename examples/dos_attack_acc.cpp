@@ -23,10 +23,11 @@ void print_link_budget() {
             << "  jammer: P_J = 100 mW, G_J = 10 dBi, B_J = 155 MHz\n"
             << "  distance    P_echo [W]     P_jam [W]      S/J      jam wins?\n";
   for (const double d : {2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 150.0, 200.0}) {
-    const double pr = received_echo_power_w(wf, d, 10.0);
-    const double pj = received_jammer_power_w(wf, jam, d);
+    const safe::units::Meters range{d};
+    const double pr = received_echo_power_w(wf, range, 10.0);
+    const double pj = received_jammer_power_w(wf, jam, range);
     std::cout << "  " << d << " m\t" << pr << "\t" << pj << "\t" << pr / pj
-              << "\t" << (jamming_succeeds(wf, jam, d, 10.0) ? "yes" : "no")
+              << "\t" << (jamming_succeeds(wf, jam, range, 10.0) ? "yes" : "no")
               << "\n";
   }
   std::cout << "\n";
@@ -38,13 +39,14 @@ void run_scenario(safe::core::LeaderScenario leader, const char* label,
   ScenarioOptions o;
   o.leader = leader;
   o.attack = AttackKind::kDosJammer;
-  o.attack_start_s = 182.0;
+  o.attack_start_s = safe::units::Seconds{182.0};
 
   std::cout << "--- " << label << " ---\n";
 
   o.defense_enabled = false;
   const auto undefended = make_paper_scenario(o).run();
-  std::cout << "undefended: min gap " << undefended.min_gap_m << " m, "
+  std::cout << "undefended: min gap " << undefended.min_gap_m.value()
+            << " m, "
             << (undefended.collided ? "COLLISION at k = " +
                                           std::to_string(*undefended.collision_step)
                                     : std::string("no collision"))
@@ -52,7 +54,8 @@ void run_scenario(safe::core::LeaderScenario leader, const char* label,
 
   o.defense_enabled = true;
   const auto defended = make_paper_scenario(o).run();
-  std::cout << "defended:   min gap " << defended.min_gap_m << " m, "
+  std::cout << "defended:   min gap " << defended.min_gap_m.value()
+            << " m, "
             << (defended.collided ? "COLLISION" : "no collision")
             << ", attack detected at k = "
             << (defended.detection_step

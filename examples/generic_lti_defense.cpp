@@ -30,7 +30,8 @@ int main() {
   std::cout << "DC motor speed loop, +0.5 output bias from k = 150\n";
   LtiOutputAttack bias;
   bias.kind = LtiOutputAttack::Kind::kBias;
-  bias.window = attack::AttackWindow{150.0, 300.0};
+  bias.window = attack::AttackWindow{safe::units::Seconds{150.0},
+                                     safe::units::Seconds{300.0}};
   bias.value = linalg::RVector(1, 0.5);
 
   {
@@ -47,8 +48,9 @@ int main() {
   while (!schedule->is_challenge(onset)) ++onset;
   LtiOutputAttack dos;
   dos.kind = LtiOutputAttack::Kind::kDos;
-  dos.window = attack::AttackWindow{static_cast<double>(onset),
-                                    static_cast<double>(onset + 20)};
+  dos.window = attack::AttackWindow{
+      safe::units::Seconds{static_cast<double>(onset)},
+      safe::units::Seconds{static_cast<double>(onset + 20)}};
   dos.value = linalg::RVector(2, 50.0);
 
   {

@@ -9,6 +9,7 @@
 
 int main() {
   using namespace safe;
+  namespace units = safe::units;
 
   std::cout << "CRA beyond radar: ultrasonic park assist under spoofing\n"
             << "=======================================================\n\n";
@@ -17,7 +18,8 @@ int main() {
       std::make_shared<cra::PrbsChallengeSchedule>(0x0B5E, 1, 5, 200);
   core::ParkingAttack spoof;
   spoof.kind = core::ParkingAttack::Kind::kSpoof;
-  spoof.window = attack::AttackWindow{40.0, 200.0};
+  spoof.window =
+      attack::AttackWindow{units::Seconds{40.0}, units::Seconds{200.0}};
 
   for (const bool defended : {false, true}) {
     core::ParkingConfig cfg;
@@ -25,7 +27,7 @@ int main() {
     core::ParkingSimulation sim(cfg, schedule, spoof);
     const auto r = sim.run();
     std::cout << (defended ? "defended  " : "undefended") << ": final clearance "
-              << r.final_clearance_m << " m, "
+              << r.final_clearance_m.value() << " m, "
               << (r.collided ? "HIT THE OBSTACLE" : "stopped safely");
     if (r.detection_step) {
       std::cout << ", spoof detected at ping " << *r.detection_step;
@@ -36,25 +38,27 @@ int main() {
   std::cout << "\nSame defense, lidar profile (8 m approach):\n";
   core::ParkingConfig lidar_cfg;
   lidar_cfg.sensor = sensors::lidar_parameters();
-  lidar_cfg.initial_clearance_m = 8.0;
+  lidar_cfg.initial_clearance_m = units::Meters{8.0};
   core::ParkingSimulation lidar_sim(lidar_cfg, schedule, spoof);
   const auto lidar_run = lidar_sim.run();
-  std::cout << "defended  : final clearance " << lidar_run.final_clearance_m
-            << " m, "
+  std::cout << "defended  : final clearance "
+            << lidar_run.final_clearance_m.value() << " m, "
             << (lidar_run.collided ? "HIT THE OBSTACLE" : "stopped safely")
             << "\n\n";
 
   std::cout << "Redundancy fusion baseline (radar+lidar cross-check):\n";
-  sensors::FusionDetector fusion(
-      {.disagreement_threshold_m = 1.0, .required_consecutive = 2});
+  sensors::FusionDetector fusion({.disagreement_threshold_m = units::Meters{1.0},
+                                  .required_consecutive = 2});
   // One-channel spoof: disagreement reveals it.
-  fusion.observe(true, 46.0, true, 40.0);
-  fusion.observe(true, 45.8, true, 39.8);
+  fusion.observe(true, units::Meters{46.0}, true, units::Meters{40.0});
+  fusion.observe(true, units::Meters{45.8}, true, units::Meters{39.8});
   std::cout << "  one-channel spoof  -> "
             << (fusion.under_attack() ? "detected" : "missed") << "\n";
   fusion.reset();
   // Coordinated spoof: both channels consistent, fusion is blind.
-  for (int i = 0; i < 10; ++i) fusion.observe(true, 46.0, true, 46.0);
+  for (int i = 0; i < 10; ++i) {
+    fusion.observe(true, units::Meters{46.0}, true, units::Meters{46.0});
+  }
   std::cout << "  coordinated spoof  -> "
             << (fusion.under_attack() ? "detected" : "missed (CRA still "
                                                      "catches this case)")

@@ -25,13 +25,13 @@ int main() {
                                         : std::string("never"))
             << "\nfalse positives: " << defended.detection_stats.false_positives
             << ", false negatives: " << defended.detection_stats.false_negatives
-            << "\nminimum gap: " << defended.min_gap_m << " m"
+            << "\nminimum gap: " << defended.min_gap_m.value() << " m"
             << "\ncollision: " << (defended.collided ? "YES" : "no") << "\n\n";
 
   std::cout << "=== Undefended run (raw radar feeds the ACC) ===\n";
   options.defense_enabled = false;
   const auto undefended = core::make_paper_scenario(options).run();
-  std::cout << "minimum gap: " << undefended.min_gap_m << " m"
+  std::cout << "minimum gap: " << undefended.min_gap_m.value() << " m"
             << "\ncollision: " << (undefended.collided ? "YES" : "no")
             << "\n\n";
 

@@ -15,9 +15,10 @@
 
 int main() {
   using namespace safe;
+  namespace units = safe::units;
 
-  const double true_distance = 73.4;   // m
-  const double true_range_rate = -2.6; // m/s (closing)
+  const units::Meters true_distance{73.4};
+  const units::MetersPerSecond true_range_rate{-2.6};  // closing
 
   radar::RadarProcessorConfig cfg;
   cfg.waveform = radar::bosch_lrr2_parameters();
@@ -29,10 +30,11 @@ int main() {
   // --- Forward map (Eqs. 5-6).
   const auto beats =
       radar::beat_frequencies(cfg.waveform, true_distance, true_range_rate);
-  std::cout << "target: d = " << true_distance << " m, dv = " << true_range_rate
+  std::cout << "target: d = " << true_distance.value()
+            << " m, dv = " << true_range_rate.value()
             << " m/s\n"
-            << "beat frequencies: f_b+ = " << beats.up_hz
-            << " Hz, f_b- = " << beats.down_hz << " Hz\n";
+            << "beat frequencies: f_b+ = " << beats.up_hz.value()
+            << " Hz, f_b- = " << beats.down_hz.value() << " Hz\n";
 
   // --- Link budget (Eq. 9).
   const double echo_power =
@@ -57,12 +59,13 @@ int main() {
     std::cout << (est == radar::BeatEstimator::kRootMusic ? "root-MUSIC"
                                                           : "periodogram")
               << " receiver:\n"
-              << "  estimated f_b+ = " << m.beats.up_hz
-              << " Hz, f_b- = " << m.beats.down_hz << " Hz\n"
-              << "  estimated d = " << m.estimate.distance_m
-              << " m (err " << m.estimate.distance_m - true_distance
-              << "), dv = " << m.estimate.range_rate_mps << " m/s (err "
-              << m.estimate.range_rate_mps - true_range_rate << ")\n"
+              << "  estimated f_b+ = " << m.beats.up_hz.value()
+              << " Hz, f_b- = " << m.beats.down_hz.value() << " Hz\n"
+              << "  estimated d = " << m.estimate.distance_m.value() << " m (err "
+              << (m.estimate.distance_m - true_distance).value()
+              << "), dv = " << m.estimate.range_rate_mps.value()
+              << " m/s (err "
+              << (m.estimate.range_rate_mps - true_range_rate).value() << ")\n"
               << "  peak/average coherence: " << m.peak_to_average << "\n\n";
   }
 

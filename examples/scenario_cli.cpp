@@ -69,9 +69,9 @@ int main(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (arg == "--onset") {
-      options.attack_start_s = std::stod(next());
+      options.attack_start_s = safe::units::Seconds{std::stod(next())};
     } else if (arg == "--end") {
-      options.attack_end_s = std::stod(next());
+      options.attack_end_s = safe::units::Seconds{std::stod(next())};
     } else if (arg == "--no-defense") {
       options.defense_enabled = false;
     } else if (arg == "--estimator") {
@@ -131,7 +131,7 @@ int main(int argc, char** argv) {
   std::cout << "leader=" << scenario.leader->name()
             << " attack=" << (scenario.attack ? scenario.attack->name() : "none")
             << " defense=" << (options.defense_enabled ? "on" : "off") << "\n"
-            << "min gap: " << result.min_gap_m << " m\n"
+            << "min gap: " << result.min_gap_m.value() << " m\n"
             << "collision: " << (result.collided ? "YES" : "no");
   if (result.collision_step) std::cout << " at k = " << *result.collision_step;
   std::cout << "\ndetected: "

@@ -16,9 +16,9 @@ namespace safe::attack {
 
 /// Ground-truth context available to an attack when it fires.
 struct AttackContext {
-  double time_s = 0.0;                 ///< Simulation time k.
-  double true_distance_m = 0.0;        ///< Actual leader-follower gap.
-  double true_range_rate_mps = 0.0;    ///< Actual gap rate (dv).
+  units::Seconds time_s{0.0};          ///< Simulation time k.
+  units::Meters true_distance_m{0.0};  ///< Actual leader-follower gap.
+  units::MetersPerSecond true_range_rate_mps{0.0};  ///< Actual gap rate.
   double true_echo_power_w = 0.0;      ///< Echo power of the real target.
   const radar::FmcwParameters* waveform = nullptr;
 };

@@ -7,9 +7,11 @@
 
 namespace safe::attack {
 
+namespace units = safe::units;
+
 DelayInjectionAttack::DelayInjectionAttack(DelayInjectionConfig config)
     : config_(config) {
-  if (config_.extra_delay_s <= 0.0) {
+  if (config_.extra_delay_s <= units::Seconds{0.0}) {
     throw std::invalid_argument(
         "DelayInjectionAttack: extra delay must be positive");
   }
@@ -19,13 +21,13 @@ DelayInjectionAttack::DelayInjectionAttack(DelayInjectionConfig config)
   }
 }
 
-double DelayInjectionAttack::range_offset_m() const {
-  return radar::spoofed_range_offset_m(config_.extra_delay_s);
+units::Meters DelayInjectionAttack::range_offset() const {
+  return radar::spoofed_range_offset(config_.extra_delay_s);
 }
 
 void DelayInjectionAttack::apply(const AttackContext& context,
                                  radar::EchoScene& scene) const {
-  if (context.true_distance_m <= 0.0) return;
+  if (context.true_distance_m <= units::Meters{0.0}) return;
 
   if (!scene.tx_enabled && config_.evades_challenges) {
     // The hypothetical fast adversary notices the suppressed probe in time
@@ -37,7 +39,7 @@ void DelayInjectionAttack::apply(const AttackContext& context,
     scene.echoes.clear();
   }
   scene.echoes.push_back(radar::EchoComponent{
-      .distance_m = context.true_distance_m + range_offset_m(),
+      .distance_m = context.true_distance_m + range_offset(),
       .range_rate_mps = context.true_range_rate_mps,
       .power_w = std::max(context.true_echo_power_w * config_.power_advantage,
                           config_.min_power_w),

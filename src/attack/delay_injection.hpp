@@ -13,9 +13,9 @@
 namespace safe::attack {
 
 struct DelayInjectionConfig {
-  /// Extra round-trip delay injected into the counterfeit (seconds).
+  /// Extra round-trip delay injected into the counterfeit.
   /// 40 ns fakes the paper's +6 m.
-  double extra_delay_s = 4.0e-8;
+  units::Seconds extra_delay_s{4.0e-8};
 
   /// Counterfeit power relative to the genuine echo; > 1 so the receiver
   /// locks onto the counterfeit rather than the true reflection.
@@ -49,8 +49,8 @@ class DelayInjectionAttack final : public SensorAttack {
 
   [[nodiscard]] const DelayInjectionConfig& config() const { return config_; }
 
-  /// Range offset this attack fakes (c * tau / 2, meters).
-  [[nodiscard]] double range_offset_m() const;
+  /// Range offset this attack fakes (c * tau / 2).
+  [[nodiscard]] units::Meters range_offset() const;
 
  private:
   DelayInjectionConfig config_;

@@ -4,9 +4,12 @@
 
 namespace safe::attack {
 
+namespace units = safe::units;
+
 DosJammerAttack::DosJammerAttack(radar::JammerParameters jammer)
     : jammer_(jammer) {
-  if (jammer_.peak_power_w <= 0.0 || jammer_.bandwidth_hz <= 0.0) {
+  if (jammer_.peak_power_w <= 0.0 ||
+      jammer_.bandwidth_hz <= units::Hertz{0.0}) {
     throw std::invalid_argument(
         "DosJammerAttack: jammer power and bandwidth must be positive");
   }
@@ -17,7 +20,7 @@ void DosJammerAttack::apply(const AttackContext& context,
   if (context.waveform == nullptr) {
     throw std::invalid_argument("DosJammerAttack: context missing waveform");
   }
-  if (context.true_distance_m <= 0.0) {
+  if (context.true_distance_m <= units::Meters{0.0}) {
     return;  // collided / degenerate geometry: nothing to jam through
   }
   scene.noise_power_w += radar::received_jammer_power_w(
@@ -25,8 +28,9 @@ void DosJammerAttack::apply(const AttackContext& context,
 }
 
 bool DosJammerAttack::succeeds_at(const radar::FmcwParameters& waveform,
-                                  double distance_m, double rcs_m2) const {
-  return radar::jamming_succeeds(waveform, jammer_, distance_m, rcs_m2);
+                                  units::Meters distance,
+                                  double rcs_m2) const {
+  return radar::jamming_succeeds(waveform, jammer_, distance, rcs_m2);
 }
 
 }  // namespace safe::attack

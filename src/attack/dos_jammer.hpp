@@ -30,7 +30,8 @@ class DosJammerAttack final : public SensorAttack {
 
   /// Eq. 11 success predicate at a given geometry.
   [[nodiscard]] bool succeeds_at(const radar::FmcwParameters& waveform,
-                                 double distance_m, double rcs_m2) const;
+                                 units::Meters distance,
+                                 double rcs_m2) const;
 
  private:
   radar::JammerParameters jammer_;

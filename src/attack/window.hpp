@@ -11,13 +11,13 @@ namespace safe::attack {
 
 /// Half-open activity interval [start_s, end_s).
 struct AttackWindow {
-  double start_s = 0.0;
-  double end_s = 0.0;
+  units::Seconds start_s{0.0};
+  units::Seconds end_s{0.0};
 
-  [[nodiscard]] bool contains(double time_s) const {
-    return time_s >= start_s && time_s < end_s;
+  [[nodiscard]] bool contains(units::Seconds time) const {
+    return time >= start_s && time < end_s;
   }
-  [[nodiscard]] double duration_s() const { return end_s - start_s; }
+  [[nodiscard]] units::Seconds duration() const { return end_s - start_s; }
 };
 
 /// Applies an inner attack only while inside its window — the paper's
@@ -43,8 +43,8 @@ class ScheduledAttack final : public SensorAttack {
   }
 
   [[nodiscard]] std::string name() const override {
-    return inner_->name() + "@[" + std::to_string(window_.start_s) + "," +
-           std::to_string(window_.end_s) + ")";
+    return inner_->name() + "@[" + std::to_string(window_.start_s.value()) +
+           "," + std::to_string(window_.end_s.value()) + ")";
   }
 
   [[nodiscard]] const AttackWindow& window() const { return window_; }

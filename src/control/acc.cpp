@@ -5,30 +5,31 @@
 namespace safe::control {
 
 void validate_parameters(const AccParameters& params) {
-  if (params.headway_time_s <= 0.0 || params.min_gap_m < 0.0) {
+  if (params.headway_time_s <= Seconds{0.0} || params.min_gap_m < Meters{0.0}) {
     throw std::invalid_argument("AccParameters: bad headway/min gap");
   }
-  if (params.system_gain <= 0.0 || params.time_constant_s <= 0.0) {
+  if (params.system_gain <= 0.0 || params.time_constant_s <= Seconds{0.0}) {
     throw std::invalid_argument("AccParameters: bad gain/time constant");
   }
-  if (params.sample_time_s <= 0.0) {
+  if (params.sample_time_s <= Seconds{0.0}) {
     throw std::invalid_argument("AccParameters: bad sample time");
   }
-  if (params.set_speed_mps < 0.0) {
+  if (params.set_speed_mps < MetersPerSecond{0.0}) {
     throw std::invalid_argument("AccParameters: bad set speed");
   }
-  if (params.max_accel_mps2 <= 0.0 || params.max_decel_mps2 <= 0.0) {
+  if (params.max_accel_mps2 <= MetersPerSecond2{0.0} ||
+      params.max_decel_mps2 <= MetersPerSecond2{0.0}) {
     throw std::invalid_argument("AccParameters: bad acceleration limits");
   }
-  if (params.safe_stop_decel_mps2 <= 0.0 ||
+  if (params.safe_stop_decel_mps2 <= MetersPerSecond2{0.0} ||
       params.safe_stop_decel_mps2 > params.max_decel_mps2) {
     throw std::invalid_argument("AccParameters: bad safe-stop deceleration");
   }
 }
 
-double desired_distance_m(const AccParameters& params,
-                          double follower_speed_mps) {
-  return params.min_gap_m + params.headway_time_s * follower_speed_mps;
+Meters desired_distance(const AccParameters& params,
+                        MetersPerSecond follower_speed) {
+  return params.min_gap_m + params.headway_time_s * follower_speed;
 }
 
 UpperLevelController::UpperLevelController(const AccParameters& params)
@@ -37,38 +38,40 @@ UpperLevelController::UpperLevelController(const AccParameters& params)
 }
 
 AccCommand UpperLevelController::step(const AccInputs& inputs) {
-  const double t = params_.sample_time_s;
+  const double t = params_.sample_time_s.value();
+  const double follower_speed = inputs.follower_speed_mps.value();
   AccCommand cmd;
-  cmd.desired_distance_m = desired_distance_m(params_, inputs.follower_speed_mps);
+  cmd.desired_distance_m =
+      desired_distance(params_, inputs.follower_speed_mps);
 
   if (inputs.degraded_safe_stop) {
     // The radar channels are stale: disregard them entirely and ramp the
     // speed down at the conservative safe-stop rate.
     cmd.mode = AccMode::kSafeStop;
     const double v_des = std::max(
-        inputs.follower_speed_mps - params_.safe_stop_decel_mps2 * t, 0.0);
-    cmd.desired_speed_mps = v_des;
+        follower_speed - params_.safe_stop_decel_mps2.value() * t, 0.0);
+    cmd.desired_speed_mps = MetersPerSecond{v_des};
     // Command the ramp against the *current* speed, not the previous
     // desired speed: the Eq. 16 difference law degenerates to tracking the
     // follower's own acceleration (a no-op) once v_des locks to v_F - step.
-    cmd.desired_accel_mps2 = std::clamp(
-        (v_des - inputs.follower_speed_mps) / t,
-        -params_.safe_stop_decel_mps2, 0.0);
-    prev_desired_speed_ = v_des;
+    cmd.desired_accel_mps2 = MetersPerSecond2{std::clamp(
+        (v_des - follower_speed) / t,
+        -params_.safe_stop_decel_mps2.value(), 0.0)};
+    prev_desired_speed_ = MetersPerSecond{v_des};
     primed_ = true;
     return cmd;
   }
 
-  if (params_.emergency_headway_s > 0.0 && inputs.target_present &&
+  if (params_.emergency_headway_s > Seconds{0.0} && inputs.target_present &&
       inputs.distance_m < params_.min_gap_m + params_.emergency_headway_s *
                                                   inputs.follower_speed_mps) {
     // Imminent-collision floor: the CTH law has lost the gap; brake as hard
     // as the actuators allow until the clearance recovers.
     cmd.mode = AccMode::kSafeStop;
-    cmd.desired_speed_mps = 0.0;
+    cmd.desired_speed_mps = MetersPerSecond{0.0};
     cmd.desired_accel_mps2 = -params_.max_decel_mps2;
-    prev_desired_speed_ = std::max(
-        inputs.follower_speed_mps - params_.max_decel_mps2 * t, 0.0);
+    prev_desired_speed_ = MetersPerSecond{std::max(
+        follower_speed - params_.max_decel_mps2.value() * t, 0.0)};
     primed_ = true;
     return cmd;
   }
@@ -82,36 +85,40 @@ AccCommand UpperLevelController::step(const AccInputs& inputs) {
   double v_des;
   if (spacing) {
     cmd.mode = AccMode::kSpacingControl;
-    const double clearance_error = inputs.distance_m - cmd.desired_distance_m;
-    const double gain = t / (params_.headway_time_s * params_.system_gain);
-    v_des = inputs.follower_speed_mps +
-            gain * (clearance_error + t * inputs.relative_velocity_mps);
+    const double clearance_error =
+        inputs.distance_m.value() - cmd.desired_distance_m.value();
+    const double gain =
+        t / (params_.headway_time_s.value() * params_.system_gain);
+    v_des = follower_speed +
+            gain * (clearance_error + t * inputs.relative_velocity_mps.value());
     // Never exceed the driver's set speed in spacing mode.
-    v_des = std::min(v_des, params_.set_speed_mps);
+    v_des = std::min(v_des, params_.set_speed_mps.value());
   } else {
     cmd.mode = AccMode::kSpeedControl;
-    v_des = params_.set_speed_mps;
+    v_des = params_.set_speed_mps.value();
   }
   if (params_.hold_speed_on_degraded_holdover && inputs.degraded_holdover) {
     // Estimated (or absent) radar data cannot justify speeding up.
-    v_des = std::min(v_des, inputs.follower_speed_mps);
+    v_des = std::min(v_des, follower_speed);
   }
   v_des = std::max(v_des, 0.0);
-  cmd.desired_speed_mps = v_des;
+  cmd.desired_speed_mps = MetersPerSecond{v_des};
 
   // Eq. 16: a_des from the desired-speed difference.
-  const double prev = primed_ ? prev_desired_speed_ : inputs.follower_speed_mps;
+  const double prev =
+      primed_ ? prev_desired_speed_.value() : follower_speed;
   double a_des = (v_des - prev) / t;
-  a_des = std::clamp(a_des, -params_.max_decel_mps2, params_.max_accel_mps2);
-  cmd.desired_accel_mps2 = a_des;
+  a_des = std::clamp(a_des, -params_.max_decel_mps2.value(),
+                     params_.max_accel_mps2.value());
+  cmd.desired_accel_mps2 = MetersPerSecond2{a_des};
 
-  prev_desired_speed_ = v_des;
+  prev_desired_speed_ = MetersPerSecond{v_des};
   primed_ = true;
   return cmd;
 }
 
 void UpperLevelController::reset() {
-  prev_desired_speed_ = 0.0;
+  prev_desired_speed_ = MetersPerSecond{0.0};
   primed_ = false;
 }
 
@@ -120,21 +127,21 @@ LowerLevelController::LowerLevelController(const AccParameters& params)
   validate_parameters(params_);
 }
 
-ActuationState LowerLevelController::step(double desired_accel_mps2) {
+ActuationState LowerLevelController::step(MetersPerSecond2 desired_accel) {
   const double alpha = params_.sample_time_s / params_.time_constant_s;
-  const double target = params_.system_gain * desired_accel_mps2;
+  const MetersPerSecond2 target = params_.system_gain * desired_accel;
   // Discretized first-order lag; alpha >= 1 (T >= T_i) saturates to an
   // immediate step so the filter stays stable for any sample time.
   const double blend = std::min(alpha, 1.0);
   state_.actual_accel_mps2 += blend * (target - state_.actual_accel_mps2);
 
-  if (state_.actual_accel_mps2 >= 0.0) {
+  if (state_.actual_accel_mps2 >= MetersPerSecond2{0.0}) {
     state_.pedal_accel_mps2 = state_.actual_accel_mps2;
     state_.brake_pressure = 0.0;
   } else {
-    state_.pedal_accel_mps2 = 0.0;
+    state_.pedal_accel_mps2 = MetersPerSecond2{0.0};
     state_.brake_pressure =
-        -state_.actual_accel_mps2 * params_.brake_pressure_per_mps2;
+        -state_.actual_accel_mps2.value() * params_.brake_pressure_per_mps2;
   }
   return state_;
 }

@@ -13,23 +13,30 @@
 
 #include <algorithm>
 
+#include "units/units.hpp"
+
 namespace safe::control {
 
+using units::Meters;
+using units::MetersPerSecond;
+using units::MetersPerSecond2;
+using units::Seconds;
+
 struct AccParameters {
-  double headway_time_s = 3.0;      ///< tau_h
-  double min_gap_m = 5.0;           ///< d_0 (minimum stopping distance)
-  double system_gain = 1.0;         ///< K_1
-  double time_constant_s = 1.008;   ///< T_i
-  double sample_time_s = 1.0;       ///< T (k is in seconds in the paper)
-  double set_speed_mps = 29.9517;   ///< v_set (67 mph)
-  double max_accel_mps2 = 2.5;      ///< Actuation limits for a_des.
-  double max_decel_mps2 = 5.0;
+  Seconds headway_time_s{3.0};         ///< tau_h
+  Meters min_gap_m{5.0};               ///< d_0 (minimum stopping distance)
+  double system_gain = 1.0;            ///< K_1
+  Seconds time_constant_s{1.008};      ///< T_i
+  Seconds sample_time_s{1.0};          ///< T (k is in seconds in the paper)
+  MetersPerSecond set_speed_mps{29.9517};  ///< v_set (67 mph)
+  MetersPerSecond2 max_accel_mps2{2.5};    ///< Actuation limits for a_des.
+  MetersPerSecond2 max_decel_mps2{5.0};
   /// Brake pressure per m/s^2 of commanded deceleration (actuator map).
   double brake_pressure_per_mps2 = 40.0;
   /// Deceleration commanded while the pipeline reports DEGRADED_SAFE_STOP:
   /// firm enough to shed speed quickly, gentle enough not to provoke
   /// rear-end collisions (~0.2 g).
-  double safe_stop_decel_mps2 = 2.0;
+  MetersPerSecond2 safe_stop_decel_mps2{2.0};
   /// When true, the controller never raises the desired speed above the
   /// current speed while `AccInputs::degraded_holdover` is set: holdover
   /// estimates can only prove the gap is shrinking, never that it is safe
@@ -43,15 +50,15 @@ struct AccParameters {
   /// *derivative* of the desired speed, so after a disturbance it rides a
   /// clearance deficit instead of actively restoring it; the floor is the
   /// last-resort backstop for that regime. 0 disables (paper behaviour).
-  double emergency_headway_s = 0.0;
+  Seconds emergency_headway_s{0.0};
 };
 
 /// Throws std::invalid_argument on non-physical parameters.
 void validate_parameters(const AccParameters& params);
 
 /// Desired inter-vehicle distance (Eq. 12).
-double desired_distance_m(const AccParameters& params,
-                          double follower_speed_mps);
+Meters desired_distance(const AccParameters& params,
+                        MetersPerSecond follower_speed);
 
 enum class AccMode {
   kSpeedControl,    ///< No (close) target: track the set speed.
@@ -62,9 +69,9 @@ enum class AccMode {
 /// Sensor-facing inputs of the upper-level controller.
 struct AccInputs {
   bool target_present = false;       ///< Radar sees a preceding vehicle.
-  double distance_m = 0.0;           ///< d (radar)
-  double relative_velocity_mps = 0.0;  ///< dv = v_L - v_F (radar)
-  double follower_speed_mps = 0.0;   ///< v_F (trusted wheel-speed sensor)
+  Meters distance_m{0.0};            ///< d (radar)
+  MetersPerSecond relative_velocity_mps{0.0};  ///< dv = v_L - v_F (radar)
+  MetersPerSecond follower_speed_mps{0.0};  ///< v_F (trusted wheel speed)
   /// The safe-measurement pipeline exhausted its holdover budget
   /// (DEGRADED_SAFE_STOP): ignore the stale radar channels and bleed speed
   /// at `safe_stop_decel_mps2` until the pipeline recovers or the vehicle
@@ -78,9 +85,9 @@ struct AccInputs {
 /// Upper-level outputs.
 struct AccCommand {
   AccMode mode = AccMode::kSpeedControl;
-  double desired_speed_mps = 0.0;   ///< v_des(k+1)
-  double desired_accel_mps2 = 0.0;  ///< a_des(k+1), clamped to limits
-  double desired_distance_m = 0.0;  ///< d_des(k) for tracing
+  MetersPerSecond desired_speed_mps{0.0};   ///< v_des(k+1)
+  MetersPerSecond2 desired_accel_mps2{0.0};  ///< a_des(k+1), clamped
+  Meters desired_distance_m{0.0};   ///< d_des(k) for tracing
 };
 
 /// Stateful upper-level controller (remembers v_des for Eq. 16).
@@ -96,14 +103,14 @@ class UpperLevelController {
 
  private:
   AccParameters params_;
-  double prev_desired_speed_ = 0.0;
+  MetersPerSecond prev_desired_speed_{0.0};
   bool primed_ = false;
 };
 
 /// Lower-level actuation outputs.
 struct ActuationState {
-  double actual_accel_mps2 = 0.0;
-  double pedal_accel_mps2 = 0.0;    ///< a_pedal (>= 0)
+  MetersPerSecond2 actual_accel_mps2{0.0};
+  MetersPerSecond2 pedal_accel_mps2{0.0};  ///< a_pedal (>= 0)
   double brake_pressure = 0.0;      ///< P_brake (>= 0, arbitrary units)
 };
 
@@ -112,13 +119,15 @@ class LowerLevelController {
  public:
   explicit LowerLevelController(const AccParameters& params);
 
-  /// Advances one sample toward `desired_accel_mps2`; returns the actuated
+  /// Advances one sample toward `desired_accel`; returns the actuated
   /// state (the follower plant consumes `actual_accel_mps2`).
-  ActuationState step(double desired_accel_mps2);
+  ActuationState step(MetersPerSecond2 desired_accel);
 
   void reset();
 
-  [[nodiscard]] double actual_accel() const { return state_.actual_accel_mps2; }
+  [[nodiscard]] MetersPerSecond2 actual_accel() const {
+    return state_.actual_accel_mps2;
+  }
 
  private:
   AccParameters params_;

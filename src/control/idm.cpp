@@ -5,14 +5,21 @@
 
 namespace safe::control {
 
+using units::Meters;
+using units::MetersPerSecond;
+using units::MetersPerSecond2;
+using units::Seconds;
+
 void validate_parameters(const IdmParameters& params) {
-  if (params.desired_speed_mps <= 0.0 || params.min_gap_m < 0.0) {
+  if (params.desired_speed_mps <= MetersPerSecond{0.0} ||
+      params.min_gap_m < Meters{0.0}) {
     throw std::invalid_argument("IdmParameters: bad speed/min gap");
   }
-  if (params.headway_time_s < 0.0) {
+  if (params.headway_time_s < Seconds{0.0}) {
     throw std::invalid_argument("IdmParameters: bad headway");
   }
-  if (params.max_accel_mps2 <= 0.0 || params.comfortable_decel_mps2 <= 0.0) {
+  if (params.max_accel_mps2 <= MetersPerSecond2{0.0} ||
+      params.comfortable_decel_mps2 <= MetersPerSecond2{0.0}) {
     throw std::invalid_argument("IdmParameters: bad accel/decel");
   }
   if (params.accel_exponent <= 0.0) {
@@ -20,36 +27,39 @@ void validate_parameters(const IdmParameters& params) {
   }
 }
 
-double idm_desired_gap_m(const IdmParameters& params, double speed_mps,
-                         double lead_speed_mps) {
+Meters idm_desired_gap(const IdmParameters& params, MetersPerSecond speed,
+                       MetersPerSecond lead_speed) {
   validate_parameters(params);
-  const double closing = speed_mps - lead_speed_mps;
+  const double speed_mps = speed.value();
+  const double closing = speed_mps - lead_speed.value();
   const double dynamic =
-      speed_mps * params.headway_time_s +
+      speed_mps * params.headway_time_s.value() +
       speed_mps * closing /
-          (2.0 * std::sqrt(params.max_accel_mps2 *
-                           params.comfortable_decel_mps2));
-  return params.min_gap_m + std::max(dynamic, 0.0);
+          (2.0 * std::sqrt(params.max_accel_mps2.value() *
+                           params.comfortable_decel_mps2.value()));
+  return params.min_gap_m + Meters{std::max(dynamic, 0.0)};
 }
 
-double idm_acceleration(const IdmParameters& params, double speed_mps,
-                        double lead_speed_mps, double gap_m) {
+MetersPerSecond2 idm_acceleration(const IdmParameters& params,
+                                  MetersPerSecond speed,
+                                  MetersPerSecond lead_speed, Meters gap) {
   validate_parameters(params);
-  if (gap_m <= 0.0) {
+  if (gap <= Meters{0.0}) {
     return -params.comfortable_decel_mps2 * 4.0;  // emergency clamp
   }
   const double free_term =
-      std::pow(std::max(speed_mps, 0.0) / params.desired_speed_mps,
+      std::pow(std::max(speed.value(), 0.0) / params.desired_speed_mps.value(),
                params.accel_exponent);
-  const double gap_ratio =
-      idm_desired_gap_m(params, speed_mps, lead_speed_mps) / gap_m;
-  return params.max_accel_mps2 * (1.0 - free_term - gap_ratio * gap_ratio);
+  const double gap_ratio = idm_desired_gap(params, speed, lead_speed) / gap;
+  return params.max_accel_mps2 *
+         (1.0 - free_term - gap_ratio * gap_ratio);
 }
 
-double idm_free_acceleration(const IdmParameters& params, double speed_mps) {
+MetersPerSecond2 idm_free_acceleration(const IdmParameters& params,
+                                       MetersPerSecond speed) {
   validate_parameters(params);
   const double free_term =
-      std::pow(std::max(speed_mps, 0.0) / params.desired_speed_mps,
+      std::pow(std::max(speed.value(), 0.0) / params.desired_speed_mps.value(),
                params.accel_exponent);
   return params.max_accel_mps2 * (1.0 - free_term);
 }

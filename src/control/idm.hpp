@@ -8,30 +8,36 @@
 //   s* = s_0 + v T + v (v - v_lead) / (2 sqrt(a_max b))
 #pragma once
 
+#include "units/units.hpp"
+
 namespace safe::control {
 
 struct IdmParameters {
-  double desired_speed_mps = 29.9517;    ///< v_0
-  double min_gap_m = 5.0;                ///< s_0
-  double headway_time_s = 1.5;           ///< T
-  double max_accel_mps2 = 1.5;           ///< a_max
-  double comfortable_decel_mps2 = 2.0;   ///< b
-  double accel_exponent = 4.0;           ///< delta
+  units::MetersPerSecond desired_speed_mps{29.9517};    ///< v_0
+  units::Meters min_gap_m{5.0};                         ///< s_0
+  units::Seconds headway_time_s{1.5};                   ///< T
+  units::MetersPerSecond2 max_accel_mps2{1.5};          ///< a_max
+  units::MetersPerSecond2 comfortable_decel_mps2{2.0};  ///< b
+  double accel_exponent = 4.0;                          ///< delta
 };
 
 /// Throws std::invalid_argument on non-physical parameters.
 void validate_parameters(const IdmParameters& params);
 
 /// Desired dynamic gap s*(v, v_lead).
-double idm_desired_gap_m(const IdmParameters& params, double speed_mps,
-                         double lead_speed_mps);
+units::Meters idm_desired_gap(const IdmParameters& params,
+                              units::MetersPerSecond speed,
+                              units::MetersPerSecond lead_speed);
 
-/// IDM acceleration for the current kinematic situation. `gap_m` <= 0 is
+/// IDM acceleration for the current kinematic situation. `gap` <= 0 is
 /// treated as an imminent-collision clamp to maximum braking.
-double idm_acceleration(const IdmParameters& params, double speed_mps,
-                        double lead_speed_mps, double gap_m);
+units::MetersPerSecond2 idm_acceleration(const IdmParameters& params,
+                                         units::MetersPerSecond speed,
+                                         units::MetersPerSecond lead_speed,
+                                         units::Meters gap);
 
 /// Free-road IDM acceleration (no leader).
-double idm_free_acceleration(const IdmParameters& params, double speed_mps);
+units::MetersPerSecond2 idm_free_acceleration(const IdmParameters& params,
+                                              units::MetersPerSecond speed);
 
 }  // namespace safe::control

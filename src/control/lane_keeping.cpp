@@ -6,24 +6,29 @@
 
 namespace safe::control {
 
+namespace units = safe::units;
+
 void validate_parameters(const LaneKeepingParameters& params) {
   if (params.heading_gain <= 0.0 || params.crosstrack_gain <= 0.0) {
     throw std::invalid_argument("LaneKeepingParameters: gains must be > 0");
   }
-  if (params.softening_mps <= 0.0 || params.max_steer_rad <= 0.0) {
+  if (params.softening_mps <= units::MetersPerSecond{0.0} ||
+      params.max_steer_rad <= units::Radians{0.0}) {
     throw std::invalid_argument("LaneKeepingParameters: bad limits");
   }
 }
 
-double lane_keeping_steer(const LaneKeepingParameters& params,
-                          double lateral_offset_m, double heading_error_rad,
-                          double speed_mps) {
+units::Radians lane_keeping_steer(const LaneKeepingParameters& params,
+                                  units::Meters lateral_offset,
+                                  units::Radians heading_error,
+                                  units::MetersPerSecond speed) {
   validate_parameters(params);
   const double steer =
-      -params.heading_gain * heading_error_rad -
-      std::atan(params.crosstrack_gain * lateral_offset_m /
-                (std::max(speed_mps, 0.0) + params.softening_mps));
-  return std::clamp(steer, -params.max_steer_rad, params.max_steer_rad);
+      -params.heading_gain * heading_error.value() -
+      std::atan(params.crosstrack_gain * lateral_offset.value() /
+                (std::max(speed.value(), 0.0) + params.softening_mps.value()));
+  return units::Radians{std::clamp(steer, -params.max_steer_rad.value(),
+                                   params.max_steer_rad.value())};
 }
 
 }  // namespace safe::control

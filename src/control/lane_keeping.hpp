@@ -11,22 +11,25 @@
 // holdover strategy as the longitudinal pipeline contains it.
 #pragma once
 
+#include "units/units.hpp"
+
 namespace safe::control {
 
 struct LaneKeepingParameters {
-  double heading_gain = 1.0;     ///< k_psi
-  double crosstrack_gain = 0.8;  ///< k_e
-  double softening_mps = 1.0;    ///< v_soft (low-speed conditioning)
-  double max_steer_rad = 0.5;
+  double heading_gain = 1.0;     ///< k_psi (dimensionless)
+  double crosstrack_gain = 0.8;  ///< k_e, 1/m per (m/s).
+  units::MetersPerSecond softening_mps{1.0};  ///< v_soft (low-speed conditioning)
+  units::Radians max_steer_rad{0.5};
 };
 
 /// Throws std::invalid_argument for non-positive gains.
 void validate_parameters(const LaneKeepingParameters& params);
 
-/// Steering command from measured lateral offset (m, + = left of center),
-/// heading error (rad), and speed.
-double lane_keeping_steer(const LaneKeepingParameters& params,
-                          double lateral_offset_m, double heading_error_rad,
-                          double speed_mps);
+/// Steering command from the measured lateral offset (+ = left of center),
+/// heading error, and speed.
+units::Radians lane_keeping_steer(const LaneKeepingParameters& params,
+                                  units::Meters lateral_offset,
+                                  units::Radians heading_error,
+                                  units::MetersPerSecond speed);
 
 }  // namespace safe::control

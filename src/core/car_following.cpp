@@ -8,6 +8,8 @@
 
 namespace safe::core {
 
+namespace units = safe::units;
+
 std::vector<std::string> CarFollowingResult::columns() {
   return {
       "time_s",       "true_gap_m",  "true_dv_mps",  "meas_gap_m",
@@ -32,16 +34,17 @@ CarFollowingSimulation::CarFollowingSimulation(
   if (!schedule_) {
     throw std::invalid_argument("CarFollowingSimulation: null schedule");
   }
-  if (config_.horizon_steps <= 0 || config_.sample_time_s <= 0.0) {
+  if (config_.horizon_steps <= 0 ||
+      config_.sample_time_s <= units::Seconds{0.0}) {
     throw std::invalid_argument("CarFollowingSimulation: bad horizon/T");
   }
-  if (config_.initial_gap_m <= 0.0) {
+  if (config_.initial_gap_m <= units::Meters{0.0}) {
     throw std::invalid_argument("CarFollowingSimulation: bad initial gap");
   }
 }
 
 CarFollowingResult CarFollowingSimulation::run() {
-  const double t_sample = config_.sample_time_s;
+  const units::Seconds t_sample = config_.sample_time_s;
   const radar::FmcwParameters& wf = config_.radar.waveform;
 
   radar::RadarProcessor radar(config_.radar, config_.seed);
@@ -57,7 +60,7 @@ CarFollowingResult CarFollowingSimulation::run() {
 
   vehicle::VehicleState leader{.position_m = config_.initial_gap_m,
                                .velocity_mps = config_.leader_speed_mps};
-  vehicle::VehicleState follower{.position_m = 0.0,
+  vehicle::VehicleState follower{.position_m = units::Meters{0.0},
                                  .velocity_mps = config_.follower_speed_mps};
 
   CarFollowingResult result;
@@ -65,21 +68,22 @@ CarFollowingResult CarFollowingSimulation::run() {
 
   // Undefended runs still need target tracking across challenge slots and
   // dropouts: a real radar holds its last track briefly.
-  double held_gap = config_.initial_gap_m;
-  double held_dv = vehicle::relative_velocity_mps(leader, follower);
+  units::Meters held_gap = config_.initial_gap_m;
+  units::MetersPerSecond held_dv = vehicle::relative_velocity(leader, follower);
   bool held_valid = false;
 
   for (std::int64_t k = 0; k < config_.horizon_steps; ++k) {
-    const double t = static_cast<double>(k) * t_sample;
+    const units::Seconds t = static_cast<double>(k) * t_sample;
 
     // --- Leader dynamics (Eq. 15).
     if (!result.collided) {
-      leader = vehicle::step(leader, leader_profile_->acceleration_mps2(t),
+      leader = vehicle::step(leader, leader_profile_->acceleration(t),
                              t_sample);
     }
 
-    const double true_gap = vehicle::gap_m(leader, follower);
-    const double true_dv = vehicle::relative_velocity_mps(leader, follower);
+    const units::Meters true_gap = vehicle::gap(leader, follower);
+    const units::MetersPerSecond true_dv =
+        vehicle::relative_velocity(leader, follower);
 
     // --- RF scene: genuine echo if the probe radiates and the target is in
     // the radar's range window.
@@ -154,13 +158,14 @@ CarFollowingResult CarFollowingSimulation::run() {
 
     // Audit what the controller is about to consume: with the defense on,
     // the health monitor must have filtered every non-finite value.
-    if (inputs.target_present && (!std::isfinite(inputs.distance_m) ||
-                                  !std::isfinite(inputs.relative_velocity_mps))) {
+    if (inputs.target_present &&
+        (!std::isfinite(inputs.distance_m.value()) ||
+         !std::isfinite(inputs.relative_velocity_mps.value()))) {
       ++result.nonfinite_controller_inputs;
     }
 
     // --- Follower controller + dynamics (Eqs. 13-17, or IDM baseline).
-    double follower_accel;
+    units::MetersPerSecond2 follower_accel;
     if (config_.controller == FollowerController::kAccHierarchy) {
       follower_accel = acc.step(inputs).actuation.actual_accel_mps2;
     } else {
@@ -177,9 +182,9 @@ CarFollowingResult CarFollowingSimulation::run() {
       follower = vehicle::step(follower, follower_accel, t_sample);
     }
 
-    const double gap_after = vehicle::gap_m(leader, follower);
-    result.min_gap_m = std::min(result.min_gap_m, gap_after);
-    if (!result.collided && gap_after <= 0.0) {
+    const units::Meters gap_after = vehicle::gap(leader, follower);
+    result.min_gap_m = units::min(result.min_gap_m, gap_after);
+    if (!result.collided && gap_after <= units::Meters{0.0}) {
       result.collided = true;
       result.collision_step = k;
     }
@@ -189,16 +194,16 @@ CarFollowingResult CarFollowingSimulation::run() {
     // the possibly-corrupted estimate whenever anything radiated.
     const bool receiver_output = meas.nonzero_output();
     result.trace.append_row({
-        t,
-        true_gap,
-        true_dv,
-        receiver_output ? meas.estimate.distance_m : 0.0,
-        receiver_output ? meas.estimate.range_rate_mps : 0.0,
-        safe.distance_m,
-        safe.relative_velocity_mps,
-        leader.velocity_mps,
-        follower.velocity_mps,
-        follower.acceleration_mps2,
+        t.value(),
+        true_gap.value(),
+        true_dv.value(),
+        receiver_output ? meas.estimate.distance_m.value() : 0.0,
+        receiver_output ? meas.estimate.range_rate_mps.value() : 0.0,
+        safe.distance_m.value(),
+        safe.relative_velocity_mps.value(),
+        leader.velocity_mps.value(),
+        follower.velocity_mps.value(),
+        follower.acceleration_mps2.value(),
         safe.challenge_slot ? 1.0 : 0.0,
         safe.under_attack ? 1.0 : 0.0,
         safe.estimated ? 1.0 : 0.0,

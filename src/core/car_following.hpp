@@ -29,11 +29,11 @@ enum class FollowerController {
 
 struct CarFollowingConfig {
   /// Initial speeds (paper: leader 65 mph, follower set speed 67 mph).
-  double leader_speed_mps = 29.0576;
-  double follower_speed_mps = 29.0576;
-  double initial_gap_m = 100.0;
+  units::MetersPerSecond leader_speed_mps{29.0576};
+  units::MetersPerSecond follower_speed_mps{29.0576};
+  units::Meters initial_gap_m{100.0};
   std::int64_t horizon_steps = 300;
-  double sample_time_s = 1.0;
+  units::Seconds sample_time_s{1.0};
   double target_rcs_m2 = 10.0;
 
   FollowerController controller = FollowerController::kAccHierarchy;
@@ -66,7 +66,7 @@ struct CarFollowingResult {
   std::optional<std::int64_t> collision_step;
   std::optional<std::int64_t> detection_step;
   cra::DetectionStats detection_stats;
-  double min_gap_m = 0.0;
+  units::Meters min_gap_m{0.0};
   /// Health / degradation outcome of the run.
   HealthStats health_stats;
   std::size_t safe_stop_steps = 0;       ///< Steps spent in DEGRADED_SAFE_STOP.

@@ -4,7 +4,7 @@
 
 namespace safe::core {
 
-namespace units = safe::sim::units;
+namespace units = safe::units;
 
 const char* to_string(DegradationState state) {
   switch (state) {
@@ -32,21 +32,25 @@ estimation::InnovationGate::Options gate_options(const HealthOptions& o,
 
 HealthMonitor::HealthMonitor(const HealthOptions& options)
     : options_(options),
-      distance_gate_(gate_options(options, options.innovation_floor_m)),
-      velocity_gate_(gate_options(options, options.innovation_floor_mps)) {}
+      distance_gate_(
+          gate_options(options, options.innovation_floor_m.value())),
+      velocity_gate_(
+          gate_options(options, options.innovation_floor_mps.value())) {}
 
-HealthMonitor::Verdict HealthMonitor::validate(double distance_m,
-                                               double velocity_mps,
+HealthMonitor::Verdict HealthMonitor::validate(Meters distance,
+                                               MetersPerSecond velocity,
                                                bool has_reference,
-                                               double last_distance_m,
-                                               double last_velocity_mps) {
+                                               Meters last_distance,
+                                               MetersPerSecond last_velocity) {
+  const double distance_m = distance.value();
+  const double velocity_mps = velocity.value();
   if (options_.validate_measurements) {
     if (!std::isfinite(distance_m) || !std::isfinite(velocity_mps)) {
       ++stats_.rejected_nonfinite;
       return Verdict::kRejectNonFinite;
     }
-    if (!units::plausible_range_m(distance_m, options_.max_range_m) ||
-        !units::plausible_speed_mps(velocity_mps, options_.max_speed_mps)) {
+    if (!units::plausible_range(distance, options_.max_range_m) ||
+        !units::plausible_speed(velocity, options_.max_speed_mps)) {
       ++stats_.rejected_out_of_range;
       return Verdict::kRejectRange;
     }
@@ -54,14 +58,14 @@ HealthMonitor::Verdict HealthMonitor::validate(double distance_m,
   if (options_.max_identical_measurements > 0) {
     // Frozen-stream check on the raw report stream: exact repeats beyond
     // what noise could ever produce mean a stuck tracker or a dead clock.
-    if (has_prev_measurement_ && distance_m == prev_distance_ &&
-        velocity_mps == prev_velocity_) {
+    if (has_prev_measurement_ && distance == prev_distance_ &&
+        velocity == prev_velocity_) {
       ++identical_run_;
     } else {
       identical_run_ = 0;
     }
-    prev_distance_ = distance_m;
-    prev_velocity_ = velocity_mps;
+    prev_distance_ = distance;
+    prev_velocity_ = velocity;
     has_prev_measurement_ = true;
     if (identical_run_ >= options_.max_identical_measurements) {
       ++stats_.rejected_stuck;
@@ -71,9 +75,10 @@ HealthMonitor::Verdict HealthMonitor::validate(double distance_m,
   if (options_.innovation_threshold > 0.0 && has_reference) {
     // Gate both channels; feed the second gate regardless so its variance
     // estimate tracks even when the first channel rejects.
-    const bool d_outlier = distance_gate_.observe(distance_m - last_distance_m);
+    const bool d_outlier =
+        distance_gate_.observe(distance_m - last_distance.value());
     const bool v_outlier =
-        velocity_gate_.observe(velocity_mps - last_velocity_mps);
+        velocity_gate_.observe(velocity_mps - last_velocity.value());
     if (d_outlier || v_outlier) {
       ++innovation_streak_;
       if (options_.innovation_max_consecutive_rejections > 0 &&
@@ -96,12 +101,12 @@ HealthMonitor::Verdict HealthMonitor::validate(double distance_m,
   return Verdict::kAccept;
 }
 
-bool HealthMonitor::prediction_ok(double distance_m,
-                                  double velocity_mps) const {
-  return std::isfinite(distance_m) && std::isfinite(velocity_mps) &&
-         units::plausible_range_m(std::fmax(distance_m, 0.0),
-                                  options_.max_range_m) &&
-         units::plausible_speed_mps(velocity_mps, options_.max_speed_mps);
+bool HealthMonitor::prediction_ok(Meters distance,
+                                  MetersPerSecond velocity) const {
+  return std::isfinite(distance.value()) && std::isfinite(velocity.value()) &&
+         units::plausible_range(Meters{std::fmax(distance.value(), 0.0)},
+                                options_.max_range_m) &&
+         units::plausible_speed(velocity, options_.max_speed_mps);
 }
 
 void HealthMonitor::note_holdover_step() {
@@ -122,8 +127,8 @@ void HealthMonitor::reset() {
   distance_gate_.reset();
   velocity_gate_.reset();
   innovation_streak_ = 0;
-  prev_distance_ = 0.0;
-  prev_velocity_ = 0.0;
+  prev_distance_ = units::Meters{0.0};
+  prev_velocity_ = units::MetersPerSecond{0.0};
   has_prev_measurement_ = false;
   identical_run_ = 0;
   holdover_steps_ = 0;

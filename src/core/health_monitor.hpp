@@ -19,9 +19,12 @@
 #include <string>
 
 #include "estimation/chi_square.hpp"
-#include "sim/units.hpp"
+#include "units/units.hpp"
 
 namespace safe::core {
+
+using units::Meters;
+using units::MetersPerSecond;
 
 /// Pipeline degradation level, ordered by severity. Reported in every
 /// SafeMeasurement so controllers, traces, and benches observe the machine.
@@ -39,8 +42,8 @@ struct HealthOptions {
   /// reach the predictors or the controller. Always safe to leave on: valid
   /// radar reports are never rejected.
   bool validate_measurements = true;
-  double max_range_m = sim::units::kMaxPlausibleRangeM;
-  double max_speed_mps = sim::units::kMaxPlausibleSpeedMps;
+  Meters max_range_m = units::kMaxPlausibleRange;
+  MetersPerSecond max_speed_mps = units::kMaxPlausibleSpeed;
 
   /// chi^2_1 threshold for the per-channel innovation gate on trusted
   /// samples; <= 0 disables the gate (paper behaviour). When enabled, a
@@ -59,8 +62,8 @@ struct HealthOptions {
   /// smooth, so a learned variance alone can make an ordinary maneuver look
   /// like a 100-sigma event; the floors define the smallest per-step jump
   /// ever worth flagging.
-  double innovation_floor_m = 0.5;
-  double innovation_floor_mps = 0.5;
+  Meters innovation_floor_m{0.5};
+  MetersPerSecond innovation_floor_mps{0.5};
   /// Consecutive bit-identical (distance, velocity) reports tolerated
   /// before the stream is declared frozen (stuck tracker, dead clock) and
   /// further repeats are quarantined; 0 = off. Real radar noise never
@@ -106,13 +109,14 @@ class HealthMonitor {
   /// innovation gates absorb the sample; rejected samples never touch gate
   /// state. `has_reference` supplies the last trusted values for the
   /// innovation check.
-  Verdict validate(double distance_m, double velocity_mps, bool has_reference,
-                   double last_distance_m, double last_velocity_mps);
+  Verdict validate(Meters distance, MetersPerSecond velocity,
+                   bool has_reference, Meters last_distance,
+                   MetersPerSecond last_velocity);
 
   /// True when a free-run prediction is finite and physically plausible;
   /// false means the predictor has diverged and must be re-trained.
-  [[nodiscard]] bool prediction_ok(double distance_m,
-                                   double velocity_mps) const;
+  [[nodiscard]] bool prediction_ok(Meters distance,
+                                   MetersPerSecond velocity) const;
 
   /// Accounts one estimated (holdover) step; enters safe stop once the
   /// budget is exhausted.
@@ -137,8 +141,8 @@ class HealthMonitor {
   estimation::InnovationGate distance_gate_;
   estimation::InnovationGate velocity_gate_;
   std::size_t innovation_streak_ = 0;  ///< Consecutive gate rejections.
-  double prev_distance_ = 0.0;         ///< Frozen-stream tracking.
-  double prev_velocity_ = 0.0;
+  units::Meters prev_distance_{0.0};   ///< Frozen-stream tracking.
+  units::MetersPerSecond prev_velocity_{0.0};
   bool has_prev_measurement_ = false;
   std::size_t identical_run_ = 0;
   std::size_t holdover_steps_ = 0;

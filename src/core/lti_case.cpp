@@ -79,7 +79,8 @@ LtiCaseResult LtiSecureCase::run() {
   for (std::int64_t k = 0; k < config_.horizon_steps; ++k) {
     const bool challenge = schedule_->is_challenge(k);
     const bool attack_active =
-        attack_ && attack_->window.contains(static_cast<double>(k));
+        attack_ &&
+        attack_->window.contains(safe::units::Seconds{static_cast<double>(k)});
 
     // --- Sensor output y' (Eq. 4) with CRA probe gating.
     const RVector y_true = plant.true_output();

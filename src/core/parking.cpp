@@ -7,6 +7,8 @@
 
 namespace safe::core {
 
+namespace units = safe::units;
+
 ParkingResult::ParkingResult()
     : trace({"time_s", "clearance_m", "measured_m", "used_m", "speed_mps",
              "challenge", "under_attack"}) {}
@@ -24,10 +26,12 @@ ParkingSimulation::ParkingSimulation(
   if (config_.initial_clearance_m <= config_.stop_distance_m) {
     throw std::invalid_argument("ParkingSimulation: nothing to approach");
   }
-  if (config_.sample_time_s <= 0.0 || config_.horizon_steps <= 0) {
+  if (config_.sample_time_s <= units::Seconds{0.0} ||
+      config_.horizon_steps <= 0) {
     throw std::invalid_argument("ParkingSimulation: bad time base");
   }
-  if (config_.approach_gain <= 0.0 || config_.max_speed_mps <= 0.0) {
+  if (config_.approach_gain <= 0.0 ||
+      config_.max_speed_mps <= units::MetersPerSecond{0.0}) {
     throw std::invalid_argument("ParkingSimulation: bad controller");
   }
 }
@@ -37,7 +41,7 @@ ParkingResult ParkingSimulation::run() {
   cra::ChallengeResponseDetector detector;
   estimation::RlsArPredictor predictor;
   std::size_t trained = 0;
-  double last_trusted = config_.initial_clearance_m;
+  double last_trusted = config_.initial_clearance_m.value();
 
   // Rollback snapshot at verified-clean challenges (same policy as the
   // radar pipeline).
@@ -46,28 +50,29 @@ ParkingResult ParkingSimulation::run() {
   double snapshot_last = last_trusted;
   std::int64_t snapshot_step = -1;
 
-  double clearance = config_.initial_clearance_m;
+  double clearance = config_.initial_clearance_m.value();
   ParkingResult result;
 
   for (std::int64_t k = 0; k < config_.horizon_steps; ++k) {
-    const double t = static_cast<double>(k) * config_.sample_time_s;
+    const double t = static_cast<double>(k) * config_.sample_time_s.value();
     const bool challenge = schedule_->is_challenge(k);
     // Post-collision the run is frozen and the attacker stops radiating;
     // scoring must match what actually reaches the receiver.
-    const bool attack_active = attack_ &&
-                               attack_->window.contains(static_cast<double>(k)) &&
-                               !result.collided;
+    const bool attack_active =
+        attack_ &&
+        attack_->window.contains(units::Seconds{static_cast<double>(k)}) &&
+        !result.collided;
 
     // --- Acoustic/optical scene.
     radar::EchoScene scene;
     scene.tx_enabled = !challenge;
     scene.noise_power_w = config_.sensor.noise_floor_w;
-    const bool in_window = clearance >= config_.sensor.min_range_m &&
-                           clearance <= config_.sensor.max_range_m;
+    const bool in_window = clearance >= config_.sensor.min_range_m.value() &&
+                           clearance <= config_.sensor.max_range_m.value();
     if (scene.tx_enabled && in_window && !result.collided) {
       scene.echoes.push_back(radar::EchoComponent{
-          .distance_m = clearance,
-          .range_rate_mps = 0.0,
+          .distance_m = units::Meters{clearance},
+          .range_rate_mps = units::MetersPerSecond{0.0},
           .power_w = 0.0,  // sensor's own link budget
       });
     }
@@ -77,12 +82,13 @@ ParkingResult ParkingSimulation::run() {
         // challenge slots (replay latency, Section 5.2).
         scene.echoes.clear();
         scene.echoes.push_back(radar::EchoComponent{
-            .distance_m = clearance + attack_->spoof_offset_m,
-            .range_rate_mps = 0.0,
-            .power_w =
-                10.0 * sensors::tof_received_power_w(
-                           config_.sensor,
-                           std::max(clearance, config_.sensor.min_range_m)),
+            .distance_m =
+                units::Meters{clearance} + attack_->spoof_offset_m,
+            .range_rate_mps = units::MetersPerSecond{0.0},
+            .power_w = 10.0 * sensors::tof_received_power_w(
+                                  config_.sensor,
+                                  units::max(units::Meters{clearance},
+                                             config_.sensor.min_range_m)),
         });
       } else {
         scene.noise_power_w += attack_->blinder_power_w;
@@ -118,7 +124,7 @@ ParkingResult ParkingSimulation::run() {
         snapshot_step = k;
       }
     } else if (meas.target_detected) {
-      used = meas.distance_m;
+      used = meas.distance_m.value();
       if (config_.defense_enabled) {
         predictor.observe(used);
         ++trained;
@@ -131,23 +137,23 @@ ParkingResult ParkingSimulation::run() {
 
     // --- Proportional approach control.
     const double v_cmd = std::clamp(
-        config_.approach_gain * (used - config_.stop_distance_m), 0.0,
-        config_.max_speed_mps);
+        config_.approach_gain * (used - config_.stop_distance_m.value()), 0.0,
+        config_.max_speed_mps.value());
     if (!result.collided) {
-      clearance -= v_cmd * config_.sample_time_s;
+      clearance -= v_cmd * config_.sample_time_s.value();
       if (clearance <= 0.0) {
         clearance = 0.0;
         result.collided = true;
       }
     }
 
-    result.trace.append_row({t, clearance,
-                             meas.target_detected ? meas.distance_m : 0.0,
-                             used, v_cmd, challenge ? 1.0 : 0.0,
-                             decision.under_attack ? 1.0 : 0.0});
+    result.trace.append_row(
+        {t, clearance, meas.target_detected ? meas.distance_m.value() : 0.0,
+         used, v_cmd, challenge ? 1.0 : 0.0,
+         decision.under_attack ? 1.0 : 0.0});
   }
 
-  result.final_clearance_m = clearance;
+  result.final_clearance_m = units::Meters{clearance};
   result.detection_step = detector.detection_step();
   result.detection_stats = detector.stats();
   return result;

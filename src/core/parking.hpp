@@ -25,7 +25,7 @@ struct ParkingAttack {
   enum class Kind { kSpoof, kDos };
   Kind kind = Kind::kSpoof;
   attack::AttackWindow window{};
-  double spoof_offset_m = 1.0;  ///< Apparent extra clearance.
+  units::Meters spoof_offset_m{1.0};  ///< Apparent extra clearance.
   /// DoS noise power at the receiver. The default is strong enough that
   /// the echo cannot burn through anywhere inside the sensor's range
   /// window (a weaker blinder is defeated by the d^-4 echo growth at very
@@ -35,11 +35,11 @@ struct ParkingAttack {
 
 struct ParkingConfig {
   sensors::TofSensorParameters sensor = sensors::ultrasonic_parameters();
-  double initial_clearance_m = 4.0;
-  double stop_distance_m = 0.35;
-  double approach_gain = 0.8;      ///< v_cmd = gain * (d - stop).
-  double max_speed_mps = 0.6;
-  double sample_time_s = 0.1;
+  units::Meters initial_clearance_m{4.0};
+  units::Meters stop_distance_m{0.35};
+  double approach_gain = 0.8;      ///< v_cmd = gain * (d - stop), 1/s.
+  units::MetersPerSecond max_speed_mps{0.6};
+  units::Seconds sample_time_s{0.1};
   std::int64_t horizon_steps = 200;
   std::uint64_t seed = 1;
   bool defense_enabled = true;
@@ -49,7 +49,7 @@ struct ParkingConfig {
 struct ParkingResult {
   sim::Trace trace;
   bool collided = false;                      ///< Clearance reached zero.
-  double final_clearance_m = 0.0;
+  units::Meters final_clearance_m{0.0};
   std::optional<std::int64_t> detection_step;
   cra::DetectionStats detection_stats;
 

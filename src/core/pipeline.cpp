@@ -69,8 +69,10 @@ void SafeMeasurementPipeline::restore_snapshot(std::int64_t detection_step) {
   // verified-clean challenge and detection are discarded as suspect). The
   // snapshot already covers its own slot, so advance from the next step.
   for (std::int64_t k = *snapshot_step_ + 1; k < detection_step; ++k) {
-    state_.last_distance = std::max(distance_predictor_->predict_next(), 0.0);
-    state_.last_velocity = velocity_predictor_->predict_next();
+    state_.last_distance =
+        Meters{std::max(distance_predictor_->predict_next(), 0.0)};
+    state_.last_velocity =
+        MetersPerSecond{velocity_predictor_->predict_next()};
   }
 }
 
@@ -80,7 +82,7 @@ void SafeMeasurementPipeline::hold_over(SafeMeasurement& out,
   if (can_estimate) {
     double d = distance_predictor_->predict_next();
     double v = velocity_predictor_->predict_next();
-    if (!health_.prediction_ok(d, v)) {
+    if (!health_.prediction_ok(Meters{d}, MetersPerSecond{v})) {
       // The free-run diverged (non-finite or non-physical): re-train from
       // scratch instead of feeding garbage to the controller, and fall back
       // to the last trusted values for this step.
@@ -88,17 +90,17 @@ void SafeMeasurementPipeline::hold_over(SafeMeasurement& out,
       velocity_predictor_->reset();
       state_.trained_samples = 0;
       health_.record_predictor_reset();
-      d = state_.last_distance;
-      v = state_.last_velocity;
+      d = state_.last_distance.value();
+      v = state_.last_velocity.value();
     } else {
       // Distances are physical ranges: clamp the free-run at zero.
       d = std::max(d, 0.0);
     }
-    out.distance_m = d;
-    out.relative_velocity_mps = v;
+    out.distance_m = Meters{d};
+    out.relative_velocity_mps = MetersPerSecond{v};
     out.estimated = true;
-    state_.last_distance = d;
-    state_.last_velocity = v;
+    state_.last_distance = out.distance_m;
+    state_.last_velocity = out.relative_velocity_mps;
   } else {
     out.distance_m = state_.last_distance;
     out.relative_velocity_mps = state_.last_velocity;
@@ -145,8 +147,8 @@ SafeMeasurement SafeMeasurementPipeline::finish(
       out.target_present = true;
       out.distance_m = measurement.estimate.distance_m;
       out.relative_velocity_mps = measurement.estimate.range_rate_mps;
-      distance_predictor_->observe(out.distance_m);
-      velocity_predictor_->observe(out.relative_velocity_mps);
+      distance_predictor_->observe(out.distance_m.value());
+      velocity_predictor_->observe(out.relative_velocity_mps.value());
       ++state_.trained_samples;
       state_.had_target = true;
       state_.last_distance = out.distance_m;

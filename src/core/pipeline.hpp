@@ -33,8 +33,8 @@ namespace safe::core {
 /// What the pipeline hands to the controller each step.
 struct SafeMeasurement {
   bool target_present = false;     ///< Controller should track a target.
-  double distance_m = 0.0;         ///< d (measured or estimated)
-  double relative_velocity_mps = 0.0;  ///< dv (measured or estimated)
+  Meters distance_m{0.0};          ///< d (measured or estimated)
+  MetersPerSecond relative_velocity_mps{0.0};  ///< dv (estimated or not)
   bool estimated = false;          ///< Values came from the RLS holdover.
   bool under_attack = false;       ///< Detector state after this step.
   bool challenge_slot = false;     ///< Probe was suppressed this step.
@@ -124,8 +124,8 @@ class SafeMeasurementPipeline {
   struct TrustedState {
     std::size_t trained_samples = 0;
     bool had_target = false;
-    double last_distance = 0.0;
-    double last_velocity = 0.0;
+    units::Meters last_distance{0.0};
+    units::MetersPerSecond last_velocity{0.0};
   };
 
   void take_snapshot(std::int64_t step);

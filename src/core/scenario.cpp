@@ -4,20 +4,20 @@
 #include "attack/dos_jammer.hpp"
 #include "attack/window.hpp"
 #include "radar/link_budget.hpp"
-#include "sim/units.hpp"
+#include "units/units.hpp"
 
 namespace safe::core {
 
-namespace units = safe::sim::units;
+namespace units = safe::units;
 
 Scenario make_paper_scenario(const ScenarioOptions& options) {
   Scenario s;
 
-  s.config.leader_speed_mps = units::mph_to_mps(65.0);
-  s.config.follower_speed_mps = units::mph_to_mps(65.0);
-  s.config.initial_gap_m = 100.0;
+  s.config.leader_speed_mps = units::from_mph(65.0);
+  s.config.follower_speed_mps = units::from_mph(65.0);
+  s.config.initial_gap_m = units::Meters{100.0};
   s.config.horizon_steps = options.horizon_steps;
-  s.config.sample_time_s = 1.0;
+  s.config.sample_time_s = units::Seconds{1.0};
   s.config.seed = options.seed;
   s.config.defense_enabled = options.defense_enabled;
   s.config.pipeline = options.pipeline;
@@ -26,14 +26,14 @@ Scenario make_paper_scenario(const ScenarioOptions& options) {
         fault::parse_fault_spec(options.fault_spec, options.seed));
   }
 
-  s.config.acc.set_speed_mps = units::mph_to_mps(67.0);
+  s.config.acc.set_speed_mps = units::from_mph(67.0);
   // A bounded holdover budget is the graceful-degradation opt-in; pair it
   // with the conservative controller policy so a drifting free-run (or a
   // dead sensor reporting "no target") cannot command acceleration.
   s.config.acc.hold_speed_on_degraded_holdover =
       options.pipeline.health.max_holdover_steps > 0;
   if (options.pipeline.health.max_holdover_steps > 0) {
-    s.config.acc.emergency_headway_s = 0.5;
+    s.config.acc.emergency_headway_s = units::Seconds{0.5};
   }
 
   s.config.radar.waveform = radar::bosch_lrr2_parameters();

@@ -27,8 +27,8 @@ struct ScenarioOptions {
   AttackKind attack = AttackKind::kNone;
   /// Paper timings: DoS begins at k = 182, delay injection at k = 180; both
   /// persist to the end of the 300 s horizon.
-  double attack_start_s = 182.0;
-  double attack_end_s = 300.0;
+  units::Seconds attack_start_s{182.0};
+  units::Seconds attack_end_s{300.0};
   bool defense_enabled = true;
   /// Periodogram is ~20x faster than root-MUSIC with nearly identical
   /// closed-loop behaviour; tests use it, benches reproduce the paper with

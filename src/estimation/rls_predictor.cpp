@@ -94,14 +94,14 @@ void RlsArPredictor::reset() {
 
 RlsPolyPredictor::RlsPolyPredictor(const RlsPolyOptions& options)
     : options_(options), filter_(options.degree + 1, options.rls) {
-  if (options_.time_scale <= 0.0) {
+  if (options_.time_scale <= safe::units::Seconds{0.0}) {
     throw std::invalid_argument("RlsPolyPredictor: time scale must be > 0");
   }
 }
 
 RVector RlsPolyPredictor::regressor(double t) const {
   RVector h(options_.degree + 1);
-  const double ts = t / options_.time_scale;
+  const double ts = t / options_.time_scale.value();
   double power = 1.0;
   for (std::size_t i = 0; i <= options_.degree; ++i) {
     h[i] = power;

@@ -15,6 +15,7 @@
 
 #include "estimation/rls.hpp"
 #include "estimation/series_predictor.hpp"
+#include "units/units.hpp"
 
 namespace safe::estimation {
 
@@ -75,7 +76,7 @@ struct RlsPolyOptions {
   std::size_t degree = 1;  ///< Trend polynomial degree (1 = linear).
   RlsOptions rls{.forgetting_factor = 0.9, .initial_covariance = 100.0};
   /// Time scale for numerical conditioning of t^n terms.
-  double time_scale = 100.0;
+  units::Seconds time_scale{100.0};
 };
 
 class RlsPolyPredictor final : public SeriesPredictor {

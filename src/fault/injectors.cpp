@@ -6,6 +6,8 @@
 
 namespace safe::fault {
 
+namespace units = safe::units;
+
 namespace {
 
 /// Wipes a measurement down to "receiver saw nothing".
@@ -44,49 +46,51 @@ void NonFiniteFault::apply(const FaultContext& context,
   if (!window_.active(context.step)) return;
   const double bad = use_inf_ ? std::numeric_limits<double>::infinity()
                               : std::numeric_limits<double>::quiet_NaN();
-  measurement.estimate.distance_m = bad;
-  measurement.estimate.range_rate_mps = bad;
+  measurement.estimate.distance_m = units::Meters{bad};
+  measurement.estimate.range_rate_mps = units::MetersPerSecond{bad};
   // The receiver still believes it locked onto something: the hazard this
   // fault exercises is a consumer trusting coherent_echo alone.
   measurement.coherent_echo = true;
 }
 
 BiasRampFault::BiasRampFault(FaultWindow window,
-                             double distance_slope_m_per_step,
-                             double velocity_slope_mps_per_step)
+                             units::Meters distance_slope_per_step,
+                             units::MetersPerSecond velocity_slope_per_step)
     : window_(window),
-      distance_slope_(distance_slope_m_per_step),
-      velocity_slope_(velocity_slope_mps_per_step) {}
+      distance_slope_(distance_slope_per_step),
+      velocity_slope_(velocity_slope_per_step) {}
 
 void BiasRampFault::apply(const FaultContext& context,
                           radar::RadarMeasurement& measurement) const {
   if (!window_.active(context.step) || !measurement.coherent_echo) return;
   const double age = static_cast<double>(context.step - window_.start);
-  measurement.estimate.distance_m += distance_slope_ * age;
-  measurement.estimate.range_rate_mps += velocity_slope_ * age;
+  measurement.estimate.distance_m += units::Meters{distance_slope_.value() * age};
+  measurement.estimate.range_rate_mps +=
+      units::MetersPerSecond{velocity_slope_.value() * age};
 }
 
 QuantizeSaturateFault::QuantizeSaturateFault(FaultWindow window,
-                                             double distance_step_m,
-                                             double max_distance_m,
-                                             double max_speed_mps)
+                                             units::Meters distance_step,
+                                             units::Meters max_distance,
+                                             units::MetersPerSecond max_speed)
     : window_(window),
-      distance_step_m_(std::max(distance_step_m, 0.0)),
-      max_distance_m_(max_distance_m),
-      max_speed_mps_(max_speed_mps) {}
+      distance_step_m_(std::max(distance_step.value(), 0.0)),
+      max_distance_m_(max_distance),
+      max_speed_mps_(max_speed) {}
 
 void QuantizeSaturateFault::apply(const FaultContext& context,
                                   radar::RadarMeasurement& measurement) const {
   if (!window_.active(context.step) || !measurement.coherent_echo) return;
-  double d = measurement.estimate.distance_m;
-  double v = measurement.estimate.range_rate_mps;
-  if (distance_step_m_ > 0.0) {
-    d = std::round(d / distance_step_m_) * distance_step_m_;
+  double d = measurement.estimate.distance_m.value();
+  double v = measurement.estimate.range_rate_mps.value();
+  if (distance_step_m_ > units::Meters{0.0}) {
+    const double step = distance_step_m_.value();
+    d = std::round(d / step) * step;
   }
-  d = std::clamp(d, 0.0, max_distance_m_);
-  v = std::clamp(v, -max_speed_mps_, max_speed_mps_);
-  measurement.estimate.distance_m = d;
-  measurement.estimate.range_rate_mps = v;
+  d = std::clamp(d, 0.0, max_distance_m_.value());
+  v = std::clamp(v, -max_speed_mps_.value(), max_speed_mps_.value());
+  measurement.estimate.distance_m = units::Meters{d};
+  measurement.estimate.range_rate_mps = units::MetersPerSecond{v};
 }
 
 ChallengeFlappingFault::ChallengeFlappingFault(FaultWindow window)

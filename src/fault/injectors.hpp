@@ -5,6 +5,7 @@
 #pragma once
 
 #include "fault/fault.hpp"
+#include "units/units.hpp"
 
 namespace safe::fault {
 
@@ -60,8 +61,9 @@ class NonFiniteFault final : public FaultInjector {
 /// additive ramp growing `slope` per step from window start.
 class BiasRampFault final : public FaultInjector {
  public:
-  BiasRampFault(FaultWindow window, double distance_slope_m_per_step,
-                double velocity_slope_mps_per_step = 0.0);
+  BiasRampFault(FaultWindow window, units::Meters distance_slope_per_step,
+                units::MetersPerSecond velocity_slope_per_step =
+                    units::MetersPerSecond{0.0});
 
   void apply(const FaultContext& context,
              radar::RadarMeasurement& measurement) const override;
@@ -69,16 +71,17 @@ class BiasRampFault final : public FaultInjector {
 
  private:
   FaultWindow window_;
-  double distance_slope_;
-  double velocity_slope_;
+  units::Meters distance_slope_;
+  units::MetersPerSecond velocity_slope_;
 };
 
 /// ADC degradation: estimates are quantized to a coarse grid and saturated
 /// at hard rails.
 class QuantizeSaturateFault final : public FaultInjector {
  public:
-  QuantizeSaturateFault(FaultWindow window, double distance_step_m,
-                        double max_distance_m, double max_speed_mps);
+  QuantizeSaturateFault(FaultWindow window, units::Meters distance_step,
+                        units::Meters max_distance,
+                        units::MetersPerSecond max_speed);
 
   void apply(const FaultContext& context,
              radar::RadarMeasurement& measurement) const override;
@@ -86,9 +89,9 @@ class QuantizeSaturateFault final : public FaultInjector {
 
  private:
   FaultWindow window_;
-  double distance_step_m_;
-  double max_distance_m_;
-  double max_speed_mps_;
+  units::Meters distance_step_m_;
+  units::Meters max_distance_m_;
+  units::MetersPerSecond max_speed_mps_;
 };
 
 /// Challenge-slot flapping: at in-window challenge slots the receiver output

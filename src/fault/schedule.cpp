@@ -103,12 +103,14 @@ FaultInjectorPtr build_injector(const std::string& kind, KeyValues kv,
   } else if (kind == "inf") {
     injector = std::make_shared<NonFiniteFault>(window, /*use_inf=*/true);
   } else if (kind == "bias") {
-    injector = std::make_shared<BiasRampFault>(window, take(kv, "slope", 0.5),
-                                               take(kv, "vslope", 0.0));
+    injector = std::make_shared<BiasRampFault>(
+        window, units::Meters{take(kv, "slope", 0.5)},
+        units::MetersPerSecond{take(kv, "vslope", 0.0)});
   } else if (kind == "quantize") {
     injector = std::make_shared<QuantizeSaturateFault>(
-        window, take(kv, "step", 4.0), take(kv, "max", 120.0),
-        take(kv, "vmax", 30.0));
+        window, units::Meters{take(kv, "step", 4.0)},
+        units::Meters{take(kv, "max", 120.0)},
+        units::MetersPerSecond{take(kv, "vmax", 30.0)});
   } else if (kind == "flap") {
     injector = std::make_shared<ChallengeFlappingFault>(window);
   } else if (kind == "skip") {

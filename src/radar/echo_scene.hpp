@@ -8,12 +8,14 @@
 
 #include <vector>
 
+#include "units/units.hpp"
+
 namespace safe::radar {
 
 /// One echo (true target reflection or attacker-injected counterfeit).
 struct EchoComponent {
-  double distance_m = 0.0;        ///< Apparent range (includes spoof delay).
-  double range_rate_mps = 0.0;    ///< Apparent range rate.
+  units::Meters distance_m{0.0};  ///< Apparent range (includes spoof delay).
+  units::MetersPerSecond range_rate_mps{0.0};  ///< Apparent range rate.
   double power_w = 0.0;           ///< Power at the receiver input.
 };
 

@@ -1,10 +1,10 @@
 #include "radar/fmcw.hpp"
 
-#include "sim/units.hpp"
+#include "units/units.hpp"
 
 namespace safe::radar {
 
-namespace units = safe::sim::units;
+namespace units = safe::units;
 
 FmcwParameters bosch_lrr2_parameters() {
   // Values quoted in Sections 4.1 and 6 of the paper.
@@ -12,37 +12,45 @@ FmcwParameters bosch_lrr2_parameters() {
 }
 
 void validate_parameters(const FmcwParameters& params) {
-  if (params.sweep_bandwidth_hz <= 0.0 || params.sweep_time_s <= 0.0) {
+  if (params.sweep_bandwidth_hz <= Hertz{0.0} ||
+      params.sweep_time_s <= Seconds{0.0}) {
     throw std::invalid_argument("FmcwParameters: sweep must be positive");
   }
-  if (params.wavelength_m <= 0.0 || params.carrier_frequency_hz <= 0.0) {
+  if (params.wavelength_m <= Meters{0.0} ||
+      params.carrier_frequency_hz <= Hertz{0.0}) {
     throw std::invalid_argument("FmcwParameters: carrier must be positive");
   }
   if (params.tx_power_w <= 0.0) {
     throw std::invalid_argument("FmcwParameters: tx power must be positive");
   }
-  if (params.receiver_bandwidth_hz <= 0.0) {
+  // Both the RF band (jammer coupling) and the post-dechirp baseband (noise
+  // integration) must be physical; the baseband check was missing before the
+  // unit audit, letting a zero bandwidth silence the thermal noise floor.
+  if (params.receiver_bandwidth_hz <= Hertz{0.0} ||
+      params.baseband_bandwidth_hz <= Hertz{0.0}) {
     throw std::invalid_argument("FmcwParameters: bandwidth must be positive");
   }
-  if (!(params.min_range_m >= 0.0) || params.max_range_m <= params.min_range_m) {
+  if (!(params.min_range_m >= Meters{0.0}) ||
+      params.max_range_m <= params.min_range_m) {
     throw std::invalid_argument("FmcwParameters: bad range limits");
   }
 }
 
-BeatFrequencies beat_frequencies(const FmcwParameters& params,
-                                 double distance_m, double range_rate_mps) {
+BeatFrequencies beat_frequencies(const FmcwParameters& params, Meters distance,
+                                 MetersPerSecond range_rate) {
   validate_parameters(params);
-  if (distance_m < 0.0) {
+  if (distance < Meters{0.0}) {
     throw std::invalid_argument("beat_frequencies: negative distance");
   }
   const double sweep_slope =
-      params.sweep_bandwidth_hz / params.sweep_time_s;  // B_s / T_s
+      params.sweep_bandwidth_hz.value() / params.sweep_time_s.value();
   const double range_term =
-      (2.0 * distance_m / units::kSpeedOfLightMps) * sweep_slope;
-  const double doppler = 2.0 * range_rate_mps / params.wavelength_m;
+      (2.0 * distance.value() / units::kSpeedOfLightMps) * sweep_slope;
+  const double doppler =
+      2.0 * range_rate.value() / params.wavelength_m.value();
   return BeatFrequencies{
-      .up_hz = range_term - doppler,
-      .down_hz = range_term + doppler,
+      .up_hz = Hertz{range_term - doppler},
+      .down_hz = Hertz{range_term + doppler},
   };
 }
 
@@ -50,20 +58,22 @@ RangeRate range_rate_from_beats(const FmcwParameters& params,
                                 const BeatFrequencies& beats) {
   validate_parameters(params);
   return RangeRate{
-      .distance_m = units::kSpeedOfLightMps * params.sweep_time_s *
-                    (beats.up_hz + beats.down_hz) /
-                    (4.0 * params.sweep_bandwidth_hz),
+      .distance_m =
+          Meters{units::kSpeedOfLightMps * params.sweep_time_s.value() *
+                 (beats.up_hz.value() + beats.down_hz.value()) /
+                 (4.0 * params.sweep_bandwidth_hz.value())},
       .range_rate_mps =
-          params.wavelength_m / 4.0 * (beats.down_hz - beats.up_hz),
+          MetersPerSecond{params.wavelength_m.value() / 4.0 *
+                          (beats.down_hz.value() - beats.up_hz.value())},
   };
 }
 
-double spoofed_range_offset_m(double extra_delay_s) {
-  return units::delay_to_range_m(extra_delay_s);
+Meters spoofed_range_offset(Seconds extra_delay) {
+  return units::delay_to_range(extra_delay);
 }
 
-double injection_delay_for_offset_s(double extra_distance_m) {
-  return units::range_to_delay_s(extra_distance_m);
+Seconds injection_delay_for_offset(Meters extra_distance) {
+  return units::range_to_delay(extra_distance);
 }
 
 }  // namespace safe::radar

@@ -12,23 +12,38 @@
 
 #include <stdexcept>
 
+#include "units/units.hpp"
+
 namespace safe::radar {
+
+using units::Decibels;
+using units::Hertz;
+using units::HertzPerSecond;
+using units::Meters;
+using units::MetersPerSecond;
+using units::Seconds;
 
 /// Waveform and antenna parameters of a 77 GHz automotive FMCW radar.
 struct FmcwParameters {
-  double carrier_frequency_hz = 77.0e9;
-  double sweep_bandwidth_hz = 150.0e6;   ///< B_s
-  double sweep_time_s = 2.0e-3;          ///< T_s (full triangle)
-  double wavelength_m = 3.89e-3;         ///< lambda
+  Hertz carrier_frequency_hz{77.0e9};
+  Hertz sweep_bandwidth_hz{150.0e6};     ///< B_s
+  Seconds sweep_time_s{2.0e-3};          ///< T_s (full triangle)
+  Meters wavelength_m{3.89e-3};          ///< lambda
   double tx_power_w = 10.0e-3;           ///< P_t (10 mW)
-  double antenna_gain_dbi = 28.0;        ///< G
-  double system_loss_db = 0.10;          ///< L
-  double receiver_bandwidth_hz = 150.0e6;  ///< B (RF band, for jammer coupling)
+  Decibels antenna_gain_dbi{28.0};       ///< G
+  Decibels system_loss_db{0.10};         ///< L
+  Hertz receiver_bandwidth_hz{150.0e6};  ///< B (RF band, for jammer coupling)
   /// Post-dechirp anti-alias bandwidth: thermal noise integrates over this
   /// narrow beat-frequency band, not the RF sweep bandwidth.
-  double baseband_bandwidth_hz = 1.0e6;
-  double min_range_m = 2.0;
-  double max_range_m = 200.0;
+  Hertz baseband_bandwidth_hz{1.0e6};
+  Meters min_range_m{2.0};
+  Meters max_range_m{200.0};
+
+  /// Chirp slope B_s / T_s — the factor that turns a round-trip delay into
+  /// a beat frequency (Eqs. 5-6).
+  [[nodiscard]] constexpr HertzPerSecond sweep_slope() const {
+    return sweep_bandwidth_hz / sweep_time_s;
+  }
 };
 
 /// Bosch LRR2-class long-range radar profile used by the paper's case study.
@@ -40,19 +55,19 @@ void validate_parameters(const FmcwParameters& params);
 
 /// Beat-frequency pair extracted from the triangular sweep.
 struct BeatFrequencies {
-  double up_hz = 0.0;    ///< f_b+ (positive-slope segment)
-  double down_hz = 0.0;  ///< f_b- (negative-slope segment)
+  Hertz up_hz{0.0};    ///< f_b+ (positive-slope segment)
+  Hertz down_hz{0.0};  ///< f_b- (negative-slope segment)
 };
 
 /// Forward map (Eqs. 5-6): target range and range rate to beat frequencies.
-/// `range_rate_mps` is d(dv)/dt positive when the gap is opening.
-BeatFrequencies beat_frequencies(const FmcwParameters& params,
-                                 double distance_m, double range_rate_mps);
+/// `range_rate` is d(dv)/dt positive when the gap is opening.
+BeatFrequencies beat_frequencies(const FmcwParameters& params, Meters distance,
+                                 MetersPerSecond range_rate);
 
 /// Measured range/range-rate pair.
 struct RangeRate {
-  double distance_m = 0.0;
-  double range_rate_mps = 0.0;
+  Meters distance_m{0.0};
+  MetersPerSecond range_rate_mps{0.0};
 };
 
 /// Inverse map (Eqs. 7-8): beat frequencies to range and range rate.
@@ -60,11 +75,11 @@ RangeRate range_rate_from_beats(const FmcwParameters& params,
                                 const BeatFrequencies& beats);
 
 /// Extra distance conjured by a delay-injection attack that adds
-/// `extra_delay_s` of round-trip delay (c * tau / 2).
-double spoofed_range_offset_m(double extra_delay_s);
+/// `extra_delay` of round-trip delay (c * tau / 2).
+Meters spoofed_range_offset(Seconds extra_delay);
 
-/// Round-trip delay an attacker must inject to fake `extra_distance_m` of
+/// Round-trip delay an attacker must inject to fake `extra_distance` of
 /// additional range.
-double injection_delay_for_offset_s(double extra_distance_m);
+Seconds injection_delay_for_offset(Meters extra_distance);
 
 }  // namespace safe::radar

@@ -4,19 +4,15 @@
 #include <numbers>
 #include <stdexcept>
 
-#include "sim/units.hpp"
-
 namespace safe::radar {
-
-namespace units = safe::sim::units;
 
 namespace {
 
 constexpr double kBoltzmann = 1.380649e-23;
 constexpr double kReferenceTemperatureK = 290.0;
 
-void check_geometry(double distance_m, double rcs_m2) {
-  if (distance_m <= 0.0) {
+void check_geometry(Meters distance, double rcs_m2) {
+  if (distance <= Meters{0.0}) {
     throw std::invalid_argument("link budget: distance must be positive");
   }
   if (rcs_m2 < 0.0) {
@@ -26,55 +22,57 @@ void check_geometry(double distance_m, double rcs_m2) {
 
 }  // namespace
 
-double received_echo_power_w(const FmcwParameters& radar, double distance_m,
+double received_echo_power_w(const FmcwParameters& radar, Meters distance,
                              double rcs_m2) {
   validate_parameters(radar);
-  check_geometry(distance_m, rcs_m2);
-  const double gain = units::db_to_linear(radar.antenna_gain_dbi);
-  const double loss = units::db_to_linear(radar.system_loss_db);
+  check_geometry(distance, rcs_m2);
+  const double gain = radar.antenna_gain_dbi.to_linear();
+  const double loss = radar.system_loss_db.to_linear();
   const double four_pi = 4.0 * std::numbers::pi;
-  return radar.tx_power_w * gain * gain * radar.wavelength_m *
-         radar.wavelength_m * rcs_m2 /
-         (four_pi * four_pi * four_pi * std::pow(distance_m, 4.0) * loss);
+  const double wavelength = radar.wavelength_m.value();
+  return radar.tx_power_w * gain * gain * wavelength * wavelength * rcs_m2 /
+         (four_pi * four_pi * four_pi * std::pow(distance.value(), 4.0) *
+          loss);
 }
 
 double received_jammer_power_w(const FmcwParameters& radar,
                                const JammerParameters& jammer,
-                               double distance_m) {
+                               Meters distance) {
   validate_parameters(radar);
-  check_geometry(distance_m, 0.0);
-  if (jammer.peak_power_w <= 0.0 || jammer.bandwidth_hz <= 0.0) {
+  check_geometry(distance, 0.0);
+  if (jammer.peak_power_w <= 0.0 || jammer.bandwidth_hz <= Hertz{0.0}) {
     throw std::invalid_argument("jammer: power and bandwidth must be positive");
   }
-  const double gain = units::db_to_linear(radar.antenna_gain_dbi);
-  const double jammer_gain = units::db_to_linear(jammer.antenna_gain_dbi);
-  const double jammer_loss = units::db_to_linear(jammer.loss_db);
+  const double gain = radar.antenna_gain_dbi.to_linear();
+  const double jammer_gain = jammer.antenna_gain_dbi.to_linear();
+  const double jammer_loss = jammer.loss_db.to_linear();
   const double four_pi = 4.0 * std::numbers::pi;
+  const double wavelength = radar.wavelength_m.value();
   // One-way propagation, bandwidth-coupling factor B / B_J.
-  return jammer.peak_power_w * jammer_gain * radar.wavelength_m *
-         radar.wavelength_m * gain * radar.receiver_bandwidth_hz /
-         (four_pi * four_pi * distance_m * distance_m * jammer.bandwidth_hz *
-          jammer_loss);
+  return jammer.peak_power_w * jammer_gain * wavelength * wavelength * gain *
+         radar.receiver_bandwidth_hz.value() /
+         (four_pi * four_pi * distance.value() * distance.value() *
+          jammer.bandwidth_hz.value() * jammer_loss);
 }
 
 double signal_to_jammer_ratio(const FmcwParameters& radar,
-                              const JammerParameters& jammer,
-                              double distance_m, double rcs_m2) {
-  return received_echo_power_w(radar, distance_m, rcs_m2) /
-         received_jammer_power_w(radar, jammer, distance_m);
+                              const JammerParameters& jammer, Meters distance,
+                              double rcs_m2) {
+  return received_echo_power_w(radar, distance, rcs_m2) /
+         received_jammer_power_w(radar, jammer, distance);
 }
 
 bool jamming_succeeds(const FmcwParameters& radar,
-                      const JammerParameters& jammer, double distance_m,
+                      const JammerParameters& jammer, Meters distance,
                       double rcs_m2) {
-  return signal_to_jammer_ratio(radar, jammer, distance_m, rcs_m2) < 1.0;
+  return signal_to_jammer_ratio(radar, jammer, distance, rcs_m2) < 1.0;
 }
 
 double thermal_noise_power_w(const FmcwParameters& radar,
-                             double noise_figure_db) {
+                             Decibels noise_figure) {
   validate_parameters(radar);
-  return kBoltzmann * kReferenceTemperatureK * radar.baseband_bandwidth_hz *
-         units::db_to_linear(noise_figure_db);
+  return kBoltzmann * kReferenceTemperatureK *
+         radar.baseband_bandwidth_hz.value() * noise_figure.to_linear();
 }
 
 }  // namespace safe::radar

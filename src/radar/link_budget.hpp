@@ -14,39 +14,39 @@ namespace safe::radar {
 
 /// Self-screening jammer parameters (paper Section 6.2 values as defaults).
 struct JammerParameters {
-  double peak_power_w = 100.0e-3;      ///< P_J = 100 mW
-  double antenna_gain_dbi = 10.0;      ///< G_J
-  double bandwidth_hz = 155.0e6;       ///< B_J
-  double loss_db = 0.10;               ///< L_J
+  double peak_power_w = 100.0e-3;    ///< P_J = 100 mW
+  Decibels antenna_gain_dbi{10.0};   ///< G_J
+  Hertz bandwidth_hz{155.0e6};       ///< B_J
+  Decibels loss_db{0.10};            ///< L_J
 };
 
 /// Echo power received from a target of radar cross-section `rcs_m2` at
-/// `distance_m` (Eq. 9, watts). Throws std::invalid_argument for
+/// `distance` (Eq. 9, watts). Throws std::invalid_argument for
 /// non-positive distance or negative RCS.
-double received_echo_power_w(const FmcwParameters& radar, double distance_m,
+double received_echo_power_w(const FmcwParameters& radar, Meters distance,
                              double rcs_m2);
 
 /// Jamming power coupled into the radar receiver from a self-screening
-/// jammer at `distance_m` (Eq. 10, watts).
+/// jammer at `distance` (Eq. 10, watts).
 double received_jammer_power_w(const FmcwParameters& radar,
                                const JammerParameters& jammer,
-                               double distance_m);
+                               Meters distance);
 
 /// Signal-to-jammer power ratio (Eq. 11).
 double signal_to_jammer_ratio(const FmcwParameters& radar,
-                              const JammerParameters& jammer,
-                              double distance_m, double rcs_m2);
+                              const JammerParameters& jammer, Meters distance,
+                              double rcs_m2);
 
 /// True when the jammer overpowers the echo (ratio < 1), i.e. the DoS attack
 /// succeeds at this geometry.
 bool jamming_succeeds(const FmcwParameters& radar,
-                      const JammerParameters& jammer, double distance_m,
+                      const JammerParameters& jammer, Meters distance,
                       double rcs_m2);
 
 /// Thermal noise floor k T B F of the receiver over the post-dechirp
-/// baseband bandwidth (watts). `noise_figure_db` defaults to a typical
+/// baseband bandwidth (watts). `noise_figure` defaults to a typical
 /// automotive front end.
 double thermal_noise_power_w(const FmcwParameters& radar,
-                             double noise_figure_db = 10.0);
+                             Decibels noise_figure = Decibels{10.0});
 
 }  // namespace safe::radar

@@ -16,16 +16,17 @@ using dsp::ComplexSignal;
 RadarProcessor::RadarProcessor(RadarProcessorConfig config, std::uint64_t seed)
     : config_(std::move(config)), noise_(0.0, 1.0, seed) {
   validate_parameters(config_.waveform);
-  if (config_.sample_rate_hz <= 0.0) {
+  if (config_.sample_rate_hz <= Hertz{0.0}) {
     throw std::invalid_argument("RadarProcessor: sample rate must be > 0");
   }
   if (config_.samples_per_segment < 2 * config_.music_order) {
     throw std::invalid_argument(
         "RadarProcessor: segment too short for the MUSIC covariance order");
   }
-  const double segment_duration = static_cast<double>(config_.samples_per_segment) /
-                                  config_.sample_rate_hz;
-  if (segment_duration > config_.waveform.sweep_time_s / 2.0) {
+  const double segment_duration =
+      static_cast<double>(config_.samples_per_segment) /
+      config_.sample_rate_hz.value();
+  if (segment_duration > config_.waveform.sweep_time_s.value() / 2.0) {
     throw std::invalid_argument(
         "RadarProcessor: segment longer than a half sweep");
   }
@@ -55,11 +56,13 @@ RadarProcessor::Segments RadarProcessor::synthesize(const EchoScene& scene) {
     const double phase_down = 2.0 * std::numbers::pi * 0.5 *
                               (1.0 + std::tanh(noise_.sample()));
     for (std::size_t i = 0; i < n; ++i) {
-      const double t = static_cast<double>(i) / config_.sample_rate_hz;
+      const double t = static_cast<double>(i) / config_.sample_rate_hz.value();
       seg.up[i] += std::polar(
-          amplitude, 2.0 * std::numbers::pi * beats.up_hz * t + phase_up);
+          amplitude,
+          2.0 * std::numbers::pi * beats.up_hz.value() * t + phase_up);
       seg.down[i] += std::polar(
-          amplitude, 2.0 * std::numbers::pi * beats.down_hz * t + phase_down);
+          amplitude,
+          2.0 * std::numbers::pi * beats.down_hz.value() * t + phase_down);
     }
   }
   return seg;
@@ -69,20 +72,20 @@ double RadarProcessor::estimate_beat_hz(const ComplexSignal& segment,
                                         std::size_t num_components) const {
   if (config_.estimator == BeatEstimator::kPeriodogram) {
     const auto tone =
-        dsp::estimate_dominant_tone(segment, config_.sample_rate_hz);
+        dsp::estimate_dominant_tone(segment, config_.sample_rate_hz.value());
     return tone ? tone->frequency_hz : 0.0;
   }
   const dsp::MusicOptions options{.covariance_order = config_.music_order,
                                   .forward_backward = true};
   const auto candidates = dsp::root_music_frequencies(
-      segment, config_.sample_rate_hz, std::max<std::size_t>(num_components, 1),
-      options);
+      segment, config_.sample_rate_hz.value(),
+      std::max<std::size_t>(num_components, 1), options);
   if (candidates.empty()) return 0.0;
   // Rank candidates by coherent power: the receiver locks to the strongest.
   double best_freq = candidates.front();
   double best_power = -1.0;
   for (const double f : candidates) {
-    const double p = dsp::tone_power(segment, f, config_.sample_rate_hz);
+    const double p = dsp::tone_power(segment, f, config_.sample_rate_hz.value());
     if (p > best_power) {
       best_power = p;
       best_freq = f;
@@ -105,8 +108,8 @@ RadarMeasurement RadarProcessor::measure(const EchoScene& scene) {
   // receiver still produces (corrupted) measurements, which is precisely the
   // failure mode of Figures 2a/3a.
   const std::size_t components = std::max<std::size_t>(scene.echoes.size(), 1);
-  m.beats.up_hz = estimate_beat_hz(seg.up, components);
-  m.beats.down_hz = estimate_beat_hz(seg.down, components);
+  m.beats.up_hz = Hertz{estimate_beat_hz(seg.up, components)};
+  m.beats.down_hz = Hertz{estimate_beat_hz(seg.down, components)};
   m.estimate = range_rate_from_beats(config_.waveform, m.beats);
   return m;
 }

@@ -26,7 +26,7 @@ enum class BeatEstimator {
 struct RadarProcessorConfig {
   FmcwParameters waveform{};
   BeatEstimator estimator = BeatEstimator::kRootMusic;
-  double sample_rate_hz = 1.0e6;        ///< Baseband ADC rate.
+  Hertz sample_rate_hz{1.0e6};          ///< Baseband ADC rate.
   std::size_t samples_per_segment = 512;  ///< Per up/down sweep segment.
   std::size_t music_order = 16;         ///< Covariance order M.
   /// Receiver-output power above `noise_floor_w * power_alarm_factor` counts

@@ -7,8 +7,10 @@
 
 namespace safe::radar {
 
+namespace units = safe::units;
+
 RangeTracker::RangeTracker(const TrackerOptions& options) : options_(options) {
-  if (options_.sample_time_s <= 0.0 || options_.gate_m <= 0.0) {
+  if (options_.sample_time_s <= Seconds{0.0} || options_.gate_m <= Meters{0.0}) {
     throw std::invalid_argument("RangeTracker: bad sample time / gate");
   }
   if (options_.alpha <= 0.0 || options_.alpha > 1.0 || options_.beta < 0.0 ||
@@ -22,7 +24,7 @@ RangeTracker::RangeTracker(const TrackerOptions& options) : options_(options) {
 
 const std::vector<Track>& RangeTracker::update(
     const std::vector<RangeRate>& detections) {
-  const double t = options_.sample_time_s;
+  const Seconds t = options_.sample_time_s;
 
   // Predict.
   for (Track& track : tracks_) {
@@ -34,11 +36,11 @@ const std::vector<Track>& RangeTracker::update(
   // targets a forward-looking automotive radar tracks).
   std::vector<bool> detection_used(detections.size(), false);
   for (Track& track : tracks_) {
-    double best_dist = options_.gate_m;
+    Meters best_dist = options_.gate_m;
     std::size_t best = detections.size();
     for (std::size_t i = 0; i < detections.size(); ++i) {
       if (detection_used[i]) continue;
-      const double dist = std::abs(detections[i].distance_m - track.range_m);
+      const Meters dist = units::abs(detections[i].distance_m - track.range_m);
       if (dist < best_dist) {
         best_dist = dist;
         best = i;
@@ -47,7 +49,7 @@ const std::vector<Track>& RangeTracker::update(
     if (best != detections.size()) {
       detection_used[best] = true;
       const RangeRate& det = detections[best];
-      const double residual = det.distance_m - track.range_m;
+      const Meters residual = det.distance_m - track.range_m;
       track.range_m += options_.alpha * residual;
       track.range_rate_mps += options_.beta * residual / t;
       // Blend the measured rate too (the radar measures Doppler directly).

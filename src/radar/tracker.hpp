@@ -17,10 +17,10 @@
 namespace safe::radar {
 
 struct TrackerOptions {
-  double sample_time_s = 1.0;
+  Seconds sample_time_s{1.0};
   /// Association gate: a detection within this range of a track's
   /// prediction belongs to it.
-  double gate_m = 5.0;
+  Meters gate_m{5.0};
   /// Alpha-beta filter gains.
   double alpha = 0.6;
   double beta = 0.2;
@@ -35,8 +35,8 @@ enum class TrackState { kTentative, kConfirmed, kCoasting };
 struct Track {
   std::uint32_t id = 0;
   TrackState state = TrackState::kTentative;
-  double range_m = 0.0;
-  double range_rate_mps = 0.0;
+  Meters range_m{0.0};
+  MetersPerSecond range_rate_mps{0.0};
   std::size_t hits = 0;
   std::size_t misses = 0;
   std::size_t age = 0;

@@ -4,9 +4,11 @@
 
 namespace safe::sensors {
 
+namespace units = safe::units;
+
 FusionDetector::FusionDetector(const FusionDetectorOptions& options)
     : options_(options) {
-  if (options_.disagreement_threshold_m <= 0.0) {
+  if (options_.disagreement_threshold_m <= units::Meters{0.0}) {
     throw std::invalid_argument("FusionDetector: threshold must be > 0");
   }
   if (options_.required_consecutive == 0) {
@@ -16,12 +18,13 @@ FusionDetector::FusionDetector(const FusionDetectorOptions& options)
 }
 
 FusionDetector::Decision FusionDetector::observe(bool a_valid,
-                                                 double range_a_m,
+                                                 units::Meters range_a,
                                                  bool b_valid,
-                                                 double range_b_m) {
+                                                 units::Meters range_b) {
   Decision decision;
   if (a_valid && b_valid) {
-    decision.disagreement_m = std::abs(range_a_m - range_b_m);
+    decision.disagreement_m =
+        units::Meters{std::abs((range_a - range_b).value())};
     decision.suspicious =
         decision.disagreement_m > options_.disagreement_threshold_m;
     if (decision.suspicious) {

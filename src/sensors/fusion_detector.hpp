@@ -14,11 +14,13 @@
 #include <cstddef>
 #include <stdexcept>
 
+#include "units/units.hpp"
+
 namespace safe::sensors {
 
 struct FusionDetectorOptions {
-  /// Disagreement (m) beyond which a sample counts as suspicious.
-  double disagreement_threshold_m = 2.0;
+  /// Disagreement beyond which a sample counts as suspicious.
+  units::Meters disagreement_threshold_m{2.0};
   /// Consecutive suspicious samples before declaring an attack.
   std::size_t required_consecutive = 2;
 };
@@ -28,15 +30,15 @@ class FusionDetector {
   explicit FusionDetector(const FusionDetectorOptions& options = {});
 
   struct Decision {
-    double disagreement_m = 0.0;
+    units::Meters disagreement_m{0.0};
     bool suspicious = false;
     bool under_attack = false;
   };
 
   /// Feeds one pair of simultaneous range measurements. Samples where
   /// either sensor saw nothing are skipped (no evidence either way).
-  Decision observe(bool a_valid, double range_a_m, bool b_valid,
-                   double range_b_m);
+  Decision observe(bool a_valid, units::Meters range_a, bool b_valid,
+                   units::Meters range_b);
 
   [[nodiscard]] bool under_attack() const {
     return consecutive_ >= options_.required_consecutive;

@@ -9,50 +9,52 @@ namespace safe::sensors {
 TofSensorParameters lidar_parameters() {
   TofSensorParameters p;
   p.name = "lidar";
-  p.propagation_speed_mps = 299'792'458.0;
-  p.min_range_m = 0.5;
-  p.max_range_m = 150.0;
+  p.propagation_speed_mps = units::kSpeedOfLight;
+  p.min_range_m = Meters{0.5};
+  p.max_range_m = Meters{150.0};
   p.tx_power_w = 75.0;          // peak pulse power
   p.link_gain = 1.0e-5;         // optics + reflectivity + aperture
   p.link_exponent = 2.0;        // photodetector sees d^-2 for extended targets
   p.noise_floor_w = 1.0e-9;     // ambient + shot noise
   p.detection_snr = 8.0;
-  p.range_noise_m = 0.03;
-  p.velocity_noise_mps = 0.15;
+  p.range_noise_m = Meters{0.03};
+  p.velocity_noise_mps = MetersPerSecond{0.15};
   return p;
 }
 
 TofSensorParameters ultrasonic_parameters() {
   TofSensorParameters p;
   p.name = "ultrasonic";
-  p.propagation_speed_mps = 343.0;
-  p.min_range_m = 0.2;
-  p.max_range_m = 5.5;
+  p.propagation_speed_mps = MetersPerSecond{343.0};
+  p.min_range_m = Meters{0.2};
+  p.max_range_m = Meters{5.5};
   p.tx_power_w = 0.02;
   p.link_gain = 1.0e-4;
   p.link_exponent = 4.0;        // diffuse acoustic scattering
   p.noise_floor_w = 1.0e-10;
   p.detection_snr = 6.0;
-  p.range_noise_m = 0.01;
-  p.velocity_noise_mps = 0.05;
+  p.range_noise_m = Meters{0.01};
+  p.velocity_noise_mps = MetersPerSecond{0.05};
   return p;
 }
 
 double tof_received_power_w(const TofSensorParameters& params,
-                            double distance_m) {
-  if (distance_m <= 0.0) {
+                            Meters distance) {
+  if (distance <= Meters{0.0}) {
     throw std::invalid_argument("tof_received_power_w: distance must be > 0");
   }
   return params.tx_power_w * params.link_gain /
-         std::pow(distance_m, params.link_exponent);
+         std::pow(distance.value(), params.link_exponent);
 }
 
 TofSensor::TofSensor(TofSensorParameters params, std::uint64_t seed)
     : params_(std::move(params)),
-      range_noise_(0.0, params_.range_noise_m, seed),
-      velocity_noise_(0.0, params_.velocity_noise_mps, seed ^ 0x9E3779B97F4A7C15ull),
+      range_noise_(0.0, params_.range_noise_m.value(), seed),
+      velocity_noise_(0.0, params_.velocity_noise_mps.value(),
+                      seed ^ 0x9E3779B97F4A7C15ull),
       power_noise_(1.0, 0.1, seed ^ 0xD1B54A32D192ED03ull) {
-  if (params_.propagation_speed_mps <= 0.0 || params_.tx_power_w <= 0.0) {
+  if (params_.propagation_speed_mps <= MetersPerSecond{0.0} ||
+      params_.tx_power_w <= 0.0) {
     throw std::invalid_argument("TofSensor: non-physical parameters");
   }
   if (params_.max_range_m <= params_.min_range_m) {
@@ -93,9 +95,11 @@ TofMeasurement TofSensor::measure(const radar::EchoScene& scene) {
   if (best != nullptr &&
       best_power > params_.detection_snr * noise) {
     m.target_detected = true;
-    m.distance_m = std::clamp(best->distance_m + range_noise_.sample(),
-                              params_.min_range_m, params_.max_range_m);
-    m.range_rate_mps = best->range_rate_mps + velocity_noise_.sample();
+    m.distance_m =
+        units::clamp(best->distance_m + Meters{range_noise_.sample()},
+                     params_.min_range_m, params_.max_range_m);
+    m.range_rate_mps =
+        best->range_rate_mps + MetersPerSecond{velocity_noise_.sample()};
   }
   return m;
 }

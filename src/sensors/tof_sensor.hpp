@@ -17,15 +17,19 @@
 
 #include "radar/echo_scene.hpp"
 #include "sim/noise.hpp"
+#include "units/units.hpp"
 
 namespace safe::sensors {
+
+using units::Meters;
+using units::MetersPerSecond;
 
 /// Physical profile of a pulsed time-of-flight sensor.
 struct TofSensorParameters {
   std::string name = "tof";
-  double propagation_speed_mps = 299'792'458.0;
-  double min_range_m = 0.2;
-  double max_range_m = 200.0;
+  MetersPerSecond propagation_speed_mps = units::kSpeedOfLight;
+  Meters min_range_m{0.2};
+  Meters max_range_m{200.0};
   /// Transmitted pulse power (W) and link exponent: received power
   /// ~ tx_power * gain / d^exponent (2 for a retroreflecting lidar target,
   /// 4 for diffuse radar-like scattering).
@@ -35,10 +39,10 @@ struct TofSensorParameters {
   /// Receiver noise floor (W) and detection threshold relative to it.
   double noise_floor_w = 1.0e-12;
   double detection_snr = 10.0;
-  /// One-sigma ranging noise (m) of the timing discriminator.
-  double range_noise_m = 0.05;
-  /// One-sigma velocity noise (m/s) from pulse-pair differencing.
-  double velocity_noise_mps = 0.2;
+  /// One-sigma ranging noise of the timing discriminator.
+  Meters range_noise_m{0.05};
+  /// One-sigma velocity noise from pulse-pair differencing.
+  MetersPerSecond velocity_noise_mps{0.2};
 };
 
 /// Automotive pulsed lidar (905 nm class): centimeter ranging to ~150 m.
@@ -50,11 +54,11 @@ TofSensorParameters ultrasonic_parameters();
 
 /// Output of one ping.
 struct TofMeasurement {
-  bool target_detected = false;    ///< An echo crossed the threshold.
-  double distance_m = 0.0;         ///< Range of the strongest echo.
-  double range_rate_mps = 0.0;     ///< Pulse-pair range rate.
-  double rx_power_w = 0.0;         ///< Total received power.
-  bool power_alarm = false;        ///< Noise floor grossly exceeded (jam).
+  bool target_detected = false;         ///< An echo crossed the threshold.
+  Meters distance_m{0.0};               ///< Range of the strongest echo.
+  MetersPerSecond range_rate_mps{0.0};  ///< Pulse-pair range rate.
+  double rx_power_w = 0.0;              ///< Total received power.
+  bool power_alarm = false;             ///< Noise floor grossly exceeded.
 
   /// CRA comparison value: receiver produced a non-zero output.
   [[nodiscard]] bool nonzero_output() const {
@@ -62,9 +66,9 @@ struct TofMeasurement {
   }
 };
 
-/// Received echo power for a target at `distance_m` under this profile.
+/// Received echo power for a target at `distance` under this profile.
 double tof_received_power_w(const TofSensorParameters& params,
-                            double distance_m);
+                            Meters distance);
 
 /// Pulsed ToF receiver. Reuses radar::EchoScene as the RF/acoustic
 /// environment description: component power fields are interpreted through

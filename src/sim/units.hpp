@@ -1,62 +1,13 @@
-// Unit conversions shared by the radar and vehicle models.
-//
-// Everything inside the library is SI; these helpers exist only at the edges
-// (paper parameters quoted in mph, dBi, dB, ...).
+// Compatibility shim: the unit layer moved to units/units.hpp (strong types
+// plus the original raw-double helpers). Include that header directly in new
+// code; this alias namespace keeps the historical safe::sim::units spelling
+// working.
 #pragma once
 
-#include <cmath>
+#include "units/units.hpp"
 
 namespace safe::sim::units {
 
-inline constexpr double kSpeedOfLightMps = 299'792'458.0;
-inline constexpr double kMilesPerHourToMps = 0.44704;
-
-/// Miles per hour -> meters per second.
-constexpr double mph_to_mps(double mph) { return mph * kMilesPerHourToMps; }
-
-/// Meters per second -> miles per hour.
-constexpr double mps_to_mph(double mps) { return mps / kMilesPerHourToMps; }
-
-/// Decibels -> linear power ratio.
-inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
-
-/// Linear power ratio -> decibels.
-inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
-
-/// Round-trip delay for a target at `distance_m` (seconds).
-constexpr double range_to_delay_s(double distance_m) {
-  return 2.0 * distance_m / kSpeedOfLightMps;
-}
-
-/// Target distance implied by a round-trip delay (meters).
-constexpr double delay_to_range_m(double delay_s) {
-  return delay_s * kSpeedOfLightMps / 2.0;
-}
-
-// --- Physical plausibility limits ---------------------------------------
-//
-// Bounds on what an automotive ranging sensor can legitimately report.
-// Anything outside is a sensor fault or an implausibly crude spoof; the
-// pipeline's health monitor rejects such samples before they reach the
-// controller or the predictors.
-
-/// Generous ceiling on any automotive radar range report (Bosch LRR2 tops
-/// out at 200 m; 1 km covers every profile in sensors/).
-inline constexpr double kMaxPlausibleRangeM = 1000.0;
-
-/// |relative velocity| ceiling: two vehicles closing at ~270 mph.
-inline constexpr double kMaxPlausibleSpeedMps = 120.0;
-
-/// Range report within [0, max]: finite and physically representable.
-inline bool plausible_range_m(double d,
-                              double max_range_m = kMaxPlausibleRangeM) {
-  return std::isfinite(d) && d >= 0.0 && d <= max_range_m;
-}
-
-/// Relative-velocity report within +/- max: finite and physical.
-inline bool plausible_speed_mps(double v,
-                                double max_speed_mps = kMaxPlausibleSpeedMps) {
-  return std::isfinite(v) && v >= -max_speed_mps && v <= max_speed_mps;
-}
+using namespace safe::units;  // NOLINT(google-build-using-namespace)
 
 }  // namespace safe::sim::units

@@ -1,0 +1,37 @@
+// Compile-time dimension algebra for the strong unit types in units.hpp.
+//
+// A dimension is the integer exponent vector (length, time, angle). The
+// quantity layer composes dimensions through multiplication and division so
+// that e.g. Meters / Seconds *is* MetersPerSecond and Hertz / Seconds *is*
+// HertzPerSecond, with no runtime representation at all.
+#pragma once
+
+namespace safe::units {
+
+/// Exponent vector of a physical dimension: L^length * T^time * A^angle.
+template <int LengthExp, int TimeExp, int AngleExp>
+struct Dimension {
+  static constexpr int length = LengthExp;
+  static constexpr int time = TimeExp;
+  static constexpr int angle = AngleExp;
+};
+
+/// The dimension of a pure ratio (all exponents zero).
+using Scalar = Dimension<0, 0, 0>;
+
+template <class A, class B>
+using DimensionProduct =
+    Dimension<A::length + B::length, A::time + B::time, A::angle + B::angle>;
+
+template <class A, class B>
+using DimensionQuotient =
+    Dimension<A::length - B::length, A::time - B::time, A::angle - B::angle>;
+
+template <class A>
+using DimensionInverse = Dimension<-A::length, -A::time, -A::angle>;
+
+template <class A, class B>
+inline constexpr bool kSameDimension =
+    A::length == B::length && A::time == B::time && A::angle == B::angle;
+
+}  // namespace safe::units

@@ -1,0 +1,132 @@
+// Zero-overhead strong quantity wrapper over `double`.
+//
+// A Quantity<Dim> stores exactly one double and has no virtuals, so it
+// compiles to the identical machine code as the raw value; every operator is
+// constexpr. The type system enforces dimension algebra:
+//
+//   * addition/subtraction/comparison only between identical dimensions,
+//   * multiplication/division compose dimensions (Meters / Seconds ->
+//     MetersPerSecond), collapsing to plain double when all exponents cancel
+//     (Meters / Meters -> double),
+//   * no implicit conversion from or to double: construction is explicit and
+//     the only way out is the `.value()` escape hatch, so a wrong-unit call
+//     site is a compile error, never a silent scale bug.
+#pragma once
+
+#include "units/dimension.hpp"
+
+namespace safe::units {
+
+template <class Dim>
+class Quantity {
+ public:
+  using dimension = Dim;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double raw) : value_(raw) {}
+
+  /// Escape hatch: the raw SI magnitude. Every use is grep-able, which is
+  /// what keeps the hot loops honest about where they shed the types.
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  // Same-dimension linear arithmetic.
+  constexpr Quantity operator+(Quantity other) const {
+    return Quantity{value_ + other.value_};
+  }
+  constexpr Quantity operator-(Quantity other) const {
+    return Quantity{value_ - other.value_};
+  }
+  constexpr Quantity operator-() const { return Quantity{-value_}; }
+  constexpr Quantity operator+() const { return *this; }
+
+  constexpr Quantity& operator+=(Quantity other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity other) {
+    value_ -= other.value_;
+    return *this;
+  }
+
+  // Dimensionless scaling.
+  constexpr Quantity& operator*=(double scale) {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double scale) {
+    value_ /= scale;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  double value_ = 0.0;
+};
+
+namespace detail {
+
+/// Product/quotient result type: a Quantity of the composed dimension, or a
+/// plain double when every exponent cancels.
+template <class Dim>
+struct Collapse {
+  using type = Quantity<Dim>;
+  static constexpr type make(double raw) { return type{raw}; }
+};
+template <>
+struct Collapse<Scalar> {
+  using type = double;
+  static constexpr type make(double raw) { return raw; }
+};
+
+}  // namespace detail
+
+template <class D1, class D2>
+constexpr auto operator*(Quantity<D1> a, Quantity<D2> b) {
+  return detail::Collapse<DimensionProduct<D1, D2>>::make(a.value() *
+                                                          b.value());
+}
+
+template <class D1, class D2>
+constexpr auto operator/(Quantity<D1> a, Quantity<D2> b) {
+  return detail::Collapse<DimensionQuotient<D1, D2>>::make(a.value() /
+                                                           b.value());
+}
+
+template <class D>
+constexpr Quantity<D> operator*(Quantity<D> q, double scale) {
+  return Quantity<D>{q.value() * scale};
+}
+template <class D>
+constexpr Quantity<D> operator*(double scale, Quantity<D> q) {
+  return Quantity<D>{scale * q.value()};
+}
+template <class D>
+constexpr Quantity<D> operator/(Quantity<D> q, double scale) {
+  return Quantity<D>{q.value() / scale};
+}
+template <class D>
+constexpr Quantity<DimensionInverse<D>> operator/(double numerator,
+                                                  Quantity<D> q) {
+  return Quantity<DimensionInverse<D>>{numerator / q.value()};
+}
+
+// Constexpr helpers mirroring <cmath>/<algorithm> for quantities.
+template <class D>
+constexpr Quantity<D> abs(Quantity<D> q) {
+  return q.value() < 0.0 ? -q : q;
+}
+template <class D>
+constexpr Quantity<D> min(Quantity<D> a, Quantity<D> b) {
+  return b < a ? b : a;
+}
+template <class D>
+constexpr Quantity<D> max(Quantity<D> a, Quantity<D> b) {
+  return a < b ? b : a;
+}
+template <class D>
+constexpr Quantity<D> clamp(Quantity<D> q, Quantity<D> lo, Quantity<D> hi) {
+  return q < lo ? lo : (hi < q ? hi : q);
+}
+
+}  // namespace safe::units

@@ -1,38 +1,47 @@
 #include "vehicle/lateral.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 namespace safe::vehicle {
 
+namespace units = safe::units;
+
 BicycleState step(const BicycleParameters& params, const BicycleState& state,
-                  const BicycleInput& input, double dt_s) {
-  if (dt_s <= 0.0) {
+                  const BicycleInput& input, units::Seconds dt) {
+  if (dt <= units::Seconds{0.0}) {
     throw std::invalid_argument("bicycle step: dt must be > 0");
   }
-  if (params.wheelbase_m <= 0.0) {
+  if (params.wheelbase_m <= units::Meters{0.0}) {
     throw std::invalid_argument("bicycle step: wheelbase must be > 0");
   }
-  const double steer =
-      std::clamp(input.steer_rad, -params.max_steer_rad, params.max_steer_rad);
-  const double accel = std::clamp(input.accel_mps2, -params.max_decel_mps2,
-                                  params.max_accel_mps2);
+  const Radians steer =
+      units::clamp(input.steer_rad, -params.max_steer_rad,
+                   params.max_steer_rad);
+  const units::MetersPerSecond2 accel =
+      units::clamp(input.accel_mps2, -params.max_decel_mps2,
+                   params.max_accel_mps2);
+
+  const double dt_s = dt.value();
+  const double speed = state.speed_mps.value();
+  const double heading = state.heading_rad.value();
 
   BicycleState next;
-  next.x_m = state.x_m + state.speed_mps * std::cos(state.heading_rad) * dt_s;
-  next.y_m = state.y_m + state.speed_mps * std::sin(state.heading_rad) * dt_s;
-  next.heading_rad = state.heading_rad +
-                     state.speed_mps / params.wheelbase_m * std::tan(steer) *
-                         dt_s;
+  next.x_m = state.x_m + units::Meters{speed * std::cos(heading) * dt_s};
+  next.y_m = state.y_m + units::Meters{speed * std::sin(heading) * dt_s};
+  double next_heading =
+      heading +
+      speed / params.wheelbase_m.value() * std::tan(steer.value()) * dt_s;
   // Wrap heading into (-pi, pi] to keep downstream trig well-conditioned.
-  while (next.heading_rad > 3.14159265358979323846) {
-    next.heading_rad -= 2.0 * 3.14159265358979323846;
+  while (next_heading > 3.14159265358979323846) {
+    next_heading -= 2.0 * 3.14159265358979323846;
   }
-  while (next.heading_rad <= -3.14159265358979323846) {
-    next.heading_rad += 2.0 * 3.14159265358979323846;
+  while (next_heading <= -3.14159265358979323846) {
+    next_heading += 2.0 * 3.14159265358979323846;
   }
-  next.speed_mps = std::max(state.speed_mps + accel * dt_s, 0.0);
+  next.heading_rad = Radians{next_heading};
+  next.speed_mps =
+      units::max(state.speed_mps + accel * dt, units::MetersPerSecond{0.0});
   return next;
 }
 

@@ -10,30 +10,34 @@
 // integrated with forward Euler at the simulation sample time.
 #pragma once
 
+#include "units/units.hpp"
+
 namespace safe::vehicle {
 
+using units::Radians;
+
 struct BicycleParameters {
-  double wheelbase_m = 2.8;
-  double max_steer_rad = 0.5;      ///< Steering actuator limit.
-  double max_accel_mps2 = 3.0;
-  double max_decel_mps2 = 6.0;
+  units::Meters wheelbase_m{2.8};
+  Radians max_steer_rad{0.5};  ///< Steering actuator limit.
+  units::MetersPerSecond2 max_accel_mps2{3.0};
+  units::MetersPerSecond2 max_decel_mps2{6.0};
 };
 
 struct BicycleState {
-  double x_m = 0.0;
-  double y_m = 0.0;        ///< Lateral position (lane-centerline frame).
-  double heading_rad = 0.0;
-  double speed_mps = 0.0;
+  units::Meters x_m{0.0};
+  units::Meters y_m{0.0};  ///< Lateral position (lane-centerline frame).
+  Radians heading_rad{0.0};
+  units::MetersPerSecond speed_mps{0.0};
 };
 
 struct BicycleInput {
-  double steer_rad = 0.0;
-  double accel_mps2 = 0.0;
+  Radians steer_rad{0.0};
+  units::MetersPerSecond2 accel_mps2{0.0};
 };
 
 /// Advances one step; inputs are clamped to the actuator limits and speed
 /// is clamped at zero. Throws std::invalid_argument for bad dt.
 BicycleState step(const BicycleParameters& params, const BicycleState& state,
-                  const BicycleInput& input, double dt_s);
+                  const BicycleInput& input, units::Seconds dt);
 
 }  // namespace safe::vehicle

@@ -5,44 +5,47 @@
 
 namespace safe::vehicle {
 
-ConstantDecelProfile::ConstantDecelProfile(double decel_mps2)
-    : decel_(decel_mps2) {
-  if (decel_ >= 0.0) {
+ConstantDecelProfile::ConstantDecelProfile(MetersPerSecond2 decel)
+    : decel_(decel) {
+  if (decel_ >= MetersPerSecond2{0.0}) {
     throw std::invalid_argument("ConstantDecelProfile: decel must be < 0");
   }
 }
 
-double ConstantDecelProfile::acceleration_mps2(double) const { return decel_; }
+MetersPerSecond2 ConstantDecelProfile::acceleration(Seconds) const {
+  return decel_;
+}
 
-DecelThenAccelProfile::DecelThenAccelProfile(double decel_mps2,
-                                             double accel_mps2,
-                                             double switch_time_s)
-    : decel_(decel_mps2), accel_(accel_mps2), switch_time_(switch_time_s) {
-  if (decel_ >= 0.0) {
+DecelThenAccelProfile::DecelThenAccelProfile(MetersPerSecond2 decel,
+                                             MetersPerSecond2 accel,
+                                             Seconds switch_time)
+    : decel_(decel), accel_(accel), switch_time_(switch_time) {
+  if (decel_ >= MetersPerSecond2{0.0}) {
     throw std::invalid_argument("DecelThenAccelProfile: decel must be < 0");
   }
-  if (accel_ <= 0.0) {
+  if (accel_ <= MetersPerSecond2{0.0}) {
     throw std::invalid_argument("DecelThenAccelProfile: accel must be > 0");
   }
-  if (switch_time_ <= 0.0) {
+  if (switch_time_ <= Seconds{0.0}) {
     throw std::invalid_argument("DecelThenAccelProfile: bad switch time");
   }
 }
 
-double DecelThenAccelProfile::acceleration_mps2(double time_s) const {
-  return time_s < switch_time_ ? decel_ : accel_;
+MetersPerSecond2 DecelThenAccelProfile::acceleration(Seconds time) const {
+  return time < switch_time_ ? decel_ : accel_;
 }
 
-StopAndGoProfile::StopAndGoProfile(double amplitude_mps2, double period_s)
-    : amplitude_(amplitude_mps2), period_(period_s) {
-  if (amplitude_ <= 0.0 || period_ <= 0.0) {
+StopAndGoProfile::StopAndGoProfile(MetersPerSecond2 amplitude, Seconds period)
+    : amplitude_(amplitude), period_(period) {
+  if (amplitude_ <= MetersPerSecond2{0.0} || period_ <= Seconds{0.0}) {
     throw std::invalid_argument("StopAndGoProfile: bad amplitude/period");
   }
 }
 
-double StopAndGoProfile::acceleration_mps2(double time_s) const {
+MetersPerSecond2 StopAndGoProfile::acceleration(Seconds time) const {
   return amplitude_ *
-         std::sin(2.0 * 3.14159265358979323846 * time_s / period_);
+         std::sin(2.0 * 3.14159265358979323846 * time.value() /
+                  period_.value());
 }
 
 }  // namespace safe::vehicle

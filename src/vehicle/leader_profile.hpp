@@ -4,74 +4,81 @@
 #include <memory>
 #include <string>
 
+#include "units/units.hpp"
+
 namespace safe::vehicle {
+
+using units::MetersPerSecond2;
+using units::Seconds;
 
 /// Commanded acceleration of the leader as a function of time.
 class LeaderProfile {
  public:
   virtual ~LeaderProfile() = default;
 
-  [[nodiscard]] virtual double acceleration_mps2(double time_s) const = 0;
+  [[nodiscard]] virtual MetersPerSecond2 acceleration(Seconds time) const = 0;
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// Constant acceleration (use 0 for a cruising leader).
 class ConstantAccelProfile final : public LeaderProfile {
  public:
-  explicit ConstantAccelProfile(double accel_mps2) : accel_(accel_mps2) {}
+  explicit ConstantAccelProfile(MetersPerSecond2 accel) : accel_(accel) {}
 
-  [[nodiscard]] double acceleration_mps2(double) const override {
+  [[nodiscard]] MetersPerSecond2 acceleration(Seconds) const override {
     return accel_;
   }
   [[nodiscard]] std::string name() const override { return "constant"; }
 
  private:
-  double accel_;
+  MetersPerSecond2 accel_;
 };
 
 /// Scenario (i): the leader decelerates at -0.1082 m/s^2 throughout.
 class ConstantDecelProfile final : public LeaderProfile {
  public:
-  explicit ConstantDecelProfile(double decel_mps2 = -0.1082);
+  explicit ConstantDecelProfile(
+      MetersPerSecond2 decel = MetersPerSecond2{-0.1082});
 
-  [[nodiscard]] double acceleration_mps2(double time_s) const override;
+  [[nodiscard]] MetersPerSecond2 acceleration(Seconds time) const override;
   [[nodiscard]] std::string name() const override { return "const-decel"; }
 
  private:
-  double decel_;
+  MetersPerSecond2 decel_;
 };
 
-/// Scenario (ii): decelerate at `decel` until `switch_time_s`, then
+/// Scenario (ii): decelerate at `decel` until `switch_time`, then
 /// accelerate at `accel` (paper values -0.1082 and +0.012 m/s^2).
 class DecelThenAccelProfile final : public LeaderProfile {
  public:
-  DecelThenAccelProfile(double decel_mps2 = -0.1082,
-                        double accel_mps2 = 0.012,
-                        double switch_time_s = 150.0);
+  DecelThenAccelProfile(MetersPerSecond2 decel = MetersPerSecond2{-0.1082},
+                        MetersPerSecond2 accel = MetersPerSecond2{0.012},
+                        Seconds switch_time = Seconds{150.0});
 
-  [[nodiscard]] double acceleration_mps2(double time_s) const override;
+  [[nodiscard]] MetersPerSecond2 acceleration(Seconds time) const override;
   [[nodiscard]] std::string name() const override { return "decel-accel"; }
 
-  [[nodiscard]] double switch_time_s() const { return switch_time_; }
+  [[nodiscard]] Seconds switch_time() const { return switch_time_; }
 
  private:
-  double decel_;
-  double accel_;
-  double switch_time_;
+  MetersPerSecond2 decel_;
+  MetersPerSecond2 accel_;
+  Seconds switch_time_;
 };
 
 /// Stop-and-go traffic: sinusoidal acceleration a(t) = A sin(2 pi t / T).
 /// Exercises estimators and trackers with a continuously changing trend.
 class StopAndGoProfile final : public LeaderProfile {
  public:
-  StopAndGoProfile(double amplitude_mps2 = 0.3, double period_s = 120.0);
+  StopAndGoProfile(MetersPerSecond2 amplitude = MetersPerSecond2{0.3},
+                   Seconds period = Seconds{120.0});
 
-  [[nodiscard]] double acceleration_mps2(double time_s) const override;
+  [[nodiscard]] MetersPerSecond2 acceleration(Seconds time) const override;
   [[nodiscard]] std::string name() const override { return "stop-and-go"; }
 
  private:
-  double amplitude_;
-  double period_;
+  MetersPerSecond2 amplitude_;
+  Seconds period_;
 };
 
 }  // namespace safe::vehicle

@@ -1,41 +1,42 @@
 #include "vehicle/longitudinal.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace safe::vehicle {
 
-VehicleState step(const VehicleState& state, double accel_mps2,
-                  double sample_time_s) {
-  if (sample_time_s <= 0.0) {
+VehicleState step(const VehicleState& state, MetersPerSecond2 accel,
+                  Seconds sample_time) {
+  if (sample_time <= Seconds{0.0}) {
     throw std::invalid_argument("vehicle::step: sample time must be > 0");
   }
   VehicleState next;
-  const double v_unclamped = state.velocity_mps + accel_mps2 * sample_time_s;
-  if (v_unclamped >= 0.0) {
+  const MetersPerSecond v_unclamped =
+      state.velocity_mps + accel * sample_time;
+  if (v_unclamped >= MetersPerSecond{0.0}) {
     next.velocity_mps = v_unclamped;
-    next.acceleration_mps2 = accel_mps2;
-    next.position_m = state.position_m + state.velocity_mps * sample_time_s +
-                      0.5 * accel_mps2 * sample_time_s * sample_time_s;
+    next.acceleration_mps2 = accel;
+    next.position_m = state.position_m + state.velocity_mps * sample_time +
+                      0.5 * accel * sample_time * sample_time;
   } else {
     // The vehicle stops partway through the step: advance to the stopping
     // point and hold.
-    next.velocity_mps = 0.0;
-    next.acceleration_mps2 = 0.0;
-    const double t_stop =
-        accel_mps2 < 0.0 ? -state.velocity_mps / accel_mps2 : 0.0;
+    next.velocity_mps = MetersPerSecond{0.0};
+    next.acceleration_mps2 = MetersPerSecond2{0.0};
+    const Seconds t_stop = accel < MetersPerSecond2{0.0}
+                               ? -state.velocity_mps / accel
+                               : Seconds{0.0};
     next.position_m = state.position_m + state.velocity_mps * t_stop +
-                      0.5 * accel_mps2 * t_stop * t_stop;
+                      0.5 * accel * t_stop * t_stop;
   }
   return next;
 }
 
-double gap_m(const VehicleState& leader, const VehicleState& follower) {
+Meters gap(const VehicleState& leader, const VehicleState& follower) {
   return leader.position_m - follower.position_m;
 }
 
-double relative_velocity_mps(const VehicleState& leader,
-                             const VehicleState& follower) {
+MetersPerSecond relative_velocity(const VehicleState& leader,
+                                  const VehicleState& follower) {
   return leader.velocity_mps - follower.velocity_mps;
 }
 

@@ -6,25 +6,32 @@
 // Velocity is clamped at zero: these are road vehicles, not pendulums.
 #pragma once
 
+#include "units/units.hpp"
+
 namespace safe::vehicle {
 
+using units::Meters;
+using units::MetersPerSecond;
+using units::MetersPerSecond2;
+using units::Seconds;
+
 struct VehicleState {
-  double position_m = 0.0;
-  double velocity_mps = 0.0;
-  double acceleration_mps2 = 0.0;
+  Meters position_m{0.0};
+  MetersPerSecond velocity_mps{0.0};
+  MetersPerSecond2 acceleration_mps2{0.0};
 };
 
-/// Advances one sample with commanded acceleration `accel_mps2` over
-/// `sample_time_s`. Returns the new state; clamps velocity at zero (and
+/// Advances one sample with commanded acceleration `accel` over
+/// `sample_time`. Returns the new state; clamps velocity at zero (and
 /// zeroes acceleration when the clamp engages mid-step).
-VehicleState step(const VehicleState& state, double accel_mps2,
-                  double sample_time_s);
+VehicleState step(const VehicleState& state, MetersPerSecond2 accel,
+                  Seconds sample_time);
 
 /// Gap between a leader and a follower (positive when the leader is ahead).
-double gap_m(const VehicleState& leader, const VehicleState& follower);
+Meters gap(const VehicleState& leader, const VehicleState& follower);
 
 /// Relative velocity dv = v_L - v_F (negative when closing).
-double relative_velocity_mps(const VehicleState& leader,
-                             const VehicleState& follower);
+MetersPerSecond relative_velocity(const VehicleState& leader,
+                                  const VehicleState& follower);
 
 }  // namespace safe::vehicle

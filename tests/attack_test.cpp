@@ -18,11 +18,11 @@ AttackContext context_at(double time_s, double distance_m,
                          const radar::FmcwParameters& wf,
                          double range_rate = -1.0) {
   return AttackContext{
-      .time_s = time_s,
-      .true_distance_m = distance_m,
-      .true_range_rate_mps = range_rate,
+      .time_s = units::Seconds{time_s},
+      .true_distance_m = units::Meters{distance_m},
+      .true_range_rate_mps = units::MetersPerSecond{range_rate},
       .true_echo_power_w =
-          radar::received_echo_power_w(wf, distance_m, 10.0),
+          radar::received_echo_power_w(wf, units::Meters{distance_m}, 10.0),
       .waveform = &wf,
   };
 }
@@ -49,19 +49,21 @@ TEST(NoAttack, LeavesSceneUntouched) {
 }
 
 TEST(AttackWindow, ContainsIsHalfOpen) {
-  const AttackWindow w{.start_s = 182.0, .end_s = 300.0};
-  EXPECT_FALSE(w.contains(181.999));
-  EXPECT_TRUE(w.contains(182.0));
-  EXPECT_TRUE(w.contains(299.999));
-  EXPECT_FALSE(w.contains(300.0));
-  EXPECT_DOUBLE_EQ(w.duration_s(), 118.0);
+  const AttackWindow w{.start_s = units::Seconds{182.0},
+                       .end_s = units::Seconds{300.0}};
+  EXPECT_FALSE(w.contains(units::Seconds{181.999}));
+  EXPECT_TRUE(w.contains(units::Seconds{182.0}));
+  EXPECT_TRUE(w.contains(units::Seconds{299.999}));
+  EXPECT_FALSE(w.contains(units::Seconds{300.0}));
+  EXPECT_DOUBLE_EQ(w.duration().value(), 118.0);
 }
 
 TEST(ScheduledAttack, ValidatesArguments) {
-  EXPECT_THROW(ScheduledAttack(nullptr, AttackWindow{0.0, 1.0}),
+  EXPECT_THROW(ScheduledAttack(nullptr,
+                            AttackWindow{units::Seconds{0.0}, units::Seconds{1.0}}),
                std::invalid_argument);
   EXPECT_THROW(ScheduledAttack(std::make_shared<NoAttack>(),
-                               AttackWindow{5.0, 5.0}),
+                               AttackWindow{units::Seconds{5.0}, units::Seconds{5.0}}),
                std::invalid_argument);
 }
 
@@ -69,7 +71,7 @@ TEST(ScheduledAttack, FiresOnlyInsideWindow) {
   const auto wf = waveform();
   const ScheduledAttack attack(
       std::make_shared<DosJammerAttack>(radar::JammerParameters{}),
-      AttackWindow{182.0, 300.0});
+      AttackWindow{units::Seconds{182.0}, units::Seconds{300.0}});
 
   auto ctx = context_at(100.0, 100.0, wf);
   radar::EchoScene scene = normal_scene(ctx);
@@ -77,14 +79,14 @@ TEST(ScheduledAttack, FiresOnlyInsideWindow) {
   attack.apply(ctx, scene);
   EXPECT_EQ(scene.noise_power_w, clean_noise);  // before window
 
-  ctx.time_s = 200.0;
+  ctx.time_s = units::Seconds{200.0};
   attack.apply(ctx, scene);
   EXPECT_GT(scene.noise_power_w, clean_noise);  // inside window
 }
 
 TEST(ScheduledAttack, NameMentionsInner) {
   const ScheduledAttack attack(std::make_shared<NoAttack>(),
-                               AttackWindow{1.0, 2.0});
+                               AttackWindow{units::Seconds{1.0}, units::Seconds{2.0}});
   EXPECT_NE(attack.name().find("none"), std::string::npos);
 }
 
@@ -103,7 +105,7 @@ TEST(DosJammer, AddsEquationTenPower) {
   attack.apply(ctx, scene);
   EXPECT_NEAR(scene.noise_power_w - before,
               radar::received_jammer_power_w(wf, radar::JammerParameters{},
-                                             100.0),
+                                             units::Meters{100.0}),
               1e-20);
 }
 
@@ -113,19 +115,19 @@ TEST(DosJammer, LeavesGenuineEchoInScene) {
   radar::EchoScene scene = normal_scene(ctx);
   DosJammerAttack{radar::JammerParameters{}}.apply(ctx, scene);
   ASSERT_EQ(scene.echoes.size(), 1u);
-  EXPECT_DOUBLE_EQ(scene.echoes[0].distance_m, 100.0);
+  EXPECT_DOUBLE_EQ(scene.echoes[0].distance_m.value(), 100.0);
 }
 
 TEST(DosJammer, PaperParametersSucceedAtHundredMeters) {
   const DosJammerAttack attack{radar::JammerParameters{}};
-  EXPECT_TRUE(attack.succeeds_at(waveform(), 100.0, 10.0));
-  EXPECT_FALSE(attack.succeeds_at(waveform(), 2.0, 10.0));
+  EXPECT_TRUE(attack.succeeds_at(waveform(), units::Meters{100.0}, 10.0));
+  EXPECT_FALSE(attack.succeeds_at(waveform(), units::Meters{2.0}, 10.0));
 }
 
 TEST(DosJammer, SkipsDegenerateGeometry) {
   const auto wf = waveform();
   auto ctx = context_at(0.0, 100.0, wf);
-  ctx.true_distance_m = 0.0;
+  ctx.true_distance_m = units::Meters{0.0};
   radar::EchoScene scene;
   scene.noise_power_w = 1.0e-14;
   DosJammerAttack{radar::JammerParameters{}}.apply(ctx, scene);
@@ -134,14 +136,14 @@ TEST(DosJammer, SkipsDegenerateGeometry) {
 
 TEST(DosJammer, MissingWaveformThrows) {
   AttackContext ctx;
-  ctx.true_distance_m = 50.0;
+  ctx.true_distance_m = units::Meters{50.0};
   radar::EchoScene scene;
   EXPECT_THROW(DosJammerAttack{radar::JammerParameters{}}.apply(ctx, scene),
                std::invalid_argument);
 }
 
 TEST(DelayInjection, ValidatesConfig) {
-  EXPECT_THROW(DelayInjectionAttack({.extra_delay_s = 0.0}),
+  EXPECT_THROW(DelayInjectionAttack({.extra_delay_s = units::Seconds{0.0}}),
                std::invalid_argument);
   EXPECT_THROW(DelayInjectionAttack({.power_advantage = 0.0}),
                std::invalid_argument);
@@ -149,7 +151,7 @@ TEST(DelayInjection, ValidatesConfig) {
 
 TEST(DelayInjection, DefaultDelayFakesSixMeters) {
   const DelayInjectionAttack attack{DelayInjectionConfig{}};
-  EXPECT_NEAR(attack.range_offset_m(), 6.0, 0.01);
+  EXPECT_NEAR(attack.range_offset().value(), 6.0, 0.01);
 }
 
 TEST(DelayInjection, ReplacesEchoWithShiftedCounterfeit) {
@@ -159,8 +161,8 @@ TEST(DelayInjection, ReplacesEchoWithShiftedCounterfeit) {
   const DelayInjectionAttack attack{DelayInjectionConfig{}};
   attack.apply(ctx, scene);
   ASSERT_EQ(scene.echoes.size(), 1u);
-  EXPECT_NEAR(scene.echoes[0].distance_m, 86.0, 0.01);
-  EXPECT_DOUBLE_EQ(scene.echoes[0].range_rate_mps, -2.5);
+  EXPECT_NEAR(scene.echoes[0].distance_m.value(), 86.0, 0.01);
+  EXPECT_DOUBLE_EQ(scene.echoes[0].range_rate_mps.value(), -2.5);
   EXPECT_GT(scene.echoes[0].power_w, ctx.true_echo_power_w);
 }
 
@@ -202,9 +204,9 @@ TEST(DelayInjection, FastAdversaryEvadesChallenges) {
 
 TEST(DelayInjection, CustomDelayScalesOffset) {
   DelayInjectionConfig cfg;
-  cfg.extra_delay_s = 8.0e-8;  // twice the default
+  cfg.extra_delay_s = units::Seconds{8.0e-8};  // twice the default
   const DelayInjectionAttack attack{cfg};
-  EXPECT_NEAR(attack.range_offset_m(), 12.0, 0.02);
+  EXPECT_NEAR(attack.range_offset().value(), 12.0, 0.02);
 }
 
 }  // namespace

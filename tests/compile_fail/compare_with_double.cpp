@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: ordering a quantity against a bare double.
+#include "units/units.hpp"
+
+int main() {
+  bool closer = safe::units::Meters{5.0} < 6.0;
+  (void)closer;
+  return 0;
+}

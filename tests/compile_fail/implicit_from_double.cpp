@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: quantity construction from double is explicit-only.
+#include "units/units.hpp"
+
+int main() {
+  safe::units::Meters distance = 73.4;
+  (void)distance;
+  return 0;
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: shedding the unit requires the explicit .value() hatch.
+#include "units/units.hpp"
+
+int main() {
+  double raw = safe::units::Meters{73.4};
+  (void)raw;
+  return 0;
+}

@@ -1,0 +1,8 @@
+// MUST NOT COMPILE: adding quantities of different dimensions.
+#include "units/units.hpp"
+
+int main() {
+  auto nonsense = safe::units::Meters{1.0} + safe::units::Seconds{1.0};
+  (void)nonsense;
+  return 0;
+}

@@ -1,0 +1,10 @@
+// MUST NOT COMPILE: passing a range where a real public API expects a delay.
+// This is the acceptance check for the whole units migration: the historical
+// failure mode (meters silently read as seconds) is now a type error.
+#include "radar/fmcw.hpp"
+
+int main() {
+  auto offset = safe::radar::spoofed_range_offset(safe::units::Meters{6.0});
+  (void)offset;
+  return 0;
+}

@@ -11,43 +11,44 @@ namespace {
 
 TEST(AccParameters, Validation) {
   AccParameters p;
-  p.headway_time_s = 0.0;
+  p.headway_time_s = Seconds{0.0};
   EXPECT_THROW(validate_parameters(p), std::invalid_argument);
   p = AccParameters{};
-  p.time_constant_s = -1.0;
+  p.time_constant_s = Seconds{-1.0};
   EXPECT_THROW(validate_parameters(p), std::invalid_argument);
   p = AccParameters{};
-  p.sample_time_s = 0.0;
+  p.sample_time_s = Seconds{0.0};
   EXPECT_THROW(validate_parameters(p), std::invalid_argument);
   p = AccParameters{};
-  p.max_accel_mps2 = 0.0;
+  p.max_accel_mps2 = MetersPerSecond2{0.0};
   EXPECT_THROW(validate_parameters(p), std::invalid_argument);
 }
 
 TEST(DesiredDistance, EquationTwelve) {
   // d_des = d_0 + tau_h * v_F with the paper's tau_h = 3 s, d_0 = 5 m.
   const AccParameters p;
-  EXPECT_DOUBLE_EQ(desired_distance_m(p, 0.0), 5.0);
-  EXPECT_DOUBLE_EQ(desired_distance_m(p, 20.0), 65.0);
+  EXPECT_DOUBLE_EQ(desired_distance(p, MetersPerSecond{0.0}).value(), 5.0);
+  EXPECT_DOUBLE_EQ(desired_distance(p, MetersPerSecond{20.0}).value(), 65.0);
 }
 
 TEST(UpperLevel, SpeedModeWithoutTarget) {
   UpperLevelController ctrl{AccParameters{}};
   AccInputs in;
   in.target_present = false;
-  in.follower_speed_mps = 20.0;
+  in.follower_speed_mps = MetersPerSecond{20.0};
   const AccCommand cmd = ctrl.step(in);
   EXPECT_EQ(cmd.mode, AccMode::kSpeedControl);
-  EXPECT_DOUBLE_EQ(cmd.desired_speed_mps, AccParameters{}.set_speed_mps);
-  EXPECT_GT(cmd.desired_accel_mps2, 0.0);  // below set speed: accelerate
+  EXPECT_DOUBLE_EQ(cmd.desired_speed_mps.value(),
+                   AccParameters{}.set_speed_mps.value());
+  EXPECT_GT(cmd.desired_accel_mps2, MetersPerSecond2{0.0});  // below set speed: accelerate
 }
 
 TEST(UpperLevel, SpeedModeWhenTargetFarAway) {
   UpperLevelController ctrl{AccParameters{}};
   AccInputs in;
   in.target_present = true;
-  in.distance_m = 200.0;  // far beyond the CTH envelope at any speed
-  in.follower_speed_mps = 25.0;
+  in.distance_m = Meters{200.0};  // far beyond the CTH envelope at any speed
+  in.follower_speed_mps = MetersPerSecond{25.0};
   EXPECT_EQ(ctrl.step(in).mode, AccMode::kSpeedControl);
 }
 
@@ -55,44 +56,45 @@ TEST(UpperLevel, SpacingModeInsideEnvelope) {
   UpperLevelController ctrl{AccParameters{}};
   AccInputs in;
   in.target_present = true;
-  in.follower_speed_mps = 25.0;      // d_des = 80
-  in.distance_m = 60.0;              // inside
-  in.relative_velocity_mps = -2.0;   // closing
+  in.follower_speed_mps = MetersPerSecond{25.0};  // d_des = 80
+  in.distance_m = Meters{60.0};                   // inside
+  in.relative_velocity_mps = MetersPerSecond{-2.0};  // closing
   const AccCommand cmd = ctrl.step(in);
   EXPECT_EQ(cmd.mode, AccMode::kSpacingControl);
   // Closing and too near: decelerate.
-  EXPECT_LT(cmd.desired_accel_mps2, 0.0);
+  EXPECT_LT(cmd.desired_accel_mps2, MetersPerSecond2{0.0});
   EXPECT_LT(cmd.desired_speed_mps, in.follower_speed_mps);
 }
 
 TEST(UpperLevel, DesiredAccelClampedToLimits) {
   AccParameters p;
-  p.max_decel_mps2 = 2.0;
+  p.max_decel_mps2 = MetersPerSecond2{2.0};
   UpperLevelController ctrl{p};
   AccInputs in;
   in.target_present = true;
-  in.follower_speed_mps = 30.0;
-  in.distance_m = 10.0;               // emergency-close
-  in.relative_velocity_mps = -10.0;
+  in.follower_speed_mps = MetersPerSecond{30.0};
+  in.distance_m = Meters{10.0};  // emergency-close
+  in.relative_velocity_mps = MetersPerSecond{-10.0};
   const AccCommand cmd = ctrl.step(in);
-  EXPECT_GE(cmd.desired_accel_mps2, -2.0);
+  EXPECT_GE(cmd.desired_accel_mps2, MetersPerSecond2{-2.0});
 }
 
 TEST(UpperLevel, SpacingNeverExceedsSetSpeed) {
   UpperLevelController ctrl{AccParameters{}};
   AccInputs in;
   in.target_present = true;
-  in.follower_speed_mps = 29.0;
-  in.distance_m = 95.0;              // just inside the 1.2x envelope
-  in.relative_velocity_mps = 10.0;   // leader racing away
+  in.follower_speed_mps = MetersPerSecond{29.0};
+  in.distance_m = Meters{95.0};  // just inside the 1.2x envelope
+  in.relative_velocity_mps = MetersPerSecond{10.0};  // leader racing away
   const AccCommand cmd = ctrl.step(in);
-  EXPECT_LE(cmd.desired_speed_mps, AccParameters{}.set_speed_mps + 1e-12);
+  EXPECT_LE(cmd.desired_speed_mps,
+            AccParameters{}.set_speed_mps + MetersPerSecond{1e-12});
 }
 
 TEST(UpperLevel, ResetForgetsPreviousDesiredSpeed) {
   UpperLevelController ctrl{AccParameters{}};
   AccInputs in;
-  in.follower_speed_mps = 10.0;
+  in.follower_speed_mps = MetersPerSecond{10.0};
   ctrl.step(in);
   ctrl.reset();
   // After reset the Eq. 16 difference is taken against current speed again.
@@ -109,13 +111,14 @@ TEST(UpperLevel, SafeStopCommandsFullRampEveryStep) {
   UpperLevelController ctrl{p};
   AccInputs in;
   in.degraded_safe_stop = true;
-  in.follower_speed_mps = 20.0;
+  in.follower_speed_mps = MetersPerSecond{20.0};
   for (int k = 0; k < 5; ++k) {
     const AccCommand cmd = ctrl.step(in);
     EXPECT_EQ(cmd.mode, AccMode::kSafeStop);
-    EXPECT_DOUBLE_EQ(cmd.desired_accel_mps2, -p.safe_stop_decel_mps2);
+    EXPECT_DOUBLE_EQ(cmd.desired_accel_mps2.value(),
+                     -p.safe_stop_decel_mps2.value());
     // The plant barely responds (worst case): the command must not decay.
-    in.follower_speed_mps -= 0.01;
+    in.follower_speed_mps -= MetersPerSecond{0.01};
   }
 }
 
@@ -124,10 +127,12 @@ TEST(UpperLevel, SafeStopNeverCommandsReverse) {
   UpperLevelController ctrl{p};
   AccInputs in;
   in.degraded_safe_stop = true;
-  in.follower_speed_mps = 0.5;  // less than one decel step from standstill
+  in.follower_speed_mps =
+      MetersPerSecond{0.5};  // less than one decel step from standstill
   const AccCommand cmd = ctrl.step(in);
-  EXPECT_DOUBLE_EQ(cmd.desired_speed_mps, 0.0);
-  EXPECT_DOUBLE_EQ(cmd.desired_accel_mps2, -0.5 / p.sample_time_s);
+  EXPECT_DOUBLE_EQ(cmd.desired_speed_mps.value(), 0.0);
+  EXPECT_DOUBLE_EQ(cmd.desired_accel_mps2.value(),
+                   -0.5 / p.sample_time_s.value());
 }
 
 TEST(UpperLevel, HoldoverNeverRaisesSpeedWhenPolicyEnabled) {
@@ -136,30 +141,30 @@ TEST(UpperLevel, HoldoverNeverRaisesSpeedWhenPolicyEnabled) {
   UpperLevelController ctrl{p};
   AccInputs in;
   in.target_present = false;  // dead sensor: "no target" is not "road clear"
-  in.follower_speed_mps = 20.0;
+  in.follower_speed_mps = MetersPerSecond{20.0};
   in.degraded_holdover = true;
   const AccCommand cmd = ctrl.step(in);
   EXPECT_LE(cmd.desired_speed_mps, in.follower_speed_mps);
-  EXPECT_LE(cmd.desired_accel_mps2, 0.0);
+  EXPECT_LE(cmd.desired_accel_mps2, MetersPerSecond2{0.0});
 
   // Same inputs with the policy off (paper behaviour): resume set speed.
   UpperLevelController legacy{AccParameters{}};
-  EXPECT_DOUBLE_EQ(legacy.step(in).desired_speed_mps,
-                   AccParameters{}.set_speed_mps);
+  EXPECT_DOUBLE_EQ(legacy.step(in).desired_speed_mps.value(),
+                   AccParameters{}.set_speed_mps.value());
 }
 
 TEST(UpperLevel, EmergencyFloorOverridesSpacingLaw) {
   AccParameters p;
-  p.emergency_headway_s = 0.5;
+  p.emergency_headway_s = Seconds{0.5};
   UpperLevelController ctrl{p};
   AccInputs in;
   in.target_present = true;
-  in.follower_speed_mps = 20.0;
-  in.distance_m = 10.0;  // below d_0 + 0.5 * v_F = 15 m
-  in.relative_velocity_mps = -1.0;
+  in.follower_speed_mps = MetersPerSecond{20.0};
+  in.distance_m = Meters{10.0};  // below d_0 + 0.5 * v_F = 15 m
+  in.relative_velocity_mps = MetersPerSecond{-1.0};
   const AccCommand cmd = ctrl.step(in);
   EXPECT_EQ(cmd.mode, AccMode::kSafeStop);
-  EXPECT_DOUBLE_EQ(cmd.desired_accel_mps2, -p.max_decel_mps2);
+  EXPECT_DOUBLE_EQ(cmd.desired_accel_mps2.value(), -p.max_decel_mps2.value());
 
   // The floor is opt-in: default parameters keep the paper's CTH law even
   // this deep inside the envelope.
@@ -170,82 +175,95 @@ TEST(UpperLevel, EmergencyFloorOverridesSpacingLaw) {
 TEST(LowerLevel, FirstOrderLagApproachesTarget) {
   LowerLevelController ctrl{AccParameters{}};
   double a = 0.0;
-  for (int k = 0; k < 30; ++k) a = ctrl.step(1.5).actual_accel_mps2;
+  for (int k = 0; k < 30; ++k) {
+    a = ctrl.step(MetersPerSecond2{1.5}).actual_accel_mps2.value();
+  }
   EXPECT_NEAR(a, 1.5, 1e-6);  // K1 = 1: tracks a_des
 }
 
 TEST(LowerLevel, SingleStepMatchesDiscretization) {
   // a1 = a0 + T/Ti * (K1 a_des - a0); T = 1, Ti = 1.008 -> blend 0.992.
   LowerLevelController ctrl{AccParameters{}};
-  const auto s = ctrl.step(2.0);
-  EXPECT_NEAR(s.actual_accel_mps2, std::min(1.0 / 1.008, 1.0) * 2.0, 1e-12);
+  const auto s = ctrl.step(MetersPerSecond2{2.0});
+  EXPECT_NEAR(s.actual_accel_mps2.value(), std::min(1.0 / 1.008, 1.0) * 2.0,
+              1e-12);
 }
 
 TEST(LowerLevel, PedalAndBrakeSplit) {
   LowerLevelController ctrl{AccParameters{}};
-  const auto accel = ctrl.step(2.0);
-  EXPECT_GT(accel.pedal_accel_mps2, 0.0);
+  const auto accel = ctrl.step(MetersPerSecond2{2.0});
+  EXPECT_GT(accel.pedal_accel_mps2, MetersPerSecond2{0.0});
   EXPECT_EQ(accel.brake_pressure, 0.0);
 
   LowerLevelController ctrl2{AccParameters{}};
-  const auto brake = ctrl2.step(-2.0);
-  EXPECT_EQ(brake.pedal_accel_mps2, 0.0);
+  const auto brake = ctrl2.step(MetersPerSecond2{-2.0});
+  EXPECT_EQ(brake.pedal_accel_mps2.value(), 0.0);
   EXPECT_GT(brake.brake_pressure, 0.0);
   // P_brake proportional to commanded deceleration.
   EXPECT_NEAR(brake.brake_pressure,
-              -brake.actual_accel_mps2 * AccParameters{}.brake_pressure_per_mps2,
+              -brake.actual_accel_mps2.value() *
+                  AccParameters{}.brake_pressure_per_mps2,
               1e-9);
 }
 
 TEST(LowerLevel, ResetZeroesState) {
   LowerLevelController ctrl{AccParameters{}};
-  ctrl.step(2.0);
+  ctrl.step(MetersPerSecond2{2.0});
   ctrl.reset();
-  EXPECT_EQ(ctrl.actual_accel(), 0.0);
+  EXPECT_EQ(ctrl.actual_accel().value(), 0.0);
 }
 
 TEST(AccController, FacadeRunsBothLevels) {
   AccController acc;
   AccInputs in;
   in.target_present = true;
-  in.follower_speed_mps = 25.0;
-  in.distance_m = 40.0;
-  in.relative_velocity_mps = -3.0;
+  in.follower_speed_mps = MetersPerSecond{25.0};
+  in.distance_m = Meters{40.0};
+  in.relative_velocity_mps = MetersPerSecond{-3.0};
   const auto out = acc.step(in);
   EXPECT_EQ(out.command.mode, AccMode::kSpacingControl);
-  EXPECT_LT(out.actuation.actual_accel_mps2, 0.0);
+  EXPECT_LT(out.actuation.actual_accel_mps2, MetersPerSecond2{0.0});
 }
 
 TEST(Idm, Validation) {
   IdmParameters p;
-  p.max_accel_mps2 = 0.0;
+  p.max_accel_mps2 = MetersPerSecond2{0.0};
   EXPECT_THROW(validate_parameters(p), std::invalid_argument);
   p = IdmParameters{};
-  p.desired_speed_mps = 0.0;
+  p.desired_speed_mps = MetersPerSecond{0.0};
   EXPECT_THROW(validate_parameters(p), std::invalid_argument);
 }
 
 TEST(Idm, FreeRoadAcceleratesBelowDesiredSpeed) {
   const IdmParameters p;
-  EXPECT_GT(idm_free_acceleration(p, 10.0), 0.0);
-  EXPECT_NEAR(idm_free_acceleration(p, p.desired_speed_mps), 0.0, 1e-9);
-  EXPECT_LT(idm_free_acceleration(p, p.desired_speed_mps * 1.2), 0.0);
+  EXPECT_GT(idm_free_acceleration(p, MetersPerSecond{10.0}),
+            MetersPerSecond2{0.0});
+  EXPECT_NEAR(idm_free_acceleration(p, p.desired_speed_mps).value(), 0.0,
+              1e-9);
+  EXPECT_LT(idm_free_acceleration(p, p.desired_speed_mps * 1.2),
+            MetersPerSecond2{0.0});
 }
 
 TEST(Idm, DesiredGapGrowsWithSpeedAndClosingRate) {
   const IdmParameters p;
-  EXPECT_GT(idm_desired_gap_m(p, 30.0, 30.0), idm_desired_gap_m(p, 10.0, 10.0));
-  EXPECT_GT(idm_desired_gap_m(p, 20.0, 15.0), idm_desired_gap_m(p, 20.0, 20.0));
+  EXPECT_GT(idm_desired_gap(p, MetersPerSecond{30.0}, MetersPerSecond{30.0}),
+            idm_desired_gap(p, MetersPerSecond{10.0}, MetersPerSecond{10.0}));
+  EXPECT_GT(idm_desired_gap(p, MetersPerSecond{20.0}, MetersPerSecond{15.0}),
+            idm_desired_gap(p, MetersPerSecond{20.0}, MetersPerSecond{20.0}));
 }
 
 TEST(Idm, BrakesWhenGapTooSmall) {
   const IdmParameters p;
-  EXPECT_LT(idm_acceleration(p, 20.0, 20.0, 5.0), 0.0);
+  EXPECT_LT(idm_acceleration(p, MetersPerSecond{20.0}, MetersPerSecond{20.0},
+                             Meters{5.0}),
+            MetersPerSecond2{0.0});
 }
 
 TEST(Idm, EmergencyClampOnContact) {
   const IdmParameters p;
-  EXPECT_LT(idm_acceleration(p, 20.0, 20.0, 0.0), -4.0);
+  EXPECT_LT(idm_acceleration(p, MetersPerSecond{20.0}, MetersPerSecond{20.0},
+                             Meters{0.0}),
+            MetersPerSecond2{-4.0});
 }
 
 TEST(Idm, EquilibriumIsStable) {
@@ -255,16 +273,19 @@ TEST(Idm, EquilibriumIsStable) {
   double v = 25.0, gap = 20.0;
   const double v_lead = 22.0;
   for (int k = 0; k < 2000; ++k) {
-    const double a = idm_acceleration(p, v, v_lead, gap);
+    const double a = idm_acceleration(p, MetersPerSecond{v},
+                                      MetersPerSecond{v_lead}, Meters{gap})
+                         .value();
     v = std::max(v + a * 0.1, 0.0);
     gap += (v_lead - v) * 0.1;
   }
   EXPECT_NEAR(v, v_lead, 0.05);
   // Analytic equilibrium: a = 0 at s_eq = s* / sqrt(1 - (v/v0)^delta).
   const double free_term =
-      std::pow(v / p.desired_speed_mps, p.accel_exponent);
+      std::pow(v / p.desired_speed_mps.value(), p.accel_exponent);
   const double s_eq =
-      idm_desired_gap_m(p, v, v_lead) / std::sqrt(1.0 - free_term);
+      idm_desired_gap(p, MetersPerSecond{v}, MetersPerSecond{v_lead}).value() /
+      std::sqrt(1.0 - free_term);
   EXPECT_NEAR(gap, s_eq, 1.0);
 }
 

@@ -26,7 +26,7 @@ TEST(CarFollowing, CleanRunTracksLeaderWithoutCollision) {
   EXPECT_EQ(result.detection_stats.false_positives, 0u);
   // The follower must keep a safe gap the whole run (the CTH design point
   // is d_0 = 5 m once both vehicles have stopped).
-  EXPECT_GT(result.min_gap_m, 4.5);
+  EXPECT_GT(result.min_gap_m, units::Meters{4.5});
   EXPECT_EQ(result.trace.num_rows(), 300u);
 }
 
@@ -70,7 +70,8 @@ TEST(CarFollowing, DosAttackDefendedAvoidsCollision) {
 TEST(CarFollowing, DelayAttackDefendedDetectsAtFirstChallenge) {
   ScenarioOptions o = fast_options();
   o.attack = AttackKind::kDelayInjection;
-  o.attack_start_s = 180.0;  // paper: delay injection begins at k = 180
+  o.attack_start_s =
+      units::Seconds{180.0};  // paper: delay injection begins at k = 180
   const auto result = make_paper_scenario(o).run();
   EXPECT_FALSE(result.collided);
   ASSERT_TRUE(result.detection_step.has_value());
@@ -82,7 +83,7 @@ TEST(CarFollowing, DelayAttackDefendedDetectsAtFirstChallenge) {
 TEST(CarFollowing, DelayAttackShiftsMeasuredGapBySixMeters) {
   ScenarioOptions o = fast_options();
   o.attack = AttackKind::kDelayInjection;
-  o.attack_start_s = 180.0;
+  o.attack_start_s = units::Seconds{180.0};
   o.defense_enabled = false;
   const auto result = make_paper_scenario(o).run();
   const auto& truth = result.trace.column("true_gap_m");
@@ -102,7 +103,7 @@ TEST(CarFollowing, DelayAttackShiftsMeasuredGapBySixMeters) {
 TEST(CarFollowing, DelayAttackUndefendedShrinksSafetyMargin) {
   ScenarioOptions o = fast_options();
   o.attack = AttackKind::kDelayInjection;
-  o.attack_start_s = 180.0;
+  o.attack_start_s = units::Seconds{180.0};
 
   o.defense_enabled = false;
   const auto undefended = make_paper_scenario(o).run();
@@ -119,7 +120,9 @@ TEST(CarFollowing, ScenarioTwoDefendedSurvivesBothAttacks) {
     ScenarioOptions o = fast_options();
     o.leader = LeaderScenario::kDecelThenAccel;
     o.attack = kind;
-    o.attack_start_s = kind == AttackKind::kDosJammer ? 182.0 : 180.0;
+    o.attack_start_s =
+        kind == AttackKind::kDosJammer ? units::Seconds{182.0}
+                                       : units::Seconds{180.0};
     const auto result = make_paper_scenario(o).run();
     EXPECT_FALSE(result.collided);
     ASSERT_TRUE(result.detection_step.has_value());
@@ -160,7 +163,7 @@ TEST(CarFollowing, DeterministicGivenSeed) {
   o.attack = AttackKind::kDosJammer;
   const auto a = make_paper_scenario(o).run();
   const auto b = make_paper_scenario(o).run();
-  EXPECT_EQ(a.min_gap_m, b.min_gap_m);
+  EXPECT_EQ(a.min_gap_m.value(), b.min_gap_m.value());
   EXPECT_EQ(a.trace.column("follower_v_mps"), b.trace.column("follower_v_mps"));
 }
 
@@ -180,8 +183,8 @@ TEST(CarFollowing, AttackEndingMidRunIsCleared) {
   // the jammer goes quiet).
   ScenarioOptions o = fast_options();
   o.attack = AttackKind::kDosJammer;
-  o.attack_start_s = 170.0;
-  o.attack_end_s = 190.0;
+  o.attack_start_s = units::Seconds{170.0};
+  o.attack_end_s = units::Seconds{190.0};
   const auto result = make_paper_scenario(o).run();
   EXPECT_FALSE(result.collided);
   ASSERT_TRUE(result.detection_step.has_value());
@@ -232,7 +235,7 @@ TEST_P(DetectionLatency, FiresAtFirstChallengeAfterOnset) {
   // ablation_challenge_rate bench quantifies.
   ScenarioOptions o = fast_options();
   o.attack = AttackKind::kDosJammer;
-  o.attack_start_s = GetParam();
+  o.attack_start_s = units::Seconds{GetParam()};
   Scenario scenario = make_paper_scenario(o);
   scenario.schedule = std::make_shared<cra::PrbsChallengeSchedule>(
       0x5A5A, 1, 3, scenario.config.horizon_steps);

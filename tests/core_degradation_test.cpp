@@ -32,7 +32,8 @@ SafeMeasurementPipeline make_pipeline(
 
 radar::RadarMeasurement echo_measurement(double d, double dv) {
   radar::RadarMeasurement m;
-  m.estimate = radar::RangeRate{.distance_m = d, .range_rate_mps = dv};
+  m.estimate = radar::RangeRate{.distance_m = Meters{d},
+                                .range_rate_mps = MetersPerSecond{dv}};
   m.coherent_echo = true;
   m.peak_to_average = 500.0;
   return m;
@@ -54,26 +55,32 @@ radar::RadarMeasurement jammed_measurement() {
 
 double ramp(std::int64_t k) { return 100.0 - 0.5 * static_cast<double>(k); }
 
+/// Raw-double shim over the typed HealthMonitor::validate signature.
+HealthMonitor::Verdict validate(HealthMonitor& hm, double d, double v) {
+  return hm.validate(Meters{d}, MetersPerSecond{v}, false, Meters{0.0},
+                     MetersPerSecond{0.0});
+}
+
 TEST(HealthMonitor, ValidatesFinitenessAndRange) {
   HealthMonitor hm;
   using V = HealthMonitor::Verdict;
-  EXPECT_EQ(hm.validate(80.0, -2.0, false, 0.0, 0.0), V::kAccept);
-  EXPECT_EQ(hm.validate(kNan, -2.0, false, 0.0, 0.0), V::kRejectNonFinite);
-  EXPECT_EQ(hm.validate(80.0, kInf, false, 0.0, 0.0), V::kRejectNonFinite);
-  EXPECT_EQ(hm.validate(-3.0, 0.0, false, 0.0, 0.0), V::kRejectRange);
-  EXPECT_EQ(hm.validate(5000.0, 0.0, false, 0.0, 0.0), V::kRejectRange);
-  EXPECT_EQ(hm.validate(80.0, 400.0, false, 0.0, 0.0), V::kRejectRange);
+  EXPECT_EQ(validate(hm, 80.0, -2.0), V::kAccept);
+  EXPECT_EQ(validate(hm, kNan, -2.0), V::kRejectNonFinite);
+  EXPECT_EQ(validate(hm, 80.0, kInf), V::kRejectNonFinite);
+  EXPECT_EQ(validate(hm, -3.0, 0.0), V::kRejectRange);
+  EXPECT_EQ(validate(hm, 5000.0, 0.0), V::kRejectRange);
+  EXPECT_EQ(validate(hm, 80.0, 400.0), V::kRejectRange);
   EXPECT_EQ(hm.stats().rejected_nonfinite, 2u);
   EXPECT_EQ(hm.stats().rejected_out_of_range, 3u);
 }
 
 TEST(HealthMonitor, PredictionOkRejectsDivergedFreeRuns) {
   HealthMonitor hm;
-  EXPECT_TRUE(hm.prediction_ok(50.0, -3.0));
-  EXPECT_FALSE(hm.prediction_ok(kNan, -3.0));
-  EXPECT_FALSE(hm.prediction_ok(50.0, kInf));
-  EXPECT_FALSE(hm.prediction_ok(1e9, 0.0));
-  EXPECT_FALSE(hm.prediction_ok(50.0, 900.0));
+  EXPECT_TRUE(hm.prediction_ok(Meters{50.0}, MetersPerSecond{-3.0}));
+  EXPECT_FALSE(hm.prediction_ok(Meters{kNan}, MetersPerSecond{-3.0}));
+  EXPECT_FALSE(hm.prediction_ok(Meters{50.0}, MetersPerSecond{kInf}));
+  EXPECT_FALSE(hm.prediction_ok(Meters{1e9}, MetersPerSecond{0.0}));
+  EXPECT_FALSE(hm.prediction_ok(Meters{50.0}, MetersPerSecond{900.0}));
 }
 
 TEST(HealthMonitor, HoldoverBudgetLatchesSafeStop) {
@@ -118,9 +125,9 @@ TEST(Degradation, NanMeasurementNeverPropagates) {
   EXPECT_TRUE(safe.measurement_rejected);
   EXPECT_TRUE(safe.target_present);
   EXPECT_TRUE(safe.estimated);
-  EXPECT_TRUE(std::isfinite(safe.distance_m));
-  EXPECT_TRUE(std::isfinite(safe.relative_velocity_mps));
-  EXPECT_NEAR(safe.distance_m, ramp(12), 2.0);
+  EXPECT_TRUE(std::isfinite(safe.distance_m.value()));
+  EXPECT_TRUE(std::isfinite(safe.relative_velocity_mps.value()));
+  EXPECT_NEAR(safe.distance_m.value(), ramp(12), 2.0);
   EXPECT_EQ(safe.degradation, DegradationState::kHoldover);
   EXPECT_EQ(p.health_stats().rejected_nonfinite, 1u);
 }
@@ -130,7 +137,7 @@ TEST(Degradation, NanBeforeAnyTargetReportsNoTarget) {
   const auto safe = p.process(0, echo_measurement(kInf, 0.0));
   EXPECT_TRUE(safe.measurement_rejected);
   EXPECT_FALSE(safe.target_present);
-  EXPECT_TRUE(std::isfinite(safe.distance_m));
+  EXPECT_TRUE(std::isfinite(safe.distance_m.value()));
 }
 
 TEST(Degradation, OutOfRangeMeasurementIsQuarantined) {
@@ -140,7 +147,7 @@ TEST(Degradation, OutOfRangeMeasurementIsQuarantined) {
   }
   const auto safe = p.process(12, echo_measurement(4000.0, -0.5));
   EXPECT_TRUE(safe.measurement_rejected);
-  EXPECT_NEAR(safe.distance_m, ramp(12), 2.0);
+  EXPECT_NEAR(safe.distance_m.value(), ramp(12), 2.0);
   EXPECT_EQ(p.health_stats().rejected_out_of_range, 1u);
 }
 
@@ -157,7 +164,7 @@ TEST(Degradation, InnovationGateQuarantinesStealthJump) {
   const auto safe = p.process(40, echo_measurement(ramp(40) + 30.0, -0.5));
   EXPECT_TRUE(safe.measurement_rejected);
   EXPECT_TRUE(safe.estimated);
-  EXPECT_NEAR(safe.distance_m, ramp(40), 3.0);
+  EXPECT_NEAR(safe.distance_m.value(), ramp(40), 3.0);
   EXPECT_EQ(safe.degradation, DegradationState::kHoldover);
   EXPECT_GE(p.health_stats().rejected_innovation, 1u);
 }
@@ -220,7 +227,7 @@ TEST(Degradation, DropoutBridgingHoldsTargetBriefly) {
     const auto s = p.process(k, silent_measurement());
     EXPECT_TRUE(s.target_present) << "k=" << k;
     EXPECT_TRUE(s.estimated) << "k=" << k;
-    EXPECT_NEAR(s.distance_m, ramp(k), 2.0) << "k=" << k;
+    EXPECT_NEAR(s.distance_m.value(), ramp(k), 2.0) << "k=" << k;
   }
   // ...the fourth declares the target lost.
   const auto lost = p.process(18, silent_measurement());
@@ -249,22 +256,22 @@ TEST(HealthMonitor, FrozenStreamIsQuarantinedAfterIdenticalRun) {
   o.max_identical_measurements = 3;
   HealthMonitor hm{o};
   using V = HealthMonitor::Verdict;
-  EXPECT_EQ(hm.validate(80.0, -2.0, false, 0.0, 0.0), V::kAccept);
-  EXPECT_EQ(hm.validate(80.0, -2.0, false, 0.0, 0.0), V::kAccept);
-  EXPECT_EQ(hm.validate(80.0, -2.0, false, 0.0, 0.0), V::kAccept);
-  EXPECT_EQ(hm.validate(80.0, -2.0, false, 0.0, 0.0), V::kRejectStuck);
-  EXPECT_EQ(hm.validate(80.0, -2.0, false, 0.0, 0.0), V::kRejectStuck);
+  EXPECT_EQ(validate(hm, 80.0, -2.0), V::kAccept);
+  EXPECT_EQ(validate(hm, 80.0, -2.0), V::kAccept);
+  EXPECT_EQ(validate(hm, 80.0, -2.0), V::kAccept);
+  EXPECT_EQ(validate(hm, 80.0, -2.0), V::kRejectStuck);
+  EXPECT_EQ(validate(hm, 80.0, -2.0), V::kRejectStuck);
   EXPECT_EQ(hm.stats().rejected_stuck, 2u);
   // Any change on either channel clears the run.
-  EXPECT_EQ(hm.validate(79.5, -2.0, false, 0.0, 0.0), V::kAccept);
-  EXPECT_EQ(hm.validate(79.5, -2.0, false, 0.0, 0.0), V::kAccept);
+  EXPECT_EQ(validate(hm, 79.5, -2.0), V::kAccept);
+  EXPECT_EQ(validate(hm, 79.5, -2.0), V::kAccept);
 }
 
 TEST(HealthMonitor, FrozenStreamCheckOffByDefault) {
   HealthMonitor hm;  // paper defaults: repeats are legal
   using V = HealthMonitor::Verdict;
   for (int k = 0; k < 20; ++k) {
-    EXPECT_EQ(hm.validate(80.0, -2.0, false, 0.0, 0.0), V::kAccept);
+    EXPECT_EQ(validate(hm, 80.0, -2.0), V::kAccept);
   }
   EXPECT_EQ(hm.stats().rejected_stuck, 0u);
 }

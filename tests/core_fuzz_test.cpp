@@ -29,8 +29,8 @@ TEST_P(DefenseInvariants, HoldUnderRandomizedAttacksAndSchedules) {
   o.estimator = radar::BeatEstimator::kPeriodogram;
   o.attack = attack_pick(rng) == 0 ? AttackKind::kDosJammer
                                    : AttackKind::kDelayInjection;
-  o.attack_start_s = std::floor(onset_dist(rng));
-  o.attack_end_s = 300.0;
+  o.attack_start_s = units::Seconds{std::floor(onset_dist(rng))};
+  o.attack_end_s = units::Seconds{300.0};
   o.seed = GetParam() + 7000;
   o.leader = attack_pick(rng) == 0 ? LeaderScenario::kConstantDecel
                                    : LeaderScenario::kDecelThenAccel;
@@ -46,14 +46,15 @@ TEST_P(DefenseInvariants, HoldUnderRandomizedAttacksAndSchedules) {
   // Invariant 1: the challenge-level comparison never miscounts — zero
   // false positives and zero false negatives on every run.
   EXPECT_EQ(result.detection_stats.false_positives, 0u)
-      << "attack=" << static_cast<int>(o.attack) << " onset="
-      << o.attack_start_s;
+      << "attack=" << static_cast<int>(o.attack)
+      << " onset=" << o.attack_start_s.value();
   EXPECT_EQ(result.detection_stats.false_negatives, 0u);
 
   // Invariant 2: if the run survived to the first challenge after onset,
   // detection happened exactly there.
   std::int64_t first_challenge_after_onset = -1;
-  for (std::int64_t k = static_cast<std::int64_t>(o.attack_start_s); k < 300;
+  for (std::int64_t k = static_cast<std::int64_t>(o.attack_start_s.value());
+       k < 300;
        ++k) {
     if (scenario.schedule->is_challenge(k)) {
       first_challenge_after_onset = k;
@@ -83,7 +84,8 @@ TEST_P(DefenseInvariants, HoldUnderRandomizedAttacksAndSchedules) {
   // Invariant 4: the under_attack flag never rises outside the window's
   // closure [onset, horizon].
   const auto& under = result.trace.column("under_attack");
-  for (std::size_t k = 0; k < static_cast<std::size_t>(o.attack_start_s);
+  for (std::size_t k = 0;
+       k < static_cast<std::size_t>(o.attack_start_s.value());
        ++k) {
     EXPECT_EQ(under[k], 0.0) << "k=" << k;
   }

@@ -18,7 +18,8 @@ LtiOutputAttack bias_attack(std::size_t outputs, double start, double end,
                             double magnitude) {
   LtiOutputAttack attack;
   attack.kind = LtiOutputAttack::Kind::kBias;
-  attack.window = attack::AttackWindow{start, end};
+  attack.window =
+      attack::AttackWindow{units::Seconds{start}, units::Seconds{end}};
   attack.value = linalg::RVector(outputs, magnitude);
   return attack;
 }
@@ -27,7 +28,8 @@ LtiOutputAttack dos_attack(std::size_t outputs, double start, double end,
                            double magnitude) {
   LtiOutputAttack attack;
   attack.kind = LtiOutputAttack::Kind::kDos;
-  attack.window = attack::AttackWindow{start, end};
+  attack.window =
+      attack::AttackWindow{units::Seconds{start}, units::Seconds{end}};
   attack.value = linalg::RVector(outputs, magnitude);
   return attack;
 }

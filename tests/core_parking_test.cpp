@@ -17,15 +17,15 @@ std::shared_ptr<const cra::ChallengeSchedule> parking_schedule(
 ParkingAttack spoof(double start, double end, double offset = 1.0) {
   ParkingAttack a;
   a.kind = ParkingAttack::Kind::kSpoof;
-  a.window = attack::AttackWindow{start, end};
-  a.spoof_offset_m = offset;
+  a.window = attack::AttackWindow{units::Seconds{start}, units::Seconds{end}};
+  a.spoof_offset_m = units::Meters{offset};
   return a;
 }
 
 ParkingAttack blinder(double start, double end) {
   ParkingAttack a;
   a.kind = ParkingAttack::Kind::kDos;
-  a.window = attack::AttackWindow{start, end};
+  a.window = attack::AttackWindow{units::Seconds{start}, units::Seconds{end}};
   return a;
 }
 
@@ -33,11 +33,11 @@ TEST(Parking, ConstructionValidation) {
   ParkingConfig cfg;
   EXPECT_THROW(ParkingSimulation(cfg, nullptr, std::nullopt),
                std::invalid_argument);
-  cfg.initial_clearance_m = 0.2;
+  cfg.initial_clearance_m = units::Meters{0.2};
   EXPECT_THROW(ParkingSimulation(cfg, parking_schedule(), std::nullopt),
                std::invalid_argument);
   cfg = ParkingConfig{};
-  cfg.sample_time_s = 0.0;
+  cfg.sample_time_s = units::Seconds{0.0};
   EXPECT_THROW(ParkingSimulation(cfg, parking_schedule(), std::nullopt),
                std::invalid_argument);
   cfg = ParkingConfig{};
@@ -52,7 +52,8 @@ TEST(Parking, CleanApproachStopsAtTargetDistance) {
   EXPECT_FALSE(r.collided);
   EXPECT_FALSE(r.detection_step.has_value());
   EXPECT_EQ(r.detection_stats.false_positives, 0u);
-  EXPECT_NEAR(r.final_clearance_m, ParkingConfig{}.stop_distance_m, 0.1);
+  EXPECT_NEAR(r.final_clearance_m.value(), ParkingConfig{}.stop_distance_m.value(),
+              0.1);
 }
 
 TEST(Parking, SpoofUndefendedHitsTheObstacle) {
@@ -72,7 +73,7 @@ TEST(Parking, SpoofDefendedStopsSafely) {
   EXPECT_GE(*r.detection_step, 40);
   EXPECT_EQ(r.detection_stats.false_positives, 0u);
   EXPECT_EQ(r.detection_stats.false_negatives, 0u);
-  EXPECT_GT(r.final_clearance_m, 0.1);
+  EXPECT_GT(r.final_clearance_m, units::Meters{0.1});
 }
 
 TEST(Parking, BlinderUndefendedDrivesOn) {
@@ -98,7 +99,7 @@ TEST(Parking, LidarProfileWorksToo) {
   // Same study with the lidar profile: CRA is modality-agnostic.
   ParkingConfig cfg;
   cfg.sensor = sensors::lidar_parameters();
-  cfg.initial_clearance_m = 8.0;
+  cfg.initial_clearance_m = units::Meters{8.0};
   ParkingSimulation sim(cfg, parking_schedule(), spoof(40.0, 200.0, 2.0));
   const auto r = sim.run();
   EXPECT_FALSE(r.collided);
@@ -117,7 +118,8 @@ TEST(Parking, ShortAttackClearsAndFinishesParking) {
     if (under[k] == 0.0) cleared_after = true;
   }
   EXPECT_TRUE(cleared_after);
-  EXPECT_NEAR(r.final_clearance_m, ParkingConfig{}.stop_distance_m, 0.15);
+  EXPECT_NEAR(r.final_clearance_m.value(), ParkingConfig{}.stop_distance_m.value(),
+              0.15);
 }
 
 TEST(Parking, TraceIsComplete) {

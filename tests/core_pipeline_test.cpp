@@ -24,7 +24,8 @@ SafeMeasurementPipeline make_pipeline(
 
 radar::RadarMeasurement echo_measurement(double d, double dv) {
   radar::RadarMeasurement m;
-  m.estimate = radar::RangeRate{.distance_m = d, .range_rate_mps = dv};
+  m.estimate = radar::RangeRate{.distance_m = units::Meters{d},
+                                .range_rate_mps = units::MetersPerSecond{dv}};
   m.coherent_echo = true;
   m.peak_to_average = 500.0;
   return m;
@@ -41,7 +42,8 @@ radar::RadarMeasurement jammed_measurement() {
   radar::RadarMeasurement m;
   m.coherent_echo = false;
   m.power_alarm = true;
-  m.estimate = radar::RangeRate{.distance_m = 999.0, .range_rate_mps = 50.0};
+  m.estimate = radar::RangeRate{.distance_m = units::Meters{999.0},
+                                .range_rate_mps = units::MetersPerSecond{50.0}};
   return m;
 }
 
@@ -63,8 +65,8 @@ TEST(Pipeline, PassesThroughCleanMeasurements) {
   const auto safe = p.process(0, echo_measurement(80.0, -2.0));
   EXPECT_TRUE(safe.target_present);
   EXPECT_FALSE(safe.estimated);
-  EXPECT_DOUBLE_EQ(safe.distance_m, 80.0);
-  EXPECT_DOUBLE_EQ(safe.relative_velocity_mps, -2.0);
+  EXPECT_DOUBLE_EQ(safe.distance_m.value(), 80.0);
+  EXPECT_DOUBLE_EQ(safe.relative_velocity_mps.value(), -2.0);
 }
 
 TEST(Pipeline, NoTargetWhenNoEcho) {
@@ -111,7 +113,7 @@ TEST(Pipeline, HoldsOverWithEstimatesDuringAttack) {
     const auto safe = p.process(k, jammed_measurement());
     EXPECT_TRUE(safe.estimated);
     const double expected = 100.0 - 0.5 * static_cast<double>(k);
-    EXPECT_NEAR(safe.distance_m, expected, 2.0) << "k=" << k;
+    EXPECT_NEAR(safe.distance_m.value(), expected, 2.0) << "k=" << k;
   }
 }
 
@@ -125,8 +127,8 @@ TEST(Pipeline, UntrainedPipelineHoldsLastValue) {
   p.process(0, echo_measurement(60.0, -1.5));
   const auto safe = p.process(4, jammed_measurement());
   EXPECT_TRUE(safe.under_attack);
-  EXPECT_DOUBLE_EQ(safe.distance_m, 60.0);
-  EXPECT_DOUBLE_EQ(safe.relative_velocity_mps, -1.5);
+  EXPECT_DOUBLE_EQ(safe.distance_m.value(), 60.0);
+  EXPECT_DOUBLE_EQ(safe.relative_velocity_mps.value(), -1.5);
 }
 
 TEST(Pipeline, AttackClearsOnSilentChallenge) {
@@ -150,7 +152,7 @@ TEST(Pipeline, ResumesPassThroughAfterClear) {
   p.process(20, silent_measurement());  // clears
   const auto safe = p.process(21, echo_measurement(42.0, -0.25));
   EXPECT_FALSE(safe.estimated);
-  EXPECT_DOUBLE_EQ(safe.distance_m, 42.0);
+  EXPECT_DOUBLE_EQ(safe.distance_m.value(), 42.0);
 }
 
 TEST(Pipeline, EstimatedDistanceNeverNegative) {
@@ -162,7 +164,7 @@ TEST(Pipeline, EstimatedDistanceNeverNegative) {
   p.process(30, jammed_measurement());
   for (std::int64_t k = 31; k < 60; ++k) {
     const auto safe = p.process(k, jammed_measurement());
-    EXPECT_GE(safe.distance_m, 0.0);
+    EXPECT_GE(safe.distance_m, units::Meters{0.0});
   }
 }
 
@@ -212,9 +214,9 @@ TEST(Pipeline, RollbackQuarantinesPoisonedSamples) {
   EXPECT_TRUE(at_detect.attack_started);
   // Without rollback the estimate would sit near 91 (85 + 6); with
   // quarantine it continues the clean ramp (~85).
-  EXPECT_NEAR(at_detect.distance_m, 100.0 - 0.5 * 30.0, 2.0);
+  EXPECT_NEAR(at_detect.distance_m.value(), 100.0 - 0.5 * 30.0, 2.0);
   const auto next = p.process(31, jammed_measurement());
-  EXPECT_NEAR(next.distance_m, 100.0 - 0.5 * 31.0, 2.0);
+  EXPECT_NEAR(next.distance_m.value(), 100.0 - 0.5 * 31.0, 2.0);
 }
 
 TEST(Pipeline, RollbackDisabledKeepsPoisonedLevel) {
@@ -234,7 +236,7 @@ TEST(Pipeline, RollbackDisabledKeepsPoisonedLevel) {
   }
   const auto at_detect = p.process(30, jammed_measurement());
   // The +6 m poison survives: ablation-style counterexample.
-  EXPECT_GT(at_detect.distance_m, 100.0 - 0.5 * 30.0 + 3.0);
+  EXPECT_GT(at_detect.distance_m.value(), 100.0 - 0.5 * 30.0 + 3.0);
 }
 
 TEST(Pipeline, SnapshotRefreshesAtEachCleanChallenge) {
@@ -258,7 +260,7 @@ TEST(Pipeline, SnapshotRefreshesAtEachCleanChallenge) {
   EXPECT_TRUE(at_detect.attack_started);
   // Rolling back to snapshot #1 and replaying nothing would free-run from
   // ~95 m; the refreshed snapshot holds the clean ramp at ~85 m.
-  EXPECT_NEAR(at_detect.distance_m, 100.0 - 0.5 * 30.0, 2.0);
+  EXPECT_NEAR(at_detect.distance_m.value(), 100.0 - 0.5 * 30.0, 2.0);
 }
 
 TEST(Pipeline, DebouncedClearanceIgnoresFlappingJammer) {
@@ -307,7 +309,7 @@ TEST(Pipeline, DefaultFactoryProducesWorkingPipeline) {
   }
   const auto safe = p.process(8, silent_measurement());
   EXPECT_TRUE(safe.target_present);
-  EXPECT_NEAR(safe.distance_m, 82.0, 1.5);
+  EXPECT_NEAR(safe.distance_m.value(), 82.0, 1.5);
 }
 
 }  // namespace

@@ -209,7 +209,8 @@ TEST(RlsArPredictor, ResetForgetsHistory) {
 }
 
 TEST(RlsPolyPredictor, ValidatesTimeScale) {
-  EXPECT_THROW(RlsPolyPredictor({.time_scale = 0.0}), std::invalid_argument);
+  EXPECT_THROW(RlsPolyPredictor({.time_scale = safe::units::Seconds{0.0}}),
+               std::invalid_argument);
 }
 
 TEST(RlsPolyPredictor, FitsLinearTrendExactly) {

@@ -10,7 +10,8 @@ namespace {
 
 radar::RadarMeasurement echo(double d, double v) {
   radar::RadarMeasurement m;
-  m.estimate = radar::RangeRate{.distance_m = d, .range_rate_mps = v};
+  m.estimate = radar::RangeRate{.distance_m = units::Meters{d},
+                                .range_rate_mps = units::MetersPerSecond{v}};
   m.coherent_echo = true;
   m.peak_to_average = 500.0;
   return m;
@@ -76,10 +77,10 @@ TEST(Injectors, StuckAtRepeatsPreviousDeliveredFrame) {
   (void)s.apply(0, false, echo(50.0, -1.0));
   (void)s.apply(1, false, echo(49.0, -1.0));
   const auto stuck = s.apply(2, false, echo(48.0, -1.0));
-  EXPECT_DOUBLE_EQ(stuck.estimate.distance_m, 49.0);
+  EXPECT_DOUBLE_EQ(stuck.estimate.distance_m.value(), 49.0);
   // Once latched it keeps re-delivering the same frame forever.
   const auto later = s.apply(10, false, echo(40.0, -1.0));
-  EXPECT_DOUBLE_EQ(later.estimate.distance_m, 49.0);
+  EXPECT_DOUBLE_EQ(later.estimate.distance_m.value(), 49.0);
 }
 
 TEST(Injectors, NonFiniteKeepsCoherentFlag) {
@@ -88,36 +89,38 @@ TEST(Injectors, NonFiniteKeepsCoherentFlag) {
                                          /*use_inf=*/false));
   const auto m = s.apply(0, false, echo(50.0, -1.0));
   EXPECT_TRUE(m.coherent_echo);
-  EXPECT_TRUE(std::isnan(m.estimate.distance_m));
-  EXPECT_TRUE(std::isnan(m.estimate.range_rate_mps));
+  EXPECT_TRUE(std::isnan(m.estimate.distance_m.value()));
+  EXPECT_TRUE(std::isnan(m.estimate.range_rate_mps.value()));
 
   FaultSchedule si;
   si.add(std::make_shared<NonFiniteFault>(FaultWindow{.start = 0, .length = 0},
                                           /*use_inf=*/true));
-  EXPECT_TRUE(std::isinf(si.apply(0, false, echo(50.0, -1.0))
-                             .estimate.distance_m));
+  EXPECT_TRUE(std::isinf(
+      si.apply(0, false, echo(50.0, -1.0)).estimate.distance_m.value()));
 }
 
 TEST(Injectors, BiasRampGrowsWithAge) {
   FaultSchedule s;
   s.add(std::make_shared<BiasRampFault>(FaultWindow{.start = 10, .length = 0},
-                                        0.5, 0.1));
+                                        units::Meters{0.5},
+                                        units::MetersPerSecond{0.1}));
   const auto at10 = s.apply(10, false, echo(50.0, -1.0));
-  EXPECT_DOUBLE_EQ(at10.estimate.distance_m, 50.0);
+  EXPECT_DOUBLE_EQ(at10.estimate.distance_m.value(), 50.0);
   const auto at14 = s.apply(14, false, echo(50.0, -1.0));
-  EXPECT_DOUBLE_EQ(at14.estimate.distance_m, 52.0);
-  EXPECT_DOUBLE_EQ(at14.estimate.range_rate_mps, -0.6);
+  EXPECT_DOUBLE_EQ(at14.estimate.distance_m.value(), 52.0);
+  EXPECT_DOUBLE_EQ(at14.estimate.range_rate_mps.value(), -0.6);
 }
 
 TEST(Injectors, QuantizeSnapsAndSaturates) {
   FaultSchedule s;
   s.add(std::make_shared<QuantizeSaturateFault>(
-      FaultWindow{.start = 0, .length = 0}, 4.0, 120.0, 30.0));
+      FaultWindow{.start = 0, .length = 0}, units::Meters{4.0},
+      units::Meters{120.0}, units::MetersPerSecond{30.0}));
   const auto snapped = s.apply(0, false, echo(49.0, -1.0));
-  EXPECT_DOUBLE_EQ(snapped.estimate.distance_m, 48.0);
+  EXPECT_DOUBLE_EQ(snapped.estimate.distance_m.value(), 48.0);
   const auto railed = s.apply(1, false, echo(500.0, -80.0));
-  EXPECT_DOUBLE_EQ(railed.estimate.distance_m, 120.0);
-  EXPECT_DOUBLE_EQ(railed.estimate.range_rate_mps, -30.0);
+  EXPECT_DOUBLE_EQ(railed.estimate.distance_m.value(), 120.0);
+  EXPECT_DOUBLE_EQ(railed.estimate.range_rate_mps.value(), -30.0);
 }
 
 TEST(Injectors, FlapAlternatesJamAndSilenceAtChallenges) {
@@ -146,19 +149,20 @@ TEST(Injectors, ClockSkipRedeliversStaleFrame) {
   (void)s.apply(2, false, echo(48.0, -1.0));
   (void)s.apply(3, false, echo(47.0, -1.0));
   const auto stale = s.apply(4, false, echo(46.0, -1.0));
-  EXPECT_DOUBLE_EQ(stale.estimate.distance_m, 47.0);
+  EXPECT_DOUBLE_EQ(stale.estimate.distance_m.value(), 47.0);
 }
 
 TEST(Schedule, AppliesInjectorsInOrderAndTracksHistory) {
   // bias then quantize: 49 + 1*0.5... build so order matters.
   FaultSchedule s;
   s.add(std::make_shared<BiasRampFault>(FaultWindow{.start = 0, .length = 0},
-                                        1.0));
+                                        units::Meters{1.0}));
   s.add(std::make_shared<QuantizeSaturateFault>(
-      FaultWindow{.start = 0, .length = 0}, 4.0, 120.0, 30.0));
+      FaultWindow{.start = 0, .length = 0}, units::Meters{4.0},
+      units::Meters{120.0}, units::MetersPerSecond{30.0}));
   const auto m = s.apply(3, false, echo(49.0, 0.0));
   // 49 + 3 = 52, then snapped to 52 on a 4 m grid.
-  EXPECT_DOUBLE_EQ(m.estimate.distance_m, 52.0);
+  EXPECT_DOUBLE_EQ(m.estimate.distance_m.value(), 52.0);
   EXPECT_EQ(s.name(), "bias+quantize");
 }
 
@@ -166,11 +170,11 @@ TEST(Schedule, ResetRestartsStreamState) {
   FaultSchedule s;
   s.add(std::make_shared<StuckAtFault>(FaultWindow{.start = 1, .length = 0}));
   (void)s.apply(0, false, echo(50.0, 0.0));
-  EXPECT_DOUBLE_EQ(s.apply(1, false, echo(40.0, 0.0)).estimate.distance_m,
+  EXPECT_DOUBLE_EQ(s.apply(1, false, echo(40.0, 0.0)).estimate.distance_m.value(),
                    50.0);
   s.reset();
   // No history after reset: the stuck injector has nothing to latch onto.
-  EXPECT_DOUBLE_EQ(s.apply(1, false, echo(40.0, 0.0)).estimate.distance_m,
+  EXPECT_DOUBLE_EQ(s.apply(1, false, echo(40.0, 0.0)).estimate.distance_m.value(),
                    40.0);
 }
 
@@ -191,11 +195,11 @@ TEST(SpecParser, RoundTripsKindsAndWindows) {
   EXPECT_TRUE(probe.apply(59, false, echo(50.0, 0.0)).coherent_echo);
   EXPECT_FALSE(probe.apply(60, false, echo(50.0, 0.0)).coherent_echo);
   EXPECT_TRUE(std::isnan(
-      probe.apply(100, false, echo(50.0, 0.0)).estimate.distance_m));
+      probe.apply(100, false, echo(50.0, 0.0)).estimate.distance_m.value()));
   EXPECT_FALSE(std::isnan(
-      probe.apply(101, false, echo(50.0, 0.0)).estimate.distance_m));
+      probe.apply(101, false, echo(50.0, 0.0)).estimate.distance_m.value()));
   EXPECT_TRUE(std::isnan(
-      probe.apply(125, false, echo(50.0, 0.0)).estimate.distance_m));
+      probe.apply(125, false, echo(50.0, 0.0)).estimate.distance_m.value()));
 }
 
 TEST(SpecParser, PlusSeparatorAndEmptySpecs) {

@@ -16,94 +16,110 @@ using control::lane_keeping_steer;
 using vehicle::BicycleInput;
 using vehicle::BicycleParameters;
 using vehicle::BicycleState;
+using units::Meters;
+using units::MetersPerSecond;
+using units::MetersPerSecond2;
+using units::Radians;
+using units::Seconds;
 
 TEST(Bicycle, ValidatesInputs) {
-  EXPECT_THROW(vehicle::step({}, {}, {}, 0.0), std::invalid_argument);
+  EXPECT_THROW(vehicle::step({}, {}, {}, Seconds{0.0}), std::invalid_argument);
   BicycleParameters p;
-  p.wheelbase_m = 0.0;
-  EXPECT_THROW(vehicle::step(p, {}, {}, 0.1), std::invalid_argument);
+  p.wheelbase_m = Meters{0.0};
+  EXPECT_THROW(vehicle::step(p, {}, {}, Seconds{0.1}), std::invalid_argument);
 }
 
 TEST(Bicycle, StraightLineAtConstantSpeed) {
-  BicycleState s{.speed_mps = 20.0};
+  BicycleState s{.speed_mps = MetersPerSecond{20.0}};
   for (int k = 0; k < 100; ++k) {
-    s = vehicle::step({}, s, BicycleInput{}, 0.1);
+    s = vehicle::step({}, s, BicycleInput{}, Seconds{0.1});
   }
-  EXPECT_NEAR(s.x_m, 200.0, 1e-9);
-  EXPECT_NEAR(s.y_m, 0.0, 1e-12);
-  EXPECT_NEAR(s.heading_rad, 0.0, 1e-12);
+  EXPECT_NEAR(s.x_m.value(), 200.0, 1e-9);
+  EXPECT_NEAR(s.y_m.value(), 0.0, 1e-12);
+  EXPECT_NEAR(s.heading_rad.value(), 0.0, 1e-12);
 }
 
 TEST(Bicycle, SteeringCurvesThePath) {
-  BicycleState s{.speed_mps = 10.0};
-  const BicycleInput input{.steer_rad = 0.1};
+  BicycleState s{.speed_mps = MetersPerSecond{10.0}};
+  const BicycleInput input{.steer_rad = Radians{0.1}};
   for (int k = 0; k < 50; ++k) {
-    s = vehicle::step({}, s, input, 0.1);
+    s = vehicle::step({}, s, input, Seconds{0.1});
   }
-  EXPECT_GT(s.y_m, 1.0);       // turned left
-  EXPECT_GT(s.heading_rad, 0.1);
+  EXPECT_GT(s.y_m, Meters{1.0});       // turned left
+  EXPECT_GT(s.heading_rad, Radians{0.1});
 }
 
 TEST(Bicycle, SteeringClampsToActuatorLimit) {
   BicycleParameters p;
-  p.max_steer_rad = 0.2;
-  BicycleState a{.speed_mps = 10.0};
-  BicycleState b{.speed_mps = 10.0};
-  a = vehicle::step(p, a, BicycleInput{.steer_rad = 0.2}, 0.1);
-  b = vehicle::step(p, b, BicycleInput{.steer_rad = 5.0}, 0.1);
-  EXPECT_DOUBLE_EQ(a.heading_rad, b.heading_rad);
+  p.max_steer_rad = Radians{0.2};
+  BicycleState a{.speed_mps = MetersPerSecond{10.0}};
+  BicycleState b{.speed_mps = MetersPerSecond{10.0}};
+  a = vehicle::step(p, a, BicycleInput{.steer_rad = Radians{0.2}}, Seconds{0.1});
+  b = vehicle::step(p, b, BicycleInput{.steer_rad = Radians{5.0}}, Seconds{0.1});
+  EXPECT_DOUBLE_EQ(a.heading_rad.value(), b.heading_rad.value());
 }
 
 TEST(Bicycle, SpeedClampsAtZero) {
-  BicycleState s{.speed_mps = 1.0};
-  s = vehicle::step({}, s, BicycleInput{.accel_mps2 = -6.0}, 1.0);
-  EXPECT_EQ(s.speed_mps, 0.0);
+  BicycleState s{.speed_mps = MetersPerSecond{1.0}};
+  s = vehicle::step({}, s, BicycleInput{.accel_mps2 = MetersPerSecond2{-6.0}},
+                    Seconds{1.0});
+  EXPECT_EQ(s.speed_mps, MetersPerSecond{0.0});
 }
 
 TEST(Bicycle, HeadingStaysWrapped) {
-  BicycleState s{.speed_mps = 10.0};
-  const BicycleInput input{.steer_rad = 0.5};
+  BicycleState s{.speed_mps = MetersPerSecond{10.0}};
+  const BicycleInput input{.steer_rad = Radians{0.5}};
   for (int k = 0; k < 500; ++k) {
-    s = vehicle::step({}, s, input, 0.1);
+    s = vehicle::step({}, s, input, Seconds{0.1});
   }
-  EXPECT_LE(std::abs(s.heading_rad), 3.1416);
+  EXPECT_LE(std::abs(s.heading_rad.value()), 3.1416);
 }
 
 TEST(LaneKeeping, ParameterValidation) {
   LaneKeepingParameters p;
   p.heading_gain = 0.0;
-  EXPECT_THROW(lane_keeping_steer(p, 0.0, 0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(lane_keeping_steer(p, Meters{0.0}, Radians{0.0},
+                                  MetersPerSecond{10.0}),
+               std::invalid_argument);
 }
 
 TEST(LaneKeeping, SteersAgainstOffset) {
   // Left of center (positive offset): steer right (negative).
-  EXPECT_LT(lane_keeping_steer({}, 1.0, 0.0, 20.0), 0.0);
-  EXPECT_GT(lane_keeping_steer({}, -1.0, 0.0, 20.0), 0.0);
-  EXPECT_EQ(lane_keeping_steer({}, 0.0, 0.0, 20.0), 0.0);
+  EXPECT_LT(lane_keeping_steer({}, Meters{1.0}, Radians{0.0},
+                               MetersPerSecond{20.0}),
+            Radians{0.0});
+  EXPECT_GT(lane_keeping_steer({}, Meters{-1.0}, Radians{0.0},
+                               MetersPerSecond{20.0}),
+            Radians{0.0});
+  EXPECT_EQ(lane_keeping_steer({}, Meters{0.0}, Radians{0.0},
+                               MetersPerSecond{20.0}),
+            Radians{0.0});
 }
 
 TEST(LaneKeeping, ConvergesToCenterline) {
-  BicycleState s{.y_m = 2.0, .speed_mps = 20.0};
+  BicycleState s{.y_m = Meters{2.0}, .speed_mps = MetersPerSecond{20.0}};
   for (int k = 0; k < 300; ++k) {
-    const double steer = lane_keeping_steer({}, s.y_m, s.heading_rad, s.speed_mps);
-    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, 0.05);
+    const Radians steer =
+        lane_keeping_steer({}, s.y_m, s.heading_rad, s.speed_mps);
+    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, Seconds{0.05});
   }
-  EXPECT_NEAR(s.y_m, 0.0, 0.05);
-  EXPECT_NEAR(s.heading_rad, 0.0, 0.02);
+  EXPECT_NEAR(s.y_m.value(), 0.0, 0.05);
+  EXPECT_NEAR(s.heading_rad.value(), 0.0, 0.02);
 }
 
 TEST(LaneKeeping, SpoofedOffsetDrivesVehicleOutOfLane) {
   // The lateral analogue of the delay attack: the perception stack reports
   // the car 1 m left of where it is, so the controller "corrects" into the
   // oncoming lane.
-  BicycleState s{.speed_mps = 20.0};
+  BicycleState s{.speed_mps = MetersPerSecond{20.0}};
   for (int k = 0; k < 200; ++k) {
-    const double measured_offset = s.y_m + 1.0;  // spoofed +1 m bias
-    const double steer =
+    const Meters measured_offset = s.y_m + Meters{1.0};  // spoofed +1 m bias
+    const Radians steer =
         lane_keeping_steer({}, measured_offset, s.heading_rad, s.speed_mps);
-    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, 0.05);
+    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, Seconds{0.05});
   }
-  EXPECT_LT(s.y_m, -0.8);  // pushed ~1 m off center: out of a 3.5 m lane half
+  // Pushed ~1 m off center: out of a 3.5 m lane half.
+  EXPECT_LT(s.y_m, Meters{-0.8});
 }
 
 TEST(LaneKeeping, HoldoverContainsSpoofedOffsetForShortAttack) {
@@ -115,31 +131,35 @@ TEST(LaneKeeping, HoldoverContainsSpoofedOffsetForShortAttack) {
   // holdover can only contain *short* attacks — one concrete reason the
   // paper defers lateral dynamics to future work. Over a 5 s window the
   // vehicle must stay inside its 3.5 m lane.
-  BicycleState s{.y_m = 1.5, .speed_mps = 20.0};
+  BicycleState s{.y_m = Meters{1.5}, .speed_mps = MetersPerSecond{20.0}};
   estimation::RlsArPredictor offset_predictor;
   // Clean phase: converge toward center while training the predictor.
   for (int k = 0; k < 150; ++k) {
-    const double measured = s.y_m;
-    offset_predictor.observe(measured);
-    const double steer =
+    const Meters measured = s.y_m;
+    offset_predictor.observe(measured.value());
+    const Radians steer =
         lane_keeping_steer({}, measured, s.heading_rad, s.speed_mps);
-    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, 0.05);
+    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, Seconds{0.05});
   }
   // Attack phase (5 s): sensor spoofed, controller uses predictions.
   for (int k = 0; k < 100; ++k) {
-    const double estimated = offset_predictor.predict_next();
-    const double steer =
+    const Meters estimated{offset_predictor.predict_next()};
+    const Radians steer =
         lane_keeping_steer({}, estimated, s.heading_rad, s.speed_mps);
-    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, 0.05);
+    s = vehicle::step({}, s, BicycleInput{.steer_rad = steer}, Seconds{0.05});
   }
-  EXPECT_LT(std::abs(s.y_m), 1.75);  // still inside the lane
+  EXPECT_LT(std::abs(s.y_m.value()), 1.75);  // still inside the lane
 }
 
 TEST(LaneKeeping, SteeringRespectsActuatorLimit) {
   // A huge offset saturates at the steering clamp rather than diverging.
-  const double steer = lane_keeping_steer({}, 2.0, 0.0, 0.0);
-  EXPECT_GE(steer, -0.5);
-  EXPECT_LE(std::abs(lane_keeping_steer({}, 100.0, -3.0, 1.0)), 0.5);
+  const Radians steer = lane_keeping_steer({}, Meters{2.0}, Radians{0.0},
+                                           MetersPerSecond{0.0});
+  EXPECT_GE(steer, Radians{-0.5});
+  EXPECT_LE(std::abs(lane_keeping_steer({}, Meters{100.0}, Radians{-3.0},
+                                        MetersPerSecond{1.0})
+                         .value()),
+            0.5);
 }
 
 }  // namespace

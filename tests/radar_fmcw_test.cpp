@@ -5,28 +5,30 @@
 
 #include "radar/fmcw.hpp"
 #include "radar/link_budget.hpp"
-#include "sim/units.hpp"
+#include "units/units.hpp"
 
 namespace safe::radar {
 namespace {
 
-namespace units = safe::sim::units;
+namespace units = safe::units;
+using units::Meters;
+using units::MetersPerSecond;
 
 TEST(FmcwParameters, BoschLrr2Defaults) {
   const FmcwParameters p = bosch_lrr2_parameters();
-  EXPECT_DOUBLE_EQ(p.carrier_frequency_hz, 77.0e9);
-  EXPECT_DOUBLE_EQ(p.sweep_bandwidth_hz, 150.0e6);
-  EXPECT_DOUBLE_EQ(p.sweep_time_s, 2.0e-3);
-  EXPECT_DOUBLE_EQ(p.wavelength_m, 3.89e-3);
+  EXPECT_DOUBLE_EQ(p.carrier_frequency_hz.value(), 77.0e9);
+  EXPECT_DOUBLE_EQ(p.sweep_bandwidth_hz.value(), 150.0e6);
+  EXPECT_DOUBLE_EQ(p.sweep_time_s.value(), 2.0e-3);
+  EXPECT_DOUBLE_EQ(p.wavelength_m.value(), 3.89e-3);
   EXPECT_DOUBLE_EQ(p.tx_power_w, 10.0e-3);
-  EXPECT_DOUBLE_EQ(p.antenna_gain_dbi, 28.0);
-  EXPECT_DOUBLE_EQ(p.min_range_m, 2.0);
-  EXPECT_DOUBLE_EQ(p.max_range_m, 200.0);
+  EXPECT_DOUBLE_EQ(p.antenna_gain_dbi.value(), 28.0);
+  EXPECT_DOUBLE_EQ(p.min_range_m.value(), 2.0);
+  EXPECT_DOUBLE_EQ(p.max_range_m.value(), 200.0);
 }
 
 TEST(FmcwParameters, ValidationRejectsBadValues) {
   FmcwParameters p = bosch_lrr2_parameters();
-  p.sweep_bandwidth_hz = 0.0;
+  p.sweep_bandwidth_hz = units::Hertz{0.0};
   EXPECT_THROW(validate_parameters(p), std::invalid_argument);
 
   p = bosch_lrr2_parameters();
@@ -34,85 +36,94 @@ TEST(FmcwParameters, ValidationRejectsBadValues) {
   EXPECT_THROW(validate_parameters(p), std::invalid_argument);
 
   p = bosch_lrr2_parameters();
-  p.max_range_m = 1.0;  // below min_range
+  p.max_range_m = Meters{1.0};  // below min_range
   EXPECT_THROW(validate_parameters(p), std::invalid_argument);
 }
 
 TEST(BeatFrequencies, StationaryTargetHasSymmetricBeats) {
   const FmcwParameters p = bosch_lrr2_parameters();
-  const BeatFrequencies b = beat_frequencies(p, 100.0, 0.0);
-  EXPECT_DOUBLE_EQ(b.up_hz, b.down_hz);
+  const BeatFrequencies b =
+      beat_frequencies(p, Meters{100.0}, MetersPerSecond{0.0});
+  EXPECT_DOUBLE_EQ(b.up_hz.value(), b.down_hz.value());
   // Range term: (2 * 100 / c) * (150e6 / 2e-3) = 50.03 kHz.
-  EXPECT_NEAR(b.up_hz, 2.0 * 100.0 / units::kSpeedOfLightMps * 150.0e6 / 2.0e-3,
-              1e-6);
+  EXPECT_NEAR(b.up_hz.value(),
+              2.0 * 100.0 / units::kSpeedOfLightMps * 150.0e6 / 2.0e-3, 1e-6);
 }
 
 TEST(BeatFrequencies, RecedingTargetShiftsBeatsApart) {
   const FmcwParameters p = bosch_lrr2_parameters();
-  const BeatFrequencies b = beat_frequencies(p, 100.0, 5.0);
+  const BeatFrequencies b =
+      beat_frequencies(p, Meters{100.0}, MetersPerSecond{5.0});
   // Receding (positive range rate): up beat decreases, down beat increases.
   EXPECT_LT(b.up_hz, b.down_hz);
-  EXPECT_NEAR(b.down_hz - b.up_hz, 4.0 * 5.0 / p.wavelength_m, 1e-9);
+  EXPECT_NEAR((b.down_hz - b.up_hz).value(), 4.0 * 5.0 / p.wavelength_m.value(),
+              1e-9);
 }
 
 TEST(BeatFrequencies, NegativeDistanceThrows) {
-  EXPECT_THROW(beat_frequencies(bosch_lrr2_parameters(), -1.0, 0.0),
-               std::invalid_argument);
+  EXPECT_THROW(
+      beat_frequencies(bosch_lrr2_parameters(), Meters{-1.0},
+                       MetersPerSecond{0.0}),
+      std::invalid_argument);
 }
 
 TEST(BeatFrequencies, RoundTripThroughInverseMap) {
   const FmcwParameters p = bosch_lrr2_parameters();
   for (const double d : {2.0, 10.0, 55.5, 100.0, 200.0}) {
     for (const double v : {-10.0, -1.5, 0.0, 0.3, 8.0}) {
-      const RangeRate rr = range_rate_from_beats(p, beat_frequencies(p, d, v));
-      EXPECT_NEAR(rr.distance_m, d, 1e-9);
-      EXPECT_NEAR(rr.range_rate_mps, v, 1e-9);
+      const RangeRate rr = range_rate_from_beats(
+          p, beat_frequencies(p, Meters{d}, MetersPerSecond{v}));
+      EXPECT_NEAR(rr.distance_m.value(), d, 1e-9);
+      EXPECT_NEAR(rr.range_rate_mps.value(), v, 1e-9);
     }
   }
 }
 
 TEST(SpoofedRange, SixMetersNeedsFortyNanoseconds) {
   // The paper's delay attack adds 6 m; round-trip delay = 2*6/c = 40 ns.
-  const double tau = injection_delay_for_offset_s(6.0);
-  EXPECT_NEAR(tau, 2.0 * 6.0 / units::kSpeedOfLightMps, 1e-15);
-  EXPECT_NEAR(spoofed_range_offset_m(tau), 6.0, 1e-9);
+  const units::Seconds tau = injection_delay_for_offset(Meters{6.0});
+  EXPECT_NEAR(tau.value(), 2.0 * 6.0 / units::kSpeedOfLightMps, 1e-15);
+  EXPECT_NEAR(spoofed_range_offset(tau).value(), 6.0, 1e-9);
 }
 
 TEST(LinkBudget, EchoPowerFallsWithFourthPowerOfRange) {
   const FmcwParameters p = bosch_lrr2_parameters();
-  const double p50 = received_echo_power_w(p, 50.0, 10.0);
-  const double p100 = received_echo_power_w(p, 100.0, 10.0);
+  const double p50 = received_echo_power_w(p, Meters{50.0}, 10.0);
+  const double p100 = received_echo_power_w(p, Meters{100.0}, 10.0);
   EXPECT_NEAR(p50 / p100, 16.0, 1e-9);
 }
 
 TEST(LinkBudget, EchoPowerScalesLinearlyWithRcs) {
   const FmcwParameters p = bosch_lrr2_parameters();
-  EXPECT_NEAR(received_echo_power_w(p, 80.0, 20.0) /
-                  received_echo_power_w(p, 80.0, 10.0),
+  EXPECT_NEAR(received_echo_power_w(p, Meters{80.0}, 20.0) /
+                  received_echo_power_w(p, Meters{80.0}, 10.0),
               2.0, 1e-12);
 }
 
 TEST(LinkBudget, EchoPowerMagnitudeIsPlausible) {
   // At 100 m with sigma = 10 m^2 the LRR2-class budget lands in the
   // picowatt regime (hand computation: ~3e-12 W).
-  const double pr = received_echo_power_w(bosch_lrr2_parameters(), 100.0, 10.0);
+  const double pr =
+      received_echo_power_w(bosch_lrr2_parameters(), Meters{100.0}, 10.0);
   EXPECT_GT(pr, 1.0e-13);
   EXPECT_LT(pr, 1.0e-10);
 }
 
 TEST(LinkBudget, GeometryValidation) {
   const FmcwParameters p = bosch_lrr2_parameters();
-  EXPECT_THROW(received_echo_power_w(p, 0.0, 10.0), std::invalid_argument);
-  EXPECT_THROW(received_echo_power_w(p, 10.0, -1.0), std::invalid_argument);
-  EXPECT_THROW(received_jammer_power_w(p, JammerParameters{}, -5.0),
+  EXPECT_THROW(received_echo_power_w(p, Meters{0.0}, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(received_echo_power_w(p, Meters{10.0}, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(received_jammer_power_w(p, JammerParameters{}, Meters{-5.0}),
                std::invalid_argument);
 }
 
 TEST(LinkBudget, JammerPowerFallsWithSquareOfRange) {
   const FmcwParameters p = bosch_lrr2_parameters();
   const JammerParameters j{};
-  const double p50 = received_jammer_power_w(p, j, 50.0);
-  const double p100 = received_jammer_power_w(p, j, 100.0);
+  const double p50 = received_jammer_power_w(p, j, Meters{50.0});
+  const double p100 = received_jammer_power_w(p, j, Meters{100.0});
   EXPECT_NEAR(p50 / p100, 4.0, 1e-9);
 }
 
@@ -120,7 +131,8 @@ TEST(LinkBudget, JammerParameterValidation) {
   const FmcwParameters p = bosch_lrr2_parameters();
   JammerParameters j{};
   j.peak_power_w = 0.0;
-  EXPECT_THROW(received_jammer_power_w(p, j, 100.0), std::invalid_argument);
+  EXPECT_THROW(received_jammer_power_w(p, j, Meters{100.0}),
+               std::invalid_argument);
 }
 
 TEST(LinkBudget, PaperJammerDefeatsRadarAtHundredMeters) {
@@ -128,24 +140,25 @@ TEST(LinkBudget, PaperJammerDefeatsRadarAtHundredMeters) {
   // jams the follower's radar => signal-to-jammer ratio < 1.
   const FmcwParameters radar = bosch_lrr2_parameters();
   const JammerParameters jammer{};
-  EXPECT_LT(signal_to_jammer_ratio(radar, jammer, 100.0, 10.0), 1.0);
-  EXPECT_TRUE(jamming_succeeds(radar, jammer, 100.0, 10.0));
+  EXPECT_LT(signal_to_jammer_ratio(radar, jammer, Meters{100.0}, 10.0), 1.0);
+  EXPECT_TRUE(jamming_succeeds(radar, jammer, Meters{100.0}, 10.0));
 }
 
 TEST(LinkBudget, JammingFailsAtVeryShortRange) {
   // Echo power grows ~d^-4 vs jammer ~d^-2: close in, the echo wins.
   const FmcwParameters radar = bosch_lrr2_parameters();
   const JammerParameters jammer{};
-  EXPECT_FALSE(jamming_succeeds(radar, jammer, 2.0, 10.0));
+  EXPECT_FALSE(jamming_succeeds(radar, jammer, Meters{2.0}, 10.0));
 }
 
 TEST(LinkBudget, SignalToJammerRatioIsConsistent) {
   const FmcwParameters radar = bosch_lrr2_parameters();
   const JammerParameters jammer{};
-  const double ratio = signal_to_jammer_ratio(radar, jammer, 60.0, 10.0);
+  const double ratio =
+      signal_to_jammer_ratio(radar, jammer, Meters{60.0}, 10.0);
   EXPECT_NEAR(ratio,
-              received_echo_power_w(radar, 60.0, 10.0) /
-                  received_jammer_power_w(radar, jammer, 60.0),
+              received_echo_power_w(radar, Meters{60.0}, 10.0) /
+                  received_jammer_power_w(radar, jammer, Meters{60.0}),
               1e-18);
 }
 
@@ -162,7 +175,7 @@ TEST(LinkBudget, EchoExceedsThermalNoiseAcrossSpecifiedRange) {
   const FmcwParameters p = bosch_lrr2_parameters();
   const double floor = thermal_noise_power_w(p);
   for (const double d : {2.0, 50.0, 100.0, 150.0, 200.0}) {
-    EXPECT_GT(received_echo_power_w(p, d, 10.0), floor) << "range " << d;
+    EXPECT_GT(received_echo_power_w(p, Meters{d}, 10.0), floor) << "range " << d;
   }
 }
 
@@ -184,8 +197,10 @@ TEST_P(JammerCrossover, MonotoneRatioInRange) {
   const FmcwParameters radar = bosch_lrr2_parameters();
   const JammerParameters jammer{};
   const double d = GetParam();
-  const double near_ratio = signal_to_jammer_ratio(radar, jammer, d, 10.0);
-  const double far_ratio = signal_to_jammer_ratio(radar, jammer, d * 1.5, 10.0);
+  const double near_ratio =
+      signal_to_jammer_ratio(radar, jammer, Meters{d}, 10.0);
+  const double far_ratio =
+      signal_to_jammer_ratio(radar, jammer, Meters{d * 1.5}, 10.0);
   EXPECT_GT(near_ratio, far_ratio);  // ratio decays with distance
 }
 

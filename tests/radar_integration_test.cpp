@@ -13,6 +13,9 @@
 namespace safe::radar {
 namespace {
 
+using units::Meters;
+using units::MetersPerSecond;
+
 RadarProcessorConfig test_config() {
   RadarProcessorConfig cfg;
   cfg.estimator = BeatEstimator::kPeriodogram;
@@ -23,9 +26,9 @@ RadarProcessorConfig test_config() {
 EchoScene scene_for(double d, double dv, const RadarProcessorConfig& cfg) {
   EchoScene scene;
   scene.echoes.push_back(EchoComponent{
-      .distance_m = d,
-      .range_rate_mps = dv,
-      .power_w = received_echo_power_w(cfg.waveform, d, 10.0),
+      .distance_m = Meters{d},
+      .range_rate_mps = MetersPerSecond{dv},
+      .power_w = received_echo_power_w(cfg.waveform, Meters{d}, 10.0),
   });
   scene.noise_power_w = cfg.noise_floor_w;
   return scene;
@@ -41,8 +44,10 @@ TEST(RadarCfar, FindsBeatBinInSynthesizedSpectrum) {
                                                       .threshold_factor = 10.0});
   ASSERT_GE(detections.size(), 1u);
   // Expected beat ~ 40.0 kHz -> bin = f/fs * 4096 ~ 164.
-  const auto beats = beat_frequencies(cfg.waveform, 80.0, 0.0);
-  const double expected_bin = beats.up_hz / cfg.sample_rate_hz * 4096.0;
+  const auto beats =
+      beat_frequencies(cfg.waveform, Meters{80.0}, MetersPerSecond{0.0});
+  const double expected_bin =
+      beats.up_hz.value() / cfg.sample_rate_hz.value() * 4096.0;
   bool found = false;
   for (const auto& det : detections) {
     if (std::abs(static_cast<double>(det.bin) - expected_bin) < 4.0) {
@@ -58,7 +63,7 @@ TEST(RadarCfar, JammedSpectrumYieldsNoFalseTarget) {
   EchoScene scene;
   scene.noise_power_w =
       cfg.noise_floor_w +
-      received_jammer_power_w(cfg.waveform, JammerParameters{}, 100.0);
+      received_jammer_power_w(cfg.waveform, JammerParameters{}, Meters{100.0});
   const auto seg = radar.synthesize(scene);
   const auto spectrum = dsp::power_spectrum(dsp::fft(seg.up, 4096));
   const auto detections = dsp::cfar_detect(spectrum, {.guard_cells = 4,
@@ -74,14 +79,14 @@ TEST(RadarTwoTargets, StrongerEchoWins) {
   RadarProcessor radar(cfg, 7);
   EchoScene scene = scene_for(40.0, -1.0, cfg);
   scene.echoes.push_back(EchoComponent{
-      .distance_m = 90.0,
-      .range_rate_mps = 2.0,
-      .power_w = received_echo_power_w(cfg.waveform, 90.0, 10.0),
+      .distance_m = Meters{90.0},
+      .range_rate_mps = MetersPerSecond{2.0},
+      .power_w = received_echo_power_w(cfg.waveform, Meters{90.0}, 10.0),
   });
   // d^-4: the 40 m echo is ~26 dB stronger; the receiver locks onto it.
   const auto m = radar.measure(scene);
   ASSERT_TRUE(m.coherent_echo);
-  EXPECT_NEAR(m.estimate.distance_m, 40.0, 2.0);
+  EXPECT_NEAR(m.estimate.distance_m.value(), 40.0, 2.0);
 }
 
 TEST(RadarTracker, FollowsProcessorThroughChallengeDropouts) {
@@ -103,8 +108,8 @@ TEST(RadarTracker, FollowsProcessorThroughChallengeDropouts) {
   }
   const auto primary = tracker.primary_track();
   ASSERT_TRUE(primary.has_value());
-  EXPECT_NEAR(primary->range_m, d, 3.0);
-  EXPECT_NEAR(primary->range_rate_mps, dv, 1.0);
+  EXPECT_NEAR(primary->range_m.value(), d, 3.0);
+  EXPECT_NEAR(primary->range_rate_mps.value(), dv, 1.0);
   EXPECT_EQ(tracker.tracks().size(), 1u);  // dropouts spawned no ghosts
 }
 
@@ -122,9 +127,9 @@ TEST(RadarTracker, SpoofOnsetVisibleAsTrackSplit) {
     scene.noise_power_w = cfg.noise_floor_w;
     const bool spoofed = k >= 18;
     scene.echoes.push_back(EchoComponent{
-        .distance_m = spoofed ? d + 6.0 : d,  // +6 m jump at onset
-        .range_rate_mps = -0.5,
-        .power_w = received_echo_power_w(cfg.waveform, d, 10.0) *
+        .distance_m = Meters{spoofed ? d + 6.0 : d},  // +6 m jump at onset
+        .range_rate_mps = MetersPerSecond{-0.5},
+        .power_w = received_echo_power_w(cfg.waveform, Meters{d}, 10.0) *
                    (spoofed ? 4.0 : 1.0),
     });
     const auto m = radar.measure(scene);

@@ -10,6 +10,9 @@
 namespace safe::radar {
 namespace {
 
+using units::Meters;
+using units::MetersPerSecond;
+
 RadarProcessorConfig test_config(BeatEstimator estimator) {
   RadarProcessorConfig cfg;
   cfg.estimator = estimator;
@@ -21,9 +24,9 @@ EchoScene target_scene(double distance_m, double range_rate_mps,
                        const RadarProcessorConfig& cfg, double rcs = 10.0) {
   EchoScene scene;
   scene.echoes.push_back(EchoComponent{
-      .distance_m = distance_m,
-      .range_rate_mps = range_rate_mps,
-      .power_w = received_echo_power_w(cfg.waveform, distance_m, rcs),
+      .distance_m = Meters{distance_m},
+      .range_rate_mps = MetersPerSecond{range_rate_mps},
+      .power_w = received_echo_power_w(cfg.waveform, Meters{distance_m}, rcs),
   });
   scene.noise_power_w = cfg.noise_floor_w;
   return scene;
@@ -31,7 +34,7 @@ EchoScene target_scene(double distance_m, double range_rate_mps,
 
 TEST(RadarProcessor, ConfigValidation) {
   RadarProcessorConfig cfg = test_config(BeatEstimator::kRootMusic);
-  cfg.sample_rate_hz = 0.0;
+  cfg.sample_rate_hz = units::Hertz{0.0};
   EXPECT_THROW(RadarProcessor(cfg, 1), std::invalid_argument);
 
   cfg = test_config(BeatEstimator::kRootMusic);
@@ -48,8 +51,8 @@ TEST(RadarProcessor, MeasuresStationaryTargetRootMusic) {
   RadarProcessor radar(cfg, 7);
   const auto m = radar.measure(target_scene(100.0, 0.0, cfg));
   EXPECT_TRUE(m.coherent_echo);
-  EXPECT_NEAR(m.estimate.distance_m, 100.0, 1.0);
-  EXPECT_NEAR(m.estimate.range_rate_mps, 0.0, 0.5);
+  EXPECT_NEAR(m.estimate.distance_m.value(), 100.0, 1.0);
+  EXPECT_NEAR(m.estimate.range_rate_mps.value(), 0.0, 0.5);
 }
 
 TEST(RadarProcessor, MeasuresMovingTargetRootMusic) {
@@ -57,8 +60,8 @@ TEST(RadarProcessor, MeasuresMovingTargetRootMusic) {
   RadarProcessor radar(cfg, 11);
   const auto m = radar.measure(target_scene(60.0, -4.0, cfg));
   EXPECT_TRUE(m.coherent_echo);
-  EXPECT_NEAR(m.estimate.distance_m, 60.0, 1.0);
-  EXPECT_NEAR(m.estimate.range_rate_mps, -4.0, 0.5);
+  EXPECT_NEAR(m.estimate.distance_m.value(), 60.0, 1.0);
+  EXPECT_NEAR(m.estimate.range_rate_mps.value(), -4.0, 0.5);
 }
 
 TEST(RadarProcessor, MeasuresTargetPeriodogram) {
@@ -66,8 +69,8 @@ TEST(RadarProcessor, MeasuresTargetPeriodogram) {
   RadarProcessor radar(cfg, 13);
   const auto m = radar.measure(target_scene(80.0, 2.0, cfg));
   EXPECT_TRUE(m.coherent_echo);
-  EXPECT_NEAR(m.estimate.distance_m, 80.0, 2.0);
-  EXPECT_NEAR(m.estimate.range_rate_mps, 2.0, 1.0);
+  EXPECT_NEAR(m.estimate.distance_m.value(), 80.0, 2.0);
+  EXPECT_NEAR(m.estimate.range_rate_mps.value(), 2.0, 1.0);
 }
 
 TEST(RadarProcessor, ChallengeSlotWithNoAttackIsSilent) {
@@ -90,7 +93,7 @@ TEST(RadarProcessor, JammingRaisesPowerAlarm) {
   scene.tx_enabled = false;  // challenge slot
   scene.noise_power_w =
       cfg.noise_floor_w +
-      received_jammer_power_w(cfg.waveform, JammerParameters{}, 100.0);
+      received_jammer_power_w(cfg.waveform, JammerParameters{}, Meters{100.0});
   const auto m = radar.measure(scene);
   EXPECT_TRUE(m.power_alarm);
   EXPECT_TRUE(m.nonzero_output());
@@ -103,10 +106,10 @@ TEST(RadarProcessor, JammingCorruptsRangeEstimate) {
   RadarProcessor radar(cfg, 23);
   EchoScene scene = target_scene(100.0, -1.0, cfg);
   scene.noise_power_w +=
-      received_jammer_power_w(cfg.waveform, JammerParameters{}, 100.0);
+      received_jammer_power_w(cfg.waveform, JammerParameters{}, Meters{100.0});
   const auto m = radar.measure(scene);
   // The coherent echo is ~33 dB below the jam floor: no stable lock.
-  EXPECT_GT(std::abs(m.estimate.distance_m - 100.0), 5.0);
+  EXPECT_GT(std::abs((m.estimate.distance_m - Meters{100.0}).value()), 5.0);
 }
 
 TEST(RadarProcessor, SpoofedEchoShiftsRangeBySixMeters) {
@@ -115,14 +118,15 @@ TEST(RadarProcessor, SpoofedEchoShiftsRangeBySixMeters) {
   // Counterfeit echo: same kinematics, apparent range +6 m, healthy power.
   EchoScene scene;
   scene.echoes.push_back(EchoComponent{
-      .distance_m = 100.0 + 6.0,
-      .range_rate_mps = -2.0,
-      .power_w = received_echo_power_w(cfg.waveform, 100.0, 10.0) * 4.0,
+      .distance_m = Meters{100.0 + 6.0},
+      .range_rate_mps = MetersPerSecond{-2.0},
+      .power_w =
+          received_echo_power_w(cfg.waveform, Meters{100.0}, 10.0) * 4.0,
   });
   scene.noise_power_w = cfg.noise_floor_w;
   const auto m = radar.measure(scene);
   EXPECT_TRUE(m.coherent_echo);
-  EXPECT_NEAR(m.estimate.distance_m, 106.0, 1.0);
+  EXPECT_NEAR(m.estimate.distance_m.value(), 106.0, 1.0);
 }
 
 TEST(RadarProcessor, SpoofDuringChallengeIsDetectable) {
@@ -133,9 +137,10 @@ TEST(RadarProcessor, SpoofDuringChallengeIsDetectable) {
   EchoScene scene;
   scene.tx_enabled = false;
   scene.echoes.push_back(EchoComponent{
-      .distance_m = 106.0,
-      .range_rate_mps = -2.0,
-      .power_w = received_echo_power_w(cfg.waveform, 100.0, 10.0) * 4.0,
+      .distance_m = Meters{106.0},
+      .range_rate_mps = MetersPerSecond{-2.0},
+      .power_w =
+          received_echo_power_w(cfg.waveform, Meters{100.0}, 10.0) * 4.0,
   });
   scene.noise_power_w = cfg.noise_floor_w;
   const auto m = radar.measure(scene);
@@ -168,8 +173,9 @@ TEST(RadarProcessor, DeterministicGivenSeed) {
   const auto scene = target_scene(75.0, -3.0, cfg);
   const auto ma = a.measure(scene);
   const auto mb = b.measure(scene);
-  EXPECT_EQ(ma.estimate.distance_m, mb.estimate.distance_m);
-  EXPECT_EQ(ma.estimate.range_rate_mps, mb.estimate.range_rate_mps);
+  EXPECT_EQ(ma.estimate.distance_m.value(), mb.estimate.distance_m.value());
+  EXPECT_EQ(ma.estimate.range_rate_mps.value(),
+            mb.estimate.range_rate_mps.value());
 }
 
 // Accuracy sweep across the radar's specified range window.
@@ -181,7 +187,7 @@ TEST_P(RangeSweep, RootMusicRangeWithinOneMeter) {
   const double d = GetParam();
   const auto m = radar.measure(target_scene(d, -1.0, cfg));
   EXPECT_TRUE(m.coherent_echo) << "range " << d;
-  EXPECT_NEAR(m.estimate.distance_m, d, 1.0) << "range " << d;
+  EXPECT_NEAR(m.estimate.distance_m.value(), d, 1.0) << "range " << d;
 }
 
 INSTANTIATE_TEST_SUITE_P(AcrossBand, RangeSweep,

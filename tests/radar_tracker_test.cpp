@@ -7,12 +7,13 @@ namespace safe::radar {
 namespace {
 
 RangeRate det(double d, double v = -1.0) {
-  return RangeRate{.distance_m = d, .range_rate_mps = v};
+  return RangeRate{.distance_m = units::Meters{d},
+                   .range_rate_mps = units::MetersPerSecond{v}};
 }
 
 TEST(Tracker, OptionValidation) {
   TrackerOptions o;
-  o.gate_m = 0.0;
+  o.gate_m = units::Meters{0.0};
   EXPECT_THROW(RangeTracker{o}, std::invalid_argument);
   o = TrackerOptions{};
   o.alpha = 1.5;
@@ -30,7 +31,7 @@ TEST(Tracker, SingleTargetConfirmsAfterHits) {
   const auto& tracks = tracker.update({det(98.0)});
   ASSERT_EQ(tracks.size(), 1u);
   EXPECT_EQ(tracks[0].state, TrackState::kConfirmed);
-  EXPECT_NEAR(tracks[0].range_m, 98.0, 1.0);
+  EXPECT_NEAR(tracks[0].range_m.value(), 98.0, 1.0);
 }
 
 TEST(Tracker, NoPrimaryWhileTentative) {
@@ -46,7 +47,7 @@ TEST(Tracker, PrimaryIsNearestConfirmed) {
   }
   const auto primary = tracker.primary_track();
   ASSERT_TRUE(primary.has_value());
-  EXPECT_NEAR(primary->range_m, 37.0, 1.5);
+  EXPECT_NEAR(primary->range_m.value(), 37.0, 1.5);
 }
 
 TEST(Tracker, CoastsThroughDropout) {
@@ -56,7 +57,7 @@ TEST(Tracker, CoastsThroughDropout) {
   const auto& tracks = tracker.update({});
   ASSERT_EQ(tracks.size(), 1u);
   EXPECT_EQ(tracks[0].state, TrackState::kCoasting);
-  EXPECT_NEAR(tracks[0].range_m, 92.0, 1.5);
+  EXPECT_NEAR(tracks[0].range_m.value(), 92.0, 1.5);
   // Re-acquires on the next detection.
   const auto& after = tracker.update({det(90.0, -2.0)});
   EXPECT_EQ(after[0].state, TrackState::kConfirmed);
@@ -97,7 +98,7 @@ TEST(Tracker, SpoofedJumpSpawnsNewTrackInsteadOfDraggingOld) {
   ASSERT_TRUE(before.has_value());
   // Sudden +6 m jump (outside the 5 m gate): association fails, old track
   // coasts, new tentative track appears — a usable spoofing tell.
-  const auto& tracks = tracker.update({det(before->range_m + 6.0, -0.3)});
+  const auto& tracks = tracker.update({det(before->range_m.value() + 6.0, -0.3)});
   ASSERT_EQ(tracks.size(), 2u);
   EXPECT_EQ(tracks[0].state, TrackState::kCoasting);
   EXPECT_EQ(tracks[1].state, TrackState::kTentative);
@@ -113,8 +114,8 @@ TEST(Tracker, TrackFollowsManeuver) {
   }
   const auto primary = tracker.primary_track();
   ASSERT_TRUE(primary.has_value());
-  EXPECT_NEAR(primary->range_m, d, 1.5);
-  EXPECT_NEAR(primary->range_rate_mps, 1.0, 0.6);
+  EXPECT_NEAR(primary->range_m.value(), d, 1.5);
+  EXPECT_NEAR(primary->range_rate_mps.value(), 1.0, 0.6);
 }
 
 TEST(Tracker, ResetDropsEverything) {

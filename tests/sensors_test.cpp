@@ -14,8 +14,8 @@ radar::EchoScene scene_with_target(const TofSensorParameters& params,
                                    double distance, double rate = -1.0) {
   radar::EchoScene scene;
   scene.echoes.push_back(radar::EchoComponent{
-      .distance_m = distance,
-      .range_rate_mps = rate,
+      .distance_m = Meters{distance},
+      .range_rate_mps = MetersPerSecond{rate},
       .power_w = 0.0,  // let the sensor's own link budget fill it in
   });
   scene.noise_power_w = params.noise_floor_w;
@@ -38,14 +38,15 @@ TEST(TofSensor, ParameterValidation) {
 
 TEST(TofSensor, ReceivedPowerFollowsLinkExponent) {
   const auto lidar = lidar_parameters();
-  EXPECT_NEAR(tof_received_power_w(lidar, 10.0) /
-                  tof_received_power_w(lidar, 20.0),
+  EXPECT_NEAR(tof_received_power_w(lidar, Meters{10.0}) /
+                  tof_received_power_w(lidar, Meters{20.0}),
               4.0, 1e-9);  // d^-2
   const auto sonar = ultrasonic_parameters();
-  EXPECT_NEAR(tof_received_power_w(sonar, 1.0) /
-                  tof_received_power_w(sonar, 2.0),
+  EXPECT_NEAR(tof_received_power_w(sonar, Meters{1.0}) /
+                  tof_received_power_w(sonar, Meters{2.0}),
               16.0, 1e-9);  // d^-4
-  EXPECT_THROW(tof_received_power_w(lidar, 0.0), std::invalid_argument);
+  EXPECT_THROW(tof_received_power_w(lidar, Meters{0.0}),
+               std::invalid_argument);
 }
 
 TEST(TofSensor, LidarMeasuresRangeAcrossWindow) {
@@ -54,7 +55,7 @@ TEST(TofSensor, LidarMeasuresRangeAcrossWindow) {
   for (const double d : {1.0, 10.0, 50.0, 100.0, 149.0}) {
     const auto m = lidar.measure(scene_with_target(params, d));
     EXPECT_TRUE(m.target_detected) << "d=" << d;
-    EXPECT_NEAR(m.distance_m, d, 0.2) << "d=" << d;
+    EXPECT_NEAR(m.distance_m.value(), d, 0.2) << "d=" << d;
   }
 }
 
@@ -63,7 +64,7 @@ TEST(TofSensor, UltrasonicShortRangeOnly) {
   TofSensor sonar(params, 7);
   const auto near = sonar.measure(scene_with_target(params, 1.5));
   EXPECT_TRUE(near.target_detected);
-  EXPECT_NEAR(near.distance_m, 1.5, 0.05);
+  EXPECT_NEAR(near.distance_m.value(), 1.5, 0.05);
   // Beyond the acoustic window: silence.
   const auto far = sonar.measure(scene_with_target(params, 30.0));
   EXPECT_FALSE(far.target_detected);
@@ -96,13 +97,13 @@ TEST(TofSensor, StrongestEchoWinsCapture) {
   auto scene = scene_with_target(params, 40.0);
   // Spoofer overpowers the true echo with a counterfeit at +6 m.
   scene.echoes.push_back(radar::EchoComponent{
-      .distance_m = 46.0,
-      .range_rate_mps = -1.0,
-      .power_w = 10.0 * tof_received_power_w(params, 40.0),
+      .distance_m = Meters{46.0},
+      .range_rate_mps = MetersPerSecond{-1.0},
+      .power_w = 10.0 * tof_received_power_w(params, Meters{40.0}),
   });
   const auto m = lidar.measure(scene);
   EXPECT_TRUE(m.target_detected);
-  EXPECT_NEAR(m.distance_m, 46.0, 0.2);
+  EXPECT_NEAR(m.distance_m.value(), 46.0, 0.2);
 }
 
 TEST(TofSensor, ChallengeSlotSpoofIsVisible) {
@@ -114,8 +115,8 @@ TEST(TofSensor, ChallengeSlotSpoofIsVisible) {
   scene.tx_enabled = false;
   scene.noise_power_w = params.noise_floor_w;
   scene.echoes.push_back(radar::EchoComponent{
-      .distance_m = 30.0,
-      .range_rate_mps = 0.0,
+      .distance_m = Meters{30.0},
+      .range_rate_mps = MetersPerSecond{0.0},
       .power_w = 100.0 * params.noise_floor_w * params.detection_snr,
   });
   const auto m = lidar.measure(scene);
@@ -128,8 +129,8 @@ TEST(TofSensor, WeakEchoBelowThresholdIgnored) {
   radar::EchoScene scene;
   scene.noise_power_w = params.noise_floor_w;
   scene.echoes.push_back(radar::EchoComponent{
-      .distance_m = 50.0,
-      .range_rate_mps = 0.0,
+      .distance_m = Meters{50.0},
+      .range_rate_mps = MetersPerSecond{0.0},
       .power_w = params.noise_floor_w,  // at the floor: undetectable
   });
   const auto m = lidar.measure(scene);
@@ -141,18 +142,19 @@ TEST(TofSensor, RangeRateMeasured) {
   TofSensor lidar(params, 23);
   const auto m = lidar.measure(scene_with_target(params, 60.0, -3.5));
   ASSERT_TRUE(m.target_detected);
-  EXPECT_NEAR(m.range_rate_mps, -3.5, 0.6);
+  EXPECT_NEAR(m.range_rate_mps.value(), -3.5, 0.6);
 }
 
 TEST(TofSensor, DeterministicGivenSeed) {
   const auto params = ultrasonic_parameters();
   TofSensor a(params, 99), b(params, 99);
   const auto scene = scene_with_target(params, 2.0);
-  EXPECT_EQ(a.measure(scene).distance_m, b.measure(scene).distance_m);
+  EXPECT_EQ(a.measure(scene).distance_m.value(),
+            b.measure(scene).distance_m.value());
 }
 
 TEST(FusionDetector, OptionValidation) {
-  EXPECT_THROW(FusionDetector({.disagreement_threshold_m = 0.0}),
+  EXPECT_THROW(FusionDetector({.disagreement_threshold_m = Meters{0.0}}),
                std::invalid_argument);
   EXPECT_THROW(FusionDetector({.required_consecutive = 0}),
                std::invalid_argument);
@@ -161,16 +163,18 @@ TEST(FusionDetector, OptionValidation) {
 TEST(FusionDetector, AgreementStaysQuiet) {
   FusionDetector det;
   for (int k = 0; k < 50; ++k) {
-    const auto d = det.observe(true, 40.0 - 0.1 * k, true, 40.02 - 0.1 * k);
+    const auto d = det.observe(true, Meters{40.0 - 0.1 * k}, true,
+                               Meters{40.02 - 0.1 * k});
     EXPECT_FALSE(d.under_attack);
   }
 }
 
 TEST(FusionDetector, OneSensorSpoofDetected) {
-  FusionDetector det({.disagreement_threshold_m = 2.0,
+  FusionDetector det({.disagreement_threshold_m = Meters{2.0},
                       .required_consecutive = 2});
-  det.observe(true, 40.0, true, 46.0);  // radar spoofed +6 m, lidar honest
-  const auto d = det.observe(true, 39.7, true, 45.7);
+  // Radar spoofed +6 m, lidar honest.
+  det.observe(true, Meters{40.0}, true, Meters{46.0});
+  const auto d = det.observe(true, Meters{39.7}, true, Meters{45.7});
   EXPECT_TRUE(d.under_attack);
 }
 
@@ -179,31 +183,31 @@ TEST(FusionDetector, ConsistentTwoSensorSpoofIsInvisible) {
   // redundancy check never fires (CRA still would).
   FusionDetector det;
   for (int k = 0; k < 50; ++k) {
-    const auto d = det.observe(true, 46.0, true, 46.0);
+    const auto d = det.observe(true, Meters{46.0}, true, Meters{46.0});
     EXPECT_FALSE(d.under_attack);
   }
 }
 
 TEST(FusionDetector, MissingDataIsSkipped) {
-  FusionDetector det({.disagreement_threshold_m = 2.0,
+  FusionDetector det({.disagreement_threshold_m = Meters{2.0},
                       .required_consecutive = 1});
-  const auto d = det.observe(false, 0.0, true, 46.0);
+  const auto d = det.observe(false, Meters{0.0}, true, Meters{46.0});
   EXPECT_FALSE(d.suspicious);
   EXPECT_FALSE(d.under_attack);
 }
 
 TEST(FusionDetector, TransientGlitchBelowConsecutiveBarIgnored) {
-  FusionDetector det({.disagreement_threshold_m = 2.0,
+  FusionDetector det({.disagreement_threshold_m = Meters{2.0},
                       .required_consecutive = 3});
-  det.observe(true, 40.0, true, 45.0);  // one glitch
-  const auto d = det.observe(true, 40.0, true, 40.1);
+  det.observe(true, Meters{40.0}, true, Meters{45.0});  // one glitch
+  const auto d = det.observe(true, Meters{40.0}, true, Meters{40.1});
   EXPECT_FALSE(d.under_attack);
 }
 
 TEST(FusionDetector, ResetClearsState) {
-  FusionDetector det({.disagreement_threshold_m = 2.0,
+  FusionDetector det({.disagreement_threshold_m = Meters{2.0},
                       .required_consecutive = 1});
-  det.observe(true, 40.0, true, 50.0);
+  det.observe(true, Meters{40.0}, true, Meters{50.0});
   EXPECT_TRUE(det.under_attack());
   det.reset();
   EXPECT_FALSE(det.under_attack());

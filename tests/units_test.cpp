@@ -1,0 +1,194 @@
+// Tests for the dimensional-safety layer (src/units/).
+//
+// Three tiers:
+//   * compile-time: constexpr identities and dimension algebra as
+//     static_asserts (a failure here stops the build, which is the point);
+//   * negative SFINAE probes: expressions like `Meters + Seconds` must NOT
+//     compile, proven with the detection idiom instead of comments;
+//   * runtime: conversion round trips, the non-constexpr dB edges, and the
+//     plausibility predicates the health monitor relies on.
+//
+// The full "wrong-unit call fails to compile" guarantee is additionally
+// exercised end to end by the compile-fail cases in
+// tests/compile_fail/CMakeLists.txt.
+#include "units/units.hpp"
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace safe::units {
+namespace {
+
+using namespace safe::units::literals;
+
+// --- Negative SFINAE probes ----------------------------------------------
+
+template <class A, class B, class = void>
+struct IsAddable : std::false_type {};
+template <class A, class B>
+struct IsAddable<A, B,
+                 std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct IsOrdered : std::false_type {};
+template <class A, class B>
+struct IsOrdered<A, B,
+                 std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type {};
+
+// Same dimension: fine.
+static_assert(IsAddable<Meters, Meters>::value);
+static_assert(IsOrdered<Seconds, Seconds>::value);
+
+// Cross-dimension addition and ordering must not compile.
+static_assert(!IsAddable<Meters, Seconds>::value);
+static_assert(!IsAddable<Meters, MetersPerSecond>::value);
+static_assert(!IsAddable<Hertz, HertzPerSecond>::value);
+static_assert(!IsAddable<Radians, Meters>::value);
+static_assert(!IsOrdered<Meters, Seconds>::value);
+
+// Decibels live outside the lattice entirely.
+static_assert(!IsAddable<Decibels, Meters>::value);
+static_assert(IsAddable<Decibels, Decibels>::value);
+
+// No implicit conversions across the double boundary in either direction.
+static_assert(!std::is_convertible_v<double, Meters>);
+static_assert(!std::is_convertible_v<Meters, double>);
+static_assert(std::is_constructible_v<Meters, double>);  // explicit only
+static_assert(!IsAddable<Meters, double>::value);
+static_assert(!IsOrdered<Meters, double>::value);
+
+// Zero-overhead claim: one double, trivially copyable, no padding.
+static_assert(sizeof(Meters) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<Meters>);
+static_assert(sizeof(Decibels) == sizeof(double));
+
+// --- Constexpr dimension algebra -----------------------------------------
+
+static_assert(std::is_same_v<decltype(Meters{} / Seconds{}), MetersPerSecond>);
+static_assert(std::is_same_v<decltype(MetersPerSecond{} * Seconds{}), Meters>);
+static_assert(std::is_same_v<decltype(Meters{} / Meters{}), double>);
+static_assert(std::is_same_v<decltype(1.0 / Seconds{1.0}), Hertz>);
+
+static_assert((Meters{6.0} / Seconds{2.0}).value() == 3.0);
+static_assert((MetersPerSecond{3.0} * Seconds{2.0}) == Meters{6.0});
+static_assert(Meters{10.0} / Meters{4.0} == 2.5);
+static_assert((2.0_m + 40.0_m).value() == 42.0);
+static_assert(90.0_mps - 48.0_mps == MetersPerSecond{42.0});
+static_assert(-(-42.0_s) == 42.0_s);
+static_assert(2.0 * Meters{21.0} == 42.0_m);
+static_assert(Meters{84.0} / 2.0 == 42.0_m);
+
+// Constexpr <cmath>/<algorithm> mirrors.
+static_assert(abs(Meters{-3.0}) == Meters{3.0});
+static_assert(min(1.0_s, 2.0_s) == 1.0_s);
+static_assert(max(1.0_s, 2.0_s) == 2.0_s);
+static_assert(clamp(5.0_m, 0.0_m, 4.0_m) == 4.0_m);
+static_assert(clamp(-1.0_m, 0.0_m, 4.0_m) == 0.0_m);
+
+// Constexpr conversion edges round-trip exactly at compile time.
+static_assert(to_mph(from_mph(60.0)) == 60.0);
+static_assert(delay_to_range(range_to_delay(Meters{100.0})) == Meters{100.0});
+static_assert(from_mph(60.0).value() == mph_to_mps(60.0));
+static_assert(range_to_delay(Meters{73.4}).value() == range_to_delay_s(73.4));
+static_assert(kSpeedOfLight.value() == kSpeedOfLightMps);
+
+// --- Runtime: conversion round trips -------------------------------------
+
+TEST(Units, MphRoundTripIsExactForRepresentativeSpeeds) {
+  for (const double mph : {0.0, 5.0, 25.0, 62.0, 85.0, 120.0}) {
+    EXPECT_DOUBLE_EQ(to_mph(from_mph(mph)), mph);
+    EXPECT_DOUBLE_EQ(mps_to_mph(mph_to_mps(mph)), mph);
+  }
+}
+
+TEST(Units, RangeDelayRoundTripIsExact) {
+  for (const double d : {0.5, 7.0, 73.4, 100.0, 199.9}) {
+    EXPECT_DOUBLE_EQ(delay_to_range(range_to_delay(Meters{d})).value(), d);
+    EXPECT_DOUBLE_EQ(delay_to_range_m(range_to_delay_s(d)), d);
+  }
+  // 100 m target: round trip is ~667 ns, the paper's Section 5 sanity check.
+  EXPECT_NEAR(range_to_delay(Meters{100.0}).value(), 667.0e-9, 1.0e-9);
+}
+
+TEST(Units, DecibelRoundTripAndFixedPoints) {
+  EXPECT_DOUBLE_EQ(Decibels{0.0}.to_linear(), 1.0);
+  EXPECT_DOUBLE_EQ(Decibels{10.0}.to_linear(), 10.0);
+  EXPECT_DOUBLE_EQ(Decibels{-30.0}.to_linear(), 1.0e-3);
+  for (const double db : {-40.0, -3.0, 0.0, 0.1, 10.0, 77.0}) {
+    EXPECT_NEAR(Decibels::from_linear(Decibels{db}.to_linear()).value(), db,
+                1e-12);
+    EXPECT_NEAR(linear_to_db(db_to_linear(db)), db, 1e-12);
+  }
+  // The strong edge and the raw-compat helper are the same formula.
+  EXPECT_DOUBLE_EQ(Decibels{7.3}.to_linear(), db_to_linear(7.3));
+}
+
+TEST(Units, DecibelArithmeticIsLinearMultiplication) {
+  const Decibels sum = Decibels{13.0} + Decibels{7.0};
+  EXPECT_DOUBLE_EQ(sum.value(), 20.0);
+  EXPECT_NEAR(sum.to_linear(),
+              Decibels{13.0}.to_linear() * Decibels{7.0}.to_linear(), 1e-9);
+  EXPECT_LT(Decibels{-3.0}, Decibels{0.0});
+  EXPECT_EQ(-Decibels{4.0}, Decibels{-4.0});
+}
+
+TEST(Units, AngleHelpersMatchCmath) {
+  const Radians a{0.7};
+  EXPECT_DOUBLE_EQ(units::sin(a), std::sin(0.7));
+  EXPECT_DOUBLE_EQ(units::cos(a), std::cos(0.7));
+  EXPECT_DOUBLE_EQ(units::tan(a), std::tan(0.7));
+}
+
+// --- Runtime: compound assignment and accumulation -----------------------
+
+TEST(Units, CompoundAssignmentMatchesRawArithmetic) {
+  Meters gap{50.0};
+  gap += Meters{1.5};
+  gap -= Meters{0.5};
+  gap *= 2.0;
+  gap /= 4.0;
+  EXPECT_DOUBLE_EQ(gap.value(), (50.0 + 1.5 - 0.5) * 2.0 / 4.0);
+}
+
+// --- Runtime: plausibility predicates ------------------------------------
+
+TEST(Units, PlausibleRangeAcceptsPhysicalReports) {
+  EXPECT_TRUE(plausible_range(Meters{0.0}));
+  EXPECT_TRUE(plausible_range(Meters{73.4}));
+  EXPECT_TRUE(plausible_range(kMaxPlausibleRange));
+}
+
+TEST(Units, PlausibleRangeRejectsNonPhysicalReports) {
+  EXPECT_FALSE(plausible_range(Meters{-0.001}));
+  EXPECT_FALSE(plausible_range(kMaxPlausibleRange + Meters{0.001}));
+  EXPECT_FALSE(
+      plausible_range(Meters{std::numeric_limits<double>::quiet_NaN()}));
+  EXPECT_FALSE(
+      plausible_range(Meters{std::numeric_limits<double>::infinity()}));
+}
+
+TEST(Units, PlausibleSpeedIsSymmetricAndRejectsNonFinite) {
+  EXPECT_TRUE(plausible_speed(MetersPerSecond{0.0}));
+  EXPECT_TRUE(plausible_speed(kMaxPlausibleSpeed));
+  EXPECT_TRUE(plausible_speed(-kMaxPlausibleSpeed));
+  EXPECT_FALSE(plausible_speed(kMaxPlausibleSpeed + MetersPerSecond{0.1}));
+  EXPECT_FALSE(plausible_speed(-kMaxPlausibleSpeed - MetersPerSecond{0.1}));
+  EXPECT_FALSE(plausible_speed(
+      MetersPerSecond{-std::numeric_limits<double>::infinity()}));
+}
+
+TEST(Units, PlausibilityPredicatesHonourCustomCeilings) {
+  EXPECT_FALSE(plausible_range(Meters{201.0}, Meters{200.0}));
+  EXPECT_TRUE(plausible_range_m(201.0));
+  EXPECT_FALSE(plausible_speed_mps(31.0, 30.0));
+  EXPECT_TRUE(plausible_speed_mps(31.0));
+}
+
+}  // namespace
+}  // namespace safe::units

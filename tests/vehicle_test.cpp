@@ -10,89 +10,106 @@ namespace safe::vehicle {
 namespace {
 
 TEST(Longitudinal, StepRejectsBadSampleTime) {
-  EXPECT_THROW(step(VehicleState{}, 0.0, 0.0), std::invalid_argument);
-  EXPECT_THROW(step(VehicleState{}, 0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(step(VehicleState{}, MetersPerSecond2{0.0}, Seconds{0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(step(VehicleState{}, MetersPerSecond2{0.0}, Seconds{-1.0}),
+               std::invalid_argument);
 }
 
 TEST(Longitudinal, ConstantSpeedAdvancesPosition) {
-  VehicleState s{.position_m = 10.0, .velocity_mps = 20.0};
-  s = step(s, 0.0, 1.0);
-  EXPECT_DOUBLE_EQ(s.position_m, 30.0);
-  EXPECT_DOUBLE_EQ(s.velocity_mps, 20.0);
+  VehicleState s{.position_m = Meters{10.0},
+                 .velocity_mps = MetersPerSecond{20.0}};
+  s = step(s, MetersPerSecond2{0.0}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(s.position_m.value(), 30.0);
+  EXPECT_DOUBLE_EQ(s.velocity_mps.value(), 20.0);
 }
 
 TEST(Longitudinal, AccelerationMatchesEquations) {
   // Eq. 15: v' = v + aT; Eq. 17: x' = x + vT + aT^2/2.
-  VehicleState s{.position_m = 0.0, .velocity_mps = 10.0};
-  s = step(s, 2.0, 1.0);
-  EXPECT_DOUBLE_EQ(s.velocity_mps, 12.0);
-  EXPECT_DOUBLE_EQ(s.position_m, 11.0);
-  EXPECT_DOUBLE_EQ(s.acceleration_mps2, 2.0);
+  VehicleState s{.position_m = Meters{0.0},
+                 .velocity_mps = MetersPerSecond{10.0}};
+  s = step(s, MetersPerSecond2{2.0}, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(s.velocity_mps.value(), 12.0);
+  EXPECT_DOUBLE_EQ(s.position_m.value(), 11.0);
+  EXPECT_DOUBLE_EQ(s.acceleration_mps2.value(), 2.0);
 }
 
 TEST(Longitudinal, StopsCleanlyAtZeroSpeed) {
-  VehicleState s{.position_m = 0.0, .velocity_mps = 1.0};
-  s = step(s, -2.0, 1.0);  // would reach v = -1 unclamped
-  EXPECT_EQ(s.velocity_mps, 0.0);
-  EXPECT_EQ(s.acceleration_mps2, 0.0);
+  VehicleState s{.position_m = Meters{0.0},
+                 .velocity_mps = MetersPerSecond{1.0}};
+  // Would reach v = -1 unclamped.
+  s = step(s, MetersPerSecond2{-2.0}, Seconds{1.0});
+  EXPECT_EQ(s.velocity_mps, MetersPerSecond{0.0});
+  EXPECT_EQ(s.acceleration_mps2, MetersPerSecond2{0.0});
   // Stops after v/|a| = 0.5 s: x = 1*0.5 - 0.5*2*0.25 = 0.25.
-  EXPECT_NEAR(s.position_m, 0.25, 1e-12);
+  EXPECT_NEAR(s.position_m.value(), 0.25, 1e-12);
   // Staying stopped does not move it backwards.
-  s = step(s, -2.0, 1.0);
-  EXPECT_NEAR(s.position_m, 0.25, 1e-12);
+  s = step(s, MetersPerSecond2{-2.0}, Seconds{1.0});
+  EXPECT_NEAR(s.position_m.value(), 0.25, 1e-12);
 }
 
 TEST(Longitudinal, GapAndRelativeVelocity) {
-  const VehicleState leader{.position_m = 120.0, .velocity_mps = 25.0};
-  const VehicleState follower{.position_m = 20.0, .velocity_mps = 28.0};
-  EXPECT_DOUBLE_EQ(gap_m(leader, follower), 100.0);
-  EXPECT_DOUBLE_EQ(relative_velocity_mps(leader, follower), -3.0);
+  const VehicleState leader{.position_m = Meters{120.0},
+                            .velocity_mps = MetersPerSecond{25.0}};
+  const VehicleState follower{.position_m = Meters{20.0},
+                              .velocity_mps = MetersPerSecond{28.0}};
+  EXPECT_DOUBLE_EQ(gap(leader, follower).value(), 100.0);
+  EXPECT_DOUBLE_EQ(relative_velocity(leader, follower).value(), -3.0);
 }
 
 TEST(LeaderProfiles, ConstantAccel) {
-  const ConstantAccelProfile p(0.5);
-  EXPECT_DOUBLE_EQ(p.acceleration_mps2(0.0), 0.5);
-  EXPECT_DOUBLE_EQ(p.acceleration_mps2(1000.0), 0.5);
+  const ConstantAccelProfile p(MetersPerSecond2{0.5});
+  EXPECT_DOUBLE_EQ(p.acceleration(Seconds{0.0}).value(), 0.5);
+  EXPECT_DOUBLE_EQ(p.acceleration(Seconds{1000.0}).value(), 0.5);
 }
 
 TEST(LeaderProfiles, ConstantDecelValidatesSign) {
-  EXPECT_THROW(ConstantDecelProfile(0.1), std::invalid_argument);
+  EXPECT_THROW(ConstantDecelProfile(MetersPerSecond2{0.1}),
+               std::invalid_argument);
   const ConstantDecelProfile p;
-  EXPECT_DOUBLE_EQ(p.acceleration_mps2(42.0), -0.1082);
+  EXPECT_DOUBLE_EQ(p.acceleration(Seconds{42.0}).value(), -0.1082);
   EXPECT_EQ(p.name(), "const-decel");
 }
 
 TEST(LeaderProfiles, DecelThenAccelSwitches) {
   const DecelThenAccelProfile p;  // paper values, switch at 150 s
-  EXPECT_DOUBLE_EQ(p.acceleration_mps2(0.0), -0.1082);
-  EXPECT_DOUBLE_EQ(p.acceleration_mps2(149.999), -0.1082);
-  EXPECT_DOUBLE_EQ(p.acceleration_mps2(150.0), 0.012);
-  EXPECT_DOUBLE_EQ(p.acceleration_mps2(299.0), 0.012);
+  EXPECT_DOUBLE_EQ(p.acceleration(Seconds{0.0}).value(), -0.1082);
+  EXPECT_DOUBLE_EQ(p.acceleration(Seconds{149.999}).value(), -0.1082);
+  EXPECT_DOUBLE_EQ(p.acceleration(Seconds{150.0}).value(), 0.012);
+  EXPECT_DOUBLE_EQ(p.acceleration(Seconds{299.0}).value(), 0.012);
 }
 
 TEST(LeaderProfiles, DecelThenAccelValidation) {
-  EXPECT_THROW(DecelThenAccelProfile(0.1, 0.012, 150.0),
+  EXPECT_THROW(DecelThenAccelProfile(MetersPerSecond2{0.1},
+                                     MetersPerSecond2{0.012}, Seconds{150.0}),
                std::invalid_argument);
-  EXPECT_THROW(DecelThenAccelProfile(-0.1, -0.012, 150.0),
+  EXPECT_THROW(DecelThenAccelProfile(MetersPerSecond2{-0.1},
+                                     MetersPerSecond2{-0.012}, Seconds{150.0}),
                std::invalid_argument);
-  EXPECT_THROW(DecelThenAccelProfile(-0.1, 0.012, 0.0),
+  EXPECT_THROW(DecelThenAccelProfile(MetersPerSecond2{-0.1},
+                                     MetersPerSecond2{0.012}, Seconds{0.0}),
                std::invalid_argument);
 }
 
 TEST(LeaderProfiles, StopAndGoIsPeriodicZeroMean) {
-  const StopAndGoProfile p(0.3, 120.0);
-  EXPECT_NEAR(p.acceleration_mps2(0.0), 0.0, 1e-12);
-  EXPECT_NEAR(p.acceleration_mps2(30.0), 0.3, 1e-12);
-  EXPECT_NEAR(p.acceleration_mps2(90.0), -0.3, 1e-12);
-  EXPECT_NEAR(p.acceleration_mps2(120.0), p.acceleration_mps2(0.0), 1e-9);
+  const StopAndGoProfile p(MetersPerSecond2{0.3}, Seconds{120.0});
+  EXPECT_NEAR(p.acceleration(Seconds{0.0}).value(), 0.0, 1e-12);
+  EXPECT_NEAR(p.acceleration(Seconds{30.0}).value(), 0.3, 1e-12);
+  EXPECT_NEAR(p.acceleration(Seconds{90.0}).value(), -0.3, 1e-12);
+  EXPECT_NEAR(p.acceleration(Seconds{120.0}).value(),
+              p.acceleration(Seconds{0.0}).value(), 1e-9);
   double mean = 0.0;
-  for (int k = 0; k < 120; ++k) mean += p.acceleration_mps2(k);
+  for (int k = 0; k < 120; ++k) {
+    mean += p.acceleration(Seconds{static_cast<double>(k)}).value();
+  }
   EXPECT_NEAR(mean / 120.0, 0.0, 0.01);
 }
 
 TEST(LeaderProfiles, StopAndGoValidation) {
-  EXPECT_THROW(StopAndGoProfile(0.0, 120.0), std::invalid_argument);
-  EXPECT_THROW(StopAndGoProfile(0.3, 0.0), std::invalid_argument);
+  EXPECT_THROW(StopAndGoProfile(MetersPerSecond2{0.0}, Seconds{120.0}),
+               std::invalid_argument);
+  EXPECT_THROW(StopAndGoProfile(MetersPerSecond2{0.3}, Seconds{0.0}),
+               std::invalid_argument);
 }
 
 }  // namespace
