@@ -1,0 +1,69 @@
+// Campaign-engine scaling: the same Monte Carlo campaign at --jobs 1 vs
+// --jobs hardware_concurrency, timed with min/median/max over repeats.
+//
+// Trials are independent closed-loop simulations, so the engine scales with
+// cores; the interesting property is that the *results* do not change —
+// the summary (and the JSONL stream, covered by tests/runtime_test.cpp) is
+// bit-identical at any worker count. On a single-core host the speedup is
+// ~1x by construction; the bench reports, it does not assert.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/campaign.hpp"
+#include "runtime/sink.hpp"
+#include "runtime/spec.hpp"
+
+namespace {
+
+using namespace safe;
+
+runtime::CampaignSpec speedup_spec() {
+  return runtime::parse_campaign_spec(
+      "trials = 48; seed = 7; horizon = 120;"
+      "attack = none|dos|delay; onset = uniform(20,80);"
+      "duration = uniform(20,60); jammer_power_w = loguniform(0.01,0.5);"
+      "estimator = fft; hardened = true");
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t hw = runtime::Campaign::default_jobs();
+  const std::size_t repeats = 3;
+
+  runtime::CampaignSummary serial_summary;
+  runtime::CampaignSummary parallel_summary;
+  const auto time_jobs = [&](std::size_t jobs,
+                             runtime::CampaignSummary& summary) {
+    return bench::time_runs(repeats, [&] {
+      const runtime::Campaign campaign(speedup_spec());
+      summary = campaign.run(jobs).summary;
+    });
+  };
+
+  const bench::TimingStats serial = time_jobs(1, serial_summary);
+  const bench::TimingStats parallel = time_jobs(hw, parallel_summary);
+
+  std::printf(
+      "Campaign scaling: 48 mixed-attack trials, %zu repeat(s) per point\n\n",
+      repeats);
+  std::printf("%10s %10s %10s %10s\n", "jobs", "min[s]", "median[s]",
+              "max[s]");
+  std::printf("%10zu %10.3f %10.3f %10.3f\n", static_cast<std::size_t>(1),
+              serial.min_s.value(), serial.median_s.value(),
+              serial.max_s.value());
+  std::printf("%10zu %10.3f %10.3f %10.3f\n", hw, parallel.min_s.value(),
+              parallel.median_s.value(), parallel.max_s.value());
+  std::printf("\nspeedup (median): %.2fx on %zu hardware thread(s)\n",
+              parallel.median_s.value() > 0.0
+                  ? serial.median_s.value() / parallel.median_s.value()
+                  : 0.0,
+              hw);
+
+  const bool identical = runtime::format_summary(serial_summary) ==
+                         runtime::format_summary(parallel_summary);
+  std::printf("summary identical across job counts: %s\n",
+              identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}

@@ -5,51 +5,41 @@
 // challenge, during which corrupted data drives the controller. This bench
 // sweeps PRBS challenge probabilities and reports mean detection latency,
 // collision outcomes, and the fraction of epochs sacrificed to challenges.
+//
+// Each rate is a runtime::Campaign over the attack-onset grid axis; the
+// per-trial PRBS schedule is installed by the customize hook (keyed off the
+// trial id alone, so the sweep stays deterministic at any worker count).
 #include <cstdio>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "runtime/campaign.hpp"
+#include "runtime/sink.hpp"
 
 namespace {
 
 using namespace safe;
 
-struct RateResult {
-  double mean_latency = 0.0;
-  int collisions = 0;
-  int missed = 0;
-  double overhead = 0.0;
-};
-
-RateResult run_rate(std::uint32_t numer, std::uint32_t denom,
-                    const std::vector<double>& onsets) {
-  RateResult out;
-  int detected = 0;
-  for (std::size_t i = 0; i < onsets.size(); ++i) {
-    core::ScenarioOptions o;
-    o.attack = core::AttackKind::kDosJammer;
-    o.attack_start_s = safe::units::Seconds{onsets[i]};
-    o.estimator = radar::BeatEstimator::kPeriodogram;  // fast; same defense
-    core::Scenario scenario = core::make_paper_scenario(o);
-    const auto key = static_cast<std::uint16_t>(0x1234 + 17 * i);
-    auto schedule = std::make_shared<cra::PrbsChallengeSchedule>(
-        key, numer, denom, scenario.config.horizon_steps);
-    out.overhead = schedule->challenge_rate();
-    scenario.schedule = schedule;
-
-    const auto result = scenario.run();
-    if (result.collided) ++out.collisions;
-    if (result.detection_step) {
-      out.mean_latency +=
-          static_cast<double>(*result.detection_step) - onsets[i];
-      ++detected;
-    } else {
-      ++out.missed;
-    }
+runtime::CampaignSummary run_rate(std::uint32_t numer, std::uint32_t denom,
+                                  const std::vector<double>& onsets) {
+  runtime::CampaignSpec spec;
+  spec.base.attack = core::AttackKind::kDosJammer;
+  spec.base.estimator = radar::BeatEstimator::kPeriodogram;  // fast; same CRA
+  for (const double onset : onsets) {
+    spec.attack_onsets_s.push_back(units::Seconds{onset});
   }
-  if (detected > 0) out.mean_latency /= detected;
-  return out;
+  spec.trials = onsets.size();
+  spec.scenario_seeds = {spec.base.seed};  // vary only the onset per trial
+  spec.customize = [numer, denom](core::Scenario& s,
+                                  const runtime::TrialRecord& r) {
+    const auto key = static_cast<std::uint16_t>(0x1234 + 17 * r.trial_id);
+    s.schedule = std::make_shared<cra::PrbsChallengeSchedule>(
+        key, numer, denom, s.config.horizon_steps);
+  };
+  const runtime::Campaign campaign(std::move(spec));
+  return campaign.run(/*jobs=*/0).summary;
 }
 
 }  // namespace
@@ -67,9 +57,14 @@ int main() {
   const std::vector<std::pair<std::uint32_t, std::uint32_t>> rates{
       {1, 50}, {1, 20}, {1, 10}, {1, 6}, {1, 3}, {1, 2}};
   for (const auto& [numer, denom] : rates) {
-    const RateResult r = run_rate(numer, denom, onsets);
-    std::printf("%9u/%-2u %12.3f %16.2f %11d %8d\n", numer, denom, r.overhead,
-                r.mean_latency, r.collisions, r.missed);
+    const runtime::CampaignSummary s = run_rate(numer, denom, onsets);
+    // Realized challenge fraction of the same PRBS draw the last trial ran.
+    const cra::PrbsChallengeSchedule probe(
+        static_cast<std::uint16_t>(0x1234 + 17 * (onsets.size() - 1)), numer,
+        denom, core::ScenarioOptions{}.horizon_steps);
+    std::printf("%9u/%-2u %12.3f %16.2f %11zu %8zu\n", numer, denom,
+                probe.challenge_rate(), s.latency_mean_s.value(),
+                s.collisions, s.missed);
   }
   std::printf(
       "\nshape: latency ~ 1/rate, and sparse schedules leave blind windows "

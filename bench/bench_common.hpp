@@ -6,13 +6,46 @@
 // ("Estimated Radar Data"), then prints the three series side by side.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/scenario.hpp"
 #include "units/units.hpp"
 
 namespace safe::bench {
+
+/// Wall-clock spread over repeated timed runs; single-shot timings on a
+/// shared machine are too noisy to report alone.
+struct TimingStats {
+  units::Seconds min_s{0.0};
+  units::Seconds median_s{0.0};
+  units::Seconds max_s{0.0};
+};
+
+/// Times `fn` `repeats` times (steady clock) and reports min/median/max.
+template <typename Fn>
+TimingStats time_runs(std::size_t repeats, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (std::size_t i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    samples.push_back(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  }
+  std::sort(samples.begin(), samples.end());
+  TimingStats stats;
+  if (!samples.empty()) {
+    stats.min_s = units::Seconds{samples.front()};
+    stats.median_s = units::Seconds{samples[samples.size() / 2]};
+    stats.max_s = units::Seconds{samples.back()};
+  }
+  return stats;
+}
 
 struct FigureRuns {
   core::CarFollowingResult without_attack;

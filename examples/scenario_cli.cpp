@@ -4,8 +4,8 @@
 // Usage:
 //   scenario_cli [--leader decel|decel-accel|stop-and-go]
 //                [--attack none|dos|delay] [--onset K] [--end K]
-//                [--no-defense] [--estimator music|fft] [--seed N]
-//                [--horizon K] [--csv PATH]
+//                [--no-defense] [--estimator music|fft] [--seed N[,N...]]
+//                [--horizon K] [--csv PATH] [--trials N] [--jobs N]
 //                [--fault SPEC] [--hardened] [--max-holdover K]
 //
 // Example: reproduce Figure 2b and dump the series:
@@ -15,14 +15,22 @@
 // degradation manager enabled:
 //   scenario_cli --hardened
 //                --fault "dropout:start=60,len=10;nan:start=100,period=25"
+//
+// Example: the same scenario across 32 noise seeds on 8 workers (the
+// campaign engine guarantees bit-identical results at any --jobs):
+//   scenario_cli --attack dos --estimator fft --trials 32 --jobs 8
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/scenario.hpp"
 #include "fault/schedule.hpp"
+#include "runtime/campaign.hpp"
+#include "runtime/sink.hpp"
 #include "vehicle/leader_profile.hpp"
 
 namespace {
@@ -32,11 +40,53 @@ namespace {
       << "usage: " << argv0
       << " [--leader decel|decel-accel|stop-and-go] [--attack none|dos|delay]\n"
          "       [--onset K] [--end K] [--no-defense] [--estimator music|fft]\n"
-         "       [--seed N] [--horizon K] [--csv PATH]\n"
+         "       [--seed N[,N...]] [--horizon K] [--csv PATH]\n"
+         "       [--trials N] [--jobs N]\n"
          "       [--fault SPEC] [--hardened] [--max-holdover K]\n"
-         "run `--fault help` for the fault-spec mini-language.\n";
+         "run `--fault help` for the fault-spec mini-language. With --trials\n"
+         "or a --seed list the run goes through the runtime campaign engine\n"
+         "(one trial per seed, --jobs workers).\n";
   std::exit(2);
 }
+
+std::vector<std::uint64_t> parse_seed_list(const std::string& value) {
+  std::vector<std::uint64_t> seeds;
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    const std::size_t comma = value.find(',', begin);
+    const std::string token =
+        value.substr(begin, comma == std::string::npos ? std::string::npos
+                                                       : comma - begin);
+    if (!token.empty()) seeds.push_back(std::stoull(token));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (seeds.empty()) throw std::invalid_argument("empty --seed list");
+  return seeds;
+}
+
+/// Per-trial one-liner printed while a multi-trial run streams.
+class ConsoleSink final : public safe::runtime::TrialSink {
+ public:
+  void consume(const safe::runtime::TrialRecord& r) override {
+    if (!r.error.empty()) {
+      std::printf("trial %4llu  seed %-20llu ERROR %s\n",
+                  static_cast<unsigned long long>(r.trial_id),
+                  static_cast<unsigned long long>(r.scenario_seed),
+                  r.error.c_str());
+      return;
+    }
+    std::printf(
+        "trial %4llu  seed %-20llu min gap %8.2f m  %-5s detected %-5s "
+        "FP %zu FN %zu\n",
+        static_cast<unsigned long long>(r.trial_id),
+        static_cast<unsigned long long>(r.scenario_seed),
+        r.min_gap_m.value(), r.collided ? "CRASH" : "ok",
+        r.detection_step >= 0 ? std::to_string(r.detection_step).c_str()
+                              : "never",
+        r.false_positives, r.false_negatives);
+  }
+};
 
 }  // namespace
 
@@ -48,6 +98,9 @@ int main(int argc, char** argv) {
   std::string csv_path;
   bool hardened = false;
   std::size_t max_holdover = 15;
+  std::vector<std::uint64_t> seeds{1};
+  std::size_t trials = 0;  // 0 = not requested
+  std::size_t jobs = 0;    // 0 = hardware concurrency
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -84,7 +137,12 @@ int main(int argc, char** argv) {
         usage(argv[0]);
       }
     } else if (arg == "--seed") {
-      options.seed = std::stoull(next());
+      seeds = parse_seed_list(next());
+      options.seed = seeds.front();
+    } else if (arg == "--trials") {
+      trials = std::stoull(next());
+    } else if (arg == "--jobs") {
+      jobs = std::stoull(next());
     } else if (arg == "--horizon") {
       options.horizon_steps = std::stoll(next());
     } else if (arg == "--csv") {
@@ -112,6 +170,46 @@ int main(int argc, char** argv) {
     options.leader = core::LeaderScenario::kDecelThenAccel;
   } else if (leader != "stop-and-go") {
     usage(argv[0]);
+  }
+
+  // Multi-trial path: --trials or a --seed list routes through the campaign
+  // engine (bit-identical output at any --jobs).
+  if (trials > 1 || seeds.size() > 1 || jobs > 1) {
+    if (!csv_path.empty()) {
+      std::cerr << "--csv only supports a single trial; drop --trials/--jobs "
+                   "or use campaign_cli --out for JSONL records\n";
+      return 2;
+    }
+    runtime::CampaignSpec spec;
+    spec.base = options;
+    spec.seed = seeds.front();
+    if (seeds.size() > 1) {
+      spec.scenario_seeds = seeds;
+      spec.trials = trials > 0 ? trials : seeds.size();
+    } else {
+      spec.trials = trials > 0 ? trials : 1;
+    }
+    if (leader == "stop-and-go") {
+      spec.customize = [](core::Scenario& s, const runtime::TrialRecord&) {
+        s.leader = std::make_shared<vehicle::StopAndGoProfile>();
+      };
+    }
+
+    ConsoleSink console;
+    std::vector<runtime::TrialSink*> sinks{&console};
+    const runtime::CampaignResult result = [&] {
+      try {
+        return runtime::Campaign(std::move(spec)).run(jobs, sinks);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n";
+        std::exit(2);
+      }
+    }();
+    std::printf("\n%zu trial(s) on %zu job(s) in %.2f s\n\n", result.trials,
+                result.jobs, result.wall_s.value());
+    std::cout << runtime::format_summary(result.summary);
+    return result.summary.errors == 0 && result.summary.collisions == 0 ? 0
+                                                                        : 1;
   }
 
   core::Scenario scenario = [&] {

@@ -1,5 +1,8 @@
 #include "core/scenario.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "attack/delay_injection.hpp"
 #include "attack/dos_jammer.hpp"
 #include "attack/window.hpp"
@@ -10,7 +13,25 @@ namespace safe::core {
 
 namespace units = safe::units;
 
+void validate(const ScenarioOptions& options) {
+  if (options.horizon_steps <= 0) {
+    throw std::invalid_argument(
+        "ScenarioOptions: horizon_steps must be positive, got " +
+        std::to_string(options.horizon_steps));
+  }
+  if (options.attack != AttackKind::kNone &&
+      options.attack_end_s < options.attack_start_s) {
+    throw std::invalid_argument(
+        "ScenarioOptions: attack_end_s (" +
+        std::to_string(options.attack_end_s.value()) +
+        " s) precedes attack_start_s (" +
+        std::to_string(options.attack_start_s.value()) +
+        " s); the attack window would be empty");
+  }
+}
+
 Scenario make_paper_scenario(const ScenarioOptions& options) {
+  validate(options);
   Scenario s;
 
   s.config.leader_speed_mps = units::from_mph(65.0);
@@ -55,8 +76,7 @@ Scenario make_paper_scenario(const ScenarioOptions& options) {
     case AttackKind::kNone:
       break;
     case AttackKind::kDosJammer:
-      inner = std::make_shared<attack::DosJammerAttack>(
-          radar::JammerParameters{});
+      inner = std::make_shared<attack::DosJammerAttack>(options.jammer);
       break;
     case AttackKind::kDelayInjection:
       inner = std::make_shared<attack::DelayInjectionAttack>(

@@ -7,6 +7,7 @@
 #include "attack/attack.hpp"
 #include "core/car_following.hpp"
 #include "cra/challenge.hpp"
+#include "radar/link_budget.hpp"
 #include "vehicle/leader_profile.hpp"
 
 namespace safe::core {
@@ -41,7 +42,17 @@ struct ScenarioOptions {
   /// Sensor-fault schedule in the `--fault` spec language (see
   /// fault/schedule.hpp); empty or "none" = no injected faults.
   std::string fault_spec{};
+  /// DoS jammer link-budget parameters (paper Section 6.2 defaults); only
+  /// consulted when `attack == kDosJammer`. Campaign sweeps vary
+  /// `peak_power_w` to map the jamming-effectiveness boundary.
+  radar::JammerParameters jammer{};
 };
+
+/// Rejects impossible option combinations with std::invalid_argument:
+/// an attack window that ends before it starts, or a non-positive horizon
+/// (both would otherwise silently simulate nothing). Called by
+/// make_paper_scenario; exposed for CLIs that assemble options piecemeal.
+void validate(const ScenarioOptions& options);
 
 /// Assembled simulation pieces for one run.
 struct Scenario {

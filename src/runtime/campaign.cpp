@@ -1,0 +1,272 @@
+#include "runtime/campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+
+namespace safe::runtime {
+
+Distribution Distribution::uniform(double lo, double hi) {
+  if (hi < lo) {
+    throw std::invalid_argument("Distribution::uniform: hi < lo");
+  }
+  return Distribution{Kind::kUniform, lo, hi};
+}
+
+Distribution Distribution::log_uniform(double lo, double hi) {
+  if (!(lo > 0.0) || hi < lo) {
+    throw std::invalid_argument(
+        "Distribution::log_uniform: requires 0 < lo <= hi");
+  }
+  return Distribution{Kind::kLogUniform, lo, hi};
+}
+
+double Distribution::sample(SplitMix64& rng) const {
+  switch (kind_) {
+    case Kind::kFixed:
+      return lo_;
+    case Kind::kUniform:
+      return lo_ + (hi_ - lo_) * uniform_double(rng);
+    case Kind::kLogUniform:
+      return std::exp(std::log(lo_) +
+                      (std::log(hi_) - std::log(lo_)) * uniform_double(rng));
+  }
+  return lo_;
+}
+
+std::size_t CampaignSpec::grid_cells() const {
+  std::size_t cells = 1;
+  const auto mul = [&cells](std::size_t n) {
+    if (n > 0) cells *= n;
+  };
+  mul(leaders.size());
+  mul(attacks.size());
+  mul(attack_onsets_s.size());
+  mul(jammer_powers_w.size());
+  mul(fault_specs.size());
+  return cells;
+}
+
+Campaign::Campaign(CampaignSpec spec) : spec_(std::move(spec)) {
+  if (!spec_.factory) {
+    spec_.factory = [](const core::ScenarioOptions& options) {
+      return core::make_paper_scenario(options);
+    };
+  }
+}
+
+std::size_t Campaign::default_jobs() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+core::ScenarioOptions Campaign::expand(std::uint64_t trial_id,
+                                       TrialRecord& record) const {
+  core::ScenarioOptions o = spec_.base;
+
+  // Grid axes: unravel the cell index in a fixed axis order so trial t's
+  // parameters depend only on t and the spec, never on execution.
+  std::uint64_t cell = trial_id % spec_.grid_cells();
+  const auto pick = [&cell](const auto& axis, auto& value) {
+    if (axis.empty()) return;
+    value = axis[static_cast<std::size_t>(cell % axis.size())];
+    cell /= axis.size();
+  };
+  pick(spec_.leaders, o.leader);
+  pick(spec_.attacks, o.attack);
+  pick(spec_.attack_onsets_s, o.attack_start_s);
+  pick(spec_.jammer_powers_w, o.jammer.peak_power_w);
+  pick(spec_.fault_specs, o.fault_spec);
+
+  // Randomized axes: sampled in a fixed order from the per-trial parameter
+  // stream. Every set distribution is drawn even when the trial's attack
+  // kind ignores the value, so draws never shift between trials.
+  SplitMix64 rng(derive_seed(spec_.seed, SeedStream::kParams, trial_id));
+  if (spec_.attack_onset_s) {
+    o.attack_start_s = units::Seconds{spec_.attack_onset_s->sample(rng)};
+  }
+  if (spec_.attack_duration_s) {
+    o.attack_end_s =
+        o.attack_start_s + units::Seconds{spec_.attack_duration_s->sample(rng)};
+  }
+  if (spec_.jammer_power_w) {
+    o.jammer.peak_power_w = spec_.jammer_power_w->sample(rng);
+  }
+
+  o.seed = spec_.scenario_seeds.empty()
+               ? derive_seed(spec_.seed, SeedStream::kScenario, trial_id)
+               : spec_.scenario_seeds[static_cast<std::size_t>(
+                     trial_id % spec_.scenario_seeds.size())];
+
+  record.trial_id = trial_id;
+  record.scenario_seed = o.seed;
+  record.leader = o.leader;
+  record.attack = o.attack;
+  record.attack_start_s = o.attack_start_s;
+  record.attack_end_s = o.attack_end_s;
+  record.jammer_power_w = o.jammer.peak_power_w;
+  record.fault_spec = o.fault_spec;
+  record.defense_enabled = o.defense_enabled;
+  record.max_holdover_steps = o.pipeline.health.max_holdover_steps;
+  record.horizon_steps = o.horizon_steps;
+  return o;
+}
+
+TrialRecord Campaign::run_trial(std::uint64_t trial_id) const {
+  TrialRecord record;
+  try {
+    const core::ScenarioOptions options = expand(trial_id, record);
+    core::Scenario scenario = spec_.factory(options);
+    if (spec_.customize) spec_.customize(scenario, record);
+    const core::CarFollowingResult result = scenario.run();
+
+    record.collided = result.collided;
+    record.collision_step =
+        result.collision_step ? *result.collision_step : -1;
+    record.detection_step =
+        result.detection_step ? *result.detection_step : -1;
+    record.min_gap_m = result.min_gap_m;
+    record.false_positives = result.detection_stats.false_positives;
+    record.false_negatives = result.detection_stats.false_negatives;
+    record.safe_stop_steps = result.safe_stop_steps;
+    record.nonfinite_controller_inputs = result.nonfinite_controller_inputs;
+    const core::HealthStats& hs = result.health_stats;
+    record.rejected_nonfinite = hs.rejected_nonfinite;
+    record.rejected_signal = hs.rejected_out_of_range + hs.rejected_innovation +
+                             hs.rejected_stuck;
+    record.bridged_dropouts = hs.bridged_dropouts;
+    record.predictor_resets = hs.predictor_resets;
+    record.degradation_max = result.trace.column_max("degradation");
+
+    const units::Seconds dt = scenario.config.sample_time_s;
+    if (options.attack != core::AttackKind::kNone &&
+        record.detection_step >= 0) {
+      const double latency =
+          static_cast<double>(record.detection_step) * dt.value() -
+          options.attack_start_s.value();
+      record.detection_latency_s = units::Seconds{std::max(0.0, latency)};
+    }
+
+    // RLS holdover fidelity: RMSE of the substituted gap against truth over
+    // the steps the controller ran on estimates.
+    const auto& estimated = result.trace.column("estimated");
+    const auto& safe_gap = result.trace.column("safe_gap_m");
+    const auto& true_gap = result.trace.column("true_gap_m");
+    double sq_sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = 0; k < estimated.size(); ++k) {
+      if (estimated[k] <= 0.5) continue;
+      const double err = safe_gap[k] - true_gap[k];
+      if (!std::isfinite(err)) continue;
+      sq_sum += err * err;
+      ++n;
+    }
+    record.holdover_steps = n;
+    record.holdover_rmse_m =
+        units::Meters{n > 0 ? std::sqrt(sq_sum / static_cast<double>(n))
+                            : 0.0};
+  } catch (const std::exception& e) {
+    record.error = e.what();
+  } catch (...) {
+    record.error = "unknown exception";
+  }
+  return record;
+}
+
+CampaignResult Campaign::run(std::size_t jobs,
+                             const std::vector<TrialSink*>& sinks) const {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t workers = jobs == 0 ? default_jobs() : jobs;
+  const std::uint64_t n = spec_.trials;
+
+  // Mergeable shard accumulators: a trial lands in shard trial_id % K — a
+  // scheduling-independent assignment — and finalize() sorts by trial id,
+  // so the merged summary is identical at any job count.
+  struct Shard {
+    std::mutex mutex;
+    SummaryAccumulator acc;
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+  shards.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    shards.push_back(std::make_unique<Shard>());
+  }
+
+  // Completed trials park here until the caller thread can emit them in
+  // trial-id order; max_in_flight bounds the reorder window.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::map<std::uint64_t, TrialRecord> done;
+  std::uint64_t next_emit = 0;
+
+  const auto drain_ready = [&](std::unique_lock<std::mutex>& lock) {
+    for (auto it = done.find(next_emit); it != done.end();
+         it = done.find(next_emit)) {
+      TrialRecord record = std::move(it->second);
+      done.erase(it);
+      ++next_emit;
+      lock.unlock();
+      for (TrialSink* sink : sinks) sink->consume(record);
+      lock.lock();
+    }
+  };
+
+  {
+    ThreadPool pool(workers);
+    const std::uint64_t max_in_flight =
+        static_cast<std::uint64_t>(workers) * 4 + 8;
+    for (std::uint64_t t = 0; t < n; ++t) {
+      pool.submit([this, t, &shards, &done_mutex, &done_cv, &done] {
+        TrialRecord record = run_trial(t);
+        {
+          Shard& shard = *shards[static_cast<std::size_t>(t) % shards.size()];
+          std::lock_guard<std::mutex> guard(shard.mutex);
+          shard.acc.add(record);
+        }
+        {
+          std::lock_guard<std::mutex> guard(done_mutex);
+          done.emplace(t, std::move(record));
+        }
+        done_cv.notify_all();
+      });
+      std::unique_lock<std::mutex> lock(done_mutex);
+      drain_ready(lock);
+      while (t + 1 - next_emit >= max_in_flight) {
+        done_cv.wait(lock);
+        drain_ready(lock);
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(done_mutex);
+      while (next_emit < n) {
+        done_cv.wait(lock, [&] { return done.count(next_emit) > 0; });
+        drain_ready(lock);
+      }
+    }
+    pool.wait_idle();  // surfaces engine-level failures (e.g. bad_alloc)
+    pool.shutdown();
+  }
+  for (TrialSink* sink : sinks) sink->finish();
+
+  SummaryAccumulator merged;
+  for (const auto& shard : shards) merged.merge(shard->acc);
+
+  CampaignResult result;
+  result.summary = merged.finalize();
+  result.trials = static_cast<std::size_t>(n);
+  result.jobs = workers;
+  result.wall_s = units::Seconds{
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count()};
+  return result;
+}
+
+}  // namespace safe::runtime

@@ -1,0 +1,34 @@
+// Text form of a CampaignSpec (the `--spec` language of campaign_cli).
+//
+// One `key = value` entry per line; `#` starts a comment. Entries may also
+// be separated by `;` so a whole spec fits in one shell argument; a value
+// containing `;` or `|` (e.g. a multi-injector fault spec) can be protected
+// with double quotes. `|`-separated values form a grid axis; `uniform(a,b)`
+// and `loguniform(a,b)` declare a randomized axis.
+//
+//   trials = 1000
+//   seed = 42
+//   attack = none | dos | delay        # grid axis, crossed with others
+//   onset = uniform(60, 240)           # randomized axis
+//   duration = uniform(30, 120)        # attack end = onset + duration
+//   jammer_power_w = loguniform(0.01, 1.0)
+//   fault = none | "dropout:start=60,len=12;nan:start=100,period=40"
+//   hardened = true
+//
+// See campaign_spec_help() for the full key list.
+#pragma once
+
+#include <string>
+
+#include "runtime/campaign.hpp"
+
+namespace safe::runtime {
+
+/// Parses the spec language into a CampaignSpec. Throws
+/// std::invalid_argument with a line-qualified message on malformed input.
+[[nodiscard]] CampaignSpec parse_campaign_spec(const std::string& text);
+
+/// Human-readable description of every key (printed by `--spec help`).
+[[nodiscard]] std::string campaign_spec_help();
+
+}  // namespace safe::runtime

@@ -1,0 +1,159 @@
+#include "runtime/thread_pool.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace safe::runtime {
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
+  const std::size_t n = num_threads == 0 ? 1 : num_threads;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::push_to_some_queue(std::function<void()>& task) {
+  // Round-robin over the queues starting at a rotating offset; first queue
+  // with room wins. A full sweep with no room means global backpressure.
+  const std::size_t n = queues_.size();
+  const std::size_t start =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    WorkerQueue& q = *queues_[(start + k) % n];
+    std::lock_guard<std::mutex> guard(q.mutex);
+    if (q.tasks.size() >= capacity_) continue;
+    q.tasks.push_back(std::move(task));
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::submit_once(std::function<void()>& task) {
+  if (stop_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("ThreadPool: submit after shutdown");
+  }
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (!push_to_some_queue(task)) {  // only moves from `task` on success
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Lock-then-notify pairs with the predicate re-check inside wait();
+    // without it a worker could check the predicate, see no work, and sleep
+    // through this notification.
+    std::lock_guard<std::mutex> guard(wake_mutex_);
+  }
+  worker_cv_.notify_one();
+  return true;
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+  return submit_once(task);
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  while (!submit_once(task)) {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) <
+                 capacity_ * queues_.size();
+    });
+  }
+}
+
+bool ThreadPool::pop_or_steal(std::size_t index, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  {
+    WorkerQueue& own = *queues_[index];
+    std::lock_guard<std::mutex> guard(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      queued_.fetch_sub(1, std::memory_order_release);
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    WorkerQueue& victim = *queues_[(index + k) % n];
+    std::lock_guard<std::mutex> guard(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      queued_.fetch_sub(1, std::memory_order_release);
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  std::function<void()> task;
+  while (true) {
+    if (pop_or_steal(index, task)) {
+      {
+        std::lock_guard<std::mutex> guard(wake_mutex_);
+      }
+      idle_cv_.notify_all();  // queue space freed: unblock submitters
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> guard(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      task = nullptr;
+      if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> guard(wake_mutex_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    worker_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  {
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    idle_cv_.wait(lock, [this] {
+      return in_flight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::lock_guard<std::mutex> guard(error_mutex_);
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> guard(wake_mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  worker_cv_.notify_all();
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace safe::runtime

@@ -1,0 +1,96 @@
+// Work-stealing thread pool for embarrassingly parallel campaign trials.
+//
+// Each worker owns a bounded deque: it pushes and pops its own back (LIFO,
+// cache-friendly) and steals from the front of a peer's deque when its own
+// runs dry (FIFO, oldest-first — the steal order that keeps a straggler's
+// queue short). Submission round-robins across queues and applies
+// backpressure by blocking once every queue is at capacity, so a producer
+// can stream millions of tasks without unbounded memory growth.
+//
+// Scheduling order is deliberately unspecified; deterministic consumers
+// (the campaign engine) must key results by task identity, never by
+// completion order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace safe::runtime {
+
+class ThreadPool {
+ public:
+  static constexpr std::size_t kDefaultQueueCapacity = 256;
+
+  /// Spawns `num_threads` workers (minimum 1), each with a deque bounded at
+  /// `queue_capacity` tasks.
+  explicit ThreadPool(std::size_t num_threads,
+                      std::size_t queue_capacity = kDefaultQueueCapacity);
+
+  /// Drains queued tasks and joins (equivalent to shutdown()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues `task`; blocks while every worker queue is full. Throws
+  /// std::runtime_error after shutdown().
+  void submit(std::function<void()> task);
+
+  /// Non-blocking submit; false when every queue is at capacity.
+  [[nodiscard]] bool try_submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception that escaped a task (if any).
+  void wait_idle();
+
+  /// Completes all queued tasks, then joins the workers. Idempotent; unlike
+  /// wait_idle() it never throws (safe from the destructor). Exceptions
+  /// stashed by tasks stay retrievable via wait_idle() before shutdown.
+  void shutdown();
+
+  /// Number of tasks executed by a worker other than the one whose queue
+  /// they were submitted to (observability; exercised by tests).
+  [[nodiscard]] std::size_t steal_count() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t index);
+  bool pop_or_steal(std::size_t index, std::function<void()>& task);
+  bool push_to_some_queue(std::function<void()>& task);
+  bool submit_once(std::function<void()>& task);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::size_t capacity_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> queued_{0};     ///< Tasks sitting in deques.
+  std::atomic<std::size_t> in_flight_{0};  ///< Queued plus running.
+  std::atomic<std::size_t> steals_{0};
+  std::atomic<std::size_t> next_queue_{0};
+
+  std::mutex wake_mutex_;
+  std::condition_variable worker_cv_;  ///< Work available (or stopping).
+  std::condition_variable idle_cv_;    ///< Queue space freed / pool idle.
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace safe::runtime
