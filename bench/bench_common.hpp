@@ -7,12 +7,12 @@
 #pragma once
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "telemetry/telemetry.hpp"
 #include "units/units.hpp"
 
 namespace safe::bench {
@@ -25,17 +25,17 @@ struct TimingStats {
   units::Seconds max_s{0.0};
 };
 
-/// Times `fn` `repeats` times (steady clock) and reports min/median/max.
+/// Times `fn` `repeats` times on the telemetry steady clock (the same
+/// now_ns() path production spans use) and reports min/median/max.
 template <typename Fn>
 TimingStats time_runs(std::size_t repeats, Fn&& fn) {
   std::vector<double> samples;
   samples.reserve(repeats);
+  telemetry::Stopwatch watch;
   for (std::size_t i = 0; i < repeats; ++i) {
-    const auto t0 = std::chrono::steady_clock::now();
+    watch.restart();
     fn();
-    samples.push_back(std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count());
+    samples.push_back(watch.elapsed_seconds());
   }
   std::sort(samples.begin(), samples.end());
   TimingStats stats;

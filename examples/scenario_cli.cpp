@@ -7,6 +7,7 @@
 //                [--no-defense] [--estimator music|fft] [--seed N[,N...]]
 //                [--horizon K] [--csv PATH] [--trials N] [--jobs N]
 //                [--fault SPEC] [--hardened] [--max-holdover K]
+//                [--metrics-out PATH] [--trace-out PATH]
 //
 // Example: reproduce Figure 2b and dump the series:
 //   scenario_cli --leader decel --attack delay --onset 180 --csv fig2b.csv
@@ -31,6 +32,7 @@
 #include "fault/schedule.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/sink.hpp"
+#include "telemetry/telemetry.hpp"
 #include "vehicle/leader_profile.hpp"
 
 namespace {
@@ -43,10 +45,36 @@ namespace {
          "       [--seed N[,N...]] [--horizon K] [--csv PATH]\n"
          "       [--trials N] [--jobs N]\n"
          "       [--fault SPEC] [--hardened] [--max-holdover K]\n"
+         "       [--metrics-out PATH] [--trace-out PATH]\n"
          "run `--fault help` for the fault-spec mini-language. With --trials\n"
          "or a --seed list the run goes through the runtime campaign engine\n"
-         "(one trial per seed, --jobs workers).\n";
+         "(one trial per seed, --jobs workers). --metrics-out dumps merged\n"
+         "telemetry metrics as JSONL; --trace-out writes a Chrome trace_event\n"
+         "file (chrome://tracing / Perfetto).\n";
   std::exit(2);
+}
+
+/// Dumps telemetry outputs after the run; returns false on an unwritable
+/// path so main can exit non-zero.
+bool write_telemetry_outputs(const std::string& metrics_path,
+                             const std::string& trace_path) {
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_file(metrics_path);
+    if (!metrics_file) {
+      std::cerr << "cannot open " << metrics_path << "\n";
+      return false;
+    }
+    safe::telemetry::write_metrics_jsonl(metrics_file);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::cerr << "cannot open " << trace_path << "\n";
+      return false;
+    }
+    safe::telemetry::write_chrome_trace(trace_file);
+  }
+  return true;
 }
 
 std::vector<std::uint64_t> parse_seed_list(const std::string& value) {
@@ -96,6 +124,8 @@ int main(int argc, char** argv) {
   core::ScenarioOptions options;
   std::string leader = "decel";
   std::string csv_path;
+  std::string metrics_path;
+  std::string trace_path;
   bool hardened = false;
   std::size_t max_holdover = 15;
   std::vector<std::uint64_t> seeds{1};
@@ -158,10 +188,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-holdover") {
       max_holdover = std::stoull(next());
       hardened = true;
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
+    } else if (arg == "--trace-out") {
+      trace_path = next();
     } else {
       usage(argv[0]);
     }
   }
+  if (!metrics_path.empty()) telemetry::set_metrics_enabled(true);
+  if (!trace_path.empty()) {
+    // A single scenario is small enough to always trace at fine detail
+    // (per-sample pipeline stage spans).
+    telemetry::set_tracing_enabled(true);
+    telemetry::set_trace_detail(telemetry::TraceDetail::kFine);
+  }
+  telemetry::set_thread_name("main");
   if (hardened) options.pipeline = core::hardened_pipeline_options(max_holdover);
 
   if (leader == "decel") {
@@ -208,6 +250,7 @@ int main(int argc, char** argv) {
     std::printf("\n%zu trial(s) on %zu job(s) in %.2f s\n\n", result.trials,
                 result.jobs, result.wall_s.value());
     std::cout << runtime::format_summary(result.summary);
+    if (!write_telemetry_outputs(metrics_path, trace_path)) return 1;
     return result.summary.errors == 0 && result.summary.collisions == 0 ? 0
                                                                         : 1;
   }
@@ -224,7 +267,10 @@ int main(int argc, char** argv) {
     scenario.leader = std::make_shared<vehicle::StopAndGoProfile>();
   }
 
-  const auto result = scenario.run();
+  const auto result = [&] {
+    telemetry::ScopedTimer span("scenario.run", "scenario");
+    return scenario.run();
+  }();
 
   std::cout << "leader=" << scenario.leader->name()
             << " attack=" << (scenario.attack ? scenario.attack->name() : "none")
@@ -263,5 +309,6 @@ int main(int argc, char** argv) {
     result.trace.write_csv(csv);
     std::cout << "trace written to " << csv_path << "\n";
   }
+  if (!write_telemetry_outputs(metrics_path, trace_path)) return 1;
   return result.collided ? 1 : 0;
 }

@@ -5,10 +5,24 @@
 #include <stdexcept>
 
 #include "radar/link_budget.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace safe::core {
 
 namespace units = safe::units;
+
+namespace {
+
+// The controller stage is the tail of the per-step chain (modulate ->
+// channel -> demodulate/CFAR -> CRA check -> RLS -> ACC); the radar and
+// pipeline stages carry their own spans, this closes the profile.
+const telemetry::MetricId& controller_ns_metric() {
+  static const telemetry::MetricId id =
+      telemetry::duration_histogram("control.step_ns");
+  return id;
+}
+
+}  // namespace
 
 std::vector<std::string> CarFollowingResult::columns() {
   return {
@@ -166,17 +180,23 @@ CarFollowingResult CarFollowingSimulation::run() {
 
     // --- Follower controller + dynamics (Eqs. 13-17, or IDM baseline).
     units::MetersPerSecond2 follower_accel;
-    if (config_.controller == FollowerController::kAccHierarchy) {
-      follower_accel = acc.step(inputs).actuation.actual_accel_mps2;
-    } else {
-      follower_accel =
-          inputs.target_present
-              ? control::idm_acceleration(
-                    config_.idm, follower.velocity_mps,
-                    follower.velocity_mps + inputs.relative_velocity_mps,
-                    inputs.distance_m)
-              : control::idm_free_acceleration(config_.idm,
-                                               follower.velocity_mps);
+    {
+      telemetry::ScopedTimer span("acc.step", "control",
+                                  controller_ns_metric(),
+                                  telemetry::TraceDetail::kFine);
+      span.arg("step", k);
+      if (config_.controller == FollowerController::kAccHierarchy) {
+        follower_accel = acc.step(inputs).actuation.actual_accel_mps2;
+      } else {
+        follower_accel =
+            inputs.target_present
+                ? control::idm_acceleration(
+                      config_.idm, follower.velocity_mps,
+                      follower.velocity_mps + inputs.relative_velocity_mps,
+                      inputs.distance_m)
+                : control::idm_free_acceleration(config_.idm,
+                                                 follower.velocity_mps);
+      }
     }
     if (!result.collided) {
       follower = vehicle::step(follower, follower_accel, t_sample);

@@ -2,9 +2,38 @@
 
 #include <cmath>
 
+#include "telemetry/telemetry.hpp"
+
 namespace safe::core {
 
 namespace units = safe::units;
+
+namespace {
+
+// Global mirrors of the per-run HealthStats tallies: cumulative across every
+// monitor instance, so a campaign's merged view is one JSONL line instead of
+// N trial records. All are pure functions of the processed sample streams.
+struct HealthMetrics {
+  telemetry::MetricId rejected_nonfinite =
+      telemetry::counter("health.rejected_nonfinite");
+  telemetry::MetricId rejected_out_of_range =
+      telemetry::counter("health.rejected_out_of_range");
+  telemetry::MetricId rejected_innovation =
+      telemetry::counter("health.rejected_innovation");
+  telemetry::MetricId rejected_stuck =
+      telemetry::counter("health.rejected_stuck");
+  telemetry::MetricId innovation_resyncs =
+      telemetry::counter("health.innovation_resyncs");
+  telemetry::MetricId safe_stop_entries =
+      telemetry::counter("health.safe_stop_entries");
+};
+
+const HealthMetrics& health_metrics() {
+  static const HealthMetrics m;
+  return m;
+}
+
+}  // namespace
 
 const char* to_string(DegradationState state) {
   switch (state) {
@@ -47,11 +76,13 @@ HealthMonitor::Verdict HealthMonitor::validate(Meters distance,
   if (options_.validate_measurements) {
     if (!std::isfinite(distance_m) || !std::isfinite(velocity_mps)) {
       ++stats_.rejected_nonfinite;
+      telemetry::add(health_metrics().rejected_nonfinite);
       return Verdict::kRejectNonFinite;
     }
     if (!units::plausible_range(distance, options_.max_range_m) ||
         !units::plausible_speed(velocity, options_.max_speed_mps)) {
       ++stats_.rejected_out_of_range;
+      telemetry::add(health_metrics().rejected_out_of_range);
       return Verdict::kRejectRange;
     }
   }
@@ -69,6 +100,7 @@ HealthMonitor::Verdict HealthMonitor::validate(Meters distance,
     has_prev_measurement_ = true;
     if (identical_run_ >= options_.max_identical_measurements) {
       ++stats_.rejected_stuck;
+      telemetry::add(health_metrics().rejected_stuck);
       return Verdict::kRejectStuck;
     }
   }
@@ -91,9 +123,11 @@ HealthMonitor::Verdict HealthMonitor::validate(Meters distance,
         velocity_gate_.reset();
         innovation_streak_ = 0;
         ++stats_.innovation_resyncs;
+        telemetry::add(health_metrics().innovation_resyncs);
         return Verdict::kAccept;
       }
       ++stats_.rejected_innovation;
+      telemetry::add(health_metrics().rejected_innovation);
       return Verdict::kRejectInnovation;
     }
     innovation_streak_ = 0;
@@ -115,6 +149,7 @@ void HealthMonitor::note_holdover_step() {
       holdover_steps_ > options_.max_holdover_steps) {
     safe_stop_ = true;
     ++stats_.safe_stop_entries;
+    telemetry::add(health_metrics().safe_stop_entries);
   }
 }
 

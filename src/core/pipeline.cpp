@@ -4,8 +4,58 @@
 #include <stdexcept>
 
 #include "estimation/rls_predictor.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace safe::core {
+
+namespace {
+
+// Per-sample pipeline metrics (DESIGN.md §11). All counts are pure functions
+// of the processed sample stream (jobs-invariant); only the duration
+// histogram depends on the wall clock.
+struct PipelineMetrics {
+  telemetry::MetricId samples = telemetry::counter("pipeline.samples");
+  telemetry::MetricId challenge_slots =
+      telemetry::counter("pipeline.challenge_slots");
+  telemetry::MetricId detections = telemetry::counter("pipeline.detections");
+  telemetry::MetricId clears = telemetry::counter("pipeline.clears");
+  telemetry::MetricId rejected =
+      telemetry::counter("pipeline.rejected_measurements");
+  telemetry::MetricId holdover =
+      telemetry::counter("pipeline.holdover_samples");
+  telemetry::MetricId transitions =
+      telemetry::counter("health.state_transitions");
+  telemetry::MetricId process_ns =
+      telemetry::duration_histogram("pipeline.process_ns");
+};
+
+const PipelineMetrics& pipeline_metrics() {
+  static const PipelineMetrics m;
+  return m;
+}
+
+/// Cause tag for a degradation-state transition, from the step's decision
+/// and output flags (exported on every health.state trace instant).
+const char* transition_cause(DegradationState to,
+                             const cra::DetectionDecision& decision,
+                             const SafeMeasurement& out, bool sensor_dead) {
+  switch (to) {
+    case DegradationState::kUnderAttack:
+      return decision.attack_started ? "cra-detection" : "attack-ongoing";
+    case DegradationState::kSafeStop:
+      return "holdover-budget-exhausted";
+    case DegradationState::kHoldover:
+      if (out.measurement_rejected) return "measurement-rejected";
+      if (sensor_dead) return "sensor-dead";
+      if (decision.challenge_slot) return "challenge-slot";
+      return "sensor-dropout";
+    case DegradationState::kClean:
+      return decision.attack_cleared ? "attack-cleared" : "recovered";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 PipelineOptions hardened_pipeline_options(std::size_t max_holdover_steps) {
   PipelineOptions options;
@@ -112,6 +162,16 @@ void SafeMeasurementPipeline::hold_over(SafeMeasurement& out,
 SafeMeasurement SafeMeasurementPipeline::finish(
     std::int64_t step, const radar::RadarMeasurement& measurement,
     const cra::DetectionDecision& decision) {
+  const PipelineMetrics& metrics = pipeline_metrics();
+  telemetry::ScopedTimer span("pipeline.process", "pipeline",
+                              metrics.process_ns,
+                              telemetry::TraceDetail::kFine);
+  span.arg("step", step);
+  telemetry::add(metrics.samples);
+  if (decision.challenge_slot) telemetry::add(metrics.challenge_slots);
+  if (decision.attack_started) telemetry::add(metrics.detections);
+  if (decision.attack_cleared) telemetry::add(metrics.clears);
+
   SafeMeasurement out;
   out.challenge_slot = decision.challenge_slot;
   out.under_attack = decision.under_attack;
@@ -185,6 +245,7 @@ SafeMeasurement SafeMeasurementPipeline::finish(
   }
 
   // Resolve the degradation state after this step's bookkeeping.
+  const DegradationState previous = degradation_;
   if (health_.safe_stop()) {
     degradation_ = DegradationState::kSafeStop;
   } else if (decision.under_attack) {
@@ -193,6 +254,22 @@ SafeMeasurement SafeMeasurementPipeline::finish(
     degradation_ = DegradationState::kHoldover;
   } else {
     degradation_ = DegradationState::kClean;
+  }
+  if (out.measurement_rejected) telemetry::add(metrics.rejected);
+  if (out.estimated) telemetry::add(metrics.holdover);
+  if (degradation_ != previous) {
+    telemetry::add(metrics.transitions);
+    if (telemetry::tracing_enabled()) {
+      telemetry::instant_event(
+          "health.state", "health",
+          telemetry::TraceArgs{}
+              .text("from", to_string(previous))
+              .text("to", to_string(degradation_))
+              .text("cause", transition_cause(degradation_, decision, out,
+                                              sensor_dead))
+              .integer("step", step)
+              .take());
+    }
   }
   out.degradation = degradation_;
   out.safe_stop = degradation_ == DegradationState::kSafeStop;

@@ -2,7 +2,30 @@
 
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace safe::cra {
+
+namespace {
+
+// Challenge-response detection metrics: headline quantities of the paper
+// (detection events, per-challenge scoring). All jobs-invariant.
+struct DetectorMetrics {
+  telemetry::MetricId challenges = telemetry::counter("cra.challenges");
+  telemetry::MetricId detections = telemetry::counter("cra.detections");
+  telemetry::MetricId clears = telemetry::counter("cra.clears");
+  telemetry::MetricId false_positives =
+      telemetry::counter("cra.false_positives");
+  telemetry::MetricId false_negatives =
+      telemetry::counter("cra.false_negatives");
+};
+
+const DetectorMetrics& detector_metrics() {
+  static const DetectorMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ChallengeResponseDetector::ChallengeResponseDetector(
     const DetectorOptions& options)
@@ -26,6 +49,10 @@ DetectionDecision ChallengeResponseDetector::observe(std::int64_t step,
       consecutive_silent_ = 0;
       detection_step_ = step;
       decision.attack_started = true;
+      telemetry::add(detector_metrics().detections);
+      telemetry::instant_event(
+          "cra.attack_detected", "cra",
+          telemetry::TraceArgs{}.integer("step", step).take());
     } else if (under_attack_) {
       if (receiver_nonzero) {
         // Still radiating: any clearance progress resets (flap debounce).
@@ -35,6 +62,10 @@ DetectionDecision ChallengeResponseDetector::observe(std::int64_t step,
         under_attack_ = false;
         consecutive_silent_ = 0;
         decision.attack_cleared = true;
+        telemetry::add(detector_metrics().clears);
+        telemetry::instant_event(
+            "cra.attack_cleared", "cra",
+            telemetry::TraceArgs{}.integer("step", step).take());
       }
     }
   }
@@ -49,14 +80,17 @@ DetectionDecision ChallengeResponseDetector::observe_scored(
       observe(step, challenge_slot, receiver_nonzero);
   if (challenge_slot) {
     ++stats_.challenges;
+    telemetry::add(detector_metrics().challenges);
     // Score the raw per-challenge comparison: did "non-zero output" agree
     // with "attack active"? (The paper's no-FP/no-FN claim.)
     if (receiver_nonzero && attack_actually_active) {
       ++stats_.true_positives;
     } else if (receiver_nonzero && !attack_actually_active) {
       ++stats_.false_positives;
+      telemetry::add(detector_metrics().false_positives);
     } else if (!receiver_nonzero && attack_actually_active) {
       ++stats_.false_negatives;
+      telemetry::add(detector_metrics().false_negatives);
     } else {
       ++stats_.true_negatives;
     }

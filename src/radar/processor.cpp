@@ -7,8 +7,30 @@
 
 #include "dsp/music.hpp"
 #include "dsp/spectral.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace safe::radar {
+
+namespace {
+
+// Receiver-stage metrics: one epoch per measure() call (synthesize +
+// demodulate + estimate). Counts are jobs-invariant; the duration histogram
+// is the per-stage profile the fine trace detail exposes as spans.
+struct ProcessorMetrics {
+  telemetry::MetricId epochs = telemetry::counter("radar.epochs");
+  telemetry::MetricId coherent_echoes =
+      telemetry::counter("radar.coherent_echoes");
+  telemetry::MetricId power_alarms = telemetry::counter("radar.power_alarms");
+  telemetry::MetricId measure_ns =
+      telemetry::duration_histogram("radar.measure_ns");
+};
+
+const ProcessorMetrics& processor_metrics() {
+  static const ProcessorMetrics m;
+  return m;
+}
+
+}  // namespace
 
 using dsp::Complex;
 using dsp::ComplexSignal;
@@ -95,6 +117,11 @@ double RadarProcessor::estimate_beat_hz(const ComplexSignal& segment,
 }
 
 RadarMeasurement RadarProcessor::measure(const EchoScene& scene) {
+  const ProcessorMetrics& metrics = processor_metrics();
+  telemetry::ScopedTimer span("radar.measure", "radar", metrics.measure_ns,
+                              telemetry::TraceDetail::kFine);
+  telemetry::add(metrics.epochs);
+
   const Segments seg = synthesize(scene);
 
   RadarMeasurement m;
@@ -103,6 +130,8 @@ RadarMeasurement RadarProcessor::measure(const EchoScene& scene) {
   m.coherent_echo = m.peak_to_average > config_.coherence_threshold;
   m.power_alarm =
       m.rx_power_w > config_.power_alarm_factor * config_.noise_floor_w;
+  if (m.coherent_echo) telemetry::add(metrics.coherent_echoes);
+  if (m.power_alarm) telemetry::add(metrics.power_alarms);
 
   // Estimate beats even when no coherent echo stands out: under jamming the
   // receiver still produces (corrupted) measurements, which is precisely the

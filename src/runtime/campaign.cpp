@@ -12,8 +12,34 @@
 #include <utility>
 
 #include "runtime/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace safe::runtime {
+
+namespace {
+
+// Trial lifecycle metrics (DESIGN.md §11). Everything except the duration
+// histogram is a pure function of the campaign spec, so these participate in
+// the --jobs invariance contract.
+struct TrialMetrics {
+  telemetry::MetricId trials =
+      telemetry::counter("campaign.trials", telemetry::Stability::kDeterministic);
+  telemetry::MetricId errors = telemetry::counter(
+      "campaign.trial_errors", telemetry::Stability::kDeterministic);
+  telemetry::MetricId collisions = telemetry::counter(
+      "campaign.collisions", telemetry::Stability::kDeterministic);
+  telemetry::MetricId detections = telemetry::counter(
+      "campaign.detections", telemetry::Stability::kDeterministic);
+  telemetry::MetricId trial_ns =
+      telemetry::duration_histogram("campaign.trial_ns");
+};
+
+const TrialMetrics& trial_metrics() {
+  static const TrialMetrics m;
+  return m;
+}
+
+}  // namespace
 
 Distribution Distribution::uniform(double lo, double hi) {
   if (hi < lo) {
@@ -121,6 +147,10 @@ core::ScenarioOptions Campaign::expand(std::uint64_t trial_id,
 }
 
 TrialRecord Campaign::run_trial(std::uint64_t trial_id) const {
+  const TrialMetrics& metrics = trial_metrics();
+  telemetry::ScopedTimer span("trial", "campaign", metrics.trial_ns);
+  span.arg("trial_id", static_cast<std::int64_t>(trial_id));
+
   TrialRecord record;
   try {
     const core::ScenarioOptions options = expand(trial_id, record);
@@ -178,6 +208,10 @@ TrialRecord Campaign::run_trial(std::uint64_t trial_id) const {
   } catch (...) {
     record.error = "unknown exception";
   }
+  telemetry::add(metrics.trials);
+  if (!record.error.empty()) telemetry::add(metrics.errors);
+  if (record.collided) telemetry::add(metrics.collisions);
+  if (record.detection_step >= 0) telemetry::add(metrics.detections);
   return record;
 }
 
@@ -186,6 +220,10 @@ CampaignResult Campaign::run(std::size_t jobs,
   const auto t_start = std::chrono::steady_clock::now();
   const std::size_t workers = jobs == 0 ? default_jobs() : jobs;
   const std::uint64_t n = spec_.trials;
+
+  telemetry::ScopedTimer campaign_span("campaign.run", "campaign");
+  campaign_span.arg("trials", static_cast<std::int64_t>(n));
+  campaign_span.arg("jobs", static_cast<std::int64_t>(workers));
 
   // Mergeable shard accumulators: a trial lands in shard trial_id % K — a
   // scheduling-independent assignment — and finalize() sorts by trial id,

@@ -1,9 +1,43 @@
 #include "runtime/thread_pool.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
+#include "telemetry/telemetry.hpp"
+
 namespace safe::runtime {
+
+namespace {
+
+// Pool observability (DESIGN.md §11). Task and steal tallies, queue-depth
+// high-water, and idle time are all scheduling-dependent except the total
+// task count, which is a pure function of the submitted workload.
+const telemetry::MetricId& pool_tasks_metric() {
+  static const telemetry::MetricId id =
+      telemetry::counter("pool.tasks", telemetry::Stability::kDeterministic);
+  return id;
+}
+
+const telemetry::MetricId& pool_steals_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "pool.steals", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& pool_idle_ns_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "pool.idle_ns", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& pool_queue_depth_metric() {
+  static const telemetry::MetricId id =
+      telemetry::gauge_max("pool.queue_depth_max");
+  return id;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
     : capacity_(queue_capacity == 0 ? 1 : queue_capacity) {
@@ -31,6 +65,8 @@ bool ThreadPool::push_to_some_queue(std::function<void()>& task) {
     std::lock_guard<std::mutex> guard(q.mutex);
     if (q.tasks.size() >= capacity_) continue;
     q.tasks.push_back(std::move(task));
+    telemetry::gauge_update_max(pool_queue_depth_metric(),
+                                static_cast<double>(q.tasks.size()));
     return true;
   }
   return false;
@@ -91,6 +127,7 @@ bool ThreadPool::pop_or_steal(std::size_t index, std::function<void()>& task) {
       victim.tasks.pop_front();
       queued_.fetch_sub(1, std::memory_order_release);
       steals_.fetch_add(1, std::memory_order_relaxed);
+      telemetry::add(pool_steals_metric());
       return true;
     }
   }
@@ -98,6 +135,7 @@ bool ThreadPool::pop_or_steal(std::size_t index, std::function<void()>& task) {
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
+  telemetry::set_thread_name("pool-worker-" + std::to_string(index));
   std::function<void()> task;
   while (true) {
     if (pop_or_steal(index, task)) {
@@ -106,6 +144,7 @@ void ThreadPool::worker_loop(std::size_t index) {
       }
       idle_cv_.notify_all();  // queue space freed: unblock submitters
       try {
+        telemetry::add(pool_tasks_metric());
         task();
       } catch (...) {
         std::lock_guard<std::mutex> guard(error_mutex_);
@@ -118,11 +157,20 @@ void ThreadPool::worker_loop(std::size_t index) {
       }
       continue;
     }
+    // Time spent parked with an empty queue. The clock is only read when
+    // metrics are on, so a disabled build never pays for it.
+    const bool account_idle = telemetry::metrics_enabled();
+    const std::uint64_t idle_start = account_idle ? telemetry::now_ns() : 0;
     std::unique_lock<std::mutex> lock(wake_mutex_);
     worker_cv_.wait(lock, [this] {
       return stop_.load(std::memory_order_acquire) ||
              queued_.load(std::memory_order_acquire) > 0;
     });
+    lock.unlock();
+    if (account_idle) {
+      telemetry::add(pool_idle_ns_metric(),
+                     telemetry::now_ns() - idle_start);
+    }
     if (stop_.load(std::memory_order_acquire) &&
         queued_.load(std::memory_order_acquire) == 0) {
       return;

@@ -7,7 +7,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace safe::sim {
+
+namespace {
+
+// One row per simulated step across every live Trace: the cheapest proxy
+// for "simulation work done" the telemetry layer exports (jobs-invariant).
+const telemetry::MetricId& trace_rows_metric() {
+  static const telemetry::MetricId id = telemetry::counter("sim.trace_rows");
+  return id;
+}
+
+}  // namespace
 
 Trace::Trace(std::vector<std::string> column_names)
     : names_(std::move(column_names)), columns_(names_.size()) {
@@ -24,6 +37,7 @@ void Trace::append_row(const std::vector<double>& values) {
     columns_[i].push_back(values[i]);
   }
   ++rows_;
+  telemetry::add(trace_rows_metric());
 }
 
 const std::vector<double>& Trace::column(const std::string& name) const {

@@ -6,6 +6,15 @@
 // Usage:
 //   campaign_cli [--spec FILE | --spec 'k = v; ...'] [--trials N]
 //                [--seed N] [--jobs N] [--out PATH|-] [--summary] [--quiet]
+//                [--metrics-out PATH] [--trace-out PATH]
+//                [--trace-detail coarse|fine] [--progress]
+//
+// Telemetry (all off by default; recording never perturbs results — JSONL
+// stdout stays bit-identical with it on):
+//   --metrics-out writes the merged counter/histogram dump as JSONL,
+//   --trace-out writes a Chrome trace_event file (load in chrome://tracing
+//   or https://ui.perfetto.dev), and --progress prints live trials/sec and
+//   ETA to stderr from the telemetry counters.
 //
 // Example: a 1000-trial mixed-attack campaign over randomized onsets,
 // durations, and jammer powers:
@@ -15,6 +24,8 @@
 //             estimator = fft; hardened = true'
 //
 // `--spec help` prints the spec mini-language.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,10 +33,12 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "runtime/campaign.hpp"
 #include "runtime/sink.hpp"
 #include "runtime/spec.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -33,17 +46,72 @@ namespace {
   std::cerr << "usage: " << argv0
             << " [--spec FILE|'k = v; ...'|help] [--trials N] [--seed N]\n"
                "       [--jobs N] [--out PATH|-] [--summary] [--quiet]\n"
+               "       [--metrics-out PATH] [--trace-out PATH]\n"
+               "       [--trace-detail coarse|fine] [--progress]\n"
                "\n"
-               "  --spec     campaign spec: a file path or an inline spec\n"
-               "             string (`--spec help` documents the language)\n"
-               "  --trials   override the spec's trial count\n"
-               "  --seed     override the spec's master seed\n"
-               "  --jobs     worker threads (default: hardware concurrency)\n"
-               "  --out      JSONL trial records to PATH (`-` = stdout)\n"
-               "  --summary  print the aggregate summary block\n"
-               "  --quiet    suppress the progress line\n";
+               "  --spec         campaign spec: a file path or an inline spec\n"
+               "                 string (`--spec help` documents the language)\n"
+               "  --trials       override the spec's trial count\n"
+               "  --seed         override the spec's master seed\n"
+               "  --jobs         worker threads (default: hardware concurrency)\n"
+               "  --out          JSONL trial records to PATH (`-` = stdout)\n"
+               "  --summary      print the aggregate summary block\n"
+               "  --quiet        suppress the progress line\n"
+               "  --metrics-out  merged telemetry metrics as JSONL to PATH\n"
+               "  --trace-out    Chrome trace_event JSON to PATH (loadable in\n"
+               "                 chrome://tracing / Perfetto)\n"
+               "  --trace-detail coarse (default: trial spans + events) or\n"
+               "                 fine (adds per-sample pipeline stage spans)\n"
+               "  --progress     live trials/sec + ETA on stderr\n";
   std::exit(2);
 }
+
+/// Polls the live campaign.trials counter and repaints one stderr line;
+/// entirely passive — readers never touch the recording shards' hot path.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(std::uint64_t total)
+      : total_(total),
+        trials_id_(safe::telemetry::counter("campaign.trials")),
+        base_(safe::telemetry::counter_value(trials_id_)),
+        thread_([this] { loop(); }) {}
+
+  ~ProgressReporter() {
+    done_.store(true);
+    thread_.join();
+    report(safe::telemetry::counter_value(trials_id_) - base_);
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  void loop() {
+    while (!done_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+      report(safe::telemetry::counter_value(trials_id_) - base_);
+    }
+  }
+
+  void report(std::uint64_t done_trials) {
+    const double elapsed = watch_.elapsed_seconds();
+    const double rate =
+        elapsed > 0.0 ? static_cast<double>(done_trials) / elapsed : 0.0;
+    const double eta =
+        rate > 0.0 && done_trials < total_
+            ? static_cast<double>(total_ - done_trials) / rate
+            : 0.0;
+    std::fprintf(stderr,
+                 "\rprogress: %llu/%llu trials  %.1f trials/s  ETA %.0f s   ",
+                 static_cast<unsigned long long>(done_trials),
+                 static_cast<unsigned long long>(total_), rate, eta);
+  }
+
+  std::uint64_t total_;
+  safe::telemetry::MetricId trials_id_;
+  std::uint64_t base_;
+  safe::telemetry::Stopwatch watch_;
+  std::atomic<bool> done_{false};
+  std::thread thread_;
+};
 
 /// A `--spec` value is a file when it names one; otherwise it is parsed as
 /// an inline spec string.
@@ -65,8 +133,12 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> seed_override;
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string out_path;
+  std::string metrics_path;
+  std::string trace_path;
+  telemetry::TraceDetail detail = telemetry::TraceDetail::kCoarse;
   bool summary = false;
   bool quiet = false;
+  bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -93,10 +165,32 @@ int main(int argc, char** argv) {
       summary = true;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
+    } else if (arg == "--trace-out") {
+      trace_path = next();
+    } else if (arg == "--trace-detail") {
+      const std::string value = next();
+      if (value == "coarse") {
+        detail = telemetry::TraceDetail::kCoarse;
+      } else if (value == "fine") {
+        detail = telemetry::TraceDetail::kFine;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--progress") {
+      progress = true;
     } else {
       usage(argv[0]);
     }
   }
+
+  if (!metrics_path.empty() || progress) telemetry::set_metrics_enabled(true);
+  if (!trace_path.empty()) {
+    telemetry::set_tracing_enabled(true);
+    telemetry::set_trace_detail(detail);
+  }
+  telemetry::set_thread_name("main");
 
   runtime::CampaignSpec spec;
   try {
@@ -125,8 +219,31 @@ int main(int argc, char** argv) {
   std::vector<runtime::TrialSink*> sinks;
   if (writer) sinks.push_back(writer.get());
 
+  const std::uint64_t total_trials = spec.trials;
   const runtime::Campaign campaign(std::move(spec));
-  const runtime::CampaignResult result = campaign.run(jobs, sinks);
+  runtime::CampaignResult result;
+  {
+    std::unique_ptr<ProgressReporter> reporter;
+    if (progress) reporter = std::make_unique<ProgressReporter>(total_trials);
+    result = campaign.run(jobs, sinks);
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_file(metrics_path);
+    if (!metrics_file) {
+      std::cerr << "cannot open " << metrics_path << "\n";
+      return 1;
+    }
+    telemetry::write_metrics_jsonl(metrics_file);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) {
+      std::cerr << "cannot open " << trace_path << "\n";
+      return 1;
+    }
+    telemetry::write_chrome_trace(trace_file);
+  }
 
   if (!quiet) {
     std::fprintf(stderr,

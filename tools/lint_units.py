@@ -40,7 +40,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 # Directories scanned for each rule family.
-ALL_CODE_DIRS = ("src", "bench", "examples", "tests")
+ALL_CODE_DIRS = ("src", "bench", "examples", "tests", "tools")
 HEADER_RULE_DIRS = ("src",)
 
 # src/units/ owns the constants; src/dsp/ is the documented raw-double layer.

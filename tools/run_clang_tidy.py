@@ -4,8 +4,8 @@ database, in parallel, and fail if any check fires.
 
 Thin stand-in for run-clang-tidy so the `lint` target does not depend on
 which distribution package ships the helper script. Third-party and
-generated files (anything outside src/, bench/, examples/, tests/) are
-skipped; the check profile comes from the checked-in .clang-tidy.
+generated files (anything outside src/, bench/, examples/, tests/, tools/)
+are skipped; the check profile comes from the checked-in .clang-tidy.
 """
 
 from __future__ import annotations
@@ -19,7 +19,7 @@ import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-PROJECT_DIRS = ("src", "bench", "examples", "tests")
+PROJECT_DIRS = ("src", "bench", "examples", "tests", "tools")
 
 
 def project_sources(build_dir: Path) -> list[str]:
