@@ -31,6 +31,7 @@ inline constexpr std::uint64_t kSeedGamma = 0x9E3779B97F4A7C15ULL;
 enum class SeedStream : std::uint64_t {
   kScenario = 0,  ///< core::ScenarioOptions::seed for the simulation itself.
   kParams = 1,    ///< Randomized-axis draws (onset, jammer power, ...).
+  kSession = 2,   ///< serve::SessionManager per-session token derivation.
 };
 
 /// Derives the seed for (`stream`, `counter`) under `master`. Pure function

@@ -76,6 +76,9 @@ bool ThreadPool::submit_once(std::function<void()>& task) {
   if (stop_.load(std::memory_order_acquire)) {
     throw std::runtime_error("ThreadPool: submit after shutdown");
   }
+  if (draining_.load(std::memory_order_acquire)) {
+    throw std::runtime_error("ThreadPool: submit after drain");
+  }
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   if (!push_to_some_queue(task)) {  // only moves from `task` on success
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
@@ -101,6 +104,7 @@ void ThreadPool::submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(wake_mutex_);
     idle_cv_.wait(lock, [this] {
       return stop_.load(std::memory_order_acquire) ||
+             draining_.load(std::memory_order_acquire) ||
              queued_.load(std::memory_order_acquire) <
                  capacity_ * queues_.size();
     });
@@ -190,6 +194,20 @@ void ThreadPool::wait_idle() {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     std::rethrow_exception(error);
   }
+}
+
+void ThreadPool::drain() {
+  {
+    // Lock-then-store pairs with the predicate re-check inside blocked
+    // submit() waits, exactly like shutdown()'s stop flag.
+    std::lock_guard<std::mutex> guard(wake_mutex_);
+    draining_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();  // blocked submitters re-check and throw
+  std::unique_lock<std::mutex> lock(wake_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void ThreadPool::shutdown() {

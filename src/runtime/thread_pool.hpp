@@ -53,6 +53,16 @@ class ThreadPool {
   /// first exception that escaped a task (if any).
   void wait_idle();
 
+  /// Stops accepting new submissions, then blocks until every already
+  /// submitted task has finished. Workers stay alive (shutdown() still joins
+  /// them later). Unlike wait_idle() it never throws — exceptions stashed by
+  /// tasks stay retrievable via wait_idle() afterwards. Idempotent: a second
+  /// drain(), or a drain() after shutdown(), is a safe no-op. submit() /
+  /// try_submit() after drain() throw std::runtime_error. This is the
+  /// graceful-shutdown hook the streaming server uses: finish in-flight
+  /// session work, refuse new work, then shutdown().
+  void drain();
+
   /// Completes all queued tasks, then joins the workers. Idempotent; unlike
   /// wait_idle() it never throws (safe from the destructor). Exceptions
   /// stashed by tasks stay retrievable via wait_idle() before shutdown.
@@ -80,6 +90,7 @@ class ThreadPool {
   std::size_t capacity_;
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};  ///< Submissions refused; workers live.
   std::atomic<std::size_t> queued_{0};     ///< Tasks sitting in deques.
   std::atomic<std::size_t> in_flight_{0};  ///< Queued plus running.
   std::atomic<std::size_t> steals_{0};

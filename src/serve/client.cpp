@@ -1,0 +1,310 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "telemetry/telemetry.hpp"
+
+namespace safe::serve {
+
+namespace {
+
+int poll_one(int fd, short events, int timeout_ms) {
+  pollfd p{.fd = fd, .events = events, .revents = 0};
+  return ::poll(&p, 1, timeout_ms) > 0 ? p.revents : 0;
+}
+
+int remaining_ms(std::uint64_t deadline_abs_ns) {
+  const std::uint64_t now = telemetry::now_ns();
+  if (now >= deadline_abs_ns) return 0;
+  const std::uint64_t ms = (deadline_abs_ns - now) / 1'000'000ULL;
+  return ms > 60'000 ? 60'000 : static_cast<int>(ms);
+}
+
+}  // namespace
+
+SessionClient::~SessionClient() { close(); }
+
+void SessionClient::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void SessionClient::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string what = std::strerror(errno);
+    close();
+    throw std::runtime_error("connect(" + host + ":" + std::to_string(port) +
+                             ") failed: " + what);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  decoder_ = FrameDecoder{};
+  reason_.clear();
+}
+
+bool SessionClient::send_all(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n =
+        ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    reason_ = std::string("send failed: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void SessionClient::send_raw(const std::vector<std::uint8_t>& bytes) {
+  if (fd_ < 0) throw std::runtime_error("send_raw on closed client");
+  if (!send_all(bytes.data(), bytes.size())) {
+    throw std::runtime_error(reason_);
+  }
+}
+
+std::optional<Frame> SessionClient::recv_frame(std::uint64_t deadline_ns) {
+  const std::uint64_t deadline_abs = telemetry::now_ns() + deadline_ns;
+  while (true) {
+    if (std::optional<Frame> frame = decoder_.next(); frame.has_value()) {
+      return frame;
+    }
+    if (decoder_.failed()) {
+      reason_ = "decode failed: " + decoder_.error();
+      return std::nullopt;
+    }
+    const int timeout = remaining_ms(deadline_abs);
+    if (timeout == 0) {
+      reason_ = "timed out waiting for frame";
+      return std::nullopt;
+    }
+    const int revents = poll_one(fd_, POLLIN, timeout);
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    std::uint8_t buffer[16384];
+    const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      decoder_.feed(buffer, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      reason_ = "connection closed by server";
+      return std::nullopt;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    reason_ = std::string("recv failed: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+}
+
+SessionClient::OpenReply SessionClient::open_session(
+    const HelloFrame& hello, std::uint64_t deadline_ns) {
+  OpenReply reply;
+  if (fd_ < 0) {
+    reply.transport_error = "open_session on closed client";
+    return reply;
+  }
+  const std::vector<std::uint8_t> bytes = encode(hello);
+  if (!send_all(bytes.data(), bytes.size())) {
+    reply.transport_error = reason_;
+    return reply;
+  }
+  const std::optional<Frame> frame = recv_frame(deadline_ns);
+  if (!frame.has_value()) {
+    reply.transport_error = reason_;
+    return reply;
+  }
+  std::string error;
+  if (frame->type == FrameType::kStatus) {
+    if (!decode(*frame, reply.status, &error)) {
+      reply.transport_error = "bad STATUS reply: " + error;
+      return reply;
+    }
+    reply.ok = reply.status.code == StatusCode::kHelloOk;
+    return reply;
+  }
+  if (frame->type == FrameType::kError) {
+    if (!decode(*frame, reply.error, &error)) {
+      reply.transport_error = "bad ERROR reply: " + error;
+      return reply;
+    }
+    reply.has_error = true;
+    return reply;
+  }
+  reply.transport_error =
+      std::string("unexpected handshake frame ") + to_string(frame->type);
+  return reply;
+}
+
+SessionClient::StreamResult SessionClient::stream(
+    const std::vector<MeasurementFrame>& measurements,
+    std::uint64_t deadline_ns) {
+  StreamResult result;
+  if (fd_ < 0) {
+    result.transport_error = "stream on closed client";
+    return result;
+  }
+
+  // Pre-encode the whole trace into one buffer and remember where each
+  // frame ends, so a frame's send timestamp is taken when its final byte
+  // leaves the socket.
+  std::vector<std::uint8_t> out;
+  std::vector<std::size_t> frame_end;
+  std::vector<std::int64_t> frame_step;
+  frame_end.reserve(measurements.size());
+  frame_step.reserve(measurements.size());
+  for (const MeasurementFrame& m : measurements) {
+    const std::vector<std::uint8_t> bytes = encode(m);
+    out.insert(out.end(), bytes.begin(), bytes.end());
+    frame_end.push_back(out.size());
+    frame_step.push_back(m.step);
+  }
+  std::unordered_map<std::int64_t, std::uint64_t> send_ns;
+  send_ns.reserve(measurements.size());
+
+  const std::uint64_t deadline_abs = telemetry::now_ns() + deadline_ns;
+  std::size_t sent = 0;
+  std::size_t next_stamp = 0;
+  const std::size_t expected = measurements.size();
+
+  const auto pump_decoder = [&]() -> bool {  // false = stream ended
+    while (true) {
+      const std::optional<Frame> frame = decoder_.next();
+      if (!frame.has_value()) break;
+      std::string error;
+      switch (frame->type) {
+        case FrameType::kEstimate: {
+          EstimateFrame estimate;
+          if (!decode(*frame, estimate, &error)) {
+            result.transport_error = "bad ESTIMATE: " + error;
+            return false;
+          }
+          const std::uint64_t now = telemetry::now_ns();
+          const auto it = send_ns.find(estimate.step);
+          result.latencies_ns.push_back(
+              it == send_ns.end() ? 0 : now - it->second);
+          result.estimates.push_back(estimate);
+          result.estimate_frames.push_back(encode(estimate));
+          break;
+        }
+        case FrameType::kChallengeResult: {
+          ChallengeResultFrame challenge;
+          if (!decode(*frame, challenge, &error)) {
+            result.transport_error = "bad CHALLENGE_RESULT: " + error;
+            return false;
+          }
+          result.challenges.push_back(challenge);
+          break;
+        }
+        case FrameType::kStatus: {
+          StatusFrame status;
+          if (!decode(*frame, status, &error)) {
+            result.transport_error = "bad STATUS: " + error;
+            return false;
+          }
+          result.status = status;
+          return false;  // draining / slow consumer / idle timeout ends it
+        }
+        case FrameType::kError: {
+          ErrorFrame err;
+          if (!decode(*frame, err, &error)) {
+            result.transport_error = "bad ERROR: " + error;
+            return false;
+          }
+          result.error = err;
+          return false;
+        }
+        default:
+          result.transport_error =
+              std::string("unexpected frame ") + to_string(frame->type);
+          return false;
+      }
+    }
+    if (decoder_.failed()) {
+      result.transport_error = "decode failed: " + decoder_.error();
+      return false;
+    }
+    return true;
+  };
+
+  while (result.estimates.size() < expected) {
+    if (!pump_decoder()) return result;
+    if (result.estimates.size() >= expected) break;
+
+    const int timeout = remaining_ms(deadline_abs);
+    if (timeout == 0) {
+      result.transport_error = "timed out mid-stream";
+      return result;
+    }
+    short events = POLLIN;
+    if (sent < out.size()) events = static_cast<short>(events | POLLOUT);
+    const int revents = poll_one(fd_, events, timeout);
+
+    if ((revents & POLLOUT) != 0 && sent < out.size()) {
+      const ssize_t n =
+          ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        const std::uint64_t now = telemetry::now_ns();
+        while (next_stamp < frame_end.size() &&
+               frame_end[next_stamp] <= sent) {
+          send_ns.emplace(frame_step[next_stamp], now);
+          ++next_stamp;
+        }
+      } else if (n < 0 && errno != EINTR && errno != EAGAIN &&
+                 errno != EWOULDBLOCK) {
+        result.transport_error =
+            std::string("send failed: ") + std::strerror(errno);
+        return result;
+      }
+    }
+    if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      std::uint8_t buffer[16384];
+      const ssize_t n = ::recv(fd_, buffer, sizeof(buffer), MSG_DONTWAIT);
+      if (n > 0) {
+        decoder_.feed(buffer, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        if (!pump_decoder()) return result;
+        result.transport_error = "connection closed mid-stream";
+        return result;
+      } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+        result.transport_error =
+            std::string("recv failed: ") + std::strerror(errno);
+        return result;
+      }
+    }
+  }
+
+  result.complete = result.estimates.size() == expected;
+  return result;
+}
+
+}  // namespace safe::serve

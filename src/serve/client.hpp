@@ -1,0 +1,85 @@
+// Blocking-with-deadline client for the streaming session protocol.
+//
+// Used by the load generator, the loopback tests, and the serving
+// throughput ablation. stream() interleaves sends and receives through
+// poll() — it never writes the whole trace before reading, because the
+// server's outbound backpressure would (correctly) disconnect a peer that
+// streams without draining its replies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace safe::serve {
+
+class SessionClient {
+ public:
+  SessionClient() = default;
+  ~SessionClient();
+
+  SessionClient(const SessionClient&) = delete;
+  SessionClient& operator=(const SessionClient&) = delete;
+
+  /// Connects to host:port; throws std::runtime_error on failure.
+  void connect(const std::string& host, std::uint16_t port);
+
+  /// Result of the HELLO handshake. Exactly one of status/error is
+  /// meaningful when ok/closed say so.
+  struct OpenReply {
+    bool ok = false;        ///< STATUS kHelloOk received
+    StatusFrame status;     ///< valid when the server answered with STATUS
+    ErrorFrame error;       ///< valid when the server answered with ERROR
+    bool has_error = false;
+    std::string transport_error;  ///< non-empty on socket/decoder failure
+  };
+
+  /// Sends HELLO and waits (up to deadline) for the server's verdict.
+  OpenReply open_session(const HelloFrame& hello,
+                         std::uint64_t deadline_ns = kDefaultDeadlineNs);
+
+  struct StreamResult {
+    bool complete = false;  ///< one ESTIMATE arrived per MEASUREMENT sent
+    std::vector<EstimateFrame> estimates;
+    /// Raw wire bytes of each ESTIMATE frame, in arrival order — the
+    /// byte-parity artifact compared against offline encoding.
+    std::vector<std::vector<std::uint8_t>> estimate_frames;
+    std::vector<ChallengeResultFrame> challenges;
+    /// Send-to-receive latency of each ESTIMATE, aligned with `estimates`.
+    std::vector<std::uint64_t> latencies_ns;
+    std::optional<StatusFrame> status;  ///< unsolicited STATUS that ended it
+    std::optional<ErrorFrame> error;
+    std::string transport_error;
+  };
+
+  /// Streams the measurement trace and collects every reply frame.
+  StreamResult stream(const std::vector<MeasurementFrame>& measurements,
+                      std::uint64_t deadline_ns = kDefaultDeadlineNs);
+
+  /// Sends raw bytes as-is (malformed-input tests). Throws on socket error.
+  void send_raw(const std::vector<std::uint8_t>& bytes);
+
+  /// Waits for the next frame. nullopt on timeout, peer close, or decode
+  /// failure (reason() explains which).
+  std::optional<Frame> recv_frame(std::uint64_t deadline_ns);
+
+  /// Why the last recv_frame() returned nullopt.
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  static constexpr std::uint64_t kDefaultDeadlineNs = 30'000'000'000ULL;
+
+ private:
+  bool send_all(const std::uint8_t* data, std::size_t size);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::string reason_;
+};
+
+}  // namespace safe::serve

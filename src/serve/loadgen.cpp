@@ -1,0 +1,201 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "runtime/seed.hpp"
+#include "serve/client.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace safe::serve {
+
+namespace {
+
+std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(pos + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+LoadReport run_load(const LoadOptions& options) {
+  if (options.sessions == 0 || options.connections == 0) {
+    throw std::invalid_argument("loadgen needs >=1 session and connection");
+  }
+  if (options.port == 0) {
+    throw std::invalid_argument("loadgen needs an explicit port");
+  }
+
+  LoadReport report;
+  report.sessions_attempted = options.sessions;
+
+  std::mutex merge_mutex;
+  std::vector<std::uint64_t> all_latencies;
+  std::atomic<std::size_t> next_session{0};
+  const std::size_t workers = std::min(options.connections, options.sessions);
+
+  const auto record_error = [&](std::string message) {
+    std::lock_guard<std::mutex> guard(merge_mutex);
+    ++report.sessions_failed;
+    if (report.errors.size() < 8) report.errors.push_back(std::move(message));
+  };
+
+  const std::uint64_t start_ns = telemetry::now_ns();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&] {
+      while (true) {
+        const std::size_t index =
+            next_session.fetch_add(1, std::memory_order_relaxed);
+        if (index >= options.sessions) return;
+
+        TraceSpec spec = options.spec;
+        spec.seed = runtime::derive_seed(options.master_seed,
+                                         runtime::SeedStream::kScenario,
+                                         static_cast<std::uint64_t>(index));
+        const std::string client_id =
+            "loadgen-" + std::to_string(index);
+        std::vector<MeasurementFrame> trace;
+        try {
+          trace = make_measurement_trace(spec);
+        } catch (const std::exception& e) {
+          record_error(client_id + ": trace generation failed: " + e.what());
+          continue;
+        }
+
+        SessionClient client;
+        try {
+          client.connect(options.host, options.port);
+        } catch (const std::exception& e) {
+          record_error(client_id + ": " + e.what());
+          continue;
+        }
+        const SessionClient::OpenReply open =
+            client.open_session(hello_from(spec, client_id),
+                                options.deadline_ns);
+        if (!open.ok) {
+          record_error(client_id + ": handshake failed: " +
+                       (open.has_error ? open.error.message
+                                       : open.transport_error));
+          continue;
+        }
+
+        SessionClient::StreamResult stream =
+            client.stream(trace, options.deadline_ns);
+        std::uint64_t mismatches = 0;
+        std::size_t verified = 0;
+        if (options.verify && stream.complete) {
+          const std::vector<EstimateFrame> reference =
+              run_offline(spec, trace);
+          if (reference.size() != stream.estimate_frames.size()) {
+            mismatches = reference.size() > stream.estimate_frames.size()
+                             ? reference.size() - stream.estimate_frames.size()
+                             : stream.estimate_frames.size() -
+                                   reference.size();
+          } else {
+            for (std::size_t i = 0; i < reference.size(); ++i) {
+              if (encode(reference[i]) != stream.estimate_frames[i]) {
+                ++mismatches;
+              }
+            }
+          }
+          if (mismatches == 0) verified = 1;
+        }
+
+        std::lock_guard<std::mutex> guard(merge_mutex);
+        report.frames_sent += trace.size();
+        report.estimates_received += stream.estimates.size();
+        report.challenges_received += stream.challenges.size();
+        report.verify_mismatched_frames += mismatches;
+        report.sessions_verified += verified;
+        all_latencies.insert(all_latencies.end(), stream.latencies_ns.begin(),
+                             stream.latencies_ns.end());
+        if (stream.complete) {
+          ++report.sessions_completed;
+          if (mismatches != 0 && report.errors.size() < 8) {
+            report.errors.push_back(client_id + ": " +
+                                    std::to_string(mismatches) +
+                                    " estimate frames differ from offline "
+                                    "reference");
+          }
+        } else {
+          ++report.sessions_failed;
+          if (report.errors.size() < 8) {
+            std::string why = stream.transport_error;
+            if (why.empty() && stream.error.has_value()) {
+              why = "server ERROR: " + stream.error->message;
+            }
+            if (why.empty() && stream.status.has_value()) {
+              why = std::string("server STATUS ") +
+                    to_string(stream.status->code) + ": " +
+                    stream.status->message;
+            }
+            if (why.empty()) why = "incomplete stream";
+            report.errors.push_back(client_id + ": " + why);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  report.elapsed_ns = telemetry::now_ns() - start_ns;
+
+  std::sort(all_latencies.begin(), all_latencies.end());
+  report.latency_p50_ns = percentile(all_latencies, 0.50);
+  report.latency_p95_ns = percentile(all_latencies, 0.95);
+  report.latency_p99_ns = percentile(all_latencies, 0.99);
+  report.latency_max_ns =
+      all_latencies.empty() ? 0 : all_latencies.back();
+  if (report.elapsed_ns > 0) {
+    report.throughput_frames_per_s =
+        static_cast<double>(report.estimates_received) * 1e9 /
+        static_cast<double>(report.elapsed_ns);
+  }
+  return report;
+}
+
+std::string to_json(const LoadReport& report) {
+  std::ostringstream out;
+  out << "{";
+  out << "\"sessions_attempted\":" << report.sessions_attempted;
+  out << ",\"sessions_completed\":" << report.sessions_completed;
+  out << ",\"sessions_failed\":" << report.sessions_failed;
+  out << ",\"frames_sent\":" << report.frames_sent;
+  out << ",\"estimates_received\":" << report.estimates_received;
+  out << ",\"challenges_received\":" << report.challenges_received;
+  out << ",\"sessions_verified\":" << report.sessions_verified;
+  out << ",\"verify_mismatched_frames\":" << report.verify_mismatched_frames;
+  out << ",\"elapsed_ns\":" << report.elapsed_ns;
+  out << ",\"throughput_frames_per_s\":" << report.throughput_frames_per_s;
+  out << ",\"latency_p50_ns\":" << report.latency_p50_ns;
+  out << ",\"latency_p95_ns\":" << report.latency_p95_ns;
+  out << ",\"latency_p99_ns\":" << report.latency_p99_ns;
+  out << ",\"latency_max_ns\":" << report.latency_max_ns;
+  out << ",\"ok\":" << (report.ok() ? "true" : "false");
+  out << ",\"errors\":[";
+  for (std::size_t i = 0; i < report.errors.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"";
+    for (const char c : report.errors[i]) {
+      if (c == '"' || c == '\\') {
+        out << '\\' << c;
+      } else if (c == '\n') {
+        out << "\\n";
+      } else {
+        out << c;
+      }
+    }
+    out << "\"";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace safe::serve

@@ -1,0 +1,65 @@
+// Concurrent load generator for the streaming session server.
+//
+// Replays deterministic scenario traces over N concurrent connections (one
+// session per connection, seeds derived per session index) and reports
+// throughput plus p50/p95/p99 frame latency. With verify enabled it also
+// byte-compares every received ESTIMATE frame against the offline
+// run_offline() reference — the serving parity check used by tests, the CI
+// smoke job, and the throughput ablation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/trace_source.hpp"
+
+namespace safe::serve {
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::size_t connections = 8;  ///< concurrent client threads
+  std::size_t sessions = 8;     ///< total sessions (>= connections)
+  /// Base spec; session i runs it with seed
+  /// derive_seed(master_seed, kScenario, i) so every session's trace is
+  /// distinct yet reproducible.
+  TraceSpec spec{};
+  std::uint64_t master_seed = 1;
+  bool verify = false;  ///< byte-compare estimates vs run_offline()
+  std::uint64_t deadline_ns = 60'000'000'000ULL;  ///< per-session budget
+};
+
+struct LoadReport {
+  std::size_t sessions_attempted = 0;
+  std::size_t sessions_completed = 0;  ///< full estimate stream received
+  std::size_t sessions_failed = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t estimates_received = 0;
+  std::uint64_t challenges_received = 0;
+  std::size_t sessions_verified = 0;  ///< byte-identical to offline reference
+  std::uint64_t verify_mismatched_frames = 0;
+  std::uint64_t elapsed_ns = 0;
+  double throughput_frames_per_s = 0.0;
+  std::uint64_t latency_p50_ns = 0;
+  std::uint64_t latency_p95_ns = 0;
+  std::uint64_t latency_p99_ns = 0;
+  std::uint64_t latency_max_ns = 0;
+  /// First few failure descriptions (per-session), for diagnostics.
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool ok() const {
+    return sessions_failed == 0 && verify_mismatched_frames == 0 &&
+           sessions_completed == sessions_attempted;
+  }
+};
+
+/// Runs the load; blocking. Throws std::invalid_argument on nonsensical
+/// options (zero sessions/connections, port 0).
+[[nodiscard]] LoadReport run_load(const LoadOptions& options);
+
+/// Machine-readable single-object JSON rendering of the report.
+[[nodiscard]] std::string to_json(const LoadReport& report);
+
+}  // namespace safe::serve

@@ -1,0 +1,624 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace safe::serve {
+
+namespace {
+
+// Service-layer observability (DESIGN.md §12). Frame and session counts are
+// a pure function of the client workload; everything socket-shaped is not.
+const telemetry::MetricId& accepts_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.accepts", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& frames_in_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.frames_in", telemetry::Stability::kDeterministic);
+  return id;
+}
+
+const telemetry::MetricId& frames_out_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.frames_out", telemetry::Stability::kDeterministic);
+  return id;
+}
+
+const telemetry::MetricId& decode_errors_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.decode_errors", telemetry::Stability::kDeterministic);
+  return id;
+}
+
+const telemetry::MetricId& slow_consumer_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.slow_consumer_disconnects",
+      telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& outbound_bytes_metric() {
+  static const telemetry::MetricId id =
+      telemetry::gauge_max("serve.outbound_bytes_max");
+  return id;
+}
+
+const telemetry::MetricId& pending_frames_metric() {
+  static const telemetry::MetricId id =
+      telemetry::gauge_max("serve.pending_frames_max");
+  return id;
+}
+
+const telemetry::MetricId& batch_ns_metric() {
+  static const telemetry::MetricId id =
+      telemetry::duration_histogram("serve.batch_ns");
+  return id;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// How long a drain waits for clients to absorb their final frames before
+/// force-closing. Bounds run()'s exit even against a wedged peer.
+constexpr std::uint64_t kDrainGraceNs = 5'000'000'000ULL;
+
+}  // namespace
+
+StreamServer::StreamServer(ServerOptions options, runtime::ThreadPool& pool)
+    : options_(std::move(options)),
+      pool_(pool),
+      sessions_(options_.session, options_.master_seed) {}
+
+StreamServer::~StreamServer() {
+  for (auto& [id, conn] : connections_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+}
+
+void StreamServer::bind_and_listen() {
+  if (listen_fd_ >= 0) throw std::runtime_error("server already listening");
+
+  int pipe_fds[2] = {-1, -1};
+  if (::pipe(pipe_fds) != 0) {
+    throw std::runtime_error("pipe() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    throw std::runtime_error("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw std::runtime_error("bind(" + options_.bind_address + ":" +
+                             std::to_string(options_.port) +
+                             ") failed: " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    throw std::runtime_error("listen() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+}
+
+void StreamServer::request_drain() noexcept {
+  drain_requested_.store(true, std::memory_order_release);
+  wake();
+}
+
+void StreamServer::wake() noexcept {
+  if (wake_write_fd_ >= 0) {
+    const char byte = 'w';
+    // Async-signal-safe; a full pipe already guarantees a pending wake-up.
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  }
+}
+
+ServerStats StreamServer::stats() const {
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  return stats_;
+}
+
+void StreamServer::run() {
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("run() before bind_and_listen()");
+  }
+  std::uint64_t drain_started_ns = 0;
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> fd_conn_ids;
+
+  while (true) {
+    if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
+      begin_drain();
+      drain_started_ns = telemetry::now_ns();
+    }
+    if (draining_ && connections_.empty() &&
+        outstanding_batches_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    if (draining_ && drain_started_ns != 0 &&
+        telemetry::now_ns() - drain_started_ns > kDrainGraceNs) {
+      // A peer refusing to read its final frames must not wedge shutdown.
+      std::vector<std::uint64_t> ids;
+      ids.reserve(connections_.size());
+      for (const auto& [id, conn] : connections_) ids.push_back(id);
+      for (const std::uint64_t id : ids) {
+        const auto it = connections_.find(id);
+        if (it != connections_.end()) close_connection(*it->second);
+      }
+      continue;
+    }
+
+    fds.clear();
+    fd_conn_ids.clear();
+    fds.push_back(pollfd{.fd = wake_read_fd_, .events = POLLIN, .revents = 0});
+    fd_conn_ids.push_back(0);
+    if (!draining_) {
+      fds.push_back(
+          pollfd{.fd = listen_fd_, .events = POLLIN, .revents = 0});
+      fd_conn_ids.push_back(0);
+    }
+    for (const auto& [id, conn] : connections_) {
+      short events = 0;
+      if (!conn->reading_paused && !conn->close_after_flush) events |= POLLIN;
+      if (conn->outbound_bytes > 0) events |= POLLOUT;
+      if (events == 0) continue;
+      fds.push_back(pollfd{.fd = conn->fd, .events = events, .revents = 0});
+      fd_conn_ids.push_back(id);
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (ready < 0 && errno != EINTR) {
+      throw std::runtime_error("poll() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+
+    for (std::size_t i = 0; i < fds.size() && ready > 0; ++i) {
+      const pollfd& p = fds[i];
+      if (p.revents == 0) continue;
+      if (p.fd == wake_read_fd_) {
+        char sink[64];
+        while (::read(wake_read_fd_, sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      if (p.fd == listen_fd_ && !draining_) {
+        accept_ready();
+        continue;
+      }
+      const auto it = connections_.find(fd_conn_ids[i]);
+      if (it == connections_.end()) continue;  // closed earlier this pass
+      Connection& conn = *it->second;
+      if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (p.revents & POLLIN) == 0) {
+        close_connection(conn);
+        continue;
+      }
+      if ((p.revents & POLLOUT) != 0) write_ready(conn);
+      if (connections_.find(fd_conn_ids[i]) == connections_.end()) continue;
+      if ((p.revents & POLLIN) != 0) read_ready(conn);
+    }
+
+    drain_completions();
+    evict_idle_sessions();
+
+    // Reap connections whose goodbye is fully flushed and whose pipeline
+    // work has finished.
+    std::vector<std::uint64_t> reap;
+    for (const auto& [id, conn] : connections_) {
+      if (conn->close_after_flush && conn->outbound_bytes == 0 &&
+          !conn->busy && conn->pending.empty()) {
+        reap.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : reap) {
+      const auto it = connections_.find(id);
+      if (it != connections_.end()) close_connection(*it->second);
+    }
+  }
+}
+
+void StreamServer::begin_drain() {
+  draining_ = true;
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  telemetry::instant_event("serve.drain", "serve");
+  for (auto& [id, conn] : connections_) {
+    conn->reading_paused = true;
+    if (!conn->close_after_flush) {
+      enqueue_frame(*conn, encode(StatusFrame{
+                               .code = StatusCode::kDraining,
+                               .session_token =
+                                   conn->session ? conn->session->token() : 0,
+                               .message = "server draining",
+                           }));
+      conn->close_after_flush = true;
+    }
+  }
+}
+
+void StreamServer::accept_ready() {
+  while (true) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept failures are not fatal to the loop
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->id = next_connection_id_++;
+    conn->fd = fd;
+    const std::uint64_t id = conn->id;
+    connections_.emplace(id, std::move(conn));
+    {
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.accepted;
+    }
+    telemetry::add(accepts_metric());
+  }
+}
+
+void StreamServer::read_ready(Connection& conn) {
+  std::uint8_t buffer[16384];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      {
+        std::lock_guard<std::mutex> guard(stats_mutex_);
+        stats_.bytes_in += static_cast<std::uint64_t>(n);
+      }
+      conn.decoder.feed(buffer, static_cast<std::size_t>(n));
+      pump_frames(conn);
+      if (connections_.find(conn.id) == connections_.end()) return;
+      if (conn.reading_paused || conn.close_after_flush) return;
+      continue;
+    }
+    if (n == 0) {  // peer closed; nothing left to deliver to it
+      close_connection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    close_connection(conn);
+    return;
+  }
+}
+
+void StreamServer::pump_frames(Connection& conn) {
+  while (true) {
+    std::optional<Frame> frame = conn.decoder.next();
+    if (!frame.has_value()) break;
+    switch (frame->type) {
+      case FrameType::kHello:
+        handle_hello(conn, *frame);
+        break;
+      case FrameType::kMeasurement: {
+        if (!conn.session) {
+          fail_connection(conn, ErrorCode::kProtocolOrder,
+                          "MEASUREMENT before HELLO", false);
+          return;
+        }
+        MeasurementFrame m;
+        std::string error;
+        if (!decode(*frame, m, &error)) {
+          fail_connection(conn, ErrorCode::kMalformedFrame, error, true);
+          return;
+        }
+        conn.pending.push_back(m);
+        telemetry::add(frames_in_metric());
+        telemetry::gauge_update_max(pending_frames_metric(),
+                                    static_cast<double>(conn.pending.size()));
+        {
+          std::lock_guard<std::mutex> guard(stats_mutex_);
+          ++stats_.frames_in;
+        }
+        break;
+      }
+      default:
+        fail_connection(conn, ErrorCode::kProtocolOrder,
+                        std::string("client sent server-only frame ") +
+                            to_string(frame->type),
+                        false);
+        return;
+    }
+    if (conn.close_after_flush) return;
+  }
+  if (conn.decoder.failed()) {
+    fail_connection(conn, ErrorCode::kMalformedFrame, conn.decoder.error(),
+                    true);
+    return;
+  }
+  if (!conn.pending.empty() && !conn.busy) dispatch(conn);
+  if (conn.pending.size() >= options_.max_pending_frames) {
+    conn.reading_paused = true;
+  }
+}
+
+void StreamServer::handle_hello(Connection& conn, const Frame& frame) {
+  if (conn.session) {
+    fail_connection(conn, ErrorCode::kProtocolOrder, "duplicate HELLO", false);
+    return;
+  }
+  HelloFrame hello;
+  std::string error;
+  if (!decode(frame, hello, &error)) {
+    fail_connection(conn, ErrorCode::kMalformedFrame, error, true);
+    return;
+  }
+  SessionManager::OpenResult result =
+      sessions_.open(hello, telemetry::now_ns());
+  if (!result.session) {
+    fail_connection(conn, result.error_code, result.error, false);
+    return;
+  }
+  conn.session = std::move(result.session);
+  enqueue_frame(conn, encode(StatusFrame{
+                          .code = StatusCode::kHelloOk,
+                          .session_token = conn.session->token(),
+                          .message = "session open",
+                      }));
+}
+
+void StreamServer::dispatch(Connection& conn) {
+  std::vector<MeasurementFrame> batch(conn.pending.begin(),
+                                      conn.pending.end());
+  conn.pending.clear();
+  conn.busy = true;
+  outstanding_batches_.fetch_add(1, std::memory_order_acq_rel);
+
+  SessionPtr session = conn.session;
+  const std::uint64_t conn_id = conn.id;
+  pool_.submit([this, session = std::move(session), conn_id,
+                batch = std::move(batch)]() mutable {
+    Completion done;
+    done.connection_id = conn_id;
+    try {
+      telemetry::ScopedTimer span("serve.session", "serve", batch_ns_metric(),
+                                  telemetry::TraceDetail::kFine);
+      span.arg("frames", static_cast<std::int64_t>(batch.size()));
+      span.arg("token",
+               static_cast<std::int64_t>(session->token() & 0x7fffffff));
+      for (const MeasurementFrame& m : batch) {
+        const Session::StepOutput out =
+            session->process(m, telemetry::now_ns());
+        const std::vector<std::uint8_t> estimate = encode(out.estimate);
+        done.bytes.insert(done.bytes.end(), estimate.begin(), estimate.end());
+        ++done.frames;
+        if (out.challenge.has_value()) {
+          const std::vector<std::uint8_t> challenge = encode(*out.challenge);
+          done.bytes.insert(done.bytes.end(), challenge.begin(),
+                            challenge.end());
+          ++done.frames;
+        }
+      }
+    } catch (const std::exception& e) {
+      done.failed = true;
+      done.error = e.what();
+    } catch (...) {
+      done.failed = true;
+      done.error = "unknown pipeline failure";
+    }
+    {
+      std::lock_guard<std::mutex> guard(completions_mutex_);
+      completions_.push_back(std::move(done));
+    }
+    wake();
+  });
+}
+
+void StreamServer::drain_completions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> guard(completions_mutex_);
+    done.swap(completions_);
+  }
+  for (Completion& completion : done) {
+    outstanding_batches_.fetch_sub(1, std::memory_order_acq_rel);
+    const auto it = connections_.find(completion.connection_id);
+    if (it == connections_.end()) continue;  // connection died meanwhile
+    Connection& conn = *it->second;
+    conn.busy = false;
+    if (completion.failed) {
+      fail_connection(conn, ErrorCode::kInternal, completion.error, false);
+      continue;
+    }
+    if (!conn.close_after_flush) {
+      if (!completion.bytes.empty()) {
+        conn.outbound.push_back(std::move(completion.bytes));
+        conn.outbound_bytes += conn.outbound.back().size();
+        telemetry::add(frames_out_metric(), completion.frames);
+        telemetry::gauge_update_max(
+            outbound_bytes_metric(),
+            static_cast<double>(conn.outbound_bytes));
+        {
+          std::lock_guard<std::mutex> guard(stats_mutex_);
+          stats_.frames_out += completion.frames;
+        }
+        check_outbound_limit(conn);
+        if (conn.close_after_flush) continue;  // became a slow consumer
+      }
+      write_ready(conn);  // opportunistic flush without waiting for poll
+      if (connections_.find(completion.connection_id) ==
+          connections_.end()) {
+        continue;
+      }
+    }
+    if (!conn.pending.empty() && !conn.busy) dispatch(conn);
+    if (conn.reading_paused && !conn.close_after_flush &&
+        conn.pending.size() < options_.max_pending_frames / 2) {
+      conn.reading_paused = false;
+    }
+  }
+}
+
+void StreamServer::enqueue_frame(Connection& conn,
+                                 const std::vector<std::uint8_t>& bytes) {
+  conn.outbound.push_back(bytes);
+  conn.outbound_bytes += bytes.size();
+  telemetry::add(frames_out_metric());
+  telemetry::gauge_update_max(outbound_bytes_metric(),
+                              static_cast<double>(conn.outbound_bytes));
+  {
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    ++stats_.frames_out;
+  }
+  check_outbound_limit(conn);
+}
+
+void StreamServer::check_outbound_limit(Connection& conn) {
+  if (conn.outbound_bytes <= options_.max_outbound_bytes ||
+      conn.close_after_flush) {
+    return;
+  }
+  // Slow consumer: drop the queue it is not absorbing, explain, disconnect.
+  conn.outbound.clear();
+  conn.outbound_head = 0;
+  conn.outbound_bytes = 0;
+  conn.reading_paused = true;
+  conn.pending.clear();
+  conn.close_after_flush = true;
+  const std::vector<std::uint8_t> status = encode(StatusFrame{
+      .code = StatusCode::kSlowConsumer,
+      .session_token = conn.session ? conn.session->token() : 0,
+      .message = "outbound queue exceeded " +
+                 std::to_string(options_.max_outbound_bytes) + " bytes",
+  });
+  conn.outbound.push_back(status);
+  conn.outbound_bytes = status.size();
+  telemetry::add(slow_consumer_metric());
+  {
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    ++stats_.slow_consumer_disconnects;
+  }
+}
+
+void StreamServer::fail_connection(Connection& conn, ErrorCode code,
+                                   std::string message,
+                                   bool count_decode_error) {
+  {
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    if (count_decode_error) {
+      ++stats_.decode_errors;
+    } else {
+      ++stats_.protocol_errors;
+    }
+  }
+  if (count_decode_error) telemetry::add(decode_errors_metric());
+  conn.reading_paused = true;
+  conn.pending.clear();
+  if (!conn.close_after_flush) {
+    enqueue_frame(conn,
+                  encode(ErrorFrame{.code = code, .message = std::move(message)}));
+    conn.close_after_flush = true;
+  }
+}
+
+void StreamServer::write_ready(Connection& conn) {
+  while (!conn.outbound.empty()) {
+    const std::vector<std::uint8_t>& chunk = conn.outbound.front();
+    const std::size_t remaining = chunk.size() - conn.outbound_head;
+    const ssize_t n = ::send(conn.fd, chunk.data() + conn.outbound_head,
+                             remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      {
+        std::lock_guard<std::mutex> guard(stats_mutex_);
+        stats_.bytes_out += static_cast<std::uint64_t>(n);
+      }
+      conn.outbound_head += static_cast<std::size_t>(n);
+      conn.outbound_bytes -= static_cast<std::size_t>(n);
+      if (conn.outbound_head == chunk.size()) {
+        conn.outbound.pop_front();
+        conn.outbound_head = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      return;
+    }
+    close_connection(conn);
+    return;
+  }
+}
+
+void StreamServer::close_connection(Connection& conn) {
+  if (conn.session) {
+    sessions_.close(conn.session->token(), telemetry::now_ns());
+  }
+  if (conn.fd >= 0) ::close(conn.fd);
+  {
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    ++stats_.closed;
+  }
+  connections_.erase(conn.id);  // invalidates conn
+}
+
+void StreamServer::evict_idle_sessions() {
+  const std::uint64_t now = telemetry::now_ns();
+  if (now - last_idle_check_ns_ < options_.idle_check_period_ns) return;
+  last_idle_check_ns_ = now;
+  const std::vector<SessionManager::Evicted> evicted =
+      sessions_.evict_idle(now);
+  if (evicted.empty()) return;
+  for (const SessionManager::Evicted& gone : evicted) {
+    for (auto& [id, conn] : connections_) {
+      if (conn->session && conn->session->token() == gone.token &&
+          !conn->close_after_flush) {
+        conn->reading_paused = true;
+        conn->pending.clear();
+        enqueue_frame(*conn, encode(StatusFrame{
+                                 .code = StatusCode::kIdleTimeout,
+                                 .session_token = gone.token,
+                                 .message = "session evicted after idle "
+                                            "timeout",
+                             }));
+        conn->close_after_flush = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace safe::serve

@@ -1,0 +1,161 @@
+// Poll-based streaming session server (DESIGN.md §12).
+//
+// One event-loop thread owns every socket: it accepts connections, lifts
+// frames off non-blocking reads, and flushes bounded outbound queues.
+// Pipeline work never runs on the loop — decoded MEASUREMENT frames are
+// batched per connection and dispatched onto the shared runtime::ThreadPool,
+// with at most one batch in flight per connection so a session's stream is
+// processed strictly in order (the serving parity contract). Workers hand
+// encoded reply frames back through a completion queue and wake the loop
+// via a self-pipe.
+//
+// Backpressure, both directions:
+//   * inbound — a connection with max_pending_frames decoded-but-unprocessed
+//     measurements stops being polled for reads until the backlog halves,
+//     so TCP flow control pushes back on the producer;
+//   * outbound — a connection whose unsent reply bytes exceed
+//     max_outbound_bytes is a slow consumer: its queue is dropped, a STATUS
+//     frame with the reason is sent, and the connection closes.
+//
+// Graceful drain: request_drain() (thread- and signal-safe) stops the
+// listener, stops reading, lets every in-flight batch finish, flushes a
+// STATUS kDraining to each client, and returns from run() once the last
+// connection closes and the last worker task completes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "serve/session.hpp"
+#include "serve/wire.hpp"
+
+namespace safe::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = kernel-assigned; see StreamServer::port().
+  std::uint64_t master_seed = 1;  ///< Session-token derivation seed.
+  SessionLimits session{};
+  /// Outbound queue cap per connection; beyond it the peer is a slow
+  /// consumer and is disconnected (STATUS kSlowConsumer).
+  std::size_t max_outbound_bytes = 256 * 1024;
+  /// Decoded-but-unprocessed measurement cap per connection; beyond it the
+  /// connection stops being read until the pipeline catches up.
+  std::size_t max_pending_frames = 64;
+  /// Cadence of the idle-session eviction sweep.
+  std::uint64_t idle_check_period_ns = 250'000'000ULL;
+};
+
+/// Monotonic totals over the server's lifetime; readable concurrently.
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t frames_in = 0;   ///< MEASUREMENT frames decoded
+  std::uint64_t frames_out = 0;  ///< frames queued toward clients
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t slow_consumer_disconnects = 0;
+};
+
+class StreamServer {
+ public:
+  /// The pool is shared infrastructure (the caller may size it to the
+  /// machine); the server only submits work and never shuts it down.
+  StreamServer(ServerOptions options, runtime::ThreadPool& pool);
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Binds and listens; throws std::runtime_error on failure. After this
+  /// returns, port() is the actual bound port (resolves port 0).
+  void bind_and_listen();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return bound_port_; }
+
+  /// Runs the event loop until a drain completes. Call from one thread.
+  void run();
+
+  /// Initiates graceful drain. Safe from any thread and from a signal
+  /// handler (atomic store + self-pipe write only).
+  void request_drain() noexcept;
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] SessionManager::Counters session_counters() const {
+    return sessions_.counters();
+  }
+  [[nodiscard]] std::size_t live_sessions() const { return sessions_.size(); }
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    SessionPtr session;  ///< null until a HELLO is accepted
+    std::deque<MeasurementFrame> pending;
+    bool busy = false;           ///< a batch is on the pool
+    bool reading_paused = false;
+    bool close_after_flush = false;
+    std::deque<std::vector<std::uint8_t>> outbound;
+    std::size_t outbound_head = 0;   ///< sent bytes of outbound.front()
+    std::size_t outbound_bytes = 0;  ///< unsent total across the deque
+  };
+
+  struct Completion {
+    std::uint64_t connection_id = 0;
+    std::vector<std::uint8_t> bytes;  ///< encoded reply frames, in order
+    std::uint64_t frames = 0;
+    bool failed = false;  ///< a task-level failure; connection must close
+    std::string error;
+  };
+
+  void accept_ready();
+  void read_ready(Connection& conn);
+  void write_ready(Connection& conn);
+  void pump_frames(Connection& conn);
+  void handle_hello(Connection& conn, const Frame& frame);
+  void dispatch(Connection& conn);
+  void drain_completions();
+  void enqueue_frame(Connection& conn, const std::vector<std::uint8_t>& bytes);
+  void check_outbound_limit(Connection& conn);
+  void fail_connection(Connection& conn, ErrorCode code, std::string message,
+                       bool count_decode_error);
+  void close_connection(Connection& conn);
+  void begin_drain();
+  void evict_idle_sessions();
+  void wake() noexcept;
+
+  ServerOptions options_;
+  runtime::ThreadPool& pool_;
+  SessionManager sessions_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+
+  std::uint64_t next_connection_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+  std::atomic<std::size_t> outstanding_batches_{0};
+
+  std::atomic<bool> drain_requested_{false};
+  bool draining_ = false;
+  std::uint64_t last_idle_check_ns_ = 0;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace safe::serve

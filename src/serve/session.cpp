@@ -1,0 +1,226 @@
+#include "serve/session.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/seed.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace safe::serve {
+
+namespace {
+
+// Session lifecycle observability (DESIGN.md §12). Open/close/evict counts
+// are deterministic for a given workload; session lifetimes are wall-clock.
+const telemetry::MetricId& sessions_opened_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.sessions_opened", telemetry::Stability::kDeterministic);
+  return id;
+}
+
+const telemetry::MetricId& sessions_rejected_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.sessions_rejected", telemetry::Stability::kDeterministic);
+  return id;
+}
+
+const telemetry::MetricId& sessions_evicted_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.sessions_evicted", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& session_frames_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.session_frames", telemetry::Stability::kDeterministic);
+  return id;
+}
+
+const telemetry::MetricId& session_lifetime_metric() {
+  static const telemetry::MetricId id =
+      telemetry::duration_histogram("serve.session_ns");
+  return id;
+}
+
+}  // namespace
+
+Session::Session(std::uint64_t token, std::string client_id,
+                 const TraceSpec& spec, std::uint64_t now_ns)
+    : token_(token),
+      client_id_(std::move(client_id)),
+      spec_(spec),
+      opened_ns_(now_ns),
+      pipeline_(build_session_pipeline(spec)),
+      last_active_ns_(now_ns) {}
+
+Session::StepOutput Session::process(const MeasurementFrame& frame,
+                                     std::uint64_t now_ns) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  last_active_ns_.store(now_ns, std::memory_order_relaxed);
+  frames_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::add(session_frames_metric());
+
+  StepOutput out;
+  out.estimate.step = frame.step;
+  out.estimate.safe = pipeline_.process(frame.step, frame.measurement);
+  if (out.estimate.safe.challenge_slot) {
+    out.challenge = ChallengeResultFrame{
+        .step = frame.step,
+        .silent = !frame.measurement.nonzero_output(),
+        .under_attack = out.estimate.safe.under_attack,
+    };
+  }
+  return out;
+}
+
+SessionManager::SessionManager(SessionLimits limits, std::uint64_t master_seed)
+    : limits_(limits), master_seed_(master_seed) {}
+
+SessionManager::OpenResult SessionManager::open(const HelloFrame& hello,
+                                                std::uint64_t now_ns) {
+  OpenResult result;
+  const auto rejected = [&](ErrorCode code, std::string message) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++counters_.rejected;
+    telemetry::add(sessions_rejected_metric());
+    result.error_code = code;
+    result.error = std::move(message);
+    return result;
+  };
+
+  if (hello.protocol_version != kProtocolVersion) {
+    return rejected(ErrorCode::kUnsupportedVersion,
+                    "protocol version " +
+                        std::to_string(hello.protocol_version) +
+                        " unsupported (server speaks " +
+                        std::to_string(kProtocolVersion) + ")");
+  }
+  if (hello.horizon_steps <= 0 ||
+      hello.horizon_steps > limits_.max_horizon_steps) {
+    return rejected(ErrorCode::kProtocolOrder,
+                    "horizon_steps " + std::to_string(hello.horizon_steps) +
+                        " outside [1, " +
+                        std::to_string(limits_.max_horizon_steps) + "]");
+  }
+  if (!std::isfinite(hello.attack_start_s.value()) ||
+      !std::isfinite(hello.attack_end_s.value())) {
+    return rejected(ErrorCode::kProtocolOrder,
+                    "attack window bounds must be finite");
+  }
+
+  // Derive the token and claim a slot before the (comparatively heavy)
+  // pipeline construction, so two racing HELLOs cannot both pass the cap.
+  std::uint64_t token = 0;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (sessions_.size() >= limits_.max_sessions) {
+      ++counters_.rejected;
+      telemetry::add(sessions_rejected_metric());
+      result.error_code = ErrorCode::kSessionLimit;
+      result.error = "session cap reached (" +
+                     std::to_string(limits_.max_sessions) + " live sessions)";
+      return result;
+    }
+    // Token 0 is the "no session" sentinel on the wire; the derivation can
+    // hit it only with probability 2^-64 per counter, but skip it anyway so
+    // the sentinel stays unambiguous.
+    do {
+      token = runtime::derive_seed(master_seed_,
+                                   runtime::SeedStream::kSession,
+                                   next_session_counter_++);
+    } while (token == 0 || sessions_.count(token) != 0);
+    sessions_.emplace(token, nullptr);  // placeholder claims the slot
+  }
+
+  SessionPtr session;
+  try {
+    session = std::make_shared<Session>(token, hello.client_id,
+                                        spec_from(hello), now_ns);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> guard(mutex_);
+    sessions_.erase(token);
+    ++counters_.rejected;
+    telemetry::add(sessions_rejected_metric());
+    result.error_code = ErrorCode::kInternal;
+    result.error = std::string("session setup failed: ") + e.what();
+    return result;
+  }
+
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    sessions_[token] = session;
+    ++counters_.opened;
+  }
+  telemetry::add(sessions_opened_metric());
+  telemetry::instant_event("serve.session_open", "serve");
+  result.session = std::move(session);
+  return result;
+}
+
+SessionPtr SessionManager::find(std::uint64_t token) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = sessions_.find(token);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void SessionManager::record_session_end(const Session& session,
+                                        std::uint64_t now_ns) const {
+  telemetry::record(session_lifetime_metric(),
+                    static_cast<double>(now_ns - session.opened_ns()));
+  telemetry::instant_event("serve.session_close", "serve");
+}
+
+bool SessionManager::close(std::uint64_t token, std::uint64_t now_ns) {
+  SessionPtr session;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    const auto it = sessions_.find(token);
+    if (it == sessions_.end()) return false;
+    session = std::move(it->second);
+    sessions_.erase(it);
+    ++counters_.closed;
+  }
+  if (session) record_session_end(*session, now_ns);
+  return true;
+}
+
+std::vector<SessionManager::Evicted> SessionManager::evict_idle(
+    std::uint64_t now_ns) {
+  std::vector<Evicted> evicted;
+  std::vector<SessionPtr> dead;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      const SessionPtr& session = it->second;
+      // Placeholder slots (HELLO mid-construction) are never idle.
+      if (session &&
+          now_ns - session->last_active_ns() > limits_.idle_timeout_ns) {
+        evicted.push_back(Evicted{.token = session->token(),
+                                  .client_id = session->client_id()});
+        dead.push_back(session);
+        it = sessions_.erase(it);
+        ++counters_.evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const SessionPtr& session : dead) {
+    telemetry::add(sessions_evicted_metric());
+    record_session_end(*session, now_ns);
+  }
+  return evicted;
+}
+
+std::size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return sessions_.size();
+}
+
+SessionManager::Counters SessionManager::counters() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return counters_;
+}
+
+}  // namespace safe::serve

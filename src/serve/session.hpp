@@ -1,0 +1,139 @@
+// Per-session pipeline state for the streaming server (DESIGN.md §12).
+//
+// A session is one client's safe-sensing pipeline: the CRA detector,
+// HealthMonitor, and RLS predictors that consume its measurement stream.
+// The SessionManager owns every live session, enforces a hard cap, evicts
+// sessions idle past a timeout, and hands out deterministic session tokens
+// derived with the campaign engine's SplitMix64 scheme —
+// derive_seed(master, SeedStream::kSession, counter) — so a given server
+// seed always produces the same token sequence (tests pin this).
+//
+// Eviction destroys the session object outright. A client that reconnects
+// with the same client id gets a freshly constructed pipeline: no predictor
+// state, detector state, or health state survives eviction (tested).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "serve/trace_source.hpp"
+#include "serve/wire.hpp"
+
+namespace safe::serve {
+
+struct SessionLimits {
+  /// Hard cap on live sessions; a HELLO beyond it is rejected with
+  /// ErrorCode::kSessionLimit.
+  std::size_t max_sessions = 64;
+  /// A session with no processed frame for this long is evicted.
+  std::uint64_t idle_timeout_ns = 30'000'000'000ULL;
+  /// Upper bound on a HELLO's horizon (bounds the challenge-schedule
+  /// precompute a client can demand).
+  std::int64_t max_horizon_steps = 100'000;
+};
+
+/// One client session. process() is internally serialized; connections
+/// already submit one batch at a time, the mutex additionally makes the
+/// manager's concurrent bookkeeping safe.
+class Session {
+ public:
+  Session(std::uint64_t token, std::string client_id, const TraceSpec& spec,
+          std::uint64_t now_ns);
+
+  struct StepOutput {
+    EstimateFrame estimate;
+    std::optional<ChallengeResultFrame> challenge;
+  };
+
+  /// Runs one measurement through the pipeline. Pure function of the
+  /// measurement sequence — serving a stream must match run_offline()
+  /// byte for byte.
+  StepOutput process(const MeasurementFrame& frame, std::uint64_t now_ns);
+
+  [[nodiscard]] std::uint64_t token() const noexcept { return token_; }
+  [[nodiscard]] const std::string& client_id() const noexcept {
+    return client_id_;
+  }
+  [[nodiscard]] const TraceSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t frames_processed() const noexcept {
+    return frames_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t last_active_ns() const noexcept {
+    return last_active_ns_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t opened_ns() const noexcept { return opened_ns_; }
+
+ private:
+  const std::uint64_t token_;
+  const std::string client_id_;
+  const TraceSpec spec_;
+  const std::uint64_t opened_ns_;
+  std::mutex mutex_;
+  core::SafeMeasurementPipeline pipeline_;
+  std::atomic<std::uint64_t> last_active_ns_;
+  std::atomic<std::uint64_t> frames_{0};
+};
+
+using SessionPtr = std::shared_ptr<Session>;
+
+class SessionManager {
+ public:
+  SessionManager(SessionLimits limits, std::uint64_t master_seed);
+
+  /// Result of a HELLO. On rejection `session` is null and
+  /// `error_code`/`error` say why (ready to be sent as an ERROR frame).
+  struct OpenResult {
+    SessionPtr session;
+    ErrorCode error_code = ErrorCode::kInternal;
+    std::string error;
+  };
+
+  OpenResult open(const HelloFrame& hello, std::uint64_t now_ns);
+
+  /// Live session by token; null when unknown (closed or evicted).
+  [[nodiscard]] SessionPtr find(std::uint64_t token);
+
+  /// Removes a session (connection closed). False when already gone.
+  bool close(std::uint64_t token, std::uint64_t now_ns);
+
+  struct Evicted {
+    std::uint64_t token = 0;
+    std::string client_id;
+  };
+
+  /// Evicts every session idle past the timeout; returns what was evicted
+  /// so the server can notify and close the attached connections.
+  std::vector<Evicted> evict_idle(std::uint64_t now_ns);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] const SessionLimits& limits() const noexcept {
+    return limits_;
+  }
+
+  struct Counters {
+    std::uint64_t opened = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t evicted = 0;
+    std::uint64_t closed = 0;
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  void record_session_end(const Session& session, std::uint64_t now_ns) const;
+
+  const SessionLimits limits_;
+  const std::uint64_t master_seed_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_session_counter_ = 0;
+  std::unordered_map<std::uint64_t, SessionPtr> sessions_;
+  Counters counters_;
+};
+
+}  // namespace safe::serve

@@ -1,0 +1,257 @@
+// Loopback tests for the streaming server: the byte-parity contract under
+// concurrency, protocol-error handling, the session cap over the wire,
+// slow-consumer disconnects, idle eviction, and graceful drain.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "serve/client.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "serve/trace_source.hpp"
+
+namespace {
+
+using namespace safe;
+using namespace safe::serve;
+
+/// Server on a kernel-assigned loopback port, event loop on its own thread,
+/// drained and joined on destruction.
+class ServerHarness {
+ public:
+  explicit ServerHarness(ServerOptions options = {})
+      : pool_(2), server_(std::move(options), pool_) {
+    server_.bind_and_listen();
+    thread_ = std::thread([this] { server_.run(); });
+  }
+
+  ~ServerHarness() {
+    server_.request_drain();
+    thread_.join();
+    pool_.drain();
+  }
+
+  StreamServer& server() { return server_; }
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+ private:
+  runtime::ThreadPool pool_;
+  StreamServer server_;
+  std::thread thread_;
+};
+
+TraceSpec quick_spec(std::uint64_t seed = 11) {
+  TraceSpec spec;
+  spec.seed = seed;
+  spec.horizon_steps = 60;
+  spec.attack = core::AttackKind::kDosJammer;
+  spec.attack_start_s = units::Seconds{20.0};
+  spec.attack_end_s = units::Seconds{60.0};
+  return spec;
+}
+
+TEST(ServeServer, SingleSessionMatchesOfflinePipelineByteForByte) {
+  ServerHarness harness;
+  const TraceSpec spec = quick_spec();
+  const std::vector<MeasurementFrame> trace = make_measurement_trace(spec);
+
+  SessionClient client;
+  client.connect("127.0.0.1", harness.port());
+  const auto open = client.open_session(hello_from(spec, "parity"));
+  ASSERT_TRUE(open.ok) << open.transport_error;
+  EXPECT_NE(open.status.session_token, 0u);
+
+  const auto result = client.stream(trace);
+  ASSERT_TRUE(result.complete) << result.transport_error;
+  ASSERT_EQ(result.estimates.size(), trace.size());
+
+  const std::vector<EstimateFrame> reference = run_offline(spec, trace);
+  ASSERT_EQ(reference.size(), result.estimate_frames.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(result.estimate_frames[i], encode(reference[i]))
+        << "step " << i;
+  }
+  // Challenge slots produce CHALLENGE_RESULT frames alongside estimates.
+  EXPECT_FALSE(result.challenges.empty());
+}
+
+TEST(ServeServer, ConcurrentSessionsAllVerify) {
+  ServerHarness harness;
+  LoadOptions load;
+  load.port = harness.port();
+  load.connections = 4;
+  load.sessions = 8;
+  load.spec = quick_spec();
+  load.master_seed = 21;
+  load.verify = true;
+  const LoadReport report = run_load(load);
+  for (const std::string& error : report.errors) ADD_FAILURE() << error;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.sessions_completed, 8u);
+  EXPECT_EQ(report.sessions_verified, 8u);
+  EXPECT_EQ(report.verify_mismatched_frames, 0u);
+  EXPECT_EQ(report.estimates_received, report.frames_sent);
+}
+
+TEST(ServeServer, GarbageBytesGetErrorFrameAndClose) {
+  ServerHarness harness;
+  SessionClient client;
+  client.connect("127.0.0.1", harness.port());
+  client.send_raw({0xFF, 0xFF, 0xFF, 0xFF, 0x99, 0x00, 0x01, 0x02});
+  const auto frame = client.recv_frame(5'000'000'000ULL);
+  ASSERT_TRUE(frame.has_value()) << client.reason();
+  ASSERT_EQ(frame->type, FrameType::kError);
+  ErrorFrame error;
+  ASSERT_TRUE(decode(*frame, error, nullptr));
+  EXPECT_EQ(error.code, ErrorCode::kMalformedFrame);
+  // And the server hangs up afterwards.
+  EXPECT_FALSE(client.recv_frame(5'000'000'000ULL).has_value());
+}
+
+TEST(ServeServer, MeasurementBeforeHelloIsAProtocolError) {
+  ServerHarness harness;
+  SessionClient client;
+  client.connect("127.0.0.1", harness.port());
+  client.send_raw(encode(MeasurementFrame{}));
+  const auto frame = client.recv_frame(5'000'000'000ULL);
+  ASSERT_TRUE(frame.has_value()) << client.reason();
+  ASSERT_EQ(frame->type, FrameType::kError);
+  ErrorFrame error;
+  ASSERT_TRUE(decode(*frame, error, nullptr));
+  EXPECT_EQ(error.code, ErrorCode::kProtocolOrder);
+}
+
+TEST(ServeServer, SessionCapRejectsOverTheWire) {
+  ServerOptions options;
+  options.session.max_sessions = 1;
+  ServerHarness harness(options);
+
+  SessionClient first;
+  first.connect("127.0.0.1", harness.port());
+  ASSERT_TRUE(first.open_session(hello_from(quick_spec(), "one")).ok);
+
+  SessionClient second;
+  second.connect("127.0.0.1", harness.port());
+  const auto open = second.open_session(hello_from(quick_spec(), "two"));
+  EXPECT_FALSE(open.ok);
+  ASSERT_TRUE(open.has_error) << open.transport_error;
+  EXPECT_EQ(open.error.code, ErrorCode::kSessionLimit);
+
+  // The rejected connection is closed; the first session still works.
+  first.close();
+}
+
+TEST(ServeServer, SlowConsumerIsDisconnectedWithStatus) {
+  ServerOptions options;
+  options.max_outbound_bytes = 256;  // a handful of estimate frames
+  options.max_pending_frames = 512;  // don't pause reads before overflow
+  ServerHarness harness(options);
+
+  const TraceSpec spec = quick_spec();
+  const std::vector<MeasurementFrame> trace = make_measurement_trace(spec);
+
+  SessionClient client;
+  client.connect("127.0.0.1", harness.port());
+  ASSERT_TRUE(client.open_session(hello_from(spec, "slow")).ok);
+
+  // Fire the whole trace without reading a single reply.
+  std::vector<std::uint8_t> burst;
+  for (const MeasurementFrame& m : trace) {
+    const auto bytes = encode(m);
+    burst.insert(burst.end(), bytes.begin(), bytes.end());
+  }
+  client.send_raw(burst);
+
+  // Eventually the replies overflow the outbound cap and the server sends
+  // STATUS kSlowConsumer (possibly after a few estimates) and hangs up.
+  bool saw_slow_consumer = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto frame = client.recv_frame(10'000'000'000ULL);
+    if (!frame.has_value()) break;
+    if (frame->type == FrameType::kStatus) {
+      StatusFrame status;
+      ASSERT_TRUE(decode(*frame, status, nullptr));
+      EXPECT_EQ(status.code, StatusCode::kSlowConsumer);
+      saw_slow_consumer = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_slow_consumer);
+  // Allow the loop to finish the disconnect before the harness drains.
+  for (int i = 0; i < 100 && harness.server().live_sessions() != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(harness.server().stats().slow_consumer_disconnects, 1u);
+}
+
+TEST(ServeServer, IdleSessionIsEvictedOverTheWire) {
+  ServerOptions options;
+  options.session.idle_timeout_ns = 100'000'000ULL;  // 100 ms
+  options.idle_check_period_ns = 20'000'000ULL;      // 20 ms sweep
+  ServerHarness harness(options);
+
+  SessionClient client;
+  client.connect("127.0.0.1", harness.port());
+  ASSERT_TRUE(client.open_session(hello_from(quick_spec(), "idler")).ok);
+
+  // Send nothing; the server must evict and notify.
+  const auto frame = client.recv_frame(10'000'000'000ULL);
+  ASSERT_TRUE(frame.has_value()) << client.reason();
+  ASSERT_EQ(frame->type, FrameType::kStatus);
+  StatusFrame status;
+  ASSERT_TRUE(decode(*frame, status, nullptr));
+  EXPECT_EQ(status.code, StatusCode::kIdleTimeout);
+  EXPECT_EQ(harness.server().session_counters().evicted, 1u);
+}
+
+TEST(ServeServer, DrainNotifiesConnectedClients) {
+  runtime::ThreadPool pool(2);
+  StreamServer server(ServerOptions{}, pool);
+  server.bind_and_listen();
+  std::thread loop([&server] { server.run(); });
+
+  SessionClient client;
+  client.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.open_session(hello_from(quick_spec(), "drainee")).ok);
+
+  server.request_drain();
+  const auto frame = client.recv_frame(10'000'000'000ULL);
+  ASSERT_TRUE(frame.has_value()) << client.reason();
+  ASSERT_EQ(frame->type, FrameType::kStatus);
+  StatusFrame status;
+  ASSERT_TRUE(decode(*frame, status, nullptr));
+  EXPECT_EQ(status.code, StatusCode::kDraining);
+
+  loop.join();  // run() returns once every connection is gone
+  pool.drain();
+  EXPECT_EQ(server.live_sessions(), 0u);
+}
+
+TEST(ServeServer, StatsAccountForCleanRun) {
+  ServerOptions options;
+  ServerStats stats;
+  SessionManager::Counters counters;
+  {
+    ServerHarness harness(options);
+    LoadOptions load;
+    load.port = harness.port();
+    load.connections = 2;
+    load.sessions = 2;
+    load.spec = quick_spec(5);
+    const LoadReport report = run_load(load);
+    EXPECT_TRUE(report.ok());
+    stats = harness.server().stats();
+    counters = harness.server().session_counters();
+  }
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.decode_errors, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  EXPECT_EQ(stats.frames_in, 120u);  // 2 sessions x 60 steps
+  EXPECT_EQ(counters.opened, 2u);
+  EXPECT_EQ(counters.rejected, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,373 @@
+// Wire-protocol tests: round-trips for every frame type, golden framing
+// bytes, arbitrary read-boundary splits, strict rejection of malformed
+// input, and a SplitMix64-driven fuzz pass (random truncations, oversized
+// length prefixes, garbage types, bit flips) that must never crash or
+// over-read — the sanitizer CI jobs give that teeth.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/seed.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+using namespace safe;
+using namespace safe::serve;
+
+MeasurementFrame sample_measurement() {
+  MeasurementFrame m;
+  m.step = 42;
+  m.measurement.estimate.distance_m = units::Meters{99.25};
+  m.measurement.estimate.range_rate_mps = units::MetersPerSecond{-0.875};
+  m.measurement.beats.up_hz = units::Hertz{123456.5};
+  m.measurement.beats.down_hz = units::Hertz{-7890.125};
+  m.measurement.rx_power_w = 3.5e-9;
+  m.measurement.peak_to_average = 17.0;
+  m.measurement.coherent_echo = true;
+  m.measurement.power_alarm = false;
+  return m;
+}
+
+EstimateFrame sample_estimate() {
+  EstimateFrame e;
+  e.step = 183;
+  e.safe.target_present = true;
+  e.safe.distance_m = units::Meters{97.5};
+  e.safe.relative_velocity_mps = units::MetersPerSecond{-0.25};
+  e.safe.estimated = true;
+  e.safe.under_attack = true;
+  e.safe.challenge_slot = false;
+  e.safe.attack_started = true;
+  e.safe.attack_cleared = false;
+  e.safe.degradation = core::DegradationState::kHoldover;
+  e.safe.safe_stop = false;
+  e.safe.measurement_rejected = true;
+  e.safe.holdover_steps = 7;
+  return e;
+}
+
+/// Feeds `bytes` in chunks of `chunk` and returns every decoded frame.
+std::vector<Frame> decode_all(const std::vector<std::uint8_t>& bytes,
+                              std::size_t chunk, FrameDecoder& decoder) {
+  std::vector<Frame> frames;
+  for (std::size_t offset = 0; offset < bytes.size(); offset += chunk) {
+    const std::size_t n = std::min(chunk, bytes.size() - offset);
+    decoder.feed(bytes.data() + offset, n);
+    while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+  }
+  return frames;
+}
+
+TEST(ServeWire, HelloRoundTrip) {
+  HelloFrame hello;
+  hello.scenario_seed = 0xDEADBEEFCAFE1234ULL;
+  hello.horizon_steps = 1234;
+  hello.leader = core::LeaderScenario::kDecelThenAccel;
+  hello.attack = core::AttackKind::kDelayInjection;
+  hello.estimator = radar::BeatEstimator::kRootMusic;
+  hello.hardened = true;
+  hello.attack_start_s = units::Seconds{17.25};
+  hello.attack_end_s = units::Seconds{200.0};
+  hello.client_id = "client-7";
+  hello.fault_spec = "dropout@100+5";
+
+  FrameDecoder decoder;
+  decoder.feed(encode(hello).data(), encode(hello).size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kHello);
+
+  HelloFrame out;
+  std::string error;
+  ASSERT_TRUE(decode(*frame, out, &error)) << error;
+  EXPECT_EQ(out.protocol_version, kProtocolVersion);
+  EXPECT_EQ(out.scenario_seed, hello.scenario_seed);
+  EXPECT_EQ(out.horizon_steps, hello.horizon_steps);
+  EXPECT_EQ(out.leader, hello.leader);
+  EXPECT_EQ(out.attack, hello.attack);
+  EXPECT_EQ(out.estimator, hello.estimator);
+  EXPECT_EQ(out.hardened, hello.hardened);
+  EXPECT_EQ(out.attack_start_s.value(), hello.attack_start_s.value());
+  EXPECT_EQ(out.attack_end_s.value(), hello.attack_end_s.value());
+  EXPECT_EQ(out.client_id, hello.client_id);
+  EXPECT_EQ(out.fault_spec, hello.fault_spec);
+}
+
+TEST(ServeWire, MeasurementRoundTripIsBitExact) {
+  const MeasurementFrame m = sample_measurement();
+  FrameDecoder decoder;
+  const std::vector<std::uint8_t> bytes = encode(m);
+  decoder.feed(bytes.data(), bytes.size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  MeasurementFrame out;
+  ASSERT_TRUE(decode(*frame, out, nullptr));
+  EXPECT_EQ(out.step, m.step);
+  EXPECT_EQ(out.measurement.estimate.distance_m.value(),
+            m.measurement.estimate.distance_m.value());
+  EXPECT_EQ(out.measurement.estimate.range_rate_mps.value(),
+            m.measurement.estimate.range_rate_mps.value());
+  EXPECT_EQ(out.measurement.beats.up_hz.value(),
+            m.measurement.beats.up_hz.value());
+  EXPECT_EQ(out.measurement.beats.down_hz.value(),
+            m.measurement.beats.down_hz.value());
+  EXPECT_EQ(out.measurement.rx_power_w, m.measurement.rx_power_w);
+  EXPECT_EQ(out.measurement.peak_to_average, m.measurement.peak_to_average);
+  EXPECT_EQ(out.measurement.coherent_echo, m.measurement.coherent_echo);
+  EXPECT_EQ(out.measurement.power_alarm, m.measurement.power_alarm);
+  // Re-encoding reproduces the exact bytes — the parity contract's anchor.
+  EXPECT_EQ(encode(out), bytes);
+}
+
+TEST(ServeWire, EstimateRoundTripIsBitExact) {
+  const EstimateFrame e = sample_estimate();
+  const std::vector<std::uint8_t> bytes = encode(e);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EstimateFrame out;
+  ASSERT_TRUE(decode(*frame, out, nullptr));
+  EXPECT_EQ(out.step, e.step);
+  EXPECT_EQ(out.safe.distance_m.value(), e.safe.distance_m.value());
+  EXPECT_EQ(out.safe.relative_velocity_mps.value(),
+            e.safe.relative_velocity_mps.value());
+  EXPECT_EQ(out.safe.degradation, e.safe.degradation);
+  EXPECT_EQ(out.safe.holdover_steps, e.safe.holdover_steps);
+  EXPECT_EQ(out.safe.under_attack, e.safe.under_attack);
+  EXPECT_EQ(out.safe.measurement_rejected, e.safe.measurement_rejected);
+  EXPECT_EQ(encode(out), bytes);
+}
+
+TEST(ServeWire, StatusAndErrorRoundTrip) {
+  const StatusFrame status{.code = StatusCode::kSlowConsumer,
+                           .session_token = 0x0123456789ABCDEFULL,
+                           .message = "outbound queue overflow"};
+  const ErrorFrame error{.code = ErrorCode::kSessionLimit,
+                         .message = "session cap reached"};
+  FrameDecoder decoder;
+  const auto status_bytes = encode(status);
+  const auto error_bytes = encode(error);
+  decoder.feed(status_bytes.data(), status_bytes.size());
+  decoder.feed(error_bytes.data(), error_bytes.size());
+
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  StatusFrame status_out;
+  ASSERT_TRUE(decode(*frame, status_out, nullptr));
+  EXPECT_EQ(status_out.code, status.code);
+  EXPECT_EQ(status_out.session_token, status.session_token);
+  EXPECT_EQ(status_out.message, status.message);
+
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  ErrorFrame error_out;
+  ASSERT_TRUE(decode(*frame, error_out, nullptr));
+  EXPECT_EQ(error_out.code, error.code);
+  EXPECT_EQ(error_out.message, error.message);
+}
+
+TEST(ServeWire, GoldenChallengeResultBytes) {
+  // Framing is frozen: u32 length + u8 type header, little-endian payload.
+  const ChallengeResultFrame c{.step = 5, .silent = true,
+                               .under_attack = false};
+  const std::vector<std::uint8_t> expected = {
+      0x09, 0x00, 0x00, 0x00,  // payload length = 9
+      0x03,                    // FrameType::kChallengeResult
+      0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // step = 5 (i64 LE)
+      0x01,                    // flags: bit0 silent
+  };
+  EXPECT_EQ(encode(c), expected);
+}
+
+TEST(ServeWire, ByteAtATimeSplitDelivery) {
+  std::vector<std::uint8_t> bytes;
+  const auto m = encode(sample_measurement());
+  const auto e = encode(sample_estimate());
+  const auto c = encode(ChallengeResultFrame{.step = 9, .silent = false,
+                                             .under_attack = true});
+  bytes.insert(bytes.end(), m.begin(), m.end());
+  bytes.insert(bytes.end(), e.begin(), e.end());
+  bytes.insert(bytes.end(), c.begin(), c.end());
+
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}, std::size_t{7}}) {
+    FrameDecoder decoder;
+    const std::vector<Frame> frames = decode_all(bytes, chunk, decoder);
+    ASSERT_EQ(frames.size(), 3u) << "chunk=" << chunk;
+    EXPECT_EQ(frames[0].type, FrameType::kMeasurement);
+    EXPECT_EQ(frames[1].type, FrameType::kEstimate);
+    EXPECT_EQ(frames[2].type, FrameType::kChallengeResult);
+    EXPECT_FALSE(decoder.failed());
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+TEST(ServeWire, OversizedLengthPrefixFailsBeforeBuffering) {
+  // 4 GiB-ish length prefix: the decoder must reject it from the header
+  // alone and never wait for (or allocate) the advertised payload.
+  const std::vector<std::uint8_t> header = {0xFF, 0xFF, 0xFF, 0xFF, 0x02};
+  FrameDecoder decoder;
+  decoder.feed(header.data(), header.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_NE(decoder.error().find("payload"), std::string::npos);
+}
+
+TEST(ServeWire, UnknownFrameTypeFails) {
+  const std::vector<std::uint8_t> header = {0x01, 0x00, 0x00, 0x00, 0x77,
+                                            0x00};
+  FrameDecoder decoder;
+  decoder.feed(header.data(), header.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+  // Sticky: feeding valid bytes afterwards cannot revive it.
+  const auto good = encode(sample_measurement());
+  decoder.feed(good.data(), good.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+}
+
+TEST(ServeWire, TruncatedFrameIsNotAnError) {
+  const auto bytes = encode(sample_measurement());
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 1);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.failed());  // waiting, not broken
+  decoder.feed(bytes.data() + bytes.size() - 1, 1);
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+TEST(ServeWire, TrailingPayloadBytesRejected) {
+  auto bytes = encode(ChallengeResultFrame{});
+  bytes.push_back(0x00);  // one extra payload byte
+  bytes[0] = static_cast<std::uint8_t>(bytes[0] + 1);  // fix the length
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  ChallengeResultFrame out;
+  std::string error;
+  EXPECT_FALSE(decode(*frame, out, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(ServeWire, ReservedFlagBitsRejected) {
+  auto bytes = encode(ChallengeResultFrame{.step = 1, .silent = true,
+                                           .under_attack = true});
+  bytes.back() = 0xFF;  // set reserved bits in the flags byte
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  const auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  ChallengeResultFrame out;
+  EXPECT_FALSE(decode(*frame, out, nullptr));
+}
+
+TEST(ServeWire, ShortPayloadRejectedForEveryType) {
+  const Frame short_frame{.type = FrameType::kHello, .payload = {0x01}};
+  HelloFrame hello;
+  MeasurementFrame m;
+  EstimateFrame e;
+  ChallengeResultFrame c;
+  StatusFrame s;
+  ErrorFrame err;
+  EXPECT_FALSE(decode(short_frame, hello, nullptr));
+  EXPECT_FALSE(decode(Frame{FrameType::kMeasurement, {0x01}}, m, nullptr));
+  EXPECT_FALSE(decode(Frame{FrameType::kEstimate, {0x01}}, e, nullptr));
+  EXPECT_FALSE(decode(Frame{FrameType::kChallengeResult, {0x01}}, c, nullptr));
+  EXPECT_FALSE(decode(Frame{FrameType::kStatus, {0x01}}, s, nullptr));
+  EXPECT_FALSE(decode(Frame{FrameType::kError, {0x01}}, err, nullptr));
+}
+
+// Fuzz: mutate valid streams with truncations, bit flips, splices, and
+// garbage, feed them in random-sized chunks, and decode whatever comes out.
+// The decoder may fail (it usually should) but must never crash, hang, or
+// read out of bounds; typed decode of surviving frames must be total.
+TEST(ServeWire, FuzzedStreamsNeverCrash) {
+  std::vector<std::uint8_t> corpus;
+  {
+    HelloFrame hello;
+    hello.client_id = "fuzz";
+    const auto h = encode(hello);
+    const auto m = encode(sample_measurement());
+    const auto e = encode(sample_estimate());
+    const auto s = encode(StatusFrame{.code = StatusCode::kDraining,
+                                      .session_token = 1,
+                                      .message = "bye"});
+    corpus.insert(corpus.end(), h.begin(), h.end());
+    corpus.insert(corpus.end(), m.begin(), m.end());
+    corpus.insert(corpus.end(), e.begin(), e.end());
+    corpus.insert(corpus.end(), s.begin(), s.end());
+  }
+
+  runtime::SplitMix64 rng(0xF022DEC0DEULL);
+  for (int iteration = 0; iteration < 500; ++iteration) {
+    std::vector<std::uint8_t> bytes = corpus;
+    const std::uint64_t mutations = 1 + rng() % 8;
+    for (std::uint64_t k = 0; k < mutations; ++k) {
+      switch (rng() % 4) {
+        case 0:  // truncate
+          bytes.resize(rng() % (bytes.size() + 1));
+          break;
+        case 1:  // flip a byte
+          if (!bytes.empty()) {
+            bytes[rng() % bytes.size()] =
+                static_cast<std::uint8_t>(rng() & 0xFF);
+          }
+          break;
+        case 2: {  // splice garbage in
+          const std::size_t count = rng() % 16;
+          const std::size_t at = bytes.empty() ? 0 : rng() % bytes.size();
+          std::vector<std::uint8_t> garbage(count);
+          for (auto& b : garbage) b = static_cast<std::uint8_t>(rng() & 0xFF);
+          bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                       garbage.begin(), garbage.end());
+          break;
+        }
+        default:  // duplicate a slice
+          if (bytes.size() > 4) {
+            const std::size_t at = rng() % (bytes.size() - 4);
+            bytes.insert(bytes.end(), bytes.begin() +
+                             static_cast<std::ptrdiff_t>(at),
+                         bytes.begin() +
+                             static_cast<std::ptrdiff_t>(at + 4));
+          }
+          break;
+      }
+    }
+
+    FrameDecoder decoder;
+    std::size_t offset = 0;
+    while (offset < bytes.size() && !decoder.failed()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(1 + rng() % 37, bytes.size() - offset);
+      decoder.feed(bytes.data() + offset, chunk);
+      offset += chunk;
+      while (auto frame = decoder.next()) {
+        // Typed parsing of whatever survived framing must be total too.
+        HelloFrame hello;
+        MeasurementFrame m;
+        EstimateFrame e;
+        ChallengeResultFrame c;
+        StatusFrame s;
+        ErrorFrame err;
+        switch (frame->type) {
+          case FrameType::kHello: decode(*frame, hello, nullptr); break;
+          case FrameType::kMeasurement: decode(*frame, m, nullptr); break;
+          case FrameType::kEstimate: decode(*frame, e, nullptr); break;
+          case FrameType::kChallengeResult: decode(*frame, c, nullptr); break;
+          case FrameType::kStatus: decode(*frame, s, nullptr); break;
+          case FrameType::kError: decode(*frame, err, nullptr); break;
+        }
+      }
+    }
+    // The decoder never hoards more than one frame's worth of bytes.
+    EXPECT_LE(decoder.buffered_bytes(), kHeaderBytes + kMaxPayloadBytes);
+  }
+}
+
+}  // namespace
