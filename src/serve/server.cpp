@@ -1,7 +1,6 @@
 #include "serve/server.hpp"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -70,16 +69,34 @@ const telemetry::MetricId& batch_ns_metric() {
   return id;
 }
 
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
-
-/// How long a drain waits for clients to absorb their final frames before
-/// force-closing. Bounds run()'s exit even against a wedged peer.
-constexpr std::uint64_t kDrainGraceNs = 5'000'000'000ULL;
+/// How long the listener stays out of the poll set after an accept failure
+/// that signals resource exhaustion (EMFILE/ENFILE/...). Without a backoff
+/// the still-readable listener would make every poll() return immediately.
+constexpr std::uint64_t kAcceptBackoffNs = 100'000'000ULL;
 
 }  // namespace
+
+StreamServer::CompletionChannel::~CompletionChannel() {
+  if (wake_write_fd >= 0) ::close(wake_write_fd);
+}
+
+void StreamServer::CompletionChannel::push(Completion&& done) {
+  {
+    std::lock_guard<std::mutex> guard(mutex);
+    items.push_back(std::move(done));
+  }
+  wake();
+}
+
+void StreamServer::CompletionChannel::wake() noexcept {
+  if (wake_write_fd >= 0) {
+    const char byte = 'w';
+    // MSG_NOSIGNAL: no SIGPIPE even if the read end is already closed; a
+    // full socket buffer already guarantees a pending wake-up.
+    [[maybe_unused]] const ssize_t n =
+        ::send(wake_write_fd, &byte, 1, MSG_NOSIGNAL);
+  }
+}
 
 StreamServer::StreamServer(ServerOptions options, runtime::ThreadPool& pool)
     : options_(std::move(options)),
@@ -92,21 +109,21 @@ StreamServer::~StreamServer() {
   }
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
-  if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+  // channel_ (and the wake write fd it owns) stays alive until the last
+  // in-flight worker task drops its reference.
 }
 
 void StreamServer::bind_and_listen() {
   if (listen_fd_ >= 0) throw std::runtime_error("server already listening");
 
-  int pipe_fds[2] = {-1, -1};
-  if (::pipe(pipe_fds) != 0) {
-    throw std::runtime_error("pipe() failed: " +
+  int wake_fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0,
+                   wake_fds) != 0) {
+    throw std::runtime_error("socketpair() failed: " +
                              std::string(std::strerror(errno)));
   }
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
-  set_nonblocking(wake_read_fd_);
-  set_nonblocking(wake_write_fd_);
+  wake_read_fd_ = wake_fds[0];
+  channel_->wake_write_fd = wake_fds[1];
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
@@ -143,15 +160,7 @@ void StreamServer::bind_and_listen() {
 
 void StreamServer::request_drain() noexcept {
   drain_requested_.store(true, std::memory_order_release);
-  wake();
-}
-
-void StreamServer::wake() noexcept {
-  if (wake_write_fd_ >= 0) {
-    const char byte = 'w';
-    // Async-signal-safe; a full pipe already guarantees a pending wake-up.
-    [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
-  }
+  channel_->wake();
 }
 
 ServerStats StreamServer::stats() const {
@@ -177,8 +186,12 @@ void StreamServer::run() {
       break;
     }
     if (draining_ && drain_started_ns != 0 &&
-        telemetry::now_ns() - drain_started_ns > kDrainGraceNs) {
+        telemetry::now_ns() - drain_started_ns > options_.drain_grace_ns) {
       // A peer refusing to read its final frames must not wedge shutdown.
+      // No `continue`: the iteration must still reach poll() and
+      // drain_completions() below, since in-flight pipeline batches are the
+      // only thing that can now be holding run() open and
+      // outstanding_batches_ is decremented only in drain_completions().
       std::vector<std::uint64_t> ids;
       ids.reserve(connections_.size());
       for (const auto& [id, conn] : connections_) ids.push_back(id);
@@ -186,14 +199,13 @@ void StreamServer::run() {
         const auto it = connections_.find(id);
         if (it != connections_.end()) close_connection(*it->second);
       }
-      continue;
     }
 
     fds.clear();
     fd_conn_ids.clear();
     fds.push_back(pollfd{.fd = wake_read_fd_, .events = POLLIN, .revents = 0});
     fd_conn_ids.push_back(0);
-    if (!draining_) {
+    if (!draining_ && telemetry::now_ns() >= accept_backoff_until_ns_) {
       fds.push_back(
           pollfd{.fd = listen_fd_, .events = POLLIN, .revents = 0});
       fd_conn_ids.push_back(0);
@@ -267,6 +279,10 @@ void StreamServer::begin_drain() {
   telemetry::instant_event("serve.drain", "serve");
   for (auto& [id, conn] : connections_) {
     conn->reading_paused = true;
+    // Decoded-but-undispatched measurements would only produce replies the
+    // close_after_flush path discards; drop them so the drain does not burn
+    // worker time racing the grace deadline.
+    conn->pending.clear();
     if (!conn->close_after_flush) {
       enqueue_frame(*conn, encode(StatusFrame{
                                .code = StatusCode::kDraining,
@@ -285,7 +301,14 @@ void StreamServer::accept_ready() {
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-      return;  // transient accept failures are not fatal to the loop
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Out of fds/buffers: the listener stays readable, so stop polling
+        // it for a tick instead of letting poll() spin at 100% CPU.
+        accept_backoff_until_ns_ = telemetry::now_ns() + kAcceptBackoffNs;
+        return;
+      }
+      return;  // other transient accept failures are not fatal to the loop
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -411,7 +434,10 @@ void StreamServer::dispatch(Connection& conn) {
 
   SessionPtr session = conn.session;
   const std::uint64_t conn_id = conn.id;
-  pool_.submit([this, session = std::move(session), conn_id,
+  // The task captures the channel by shared_ptr, never `this`: a worker
+  // finishing after run() returns (and even after the server is destroyed)
+  // must not touch server memory.
+  pool_.submit([channel = channel_, session = std::move(session), conn_id,
                 batch = std::move(batch)]() mutable {
     Completion done;
     done.connection_id = conn_id;
@@ -441,19 +467,15 @@ void StreamServer::dispatch(Connection& conn) {
       done.failed = true;
       done.error = "unknown pipeline failure";
     }
-    {
-      std::lock_guard<std::mutex> guard(completions_mutex_);
-      completions_.push_back(std::move(done));
-    }
-    wake();
+    channel->push(std::move(done));
   });
 }
 
 void StreamServer::drain_completions() {
   std::vector<Completion> done;
   {
-    std::lock_guard<std::mutex> guard(completions_mutex_);
-    done.swap(completions_);
+    std::lock_guard<std::mutex> guard(channel_->mutex);
+    done.swap(channel_->items);
   }
   for (Completion& completion : done) {
     outstanding_batches_.fetch_sub(1, std::memory_order_acq_rel);

@@ -6,8 +6,10 @@
 // batched per connection and dispatched onto the shared runtime::ThreadPool,
 // with at most one batch in flight per connection so a session's stream is
 // processed strictly in order (the serving parity contract). Workers hand
-// encoded reply frames back through a completion queue and wake the loop
-// via a self-pipe.
+// encoded reply frames back through a shared-ownership completion channel
+// that also owns the wake socketpair's write end, so a worker finishing
+// after run() returns — even after the StreamServer itself is destroyed —
+// never touches server memory or a server-owned fd.
 //
 // Backpressure, both directions:
 //   * inbound — a connection with max_pending_frames decoded-but-unprocessed
@@ -51,6 +53,9 @@ struct ServerOptions {
   std::size_t max_pending_frames = 64;
   /// Cadence of the idle-session eviction sweep.
   std::uint64_t idle_check_period_ns = 250'000'000ULL;
+  /// How long a drain waits for clients to absorb their final frames before
+  /// force-closing. Bounds run()'s exit even against a wedged peer.
+  std::uint64_t drain_grace_ns = 5'000'000'000ULL;
 };
 
 /// Monotonic totals over the server's lifetime; readable concurrently.
@@ -118,6 +123,25 @@ class StreamServer {
     std::string error;
   };
 
+  /// Worker-to-loop handoff. Held by shared_ptr from the server and from
+  /// every in-flight pool task, and owns the wake socketpair's write end, so
+  /// a worker that completes after run() returns (or after the server is
+  /// destroyed) still has a valid queue and fd to deliver into.
+  struct CompletionChannel {
+    CompletionChannel() = default;
+    ~CompletionChannel();
+    CompletionChannel(const CompletionChannel&) = delete;
+    CompletionChannel& operator=(const CompletionChannel&) = delete;
+
+    void push(Completion&& done);
+    /// Async-signal-safe (send with MSG_NOSIGNAL only).
+    void wake() noexcept;
+
+    std::mutex mutex;
+    std::vector<Completion> items;
+    int wake_write_fd = -1;  ///< set once in bind_and_listen(), closed here
+  };
+
   void accept_ready();
   void read_ready(Connection& conn);
   void write_ready(Connection& conn);
@@ -132,7 +156,6 @@ class StreamServer {
   void close_connection(Connection& conn);
   void begin_drain();
   void evict_idle_sessions();
-  void wake() noexcept;
 
   ServerOptions options_;
   runtime::ThreadPool& pool_;
@@ -140,14 +163,16 @@ class StreamServer {
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
   std::uint16_t bound_port_ = 0;
 
   std::uint64_t next_connection_id_ = 1;
   std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+  /// Listener polling pauses until this deadline after EMFILE/ENFILE-class
+  /// accept failures, so fd exhaustion cannot busy-spin the event loop.
+  std::uint64_t accept_backoff_until_ns_ = 0;
 
-  std::mutex completions_mutex_;
-  std::vector<Completion> completions_;
+  std::shared_ptr<CompletionChannel> channel_ =
+      std::make_shared<CompletionChannel>();
   std::atomic<std::size_t> outstanding_batches_{0};
 
   std::atomic<bool> drain_requested_{false};

@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <utility>
@@ -7,8 +8,6 @@
 namespace safe::serve {
 
 namespace {
-
-constexpr std::size_t kMaxMessageBytes = 512;
 
 // Flag bit assignments (reserved bits must be zero on the wire).
 constexpr std::uint8_t kMeasCoherentEcho = 1u << 0;
@@ -57,9 +56,15 @@ class PayloadWriter {
 
   void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
 
-  void str(const std::string& s) {
-    u16(static_cast<std::uint16_t>(s.size()));
-    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  /// Clamps to the same cap the decoder enforces, so a locally built frame
+  /// with an oversized string is truncated here rather than encoded with a
+  /// length prefix that disagrees with its contents (or rejected only by
+  /// the remote decoder).
+  void str(const std::string& s, std::size_t max_bytes) {
+    const std::size_t n = std::min(s.size(), max_bytes);
+    u16(static_cast<std::uint16_t>(n));
+    bytes_.insert(bytes_.end(), s.begin(),
+                  s.begin() + static_cast<std::ptrdiff_t>(n));
   }
 
   [[nodiscard]] std::vector<std::uint8_t> finish(FrameType type) && {
@@ -165,8 +170,8 @@ std::vector<std::uint8_t> encode(const HelloFrame& hello) {
   w.u8(hello.hardened ? 1 : 0);
   w.f64(hello.attack_start_s.value());
   w.f64(hello.attack_end_s.value());
-  w.str(hello.client_id);
-  w.str(hello.fault_spec);
+  w.str(hello.client_id, kMaxClientIdBytes);
+  w.str(hello.fault_spec, kMaxFaultSpecBytes);
   return std::move(w).finish(FrameType::kHello);
 }
 
@@ -220,14 +225,14 @@ std::vector<std::uint8_t> encode(const StatusFrame& s) {
   PayloadWriter w;
   w.u8(static_cast<std::uint8_t>(s.code));
   w.u64(s.session_token);
-  w.str(s.message);
+  w.str(s.message, kMaxMessageBytes);
   return std::move(w).finish(FrameType::kStatus);
 }
 
 std::vector<std::uint8_t> encode(const ErrorFrame& e) {
   PayloadWriter w;
   w.u8(static_cast<std::uint8_t>(e.code));
-  w.str(e.message);
+  w.str(e.message, kMaxMessageBytes);
   return std::move(w).finish(FrameType::kError);
 }
 

@@ -84,6 +84,9 @@ struct HelloFrame {
 inline constexpr std::size_t kMaxClientIdBytes = 128;
 inline constexpr std::size_t kMaxFaultSpecBytes = 1024;
 
+/// Cap on the human-readable message in STATUS and ERROR frames.
+inline constexpr std::size_t kMaxMessageBytes = 512;
+
 /// One radar epoch, lossless: every field the pipeline or health monitor
 /// reads crosses the wire bit-exactly.
 struct MeasurementFrame {
@@ -117,7 +120,10 @@ struct ErrorFrame {
 
 // --- encoding --------------------------------------------------------------
 
-/// Each encoder returns the complete frame (header + payload).
+/// Each encoder returns the complete frame (header + payload). String
+/// fields are clamped at encode time to the same caps the decoders enforce
+/// (kMaxClientIdBytes / kMaxFaultSpecBytes / kMaxMessageBytes),
+/// so an encoded frame always round-trips through decode.
 [[nodiscard]] std::vector<std::uint8_t> encode(const HelloFrame& hello);
 [[nodiscard]] std::vector<std::uint8_t> encode(const MeasurementFrame& m);
 [[nodiscard]] std::vector<std::uint8_t> encode(const EstimateFrame& e);

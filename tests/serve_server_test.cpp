@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -228,6 +229,60 @@ TEST(ServeServer, DrainNotifiesConnectedClients) {
   loop.join();  // run() returns once every connection is gone
   pool.drain();
   EXPECT_EQ(server.live_sessions(), 0u);
+}
+
+// Regression: once the drain grace period expired, the force-close branch
+// used to `continue` past poll()/drain_completions() every iteration, so a
+// pipeline batch still in flight at grace expiry could never be reaped and
+// run() spun forever. Wedge the pool's only worker so the dispatched batch
+// is guaranteed to still be outstanding when the (short) grace expires,
+// then check run() returns once the batch finally completes.
+TEST(ServeServer, DrainGraceExpiryWithInFlightBatchStillReturns) {
+  ServerOptions options;
+  options.drain_grace_ns = 50'000'000ULL;  // 50 ms
+  runtime::ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  pool.submit([gate] { gate.wait(); });
+
+  StreamServer server(options, pool);
+  server.bind_and_listen();
+  std::promise<void> run_returned;
+  std::thread loop([&server, &run_returned] {
+    server.run();
+    run_returned.set_value();
+  });
+
+  const TraceSpec spec = quick_spec();
+  const std::vector<MeasurementFrame> trace = make_measurement_trace(spec);
+  SessionClient client;
+  client.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.open_session(hello_from(spec, "wedged")).ok);
+  std::vector<std::uint8_t> burst;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto bytes = encode(trace[i]);
+    burst.insert(burst.end(), bytes.begin(), bytes.end());
+  }
+  client.send_raw(burst);
+
+  // Wait until the frames are decoded (the batch dispatch follows in the
+  // same loop pass); it then sits queued behind the wedged worker.
+  for (int i = 0; i < 500 && server.stats().frames_in < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(server.stats().frames_in, 4u);
+
+  server.request_drain();
+  // Let the grace expire and the force-close path run with the batch still
+  // outstanding.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  release.set_value();
+
+  ASSERT_EQ(run_returned.get_future().wait_for(std::chrono::seconds(10)),
+            std::future_status::ready)
+      << "run() wedged after drain grace expiry with a batch in flight";
+  loop.join();
+  pool.drain();
 }
 
 TEST(ServeServer, StatsAccountForCleanRun) {

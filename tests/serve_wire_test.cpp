@@ -170,6 +170,47 @@ TEST(ServeWire, StatusAndErrorRoundTrip) {
   EXPECT_EQ(error_out.message, error.message);
 }
 
+// Encoders clamp strings to the decoder's caps, so a locally built frame
+// with an oversized string (even > 65535 bytes, which used to truncate the
+// u16 length prefix while appending every byte) still decodes cleanly on
+// the other side.
+TEST(ServeWire, OversizedStringsAreClampedAtEncodeTime) {
+  StatusFrame status{.code = StatusCode::kDraining,
+                     .session_token = 7,
+                     .message = std::string(70'000, 'x')};
+  HelloFrame hello;
+  hello.client_id = std::string(kMaxClientIdBytes + 50, 'c');
+  hello.fault_spec = std::string(kMaxFaultSpecBytes + 1, 'f');
+  const ErrorFrame error{.code = ErrorCode::kInternal,
+                         .message = std::string(kMaxMessageBytes + 9, 'e')};
+
+  FrameDecoder decoder;
+  for (const auto& bytes : {encode(status), encode(hello), encode(error)}) {
+    decoder.feed(bytes.data(), bytes.size());
+  }
+
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  StatusFrame status_out;
+  std::string why;
+  ASSERT_TRUE(decode(*frame, status_out, &why)) << why;
+  EXPECT_EQ(status_out.message, std::string(kMaxMessageBytes, 'x'));
+
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  HelloFrame hello_out;
+  ASSERT_TRUE(decode(*frame, hello_out, &why)) << why;
+  EXPECT_EQ(hello_out.client_id, std::string(kMaxClientIdBytes, 'c'));
+  EXPECT_EQ(hello_out.fault_spec, std::string(kMaxFaultSpecBytes, 'f'));
+
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  ErrorFrame error_out;
+  ASSERT_TRUE(decode(*frame, error_out, &why)) << why;
+  EXPECT_EQ(error_out.message, std::string(kMaxMessageBytes, 'e'));
+  EXPECT_FALSE(decoder.failed());
+}
+
 TEST(ServeWire, GoldenChallengeResultBytes) {
   // Framing is frozen: u32 length + u8 type header, little-endian payload.
   const ChallengeResultFrame c{.step = 5, .silent = true,
