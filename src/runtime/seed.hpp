@@ -32,6 +32,8 @@ enum class SeedStream : std::uint64_t {
   kScenario = 0,  ///< core::ScenarioOptions::seed for the simulation itself.
   kParams = 1,    ///< Randomized-axis draws (onset, jammer power, ...).
   kSession = 2,   ///< serve::SessionManager per-session token derivation.
+  kChaos = 3,     ///< serve::ChaosProxy per-connection fault-plan draws.
+  kRetry = 4,     ///< serve::ResilientClient backoff-jitter draws.
 };
 
 /// Derives the seed for (`stream`, `counter`) under `master`. Pure function

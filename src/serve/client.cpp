@@ -13,6 +13,7 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "serve/net_util.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace safe::serve {
@@ -63,8 +64,7 @@ void SessionClient::connect(const std::string& host, std::uint16_t port) {
     throw std::runtime_error("connect(" + host + ":" + std::to_string(port) +
                              ") failed: " + what);
   }
-  const int one = 1;
-  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  set_tcp_nodelay(fd_);
   decoder_ = FrameDecoder{};
   reason_.clear();
 }

@@ -70,6 +70,11 @@ class SessionClient {
   [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
 
   [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Underlying socket fd (-1 when closed). Tests use it to assert socket
+  /// options (TCP_NODELAY) on a live loopback connection.
+  [[nodiscard]] int native_handle() const noexcept { return fd_; }
+
   void close() noexcept;
 
   static constexpr std::uint64_t kDefaultDeadlineNs = 30'000'000'000ULL;

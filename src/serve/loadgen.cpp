@@ -22,7 +22,59 @@ std::uint64_t percentile(std::vector<std::uint64_t>& sorted, double q) {
   return sorted[std::min(idx, sorted.size() - 1)];
 }
 
+SessionErrorKind classify(StreamFailure failure) {
+  switch (failure) {
+    case StreamFailure::kConnect: return SessionErrorKind::kConnectRefused;
+    case StreamFailure::kHandshake:
+    case StreamFailure::kResumeRejected:
+      return SessionErrorKind::kHandshakeRejected;
+    case StreamFailure::kDeadline: return SessionErrorKind::kDeadlineExceeded;
+    case StreamFailure::kServerStatus: return SessionErrorKind::kServerStatus;
+    case StreamFailure::kServerError: return SessionErrorKind::kServerError;
+    case StreamFailure::kTransport: return SessionErrorKind::kTransport;
+    case StreamFailure::kAttemptsExhausted:
+      return SessionErrorKind::kRetriesExhausted;
+    case StreamFailure::kNone: break;
+  }
+  return SessionErrorKind::kIncompleteStream;
+}
+
+/// Byte-compares received estimate frames against the offline reference.
+/// Returns the mismatch count (0 = verified).
+std::uint64_t count_mismatches(
+    const TraceSpec& spec, const std::vector<MeasurementFrame>& trace,
+    const std::vector<std::vector<std::uint8_t>>& estimate_frames) {
+  const std::vector<EstimateFrame> reference = run_offline(spec, trace);
+  if (reference.size() != estimate_frames.size()) {
+    return reference.size() > estimate_frames.size()
+               ? reference.size() - estimate_frames.size()
+               : estimate_frames.size() - reference.size();
+  }
+  std::uint64_t mismatches = 0;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (encode(reference[i]) != estimate_frames[i]) ++mismatches;
+  }
+  return mismatches;
+}
+
 }  // namespace
+
+const char* to_string(SessionErrorKind kind) {
+  switch (kind) {
+    case SessionErrorKind::kConnectRefused: return "connect-refused";
+    case SessionErrorKind::kHandshakeRejected: return "handshake-rejected";
+    case SessionErrorKind::kOverloaded: return "overloaded";
+    case SessionErrorKind::kDeadlineExceeded: return "deadline-exceeded";
+    case SessionErrorKind::kVerifyMismatch: return "verify-mismatch";
+    case SessionErrorKind::kTransport: return "transport";
+    case SessionErrorKind::kServerError: return "server-error";
+    case SessionErrorKind::kServerStatus: return "server-status";
+    case SessionErrorKind::kIncompleteStream: return "incomplete-stream";
+    case SessionErrorKind::kTraceGeneration: return "trace-generation";
+    case SessionErrorKind::kRetriesExhausted: return "retries-exhausted";
+  }
+  return "?";
+}
 
 LoadReport run_load(const LoadOptions& options) {
   if (options.sessions == 0 || options.connections == 0) {
@@ -40,10 +92,21 @@ LoadReport run_load(const LoadOptions& options) {
   std::atomic<std::size_t> next_session{0};
   const std::size_t workers = std::min(options.connections, options.sessions);
 
-  const auto record_error = [&](std::string message) {
+  // Counts the failure under its kind; `failed` distinguishes a failed
+  // session from a completed-but-mismatched one (which ok() still rejects).
+  const auto record_error = [&](std::size_t index, SessionErrorKind kind,
+                                std::string detail, bool failed = true) {
     std::lock_guard<std::mutex> guard(merge_mutex);
-    ++report.sessions_failed;
-    if (report.errors.size() < 8) report.errors.push_back(std::move(message));
+    if (failed) ++report.sessions_failed;
+    ++report.error_counts[static_cast<std::size_t>(kind)];
+    if (report.session_errors.size() < 16) {
+      report.session_errors.push_back(
+          SessionError{.session = index, .kind = kind, .detail = detail});
+    }
+    if (report.errors.size() < 8) {
+      report.errors.push_back("loadgen-" + std::to_string(index) + ": [" +
+                              to_string(kind) + "] " + std::move(detail));
+    }
   };
 
   const std::uint64_t start_ns = telemetry::now_ns();
@@ -66,7 +129,56 @@ LoadReport run_load(const LoadOptions& options) {
         try {
           trace = make_measurement_trace(spec);
         } catch (const std::exception& e) {
-          record_error(client_id + ": trace generation failed: " + e.what());
+          record_error(index, SessionErrorKind::kTraceGeneration, e.what());
+          continue;
+        }
+
+        if (options.retry_attempts > 0) {
+          RetryPolicy policy = options.retry;
+          policy.max_attempts = options.retry_attempts;
+          policy.jitter_seed = runtime::derive_seed(
+              options.master_seed, runtime::SeedStream::kRetry,
+              static_cast<std::uint64_t>(index));
+          ResilientClient resilient(options.host, options.port, policy);
+          const ResilientResult result =
+              resilient.run(spec, client_id, trace, options.deadline_ns);
+
+          std::uint64_t mismatches = 0;
+          if (options.verify && result.complete) {
+            mismatches = count_mismatches(spec, trace, result.estimate_frames);
+          }
+          {
+            std::lock_guard<std::mutex> guard(merge_mutex);
+            report.frames_sent += trace.size();
+            report.estimates_received += result.estimates.size();
+            report.challenges_received += result.challenges.size();
+            report.verify_mismatched_frames += mismatches;
+            if (options.verify && result.complete && mismatches == 0) {
+              ++report.sessions_verified;
+            }
+            if (result.complete) ++report.sessions_completed;
+            report.reconnects += result.reconnects;
+            report.resumes += result.resumes;
+            report.restarts += result.restarts;
+            report.overload_backoffs += result.overload_backoffs;
+            report.duplicates_discarded += result.duplicates_discarded;
+            report.replayed_frames += result.replayed_frames;
+            all_latencies.insert(all_latencies.end(),
+                                 result.latencies_ns.begin(),
+                                 result.latencies_ns.end());
+          }
+          if (!result.complete) {
+            record_error(index, classify(result.failure),
+                         std::string(to_string(result.failure)) +
+                             (result.failure_detail.empty()
+                                  ? ""
+                                  : ": " + result.failure_detail));
+          } else if (mismatches != 0) {
+            record_error(index, SessionErrorKind::kVerifyMismatch,
+                         std::to_string(mismatches) +
+                             " estimate frames differ from offline reference",
+                         /*failed=*/false);
+          }
           continue;
         }
 
@@ -74,16 +186,28 @@ LoadReport run_load(const LoadOptions& options) {
         try {
           client.connect(options.host, options.port);
         } catch (const std::exception& e) {
-          record_error(client_id + ": " + e.what());
+          record_error(index, SessionErrorKind::kConnectRefused, e.what());
           continue;
         }
         const SessionClient::OpenReply open =
             client.open_session(hello_from(spec, client_id),
                                 options.deadline_ns);
         if (!open.ok) {
-          record_error(client_id + ": handshake failed: " +
-                       (open.has_error ? open.error.message
-                                       : open.transport_error));
+          SessionErrorKind kind = SessionErrorKind::kHandshakeRejected;
+          std::string why;
+          if (open.has_error) {
+            why = open.error.message;
+          } else if (!open.transport_error.empty()) {
+            kind = SessionErrorKind::kTransport;
+            why = open.transport_error;
+          } else {
+            if (open.status.code == StatusCode::kOverloaded) {
+              kind = SessionErrorKind::kOverloaded;
+            }
+            why = std::string(to_string(open.status.code)) + ": " +
+                  open.status.message;
+          }
+          record_error(index, kind, "handshake failed: " + why);
           continue;
         }
 
@@ -92,54 +216,49 @@ LoadReport run_load(const LoadOptions& options) {
         std::uint64_t mismatches = 0;
         std::size_t verified = 0;
         if (options.verify && stream.complete) {
-          const std::vector<EstimateFrame> reference =
-              run_offline(spec, trace);
-          if (reference.size() != stream.estimate_frames.size()) {
-            mismatches = reference.size() > stream.estimate_frames.size()
-                             ? reference.size() - stream.estimate_frames.size()
-                             : stream.estimate_frames.size() -
-                                   reference.size();
-          } else {
-            for (std::size_t i = 0; i < reference.size(); ++i) {
-              if (encode(reference[i]) != stream.estimate_frames[i]) {
-                ++mismatches;
-              }
-            }
-          }
+          mismatches = count_mismatches(spec, trace, stream.estimate_frames);
           if (mismatches == 0) verified = 1;
         }
 
-        std::lock_guard<std::mutex> guard(merge_mutex);
-        report.frames_sent += trace.size();
-        report.estimates_received += stream.estimates.size();
-        report.challenges_received += stream.challenges.size();
-        report.verify_mismatched_frames += mismatches;
-        report.sessions_verified += verified;
-        all_latencies.insert(all_latencies.end(), stream.latencies_ns.begin(),
-                             stream.latencies_ns.end());
+        {
+          std::lock_guard<std::mutex> guard(merge_mutex);
+          report.frames_sent += trace.size();
+          report.estimates_received += stream.estimates.size();
+          report.challenges_received += stream.challenges.size();
+          report.verify_mismatched_frames += mismatches;
+          report.sessions_verified += verified;
+          all_latencies.insert(all_latencies.end(),
+                               stream.latencies_ns.begin(),
+                               stream.latencies_ns.end());
+          if (stream.complete) ++report.sessions_completed;
+        }
         if (stream.complete) {
-          ++report.sessions_completed;
-          if (mismatches != 0 && report.errors.size() < 8) {
-            report.errors.push_back(client_id + ": " +
-                                    std::to_string(mismatches) +
-                                    " estimate frames differ from offline "
-                                    "reference");
+          if (mismatches != 0) {
+            record_error(index, SessionErrorKind::kVerifyMismatch,
+                         std::to_string(mismatches) +
+                             " estimate frames differ from offline reference",
+                         /*failed=*/false);
           }
         } else {
-          ++report.sessions_failed;
-          if (report.errors.size() < 8) {
-            std::string why = stream.transport_error;
-            if (why.empty() && stream.error.has_value()) {
-              why = "server ERROR: " + stream.error->message;
-            }
-            if (why.empty() && stream.status.has_value()) {
-              why = std::string("server STATUS ") +
-                    to_string(stream.status->code) + ": " +
-                    stream.status->message;
-            }
-            if (why.empty()) why = "incomplete stream";
-            report.errors.push_back(client_id + ": " + why);
+          SessionErrorKind kind = SessionErrorKind::kIncompleteStream;
+          std::string why = stream.transport_error;
+          if (!why.empty()) {
+            kind = why.find("timed out") != std::string::npos
+                       ? SessionErrorKind::kDeadlineExceeded
+                       : SessionErrorKind::kTransport;
+          } else if (stream.error.has_value()) {
+            kind = SessionErrorKind::kServerError;
+            why = "server ERROR: " + stream.error->message;
+          } else if (stream.status.has_value()) {
+            kind = stream.status->code == StatusCode::kOverloaded
+                       ? SessionErrorKind::kOverloaded
+                       : SessionErrorKind::kServerStatus;
+            why = std::string("server STATUS ") +
+                  to_string(stream.status->code) + ": " +
+                  stream.status->message;
           }
+          if (why.empty()) why = "incomplete stream";
+          record_error(index, kind, why);
         }
       }
     });
@@ -162,6 +281,20 @@ LoadReport run_load(const LoadOptions& options) {
 }
 
 std::string to_json(const LoadReport& report) {
+  const auto escape = [](std::ostringstream& out, const std::string& text) {
+    out << "\"";
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        out << '\\' << c;
+      } else if (c == '\n') {
+        out << "\\n";
+      } else {
+        out << c;
+      }
+    }
+    out << "\"";
+  };
+
   std::ostringstream out;
   out << "{";
   out << "\"sessions_attempted\":" << report.sessions_attempted;
@@ -178,21 +311,37 @@ std::string to_json(const LoadReport& report) {
   out << ",\"latency_p95_ns\":" << report.latency_p95_ns;
   out << ",\"latency_p99_ns\":" << report.latency_p99_ns;
   out << ",\"latency_max_ns\":" << report.latency_max_ns;
+  out << ",\"reconnects\":" << report.reconnects;
+  out << ",\"resumes\":" << report.resumes;
+  out << ",\"restarts\":" << report.restarts;
+  out << ",\"overload_backoffs\":" << report.overload_backoffs;
+  out << ",\"duplicates_discarded\":" << report.duplicates_discarded;
+  out << ",\"replayed_frames\":" << report.replayed_frames;
   out << ",\"ok\":" << (report.ok() ? "true" : "false");
+  out << ",\"error_counts\":{";
+  bool first = true;
+  for (std::size_t k = 0; k < kSessionErrorKindCount; ++k) {
+    if (report.error_counts[k] == 0) continue;
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << to_string(static_cast<SessionErrorKind>(k))
+        << "\":" << report.error_counts[k];
+  }
+  out << "}";
+  out << ",\"session_errors\":[";
+  for (std::size_t i = 0; i < report.session_errors.size(); ++i) {
+    if (i > 0) out << ",";
+    const SessionError& error = report.session_errors[i];
+    out << "{\"session\":" << error.session << ",\"kind\":\""
+        << to_string(error.kind) << "\",\"detail\":";
+    escape(out, error.detail);
+    out << "}";
+  }
+  out << "]";
   out << ",\"errors\":[";
   for (std::size_t i = 0; i < report.errors.size(); ++i) {
     if (i > 0) out << ",";
-    out << "\"";
-    for (const char c : report.errors[i]) {
-      if (c == '"' || c == '\\') {
-        out << '\\' << c;
-      } else if (c == '\n') {
-        out << "\\n";
-      } else {
-        out << c;
-      }
-    }
-    out << "\"";
+    escape(out, report.errors[i]);
   }
   out << "]}";
   return out.str();

@@ -6,16 +6,50 @@
 // byte-compares every received ESTIMATE frame against the offline
 // run_offline() reference — the serving parity check used by tests, the CI
 // smoke job, and the throughput ablation.
+//
+// With retry_attempts > 0 each session runs through a ResilientClient
+// instead of a bare SessionClient: disconnects and overload sheds are
+// survived via RESUME + backoff, and the report carries the resilience
+// counters (reconnects, resumes, restarts, replays). Failures are recorded
+// under a structured taxonomy (SessionErrorKind) so a chaos soak can
+// distinguish connect-refused from deadline-exceeded from verify-mismatch.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "serve/resilient.hpp"
 #include "serve/trace_source.hpp"
 
 namespace safe::serve {
+
+/// Structured failure classification for one load-generator session.
+enum class SessionErrorKind : std::uint8_t {
+  kConnectRefused = 0,   ///< TCP connect failed (every attempt)
+  kHandshakeRejected,    ///< server answered HELLO/RESUME with a fatal ERROR
+  kOverloaded,           ///< shed with STATUS kOverloaded and never admitted
+  kDeadlineExceeded,     ///< per-session deadline expired
+  kVerifyMismatch,       ///< estimate bytes differ from the offline reference
+  kTransport,            ///< socket/decoder failure mid-stream
+  kServerError,          ///< fatal mid-stream ERROR frame
+  kServerStatus,         ///< non-retryable STATUS (e.g. draining)
+  kIncompleteStream,     ///< stream ended short without a better reason
+  kTraceGeneration,      ///< local scenario simulation threw
+  kRetriesExhausted,     ///< retry budget spent before completion
+};
+
+inline constexpr std::size_t kSessionErrorKindCount = 11;
+
+[[nodiscard]] const char* to_string(SessionErrorKind kind);
+
+struct SessionError {
+  std::size_t session = 0;
+  SessionErrorKind kind = SessionErrorKind::kIncompleteStream;
+  std::string detail;
+};
 
 struct LoadOptions {
   std::string host = "127.0.0.1";
@@ -29,6 +63,11 @@ struct LoadOptions {
   std::uint64_t master_seed = 1;
   bool verify = false;  ///< byte-compare estimates vs run_offline()
   std::uint64_t deadline_ns = 60'000'000'000ULL;  ///< per-session budget
+  /// 0 = plain single-connection clients (legacy). > 0 = resilient clients
+  /// with this many connection attempts per session; `retry` supplies the
+  /// backoff shape (its jitter_seed is re-derived per session index).
+  std::size_t retry_attempts = 0;
+  RetryPolicy retry{};
 };
 
 struct LoadReport {
@@ -46,7 +85,20 @@ struct LoadReport {
   std::uint64_t latency_p95_ns = 0;
   std::uint64_t latency_p99_ns = 0;
   std::uint64_t latency_max_ns = 0;
-  /// First few failure descriptions (per-session), for diagnostics.
+
+  // Resilience aggregates (all zero in legacy mode).
+  std::uint64_t reconnects = 0;
+  std::uint64_t resumes = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t overload_backoffs = 0;
+  std::uint64_t duplicates_discarded = 0;
+  std::uint64_t replayed_frames = 0;
+
+  /// Per-kind failure counts, indexed by SessionErrorKind.
+  std::array<std::uint64_t, kSessionErrorKindCount> error_counts{};
+  /// First few structured failures (per-session), for diagnostics.
+  std::vector<SessionError> session_errors;
+  /// Same failures as flat strings (legacy diagnostics surface).
   std::vector<std::string> errors;
 
   [[nodiscard]] bool ok() const {

@@ -1,0 +1,31 @@
+// Shared socket plumbing for the serving layer (server, client, chaos
+// proxy). The wire protocol is request/response at single-frame granularity,
+// so Nagle's algorithm would add a full RTT of coalescing delay per frame;
+// every stream socket in the serving path disables it.
+#pragma once
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+namespace safe::serve {
+
+/// Disables Nagle on a connected TCP socket. Returns false when setsockopt
+/// fails (e.g. not a TCP socket); callers treat that as non-fatal.
+inline bool set_tcp_nodelay(int fd) noexcept {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0;
+}
+
+/// True when TCP_NODELAY is set on `fd` (loopback tests assert this on both
+/// the client socket and server-accepted sockets).
+inline bool tcp_nodelay_enabled(int fd) noexcept {
+  int value = 0;
+  socklen_t len = sizeof(value);
+  if (::getsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &value, &len) != 0) {
+    return false;
+  }
+  return value != 0;
+}
+
+}  // namespace safe::serve

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "serve/net_util.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace safe::serve {
@@ -66,6 +67,36 @@ const telemetry::MetricId& pending_frames_metric() {
 const telemetry::MetricId& batch_ns_metric() {
   static const telemetry::MetricId id =
       telemetry::duration_histogram("serve.batch_ns");
+  return id;
+}
+
+const telemetry::MetricId& resumes_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.resumes", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& resume_rejects_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.resume_rejects", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& replayed_frames_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.replayed_frames", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& shed_hellos_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.shed_hellos", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& deadline_sheds_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.deadline_sheds", telemetry::Stability::kSchedulingDependent);
   return id;
 }
 
@@ -252,6 +283,7 @@ void StreamServer::run() {
     }
 
     drain_completions();
+    enforce_frame_deadlines();
     evict_idle_sessions();
 
     // Reap connections whose goodbye is fully flushed and whose pipeline
@@ -310,8 +342,7 @@ void StreamServer::accept_ready() {
       }
       return;  // other transient accept failures are not fatal to the loop
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const bool nodelay_ok = set_tcp_nodelay(fd);
     auto conn = std::make_unique<Connection>();
     conn->id = next_connection_id_++;
     conn->fd = fd;
@@ -320,6 +351,7 @@ void StreamServer::accept_ready() {
     {
       std::lock_guard<std::mutex> guard(stats_mutex_);
       ++stats_.accepted;
+      if (!nodelay_ok) ++stats_.nodelay_failures;
     }
     telemetry::add(accepts_metric());
   }
@@ -358,6 +390,12 @@ void StreamServer::pump_frames(Connection& conn) {
       case FrameType::kHello:
         handle_hello(conn, *frame);
         break;
+      case FrameType::kResume:
+        handle_resume(conn, *frame);
+        break;
+      case FrameType::kAck:
+        handle_ack(conn, *frame);
+        break;
       case FrameType::kMeasurement: {
         if (!conn.session) {
           fail_connection(conn, ErrorCode::kProtocolOrder,
@@ -370,7 +408,8 @@ void StreamServer::pump_frames(Connection& conn) {
           fail_connection(conn, ErrorCode::kMalformedFrame, error, true);
           return;
         }
-        conn.pending.push_back(m);
+        conn.pending.push_back(PendingMeasurement{
+            .frame = m, .enqueued_ns = telemetry::now_ns()});
         telemetry::add(frames_in_metric());
         telemetry::gauge_update_max(pending_frames_metric(),
                                     static_cast<double>(conn.pending.size()));
@@ -400,6 +439,26 @@ void StreamServer::pump_frames(Connection& conn) {
   }
 }
 
+bool StreamServer::admission_overloaded() const {
+  return options_.admission_max_batches > 0 &&
+         outstanding_batches_.load(std::memory_order_acquire) >=
+             options_.admission_max_batches;
+}
+
+void StreamServer::shed_connection(Connection& conn, std::string message) {
+  conn.reading_paused = true;
+  conn.pending.clear();
+  if (!conn.close_after_flush) {
+    enqueue_frame(conn, encode(StatusFrame{
+                            .code = StatusCode::kOverloaded,
+                            .session_token =
+                                conn.session ? conn.session->token() : 0,
+                            .message = std::move(message),
+                        }));
+    conn.close_after_flush = true;
+  }
+}
+
 void StreamServer::handle_hello(Connection& conn, const Frame& frame) {
   if (conn.session) {
     fail_connection(conn, ErrorCode::kProtocolOrder, "duplicate HELLO", false);
@@ -409,6 +468,18 @@ void StreamServer::handle_hello(Connection& conn, const Frame& frame) {
   std::string error;
   if (!decode(frame, hello, &error)) {
     fail_connection(conn, ErrorCode::kMalformedFrame, error, true);
+    return;
+  }
+  if (admission_overloaded()) {
+    telemetry::add(shed_hellos_metric());
+    {
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.shed_hellos;
+    }
+    shed_connection(conn, "admission control: " +
+                              std::to_string(outstanding_batches_.load(
+                                  std::memory_order_acquire)) +
+                              " batches in flight; retry after backoff");
     return;
   }
   SessionManager::OpenResult result =
@@ -425,14 +496,163 @@ void StreamServer::handle_hello(Connection& conn, const Frame& frame) {
                       }));
 }
 
+void StreamServer::handle_resume(Connection& conn, const Frame& frame) {
+  if (conn.session) {
+    fail_connection(conn, ErrorCode::kProtocolOrder,
+                    "RESUME on a connection with an open session", false);
+    return;
+  }
+  ResumeFrame resume;
+  std::string error;
+  if (!decode(frame, resume, &error)) {
+    fail_connection(conn, ErrorCode::kMalformedFrame, error, true);
+    return;
+  }
+  const auto reject = [this](std::uint64_t count = 1) {
+    telemetry::add(resume_rejects_metric(), count);
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    stats_.resume_rejects += count;
+  };
+  if (admission_overloaded()) {
+    reject();
+    telemetry::add(shed_hellos_metric());
+    {
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.shed_hellos;
+    }
+    shed_connection(conn, "admission control: resume shed; retry after "
+                          "backoff");
+    return;
+  }
+  // A RESUME can race the server noticing the old connection's death (the
+  // chaos proxy cuts both sides, but poll order is arbitrary). The token is
+  // proof of ownership, so the resume takes over: force-close the stale
+  // connection, which detaches the session for the resume below.
+  std::uint64_t stale_id = 0;
+  for (const auto& [id, other] : connections_) {
+    if (id != conn.id && other->session &&
+        other->session->token() == resume.session_token) {
+      stale_id = id;
+      break;
+    }
+  }
+  if (stale_id != 0) {
+    const auto it = connections_.find(stale_id);
+    if (it != connections_.end()) close_connection(*it->second);
+  }
+  const std::uint64_t now = telemetry::now_ns();
+  SessionManager::ResumeResult result = sessions_.resume(resume.session_token,
+                                                         now);
+  switch (result.status) {
+    case SessionManager::ResumeStatus::kUnknown:
+      reject();
+      fail_connection(conn, ErrorCode::kResumeUnknown,
+                      "unknown, expired, or finished session token", false);
+      return;
+    case SessionManager::ResumeStatus::kBusy:
+      reject();
+      shed_connection(conn, "session batch still in flight; retry after "
+                            "backoff");
+      return;
+    case SessionManager::ResumeStatus::kCapacity:
+      reject();
+      shed_connection(conn, "live session cap reached; retry after backoff");
+      return;
+    case SessionManager::ResumeStatus::kOk:
+      break;
+  }
+  const std::int64_t last_processed = result.session->last_processed_step();
+  if (resume.last_step > last_processed) {
+    // The client claims frames this session never produced.
+    reject();
+    sessions_.close(resume.session_token, now);
+    fail_connection(conn, ErrorCode::kProtocolOrder,
+                    "RESUME last_step " + std::to_string(resume.last_step) +
+                        " is beyond the session's last processed step " +
+                        std::to_string(last_processed),
+                    false);
+    return;
+  }
+  Session::Replay replay = result.session->collect_replay(resume.last_step);
+  if (replay.gap) {
+    reject();
+    sessions_.close(resume.session_token, now);
+    fail_connection(conn, ErrorCode::kResumeGap,
+                    "replay window no longer reaches back to step " +
+                        std::to_string(resume.last_step) +
+                        "; restart the session",
+                    false);
+    return;
+  }
+  conn.session = std::move(result.session);
+  enqueue_frame(conn, encode(ResumeOkFrame{
+                          .session_token = resume.session_token,
+                          .next_step = last_processed + 1,
+                          .replayed_frames = replay.frames,
+                      }));
+  if (!replay.bytes.empty()) {
+    enqueue_bytes(conn, replay.bytes, replay.frames);
+    telemetry::add(replayed_frames_metric(), replay.frames);
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    stats_.replayed_frames += replay.frames;
+  }
+  telemetry::add(resumes_metric());
+  telemetry::instant_event("serve.session_resume", "serve");
+  {
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    ++stats_.sessions_resumed;
+  }
+}
+
+void StreamServer::handle_ack(Connection& conn, const Frame& frame) {
+  if (!conn.session) {
+    fail_connection(conn, ErrorCode::kProtocolOrder, "ACK before HELLO",
+                    false);
+    return;
+  }
+  AckFrame ack;
+  std::string error;
+  if (!decode(frame, ack, &error)) {
+    fail_connection(conn, ErrorCode::kMalformedFrame, error, true);
+    return;
+  }
+  conn.session->ack(ack.last_step);
+}
+
+void StreamServer::enforce_frame_deadlines() {
+  if (options_.frame_deadline_ns == 0) return;
+  const std::uint64_t now = telemetry::now_ns();
+  std::vector<std::uint64_t> shed;
+  for (const auto& [id, conn] : connections_) {
+    if (conn->close_after_flush || conn->pending.empty()) continue;
+    if (now - conn->pending.front().enqueued_ns > options_.frame_deadline_ns) {
+      shed.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : shed) {
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) continue;
+    telemetry::add(deadline_sheds_metric());
+    {
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.deadline_sheds;
+    }
+    shed_connection(*it->second,
+                    "frame deadline exceeded; shedding load — resume after "
+                    "backoff");
+  }
+}
+
 void StreamServer::dispatch(Connection& conn) {
-  std::vector<MeasurementFrame> batch(conn.pending.begin(),
-                                      conn.pending.end());
+  std::vector<MeasurementFrame> batch;
+  batch.reserve(conn.pending.size());
+  for (const PendingMeasurement& p : conn.pending) batch.push_back(p.frame);
   conn.pending.clear();
   conn.busy = true;
   outstanding_batches_.fetch_add(1, std::memory_order_acq_rel);
 
   SessionPtr session = conn.session;
+  session->batch_begin();
   const std::uint64_t conn_id = conn.id;
   // The task captures the channel by shared_ptr, never `this`: a worker
   // finishing after run() returns (and even after the server is destroyed)
@@ -450,15 +670,22 @@ void StreamServer::dispatch(Connection& conn) {
       for (const MeasurementFrame& m : batch) {
         const Session::StepOutput out =
             session->process(m, telemetry::now_ns());
-        const std::vector<std::uint8_t> estimate = encode(out.estimate);
-        done.bytes.insert(done.bytes.end(), estimate.begin(), estimate.end());
-        ++done.frames;
+        std::vector<std::uint8_t> step_bytes = encode(out.estimate);
+        std::uint64_t step_frames = 1;
         if (out.challenge.has_value()) {
           const std::vector<std::uint8_t> challenge = encode(*out.challenge);
-          done.bytes.insert(done.bytes.end(), challenge.begin(),
+          step_bytes.insert(step_bytes.end(), challenge.begin(),
                             challenge.end());
-          ++done.frames;
+          ++step_frames;
         }
+        done.bytes.insert(done.bytes.end(), step_bytes.begin(),
+                          step_bytes.end());
+        done.frames += step_frames;
+        // Retain for replay-on-resume before the bytes are handed to the
+        // loop, so a resume can never observe a processed step with no
+        // retained output.
+        session->record_step_output(m.step, std::move(step_bytes),
+                                    step_frames);
       }
     } catch (const std::exception& e) {
       done.failed = true;
@@ -467,6 +694,7 @@ void StreamServer::dispatch(Connection& conn) {
       done.failed = true;
       done.error = "unknown pipeline failure";
     }
+    session->batch_end();
     channel->push(std::move(done));
   });
 }
@@ -516,18 +744,24 @@ void StreamServer::drain_completions() {
   }
 }
 
-void StreamServer::enqueue_frame(Connection& conn,
-                                 const std::vector<std::uint8_t>& bytes) {
+void StreamServer::enqueue_bytes(Connection& conn,
+                                 const std::vector<std::uint8_t>& bytes,
+                                 std::uint64_t frame_count) {
   conn.outbound.push_back(bytes);
   conn.outbound_bytes += bytes.size();
-  telemetry::add(frames_out_metric());
+  telemetry::add(frames_out_metric(), frame_count);
   telemetry::gauge_update_max(outbound_bytes_metric(),
                               static_cast<double>(conn.outbound_bytes));
   {
     std::lock_guard<std::mutex> guard(stats_mutex_);
-    ++stats_.frames_out;
+    stats_.frames_out += frame_count;
   }
   check_outbound_limit(conn);
+}
+
+void StreamServer::enqueue_frame(Connection& conn,
+                                 const std::vector<std::uint8_t>& bytes) {
+  enqueue_bytes(conn, bytes, 1);
 }
 
 void StreamServer::check_outbound_limit(Connection& conn) {
@@ -607,7 +841,24 @@ void StreamServer::write_ready(Connection& conn) {
 
 void StreamServer::close_connection(Connection& conn) {
   if (conn.session) {
-    sessions_.close(conn.session->token(), telemetry::now_ns());
+    const std::uint64_t now = telemetry::now_ns();
+    const bool finished =
+        conn.session->frames_processed() >=
+        static_cast<std::uint64_t>(conn.session->spec().horizon_steps);
+    // "Finished" means the pipeline ran every step — not that the client
+    // received every estimate. The connection may have died with the tail
+    // of the stream undelivered, so a finished session is only destroyed
+    // once the client has ACKed its final step; otherwise it detaches like
+    // a mid-stream disconnect and stays resumable for the replay.
+    const bool delivered =
+        finished && conn.session->acked_through() + 1 >=
+                        conn.session->spec().horizon_steps;
+    // detach() is a no-op for tokens the manager already dropped (idle
+    // eviction), so this never revives an evicted session.
+    if (draining_ || delivered ||
+        !sessions_.detach(conn.session->token(), now)) {
+      sessions_.close(conn.session->token(), now);
+    }
   }
   if (conn.fd >= 0) ::close(conn.fd);
   {
@@ -621,6 +872,7 @@ void StreamServer::evict_idle_sessions() {
   const std::uint64_t now = telemetry::now_ns();
   if (now - last_idle_check_ns_ < options_.idle_check_period_ns) return;
   last_idle_check_ns_ = now;
+  sessions_.expire_detached(now);
   const std::vector<SessionManager::Evicted> evicted =
       sessions_.evict_idle(now);
   if (evicted.empty()) return;

@@ -56,6 +56,14 @@ struct ServerOptions {
   /// How long a drain waits for clients to absorb their final frames before
   /// force-closing. Bounds run()'s exit even against a wedged peer.
   std::uint64_t drain_grace_ns = 5'000'000'000ULL;
+  /// Admission control (DESIGN.md §13): a HELLO or RESUME arriving while
+  /// this many pipeline batches are in flight is shed with STATUS
+  /// kOverloaded instead of queueing behind them. 0 = no admission control.
+  std::size_t admission_max_batches = 0;
+  /// Per-frame deadline: a connection whose oldest undispatched measurement
+  /// has waited longer than this is shed with STATUS kOverloaded (its
+  /// session stays resumable). 0 = no deadline.
+  std::uint64_t frame_deadline_ns = 0;
 };
 
 /// Monotonic totals over the server's lifetime; readable concurrently.
@@ -69,6 +77,13 @@ struct ServerStats {
   std::uint64_t decode_errors = 0;
   std::uint64_t protocol_errors = 0;
   std::uint64_t slow_consumer_disconnects = 0;
+  std::uint64_t sessions_resumed = 0;   ///< RESUME frames accepted
+  std::uint64_t resume_rejects = 0;     ///< RESUME rejected (any reason)
+  std::uint64_t replayed_frames = 0;    ///< frames re-sent from replay buffers
+  std::uint64_t shed_hellos = 0;        ///< HELLO/RESUME shed by admission
+  std::uint64_t deadline_sheds = 0;     ///< connections shed by frame deadline
+  std::uint64_t nodelay_failures = 0;   ///< accepted sockets where TCP_NODELAY
+                                        ///< could not be set (expected 0)
 };
 
 class StreamServer {
@@ -99,14 +114,22 @@ class StreamServer {
     return sessions_.counters();
   }
   [[nodiscard]] std::size_t live_sessions() const { return sessions_.size(); }
+  [[nodiscard]] std::size_t detached_sessions() const {
+    return sessions_.detached_size();
+  }
 
  private:
+  struct PendingMeasurement {
+    MeasurementFrame frame;
+    std::uint64_t enqueued_ns = 0;  ///< for the per-frame deadline
+  };
+
   struct Connection {
     std::uint64_t id = 0;
     int fd = -1;
     FrameDecoder decoder;
-    SessionPtr session;  ///< null until a HELLO is accepted
-    std::deque<MeasurementFrame> pending;
+    SessionPtr session;  ///< null until a HELLO/RESUME is accepted
+    std::deque<PendingMeasurement> pending;
     bool busy = false;           ///< a batch is on the pool
     bool reading_paused = false;
     bool close_after_flush = false;
@@ -147,12 +170,21 @@ class StreamServer {
   void write_ready(Connection& conn);
   void pump_frames(Connection& conn);
   void handle_hello(Connection& conn, const Frame& frame);
+  void handle_resume(Connection& conn, const Frame& frame);
+  void handle_ack(Connection& conn, const Frame& frame);
   void dispatch(Connection& conn);
   void drain_completions();
+  void enqueue_bytes(Connection& conn, const std::vector<std::uint8_t>& bytes,
+                     std::uint64_t frame_count);
   void enqueue_frame(Connection& conn, const std::vector<std::uint8_t>& bytes);
   void check_outbound_limit(Connection& conn);
   void fail_connection(Connection& conn, ErrorCode code, std::string message,
                        bool count_decode_error);
+  /// Load shed: STATUS kOverloaded, then close (the session, if any, stays
+  /// resumable through the detach-on-close path).
+  void shed_connection(Connection& conn, std::string message);
+  void enforce_frame_deadlines();
+  [[nodiscard]] bool admission_overloaded() const;
   void close_connection(Connection& conn);
   void begin_drain();
   void evict_idle_sessions();

@@ -1,5 +1,6 @@
 #include "serve/session.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 #include <utility>
@@ -43,14 +44,35 @@ const telemetry::MetricId& session_lifetime_metric() {
   return id;
 }
 
+const telemetry::MetricId& sessions_detached_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.sessions_detached", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& sessions_resumed_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.sessions_resumed", telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
+const telemetry::MetricId& sessions_expired_metric() {
+  static const telemetry::MetricId id = telemetry::counter(
+      "serve.sessions_resume_expired",
+      telemetry::Stability::kSchedulingDependent);
+  return id;
+}
+
 }  // namespace
 
 Session::Session(std::uint64_t token, std::string client_id,
-                 const TraceSpec& spec, std::uint64_t now_ns)
+                 const TraceSpec& spec, std::uint64_t now_ns,
+                 std::size_t max_retained_steps)
     : token_(token),
       client_id_(std::move(client_id)),
       spec_(spec),
       opened_ns_(now_ns),
+      max_retained_steps_(max_retained_steps),
       pipeline_(build_session_pipeline(spec)),
       last_active_ns_(now_ns) {}
 
@@ -71,7 +93,48 @@ Session::StepOutput Session::process(const MeasurementFrame& frame,
         .under_attack = out.estimate.safe.under_attack,
     };
   }
+  last_step_.store(frame.step, std::memory_order_release);
   return out;
+}
+
+void Session::record_step_output(std::int64_t step,
+                                 std::vector<std::uint8_t> bytes,
+                                 std::uint64_t frame_count) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  retained_.push_back(
+      Retained{.step = step, .bytes = std::move(bytes), .frames = frame_count});
+  while (retained_.size() > max_retained_steps_) {
+    trimmed_through_ = std::max(trimmed_through_, retained_.front().step);
+    retained_.pop_front();
+  }
+}
+
+void Session::ack(std::int64_t last_step) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  while (!retained_.empty() && retained_.front().step <= last_step) {
+    trimmed_through_ = std::max(trimmed_through_, retained_.front().step);
+    retained_.pop_front();
+  }
+  if (last_step > acked_through_.load(std::memory_order_relaxed)) {
+    acked_through_.store(last_step, std::memory_order_release);
+  }
+}
+
+Session::Replay Session::collect_replay(std::int64_t last_step) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  Replay replay;
+  if (last_step < trimmed_through_) {
+    // Steps in (last_step, trimmed_through_] were already dropped — the
+    // client would see a hole in its estimate stream.
+    replay.gap = true;
+    return replay;
+  }
+  for (const Retained& r : retained_) {
+    if (r.step <= last_step) continue;
+    replay.bytes.insert(replay.bytes.end(), r.bytes.begin(), r.bytes.end());
+    replay.frames += r.frames;
+  }
+  return replay;
 }
 
 SessionManager::SessionManager(SessionLimits limits, std::uint64_t master_seed)
@@ -129,14 +192,16 @@ SessionManager::OpenResult SessionManager::open(const HelloFrame& hello,
       token = runtime::derive_seed(master_seed_,
                                    runtime::SeedStream::kSession,
                                    next_session_counter_++);
-    } while (token == 0 || sessions_.count(token) != 0);
+    } while (token == 0 || sessions_.count(token) != 0 ||
+             detached_.count(token) != 0);
     sessions_.emplace(token, nullptr);  // placeholder claims the slot
   }
 
   SessionPtr session;
   try {
     session = std::make_shared<Session>(token, hello.client_id,
-                                        spec_from(hello), now_ns);
+                                        spec_from(hello), now_ns,
+                                        limits_.max_retained_steps);
   } catch (const std::exception& e) {
     std::lock_guard<std::mutex> guard(mutex_);
     sessions_.erase(token);
@@ -176,13 +241,105 @@ bool SessionManager::close(std::uint64_t token, std::uint64_t now_ns) {
   {
     std::lock_guard<std::mutex> guard(mutex_);
     const auto it = sessions_.find(token);
-    if (it == sessions_.end()) return false;
-    session = std::move(it->second);
-    sessions_.erase(it);
-    ++counters_.closed;
+    if (it != sessions_.end()) {
+      session = std::move(it->second);
+      sessions_.erase(it);
+      ++counters_.closed;
+    } else {
+      const auto detached = detached_.find(token);
+      if (detached == detached_.end()) return false;
+      session = std::move(detached->second.session);
+      detached_.erase(detached);
+      ++counters_.closed;
+    }
   }
   if (session) record_session_end(*session, now_ns);
   return true;
+}
+
+bool SessionManager::detach(std::uint64_t token, std::uint64_t now_ns) {
+  SessionPtr dropped;  // destroyed outside the lock
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    const auto it = sessions_.find(token);
+    if (it == sessions_.end() || !it->second) return false;
+    SessionPtr session = std::move(it->second);
+    sessions_.erase(it);
+    session->touch(now_ns);
+    detached_[token] =
+        Detached{.session = std::move(session), .detached_ns = now_ns};
+    ++counters_.detached;
+    if (detached_.size() > limits_.max_detached_sessions) {
+      auto oldest = detached_.begin();
+      for (auto dit = detached_.begin(); dit != detached_.end(); ++dit) {
+        if (dit->second.detached_ns < oldest->second.detached_ns) oldest = dit;
+      }
+      dropped = std::move(oldest->second.session);
+      detached_.erase(oldest);
+      ++counters_.expired;
+    }
+  }
+  telemetry::add(sessions_detached_metric());
+  if (dropped) {
+    telemetry::add(sessions_expired_metric());
+    record_session_end(*dropped, now_ns);
+  }
+  return true;
+}
+
+SessionManager::ResumeResult SessionManager::resume(std::uint64_t token,
+                                                    std::uint64_t now_ns) {
+  ResumeResult result;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    const auto it = detached_.find(token);
+    if (it == detached_.end()) {
+      result.status = ResumeStatus::kUnknown;
+      ++counters_.resume_rejected;
+      return result;
+    }
+    if (it->second.session->batch_in_flight()) {
+      // The dispatched batch is still appending to the replay window; a
+      // resume now would compute a stale next_step. Retryable.
+      result.status = ResumeStatus::kBusy;
+      ++counters_.resume_rejected;
+      return result;
+    }
+    if (sessions_.size() >= limits_.max_sessions) {
+      result.status = ResumeStatus::kCapacity;
+      ++counters_.resume_rejected;
+      return result;
+    }
+    result.session = std::move(it->second.session);
+    detached_.erase(it);
+    result.session->touch(now_ns);
+    sessions_[token] = result.session;
+    result.status = ResumeStatus::kOk;
+    ++counters_.resumed;
+  }
+  telemetry::add(sessions_resumed_metric());
+  return result;
+}
+
+std::size_t SessionManager::expire_detached(std::uint64_t now_ns) {
+  std::vector<SessionPtr> dead;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    for (auto it = detached_.begin(); it != detached_.end();) {
+      if (now_ns - it->second.detached_ns > limits_.resume_grace_ns) {
+        dead.push_back(std::move(it->second.session));
+        it = detached_.erase(it);
+        ++counters_.expired;
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const SessionPtr& session : dead) {
+    telemetry::add(sessions_expired_metric());
+    record_session_end(*session, now_ns);
+  }
+  return dead.size();
 }
 
 std::vector<SessionManager::Evicted> SessionManager::evict_idle(
@@ -216,6 +373,11 @@ std::vector<SessionManager::Evicted> SessionManager::evict_idle(
 std::size_t SessionManager::size() const {
   std::lock_guard<std::mutex> guard(mutex_);
   return sessions_.size();
+}
+
+std::size_t SessionManager::detached_size() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return detached_.size();
 }
 
 SessionManager::Counters SessionManager::counters() const {

@@ -236,6 +236,27 @@ std::vector<std::uint8_t> encode(const ErrorFrame& e) {
   return std::move(w).finish(FrameType::kError);
 }
 
+std::vector<std::uint8_t> encode(const ResumeFrame& r) {
+  PayloadWriter w;
+  w.u64(r.session_token);
+  w.i64(r.last_step);
+  return std::move(w).finish(FrameType::kResume);
+}
+
+std::vector<std::uint8_t> encode(const ResumeOkFrame& r) {
+  PayloadWriter w;
+  w.u64(r.session_token);
+  w.i64(r.next_step);
+  w.u64(r.replayed_frames);
+  return std::move(w).finish(FrameType::kResumeOk);
+}
+
+std::vector<std::uint8_t> encode(const AckFrame& a) {
+  PayloadWriter w;
+  w.i64(a.last_step);
+  return std::move(w).finish(FrameType::kAck);
+}
+
 // --- decoding --------------------------------------------------------------
 
 bool decode(const Frame& frame, HelloFrame& out, std::string* error) {
@@ -367,7 +388,7 @@ bool decode(const Frame& frame, StatusFrame& out, std::string* error) {
     return reject(error, "STATUS payload truncated or message too long");
   }
   if (!r.done()) return reject(error, "STATUS payload has trailing bytes");
-  if (code > 3) return reject(error, "STATUS code out of range");
+  if (code > 4) return reject(error, "STATUS code out of range");
   out.code = static_cast<StatusCode>(code);
   return true;
 }
@@ -382,8 +403,52 @@ bool decode(const Frame& frame, ErrorFrame& out, std::string* error) {
     return reject(error, "ERROR payload truncated or message too long");
   }
   if (!r.done()) return reject(error, "ERROR payload has trailing bytes");
-  if (code < 1 || code > 5) return reject(error, "ERROR code out of range");
+  if (code < 1 || code > 7) return reject(error, "ERROR code out of range");
   out.code = static_cast<ErrorCode>(code);
+  return true;
+}
+
+bool decode(const Frame& frame, ResumeFrame& out, std::string* error) {
+  if (frame.type != FrameType::kResume) {
+    return reject(error, "frame is not RESUME");
+  }
+  PayloadReader r(frame.payload);
+  if (!r.u64(out.session_token) || !r.i64(out.last_step)) {
+    return reject(error, "RESUME payload truncated");
+  }
+  if (!r.done()) return reject(error, "RESUME payload has trailing bytes");
+  if (out.last_step < -1) {
+    return reject(error, "RESUME last_step out of range");
+  }
+  return true;
+}
+
+bool decode(const Frame& frame, ResumeOkFrame& out, std::string* error) {
+  if (frame.type != FrameType::kResumeOk) {
+    return reject(error, "frame is not RESUME_OK");
+  }
+  PayloadReader r(frame.payload);
+  if (!r.u64(out.session_token) || !r.i64(out.next_step) ||
+      !r.u64(out.replayed_frames)) {
+    return reject(error, "RESUME_OK payload truncated");
+  }
+  if (!r.done()) return reject(error, "RESUME_OK payload has trailing bytes");
+  if (out.next_step < 0) {
+    return reject(error, "RESUME_OK next_step out of range");
+  }
+  return true;
+}
+
+bool decode(const Frame& frame, AckFrame& out, std::string* error) {
+  if (frame.type != FrameType::kAck) {
+    return reject(error, "frame is not ACK");
+  }
+  PayloadReader r(frame.payload);
+  if (!r.i64(out.last_step)) {
+    return reject(error, "ACK payload truncated");
+  }
+  if (!r.done()) return reject(error, "ACK payload has trailing bytes");
+  if (out.last_step < -1) return reject(error, "ACK last_step out of range");
   return true;
 }
 
@@ -421,7 +486,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint8_t type_byte = head[4];
   if (type_byte < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type_byte > static_cast<std::uint8_t>(FrameType::kError)) {
+      type_byte > static_cast<std::uint8_t>(FrameType::kAck)) {
     fail("unknown frame type " + std::to_string(type_byte));
     return std::nullopt;
   }
@@ -449,6 +514,9 @@ const char* to_string(FrameType type) {
     case FrameType::kEstimate: return "ESTIMATE";
     case FrameType::kStatus: return "STATUS";
     case FrameType::kError: return "ERROR";
+    case FrameType::kResume: return "RESUME";
+    case FrameType::kResumeOk: return "RESUME_OK";
+    case FrameType::kAck: return "ACK";
   }
   return "?";
 }
@@ -459,6 +527,7 @@ const char* to_string(StatusCode code) {
     case StatusCode::kDraining: return "draining";
     case StatusCode::kSlowConsumer: return "slow-consumer";
     case StatusCode::kIdleTimeout: return "idle-timeout";
+    case StatusCode::kOverloaded: return "overloaded";
   }
   return "?";
 }
@@ -470,6 +539,8 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kSessionLimit: return "session-limit";
     case ErrorCode::kProtocolOrder: return "protocol-order";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kResumeUnknown: return "resume-unknown";
+    case ErrorCode::kResumeGap: return "resume-gap";
   }
   return "?";
 }

@@ -30,7 +30,9 @@ namespace safe::serve {
 
 /// Bumped on any incompatible framing or payload change. A HELLO carrying a
 /// different version is rejected with ErrorCode::kUnsupportedVersion.
-inline constexpr std::uint16_t kProtocolVersion = 1;
+/// v2 adds session resumption (RESUME / RESUME_OK / ACK frames), the
+/// kOverloaded status, and the resume error codes.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Header: u32 payload length + u8 frame type.
 inline constexpr std::size_t kHeaderBytes = 5;
@@ -47,6 +49,9 @@ enum class FrameType : std::uint8_t {
   kEstimate = 4,         ///< server -> client: safe measurement for a step
   kStatus = 5,           ///< server -> client: session/connection status
   kError = 6,            ///< server -> client: protocol error (fatal)
+  kResume = 7,           ///< client -> server: re-attach a detached session
+  kResumeOk = 8,         ///< server -> client: resume accepted; replay follows
+  kAck = 9,              ///< client -> server: estimates received through step
 };
 
 enum class StatusCode : std::uint8_t {
@@ -54,6 +59,7 @@ enum class StatusCode : std::uint8_t {
   kDraining = 1,      ///< server is shutting down gracefully
   kSlowConsumer = 2,  ///< outbound queue overflowed; connection closes
   kIdleTimeout = 3,   ///< session evicted for inactivity
+  kOverloaded = 4,    ///< load shed; retry after backoff (session resumable)
 };
 
 enum class ErrorCode : std::uint8_t {
@@ -62,6 +68,8 @@ enum class ErrorCode : std::uint8_t {
   kSessionLimit = 3,        ///< session cap reached; HELLO rejected
   kProtocolOrder = 4,       ///< MEASUREMENT before HELLO, duplicate HELLO...
   kInternal = 5,            ///< server-side failure (message says what)
+  kResumeUnknown = 6,       ///< RESUME token unknown, expired, or finished
+  kResumeGap = 7,           ///< replay window lost frames the client needs
 };
 
 /// Session handshake. Everything the server needs to rebuild the exact
@@ -118,6 +126,29 @@ struct ErrorFrame {
   std::string message;
 };
 
+/// Re-attach a detached session after a disconnect. `last_step` is the
+/// highest ESTIMATE step the client has received (-1 = none yet); the server
+/// replays every retained frame after it, then the client streams
+/// measurements from the step the RESUME_OK names.
+struct ResumeFrame {
+  std::uint64_t session_token = 0;
+  std::int64_t last_step = -1;
+};
+
+/// Resume accepted: replayed frames (if any) follow immediately, after which
+/// the client must send measurements starting at `next_step`.
+struct ResumeOkFrame {
+  std::uint64_t session_token = 0;
+  std::int64_t next_step = 0;         ///< first measurement step expected next
+  std::uint64_t replayed_frames = 0;  ///< frames replayed after this one
+};
+
+/// Client acknowledgement: every ESTIMATE through `last_step` has been
+/// received, so the server may trim its replay buffer up to that step.
+struct AckFrame {
+  std::int64_t last_step = -1;
+};
+
 // --- encoding --------------------------------------------------------------
 
 /// Each encoder returns the complete frame (header + payload). String
@@ -130,6 +161,9 @@ struct ErrorFrame {
 [[nodiscard]] std::vector<std::uint8_t> encode(const ChallengeResultFrame& c);
 [[nodiscard]] std::vector<std::uint8_t> encode(const StatusFrame& s);
 [[nodiscard]] std::vector<std::uint8_t> encode(const ErrorFrame& e);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ResumeFrame& r);
+[[nodiscard]] std::vector<std::uint8_t> encode(const ResumeOkFrame& r);
+[[nodiscard]] std::vector<std::uint8_t> encode(const AckFrame& a);
 
 // --- decoding --------------------------------------------------------------
 
@@ -153,6 +187,11 @@ bool decode(const Frame& frame, ChallengeResultFrame& out,
 bool decode(const Frame& frame, StatusFrame& out,
             std::string* error = nullptr);
 bool decode(const Frame& frame, ErrorFrame& out, std::string* error = nullptr);
+bool decode(const Frame& frame, ResumeFrame& out,
+            std::string* error = nullptr);
+bool decode(const Frame& frame, ResumeOkFrame& out,
+            std::string* error = nullptr);
+bool decode(const Frame& frame, AckFrame& out, std::string* error = nullptr);
 
 /// Incremental frame lifter. feed() arbitrary byte chunks, then call next()
 /// until it returns nullopt (more bytes needed). Framing violations (length

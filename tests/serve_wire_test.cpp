@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "runtime/seed.hpp"
+#include "serve/chaos.hpp"
 #include "serve/wire.hpp"
 
 namespace {
@@ -211,6 +212,116 @@ TEST(ServeWire, OversizedStringsAreClampedAtEncodeTime) {
   EXPECT_FALSE(decoder.failed());
 }
 
+TEST(ServeWire, ResumeFramesRoundTrip) {
+  const ResumeFrame resume{.session_token = 0xFEEDFACE12345678ULL,
+                           .last_step = 29};
+  const ResumeOkFrame resume_ok{.session_token = 0xFEEDFACE12345678ULL,
+                                .next_step = 30,
+                                .replayed_frames = 12};
+  const AckFrame ack{.last_step = 63};
+
+  FrameDecoder decoder;
+  for (const auto& bytes : {encode(resume), encode(resume_ok), encode(ack)}) {
+    decoder.feed(bytes.data(), bytes.size());
+  }
+
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kResume);
+  ResumeFrame resume_out;
+  std::string why;
+  ASSERT_TRUE(decode(*frame, resume_out, &why)) << why;
+  EXPECT_EQ(resume_out.session_token, resume.session_token);
+  EXPECT_EQ(resume_out.last_step, resume.last_step);
+
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kResumeOk);
+  ResumeOkFrame resume_ok_out;
+  ASSERT_TRUE(decode(*frame, resume_ok_out, &why)) << why;
+  EXPECT_EQ(resume_ok_out.session_token, resume_ok.session_token);
+  EXPECT_EQ(resume_ok_out.next_step, resume_ok.next_step);
+  EXPECT_EQ(resume_ok_out.replayed_frames, resume_ok.replayed_frames);
+
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, FrameType::kAck);
+  AckFrame ack_out;
+  ASSERT_TRUE(decode(*frame, ack_out, &why)) << why;
+  EXPECT_EQ(ack_out.last_step, ack.last_step);
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(ServeWire, ResumeFramesRejectMalformedPayloads) {
+  // last_step below -1 is meaningless and must not decode.
+  auto bad_resume = encode(ResumeFrame{.session_token = 1, .last_step = -2});
+  FrameDecoder decoder;
+  decoder.feed(bad_resume.data(), bad_resume.size());
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  ResumeFrame resume_out;
+  std::string why;
+  EXPECT_FALSE(decode(*frame, resume_out, &why));
+
+  // Negative next_step must not decode either.
+  auto bad_ok =
+      encode(ResumeOkFrame{.session_token = 1, .next_step = -1,
+                           .replayed_frames = 0});
+  decoder = FrameDecoder{};
+  decoder.feed(bad_ok.data(), bad_ok.size());
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  ResumeOkFrame ok_out;
+  EXPECT_FALSE(decode(*frame, ok_out, &why));
+
+  // Short payloads for every v2 frame type.
+  ResumeFrame r;
+  ResumeOkFrame ok;
+  AckFrame a;
+  EXPECT_FALSE(decode(Frame{FrameType::kResume, {0x01}}, r, nullptr));
+  EXPECT_FALSE(decode(Frame{FrameType::kResumeOk, {0x01}}, ok, nullptr));
+  EXPECT_FALSE(decode(Frame{FrameType::kAck, {0x01}}, a, nullptr));
+}
+
+TEST(ServeWire, StatusAndErrorCodeRangesTrackV2) {
+  // kOverloaded (4) is the top valid STATUS code; 5 must be rejected.
+  auto bytes = encode(StatusFrame{.code = StatusCode::kOverloaded,
+                                  .session_token = 3,
+                                  .message = "busy"});
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  StatusFrame status_out;
+  ASSERT_TRUE(decode(*frame, status_out, nullptr));
+  EXPECT_EQ(status_out.code, StatusCode::kOverloaded);
+
+  bytes[kHeaderBytes] = 5;  // payload starts with the code byte
+  decoder = FrameDecoder{};
+  decoder.feed(bytes.data(), bytes.size());
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(decode(*frame, status_out, nullptr));
+
+  // kResumeGap (7) is the top valid ERROR code; 8 must be rejected.
+  auto error_bytes = encode(ErrorFrame{.code = ErrorCode::kResumeGap,
+                                       .message = "window lost"});
+  decoder = FrameDecoder{};
+  decoder.feed(error_bytes.data(), error_bytes.size());
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  ErrorFrame error_out;
+  ASSERT_TRUE(decode(*frame, error_out, nullptr));
+  EXPECT_EQ(error_out.code, ErrorCode::kResumeGap);
+
+  error_bytes[kHeaderBytes] = 8;
+  decoder = FrameDecoder{};
+  decoder.feed(error_bytes.data(), error_bytes.size());
+  frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_FALSE(decode(*frame, error_out, nullptr));
+}
+
 TEST(ServeWire, GoldenChallengeResultBytes) {
   // Framing is frozen: u32 length + u8 type header, little-endian payload.
   const ChallengeResultFrame c{.step = 5, .silent = true,
@@ -396,6 +507,9 @@ TEST(ServeWire, FuzzedStreamsNeverCrash) {
         ChallengeResultFrame c;
         StatusFrame s;
         ErrorFrame err;
+        ResumeFrame resume;
+        ResumeOkFrame resume_ok;
+        AckFrame ack;
         switch (frame->type) {
           case FrameType::kHello: decode(*frame, hello, nullptr); break;
           case FrameType::kMeasurement: decode(*frame, m, nullptr); break;
@@ -403,10 +517,108 @@ TEST(ServeWire, FuzzedStreamsNeverCrash) {
           case FrameType::kChallengeResult: decode(*frame, c, nullptr); break;
           case FrameType::kStatus: decode(*frame, s, nullptr); break;
           case FrameType::kError: decode(*frame, err, nullptr); break;
+          case FrameType::kResume: decode(*frame, resume, nullptr); break;
+          case FrameType::kResumeOk: decode(*frame, resume_ok, nullptr); break;
+          case FrameType::kAck: decode(*frame, ack, nullptr); break;
         }
       }
     }
     // The decoder never hoards more than one frame's worth of bytes.
+    EXPECT_LE(decoder.buffered_bytes(), kHeaderBytes + kMaxPayloadBytes);
+  }
+}
+
+// Chaos-corpus pass: feed a valid frame stream through the same ChaosPlan
+// the proxy uses. Pure re-splitting must be invisible to the decoder (every
+// frame decodes, bit-exact); with corruption enabled the decoder may fail
+// but must never crash, over-read, or hoard bytes. Seeds are logged so a
+// failure reproduces directly.
+TEST(ServeWire, ChaosResplitCorpusDecodesExactly) {
+  std::vector<std::uint8_t> corpus;
+  std::vector<FrameType> expected_types;
+  {
+    HelloFrame hello;
+    hello.client_id = "chaos";
+    for (const auto& bytes :
+         {encode(hello), encode(sample_measurement()),
+          encode(ResumeFrame{.session_token = 9, .last_step = 4}),
+          encode(sample_estimate()),
+          encode(ResumeOkFrame{.session_token = 9, .next_step = 5,
+                               .replayed_frames = 2}),
+          encode(AckFrame{.last_step = 5}),
+          encode(StatusFrame{.code = StatusCode::kOverloaded,
+                             .session_token = 9,
+                             .message = "shed"})}) {
+      corpus.insert(corpus.end(), bytes.begin(), bytes.end());
+    }
+    expected_types = {FrameType::kHello,    FrameType::kMeasurement,
+                      FrameType::kResume,   FrameType::kEstimate,
+                      FrameType::kResumeOk, FrameType::kAck,
+                      FrameType::kStatus};
+  }
+
+  const ChaosSpec spec = parse_chaos_spec("split:min=1,max=7");
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ChaosPlan plan(spec, seed, 0);
+    FrameDecoder decoder;
+    std::vector<Frame> frames;
+    std::size_t offset = 0;
+    while (offset < corpus.size()) {
+      const std::size_t chunk = plan.next_chunk_len(corpus.size() - offset);
+      decoder.feed(corpus.data() + offset, chunk);
+      offset += chunk;
+      while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+    }
+    ASSERT_FALSE(decoder.failed()) << decoder.error();
+    ASSERT_EQ(frames.size(), expected_types.size());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+      EXPECT_EQ(frames[i].type, expected_types[i]) << "frame " << i;
+    }
+    EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  }
+}
+
+TEST(ServeWire, ChaosCorruptedCorpusNeverCrashes) {
+  std::vector<std::uint8_t> corpus;
+  {
+    for (const auto& bytes :
+         {encode(sample_measurement()), encode(sample_estimate()),
+          encode(ResumeOkFrame{.session_token = 1, .next_step = 10,
+                               .replayed_frames = 3}),
+          encode(StatusFrame{.code = StatusCode::kHelloOk,
+                             .session_token = 1,
+                             .message = "ok"})}) {
+      corpus.insert(corpus.end(), bytes.begin(), bytes.end());
+    }
+  }
+
+  const ChaosSpec spec = parse_chaos_spec("split:min=1,max=9;corrupt:prob=0.02");
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    ChaosPlan plan(spec, seed, 1);
+    std::vector<std::uint8_t> bytes = corpus;
+    FrameDecoder decoder;
+    std::size_t offset = 0;
+    while (offset < bytes.size() && !decoder.failed()) {
+      const std::size_t chunk = plan.next_chunk_len(bytes.size() - offset);
+      plan.corrupt(bytes.data() + offset, chunk);
+      decoder.feed(bytes.data() + offset, chunk);
+      offset += chunk;
+      while (auto frame = decoder.next()) {
+        MeasurementFrame m;
+        EstimateFrame e;
+        ResumeOkFrame ok;
+        StatusFrame s;
+        switch (frame->type) {
+          case FrameType::kMeasurement: decode(*frame, m, nullptr); break;
+          case FrameType::kEstimate: decode(*frame, e, nullptr); break;
+          case FrameType::kResumeOk: decode(*frame, ok, nullptr); break;
+          case FrameType::kStatus: decode(*frame, s, nullptr); break;
+          default: break;  // corrupted type byte may alias any frame
+        }
+      }
+    }
     EXPECT_LE(decoder.buffered_bytes(), kHeaderBytes + kMaxPayloadBytes);
   }
 }

@@ -7,13 +7,15 @@
 //               [--steps N] [--scenario const-decel|decel-accel]
 //               [--attack none|dos|delay] [--fault SPEC]
 //               [--estimator fft|music] [--hardened] [--seed N]
-//               [--verify] [--json]
+//               [--verify] [--json] [--retries N]
 //
 // --verify byte-compares every received ESTIMATE frame against the offline
 // core::pipeline reference (the serving parity contract); --json prints the
-// machine-readable report to stdout. Exit status is non-zero when any
-// session failed, any stream was incomplete, or any verified frame
-// mismatched.
+// machine-readable report to stdout. --retries N runs each session through
+// the resilient client (session resumption + exponential backoff), which is
+// what a chaos soak behind chaos_cli needs to complete. Exit status is
+// non-zero when any session failed, any stream was incomplete, or any
+// verified frame mismatched.
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -28,7 +30,7 @@ namespace {
                "       [--steps N] [--scenario const-decel|decel-accel]\n"
                "       [--attack none|dos|delay] [--fault SPEC]\n"
                "       [--estimator fft|music] [--hardened] [--seed N]\n"
-               "       [--verify] [--json]\n"
+               "       [--verify] [--json] [--retries N]\n"
                "\n"
                "  --port         server port (required)\n"
                "  --host         server address (default 127.0.0.1)\n"
@@ -43,7 +45,9 @@ namespace {
                "  --hardened     hardened pipeline options\n"
                "  --seed         master seed for per-session trace seeds\n"
                "  --verify       byte-compare estimates vs offline pipeline\n"
-               "  --json         machine-readable report on stdout\n";
+               "  --json         machine-readable report on stdout\n"
+               "  --retries      connection attempts per session; > 0 turns\n"
+               "                 on the resilient client (resume + backoff)\n";
   std::exit(2);
 }
 
@@ -111,6 +115,8 @@ int main(int argc, char** argv) {
         options.master_seed = std::stoull(next());
       } else if (arg == "--verify") {
         options.verify = true;
+      } else if (arg == "--retries") {
+        options.retry_attempts = std::stoull(next());
       } else if (arg == "--json") {
         json = true;
       } else {
@@ -144,6 +150,19 @@ int main(int argc, char** argv) {
                static_cast<double>(report.latency_p50_ns) / 1e6,
                static_cast<double>(report.latency_p95_ns) / 1e6,
                static_cast<double>(report.latency_p99_ns) / 1e6);
+  if (options.retry_attempts > 0) {
+    std::fprintf(stderr,
+                 "loadgen: resilience — %llu reconnect(s), %llu resume(s), "
+                 "%llu restart(s), %llu overload backoff(s), %llu frame(s) "
+                 "replayed, %llu duplicate(s) discarded\n",
+                 static_cast<unsigned long long>(report.reconnects),
+                 static_cast<unsigned long long>(report.resumes),
+                 static_cast<unsigned long long>(report.restarts),
+                 static_cast<unsigned long long>(report.overload_backoffs),
+                 static_cast<unsigned long long>(report.replayed_frames),
+                 static_cast<unsigned long long>(
+                     report.duplicates_discarded));
+  }
   if (options.verify) {
     std::fprintf(stderr,
                  "loadgen: verify — %zu/%zu session(s) byte-identical to "

@@ -7,6 +7,8 @@
 //   serve_cli [--bind ADDR] [--port N] [--port-file PATH] [--jobs N]
 //             [--max-sessions N] [--idle-timeout-ms N]
 //             [--max-outbound-kib N] [--seed N]
+//             [--admission-max-batches N] [--frame-deadline-ms N]
+//             [--resume-grace-ms N] [--max-retained-steps N]
 //             [--metrics-out PATH] [--trace-out PATH]
 //
 // --port 0 (the default) binds a kernel-assigned port; --port-file writes
@@ -31,6 +33,8 @@ namespace {
             << " [--bind ADDR] [--port N] [--port-file PATH] [--jobs N]\n"
                "       [--max-sessions N] [--idle-timeout-ms N]\n"
                "       [--max-outbound-kib N] [--seed N]\n"
+               "       [--admission-max-batches N] [--frame-deadline-ms N]\n"
+               "       [--resume-grace-ms N] [--max-retained-steps N]\n"
                "       [--metrics-out PATH] [--trace-out PATH]\n"
                "\n"
                "  --bind             listen address (default 127.0.0.1)\n"
@@ -45,6 +49,19 @@ namespace {
                "  --max-outbound-kib per-connection outbound cap before a\n"
                "                     slow-consumer disconnect (default 256)\n"
                "  --seed             master seed for session-token derivation\n"
+               "  --admission-max-batches\n"
+               "                     shed new sessions with STATUS overloaded\n"
+               "                     while this many batches are in flight\n"
+               "                     (0 = admission control off)\n"
+               "  --frame-deadline-ms\n"
+               "                     shed a connection whose oldest queued\n"
+               "                     frame waited longer (0 = off; the\n"
+               "                     session stays resumable)\n"
+               "  --resume-grace-ms  how long a detached session stays\n"
+               "                     resumable (default 15000)\n"
+               "  --max-retained-steps\n"
+               "                     replay-buffer cap in steps per session\n"
+               "                     (default 4096)\n"
                "  --metrics-out      telemetry metrics as JSONL to PATH\n"
                "  --trace-out        Chrome trace_event JSON to PATH\n";
   std::exit(2);
@@ -90,6 +107,14 @@ int main(int argc, char** argv) {
         options.max_outbound_bytes = std::stoull(next()) * 1024;
       } else if (arg == "--seed") {
         options.master_seed = std::stoull(next());
+      } else if (arg == "--admission-max-batches") {
+        options.admission_max_batches = std::stoull(next());
+      } else if (arg == "--frame-deadline-ms") {
+        options.frame_deadline_ns = std::stoull(next()) * 1'000'000ULL;
+      } else if (arg == "--resume-grace-ms") {
+        options.session.resume_grace_ns = std::stoull(next()) * 1'000'000ULL;
+      } else if (arg == "--max-retained-steps") {
+        options.session.max_retained_steps = std::stoull(next());
       } else if (arg == "--metrics-out") {
         metrics_path = next();
       } else if (arg == "--trace-out") {
@@ -183,5 +208,14 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.protocol_errors),
                static_cast<unsigned long long>(
                    stats.slow_consumer_disconnects));
+  std::fprintf(stderr,
+               "serve_cli: resilience — %llu session(s) resumed (%llu "
+               "rejected), %llu frame(s) replayed, %llu hello shed(s), "
+               "%llu deadline shed(s)\n",
+               static_cast<unsigned long long>(stats.sessions_resumed),
+               static_cast<unsigned long long>(stats.resume_rejects),
+               static_cast<unsigned long long>(stats.replayed_frames),
+               static_cast<unsigned long long>(stats.shed_hellos),
+               static_cast<unsigned long long>(stats.deadline_sheds));
   return 0;
 }
