@@ -1,0 +1,145 @@
+// Annotated synchronization primitives (DESIGN.md §14).
+//
+// Thin wrappers over std::mutex / std::condition_variable carrying clang
+// thread-safety capability attributes, so the lock discipline that TSan can
+// only check on the interleavings a test happens to hit becomes a
+// compile-time contract: every shared field names its guarding mutex with
+// SAFE_GUARDED_BY, every helper that expects a lock held says so with
+// SAFE_REQUIRES, and a violation is a build break under
+// `-Werror=thread-safety` (on for every clang build; the attributes expand
+// to nothing elsewhere, so gcc builds are byte-identical).
+//
+// Conventions:
+//   * Mutex is the only lockable type in annotated code. Lock it with
+//     MutexLock (RAII); bare lock()/unlock() are public only for the
+//     unlock-then-relock pattern inside an already-scoped region.
+//   * CondVar::wait takes the Mutex itself (not a lock object) and is
+//     annotated SAFE_REQUIRES(mu), which is what lets the analysis follow a
+//     wait loop without special cases.
+//   * A deliberate hole in the analysis gets SAFE_NO_THREAD_SAFETY_ANALYSIS
+//     plus a comment saying why; an invariant the analysis cannot see gets
+//     SAFE_ASSERT_CAPABILITY. Both are greppable.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+// --- attribute macros ------------------------------------------------------
+// Guarded behind __has_attribute so the same headers compile warning-free on
+// gcc and on clang versions without the analysis.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SAFE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SAFE_THREAD_ANNOTATION
+#define SAFE_THREAD_ANNOTATION(x)
+#endif
+
+#define SAFE_CAPABILITY(x) SAFE_THREAD_ANNOTATION(capability(x))
+#define SAFE_SCOPED_CAPABILITY SAFE_THREAD_ANNOTATION(scoped_lockable)
+#define SAFE_GUARDED_BY(x) SAFE_THREAD_ANNOTATION(guarded_by(x))
+#define SAFE_PT_GUARDED_BY(x) SAFE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define SAFE_ACQUIRE(...) \
+  SAFE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SAFE_RELEASE(...) \
+  SAFE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SAFE_TRY_ACQUIRE(...) \
+  SAFE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define SAFE_REQUIRES(...) \
+  SAFE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SAFE_EXCLUDES(...) SAFE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define SAFE_ASSERT_CAPABILITY(x) \
+  SAFE_THREAD_ANNOTATION(assert_capability(x))
+#define SAFE_RETURN_CAPABILITY(x) SAFE_THREAD_ANNOTATION(lock_returned(x))
+#define SAFE_NO_THREAD_SAFETY_ANALYSIS \
+  SAFE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace safe::runtime {
+
+class CondVar;
+
+/// std::mutex with the `capability` attribute, so fields can be declared
+/// SAFE_GUARDED_BY(mutex_) and functions SAFE_REQUIRES(mutex_).
+class SAFE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SAFE_ACQUIRE() { mu_.lock(); }
+  void unlock() SAFE_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SAFE_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII scoped lock (the annotated replacement for std::lock_guard /
+/// std::unique_lock). Supports unlock-then-relock for callers that must
+/// drop the lock mid-scope; the destructor releases only if held.
+class SAFE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SAFE_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() SAFE_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporarily drop the lock (e.g. to call out to sinks); pair with
+  /// lock() before the scope ends.
+  void unlock() SAFE_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() SAFE_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable bound to the annotated Mutex. wait() requires the
+/// mutex held — exactly the std::condition_variable contract, but stated in
+/// a way the thread-safety analysis can check.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically releases `mu`, waits, and re-acquires before returning.
+  void wait(Mutex& mu) SAFE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Waits until `pred()` holds. `pred` runs with `mu` held; the analysis
+  /// cannot see that through std::condition_variable, so predicates reading
+  /// guarded fields belong in functions annotated SAFE_REQUIRES(mu).
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) SAFE_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock, std::move(pred));
+    lock.release();
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace safe::runtime

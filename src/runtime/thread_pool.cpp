@@ -52,7 +52,14 @@ ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
   }
 }
 
-ThreadPool::~ThreadPool() { shutdown(); }
+ThreadPool::~ThreadPool() {
+  try {
+    shutdown();
+  } catch (...) {
+    // A destructor must not throw; std::thread::join can only fail here on
+    // states (deadlock-with-self, invalid id) that indicate a caller bug.
+  }
+}
 
 bool ThreadPool::push_to_some_queue(std::function<void()>& task) {
   // Round-robin over the queues starting at a rotating offset; first queue
@@ -62,7 +69,7 @@ bool ThreadPool::push_to_some_queue(std::function<void()>& task) {
       next_queue_.fetch_add(1, std::memory_order_relaxed) % n;
   for (std::size_t k = 0; k < n; ++k) {
     WorkerQueue& q = *queues_[(start + k) % n];
-    std::lock_guard<std::mutex> guard(q.mutex);
+    MutexLock guard(q.mutex);
     if (q.tasks.size() >= capacity_) continue;
     q.tasks.push_back(std::move(task));
     telemetry::gauge_update_max(pool_queue_depth_metric(),
@@ -89,7 +96,7 @@ bool ThreadPool::submit_once(std::function<void()>& task) {
     // Lock-then-notify pairs with the predicate re-check inside wait();
     // without it a worker could check the predicate, see no work, and sleep
     // through this notification.
-    std::lock_guard<std::mutex> guard(wake_mutex_);
+    MutexLock guard(wake_mutex_);
   }
   worker_cv_.notify_one();
   return true;
@@ -101,8 +108,8 @@ bool ThreadPool::try_submit(std::function<void()> task) {
 
 void ThreadPool::submit(std::function<void()> task) {
   while (!submit_once(task)) {
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    idle_cv_.wait(lock, [this] {
+    MutexLock lock(wake_mutex_);
+    idle_cv_.wait(wake_mutex_, [this] {
       return stop_.load(std::memory_order_acquire) ||
              draining_.load(std::memory_order_acquire) ||
              queued_.load(std::memory_order_acquire) <
@@ -115,7 +122,7 @@ bool ThreadPool::pop_or_steal(std::size_t index, std::function<void()>& task) {
   const std::size_t n = queues_.size();
   {
     WorkerQueue& own = *queues_[index];
-    std::lock_guard<std::mutex> guard(own.mutex);
+    MutexLock guard(own.mutex);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.back());
       own.tasks.pop_back();
@@ -125,7 +132,7 @@ bool ThreadPool::pop_or_steal(std::size_t index, std::function<void()>& task) {
   }
   for (std::size_t k = 1; k < n; ++k) {
     WorkerQueue& victim = *queues_[(index + k) % n];
-    std::lock_guard<std::mutex> guard(victim.mutex);
+    MutexLock guard(victim.mutex);
     if (!victim.tasks.empty()) {
       task = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -144,19 +151,19 @@ void ThreadPool::worker_loop(std::size_t index) {
   while (true) {
     if (pop_or_steal(index, task)) {
       {
-        std::lock_guard<std::mutex> guard(wake_mutex_);
+        MutexLock guard(wake_mutex_);
       }
       idle_cv_.notify_all();  // queue space freed: unblock submitters
       try {
         telemetry::add(pool_tasks_metric());
         task();
       } catch (...) {
-        std::lock_guard<std::mutex> guard(error_mutex_);
+        MutexLock guard(error_mutex_);
         if (!first_error_) first_error_ = std::current_exception();
       }
       task = nullptr;
       if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> guard(wake_mutex_);
+        MutexLock guard(wake_mutex_);
         idle_cv_.notify_all();
       }
       continue;
@@ -165,12 +172,13 @@ void ThreadPool::worker_loop(std::size_t index) {
     // metrics are on, so a disabled build never pays for it.
     const bool account_idle = telemetry::metrics_enabled();
     const std::uint64_t idle_start = account_idle ? telemetry::now_ns() : 0;
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    worker_cv_.wait(lock, [this] {
-      return stop_.load(std::memory_order_acquire) ||
-             queued_.load(std::memory_order_acquire) > 0;
-    });
-    lock.unlock();
+    {
+      MutexLock lock(wake_mutex_);
+      worker_cv_.wait(wake_mutex_, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               queued_.load(std::memory_order_acquire) > 0;
+      });
+    }
     if (account_idle) {
       telemetry::add(pool_idle_ns_metric(),
                      telemetry::now_ns() - idle_start);
@@ -184,12 +192,12 @@ void ThreadPool::worker_loop(std::size_t index) {
 
 void ThreadPool::wait_idle() {
   {
-    std::unique_lock<std::mutex> lock(wake_mutex_);
-    idle_cv_.wait(lock, [this] {
+    MutexLock lock(wake_mutex_);
+    idle_cv_.wait(wake_mutex_, [this] {
       return in_flight_.load(std::memory_order_acquire) == 0;
     });
   }
-  std::lock_guard<std::mutex> guard(error_mutex_);
+  MutexLock guard(error_mutex_);
   if (first_error_) {
     std::exception_ptr error = std::exchange(first_error_, nullptr);
     std::rethrow_exception(error);
@@ -200,19 +208,19 @@ void ThreadPool::drain() {
   {
     // Lock-then-store pairs with the predicate re-check inside blocked
     // submit() waits, exactly like shutdown()'s stop flag.
-    std::lock_guard<std::mutex> guard(wake_mutex_);
+    MutexLock guard(wake_mutex_);
     draining_.store(true, std::memory_order_release);
   }
   idle_cv_.notify_all();  // blocked submitters re-check and throw
-  std::unique_lock<std::mutex> lock(wake_mutex_);
-  idle_cv_.wait(lock, [this] {
+  MutexLock lock(wake_mutex_);
+  idle_cv_.wait(wake_mutex_, [this] {
     return in_flight_.load(std::memory_order_acquire) == 0;
   });
 }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> guard(wake_mutex_);
+    MutexLock guard(wake_mutex_);
     stop_.store(true, std::memory_order_release);
   }
   worker_cv_.notify_all();

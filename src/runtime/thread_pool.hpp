@@ -13,15 +13,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "runtime/sync.hpp"
 
 namespace safe::runtime {
 
@@ -76,14 +76,23 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks SAFE_GUARDED_BY(mutex);
   };
 
   void worker_loop(std::size_t index);
   bool pop_or_steal(std::size_t index, std::function<void()>& task);
   bool push_to_some_queue(std::function<void()>& task);
   bool submit_once(std::function<void()>& task);
+
+#ifdef SAFE_SENSING_TS_NEGATIVE_TEST
+  // Hooks for tests/compile_fail/ts_*.cpp only: the test TU defines these
+  // out of class, touching guarded fields with and without the guarding
+  // mutex, to prove a GUARDED_BY violation in ThreadPool code is a build
+  // break under -Werror=thread-safety. Never declared in normal builds.
+  std::size_t ts_probe_queue_depth_unlocked();
+  std::size_t ts_probe_queue_depth_locked();
+#endif
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
@@ -96,12 +105,15 @@ class ThreadPool {
   std::atomic<std::size_t> steals_{0};
   std::atomic<std::size_t> next_queue_{0};
 
-  std::mutex wake_mutex_;
-  std::condition_variable worker_cv_;  ///< Work available (or stopping).
-  std::condition_variable idle_cv_;    ///< Queue space freed / pool idle.
+  /// Serializes sleep/wake transitions only; the fields the predicates read
+  /// are atomics, so nothing is GUARDED_BY this mutex. Lock-then-notify on
+  /// it pairs with the predicate re-check inside every wait.
+  Mutex wake_mutex_;
+  CondVar worker_cv_;  ///< Work available (or stopping).
+  CondVar idle_cv_;    ///< Queue space freed / pool idle.
 
-  std::mutex error_mutex_;
-  std::exception_ptr first_error_;
+  Mutex error_mutex_;
+  std::exception_ptr first_error_ SAFE_GUARDED_BY(error_mutex_);
 };
 
 }  // namespace safe::runtime

@@ -239,7 +239,7 @@ void ChaosProxy::bind_and_listen(const std::string& host, std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("chaos: socket() failed: " +
-                             std::string(std::strerror(errno)));
+                             errno_string(errno));
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -253,7 +253,7 @@ void ChaosProxy::bind_and_listen(const std::string& host, std::uint16_t port) {
              sizeof(addr)) != 0 ||
       ::listen(listen_fd_, 64) != 0) {
     throw std::runtime_error("chaos: bind/listen failed: " +
-                             std::string(std::strerror(errno)));
+                             errno_string(errno));
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
@@ -262,7 +262,7 @@ void ChaosProxy::bind_and_listen(const std::string& host, std::uint16_t port) {
   if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0,
                    wake_fds_) != 0) {
     throw std::runtime_error("chaos: socketpair failed: " +
-                             std::string(std::strerror(errno)));
+                             errno_string(errno));
   }
 }
 
@@ -294,7 +294,7 @@ void ChaosProxy::accept_ready(std::uint64_t now) {
     if (!ok) {
       if (server_fd >= 0) ::close(server_fd);
       ::close(client_fd);
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const runtime::MutexLock lock(stats_mutex_);
       ++stats_.connect_failures;
       continue;
     }
@@ -311,7 +311,7 @@ void ChaosProxy::accept_ready(std::uint64_t now) {
     link.c2s.last_refill_ns = now;
     link.s2c.last_refill_ns = now;
     links_.push_back(std::move(link));
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const runtime::MutexLock lock(stats_mutex_);
     ++stats_.accepted;
   }
 }
@@ -320,7 +320,7 @@ void ChaosProxy::close_link(Link& link) {
   if (link.client_fd >= 0) ::close(link.client_fd);
   if (link.server_fd >= 0) ::close(link.server_fd);
   if (link.client_fd >= 0 || link.server_fd >= 0) {
-    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    const runtime::MutexLock lock(stats_mutex_);
     ++stats_.closed;
   }
   link.client_fd = -1;
@@ -370,7 +370,7 @@ bool ChaosProxy::flush_pipe(Link& link, Pipe& pipe, int dst_fd,
       pipe.tokens -= static_cast<double>(n);
     }
     {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const runtime::MutexLock lock(stats_mutex_);
       stats_.bytes_forwarded += static_cast<std::uint64_t>(n);
       stats_.corrupted_bytes += corrupted;
       if (resplit) ++stats_.resplit_writes;
@@ -378,7 +378,7 @@ bool ChaosProxy::flush_pipe(Link& link, Pipe& pipe, int dst_fd,
     if (front.offset == front.bytes.size()) pipe.chunks.pop_front();
 
     if (link.plan.should_disconnect(link.total_forwarded)) {
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const runtime::MutexLock lock(stats_mutex_);
       ++stats_.disconnects_injected;
       return false;
     }
@@ -389,7 +389,7 @@ bool ChaosProxy::flush_pipe(Link& link, Pipe& pipe, int dst_fd,
       pipe.chunks.clear();
       pipe.buffered = 0;
       ::shutdown(dst_fd, SHUT_WR);
-      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      const runtime::MutexLock lock(stats_mutex_);
       ++stats_.half_closes_injected;
       break;
     }
@@ -506,7 +506,7 @@ void ChaosProxy::run() {
 }
 
 ChaosProxy::Stats ChaosProxy::stats() const {
-  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  const runtime::MutexLock lock(stats_mutex_);
   return stats_;
 }
 

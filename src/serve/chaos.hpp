@@ -23,11 +23,11 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "runtime/seed.hpp"
+#include "runtime/sync.hpp"
 
 namespace safe::serve {
 
@@ -178,8 +178,8 @@ class ChaosProxy {
   std::uint64_t next_connection_index_ = 0;
   std::vector<Link> links_;
 
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  mutable runtime::Mutex stats_mutex_;
+  Stats stats_ SAFE_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace safe::serve

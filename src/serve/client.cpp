@@ -48,7 +48,7 @@ void SessionClient::connect(const std::string& host, std::uint16_t port) {
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) {
     throw std::runtime_error("socket() failed: " +
-                             std::string(std::strerror(errno)));
+                             errno_string(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -59,7 +59,7 @@ void SessionClient::connect(const std::string& host, std::uint16_t port) {
   }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    const std::string what = std::strerror(errno);
+    const std::string what = errno_string(errno);
     close();
     throw std::runtime_error("connect(" + host + ":" + std::to_string(port) +
                              ") failed: " + what);
@@ -79,7 +79,7 @@ bool SessionClient::send_all(const std::uint8_t* data, std::size_t size) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    reason_ = std::string("send failed: ") + std::strerror(errno);
+    reason_ = std::string("send failed: ") + errno_string(errno);
     return false;
   }
   return true;
@@ -120,7 +120,7 @@ std::optional<Frame> SessionClient::recv_frame(std::uint64_t deadline_ns) {
       return std::nullopt;
     }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-    reason_ = std::string("recv failed: ") + std::strerror(errno);
+    reason_ = std::string("recv failed: ") + errno_string(errno);
     return std::nullopt;
   }
 }
@@ -282,7 +282,7 @@ SessionClient::StreamResult SessionClient::stream(
       } else if (n < 0 && errno != EINTR && errno != EAGAIN &&
                  errno != EWOULDBLOCK) {
         result.transport_error =
-            std::string("send failed: ") + std::strerror(errno);
+            std::string("send failed: ") + errno_string(errno);
         return result;
       }
     }
@@ -297,7 +297,7 @@ SessionClient::StreamResult SessionClient::stream(
         return result;
       } else if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
         result.transport_error =
-            std::string("recv failed: ") + std::strerror(errno);
+            std::string("recv failed: ") + errno_string(errno);
         return result;
       }
     }

@@ -8,7 +8,30 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 
+#include <cstring>
+#include <string>
+
 namespace safe::serve {
+
+namespace detail {
+// strerror_r comes in two flavors: XSI returns int and fills the buffer,
+// GNU returns a char* that may ignore the buffer. Overload resolution on
+// the actual return type picks the right unpacking at compile time.
+inline const char* strerror_result(int rc, const char* buf) noexcept {
+  return rc == 0 ? buf : "unknown error";
+}
+inline const char* strerror_result(const char* s, const char*) noexcept {
+  return s;
+}
+}  // namespace detail
+
+/// Thread-safe strerror: error text for `err` without the shared static
+/// buffer std::strerror uses (which clang-tidy's concurrency-mt-unsafe
+/// rightly flags in a multithreaded server).
+inline std::string errno_string(int err) {
+  char buf[256] = {};
+  return detail::strerror_result(::strerror_r(err, buf, sizeof(buf)), buf);
+}
 
 /// Disables Nagle on a connected TCP socket. Returns false when setsockopt
 /// fails (e.g. not a TCP socket); callers treat that as non-fatal.

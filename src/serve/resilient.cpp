@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "runtime/seed.hpp"
+#include "serve/net_util.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace safe::serve {
@@ -82,7 +83,7 @@ std::optional<Frame> recv_next(int fd, FrameDecoder& decoder,
       return std::nullopt;
     }
     if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-    reason = std::string("recv failed: ") + std::strerror(errno);
+    reason = std::string("recv failed: ") + errno_string(errno);
     return std::nullopt;
   }
 }
@@ -360,7 +361,7 @@ ResilientResult ResilientClient::run(const TraceSpec& spec,
         } else if (n < 0 && errno != EINTR && errno != EAGAIN &&
                    errno != EWOULDBLOCK) {
           out.phase = Phase::kDisconnected;
-          out.detail = std::string("send failed: ") + std::strerror(errno);
+          out.detail = std::string("send failed: ") + errno_string(errno);
           return out;
         }
       }
@@ -382,7 +383,7 @@ ResilientResult ResilientClient::run(const TraceSpec& spec,
         } else if (errno != EINTR && errno != EAGAIN &&
                    errno != EWOULDBLOCK) {
           out.phase = Phase::kDisconnected;
-          out.detail = std::string("recv failed: ") + std::strerror(errno);
+          out.detail = std::string("recv failed: ") + errno_string(errno);
           return out;
         }
       }

@@ -113,7 +113,7 @@ StreamServer::CompletionChannel::~CompletionChannel() {
 
 void StreamServer::CompletionChannel::push(Completion&& done) {
   {
-    std::lock_guard<std::mutex> guard(mutex);
+    runtime::MutexLock guard(mutex);
     items.push_back(std::move(done));
   }
   wake();
@@ -151,7 +151,7 @@ void StreamServer::bind_and_listen() {
   if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0,
                    wake_fds) != 0) {
     throw std::runtime_error("socketpair() failed: " +
-                             std::string(std::strerror(errno)));
+                             errno_string(errno));
   }
   wake_read_fd_ = wake_fds[0];
   channel_->wake_write_fd = wake_fds[1];
@@ -159,7 +159,7 @@ void StreamServer::bind_and_listen() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("socket() failed: " +
-                             std::string(std::strerror(errno)));
+                             errno_string(errno));
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -175,11 +175,11 @@ void StreamServer::bind_and_listen() {
              sizeof(addr)) != 0) {
     throw std::runtime_error("bind(" + options_.bind_address + ":" +
                              std::to_string(options_.port) +
-                             ") failed: " + std::strerror(errno));
+                             ") failed: " + errno_string(errno));
   }
   if (::listen(listen_fd_, 128) != 0) {
     throw std::runtime_error("listen() failed: " +
-                             std::string(std::strerror(errno)));
+                             errno_string(errno));
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
@@ -195,7 +195,7 @@ void StreamServer::request_drain() noexcept {
 }
 
 ServerStats StreamServer::stats() const {
-  std::lock_guard<std::mutex> guard(stats_mutex_);
+  runtime::MutexLock guard(stats_mutex_);
   return stats_;
 }
 
@@ -253,7 +253,7 @@ void StreamServer::run() {
     const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
     if (ready < 0 && errno != EINTR) {
       throw std::runtime_error("poll() failed: " +
-                               std::string(std::strerror(errno)));
+                               errno_string(errno));
     }
 
     for (std::size_t i = 0; i < fds.size() && ready > 0; ++i) {
@@ -349,7 +349,7 @@ void StreamServer::accept_ready() {
     const std::uint64_t id = conn->id;
     connections_.emplace(id, std::move(conn));
     {
-      std::lock_guard<std::mutex> guard(stats_mutex_);
+      runtime::MutexLock guard(stats_mutex_);
       ++stats_.accepted;
       if (!nodelay_ok) ++stats_.nodelay_failures;
     }
@@ -363,7 +363,7 @@ void StreamServer::read_ready(Connection& conn) {
     const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
     if (n > 0) {
       {
-        std::lock_guard<std::mutex> guard(stats_mutex_);
+        runtime::MutexLock guard(stats_mutex_);
         stats_.bytes_in += static_cast<std::uint64_t>(n);
       }
       conn.decoder.feed(buffer, static_cast<std::size_t>(n));
@@ -414,7 +414,7 @@ void StreamServer::pump_frames(Connection& conn) {
         telemetry::gauge_update_max(pending_frames_metric(),
                                     static_cast<double>(conn.pending.size()));
         {
-          std::lock_guard<std::mutex> guard(stats_mutex_);
+          runtime::MutexLock guard(stats_mutex_);
           ++stats_.frames_in;
         }
         break;
@@ -473,7 +473,7 @@ void StreamServer::handle_hello(Connection& conn, const Frame& frame) {
   if (admission_overloaded()) {
     telemetry::add(shed_hellos_metric());
     {
-      std::lock_guard<std::mutex> guard(stats_mutex_);
+      runtime::MutexLock guard(stats_mutex_);
       ++stats_.shed_hellos;
     }
     shed_connection(conn, "admission control: " +
@@ -510,14 +510,14 @@ void StreamServer::handle_resume(Connection& conn, const Frame& frame) {
   }
   const auto reject = [this](std::uint64_t count = 1) {
     telemetry::add(resume_rejects_metric(), count);
-    std::lock_guard<std::mutex> guard(stats_mutex_);
+    runtime::MutexLock guard(stats_mutex_);
     stats_.resume_rejects += count;
   };
   if (admission_overloaded()) {
     reject();
     telemetry::add(shed_hellos_metric());
     {
-      std::lock_guard<std::mutex> guard(stats_mutex_);
+      runtime::MutexLock guard(stats_mutex_);
       ++stats_.shed_hellos;
     }
     shed_connection(conn, "admission control: resume shed; retry after "
@@ -593,13 +593,13 @@ void StreamServer::handle_resume(Connection& conn, const Frame& frame) {
   if (!replay.bytes.empty()) {
     enqueue_bytes(conn, replay.bytes, replay.frames);
     telemetry::add(replayed_frames_metric(), replay.frames);
-    std::lock_guard<std::mutex> guard(stats_mutex_);
+    runtime::MutexLock guard(stats_mutex_);
     stats_.replayed_frames += replay.frames;
   }
   telemetry::add(resumes_metric());
   telemetry::instant_event("serve.session_resume", "serve");
   {
-    std::lock_guard<std::mutex> guard(stats_mutex_);
+    runtime::MutexLock guard(stats_mutex_);
     ++stats_.sessions_resumed;
   }
 }
@@ -634,7 +634,7 @@ void StreamServer::enforce_frame_deadlines() {
     if (it == connections_.end()) continue;
     telemetry::add(deadline_sheds_metric());
     {
-      std::lock_guard<std::mutex> guard(stats_mutex_);
+      runtime::MutexLock guard(stats_mutex_);
       ++stats_.deadline_sheds;
     }
     shed_connection(*it->second,
@@ -702,7 +702,7 @@ void StreamServer::dispatch(Connection& conn) {
 void StreamServer::drain_completions() {
   std::vector<Completion> done;
   {
-    std::lock_guard<std::mutex> guard(channel_->mutex);
+    runtime::MutexLock guard(channel_->mutex);
     done.swap(channel_->items);
   }
   for (Completion& completion : done) {
@@ -724,7 +724,7 @@ void StreamServer::drain_completions() {
             outbound_bytes_metric(),
             static_cast<double>(conn.outbound_bytes));
         {
-          std::lock_guard<std::mutex> guard(stats_mutex_);
+          runtime::MutexLock guard(stats_mutex_);
           stats_.frames_out += completion.frames;
         }
         check_outbound_limit(conn);
@@ -753,7 +753,7 @@ void StreamServer::enqueue_bytes(Connection& conn,
   telemetry::gauge_update_max(outbound_bytes_metric(),
                               static_cast<double>(conn.outbound_bytes));
   {
-    std::lock_guard<std::mutex> guard(stats_mutex_);
+    runtime::MutexLock guard(stats_mutex_);
     stats_.frames_out += frame_count;
   }
   check_outbound_limit(conn);
@@ -786,7 +786,7 @@ void StreamServer::check_outbound_limit(Connection& conn) {
   conn.outbound_bytes = status.size();
   telemetry::add(slow_consumer_metric());
   {
-    std::lock_guard<std::mutex> guard(stats_mutex_);
+    runtime::MutexLock guard(stats_mutex_);
     ++stats_.slow_consumer_disconnects;
   }
 }
@@ -795,7 +795,7 @@ void StreamServer::fail_connection(Connection& conn, ErrorCode code,
                                    std::string message,
                                    bool count_decode_error) {
   {
-    std::lock_guard<std::mutex> guard(stats_mutex_);
+    runtime::MutexLock guard(stats_mutex_);
     if (count_decode_error) {
       ++stats_.decode_errors;
     } else {
@@ -820,7 +820,7 @@ void StreamServer::write_ready(Connection& conn) {
                              remaining, MSG_NOSIGNAL);
     if (n > 0) {
       {
-        std::lock_guard<std::mutex> guard(stats_mutex_);
+        runtime::MutexLock guard(stats_mutex_);
         stats_.bytes_out += static_cast<std::uint64_t>(n);
       }
       conn.outbound_head += static_cast<std::size_t>(n);
@@ -862,7 +862,7 @@ void StreamServer::close_connection(Connection& conn) {
   }
   if (conn.fd >= 0) ::close(conn.fd);
   {
-    std::lock_guard<std::mutex> guard(stats_mutex_);
+    runtime::MutexLock guard(stats_mutex_);
     ++stats_.closed;
   }
   connections_.erase(conn.id);  // invalidates conn

@@ -29,11 +29,11 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "runtime/sync.hpp"
 #include "runtime/thread_pool.hpp"
 #include "serve/session.hpp"
 #include "serve/wire.hpp"
@@ -160,8 +160,8 @@ class StreamServer {
     /// Async-signal-safe (send with MSG_NOSIGNAL only).
     void wake() noexcept;
 
-    std::mutex mutex;
-    std::vector<Completion> items;
+    runtime::Mutex mutex;
+    std::vector<Completion> items SAFE_GUARDED_BY(mutex);
     int wake_write_fd = -1;  ///< set once in bind_and_listen(), closed here
   };
 
@@ -211,8 +211,8 @@ class StreamServer {
   bool draining_ = false;
   std::uint64_t last_idle_check_ns_ = 0;
 
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
+  mutable runtime::Mutex stats_mutex_;
+  ServerStats stats_ SAFE_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace safe::serve

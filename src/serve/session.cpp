@@ -78,7 +78,7 @@ Session::Session(std::uint64_t token, std::string client_id,
 
 Session::StepOutput Session::process(const MeasurementFrame& frame,
                                      std::uint64_t now_ns) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  runtime::MutexLock guard(mutex_);
   last_active_ns_.store(now_ns, std::memory_order_relaxed);
   frames_.fetch_add(1, std::memory_order_relaxed);
   telemetry::add(session_frames_metric());
@@ -100,7 +100,7 @@ Session::StepOutput Session::process(const MeasurementFrame& frame,
 void Session::record_step_output(std::int64_t step,
                                  std::vector<std::uint8_t> bytes,
                                  std::uint64_t frame_count) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  runtime::MutexLock guard(mutex_);
   retained_.push_back(
       Retained{.step = step, .bytes = std::move(bytes), .frames = frame_count});
   while (retained_.size() > max_retained_steps_) {
@@ -110,7 +110,7 @@ void Session::record_step_output(std::int64_t step,
 }
 
 void Session::ack(std::int64_t last_step) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  runtime::MutexLock guard(mutex_);
   while (!retained_.empty() && retained_.front().step <= last_step) {
     trimmed_through_ = std::max(trimmed_through_, retained_.front().step);
     retained_.pop_front();
@@ -121,7 +121,7 @@ void Session::ack(std::int64_t last_step) {
 }
 
 Session::Replay Session::collect_replay(std::int64_t last_step) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  runtime::MutexLock guard(mutex_);
   Replay replay;
   if (last_step < trimmed_through_) {
     // Steps in (last_step, trimmed_through_] were already dropped — the
@@ -144,7 +144,7 @@ SessionManager::OpenResult SessionManager::open(const HelloFrame& hello,
                                                 std::uint64_t now_ns) {
   OpenResult result;
   const auto rejected = [&](ErrorCode code, std::string message) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::MutexLock guard(mutex_);
     ++counters_.rejected;
     telemetry::add(sessions_rejected_metric());
     result.error_code = code;
@@ -176,7 +176,7 @@ SessionManager::OpenResult SessionManager::open(const HelloFrame& hello,
   // pipeline construction, so two racing HELLOs cannot both pass the cap.
   std::uint64_t token = 0;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::MutexLock guard(mutex_);
     if (sessions_.size() >= limits_.max_sessions) {
       ++counters_.rejected;
       telemetry::add(sessions_rejected_metric());
@@ -203,7 +203,7 @@ SessionManager::OpenResult SessionManager::open(const HelloFrame& hello,
                                         spec_from(hello), now_ns,
                                         limits_.max_retained_steps);
   } catch (const std::exception& e) {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::MutexLock guard(mutex_);
     sessions_.erase(token);
     ++counters_.rejected;
     telemetry::add(sessions_rejected_metric());
@@ -213,7 +213,7 @@ SessionManager::OpenResult SessionManager::open(const HelloFrame& hello,
   }
 
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::MutexLock guard(mutex_);
     sessions_[token] = session;
     ++counters_.opened;
   }
@@ -224,7 +224,7 @@ SessionManager::OpenResult SessionManager::open(const HelloFrame& hello,
 }
 
 SessionPtr SessionManager::find(std::uint64_t token) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  runtime::MutexLock guard(mutex_);
   const auto it = sessions_.find(token);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -239,7 +239,7 @@ void SessionManager::record_session_end(const Session& session,
 bool SessionManager::close(std::uint64_t token, std::uint64_t now_ns) {
   SessionPtr session;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::MutexLock guard(mutex_);
     const auto it = sessions_.find(token);
     if (it != sessions_.end()) {
       session = std::move(it->second);
@@ -260,7 +260,7 @@ bool SessionManager::close(std::uint64_t token, std::uint64_t now_ns) {
 bool SessionManager::detach(std::uint64_t token, std::uint64_t now_ns) {
   SessionPtr dropped;  // destroyed outside the lock
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::MutexLock guard(mutex_);
     const auto it = sessions_.find(token);
     if (it == sessions_.end() || !it->second) return false;
     SessionPtr session = std::move(it->second);
@@ -291,7 +291,7 @@ SessionManager::ResumeResult SessionManager::resume(std::uint64_t token,
                                                     std::uint64_t now_ns) {
   ResumeResult result;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::MutexLock guard(mutex_);
     const auto it = detached_.find(token);
     if (it == detached_.end()) {
       result.status = ResumeStatus::kUnknown;
@@ -324,7 +324,7 @@ SessionManager::ResumeResult SessionManager::resume(std::uint64_t token,
 std::size_t SessionManager::expire_detached(std::uint64_t now_ns) {
   std::vector<SessionPtr> dead;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::MutexLock guard(mutex_);
     for (auto it = detached_.begin(); it != detached_.end();) {
       if (now_ns - it->second.detached_ns > limits_.resume_grace_ns) {
         dead.push_back(std::move(it->second.session));
@@ -347,7 +347,7 @@ std::vector<SessionManager::Evicted> SessionManager::evict_idle(
   std::vector<Evicted> evicted;
   std::vector<SessionPtr> dead;
   {
-    std::lock_guard<std::mutex> guard(mutex_);
+    runtime::MutexLock guard(mutex_);
     for (auto it = sessions_.begin(); it != sessions_.end();) {
       const SessionPtr& session = it->second;
       // Placeholder slots (HELLO mid-construction) are never idle.
@@ -371,17 +371,17 @@ std::vector<SessionManager::Evicted> SessionManager::evict_idle(
 }
 
 std::size_t SessionManager::size() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  runtime::MutexLock guard(mutex_);
   return sessions_.size();
 }
 
 std::size_t SessionManager::detached_size() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  runtime::MutexLock guard(mutex_);
   return detached_.size();
 }
 
 SessionManager::Counters SessionManager::counters() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  runtime::MutexLock guard(mutex_);
   return counters_;
 }
 

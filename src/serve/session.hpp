@@ -24,13 +24,13 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "runtime/sync.hpp"
 #include "serve/trace_source.hpp"
 #include "serve/wire.hpp"
 
@@ -149,10 +149,11 @@ class Session {
   const TraceSpec spec_;
   const std::uint64_t opened_ns_;
   const std::size_t max_retained_steps_;
-  std::mutex mutex_;
-  core::SafeMeasurementPipeline pipeline_;
-  std::deque<Retained> retained_;     // guarded by mutex_
-  std::int64_t trimmed_through_ = -1;  // guarded by mutex_; highest step dropped
+  runtime::Mutex mutex_;
+  core::SafeMeasurementPipeline pipeline_ SAFE_GUARDED_BY(mutex_);
+  std::deque<Retained> retained_ SAFE_GUARDED_BY(mutex_);
+  /// Highest step already dropped from retained_ (ACK trim or cap overflow).
+  std::int64_t trimmed_through_ SAFE_GUARDED_BY(mutex_) = -1;
   std::atomic<std::uint64_t> last_active_ns_;
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::int64_t> last_step_{-1};
@@ -241,13 +242,26 @@ class SessionManager {
 
   void record_session_end(const Session& session, std::uint64_t now_ns) const;
 
+#ifdef SAFE_SENSING_TS_NEGATIVE_TEST
+  // Hooks for tests/compile_fail/ts_*.cpp only (see ThreadPool): defined by
+  // the test TU to prove a GUARDED_BY violation against the session maps is
+  // a build break under -Werror=thread-safety.
+  std::size_t ts_probe_sessions_unlocked();
+  std::size_t ts_probe_sessions_locked();
+#endif
+
   const SessionLimits limits_;
   const std::uint64_t master_seed_;
-  mutable std::mutex mutex_;
-  std::uint64_t next_session_counter_ = 0;
-  std::unordered_map<std::uint64_t, SessionPtr> sessions_;
-  std::unordered_map<std::uint64_t, Detached> detached_;
-  Counters counters_;
+  /// One mutex covers the live map, the detached cache, the token counter,
+  /// and the counters: session open/close/detach/resume transitions must be
+  /// atomic across the two maps (a token may never be in both).
+  mutable runtime::Mutex mutex_;
+  std::uint64_t next_session_counter_ SAFE_GUARDED_BY(mutex_) = 0;
+  std::unordered_map<std::uint64_t, SessionPtr> sessions_
+      SAFE_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, Detached> detached_
+      SAFE_GUARDED_BY(mutex_);
+  Counters counters_ SAFE_GUARDED_BY(mutex_);
 };
 
 }  // namespace safe::serve

@@ -25,7 +25,7 @@ class GaussianNoise {
  private:
   double mean_;
   double stddev_;
-  std::mt19937_64 rng_;
+  std::mt19937_64 rng_;  // ctor-seeded; lint: allow(unseeded-engine)
   std::normal_distribution<double> dist_;
 };
 
@@ -37,7 +37,7 @@ class UniformNoise {
   double sample();
 
  private:
-  std::mt19937_64 rng_;
+  std::mt19937_64 rng_;  // ctor-seeded; lint: allow(unseeded-engine)
   std::uniform_real_distribution<double> dist_;
 };
 

@@ -1,5 +1,7 @@
 #include "telemetry/telemetry.hpp"
 
+#include "runtime/sync.hpp"
+
 #include <algorithm>
 #include <charconv>
 #include <chrono>
@@ -8,7 +10,6 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <unordered_map>
 #include <utility>
@@ -72,9 +73,9 @@ struct Shard {
   };
   HistSlot hists[kMaxHistograms] = {};
 
-  std::mutex trace_mutex;
-  std::vector<TraceEvent> events;
-  std::uint64_t dropped_events = 0;
+  runtime::Mutex trace_mutex;
+  std::vector<TraceEvent> events SAFE_GUARDED_BY(trace_mutex);
+  std::uint64_t dropped_events SAFE_GUARDED_BY(trace_mutex) = 0;
   std::string thread_name;
   std::uint64_t tid = 0;
 };
@@ -96,12 +97,13 @@ struct Registration {
 /// counts stay visible to counter_value() and the final merge, and the
 /// thread_local pointer into the roster stays valid for the thread's life.
 struct Registry {
-  std::mutex mutex;
-  std::unordered_map<std::string, MetricId> by_name;
-  std::vector<Registration> registrations;  ///< In registration order.
-  std::size_t num_counters = 0;
-  std::size_t num_gauges = 0;
-  std::size_t num_histograms = 0;
+  runtime::Mutex mutex;
+  std::unordered_map<std::string, MetricId> by_name SAFE_GUARDED_BY(mutex);
+  std::vector<Registration> registrations
+      SAFE_GUARDED_BY(mutex);  ///< In registration order.
+  std::size_t num_counters SAFE_GUARDED_BY(mutex) = 0;
+  std::size_t num_gauges SAFE_GUARDED_BY(mutex) = 0;
+  std::size_t num_histograms SAFE_GUARDED_BY(mutex) = 0;
   /// Fixed array, filled before the histogram id is published, immutable
   /// afterwards — so record() reads bounds with no lock (hot path).
   std::array<HistogramRegistration, kMaxHistograms> histogram_bounds = {};
@@ -117,7 +119,7 @@ Registry& registry() {
 Shard& local_shard() {
   thread_local Shard* shard = [] {
     Registry& r = registry();
-    std::lock_guard<std::mutex> guard(r.mutex);
+    runtime::MutexLock guard(r.mutex);
     r.shards.push_back(std::make_unique<Shard>());
     r.shards.back()->tid = r.next_tid++;
     return r.shards.back().get();
@@ -142,7 +144,7 @@ MetricId register_metric(std::string_view name, MetricKind kind,
                          Stability stability,
                          std::vector<double> upper_bounds = {}) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> guard(r.mutex);
+  runtime::MutexLock guard(r.mutex);
   const std::string key(name);
   if (const auto it = r.by_name.find(key); it != r.by_name.end()) {
     // Idempotent on (name, kind); a kind clash must not alias another
@@ -181,7 +183,7 @@ MetricId register_metric(std::string_view name, MetricKind kind,
 
 void append_trace_event(TraceEvent event) {
   Shard& shard = local_shard();
-  std::lock_guard<std::mutex> guard(shard.trace_mutex);
+  runtime::MutexLock guard(shard.trace_mutex);
   if (shard.events.size() >= kMaxTraceEventsPerThread) {
     ++shard.dropped_events;
     return;
@@ -382,7 +384,7 @@ std::uint64_t counter_value(MetricId id) {
     return 0;
   }
   Registry& r = registry();
-  std::lock_guard<std::mutex> guard(r.mutex);
+  runtime::MutexLock guard(r.mutex);
   std::uint64_t sum = 0;
   for (const auto& shard : r.shards) {
     sum += shard->counters[id.index].load(std::memory_order_relaxed);
@@ -392,7 +394,7 @@ std::uint64_t counter_value(MetricId id) {
 
 void set_thread_name(std::string name) {
   Shard& shard = local_shard();
-  std::lock_guard<std::mutex> guard(shard.trace_mutex);
+  runtime::MutexLock guard(shard.trace_mutex);
   shard.thread_name = std::move(name);
 }
 
@@ -483,7 +485,7 @@ std::vector<MetricSnapshot> MetricsSnapshot::deterministic() const {
 
 MetricsSnapshot collect_metrics() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> guard(r.mutex);
+  runtime::MutexLock guard(r.mutex);
 
   MetricsSnapshot snapshot;
   snapshot.metrics.reserve(r.registrations.size());
@@ -537,7 +539,7 @@ MetricsSnapshot collect_metrics() {
     snapshot.metrics.push_back(std::move(m));
   }
   for (const auto& shard : r.shards) {
-    std::lock_guard<std::mutex> trace_guard(shard->trace_mutex);
+    runtime::MutexLock trace_guard(shard->trace_mutex);
     snapshot.dropped_trace_events += shard->dropped_events;
   }
   std::sort(snapshot.metrics.begin(), snapshot.metrics.end(),
@@ -624,10 +626,10 @@ void write_chrome_trace(std::ostream& out) {
   std::uint64_t dropped = 0;
   {
     Registry& r = registry();
-    std::lock_guard<std::mutex> guard(r.mutex);
+    runtime::MutexLock guard(r.mutex);
     std::uint64_t seq = 0;
     for (const auto& shard : r.shards) {
-      std::lock_guard<std::mutex> trace_guard(shard->trace_mutex);
+      runtime::MutexLock trace_guard(shard->trace_mutex);
       if (!shard->thread_name.empty()) {
         thread_names.emplace_back(shard->tid, shard->thread_name);
       }
@@ -709,7 +711,7 @@ void write_chrome_trace(std::ostream& out) {
 
 void reset_for_testing() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> guard(r.mutex);
+  runtime::MutexLock guard(r.mutex);
   for (const auto& shard : r.shards) {
     for (auto& c : shard->counters) c.store(0, std::memory_order_relaxed);
     for (auto& g : shard->gauges) {
@@ -722,7 +724,7 @@ void reset_for_testing() {
       h.min_bits.store(0, std::memory_order_relaxed);
       h.max_bits.store(0, std::memory_order_relaxed);
     }
-    std::lock_guard<std::mutex> trace_guard(shard->trace_mutex);
+    runtime::MutexLock trace_guard(shard->trace_mutex);
     shard->events.clear();
     shard->dropped_events = 0;
   }

@@ -1,0 +1,27 @@
+// Positive control for the thread-safety negative tests: the same guarded
+// fields, accessed correctly under a MutexLock, MUST COMPILE clean with
+// -Werror=thread-safety. If this ever fails, the ts_* failures next to it
+// prove nothing (the harness or the annotations broke, not the discipline).
+#define SAFE_SENSING_TS_NEGATIVE_TEST
+#include "runtime/thread_pool.hpp"
+#include "serve/session.hpp"
+
+namespace safe::runtime {
+
+std::size_t ThreadPool::ts_probe_queue_depth_locked() {
+  MutexLock guard(queues_[0]->mutex);
+  return queues_[0]->tasks.size();
+}
+
+}  // namespace safe::runtime
+
+namespace safe::serve {
+
+std::size_t SessionManager::ts_probe_sessions_locked() {
+  runtime::MutexLock guard(mutex_);
+  return sessions_.size() + detached_.size();
+}
+
+}  // namespace safe::serve
+
+int main() { return 0; }

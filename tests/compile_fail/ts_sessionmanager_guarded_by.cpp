@@ -1,0 +1,19 @@
+// MUST NOT COMPILE (clang, -Werror=thread-safety): touching the
+// SessionManager's live-session map without holding the manager mutex is a
+// build break. The probe hook only exists under
+// SAFE_SENSING_TS_NEGATIVE_TEST (see session.hpp); defining it out of class
+// here gives this TU access to the private guarded fields without weakening
+// production visibility.
+#define SAFE_SENSING_TS_NEGATIVE_TEST
+#include "serve/session.hpp"
+
+namespace safe::serve {
+
+std::size_t SessionManager::ts_probe_sessions_unlocked() {
+  // error: reading variable 'sessions_' requires holding mutex 'mutex_'
+  return sessions_.size() + detached_.size();
+}
+
+}  // namespace safe::serve
+
+int main() { return 0; }

@@ -1,0 +1,19 @@
+// MUST NOT COMPILE (clang, -Werror=thread-safety): reading a field declared
+// SAFE_GUARDED_BY without holding its mutex is a build break, proven against
+// the real ThreadPool worker queues rather than a toy type. The probe hook
+// below only exists under SAFE_SENSING_TS_NEGATIVE_TEST (see
+// thread_pool.hpp); defining it out of class here gives this TU access to
+// the private guarded fields without weakening production visibility.
+#define SAFE_SENSING_TS_NEGATIVE_TEST
+#include "runtime/thread_pool.hpp"
+
+namespace safe::runtime {
+
+std::size_t ThreadPool::ts_probe_queue_depth_unlocked() {
+  // error: reading variable 'tasks' requires holding mutex 'mutex'
+  return queues_[0]->tasks.size();
+}
+
+}  // namespace safe::runtime
+
+int main() { return 0; }

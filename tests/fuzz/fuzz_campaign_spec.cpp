@@ -1,0 +1,25 @@
+// Fuzz harness for the campaign spec mini-language parser.
+//
+// Contract under test: parse_campaign_spec() either returns a CampaignSpec
+// or throws std::invalid_argument naming the offending token. Any other
+// exception type and any crash is a finding, so only the documented type
+// is caught here.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/spec.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const safe::runtime::CampaignSpec parsed =
+        safe::runtime::parse_campaign_spec(text);
+    (void)parsed;
+  } catch (const std::invalid_argument&) {
+    // Documented rejection path.
+  }
+  return 0;
+}

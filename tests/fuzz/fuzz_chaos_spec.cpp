@@ -1,0 +1,25 @@
+// Fuzz harness for the chaos-proxy spec mini-language parser.
+//
+// Contract under test: parse_chaos_spec() either returns a ChaosSpec or
+// throws std::invalid_argument naming the offending token. Any other
+// exception type (std::out_of_range from an unguarded stoull, bad_alloc
+// from a hostile length...) and any crash is a finding, so only the
+// documented type is caught here.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "serve/chaos.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+  try {
+    const safe::serve::ChaosSpec parsed = safe::serve::parse_chaos_spec(spec);
+    (void)parsed;
+  } catch (const std::invalid_argument&) {
+    // Documented rejection path.
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Fuzz harness for the fault-schedule spec mini-language parser.
+//
+// Contract under test: parse_fault_spec() either returns a FaultSchedule or
+// throws std::invalid_argument naming the offending token. Any other
+// exception type and any crash is a finding, so only the documented type
+// is caught here. The seed is fixed: parsing must not depend on it, and a
+// deterministic harness keeps crashes reproducible from the input alone.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "fault/schedule.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string spec(reinterpret_cast<const char*>(data), size);
+  try {
+    const safe::fault::FaultSchedule parsed =
+        safe::fault::parse_fault_spec(spec, /*seed=*/1);
+    (void)parsed;
+  } catch (const std::invalid_argument&) {
+    // Documented rejection path.
+  }
+  return 0;
+}

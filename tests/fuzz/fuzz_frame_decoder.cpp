@@ -1,0 +1,91 @@
+// Fuzz harness for the wire-protocol FrameDecoder (DESIGN.md §12, §14).
+//
+// Contract under test: feed() / next() over arbitrary byte streams never
+// crash, never read outside the fed bytes (ASan-checked), and framing
+// violations land in the sticky failed state instead of throwing — the
+// decoder's error channel is failed()/error(), so ANY exception escaping
+// this harness is a finding. The first input byte picks the feed chunk
+// size, so one corpus exercises both the single-shot and the
+// byte-dribbling (chaos-proxy re-split) paths through the incremental
+// decoder; the typed decode() calls push coverage into every per-frame
+// payload parser.
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/wire.hpp"
+
+namespace {
+
+// Parse the payload as every frame type claims it, not just the one the
+// header names: decode() must reject cross-type payloads gracefully.
+void decode_all_types(const safe::serve::Frame& frame) {
+  using namespace safe::serve;
+  std::string error;
+  {
+    HelloFrame out;
+    (void)decode(frame, out, &error);
+  }
+  {
+    MeasurementFrame out;
+    (void)decode(frame, out, &error);
+  }
+  {
+    EstimateFrame out;
+    (void)decode(frame, out, &error);
+  }
+  {
+    ChallengeResultFrame out;
+    (void)decode(frame, out, &error);
+  }
+  {
+    StatusFrame out;
+    (void)decode(frame, out, &error);
+  }
+  {
+    ErrorFrame out;
+    (void)decode(frame, out, &error);
+  }
+  {
+    ResumeFrame out;
+    (void)decode(frame, out, &error);
+  }
+  {
+    ResumeOkFrame out;
+    (void)decode(frame, out, &error);
+  }
+  {
+    AckFrame out;
+    (void)decode(frame, out, &error);
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::size_t chunk = static_cast<std::size_t>(data[0] % 37) + 1;
+  const std::uint8_t* bytes = data + 1;
+  std::size_t remaining = size - 1;
+
+  safe::serve::FrameDecoder decoder;
+  while (remaining > 0) {
+    const std::size_t n = remaining < chunk ? remaining : chunk;
+    decoder.feed(bytes, n);
+    bytes += n;
+    remaining -= n;
+    while (std::optional<safe::serve::Frame> frame = decoder.next()) {
+      decode_all_types(*frame);
+    }
+  }
+  if (decoder.failed()) {
+    // Sticky-failure contract: more bytes and more polls stay inert.
+    const std::uint8_t probe[] = {0x01, 0x00, 0x00, 0x00, 0x01, 0x00};
+    decoder.feed(probe, sizeof(probe));
+    if (decoder.next().has_value()) __builtin_trap();
+    if (!decoder.failed() || decoder.error().empty()) __builtin_trap();
+  }
+  return 0;
+}

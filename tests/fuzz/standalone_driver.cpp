@@ -1,0 +1,58 @@
+// Minimal libFuzzer-compatible driver for toolchains without
+// -fsanitize=fuzzer (gcc). Runs LLVMFuzzerTestOneInput over every file or
+// directory argument — exactly libFuzzer's `fuzzer corpus/` regression mode
+// minus the coverage-guided mutation — so the checked-in corpora execute as
+// a ctest regression on every compiler, and a crash reproducer from CI can
+// be replayed locally with `./fuzz_<target> <reproducer>`.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+int run_one(const std::filesystem::path& path) {
+  const std::vector<std::uint8_t> bytes = read_file(path);
+  std::fprintf(stderr, "Running: %s (%zu bytes)\n", path.c_str(),
+               bytes.size());
+  // A crash below aborts the process, which is the failure signal.
+  (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int executed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& file : files) executed += run_one(file);
+    } else if (std::filesystem::is_regular_file(arg)) {
+      executed += run_one(arg);
+    } else {
+      std::fprintf(stderr, "no such input: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  std::fprintf(stderr, "Executed %d input(s): no crashes.\n", executed);
+  return 0;
+}

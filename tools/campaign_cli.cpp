@@ -125,7 +125,7 @@ std::string load_spec_text(const std::string& arg) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace safe;
 
   std::string spec_text;
@@ -260,4 +260,19 @@ int main(int argc, char** argv) {
     std::cout << runtime::format_summary(result.summary);
   }
   return result.summary.errors == 0 ? 0 : 1;
+}
+
+// Keeps bugprone-exception-escape honest for the CLI entry points: any
+// exception the command loop does not handle becomes a diagnostic and a
+// nonzero exit instead of std::terminate.
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown error\n");
+    return 1;
+  }
 }

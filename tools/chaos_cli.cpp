@@ -48,7 +48,7 @@ extern "C" void handle_stop_signal(int) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace safe;
 
   std::string target_host = "127.0.0.1";
@@ -166,4 +166,19 @@ int main(int argc, char** argv) {
         << "}\n";
   }
   return 0;
+}
+
+// Keeps bugprone-exception-escape honest for the CLI entry points: any
+// exception the command loop does not handle becomes a diagnostic and a
+// nonzero exit instead of std::terminate.
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown error\n");
+    return 1;
+  }
 }

@@ -1,0 +1,122 @@
+"""Unit-safety check: the dimensional-safety layer stays the single owner
+of conversion constants and dB math (DESIGN.md "Dimensional safety").
+
+Rules:
+  magic-constant   Unit-conversion literals (speed of light, mph <-> m/s
+                   factors) outside src/units/. Use units::kSpeedOfLight,
+                   units::from_mph(), units::to_mph().
+  db-pow           `std::pow(10, x / 10)`-style decibel math outside
+                   src/units/. Use units::Decibels::to_linear() /
+                   units::Decibels::from_linear().
+  raw-double-name  A raw `double` parameter or member whose name says it is
+                   a physical quantity (distance/delay/range/gap/speed/
+                   velocity) in a public header. Use the strong types from
+                   units/units.hpp so wrong-unit call sites fail to compile.
+  raw-double-unit  A raw `double` parameter or member with a unit-suffixed
+                   name (`_m`, `_s`, `_mps`, `_hz`, ...) in a public header.
+                   Same fix as raw-double-name.
+
+Exemptions, by design: src/units/ defines the constants and conversions;
+src/dsp/ is the documented raw-double hot-loop layer (dimensionless samples
+plus an explicit sample rate), so the header rules skip it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from framework import CheckContext, Finding, register
+
+ALL_CODE_DIRS = ("src", "bench", "examples", "tests", "tools")
+HEADER_RULE_DIRS = ("src",)
+
+UNITS_DIR = "src/units"
+HEADER_RULE_EXEMPT = (UNITS_DIR, "src/dsp")
+
+#: The lint selftest fixtures contain deliberate violations; scanning them
+#: from the real repo root would report the bait as findings.
+FIXTURE_DIR = "tools/lint/tests"
+
+# Unit-conversion literals that must only live in src/units/units.hpp.
+# 299792458 (speed of light, m/s), 0.44704 (mph -> m/s), 2.23694 (m/s -> mph),
+# 3.33564e-9 (1/c in s/m).
+MAGIC_CONSTANT = re.compile(
+    r"299\s*792\s*458"
+    r"|2\.99792458e\+?8"
+    r"|0\.44704"
+    r"|2\.23694"
+    r"|3\.33564e-9"
+)
+
+# std::pow(10, x) / pow(10.0, x): decibel math open-coded at a call site.
+DB_POW = re.compile(r"\bpow\s*\(\s*10(\.0*)?\s*[,f]")
+
+# Raw double named like a physical quantity (parameter or member).
+RAW_DOUBLE_NAME = re.compile(
+    r"\bdouble\s+[A-Za-z_]*"
+    r"(distance|delay|range|gap|speed|velocity)"
+    r"[A-Za-z0-9_]*"
+)
+
+# Raw double with a unit-suffixed identifier. Skips function declarations
+# (identifier followed by `(`) and `_per_` compound gains, which are genuine
+# ratios rather than single-dimension quantities.
+RAW_DOUBLE_UNIT = re.compile(
+    r"\bdouble\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*_(m|s|mps|mps2|hz|hzps|rad|db))"
+    r"\b(?!\s*\()"
+)
+
+
+@register("units", "unit-conversion constants and raw-double quantities")
+def check_units(ctx: CheckContext) -> Iterator[Finding]:
+    # Rule family 1: constants and dB math, all translation units.
+    for path in ctx.iter_files(ALL_CODE_DIRS, (".hpp", ".cpp", ".h", ".cc")):
+        if ctx.under(path, (UNITS_DIR, FIXTURE_DIR)):
+            continue
+        for line in ctx.lines(path):
+            if MAGIC_CONSTANT.search(line.text) and not line.allows(
+                "magic-constant"
+            ):
+                yield Finding(
+                    line.rel, line.lineno, "magic-constant",
+                    "unit-conversion literal; use the constants/helpers in "
+                    "units/units.hpp",
+                    "units",
+                )
+            if DB_POW.search(line.text) and not line.allows("db-pow"):
+                yield Finding(
+                    line.rel, line.lineno, "db-pow",
+                    "open-coded decibel conversion; use "
+                    "units::Decibels::to_linear()/from_linear()",
+                    "units",
+                )
+
+    # Rule family 2: raw-double quantities in public headers.
+    for path in ctx.iter_files(HEADER_RULE_DIRS, (".hpp", ".h")):
+        if ctx.under(path, HEADER_RULE_EXEMPT):
+            continue
+        for line in ctx.lines(path):
+            if line.is_comment:
+                continue
+            m = RAW_DOUBLE_NAME.search(line.text)
+            if m and not line.allows("raw-double-name"):
+                yield Finding(
+                    line.rel, line.lineno, "raw-double-name",
+                    f"'{m.group(0)}' names a physical quantity; use the "
+                    "strong types from units/units.hpp",
+                    "units",
+                )
+                continue
+            m = RAW_DOUBLE_UNIT.search(line.text)
+            if (
+                m
+                and "_per_" not in m.group("name")
+                and not line.allows("raw-double-unit")
+            ):
+                yield Finding(
+                    line.rel, line.lineno, "raw-double-unit",
+                    f"'double {m.group('name')}' has a unit-suffixed name; "
+                    "use the strong types from units/units.hpp",
+                    "units",
+                )

@@ -1,0 +1,173 @@
+"""Shared infrastructure for the project lint checks (DESIGN.md §14).
+
+A check is a callable over a repository tree that yields findings. The
+framework owns everything the checks share, so each check is only its
+patterns and its scope:
+
+  * the file walker (sorted, suffix-filtered, rooted anywhere — the
+    selftest points it at fixture trees that mimic the repo layout);
+  * per-line suppression comments: `lint: allow(<rule>)` silences exactly
+    one rule on that line, keeping deliberate exceptions greppable and
+    reviewable (the legacy `lint-units: allow` marker silences every rule
+    and remains honored);
+  * finding aggregation and the text / JSON output formats;
+  * exit-status policy: 0 clean, 1 findings, 2 usage error.
+
+Checks register with @register; tools/lint/lint.py is the CLI entry and
+tools/lint/selftest.py pins each check's behavior against fixtures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+#: Silences every rule on the line (historic marker, kept so existing
+#: annotated sources stay valid).
+LEGACY_ALLOW_MARKER = "lint-units: allow"
+
+#: `lint: allow(rule-name)` — silences one named rule on that line.
+ALLOW_RE = re.compile(r"lint:\s*allow\(([A-Za-z0-9_-]+)\)")
+
+PURE_COMMENT = re.compile(r"^\s*(//|\*|/\*)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    path: str  #: repo-relative posix path
+    line: int  #: 1-based
+    rule: str
+    message: str
+    check: str
+
+    def text(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceLine:
+    """One scannable line: suppression and comment state precomputed."""
+
+    path: Path
+    rel: str
+    lineno: int
+    text: str
+    allow_all: bool
+    allowed_rules: frozenset[str]
+    is_comment: bool
+
+    def allows(self, rule: str) -> bool:
+        return self.allow_all or rule in self.allowed_rules
+
+
+class CheckContext:
+    """Scanning utilities bound to one repository (or fixture) root."""
+
+    def __init__(self, root: Path):
+        self.root = root
+
+    def rel(self, path: Path) -> str:
+        return path.relative_to(self.root).as_posix()
+
+    def iter_files(
+        self, dirs: tuple[str, ...], suffixes: tuple[str, ...]
+    ) -> Iterator[Path]:
+        for top in dirs:
+            base = self.root / top
+            if not base.is_dir():
+                continue
+            for path in sorted(base.rglob("*")):
+                if path.suffix in suffixes and path.is_file():
+                    yield path
+
+    def under(self, path: Path, tops: tuple[str, ...]) -> bool:
+        r = self.rel(path)
+        return any(r == t or r.startswith(t + "/") for t in tops)
+
+    def lines(self, path: Path) -> Iterator[SourceLine]:
+        rel = self.rel(path)
+        for lineno, text in enumerate(path.read_text().splitlines(), 1):
+            yield SourceLine(
+                path=path,
+                rel=rel,
+                lineno=lineno,
+                text=text,
+                allow_all=LEGACY_ALLOW_MARKER in text,
+                allowed_rules=frozenset(ALLOW_RE.findall(text)),
+                is_comment=bool(PURE_COMMENT.match(text)),
+            )
+
+
+#: A check takes a context and yields findings.
+CheckFn = Callable[[CheckContext], Iterable[Finding]]
+
+
+@dataclasses.dataclass(frozen=True)
+class Check:
+    name: str
+    description: str
+    fn: CheckFn
+
+
+_REGISTRY: dict[str, Check] = {}
+
+
+def register(name: str, description: str):
+    """Decorator: adds a check to the global registry."""
+
+    def wrap(fn: CheckFn) -> CheckFn:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate check name: {name}")
+        _REGISTRY[name] = Check(name=name, description=description, fn=fn)
+        return fn
+
+    return wrap
+
+
+def all_checks() -> list[Check]:
+    return [c for _, c in sorted(_REGISTRY.items())]
+
+
+def get_check(name: str) -> Check:
+    return _REGISTRY[name]
+
+
+def run_checks(
+    root: Path,
+    checks: Iterable[Check],
+    *,
+    as_json: bool = False,
+    out=sys.stdout,
+    err=sys.stderr,
+) -> int:
+    """Runs `checks` against `root`; prints findings; returns exit status."""
+    findings: list[Finding] = []
+    for check in checks:
+        findings.extend(check.fn(CheckContext(root)))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+
+    if as_json:
+        json.dump(
+            {
+                "clean": not findings,
+                "findings": [f.as_json() for f in findings],
+            },
+            out,
+            indent=2,
+        )
+        out.write("\n")
+    else:
+        for f in findings:
+            print(f.text(), file=out)
+        if findings:
+            print(f"\nlint: {len(findings)} finding(s)", file=err)
+        else:
+            print("lint: clean", file=out)
+    return 1 if findings else 0

@@ -1,0 +1,23 @@
+// Fixture: every determinism rule must fire exactly once in this file.
+#include <chrono>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+void drift() {
+  auto wall = std::chrono::system_clock::now();  // wall-clock
+  (void)wall;
+  std::random_device entropy;  // nondeterministic-seed
+  (void)entropy;
+  int r = rand();  // c-rand
+  (void)r;
+  std::mt19937_64 rng;  // unseeded-engine
+  (void)rng;
+  std::unordered_map<int, int> counts;
+  for (const auto& kv : counts) {  // unordered-iter
+    (void)kv;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,48 @@
+// Fixture: deterministic idioms plus one suppressed occurrence per rule.
+// None may produce findings.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+void clean(std::uint64_t seed) {
+  // Monotonic clocks are allowed by design (event-loop timeouts).
+  auto mono = std::chrono::steady_clock::now();
+  (void)mono;
+  // An engine fed an explicit seed is the required idiom.
+  std::mt19937_64 rng(seed);
+  (void)rng;
+  // Ordered containers iterate deterministically.
+  std::map<int, int> ordered;
+  for (const auto& kv : ordered) (void)kv;
+  // Collect-and-sort over an unordered container: the range-for is over
+  // the sorted copy, not the unordered original.
+  std::unordered_map<int, int> counts;
+  std::vector<int> keys;
+  keys.reserve(counts.size());
+  for (auto it = counts.begin(); it != counts.end(); ++it) {
+    keys.push_back(it->first);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (int k : keys) (void)k;
+}
+
+void suppressed() {
+  auto boot = std::chrono::system_clock::now();  // lint: allow(wall-clock)
+  (void)boot;
+  std::random_device probe;  // lint: allow(nondeterministic-seed)
+  (void)probe;
+  int r = rand();  // lint: allow(c-rand)
+  (void)r;
+  std::mt19937_64 rng;  // lint: allow(unseeded-engine)
+  (void)rng;
+  std::unordered_map<int, int> counts;
+  for (const auto& kv : counts) (void)kv;  // lint: allow(unordered-iter)
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: src/serve event-loop code is outside the determinism scope (only
+// session/trace_source/wire are parity-critical), so nothing here may be
+// flagged even though it uses wall clocks and ambient entropy.
+#include <chrono>
+#include <random>
+
+namespace fixture {
+
+void event_loop() {
+  auto wall = std::chrono::system_clock::now();
+  (void)wall;
+  std::random_device entropy;
+  (void)entropy;
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: every units rule must fire exactly once in this header.
+#pragma once
+
+namespace fixture {
+
+constexpr double kC = 299792458.0;  // magic-constant
+
+inline double to_linear(double db) {
+  return pow(10.0, db / 10.0);  // db-pow
+}
+
+struct Echo {
+  double target_distance;  // raw-double-name
+  double window_s;         // raw-double-unit
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: the clean shapes next to each rule's violation, plus one
+// suppressed occurrence per suppression flavor. None may produce findings.
+#pragma once
+
+namespace fixture {
+
+constexpr double kSpeedOfLight = 299792458.0;  // lint: allow(magic-constant)
+constexpr double kLegacy = 0.44704;  // lint-units: allow (legacy marker)
+
+// A comment mentioning double target_distance does not fire header rules.
+struct Echo {
+  int distance_bins;     // not a double: no rule applies
+  double gain_per_m;     // _per_ compound: a ratio, exempt by design
+  double offset_m(int);  // unit-suffixed function declaration, exempt
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: src/units/ owns the conversion constants; nothing here may be
+// flagged even though every banned literal appears.
+#pragma once
+
+namespace fixture::units {
+
+constexpr double kSpeedOfLight = 299792458.0;
+constexpr double kMphToMps = 0.44704;
+constexpr double kMpsToMph = 2.23694;
+
+}  // namespace fixture::units

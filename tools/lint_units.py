@@ -1,169 +1,22 @@
 #!/usr/bin/env python3
-"""Project-specific unit-safety lint for the safe-sensing codebase.
+"""Back-compat shim: the unit-safety lint moved into the tools/lint/
+framework (tools/lint/check_units.py). This entry point keeps existing
+invocations (`python3 tools/lint_units.py`, the CI lint job, developer
+muscle memory) working and is equivalent to:
 
-The dimensional-safety layer in src/units/ owns every unit conversion
-constant and every dB <-> linear conversion. This lint keeps it that way:
+    tools/lint/lint.py --check units
 
-  magic-constant   Unit-conversion literals (speed of light, mph <-> m/s
-                   factors) outside src/units/. Use units::kSpeedOfLight,
-                   units::from_mph(), units::to_mph().
-  db-pow           `std::pow(10, x / 10)`-style decibel math outside
-                   src/units/. Use units::Decibels::to_linear() /
-                   units::Decibels::from_linear().
-  raw-double-name  A raw `double` parameter or member whose name says it is
-                   a physical quantity (distance/delay/range/gap/speed/
-                   velocity) in a public header. Use the strong types from
-                   units/units.hpp so wrong-unit call sites fail to compile.
-  raw-double-unit  A raw `double` parameter or member with a unit-suffixed
-                   name (`_m`, `_s`, `_mps`, `_hz`, ...) in a public header.
-                   Same fix as raw-double-name.
-
-Exemptions, by design (see DESIGN.md "Dimensional safety"):
-  * src/units/ defines the constants and conversions, so it is skipped.
-  * src/dsp/ is the raw-double hot-loop layer (FFT/MUSIC kernels operate on
-    dimensionless samples plus an explicit sample rate); the raw-double
-    rules do not apply there.
-  * A line containing `lint-units: allow` is skipped, so deliberate
-    exceptions stay greppable.
-
-Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
-Run from anywhere: paths are resolved relative to the repository root.
+Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
 from __future__ import annotations
 
-import argparse
-import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(Path(__file__).resolve().parent / "lint"))
 
-# Directories scanned for each rule family.
-ALL_CODE_DIRS = ("src", "bench", "examples", "tests", "tools")
-HEADER_RULE_DIRS = ("src",)
-
-# src/units/ owns the constants; src/dsp/ is the documented raw-double layer.
-UNITS_DIR = "src/units"
-HEADER_RULE_EXEMPT = (UNITS_DIR, "src/dsp")
-
-ALLOW_MARKER = "lint-units: allow"
-
-# Unit-conversion literals that must only live in src/units/units.hpp.
-# 299792458 (speed of light, m/s), 0.44704 (mph -> m/s), 2.23694 (m/s -> mph),
-# 3.33564e-9 (1/c in s/m).
-MAGIC_CONSTANT = re.compile(
-    r"299\s*792\s*458"
-    r"|2\.99792458e\+?8"
-    r"|0\.44704"
-    r"|2\.23694"
-    r"|3\.33564e-9"
-)
-
-# std::pow(10, x) / pow(10.0, x): decibel math open-coded at a call site.
-DB_POW = re.compile(r"\bpow\s*\(\s*10(\.0*)?\s*[,f]")
-
-# Raw double named like a physical quantity (parameter or member).
-RAW_DOUBLE_NAME = re.compile(
-    r"\bdouble\s+[A-Za-z_]*"
-    r"(distance|delay|range|gap|speed|velocity)"
-    r"[A-Za-z0-9_]*"
-)
-
-# Raw double with a unit-suffixed identifier. Skips function declarations
-# (identifier followed by `(`) and `_per_` compound gains, which are genuine
-# ratios rather than single-dimension quantities.
-RAW_DOUBLE_UNIT = re.compile(
-    r"\bdouble\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*_(m|s|mps|mps2|hz|hzps|rad|db))"
-    r"\b(?!\s*\()"
-)
-
-PURE_COMMENT = re.compile(r"^\s*(//|\*|/\*)")
-
-
-def iter_files(dirs: tuple[str, ...], suffixes: tuple[str, ...]):
-    for top in dirs:
-        root = REPO_ROOT / top
-        if not root.is_dir():
-            continue
-        for path in sorted(root.rglob("*")):
-            if path.suffix in suffixes and path.is_file():
-                yield path
-
-
-def rel(path: Path) -> str:
-    return path.relative_to(REPO_ROOT).as_posix()
-
-
-def under(path: Path, tops: tuple[str, ...]) -> bool:
-    r = rel(path)
-    return any(r == t or r.startswith(t + "/") for t in tops)
-
-
-def main(argv: list[str]) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--verbose", action="store_true", help="list files as they are scanned"
-    )
-    args = parser.parse_args(argv)
-
-    findings: list[str] = []
-
-    def report(path: Path, lineno: int, rule: str, message: str) -> None:
-        findings.append(f"{rel(path)}:{lineno}: [{rule}] {message}")
-
-    # Rule family 1: constants and dB math, all translation units.
-    for path in iter_files(ALL_CODE_DIRS, (".hpp", ".cpp", ".h", ".cc")):
-        if under(path, (UNITS_DIR,)):
-            continue
-        if args.verbose:
-            print(f"scan {rel(path)}", file=sys.stderr)
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            if ALLOW_MARKER in line:
-                continue
-            if MAGIC_CONSTANT.search(line):
-                report(
-                    path, lineno, "magic-constant",
-                    "unit-conversion literal; use the constants/helpers in "
-                    "units/units.hpp",
-                )
-            if DB_POW.search(line):
-                report(
-                    path, lineno, "db-pow",
-                    "open-coded decibel conversion; use "
-                    "units::Decibels::to_linear()/from_linear()",
-                )
-
-    # Rule family 2: raw-double quantities in public headers.
-    for path in iter_files(HEADER_RULE_DIRS, (".hpp", ".h")):
-        if under(path, HEADER_RULE_EXEMPT):
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            if ALLOW_MARKER in line or PURE_COMMENT.match(line):
-                continue
-            m = RAW_DOUBLE_NAME.search(line)
-            if m:
-                report(
-                    path, lineno, "raw-double-name",
-                    f"'{m.group(0)}' names a physical quantity; use the "
-                    "strong types from units/units.hpp",
-                )
-                continue
-            m = RAW_DOUBLE_UNIT.search(line)
-            if m and "_per_" not in m.group("name"):
-                report(
-                    path, lineno, "raw-double-unit",
-                    f"'double {m.group('name')}' has a unit-suffixed name; "
-                    "use the strong types from units/units.hpp",
-                )
-
-    if findings:
-        print("\n".join(findings))
-        print(f"\nlint_units: {len(findings)} finding(s)", file=sys.stderr)
-        return 1
-    print("lint_units: clean")
-    return 0
-
+from lint import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv[1:]))
+    sys.exit(main(["--check", "units", *sys.argv[1:]]))

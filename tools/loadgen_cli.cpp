@@ -53,7 +53,7 @@ namespace {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace safe;
 
   serve::LoadOptions options;
@@ -175,4 +175,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "loadgen: error: %s\n", error.c_str());
   }
   return report.ok() ? 0 : 1;
+}
+
+// Keeps bugprone-exception-escape honest for the CLI entry points: any
+// exception the command loop does not handle becomes a diagnostic and a
+// nonzero exit instead of std::terminate.
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown error\n");
+    return 1;
+  }
 }

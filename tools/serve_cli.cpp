@@ -75,7 +75,7 @@ extern "C" void handle_drain_signal(int) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace safe;
 
   serve::ServerOptions options;
@@ -218,4 +218,19 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(stats.shed_hellos),
                static_cast<unsigned long long>(stats.deadline_sheds));
   return 0;
+}
+
+// Keeps bugprone-exception-escape honest for the CLI entry points: any
+// exception the command loop does not handle becomes a diagnostic and a
+// nonzero exit instead of std::terminate.
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fatal: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "fatal: unknown error\n");
+    return 1;
+  }
 }
