@@ -6,7 +6,8 @@
 //                [--attack none|dos|delay] [--onset K] [--end K]
 //                [--no-defense] [--estimator music|fft] [--seed N[,N...]]
 //                [--horizon K] [--csv PATH] [--trials N] [--jobs N]
-//                [--fault SPEC] [--hardened] [--max-holdover K]
+//                [--fault SPEC] [--detector SPEC] [--hardened]
+//                [--max-holdover K]
 //                [--metrics-out PATH] [--trace-out PATH]
 //
 // Example: reproduce Figure 2b and dump the series:
@@ -20,6 +21,10 @@
 // Example: the same scenario across 32 noise seeds on 8 workers (the
 // campaign engine guarantees bit-identical results at any --jobs):
 //   scenario_cli --attack dos --estimator fft --trials 32 --jobs 8
+//
+// Example: swap the paper's challenge-response detector for the passive
+// chi-square backend (no challenge hardware consulted):
+//   scenario_cli --attack delay --onset 180 --detector chi2:threshold=9.21
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,6 +34,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "detect/spec.hpp"
 #include "fault/schedule.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/sink.hpp"
@@ -44,9 +50,11 @@ namespace {
          "       [--onset K] [--end K] [--no-defense] [--estimator music|fft]\n"
          "       [--seed N[,N...]] [--horizon K] [--csv PATH]\n"
          "       [--trials N] [--jobs N]\n"
-         "       [--fault SPEC] [--hardened] [--max-holdover K]\n"
+         "       [--fault SPEC] [--detector SPEC] [--hardened]\n"
+         "       [--max-holdover K]\n"
          "       [--metrics-out PATH] [--trace-out PATH]\n"
-         "run `--fault help` for the fault-spec mini-language. With --trials\n"
+         "run `--fault help` for the fault-spec mini-language and\n"
+         "`--detector help` for the detection-backend language. With --trials\n"
          "or a --seed list the run goes through the runtime campaign engine\n"
          "(one trial per seed, --jobs workers). --metrics-out dumps merged\n"
          "telemetry metrics as JSONL; --trace-out writes a Chrome trace_event\n"
@@ -128,6 +136,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool hardened = false;
   std::size_t max_holdover = 15;
+  std::string detector_spec;
   std::vector<std::uint64_t> seeds{1};
   std::size_t trials = 0;  // 0 = not requested
   std::size_t jobs = 0;    // 0 = hardware concurrency
@@ -183,6 +192,12 @@ int main(int argc, char** argv) {
         std::cout << fault::fault_spec_help() << "\n";
         return 0;
       }
+    } else if (arg == "--detector") {
+      detector_spec = next();
+      if (detector_spec == "help") {
+        std::cout << detect::detector_spec_help() << "\n";
+        return 0;
+      }
     } else if (arg == "--hardened") {
       hardened = true;
     } else if (arg == "--max-holdover") {
@@ -205,6 +220,16 @@ int main(int argc, char** argv) {
   }
   telemetry::set_thread_name("main");
   if (hardened) options.pipeline = core::hardened_pipeline_options(max_holdover);
+  // After the hardened profile so --detector composes with --hardened.
+  if (!detector_spec.empty()) {
+    const detect::SpecCheck check = detect::check_detector_spec(detector_spec);
+    if (check.status != detect::SpecStatus::kOk) {
+      std::cerr << check.message << "\n" << detect::detector_spec_help()
+                << "\n";
+      return 2;
+    }
+    options.pipeline.detector_spec = detector_spec;
+  }
 
   if (leader == "decel") {
     options.leader = core::LeaderScenario::kConstantDecel;

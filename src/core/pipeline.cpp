@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "detect/spec.hpp"
 #include "estimation/rls_predictor.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -35,13 +36,15 @@ const PipelineMetrics& pipeline_metrics() {
 }
 
 /// Cause tag for a degradation-state transition, from the step's decision
-/// and output flags (exported on every health.state trace instant).
+/// and output flags (exported on every health.state trace instant). The
+/// detecting backend supplies its own tag for the clean -> attack edge
+/// (CRA: "cra-detection", so default-config traces are unchanged).
 const char* transition_cause(DegradationState to,
-                             const cra::DetectionDecision& decision,
+                             const detect::Verdict& decision,
                              const SafeMeasurement& out, bool sensor_dead) {
   switch (to) {
     case DegradationState::kUnderAttack:
-      return decision.attack_started ? "cra-detection" : "attack-ongoing";
+      return decision.attack_started ? decision.cause : "attack-ongoing";
     case DegradationState::kSafeStop:
       return "holdover-budget-exhausted";
     case DegradationState::kHoldover:
@@ -73,7 +76,8 @@ SafeMeasurementPipeline::SafeMeasurementPipeline(
     estimation::SeriesPredictorPtr velocity_predictor,
     const PipelineOptions& options)
     : modulator_(std::move(schedule)),
-      detector_(options.detector),
+      detector_(detect::make_detector(options.detector_spec,
+                                      options.detector)),
       distance_predictor_(std::move(distance_predictor)),
       velocity_predictor_(std::move(velocity_predictor)),
       options_(options),
@@ -87,19 +91,30 @@ bool SafeMeasurementPipeline::probe_suppressed(std::int64_t step) const {
   return !modulator_.tx_enabled(step);
 }
 
+detect::Observation SafeMeasurementPipeline::make_observation(
+    std::int64_t step, const radar::RadarMeasurement& measurement) const {
+  detect::Observation obs;
+  obs.step = step;
+  obs.challenge_slot = probe_suppressed(step);
+  obs.receiver_nonzero = measurement.nonzero_output();
+  obs.coherent_echo = measurement.coherent_echo;
+  obs.distance = measurement.estimate.distance_m;
+  obs.relative_velocity = measurement.estimate.range_rate_mps;
+  return obs;
+}
+
 SafeMeasurement SafeMeasurementPipeline::process(
     std::int64_t step, const radar::RadarMeasurement& measurement) {
-  const cra::DetectionDecision decision = detector_.observe(
-      step, probe_suppressed(step), measurement.nonzero_output());
+  const detect::Verdict decision =
+      detector_->observe(make_observation(step, measurement));
   return finish(step, measurement, decision);
 }
 
 SafeMeasurement SafeMeasurementPipeline::process_scored(
     std::int64_t step, const radar::RadarMeasurement& measurement,
     bool attack_actually_active) {
-  const cra::DetectionDecision decision = detector_.observe_scored(
-      step, probe_suppressed(step), measurement.nonzero_output(),
-      attack_actually_active);
+  const detect::Verdict decision = detector_->observe_scored(
+      make_observation(step, measurement), attack_actually_active);
   return finish(step, measurement, decision);
 }
 
@@ -161,7 +176,7 @@ void SafeMeasurementPipeline::hold_over(SafeMeasurement& out,
 
 SafeMeasurement SafeMeasurementPipeline::finish(
     std::int64_t step, const radar::RadarMeasurement& measurement,
-    const cra::DetectionDecision& decision) {
+    const detect::Verdict& decision) {
   const PipelineMetrics& metrics = pipeline_metrics();
   telemetry::ScopedTimer span("pipeline.process", "pipeline",
                               metrics.process_ns,
@@ -278,7 +293,7 @@ SafeMeasurement SafeMeasurementPipeline::finish(
 }
 
 void SafeMeasurementPipeline::reset() {
-  detector_.reset();
+  detector_->reset();
   distance_predictor_->reset();
   velocity_predictor_->reset();
   state_ = TrustedState{};

@@ -22,9 +22,12 @@
 #include <cstdint>
 #include <memory>
 
+#include <string>
+
 #include "core/health_monitor.hpp"
 #include "cra/detector.hpp"
 #include "cra/modulator.hpp"
+#include "detect/backend.hpp"
 #include "estimation/series_predictor.hpp"
 #include "radar/processor.hpp"
 
@@ -64,7 +67,13 @@ struct PipelineOptions {
   /// Measurement validation, innovation gating, holdover budget.
   HealthOptions health{};
   /// Detector debounce (clearance after M consecutive silent challenges).
+  /// Applies to the CRA backend (the default and any `cra` spec without a
+  /// clear= override).
   cra::DetectorOptions detector{};
+  /// Detection backend (detect::make_detector mini-language). Empty selects
+  /// the paper's challenge-response detector — bit-identical to the
+  /// pre-backend pipeline.
+  std::string detector_spec;
 };
 
 /// Pipeline options hardened for deployments that must degrade gracefully
@@ -78,9 +87,11 @@ struct PipelineOptions {
 
 class SafeMeasurementPipeline {
  public:
-  /// The pipeline owns its detector state; the modulator is shared with the
-  /// simulation (which uses it to gate the transmitter), and the two
-  /// predictors are injected so benches can swap estimators.
+  /// The pipeline owns its detector state (backend built from
+  /// options.detector_spec; throws std::invalid_argument on a bad spec);
+  /// the modulator is shared with the simulation (which uses it to gate the
+  /// transmitter), and the two predictors are injected so benches can swap
+  /// estimators.
   SafeMeasurementPipeline(std::shared_ptr<const cra::ChallengeSchedule> schedule,
                           estimation::SeriesPredictorPtr distance_predictor,
                           estimation::SeriesPredictorPtr velocity_predictor,
@@ -98,12 +109,16 @@ class SafeMeasurementPipeline {
                                  const radar::RadarMeasurement& measurement,
                                  bool attack_actually_active);
 
-  [[nodiscard]] bool under_attack() const { return detector_.under_attack(); }
+  [[nodiscard]] bool under_attack() const { return detector_->under_attack(); }
   [[nodiscard]] std::optional<std::int64_t> detection_step() const {
-    return detector_.detection_step();
+    return detector_->detection_step();
   }
   [[nodiscard]] const cra::DetectionStats& detection_stats() const {
-    return detector_.stats();
+    return detector_->stats();
+  }
+  /// Canonical name of the active detection backend ("cra", "chi2", ...).
+  [[nodiscard]] std::string detector_name() const {
+    return detector_->name();
   }
   [[nodiscard]] const cra::ChallengeSchedule& schedule() const {
     return modulator_.schedule();
@@ -118,7 +133,11 @@ class SafeMeasurementPipeline {
  private:
   SafeMeasurement finish(std::int64_t step,
                          const radar::RadarMeasurement& measurement,
-                         const cra::DetectionDecision& decision);
+                         const detect::Verdict& decision);
+
+  /// Packs one radar epoch into the backend-agnostic observation.
+  [[nodiscard]] detect::Observation make_observation(
+      std::int64_t step, const radar::RadarMeasurement& measurement) const;
 
   /// Trusted-history bookkeeping shared between live and snapshot state.
   struct TrustedState {
@@ -136,7 +155,7 @@ class SafeMeasurementPipeline {
   void hold_over(SafeMeasurement& out, bool can_estimate);
 
   cra::ProbeModulator modulator_;
-  cra::ChallengeResponseDetector detector_;
+  detect::DetectorBackendPtr detector_;
   estimation::SeriesPredictorPtr distance_predictor_;
   estimation::SeriesPredictorPtr velocity_predictor_;
   PipelineOptions options_;

@@ -1,0 +1,83 @@
+// Pluggable attack-detection backends (DESIGN.md §15).
+//
+// The paper detects sensor attacks with exactly one mechanism: the
+// challenge-response authenticator (Algorithm 2). Statistical and learned
+// detectors (chi-square innovation tests, residual classifiers) can flag
+// attacks with no transmitter modification at all, at the cost of threshold
+// tuning and stealth blind spots. DetectorBackend abstracts the per-step
+// detection decision so the pipeline, the serving layer, and the campaign
+// engine can swap mechanisms per run — and the ROC bench can compare them.
+//
+// Contract: the pipeline calls observe() (or observe_scored()) exactly once
+// per sample instant, before any holdover/health bookkeeping, and consumes
+// the Verdict exactly as it consumed cra::DetectionDecision — so with the
+// CRA backend the pipeline's outputs are bit-identical to the pre-backend
+// code path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cra/detector.hpp"
+#include "units/units.hpp"
+
+namespace safe::detect {
+
+/// Everything a backend may look at for one sample instant. Backends keep
+/// their own residual models; the pipeline never feeds them its predictor
+/// state (a backend must work standalone, e.g. server-side).
+struct Observation {
+  std::int64_t step = 0;
+  bool challenge_slot = false;    ///< Probe was suppressed this epoch.
+  bool receiver_nonzero = false;  ///< Val(y') != 0 (coherent echo or alarm).
+  bool coherent_echo = false;     ///< The radar produced a range report.
+  units::Meters distance{0.0};    ///< Reported range (valid with echo).
+  units::MetersPerSecond relative_velocity{0.0};  ///< Reported range rate.
+};
+
+/// Detector verdict for one step. The first four fields mirror
+/// cra::DetectionDecision so the pipeline's state machine is unchanged;
+/// confidence and cause feed telemetry and the ROC bench.
+struct Verdict {
+  bool challenge_slot = false;   ///< Step was a probe-suppressed slot.
+  bool under_attack = false;     ///< Detector state after this step.
+  bool attack_started = false;   ///< This step transitioned clean -> attack.
+  bool attack_cleared = false;   ///< This step transitioned attack -> clean.
+  double confidence = 0.0;       ///< [0, 1]; backend-specific meaning.
+  const char* cause = "";        ///< Static tag for transition telemetry.
+};
+
+class DetectorBackend {
+ public:
+  virtual ~DetectorBackend() = default;
+
+  /// Consumes one sample instant and returns the detection verdict.
+  virtual Verdict observe(const Observation& obs) = 0;
+
+  /// Same as observe(), additionally scoring against ground truth for
+  /// TPR/FPR accounting. Each backend scores the instants where it actually
+  /// makes a claim (CRA: challenge slots; residual detectors: evaluated
+  /// echo epochs; fusion: every step).
+  virtual Verdict observe_scored(const Observation& obs,
+                                 bool attack_actually_active) = 0;
+
+  [[nodiscard]] virtual bool under_attack() const = 0;
+
+  /// Step at which the current (or last) attack was first detected.
+  [[nodiscard]] virtual std::optional<std::int64_t> detection_step()
+      const = 0;
+
+  /// Cumulative scoring counters (populated by observe_scored only).
+  [[nodiscard]] virtual const cra::DetectionStats& stats() const = 0;
+
+  /// Canonical backend name ("cra", "chi2", "ar", "fusion").
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  virtual void reset() = 0;
+};
+
+using DetectorBackendPtr = std::unique_ptr<DetectorBackend>;
+
+}  // namespace safe::detect

@@ -1,0 +1,447 @@
+#include "detect/backends.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/telemetry.hpp"
+
+namespace safe::detect {
+
+namespace {
+
+// Backend-agnostic detection metrics; the CRA backend keeps emitting the
+// cra.* series through the wrapped detector instead, so default-config
+// telemetry is unchanged.
+struct DetectMetrics {
+  telemetry::MetricId detections = telemetry::counter("detect.detections");
+  telemetry::MetricId clears = telemetry::counter("detect.clears");
+  telemetry::MetricId evaluated = telemetry::counter("detect.evaluated");
+};
+
+const DetectMetrics& detect_metrics() {
+  static const DetectMetrics m;
+  return m;
+}
+
+void note_detected(const char* backend, std::int64_t step) {
+  telemetry::add(detect_metrics().detections);
+  telemetry::instant_event("detect.attack_detected", "detect",
+                           telemetry::TraceArgs{}
+                               .text("backend", backend)
+                               .integer("step", step)
+                               .take());
+}
+
+void note_cleared(const char* backend, std::int64_t step) {
+  telemetry::add(detect_metrics().clears);
+  telemetry::instant_event("detect.attack_cleared", "detect",
+                           telemetry::TraceArgs{}
+                               .text("backend", backend)
+                               .integer("step", step)
+                               .take());
+}
+
+void score(cra::DetectionStats& stats, bool claimed, bool active) {
+  ++stats.challenges;
+  if (claimed && active) {
+    ++stats.true_positives;
+  } else if (claimed && !active) {
+    ++stats.false_positives;
+  } else if (!claimed && active) {
+    ++stats.false_negatives;
+  } else {
+    ++stats.true_negatives;
+  }
+}
+
+estimation::InnovationGateOptions gate_options(double threshold,
+                                               std::size_t window,
+                                               double forgetting) {
+  estimation::InnovationGateOptions gate;
+  gate.threshold = threshold;
+  gate.min_samples = window;
+  gate.variance_forgetting = forgetting;
+  return gate;
+}
+
+}  // namespace
+
+// --- CraBackend ------------------------------------------------------------
+
+CraBackend::CraBackend(const cra::DetectorOptions& options)
+    : detector_(options) {}
+
+namespace {
+
+Verdict from_decision(const cra::DetectionDecision& decision) {
+  Verdict v;
+  v.challenge_slot = decision.challenge_slot;
+  v.under_attack = decision.under_attack;
+  v.attack_started = decision.attack_started;
+  v.attack_cleared = decision.attack_cleared;
+  v.confidence = decision.under_attack ? 1.0 : 0.0;
+  v.cause = "cra-detection";
+  return v;
+}
+
+}  // namespace
+
+Verdict CraBackend::observe(const Observation& obs) {
+  return from_decision(
+      detector_.observe(obs.step, obs.challenge_slot, obs.receiver_nonzero));
+}
+
+Verdict CraBackend::observe_scored(const Observation& obs,
+                                   bool attack_actually_active) {
+  return from_decision(detector_.observe_scored(obs.step, obs.challenge_slot,
+                                                obs.receiver_nonzero,
+                                                attack_actually_active));
+}
+
+// --- ChiSquareBackend ------------------------------------------------------
+
+ChiSquareBackend::ChiSquareBackend(const ChiSquareBackendOptions& options)
+    : options_(options),
+      gate_distance_(gate_options(options.threshold, options.window,
+                                  options.variance_forgetting)),
+      gate_velocity_(gate_options(options.threshold, options.window,
+                                  options.variance_forgetting)) {
+  if (!(options_.threshold > 0.0)) {
+    throw std::invalid_argument("ChiSquareBackend: threshold must be > 0");
+  }
+  if (options_.required_consecutive == 0 || options_.clear_after_quiet == 0) {
+    throw std::invalid_argument(
+        "ChiSquareBackend: consecutive and clear counts must be >= 1");
+  }
+}
+
+ChiSquareBackend::Sample ChiSquareBackend::evaluate(const Observation& obs) {
+  Sample sample;
+  if (obs.challenge_slot) return sample;  // no probe, nothing to test
+
+  if (options_.alarm_on_power && obs.receiver_nonzero && !obs.coherent_echo) {
+    // Received power with no coherent echo at a probing epoch: the jamming
+    // signature. No residual statistic needed.
+    sample.evaluated = true;
+    sample.alarmed = true;
+    sample.confidence = 1.0;
+    return sample;
+  }
+  if (!obs.coherent_echo) return sample;  // dropout: no claim either way
+
+  if (has_last_) {
+    const double e_d = obs.distance.value() - last_distance_.value();
+    const double e_v =
+        obs.relative_velocity.value() - last_velocity_.value();
+    const double stat = std::max(
+        e_d * e_d / gate_distance_.variance(),
+        e_v * e_v / gate_velocity_.variance());
+    const bool warmed = gate_distance_.samples() >= options_.window;
+    const bool out_d = gate_distance_.observe(e_d);
+    const bool out_v = gate_velocity_.observe(e_v);
+    // While clean, claims need a warmed-up variance; while attacked, quiet
+    // samples must count toward clearance even during warm-up.
+    sample.evaluated = warmed || under_attack_;
+    sample.alarmed = warmed && (out_d || out_v);
+    sample.confidence =
+        warmed ? std::min(1.0, stat / options_.threshold) : 0.0;
+  }
+  last_distance_ = obs.distance;
+  last_velocity_ = obs.relative_velocity;
+  has_last_ = true;
+  return sample;
+}
+
+Verdict ChiSquareBackend::observe(const Observation& obs) {
+  const Sample sample = evaluate(obs);
+  Verdict v;
+  v.challenge_slot = obs.challenge_slot;
+  v.cause = "chi2-residual";
+  if (sample.evaluated) {
+    telemetry::add(detect_metrics().evaluated);
+    if (!under_attack_) {
+      consecutive_alarms_ = sample.alarmed ? consecutive_alarms_ + 1 : 0;
+      if (consecutive_alarms_ >= options_.required_consecutive) {
+        under_attack_ = true;
+        detection_step_ = obs.step;
+        consecutive_alarms_ = 0;
+        consecutive_quiet_ = 0;
+        v.attack_started = true;
+        note_detected("chi2", obs.step);
+      }
+    } else {
+      consecutive_quiet_ = sample.alarmed ? 0 : consecutive_quiet_ + 1;
+      if (consecutive_quiet_ >= options_.clear_after_quiet) {
+        under_attack_ = false;
+        consecutive_quiet_ = 0;
+        v.attack_cleared = true;
+        note_cleared("chi2", obs.step);
+      }
+    }
+  }
+  v.under_attack = under_attack_;
+  v.confidence = under_attack_ ? 1.0 : sample.confidence;
+  return v;
+}
+
+Verdict ChiSquareBackend::observe_scored(const Observation& obs,
+                                         bool attack_actually_active) {
+  const bool claim_before = under_attack_;
+  const bool warmed = gate_distance_.samples() >= options_.window;
+  Verdict v = observe(obs);
+  // Score only the instants a claim was actually made: power-alarm epochs
+  // and warmed-up echo epochs (plus everything while attacked — clearance
+  // holds are claims too).
+  if (obs.challenge_slot) return v;
+  const bool power_path =
+      options_.alarm_on_power && obs.receiver_nonzero && !obs.coherent_echo;
+  const bool echo_path = obs.coherent_echo && (warmed || claim_before);
+  if (power_path || echo_path) {
+    score(stats_, v.under_attack, attack_actually_active);
+  }
+  return v;
+}
+
+void ChiSquareBackend::reset() {
+  gate_distance_.reset();
+  gate_velocity_.reset();
+  has_last_ = false;
+  under_attack_ = false;
+  consecutive_alarms_ = 0;
+  consecutive_quiet_ = 0;
+  detection_step_.reset();
+  stats_ = cra::DetectionStats{};
+}
+
+// --- ArResidualBackend -----------------------------------------------------
+
+namespace {
+
+estimation::RlsArOptions ar_options(std::size_t order) {
+  estimation::RlsArOptions options;
+  options.order = order;
+  return options;
+}
+
+}  // namespace
+
+ArResidualBackend::ArResidualBackend(const ArResidualBackendOptions& options)
+    : options_(options),
+      trusted_distance_(ar_options(options.order)),
+      trusted_velocity_(ar_options(options.order)),
+      live_distance_(ar_options(options.order)),
+      live_velocity_(ar_options(options.order)),
+      gate_distance_(gate_options(options.threshold, options.window,
+                                  options.variance_forgetting)),
+      gate_velocity_(gate_options(options.threshold, options.window,
+                                  options.variance_forgetting)) {
+  if (!(options_.threshold > 0.0)) {
+    throw std::invalid_argument("ArResidualBackend: threshold must be > 0");
+  }
+  if (options_.required_consecutive == 0 || options_.clear_after_quiet == 0) {
+    throw std::invalid_argument(
+        "ArResidualBackend: consecutive and clear counts must be >= 1");
+  }
+}
+
+double ArResidualBackend::peek(const estimation::RlsArPredictor& p) {
+  // predict_next() advances the free-run state; peeking through a clone
+  // keeps the model anchored at the last observed sample.
+  return p.clone()->predict_next();
+}
+
+ArResidualBackend::Sample ArResidualBackend::evaluate(const Observation& obs) {
+  Sample sample;
+  if (obs.challenge_slot) return sample;
+
+  if (options_.alarm_on_power && obs.receiver_nonzero && !obs.coherent_echo) {
+    sample.evaluated = true;
+    sample.alarmed = true;
+    sample.confidence = 1.0;
+    return sample;
+  }
+  if (!obs.coherent_echo) return sample;
+
+  const double y_d = obs.distance.value();
+  const double y_v = obs.relative_velocity.value();
+
+  if (!under_attack_) {
+    const double e_d = y_d - peek(trusted_distance_);
+    const double e_v = y_v - peek(trusted_velocity_);
+    const double stat =
+        std::max(e_d * e_d / gate_distance_.variance(),
+                 e_v * e_v / gate_velocity_.variance());
+    const bool warmed = gate_distance_.samples() >= options_.window;
+    const bool out_d = gate_distance_.observe(e_d);
+    const bool out_v = gate_velocity_.observe(e_v);
+    sample.evaluated = warmed;
+    sample.alarmed = out_d || out_v;
+    sample.confidence =
+        warmed ? std::min(1.0, stat / options_.threshold) : 0.0;
+    if (!sample.alarmed) {
+      // Only clean samples train the trusted model: an alarmed sample is
+      // quarantined so a stealthy ramp cannot drag the reference along.
+      trusted_distance_.observe(y_d);
+      trusted_velocity_.observe(y_v);
+    }
+  } else {
+    // Clearance check: the delivered stream is "quiet" when it is again
+    // self-consistent under the live model that kept tracking it.
+    const double q_d = y_d - peek(live_distance_);
+    const double q_v = y_v - peek(live_velocity_);
+    const double stat =
+        std::max(q_d * q_d / gate_distance_.variance(),
+                 q_v * q_v / gate_velocity_.variance());
+    sample.evaluated = true;
+    sample.alarmed = stat > options_.threshold;
+    sample.confidence = std::min(1.0, stat / options_.threshold);
+  }
+  live_distance_.observe(y_d);
+  live_velocity_.observe(y_v);
+  return sample;
+}
+
+Verdict ArResidualBackend::observe(const Observation& obs) {
+  const Sample sample = evaluate(obs);
+  Verdict v;
+  v.challenge_slot = obs.challenge_slot;
+  v.cause = "ar-residual";
+  if (sample.evaluated) {
+    telemetry::add(detect_metrics().evaluated);
+    if (!under_attack_) {
+      consecutive_alarms_ = sample.alarmed ? consecutive_alarms_ + 1 : 0;
+      if (consecutive_alarms_ >= options_.required_consecutive) {
+        under_attack_ = true;
+        detection_step_ = obs.step;
+        consecutive_alarms_ = 0;
+        consecutive_quiet_ = 0;
+        v.attack_started = true;
+        note_detected("ar", obs.step);
+      }
+    } else {
+      consecutive_quiet_ = sample.alarmed ? 0 : consecutive_quiet_ + 1;
+      if (consecutive_quiet_ >= options_.clear_after_quiet) {
+        under_attack_ = false;
+        consecutive_quiet_ = 0;
+        v.attack_cleared = true;
+        note_cleared("ar", obs.step);
+        // Re-acquire: the trusted model adopts the live one, which has been
+        // tracking the (now clean again) delivered stream throughout.
+        trusted_distance_ = live_distance_;
+        trusted_velocity_ = live_velocity_;
+      }
+    }
+  }
+  v.under_attack = under_attack_;
+  v.confidence = under_attack_ ? 1.0 : sample.confidence;
+  return v;
+}
+
+Verdict ArResidualBackend::observe_scored(const Observation& obs,
+                                          bool attack_actually_active) {
+  const bool claim_before = under_attack_;
+  const bool warmed = gate_distance_.samples() >= options_.window;
+  Verdict v = observe(obs);
+  if (obs.challenge_slot) return v;
+  const bool power_path =
+      options_.alarm_on_power && obs.receiver_nonzero && !obs.coherent_echo;
+  const bool echo_path = obs.coherent_echo && (warmed || claim_before);
+  if (power_path || echo_path) {
+    score(stats_, v.under_attack, attack_actually_active);
+  }
+  return v;
+}
+
+void ArResidualBackend::reset() {
+  trusted_distance_.reset();
+  trusted_velocity_.reset();
+  live_distance_.reset();
+  live_velocity_.reset();
+  gate_distance_.reset();
+  gate_velocity_.reset();
+  under_attack_ = false;
+  consecutive_alarms_ = 0;
+  consecutive_quiet_ = 0;
+  detection_step_.reset();
+  stats_ = cra::DetectionStats{};
+}
+
+// --- FusionBackend ---------------------------------------------------------
+
+FusionBackend::FusionBackend(std::vector<DetectorBackendPtr> children,
+                             std::size_t quorum)
+    : children_(std::move(children)), quorum_(quorum) {
+  if (children_.empty()) {
+    throw std::invalid_argument("FusionBackend: needs at least one child");
+  }
+  for (const auto& child : children_) {
+    if (!child) throw std::invalid_argument("FusionBackend: null child");
+  }
+  if (quorum_ == 0 || quorum_ > children_.size()) {
+    throw std::invalid_argument("FusionBackend: quorum outside [1, children]");
+  }
+}
+
+std::string FusionBackend::name() const {
+  std::string joined = "fusion(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) joined += '+';
+    joined += children_[i]->name();
+  }
+  joined += ')';
+  return joined;
+}
+
+Verdict FusionBackend::tally(const Observation& obs, std::size_t votes) {
+  Verdict v;
+  v.challenge_slot = obs.challenge_slot;
+  v.cause = "fusion-vote";
+  const bool now = votes >= quorum_;
+  if (now && !under_attack_) {
+    v.attack_started = true;
+    detection_step_ = obs.step;
+    note_detected("fusion", obs.step);
+  } else if (!now && under_attack_) {
+    v.attack_cleared = true;
+    note_cleared("fusion", obs.step);
+  }
+  under_attack_ = now;
+  v.under_attack = now;
+  v.confidence =
+      static_cast<double>(votes) / static_cast<double>(children_.size());
+  return v;
+}
+
+Verdict FusionBackend::observe(const Observation& obs) {
+  std::size_t votes = 0;
+  for (const auto& child : children_) {
+    const Verdict cv = child->observe(obs);
+    if (cv.under_attack) ++votes;
+  }
+  return tally(obs, votes);
+}
+
+Verdict FusionBackend::observe_scored(const Observation& obs,
+                                      bool attack_actually_active) {
+  // Children observe unscored: the fusion's vote is the claim under test,
+  // and it makes one every step.
+  std::size_t votes = 0;
+  for (const auto& child : children_) {
+    const Verdict cv = child->observe(obs);
+    if (cv.under_attack) ++votes;
+  }
+  const Verdict v = tally(obs, votes);
+  score(stats_, v.under_attack, attack_actually_active);
+  return v;
+}
+
+void FusionBackend::reset() {
+  for (const auto& child : children_) child->reset();
+  under_attack_ = false;
+  detection_step_.reset();
+  stats_ = cra::DetectionStats{};
+}
+
+}  // namespace safe::detect

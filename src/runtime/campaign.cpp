@@ -79,6 +79,8 @@ std::size_t CampaignSpec::grid_cells() const {
   mul(attack_onsets_s.size());
   mul(jammer_powers_w.size());
   mul(fault_specs.size());
+  mul(detector_specs.size());
+  mul(defenses.size());
   return cells;
 }
 
@@ -111,6 +113,8 @@ core::ScenarioOptions Campaign::expand(std::uint64_t trial_id,
   pick(spec_.attack_onsets_s, o.attack_start_s);
   pick(spec_.jammer_powers_w, o.jammer.peak_power_w);
   pick(spec_.fault_specs, o.fault_spec);
+  pick(spec_.detector_specs, o.pipeline.detector_spec);
+  pick(spec_.defenses, o.defense_enabled);
 
   // Randomized axes: sampled in a fixed order from the per-trial parameter
   // stream. Every set distribution is drawn even when the trial's attack
@@ -140,6 +144,7 @@ core::ScenarioOptions Campaign::expand(std::uint64_t trial_id,
   record.attack_end_s = o.attack_end_s;
   record.jammer_power_w = o.jammer.peak_power_w;
   record.fault_spec = o.fault_spec;
+  record.detector_spec = o.pipeline.detector_spec;
   record.defense_enabled = o.defense_enabled;
   record.max_holdover_steps = o.pipeline.health.max_holdover_steps;
   record.horizon_steps = o.horizon_steps;
@@ -166,6 +171,8 @@ TrialRecord Campaign::run_trial(std::uint64_t trial_id) const {
     record.min_gap_m = result.min_gap_m;
     record.false_positives = result.detection_stats.false_positives;
     record.false_negatives = result.detection_stats.false_negatives;
+    record.true_positives = result.detection_stats.true_positives;
+    record.true_negatives = result.detection_stats.true_negatives;
     record.safe_stop_steps = result.safe_stop_steps;
     record.nonfinite_controller_inputs = result.nonfinite_controller_inputs;
     const core::HealthStats& hs = result.health_stats;

@@ -69,6 +69,11 @@ struct CampaignSpec {
   std::vector<units::Seconds> attack_onsets_s;
   std::vector<double> jammer_powers_w;
   std::vector<std::string> fault_specs;
+  /// Detection-backend specs (detect mini-language; "" = paper CRA) and
+  /// defense on/off. Appended after fault_specs in the unravel order so
+  /// specs without them keep their existing trial-to-cell mapping.
+  std::vector<std::string> detector_specs;
+  std::vector<bool> defenses;
 
   // Randomized axes (take precedence over the matching grid axis).
   std::optional<Distribution> attack_onset_s;

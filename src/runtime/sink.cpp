@@ -104,6 +104,8 @@ std::string to_jsonl(const TrialRecord& r) {
   append_double(out, r.jammer_power_w);
   out += ",\"fault\":";
   append_escaped(out, r.fault_spec);
+  out += ",\"detector\":";
+  append_escaped(out, r.detector_spec);
   out += ",\"defense\":";
   out += r.defense_enabled ? "true" : "false";
   out += ",\"max_holdover\":";
@@ -124,6 +126,10 @@ std::string to_jsonl(const TrialRecord& r) {
   out += std::to_string(r.false_positives);
   out += ",\"fn\":";
   out += std::to_string(r.false_negatives);
+  out += ",\"tp\":";
+  out += std::to_string(r.true_positives);
+  out += ",\"tn\":";
+  out += std::to_string(r.true_negatives);
   out += ",\"holdover_rmse_m\":";
   append_double(out, r.holdover_rmse_m.value());
   out += ",\"holdover_steps\":";

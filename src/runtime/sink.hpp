@@ -36,6 +36,7 @@ struct TrialRecord {
   units::Seconds attack_end_s{0.0};
   double jammer_power_w = 0.0;
   std::string fault_spec;
+  std::string detector_spec;  ///< empty = paper CRA backend
   bool defense_enabled = true;
   std::size_t max_holdover_steps = 0;  ///< 0 = unbounded (paper profile).
   std::int64_t horizon_steps = 0;
@@ -50,6 +51,10 @@ struct TrialRecord {
   units::Meters min_gap_m{0.0};
   std::size_t false_positives = 0;
   std::size_t false_negatives = 0;
+  // True-decision tallies from the same scored stream (ROC numerators /
+  // denominators: TPR = tp / (tp + fn), FPR = fp / (fp + tn)).
+  std::size_t true_positives = 0;
+  std::size_t true_negatives = 0;
   /// RMSE of the pipeline's holdover estimate against the true gap over the
   /// steps where the controller ran on estimates (0 when none).
   units::Meters holdover_rmse_m{0.0};

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "detect/spec.hpp"
+
 namespace safe::runtime {
 
 namespace {
@@ -198,8 +200,27 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
         const std::string f = unquote(t);
         spec.fault_specs.push_back(f == "none" ? std::string{} : f);
       }
+    } else if (key == "detector") {
+      for (const auto& t : tokens) {
+        const std::string d = unquote(t);
+        const std::string normalized = d == "none" ? std::string{} : d;
+        // Fail at parse time (with the detect module's message) instead of
+        // erroring every trial that lands on the bad cell.
+        const detect::SpecCheck check =
+            detect::check_detector_spec(normalized);
+        if (check.status != detect::SpecStatus::kOk) {
+          fail(entry, check.message);
+        }
+        spec.detector_specs.push_back(normalized);
+      }
     } else if (key == "defense") {
-      spec.base.defense_enabled = parse_bool(entry, first);
+      if (tokens.size() > 1) {
+        for (const auto& t : tokens) {
+          spec.defenses.push_back(parse_bool(entry, unquote(t)));
+        }
+      } else {
+        spec.base.defense_enabled = parse_bool(entry, first);
+      }
     } else if (key == "estimator") {
       if (first == "music") {
         spec.base.estimator = radar::BeatEstimator::kRootMusic;
@@ -242,7 +263,9 @@ std::string campaign_spec_help() {
       "  duration = 90 | uniform(30,120)   attack end = onset + duration\n"
       "  jammer_power_w = 0.1 | 0.01|0.1|1 | loguniform(0.01,1)\n"
       "  fault = none | \"dropout:start=60,len=12\"   grid (fault mini-language)\n"
-      "  defense = on | off    feed the controller raw data when off\n"
+      "  detector = cra | \"chi2:threshold=9.21\" | ar   grid (detector spec\n"
+      "                        mini-language; none/cra = paper CRA backend)\n"
+      "  defense = on | off | on|off   fixed or grid; raw data when off\n"
       "  estimator = music | fft   beat estimator (fft ~20x faster)\n"
       "  hardened = true       use core::hardened_pipeline_options()\n"
       "  max_holdover = K      holdover budget; implies hardened = true\n";

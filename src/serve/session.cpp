@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "detect/spec.hpp"
 #include "runtime/seed.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -152,7 +153,11 @@ SessionManager::OpenResult SessionManager::open(const HelloFrame& hello,
     return result;
   };
 
-  if (hello.protocol_version != kProtocolVersion) {
+  // Older clients stay accepted: a v1/v2 HELLO decodes with detector_spec
+  // empty, which selects the paper CRA detector — the only behaviour those
+  // versions could express.
+  if (hello.protocol_version < 1 ||
+      hello.protocol_version > kProtocolVersion) {
     return rejected(ErrorCode::kUnsupportedVersion,
                     "protocol version " +
                         std::to_string(hello.protocol_version) +
@@ -170,6 +175,18 @@ SessionManager::OpenResult SessionManager::open(const HelloFrame& hello,
       !std::isfinite(hello.attack_end_s.value())) {
     return rejected(ErrorCode::kProtocolOrder,
                     "attack window bounds must be finite");
+  }
+  // Validate the detector spec up front so a bad one is a structured reject,
+  // never a silent fall-back to the default backend.
+  {
+    const detect::SpecCheck check =
+        detect::check_detector_spec(hello.detector_spec);
+    if (check.status == detect::SpecStatus::kUnknownBackend) {
+      return rejected(ErrorCode::kUnknownDetector, check.message);
+    }
+    if (check.status != detect::SpecStatus::kOk) {
+      return rejected(ErrorCode::kProtocolOrder, check.message);
+    }
   }
 
   // Derive the token and claim a slot before the (comparatively heavy)

@@ -20,6 +20,7 @@ TraceSpec spec_from(const HelloFrame& hello) {
   spec.seed = hello.scenario_seed;
   spec.horizon_steps = hello.horizon_steps;
   spec.fault_spec = hello.fault_spec;
+  spec.detector_spec = hello.detector_spec;
   return spec;
 }
 
@@ -36,6 +37,7 @@ HelloFrame hello_from(const TraceSpec& spec, std::string client_id) {
   hello.attack_end_s = spec.attack_end_s;
   hello.client_id = std::move(client_id);
   hello.fault_spec = spec.fault_spec;
+  hello.detector_spec = spec.detector_spec;
   return hello;
 }
 
@@ -58,8 +60,11 @@ core::ScenarioOptions scenario_options_for(const TraceSpec& spec) {
 }  // namespace
 
 core::PipelineOptions pipeline_options_for(const TraceSpec& spec) {
-  return spec.hardened ? core::hardened_pipeline_options()
-                       : core::PipelineOptions{};
+  core::PipelineOptions options = spec.hardened
+                                      ? core::hardened_pipeline_options()
+                                      : core::PipelineOptions{};
+  options.detector_spec = spec.detector_spec;
+  return options;
 }
 
 core::SafeMeasurementPipeline build_session_pipeline(const TraceSpec& spec) {

@@ -41,6 +41,8 @@ struct TraceSpec {
   std::uint64_t seed = 1;
   std::int64_t horizon_steps = 300;
   std::string fault_spec;  ///< applied client-side, between radar and wire
+  /// Detection backend (detect mini-language). Empty = paper CRA.
+  std::string detector_spec;
 };
 
 [[nodiscard]] TraceSpec spec_from(const HelloFrame& hello);

@@ -172,6 +172,11 @@ std::vector<std::uint8_t> encode(const HelloFrame& hello) {
   w.f64(hello.attack_end_s.value());
   w.str(hello.client_id, kMaxClientIdBytes);
   w.str(hello.fault_spec, kMaxFaultSpecBytes);
+  // v3 appends the detector spec; a frame declaring v1/v2 keeps the old
+  // layout so downgraded HELLOs stay decodable by old servers.
+  if (hello.protocol_version >= 3) {
+    w.str(hello.detector_spec, kMaxDetectorSpecBytes);
+  }
   return std::move(w).finish(FrameType::kHello);
 }
 
@@ -275,6 +280,11 @@ bool decode(const Frame& frame, HelloFrame& out, std::string* error) {
       !r.u8(estimator) || !r.u8(hardened) || !r.f64(start_s) ||
       !r.f64(end_s) || !r.str(out.client_id, kMaxClientIdBytes) ||
       !r.str(out.fault_spec, kMaxFaultSpecBytes)) {
+    return reject(error, "HELLO payload truncated or string too long");
+  }
+  out.detector_spec.clear();
+  if (out.protocol_version >= 3 &&
+      !r.str(out.detector_spec, kMaxDetectorSpecBytes)) {
     return reject(error, "HELLO payload truncated or string too long");
   }
   if (!r.done()) return reject(error, "HELLO payload has trailing bytes");
@@ -403,7 +413,7 @@ bool decode(const Frame& frame, ErrorFrame& out, std::string* error) {
     return reject(error, "ERROR payload truncated or message too long");
   }
   if (!r.done()) return reject(error, "ERROR payload has trailing bytes");
-  if (code < 1 || code > 7) return reject(error, "ERROR code out of range");
+  if (code < 1 || code > 8) return reject(error, "ERROR code out of range");
   out.code = static_cast<ErrorCode>(code);
   return true;
 }
@@ -541,6 +551,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kResumeUnknown: return "resume-unknown";
     case ErrorCode::kResumeGap: return "resume-gap";
+    case ErrorCode::kUnknownDetector: return "unknown-detector";
   }
   return "?";
 }

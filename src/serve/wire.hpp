@@ -29,10 +29,14 @@
 namespace safe::serve {
 
 /// Bumped on any incompatible framing or payload change. A HELLO carrying a
-/// different version is rejected with ErrorCode::kUnsupportedVersion.
+/// newer version than the server speaks is rejected with
+/// ErrorCode::kUnsupportedVersion; older versions stay accepted (a v3 server
+/// decodes v1/v2 HELLOs and treats the missing fields as defaults).
 /// v2 adds session resumption (RESUME / RESUME_OK / ACK frames), the
 /// kOverloaded status, and the resume error codes.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// v3 appends `detector_spec` to HELLO (per-session detection backend) and
+/// the kUnknownDetector error code.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 
 /// Header: u32 payload length + u8 frame type.
 inline constexpr std::size_t kHeaderBytes = 5;
@@ -70,6 +74,7 @@ enum class ErrorCode : std::uint8_t {
   kInternal = 5,            ///< server-side failure (message says what)
   kResumeUnknown = 6,       ///< RESUME token unknown, expired, or finished
   kResumeGap = 7,           ///< replay window lost frames the client needs
+  kUnknownDetector = 8,     ///< HELLO detector_spec names no known backend
 };
 
 /// Session handshake. Everything the server needs to rebuild the exact
@@ -87,10 +92,15 @@ struct HelloFrame {
   units::Seconds attack_end_s{300.0};
   std::string client_id;   ///< informational; <= kMaxClientIdBytes
   std::string fault_spec;  ///< fault mini-language; <= kMaxFaultSpecBytes
+  /// Detection backend mini-language (v3+; <= kMaxDetectorSpecBytes). Empty
+  /// selects the paper's CRA detector. Absent from v1/v2 HELLOs, which
+  /// decode with it empty.
+  std::string detector_spec;
 };
 
 inline constexpr std::size_t kMaxClientIdBytes = 128;
 inline constexpr std::size_t kMaxFaultSpecBytes = 1024;
+inline constexpr std::size_t kMaxDetectorSpecBytes = 256;
 
 /// Cap on the human-readable message in STATUS and ERROR frames.
 inline constexpr std::size_t kMaxMessageBytes = 512;

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   hello.horizon_steps = 16;
   hello.client_id = "corpus-client";
   hello.fault_spec = "none";
+  hello.detector_spec = "fusion:members=cra+chi2,quorum=1";
 
   MeasurementFrame meas;
   meas.step = 3;
@@ -110,6 +111,12 @@ int main(int argc, char** argv) {
   append(resume_stream, encode(resume));
   append(resume_stream, encode(resume_ok));
   write_case(dir, "resume_pair", 0x07, resume_stream);
+
+  // Pre-v3 HELLO: no detector_spec field on the wire; the decoder must
+  // accept the shorter payload.
+  HelloFrame hello_v2 = hello;
+  hello_v2.protocol_version = 2;
+  write_case(dir, "hello_v2", 0x24, encode(hello_v2));
 
   // --- framing-violation regressions (PR 5/6 decoder edge cases) ----------
   // Length prefix beyond kMaxPayloadBytes: rejected before buffering.

@@ -303,18 +303,18 @@ TEST(ServeWire, StatusAndErrorCodeRangesTrackV2) {
   ASSERT_TRUE(frame.has_value());
   EXPECT_FALSE(decode(*frame, status_out, nullptr));
 
-  // kResumeGap (7) is the top valid ERROR code; 8 must be rejected.
-  auto error_bytes = encode(ErrorFrame{.code = ErrorCode::kResumeGap,
-                                       .message = "window lost"});
+  // kUnknownDetector (8) is the top valid ERROR code; 9 must be rejected.
+  auto error_bytes = encode(ErrorFrame{.code = ErrorCode::kUnknownDetector,
+                                       .message = "no such backend"});
   decoder = FrameDecoder{};
   decoder.feed(error_bytes.data(), error_bytes.size());
   frame = decoder.next();
   ASSERT_TRUE(frame.has_value());
   ErrorFrame error_out;
   ASSERT_TRUE(decode(*frame, error_out, nullptr));
-  EXPECT_EQ(error_out.code, ErrorCode::kResumeGap);
+  EXPECT_EQ(error_out.code, ErrorCode::kUnknownDetector);
 
-  error_bytes[kHeaderBytes] = 8;
+  error_bytes[kHeaderBytes] = 9;
   decoder = FrameDecoder{};
   decoder.feed(error_bytes.data(), error_bytes.size());
   frame = decoder.next();

@@ -5,7 +5,8 @@
 //
 // Usage:
 //   campaign_cli [--spec FILE | --spec 'k = v; ...'] [--trials N]
-//                [--seed N] [--jobs N] [--out PATH|-] [--summary] [--quiet]
+//                [--seed N] [--jobs N] [--detector SPEC[|SPEC...]]
+//                [--out PATH|-] [--summary] [--quiet]
 //                [--metrics-out PATH] [--trace-out PATH]
 //                [--trace-detail coarse|fine] [--progress]
 //
@@ -35,6 +36,7 @@
 #include <string>
 #include <thread>
 
+#include "detect/spec.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/sink.hpp"
 #include "runtime/spec.hpp"
@@ -45,7 +47,8 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--spec FILE|'k = v; ...'|help] [--trials N] [--seed N]\n"
-               "       [--jobs N] [--out PATH|-] [--summary] [--quiet]\n"
+               "       [--jobs N] [--detector SPEC[|SPEC...]|help]\n"
+               "       [--out PATH|-] [--summary] [--quiet]\n"
                "       [--metrics-out PATH] [--trace-out PATH]\n"
                "       [--trace-detail coarse|fine] [--progress]\n"
                "\n"
@@ -54,6 +57,9 @@ namespace {
                "  --trials       override the spec's trial count\n"
                "  --seed         override the spec's master seed\n"
                "  --jobs         worker threads (default: hardware concurrency)\n"
+               "  --detector     detection backend(s); `|`-separated values\n"
+               "                 form a grid axis like the spec's `detector`\n"
+               "                 key (`--detector help` documents the specs)\n"
                "  --out          JSONL trial records to PATH (`-` = stdout)\n"
                "  --summary      print the aggregate summary block\n"
                "  --quiet        suppress the progress line\n"
@@ -129,6 +135,7 @@ int run(int argc, char** argv) {
   using namespace safe;
 
   std::string spec_text;
+  std::string detector_arg;
   std::optional<std::size_t> trials_override;
   std::optional<std::uint64_t> seed_override;
   std::size_t jobs = 0;  // 0 = hardware concurrency
@@ -159,6 +166,12 @@ int run(int argc, char** argv) {
       seed_override = std::stoull(next());
     } else if (arg == "--jobs") {
       jobs = std::stoull(next());
+    } else if (arg == "--detector") {
+      detector_arg = next();
+      if (detector_arg == "help") {
+        std::cout << detect::detector_spec_help() << "\n";
+        return 0;
+      }
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--summary") {
@@ -201,6 +214,18 @@ int run(int argc, char** argv) {
   }
   if (trials_override) spec.trials = *trials_override;
   if (seed_override) spec.seed = *seed_override;
+  if (!detector_arg.empty()) {
+    // Same semantics as the spec's `detector` key: the flag replaces any
+    // detector axis the spec declared, `|` separates grid values.
+    try {
+      spec.detector_specs =
+          runtime::parse_campaign_spec("detector = " + detector_arg)
+              .detector_specs;
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n" << detect::detector_spec_help() << "\n";
+      return 2;
+    }
+  }
 
   std::ofstream out_file;
   std::unique_ptr<runtime::JsonlWriter> writer;

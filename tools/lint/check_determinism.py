@@ -30,8 +30,8 @@ the classic sources of run-to-run drift:
                     `lint: allow(unordered-iter)` plus a comment proving
                     order cannot reach output.
 
-Scope: src/core, src/dsp, src/estimation, src/cra, src/fault, src/sim and
-src/runtime in full, plus the serve-layer files on the byte-parity path
+Scope: src/core, src/dsp, src/estimation, src/cra, src/detect, src/fault,
+src/sim and src/runtime in full, plus the serve-layer files on the byte-parity path
 (session, trace_source, wire). The rest of src/serve (event loop, chaos
 proxy, load generator) is scheduling-dependent by design and exempt.
 
@@ -52,6 +52,7 @@ DET_DIRS = (
     "src/dsp",
     "src/estimation",
     "src/cra",
+    "src/detect",
     "src/fault",
     "src/sim",
     "src/runtime",
