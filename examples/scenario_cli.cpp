@@ -25,6 +25,10 @@
 // Example: swap the paper's challenge-response detector for the passive
 // chi-square backend (no challenge hardware consulted):
 //   scenario_cli --attack delay --onset 180 --detector chi2:threshold=9.21
+//
+// Example: run the attack against follower 3 of an 8-vehicle platoon and
+// report how far the disturbance propagates down the string:
+//   scenario_cli --attack delay --onset 180 --platoon "n=8,attacked=3"
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +40,7 @@
 #include "core/scenario.hpp"
 #include "detect/spec.hpp"
 #include "fault/schedule.hpp"
+#include "platoon/platoon.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/sink.hpp"
 #include "telemetry/telemetry.hpp"
@@ -50,16 +55,36 @@ namespace {
          "       [--onset K] [--end K] [--no-defense] [--estimator music|fft]\n"
          "       [--seed N[,N...]] [--horizon K] [--csv PATH]\n"
          "       [--trials N] [--jobs N]\n"
-         "       [--fault SPEC] [--detector SPEC] [--hardened]\n"
-         "       [--max-holdover K]\n"
-         "       [--metrics-out PATH] [--trace-out PATH]\n"
-         "run `--fault help` for the fault-spec mini-language and\n"
-         "`--detector help` for the detection-backend language. With --trials\n"
+         "       [--fault SPEC] [--detector SPEC] [--platoon SPEC]\n"
+         "       [--hardened] [--max-holdover K]\n"
+         "       [--metrics-out PATH] [--trace-out PATH] [--list-specs]\n"
+         "run `--fault help` for the fault-spec mini-language,\n"
+         "`--detector help` for the detection-backend language, `--platoon\n"
+         "help` for the platoon language, or `--list-specs` for every\n"
+         "grammar at once. With --trials\n"
          "or a --seed list the run goes through the runtime campaign engine\n"
          "(one trial per seed, --jobs workers). --metrics-out dumps merged\n"
          "telemetry metrics as JSONL; --trace-out writes a Chrome trace_event\n"
          "file (chrome://tracing / Perfetto).\n";
   std::exit(2);
+}
+
+/// `--list-specs`: every mini-language grammar this binary accepts, in one
+/// place (fault, detector, platoon) plus the fixed attack kinds.
+void print_spec_catalog() {
+  std::cout
+      << "attack kinds (--attack KIND, window via --onset/--end seconds):\n"
+         "  none    clean run, detector still scored for false positives\n"
+         "  dos     DoS jammer raises the noise floor (power via campaign\n"
+         "          `jammer_power_w`)\n"
+         "  delay   replay/delay injection: stale echoes at a spoofed range\n"
+         "\n"
+      << "fault specs (--fault SPEC):\n"
+      << safe::fault::fault_spec_help() << "\n"
+      << "detector specs (--detector SPEC):\n"
+      << safe::detect::detector_spec_help() << "\n"
+      << "platoon specs (--platoon SPEC):\n"
+      << safe::platoon::platoon_spec_help() << "\n";
 }
 
 /// Dumps telemetry outputs after the run; returns false on an unwritable
@@ -198,6 +223,16 @@ int main(int argc, char** argv) {
         std::cout << detect::detector_spec_help() << "\n";
         return 0;
       }
+    } else if (arg == "--platoon") {
+      options.platoon_spec = next();
+      if (options.platoon_spec == "help") {
+        std::cout << platoon::platoon_spec_help() << "\n";
+        return 0;
+      }
+      if (options.platoon_spec == "none") options.platoon_spec.clear();
+    } else if (arg == "--list-specs") {
+      print_spec_catalog();
+      return 0;
     } else if (arg == "--hardened") {
       hardened = true;
     } else if (arg == "--max-holdover") {
@@ -229,6 +264,15 @@ int main(int argc, char** argv) {
       return 2;
     }
     options.pipeline.detector_spec = detector_spec;
+  }
+  if (!options.platoon_spec.empty()) {
+    const platoon::SpecCheck check =
+        platoon::check_platoon_spec(options.platoon_spec);
+    if (!check.ok) {
+      std::cerr << check.message << "\n" << platoon::platoon_spec_help()
+                << "\n";
+      return 2;
+    }
   }
 
   if (leader == "decel") {
@@ -278,6 +322,66 @@ int main(int argc, char** argv) {
     if (!write_telemetry_outputs(metrics_path, trace_path)) return 1;
     return result.summary.errors == 0 && result.summary.collisions == 0 ? 0
                                                                         : 1;
+  }
+
+  // Single platoon run: own output path (per-follower table + propagation
+  // metrics) since the pair printout below doesn't generalize to a string.
+  if (!options.platoon_spec.empty()) {
+    platoon::PlatoonScenario pscenario = [&] {
+      try {
+        return platoon::make_paper_platoon(options);
+      } catch (const std::invalid_argument& e) {
+        std::cerr << e.what() << "\n" << platoon::platoon_spec_help() << "\n";
+        std::exit(2);
+      }
+    }();
+    if (leader == "stop-and-go") {
+      pscenario.leader = std::make_shared<vehicle::StopAndGoProfile>();
+    }
+    const platoon::PlatoonResult result = [&] {
+      telemetry::ScopedTimer span("platoon.scenario.run", "scenario");
+      return pscenario.run();
+    }();
+
+    const platoon::PlatoonOptions& p = pscenario.config.platoon;
+    std::cout << "platoon n=" << p.size << " attacked=" << p.attacked
+              << " leader=" << pscenario.leader->name() << " attack="
+              << (pscenario.attack ? pscenario.attack->name() : "none")
+              << " defense=" << (options.defense_enabled ? "on" : "off")
+              << "\n";
+    for (const platoon::VehicleOutcome& v : result.followers) {
+      std::printf(
+          "  follower %2zu%s  min gap %8.2f m  peak dev %7.2f m  "
+          "detected %-5s  safe-stop %zu\n",
+          v.index, v.index == p.attacked ? "*" : " ", v.min_gap_m.value(),
+          v.peak_gap_deviation_m.value(),
+          v.detection_step ? std::to_string(*v.detection_step).c_str()
+                           : "never",
+          v.safe_stop_steps);
+    }
+    const platoon::PropagationMetrics& pm = result.metrics;
+    std::cout << "collision: " << (result.collided ? "YES" : "no");
+    if (result.collision_step) {
+      std::cout << " at k = " << *result.collision_step << " (follower "
+                << result.collision_index << ")";
+    }
+    std::printf(
+        "\nshock depth: %zu   string L-inf amplification: %.3f\n"
+        "detected vehicles: %zu   safe-stop vehicles: %zu   min gap: %.2f m\n",
+        pm.shock_depth, pm.linf_amplification, pm.detected_vehicles,
+        pm.safe_stop_vehicles, pm.min_gap_m.value());
+
+    if (!csv_path.empty()) {
+      std::ofstream csv(csv_path);
+      if (!csv) {
+        std::cerr << "cannot open " << csv_path << "\n";
+        return 1;
+      }
+      result.trace.write_csv(csv);
+      std::cout << "trace written to " << csv_path << "\n";
+    }
+    if (!write_telemetry_outputs(metrics_path, trace_path)) return 1;
+    return result.collided ? 1 : 0;
   }
 
   core::Scenario scenario = [&] {

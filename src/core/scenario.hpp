@@ -46,6 +46,10 @@ struct ScenarioOptions {
   /// consulted when `attack == kDosJammer`. Campaign sweeps vary
   /// `peak_power_w` to map the jamming-effectiveness boundary.
   radar::JammerParameters jammer{};
+  /// Platoon spec in the `--platoon` mini-language (see platoon/spec.hpp).
+  /// Empty or "none" = the single leader-follower pair. core:: itself never
+  /// parses this; platoon::make_paper_platoon and the campaign engine do.
+  std::string platoon_spec{};
 };
 
 /// Rejects impossible option combinations with std::invalid_argument:

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "platoon/platoon.hpp"
 #include "runtime/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -81,6 +82,7 @@ std::size_t CampaignSpec::grid_cells() const {
   mul(fault_specs.size());
   mul(detector_specs.size());
   mul(defenses.size());
+  mul(platoon_specs.size());
   return cells;
 }
 
@@ -115,6 +117,7 @@ core::ScenarioOptions Campaign::expand(std::uint64_t trial_id,
   pick(spec_.fault_specs, o.fault_spec);
   pick(spec_.detector_specs, o.pipeline.detector_spec);
   pick(spec_.defenses, o.defense_enabled);
+  pick(spec_.platoon_specs, o.platoon_spec);
 
   // Randomized axes: sampled in a fixed order from the per-trial parameter
   // stream. Every set distribution is drawn even when the trial's attack
@@ -148,6 +151,7 @@ core::ScenarioOptions Campaign::expand(std::uint64_t trial_id,
   record.defense_enabled = o.defense_enabled;
   record.max_holdover_steps = o.pipeline.health.max_holdover_steps;
   record.horizon_steps = o.horizon_steps;
+  record.platoon_spec = o.platoon_spec;
   return o;
 }
 
@@ -159,57 +163,11 @@ TrialRecord Campaign::run_trial(std::uint64_t trial_id) const {
   TrialRecord record;
   try {
     const core::ScenarioOptions options = expand(trial_id, record);
-    core::Scenario scenario = spec_.factory(options);
-    if (spec_.customize) spec_.customize(scenario, record);
-    const core::CarFollowingResult result = scenario.run();
-
-    record.collided = result.collided;
-    record.collision_step =
-        result.collision_step ? *result.collision_step : -1;
-    record.detection_step =
-        result.detection_step ? *result.detection_step : -1;
-    record.min_gap_m = result.min_gap_m;
-    record.false_positives = result.detection_stats.false_positives;
-    record.false_negatives = result.detection_stats.false_negatives;
-    record.true_positives = result.detection_stats.true_positives;
-    record.true_negatives = result.detection_stats.true_negatives;
-    record.safe_stop_steps = result.safe_stop_steps;
-    record.nonfinite_controller_inputs = result.nonfinite_controller_inputs;
-    const core::HealthStats& hs = result.health_stats;
-    record.rejected_nonfinite = hs.rejected_nonfinite;
-    record.rejected_signal = hs.rejected_out_of_range + hs.rejected_innovation +
-                             hs.rejected_stuck;
-    record.bridged_dropouts = hs.bridged_dropouts;
-    record.predictor_resets = hs.predictor_resets;
-    record.degradation_max = result.trace.column_max("degradation");
-
-    const units::Seconds dt = scenario.config.sample_time_s;
-    if (options.attack != core::AttackKind::kNone &&
-        record.detection_step >= 0) {
-      const double latency =
-          static_cast<double>(record.detection_step) * dt.value() -
-          options.attack_start_s.value();
-      record.detection_latency_s = units::Seconds{std::max(0.0, latency)};
+    if (options.platoon_spec.empty() || options.platoon_spec == "none") {
+      run_pair_trial(options, record);
+    } else {
+      run_platoon_trial(options, record);
     }
-
-    // RLS holdover fidelity: RMSE of the substituted gap against truth over
-    // the steps the controller ran on estimates.
-    const auto& estimated = result.trace.column("estimated");
-    const auto& safe_gap = result.trace.column("safe_gap_m");
-    const auto& true_gap = result.trace.column("true_gap_m");
-    double sq_sum = 0.0;
-    std::size_t n = 0;
-    for (std::size_t k = 0; k < estimated.size(); ++k) {
-      if (estimated[k] <= 0.5) continue;
-      const double err = safe_gap[k] - true_gap[k];
-      if (!std::isfinite(err)) continue;
-      sq_sum += err * err;
-      ++n;
-    }
-    record.holdover_steps = n;
-    record.holdover_rmse_m =
-        units::Meters{n > 0 ? std::sqrt(sq_sum / static_cast<double>(n))
-                            : 0.0};
   } catch (const std::exception& e) {
     record.error = e.what();
   } catch (...) {
@@ -220,6 +178,114 @@ TrialRecord Campaign::run_trial(std::uint64_t trial_id) const {
   if (record.collided) telemetry::add(metrics.collisions);
   if (record.detection_step >= 0) telemetry::add(metrics.detections);
   return record;
+}
+
+void Campaign::run_pair_trial(const core::ScenarioOptions& options,
+                              TrialRecord& record) const {
+  core::Scenario scenario = spec_.factory(options);
+  if (spec_.customize) spec_.customize(scenario, record);
+  const core::CarFollowingResult result = scenario.run();
+
+  record.collided = result.collided;
+  record.collision_step = result.collision_step ? *result.collision_step : -1;
+  record.detection_step = result.detection_step ? *result.detection_step : -1;
+  record.min_gap_m = result.min_gap_m;
+  record.false_positives = result.detection_stats.false_positives;
+  record.false_negatives = result.detection_stats.false_negatives;
+  record.true_positives = result.detection_stats.true_positives;
+  record.true_negatives = result.detection_stats.true_negatives;
+  record.safe_stop_steps = result.safe_stop_steps;
+  record.nonfinite_controller_inputs = result.nonfinite_controller_inputs;
+  const core::HealthStats& hs = result.health_stats;
+  record.rejected_nonfinite = hs.rejected_nonfinite;
+  record.rejected_signal = hs.rejected_out_of_range + hs.rejected_innovation +
+                           hs.rejected_stuck;
+  record.bridged_dropouts = hs.bridged_dropouts;
+  record.predictor_resets = hs.predictor_resets;
+  record.degradation_max = result.trace.column_max("degradation");
+
+  const units::Seconds dt = scenario.config.sample_time_s;
+  if (options.attack != core::AttackKind::kNone &&
+      record.detection_step >= 0) {
+    const double latency =
+        static_cast<double>(record.detection_step) * dt.value() -
+        options.attack_start_s.value();
+    record.detection_latency_s = units::Seconds{std::max(0.0, latency)};
+  }
+
+  // RLS holdover fidelity: RMSE of the substituted gap against truth over
+  // the steps the controller ran on estimates.
+  const auto& estimated = result.trace.column("estimated");
+  const auto& safe_gap = result.trace.column("safe_gap_m");
+  const auto& true_gap = result.trace.column("true_gap_m");
+  double sq_sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t k = 0; k < estimated.size(); ++k) {
+    if (estimated[k] <= 0.5) continue;
+    const double err = safe_gap[k] - true_gap[k];
+    if (!std::isfinite(err)) continue;
+    sq_sum += err * err;
+    ++n;
+  }
+  record.holdover_steps = n;
+  record.holdover_rmse_m = units::Meters{
+      n > 0 ? std::sqrt(sq_sum / static_cast<double>(n)) : 0.0};
+}
+
+void Campaign::run_platoon_trial(const core::ScenarioOptions& options,
+                                 TrialRecord& record) const {
+  // Platoon trials bypass `factory`/`customize`: the platoon module owns
+  // scenario assembly so every follower's stack matches the paper profile.
+  const platoon::PlatoonOptions popts =
+      platoon::parse_platoon_spec(options.platoon_spec);
+  record.platoon_size = popts.size;
+  record.attacked_index = popts.attacked;
+
+  const platoon::PlatoonScenario scenario =
+      platoon::make_paper_platoon(options);
+  const platoon::PlatoonResult result = scenario.run();
+  const platoon::VehicleOutcome& attacked =
+      result.followers.at(popts.attacked - 1);
+  const platoon::PropagationMetrics& pm = result.metrics;
+
+  record.collided = result.collided;
+  record.collision_step = result.collision_step ? *result.collision_step : -1;
+  record.detection_step =
+      attacked.detection_step ? *attacked.detection_step : -1;
+  record.min_gap_m = pm.min_gap_m;
+  record.false_positives = pm.detection_totals.false_positives;
+  record.false_negatives = pm.detection_totals.false_negatives;
+  record.true_positives = pm.detection_totals.true_positives;
+  record.true_negatives = pm.detection_totals.true_negatives;
+  record.safe_stop_steps = pm.safe_stop_steps_total;
+  record.nonfinite_controller_inputs = pm.nonfinite_controller_inputs_total;
+  record.degradation_max = pm.degradation_max;
+  for (const platoon::VehicleOutcome& v : result.followers) {
+    const core::HealthStats& hs = v.health_stats;
+    record.rejected_nonfinite += hs.rejected_nonfinite;
+    record.rejected_signal += hs.rejected_out_of_range +
+                              hs.rejected_innovation + hs.rejected_stuck;
+    record.bridged_dropouts += hs.bridged_dropouts;
+    record.predictor_resets += hs.predictor_resets;
+  }
+
+  const units::Seconds dt = scenario.config.base.sample_time_s;
+  if (options.attack != core::AttackKind::kNone &&
+      record.detection_step >= 0) {
+    const double latency =
+        static_cast<double>(record.detection_step) * dt.value() -
+        options.attack_start_s.value();
+    record.detection_latency_s = units::Seconds{std::max(0.0, latency)};
+  }
+  // Holdover fidelity is reported for the attacked follower — the stream
+  // whose estimates the attack actually stresses.
+  record.holdover_steps = attacked.holdover_steps;
+  record.holdover_rmse_m = attacked.holdover_rmse_m;
+
+  record.shock_depth = pm.shock_depth;
+  record.linf_amplification = pm.linf_amplification;
+  record.safe_stop_vehicles = pm.safe_stop_vehicles;
+  record.detected_vehicles = pm.detected_vehicles;
 }
 
 CampaignResult Campaign::run(std::size_t jobs,

@@ -74,6 +74,12 @@ struct CampaignSpec {
   /// specs without them keep their existing trial-to-cell mapping.
   std::vector<std::string> detector_specs;
   std::vector<bool> defenses;
+  /// Platoon specs (platoon mini-language; "" = the pair scene). Appended
+  /// after defenses in the unravel order so specs without a platoon axis
+  /// keep their existing trial-to-cell mapping. Platoon trials always run
+  /// platoon::make_paper_platoon — `factory` and `customize` apply to pair
+  /// cells only.
+  std::vector<std::string> platoon_specs;
 
   // Randomized axes (take precedence over the matching grid axis).
   std::optional<Distribution> attack_onset_s;
@@ -124,6 +130,10 @@ class Campaign {
 
  private:
   [[nodiscard]] TrialRecord run_trial(std::uint64_t trial_id) const;
+  void run_pair_trial(const core::ScenarioOptions& options,
+                      TrialRecord& record) const;
+  void run_platoon_trial(const core::ScenarioOptions& options,
+                         TrialRecord& record) const;
 
   CampaignSpec spec_;
 };

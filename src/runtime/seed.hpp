@@ -34,6 +34,7 @@ enum class SeedStream : std::uint64_t {
   kSession = 2,   ///< serve::SessionManager per-session token derivation.
   kChaos = 3,     ///< serve::ChaosProxy per-connection fault-plan draws.
   kRetry = 4,     ///< serve::ResilientClient backoff-jitter draws.
+  kVehicle = 5,   ///< platoon:: per-follower radar-noise seed derivation.
 };
 
 /// Derives the seed for (`stream`, `counter`) under `master`. Pure function

@@ -148,6 +148,20 @@ std::string to_jsonl(const TrialRecord& r) {
   out += std::to_string(r.predictor_resets);
   out += ",\"degradation_max\":";
   append_double(out, r.degradation_max);
+  out += ",\"platoon\":";
+  append_escaped(out, r.platoon_spec);
+  out += ",\"platoon_size\":";
+  out += std::to_string(r.platoon_size);
+  out += ",\"attacked_index\":";
+  out += std::to_string(r.attacked_index);
+  out += ",\"shock_depth\":";
+  out += std::to_string(r.shock_depth);
+  out += ",\"linf_amp\":";
+  append_double(out, r.linf_amplification);
+  out += ",\"safe_stop_vehicles\":";
+  out += std::to_string(r.safe_stop_vehicles);
+  out += ",\"detected_vehicles\":";
+  out += std::to_string(r.detected_vehicles);
   out += ",\"error\":";
   append_escaped(out, r.error);
   out += "}";
@@ -174,6 +188,15 @@ void SummaryAccumulator::add(const TrialRecord& r) {
   if (r.holdover_steps > 0) {
     holdover_rmse_samples_.emplace_back(r.trial_id, r.holdover_rmse_m.value());
   }
+  if (r.platoon_size >= 2) {
+    ++platoon_trials_;
+    safe_stop_vehicles_ += r.safe_stop_vehicles;
+    detected_vehicles_ += r.detected_vehicles;
+    shock_depth_samples_.emplace_back(r.trial_id,
+                                      static_cast<double>(r.shock_depth));
+    linf_amplification_samples_.emplace_back(r.trial_id,
+                                             r.linf_amplification);
+  }
   if (r.attack != core::AttackKind::kNone) {
     ++attacked_;
     if (r.detection_step >= 0) {
@@ -196,6 +219,9 @@ void SummaryAccumulator::merge(const SummaryAccumulator& o) {
   false_positives_ += o.false_positives_;
   false_negatives_ += o.false_negatives_;
   safe_stop_trials_ += o.safe_stop_trials_;
+  platoon_trials_ += o.platoon_trials_;
+  safe_stop_vehicles_ += o.safe_stop_vehicles_;
+  detected_vehicles_ += o.detected_vehicles_;
   latency_samples_.insert(latency_samples_.end(), o.latency_samples_.begin(),
                           o.latency_samples_.end());
   min_gap_samples_.insert(min_gap_samples_.end(), o.min_gap_samples_.begin(),
@@ -203,6 +229,12 @@ void SummaryAccumulator::merge(const SummaryAccumulator& o) {
   holdover_rmse_samples_.insert(holdover_rmse_samples_.end(),
                                 o.holdover_rmse_samples_.begin(),
                                 o.holdover_rmse_samples_.end());
+  shock_depth_samples_.insert(shock_depth_samples_.end(),
+                              o.shock_depth_samples_.begin(),
+                              o.shock_depth_samples_.end());
+  linf_amplification_samples_.insert(linf_amplification_samples_.end(),
+                                     o.linf_amplification_samples_.begin(),
+                                     o.linf_amplification_samples_.end());
 }
 
 CampaignSummary SummaryAccumulator::finalize() const {
@@ -242,6 +274,34 @@ CampaignSummary SummaryAccumulator::finalize() const {
     s.min_gap_min_m = units::Meters{gaps.front()};
     s.min_gap_p5_m = units::Meters{quantile(gaps, 0.05)};
     s.min_gap_p50_m = units::Meters{quantile(gaps, 0.50)};
+  }
+
+  s.platoon_trials = platoon_trials_;
+  s.safe_stop_vehicles_total = safe_stop_vehicles_;
+  s.detected_vehicles_total = detected_vehicles_;
+  const std::vector<double> depth =
+      values_in_trial_order(shock_depth_samples_);
+  if (!depth.empty()) {
+    double sum = 0.0;
+    double peak = depth.front();
+    for (const double v : depth) {
+      sum += v;
+      peak = std::max(peak, v);
+    }
+    s.shock_depth_mean = sum / static_cast<double>(depth.size());
+    s.shock_depth_max = static_cast<std::size_t>(peak);
+  }
+  const std::vector<double> amp =
+      values_in_trial_order(linf_amplification_samples_);
+  if (!amp.empty()) {
+    double sum = 0.0;
+    double peak = amp.front();
+    for (const double v : amp) {
+      sum += v;
+      peak = std::max(peak, v);
+    }
+    s.linf_amplification_mean = sum / static_cast<double>(amp.size());
+    s.linf_amplification_max = peak;
   }
 
   std::vector<double> rmse = values_in_trial_order(holdover_rmse_samples_);
@@ -300,6 +360,26 @@ std::string format_summary(const CampaignSummary& s) {
   std::snprintf(line, sizeof(line), "safe-stop trials  : %zu\n",
                 s.safe_stop_trials);
   os << line;
+  // Conditional so campaigns without a platoon axis keep their exact
+  // pre-platoon summary bytes.
+  if (s.platoon_trials > 0) {
+    std::snprintf(line, sizeof(line), "platoon trials    : %zu\n",
+                  s.platoon_trials);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "shock depth       : mean %.2f, max %zu vehicle(s)\n",
+                  s.shock_depth_mean, s.shock_depth_max);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "string L-inf amp  : mean %.3f, max %.3f\n",
+                  s.linf_amplification_mean, s.linf_amplification_max);
+    os << line;
+    std::snprintf(line, sizeof(line),
+                  "cascade totals    : safe-stop vehicles %zu, detecting "
+                  "vehicles %zu\n",
+                  s.safe_stop_vehicles_total, s.detected_vehicles_total);
+    os << line;
+  }
   return os.str();
 }
 

@@ -40,6 +40,10 @@ struct TrialRecord {
   bool defense_enabled = true;
   std::size_t max_holdover_steps = 0;  ///< 0 = unbounded (paper profile).
   std::int64_t horizon_steps = 0;
+  /// Platoon mini-language spec; empty = single leader-follower pair.
+  std::string platoon_spec;
+  std::size_t platoon_size = 0;    ///< Vehicles incl. leader; 0 = pair trial.
+  std::size_t attacked_index = 0;  ///< Targeted follower; 0 = pair trial.
 
   // --- outcomes ------------------------------------------------------------
   bool collided = false;
@@ -68,6 +72,14 @@ struct TrialRecord {
   std::size_t bridged_dropouts = 0;
   std::size_t predictor_resets = 0;
   double degradation_max = 0.0;
+  // Propagation outcomes (platoon trials only; all zero on pair trials).
+  /// Deepest follower at/behind the attacked one whose min gap fell below
+  /// half the initial gap, counted from the attacked vehicle (0 = none).
+  std::size_t shock_depth = 0;
+  /// String-stability L-inf amplification of peak gap deviations.
+  double linf_amplification = 0.0;
+  std::size_t safe_stop_vehicles = 0;  ///< Followers that entered safe-stop.
+  std::size_t detected_vehicles = 0;   ///< Followers whose detector fired.
   /// Non-empty when the trial threw instead of completing.
   std::string error;
 };
@@ -128,6 +140,16 @@ struct CampaignSummary {
   units::Meters holdover_rmse_max_m{0.0};
 
   std::size_t safe_stop_trials = 0;
+
+  // Platoon propagation aggregates (zero / absent unless platoon trials ran;
+  // format_summary prints the platoon block only when platoon_trials > 0).
+  std::size_t platoon_trials = 0;
+  double shock_depth_mean = 0.0;
+  std::size_t shock_depth_max = 0;
+  double linf_amplification_mean = 0.0;
+  double linf_amplification_max = 0.0;
+  std::size_t safe_stop_vehicles_total = 0;
+  std::size_t detected_vehicles_total = 0;
 };
 
 /// Mergeable online accumulator. add() keeps only order-independent tallies
@@ -152,9 +174,14 @@ class SummaryAccumulator {
   std::size_t false_positives_ = 0;
   std::size_t false_negatives_ = 0;
   std::size_t safe_stop_trials_ = 0;
+  std::size_t platoon_trials_ = 0;
+  std::size_t safe_stop_vehicles_ = 0;
+  std::size_t detected_vehicles_ = 0;
   std::vector<Sample> latency_samples_;
   std::vector<Sample> min_gap_samples_;
   std::vector<Sample> holdover_rmse_samples_;
+  std::vector<Sample> shock_depth_samples_;
+  std::vector<Sample> linf_amplification_samples_;
 };
 
 /// Renders the summary as the aligned text block campaign_cli prints.

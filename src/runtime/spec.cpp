@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "detect/spec.hpp"
+#include "platoon/spec.hpp"
 
 namespace safe::runtime {
 
@@ -213,6 +214,19 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
         }
         spec.detector_specs.push_back(normalized);
       }
+    } else if (key == "platoon") {
+      for (const auto& t : tokens) {
+        const std::string p = unquote(t);
+        const std::string normalized = p == "none" ? std::string{} : p;
+        // Same parse-time validation as `detector`: reject a bad platoon
+        // spec once here instead of erroring every trial on its cell.
+        if (!normalized.empty()) {
+          const platoon::SpecCheck check =
+              platoon::check_platoon_spec(normalized);
+          if (!check.ok) fail(entry, check.message);
+        }
+        spec.platoon_specs.push_back(normalized);
+      }
     } else if (key == "defense") {
       if (tokens.size() > 1) {
         for (const auto& t : tokens) {
@@ -265,6 +279,8 @@ std::string campaign_spec_help() {
       "  fault = none | \"dropout:start=60,len=12\"   grid (fault mini-language)\n"
       "  detector = cra | \"chi2:threshold=9.21\" | ar   grid (detector spec\n"
       "                        mini-language; none/cra = paper CRA backend)\n"
+      "  platoon = none | \"n=8,attacked=3\" | \"n=4,detector=chi2\"   grid\n"
+      "                        (platoon mini-language; none = the pair scene)\n"
       "  defense = on | off | on|off   fixed or grid; raw data when off\n"
       "  estimator = music | fft   beat estimator (fft ~20x faster)\n"
       "  hardened = true       use core::hardened_pipeline_options()\n"

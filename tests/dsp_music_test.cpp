@@ -102,6 +102,42 @@ TEST(RootMusic, ResolvesCloselySpacedTones) {
   EXPECT_NEAR(freqs[1], 101'500.0, 300.0);
 }
 
+TEST(RootMusic, ResolvesUnequalPowerTones) {
+  // The platoon's multi-target echo scene: the direct predecessor plus a
+  // second-ahead return at a quarter of the power (the default RCS scale).
+  // Root-MUSIC must still report both components, strongest one accurately.
+  const double fs = 1.0e6;
+  ComplexSignal x = make_tone(90'000.0, fs, 256, 1.0, 0.9);
+  const ComplexSignal y = make_tone(94'000.0, fs, 256, 0.5, 1.7);  // -6 dB
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+  add_noise(x, 0.05, 29);
+  auto freqs = root_music_frequencies(x, fs, 2, {.covariance_order = 24});
+  ASSERT_EQ(freqs.size(), 2u);
+  std::sort(freqs.begin(), freqs.end());
+  EXPECT_NEAR(freqs[0], 90'000.0, 300.0);
+  EXPECT_NEAR(freqs[1], 94'000.0, 500.0);
+}
+
+TEST(RootMusic, ResolutionThresholdIsWellBelowTheFftLimit) {
+  // Pins the super-resolution margin the multi-target scenes rely on: with
+  // 256 samples at 1 MHz the FFT bin is fs/N ~ 3.9 kHz; root-MUSIC (order
+  // 24, light noise) must still separate tones 1/5th of a bin apart. If a
+  // covariance or eigensolver change degrades this, the platoon's
+  // second-ahead echoes start fusing with the primary return.
+  const double fs = 1.0e6;
+  const double separation_hz = 800.0;  // ~0.2 FFT bins
+  ComplexSignal x = make_tone(100'000.0, fs, 256, 1.0, 0.3);
+  const ComplexSignal y =
+      make_tone(100'000.0 + separation_hz, fs, 256, 1.0, 2.1);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+  add_noise(x, 0.01, 31);
+  auto freqs = root_music_frequencies(x, fs, 2, {.covariance_order = 24});
+  ASSERT_EQ(freqs.size(), 2u);
+  std::sort(freqs.begin(), freqs.end());
+  EXPECT_NEAR(freqs[0], 100'000.0, separation_hz / 3.0);
+  EXPECT_NEAR(freqs[1], 100'000.0 + separation_hz, separation_hz / 3.0);
+}
+
 TEST(RootMusic, NoisyToneStillRecovered) {
   const double fs = 1.0e6;
   ComplexSignal x = make_tone(84'000.0, fs, 512);

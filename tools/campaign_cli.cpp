@@ -6,6 +6,7 @@
 // Usage:
 //   campaign_cli [--spec FILE | --spec 'k = v; ...'] [--trials N]
 //                [--seed N] [--jobs N] [--detector SPEC[|SPEC...]]
+//                [--platoon SPEC[|SPEC...]]
 //                [--out PATH|-] [--summary] [--quiet]
 //                [--metrics-out PATH] [--trace-out PATH]
 //                [--trace-detail coarse|fine] [--progress]
@@ -37,6 +38,7 @@
 #include <thread>
 
 #include "detect/spec.hpp"
+#include "platoon/spec.hpp"
 #include "runtime/campaign.hpp"
 #include "runtime/sink.hpp"
 #include "runtime/spec.hpp"
@@ -48,6 +50,7 @@ namespace {
   std::cerr << "usage: " << argv0
             << " [--spec FILE|'k = v; ...'|help] [--trials N] [--seed N]\n"
                "       [--jobs N] [--detector SPEC[|SPEC...]|help]\n"
+               "       [--platoon SPEC[|SPEC...]|help]\n"
                "       [--out PATH|-] [--summary] [--quiet]\n"
                "       [--metrics-out PATH] [--trace-out PATH]\n"
                "       [--trace-detail coarse|fine] [--progress]\n"
@@ -60,6 +63,10 @@ namespace {
                "  --detector     detection backend(s); `|`-separated values\n"
                "                 form a grid axis like the spec's `detector`\n"
                "                 key (`--detector help` documents the specs)\n"
+               "  --platoon      platoon spec(s); `|`-separated values form a\n"
+               "                 grid axis like the spec's `platoon` key\n"
+               "                 (`--platoon help` documents the language;\n"
+               "                 `none` = the single leader-follower pair)\n"
                "  --out          JSONL trial records to PATH (`-` = stdout)\n"
                "  --summary      print the aggregate summary block\n"
                "  --quiet        suppress the progress line\n"
@@ -136,6 +143,7 @@ int run(int argc, char** argv) {
 
   std::string spec_text;
   std::string detector_arg;
+  std::string platoon_arg;
   std::optional<std::size_t> trials_override;
   std::optional<std::uint64_t> seed_override;
   std::size_t jobs = 0;  // 0 = hardware concurrency
@@ -170,6 +178,12 @@ int run(int argc, char** argv) {
       detector_arg = next();
       if (detector_arg == "help") {
         std::cout << detect::detector_spec_help() << "\n";
+        return 0;
+      }
+    } else if (arg == "--platoon") {
+      platoon_arg = next();
+      if (platoon_arg == "help") {
+        std::cout << platoon::platoon_spec_help() << "\n";
         return 0;
       }
     } else if (arg == "--out") {
@@ -223,6 +237,19 @@ int run(int argc, char** argv) {
               .detector_specs;
     } catch (const std::invalid_argument& e) {
       std::cerr << e.what() << "\n" << detect::detector_spec_help() << "\n";
+      return 2;
+    }
+  }
+  if (!platoon_arg.empty()) {
+    // Likewise for the `platoon` axis. Values with commas need quoting on
+    // most shells anyway, so reuse of the spec parser's quoting rules is
+    // deliberate: --platoon '"n=8,attacked=3"|none' is a two-cell axis.
+    try {
+      spec.platoon_specs =
+          runtime::parse_campaign_spec("platoon = " + platoon_arg)
+              .platoon_specs;
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n" << platoon::platoon_spec_help() << "\n";
       return 2;
     }
   }

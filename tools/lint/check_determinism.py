@@ -31,7 +31,7 @@ the classic sources of run-to-run drift:
                     order cannot reach output.
 
 Scope: src/core, src/dsp, src/estimation, src/cra, src/detect, src/fault,
-src/sim and src/runtime in full, plus the serve-layer files on the byte-parity path
+src/sim, src/platoon and src/runtime in full, plus the serve-layer files on the byte-parity path
 (session, trace_source, wire). The rest of src/serve (event loop, chaos
 proxy, load generator) is scheduling-dependent by design and exempt.
 
@@ -55,6 +55,7 @@ DET_DIRS = (
     "src/detect",
     "src/fault",
     "src/sim",
+    "src/platoon",
     "src/runtime",
 )
 
