@@ -3,7 +3,7 @@
 //
 // Usage:
 //   scenario_cli [--leader decel|decel-accel|stop-and-go]
-//                [--attack none|dos|delay] [--onset K] [--end K]
+//                [--attack none|dos|delay|SPEC] [--onset K] [--end K]
 //                [--no-defense] [--estimator music|fft] [--seed N[,N...]]
 //                [--horizon K] [--csv PATH] [--trials N] [--jobs N]
 //                [--fault SPEC] [--detector SPEC] [--hardened]
@@ -29,6 +29,11 @@
 // Example: run the attack against follower 3 of an 8-vehicle platoon and
 // report how far the disturbance propagates down the string:
 //   scenario_cli --attack delay --onset 180 --platoon "n=8,attacked=3"
+//
+// Example: an entrained attacker that replays the CRA challenge pattern
+// perfectly (k = 0) — the coherence check goes blind, only the rx-power
+// check can still fire (here its transmitter leaks 15x the noise floor):
+//   scenario_cli --attack "entrain:acquire=3,replay=0,leak=15" --onset 180
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/spec.hpp"
 #include "core/scenario.hpp"
 #include "detect/spec.hpp"
 #include "fault/schedule.hpp"
@@ -51,7 +57,7 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " [--leader decel|decel-accel|stop-and-go] [--attack none|dos|delay]\n"
+      << " [--leader decel|decel-accel|stop-and-go] [--attack KIND|SPEC]\n"
          "       [--onset K] [--end K] [--no-defense] [--estimator music|fft]\n"
          "       [--seed N[,N...]] [--horizon K] [--csv PATH]\n"
          "       [--trials N] [--jobs N]\n"
@@ -73,12 +79,18 @@ namespace {
 /// place (fault, detector, platoon) plus the fixed attack kinds.
 void print_spec_catalog() {
   std::cout
-      << "attack kinds (--attack KIND, window via --onset/--end seconds):\n"
+      << "attack kinds (--attack KIND|SPEC, window via --onset/--end "
+         "seconds):\n"
          "  none    clean run, detector still scored for false positives\n"
          "  dos     DoS jammer raises the noise floor (power via campaign\n"
          "          `jammer_power_w`)\n"
          "  delay   replay/delay injection: stale echoes at a spoofed range\n"
+         "  spoof   phase-coherent range/Doppler spoofer (coherence knob)\n"
+         "  chirp   rogue radar, slope-mismatched chirps smear the ghost\n"
+         "  entrain lock-on attacker; replay=k echoes CRA challenges back\n"
          "\n"
+      << "attack specs (--attack SPEC):\n"
+      << safe::attack::attack_spec_help() << "\n"
       << "fault specs (--fault SPEC):\n"
       << safe::fault::fault_spec_help() << "\n"
       << "detector specs (--detector SPEC):\n"
@@ -176,6 +188,12 @@ int main(int argc, char** argv) {
       leader = next();
     } else if (arg == "--attack") {
       const std::string v = next();
+      if (v == "help") {
+        std::cout << attack::attack_spec_help() << "\n";
+        return 0;
+      }
+      // Bare legacy names keep the enum path (byte-identical pre-spec
+      // behavior); any parameterized spec goes through the mini-language.
       if (v == "none") {
         options.attack = core::AttackKind::kNone;
       } else if (v == "dos") {
@@ -183,7 +201,13 @@ int main(int argc, char** argv) {
       } else if (v == "delay") {
         options.attack = core::AttackKind::kDelayInjection;
       } else {
-        usage(argv[0]);
+        const attack::SpecCheck check = attack::check_attack_spec(v);
+        if (check.status != attack::SpecStatus::kOk) {
+          std::cerr << check.message << "\n"
+                    << attack::attack_spec_help() << "\n";
+          return 2;
+        }
+        options.attack_spec = v;
       }
     } else if (arg == "--onset") {
       options.attack_start_s = safe::units::Seconds{std::stod(next())};

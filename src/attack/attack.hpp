@@ -1,11 +1,16 @@
-// Sensor attack interface (paper Section 4).
+// Sensor attack interface (paper Section 4 + DESIGN.md §17).
 //
 // An attack observes the true RF environment of one measurement epoch and
-// mutates the EchoScene the radar receiver will process. Attacks are pure
-// scene transformations: all randomness lives in the receiver's noise
-// synthesis, which keeps attack behaviour reproducible and unit-testable.
+// mutates the EchoScene the radar receiver will process. Stateless attacks
+// (jamming, delay injection) are pure scene transformations; stateful ones
+// (chirp entrainment) carry an explicit per-run state machine whose only
+// entropy source is the seed they were built with, so a run is reproducible
+// from (spec, seed) alone. Simulations clone() the shared model per run —
+// the same idiom the fault schedule uses — so repeated runs always start
+// from identical state.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -16,7 +21,8 @@ namespace safe::attack {
 
 /// Ground-truth context available to an attack when it fires.
 struct AttackContext {
-  units::Seconds time_s{0.0};          ///< Simulation time k.
+  units::Seconds time_s{0.0};          ///< Simulation time k * T.
+  std::int64_t step = 0;               ///< Epoch index k.
   units::Meters true_distance_m{0.0};  ///< Actual leader-follower gap.
   units::MetersPerSecond true_range_rate_mps{0.0};  ///< Actual gap rate.
   double true_echo_power_w = 0.0;      ///< Echo power of the real target.
@@ -24,22 +30,33 @@ struct AttackContext {
 };
 
 /// Interface for sensor-level attacks.
-class SensorAttack {
+class AttackModel {
  public:
-  virtual ~SensorAttack() = default;
+  virtual ~AttackModel() = default;
 
-  /// Mutates `scene` to reflect the attack during this epoch.
-  virtual void apply(const AttackContext& context,
-                     radar::EchoScene& scene) const = 0;
+  /// Mutates `scene` to reflect the attack during this epoch. Returns true
+  /// when the scene was modified — the ground truth the detector scoring
+  /// uses. Non-const: entrainment-style attacks advance their lock-on state
+  /// machine even in epochs where they stay silent.
+  virtual bool apply(const AttackContext& context, radar::EchoScene& scene) = 0;
+
+  /// Deep copy with freshly reset() state; simulations clone per run.
+  [[nodiscard]] virtual std::unique_ptr<AttackModel> clone() const = 0;
+
+  /// Returns the attack to its pre-run state (no-op for stateless attacks).
+  virtual void reset() {}
 
   /// Human-readable attack name for traces and benches.
   [[nodiscard]] virtual std::string name() const = 0;
 };
 
 /// Identity attack: leaves the scene untouched (baseline runs).
-class NoAttack final : public SensorAttack {
+class NoAttack final : public AttackModel {
  public:
-  void apply(const AttackContext&, radar::EchoScene&) const override {}
+  bool apply(const AttackContext&, radar::EchoScene&) override { return false; }
+  [[nodiscard]] std::unique_ptr<AttackModel> clone() const override {
+    return std::make_unique<NoAttack>();
+  }
   [[nodiscard]] std::string name() const override { return "none"; }
 };
 

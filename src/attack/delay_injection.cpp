@@ -25,14 +25,14 @@ units::Meters DelayInjectionAttack::range_offset() const {
   return radar::spoofed_range_offset(config_.extra_delay_s);
 }
 
-void DelayInjectionAttack::apply(const AttackContext& context,
-                                 radar::EchoScene& scene) const {
-  if (context.true_distance_m <= units::Meters{0.0}) return;
+bool DelayInjectionAttack::apply(const AttackContext& context,
+                                 radar::EchoScene& scene) {
+  if (context.true_distance_m <= units::Meters{0.0}) return false;
 
   if (!scene.tx_enabled && config_.evades_challenges) {
     // The hypothetical fast adversary notices the suppressed probe in time
     // and stays silent: CRA sees the expected zero output.
-    return;
+    return false;
   }
 
   if (config_.replaces_true_echo) {
@@ -44,6 +44,7 @@ void DelayInjectionAttack::apply(const AttackContext& context,
       .power_w = std::max(context.true_echo_power_w * config_.power_advantage,
                           config_.min_power_w),
   });
+  return true;
 }
 
 }  // namespace safe::attack

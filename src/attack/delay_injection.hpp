@@ -38,12 +38,15 @@ struct DelayInjectionConfig {
   bool evades_challenges = false;
 };
 
-class DelayInjectionAttack final : public SensorAttack {
+class DelayInjectionAttack final : public AttackModel {
  public:
   explicit DelayInjectionAttack(DelayInjectionConfig config);
 
-  void apply(const AttackContext& context,
-             radar::EchoScene& scene) const override;
+  bool apply(const AttackContext& context, radar::EchoScene& scene) override;
+
+  [[nodiscard]] std::unique_ptr<AttackModel> clone() const override {
+    return std::make_unique<DelayInjectionAttack>(config_);
+  }
 
   [[nodiscard]] std::string name() const override { return "delay-injection"; }
 

@@ -15,16 +15,18 @@ DosJammerAttack::DosJammerAttack(radar::JammerParameters jammer)
   }
 }
 
-void DosJammerAttack::apply(const AttackContext& context,
-                            radar::EchoScene& scene) const {
+bool DosJammerAttack::apply(const AttackContext& context,
+                            radar::EchoScene& scene) {
   if (context.waveform == nullptr) {
     throw std::invalid_argument("DosJammerAttack: context missing waveform");
   }
   if (context.true_distance_m <= units::Meters{0.0}) {
-    return;  // collided / degenerate geometry: nothing to jam through
+    return false;  // collided / degenerate geometry: nothing to jam through
   }
+  const double before = scene.noise_power_w;
   scene.noise_power_w += radar::received_jammer_power_w(
       *context.waveform, jammer_, context.true_distance_m);
+  return scene.noise_power_w != before;
 }
 
 bool DosJammerAttack::succeeds_at(const radar::FmcwParameters& waveform,

@@ -12,15 +12,18 @@
 
 namespace safe::attack {
 
-class DosJammerAttack final : public SensorAttack {
+class DosJammerAttack final : public AttackModel {
  public:
   explicit DosJammerAttack(radar::JammerParameters jammer);
 
   /// Adds the coupled jammer power (Eq. 10 at the true geometry) to the
   /// scene's incoherent noise. The genuine echo is left in place: whether it
   /// survives is decided by physics (Eq. 11), not by fiat.
-  void apply(const AttackContext& context,
-             radar::EchoScene& scene) const override;
+  bool apply(const AttackContext& context, radar::EchoScene& scene) override;
+
+  [[nodiscard]] std::unique_ptr<AttackModel> clone() const override {
+    return std::make_unique<DosJammerAttack>(jammer_);
+  }
 
   [[nodiscard]] std::string name() const override { return "dos-jammer"; }
 

@@ -1,0 +1,243 @@
+#include "attack/spoofers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/seed.hpp"  // header-only: no attack -> runtime link dep
+
+namespace safe::attack {
+
+namespace units = safe::units;
+
+namespace {
+
+/// Doppler shift -> range-rate offset (v = f_D * lambda / 2).
+units::MetersPerSecond doppler_to_range_rate(
+    const radar::FmcwParameters& waveform, units::Hertz shift) {
+  return units::MetersPerSecond{0.5 * waveform.wavelength_m.value() *
+                                shift.value()};
+}
+
+const radar::FmcwParameters& require_waveform(const AttackContext& context,
+                                              const char* who) {
+  if (context.waveform == nullptr) {
+    throw std::invalid_argument(std::string(who) +
+                                ": context missing waveform");
+  }
+  return *context.waveform;
+}
+
+}  // namespace
+
+// --- PhaseCoherentSpoofAttack ----------------------------------------------
+
+PhaseCoherentSpoofAttack::PhaseCoherentSpoofAttack(
+    PhaseCoherentSpoofConfig config)
+    : config_(config) {
+  if (!(config_.coherence > 0.0) || config_.coherence > 1.0) {
+    throw std::invalid_argument(
+        "PhaseCoherentSpoofAttack: coherence must be in (0, 1]");
+  }
+  if (config_.power_advantage <= 0.0) {
+    throw std::invalid_argument(
+        "PhaseCoherentSpoofAttack: power advantage must be positive");
+  }
+  if (config_.min_power_w < 0.0) {
+    throw std::invalid_argument(
+        "PhaseCoherentSpoofAttack: min power must be non-negative");
+  }
+  if (!std::isfinite(config_.range_offset_m.value()) ||
+      !std::isfinite(config_.doppler_shift_hz.value())) {
+    throw std::invalid_argument(
+        "PhaseCoherentSpoofAttack: offsets must be finite");
+  }
+}
+
+bool PhaseCoherentSpoofAttack::apply(const AttackContext& context,
+                                     radar::EchoScene& scene) {
+  const radar::FmcwParameters& wf = require_waveform(context, "spoof");
+  if (context.true_distance_m <= units::Meters{0.0}) return false;
+
+  // The replay pipeline has latency, so the counterfeit keeps radiating in
+  // challenge slots where the probe was suppressed — which is what CRA sees.
+  const double power =
+      std::max(context.true_echo_power_w * config_.power_advantage,
+               config_.min_power_w);
+  if (config_.replaces_true_echo) scene.echoes.clear();
+  scene.echoes.push_back(radar::EchoComponent{
+      .distance_m = context.true_distance_m + config_.range_offset_m,
+      .range_rate_mps = context.true_range_rate_mps +
+                        doppler_to_range_rate(wf, config_.doppler_shift_hz),
+      .power_w = config_.coherence * power,
+  });
+  // Phase-incoherent remainder of the replay smears into the noise floor.
+  scene.noise_power_w += (1.0 - config_.coherence) * power;
+  return true;
+}
+
+// --- ChirpModificationAttack -----------------------------------------------
+
+ChirpModificationAttack::ChirpModificationAttack(ChirpModificationConfig config)
+    : config_(config) {
+  if (!(config_.slope_ratio > 0.0) || !std::isfinite(config_.slope_ratio)) {
+    throw std::invalid_argument(
+        "ChirpModificationAttack: slope ratio must be positive and finite");
+  }
+  if (config_.power_advantage <= 0.0) {
+    throw std::invalid_argument(
+        "ChirpModificationAttack: power advantage must be positive");
+  }
+  if (config_.min_power_w < 0.0) {
+    throw std::invalid_argument(
+        "ChirpModificationAttack: min power must be non-negative");
+  }
+  if (!std::isfinite(config_.ghost_offset_m.value())) {
+    throw std::invalid_argument(
+        "ChirpModificationAttack: ghost offset must be finite");
+  }
+}
+
+double ChirpModificationAttack::coherent_fraction(
+    const radar::FmcwParameters& waveform) const {
+  // A slope-mismatched chirp dechirps to a residual sweep covering
+  // |1 - r| * B_s over the half-sweep T_s / 2: its energy spreads across
+  // that many time-bandwidth cells instead of one beat-frequency line.
+  const double cells = std::abs(1.0 - config_.slope_ratio) *
+                       waveform.sweep_bandwidth_hz.value() *
+                       (0.5 * waveform.sweep_time_s.value());
+  return 1.0 / (1.0 + cells);
+}
+
+bool ChirpModificationAttack::apply(const AttackContext& context,
+                                    radar::EchoScene& scene) {
+  const radar::FmcwParameters& wf = require_waveform(context, "chirp");
+  if (context.true_distance_m <= units::Meters{0.0}) return false;
+
+  // A rogue radar runs its own sweep generator: it radiates on its own
+  // schedule, challenge slot or not, and never masks the genuine echo.
+  const double power =
+      std::max(context.true_echo_power_w * config_.power_advantage,
+               config_.min_power_w);
+  const double coherent = coherent_fraction(wf);
+  if (coherent * power > 0.0) {
+    scene.echoes.push_back(radar::EchoComponent{
+        .distance_m = context.true_distance_m + config_.ghost_offset_m,
+        .range_rate_mps = context.true_range_rate_mps,
+        .power_w = coherent * power,
+    });
+  }
+  scene.noise_power_w += (1.0 - coherent) * power;
+  return true;
+}
+
+// --- ChirpEntrainmentAttack ------------------------------------------------
+
+ChirpEntrainmentAttack::ChirpEntrainmentAttack(ChirpEntrainmentConfig config)
+    : config_(config) {
+  if (config_.acquire_slots == 0) {
+    throw std::invalid_argument(
+        "ChirpEntrainmentAttack: acquisition needs at least one slot");
+  }
+  if (config_.timing_jitter_m < units::Meters{0.0} ||
+      !std::isfinite(config_.timing_jitter_m.value())) {
+    throw std::invalid_argument(
+        "ChirpEntrainmentAttack: timing jitter must be non-negative");
+  }
+  if (!std::isfinite(config_.freq_error_hz.value()) ||
+      !std::isfinite(config_.range_offset_m.value())) {
+    throw std::invalid_argument(
+        "ChirpEntrainmentAttack: entrainment errors must be finite");
+  }
+  if (config_.power_advantage <= 0.0) {
+    throw std::invalid_argument(
+        "ChirpEntrainmentAttack: power advantage must be positive");
+  }
+  if (config_.min_power_w < 0.0) {
+    throw std::invalid_argument(
+        "ChirpEntrainmentAttack: min power must be non-negative");
+  }
+  if (config_.leak_noise_factor < 0.0 ||
+      !std::isfinite(config_.leak_noise_factor)) {
+    throw std::invalid_argument(
+        "ChirpEntrainmentAttack: leak factor must be non-negative");
+  }
+}
+
+void ChirpEntrainmentAttack::reset() {
+  locked_ = false;
+  observed_probes_ = 0;
+  history_.clear();
+}
+
+bool ChirpEntrainmentAttack::heard_probe_at(std::int64_t step) const {
+  for (auto it = history_.rbegin(); it != history_.rend(); ++it) {
+    if (it->first == step) return it->second;
+    if (it->first < step) break;  // observations are step-ascending
+  }
+  return false;  // predates the listening window: nothing recorded to replay
+}
+
+bool ChirpEntrainmentAttack::apply(const AttackContext& context,
+                                   radar::EchoScene& scene) {
+  const radar::FmcwParameters& wf = require_waveform(context, "entrain");
+  const bool probe_on = scene.tx_enabled;
+
+  // Record this epoch's observation first: a k=0 replay echoes the probe it
+  // hears right now.
+  history_.emplace_back(context.step, probe_on);
+  const std::size_t keep =
+      config_.replay_delay_slots > 0
+          ? static_cast<std::size_t>(config_.replay_delay_slots) + 1
+          : 1;
+  while (history_.size() > keep) history_.pop_front();
+
+  if (!locked_) {
+    // Acquisition: the attacker can only sync to sweeps it hears. It stays
+    // fully passive (and invisible to every detector) until lock-on.
+    if (probe_on) ++observed_probes_;
+    if (observed_probes_ >= config_.acquire_slots) locked_ = true;
+    return false;
+  }
+  if (context.true_distance_m <= units::Meters{0.0}) return false;
+
+  bool modified = false;
+  // Carrier/LO leakage of the active transmitter: present whenever locked,
+  // even in slots where the replay logic keeps the chirp silent. This is
+  // the footprint the rx-power check can still catch.
+  if (config_.leak_noise_factor > 0.0) {
+    scene.noise_power_w += config_.leak_noise_factor * scene.noise_power_w;
+    modified = true;
+  }
+
+  const bool transmit =
+      config_.replay_delay_slots < 0
+          ? true
+          : heard_probe_at(context.step - config_.replay_delay_slots);
+  if (transmit) {
+    units::Meters jitter{0.0};
+    if (config_.timing_jitter_m > units::Meters{0.0}) {
+      // Counter-based draw keyed on (seed, step): bit-reproducible no
+      // matter how many runs or clones consumed the model before.
+      runtime::SplitMix64 rng(runtime::derive_seed(
+          config_.seed, runtime::SeedStream::kAttack,
+          static_cast<std::uint64_t>(context.step)));
+      jitter = units::Meters{(2.0 * runtime::uniform_double(rng) - 1.0) *
+                             config_.timing_jitter_m.value()};
+    }
+    scene.echoes.clear();  // capture: the counterfeit masks the real echo
+    scene.echoes.push_back(radar::EchoComponent{
+        .distance_m =
+            context.true_distance_m + config_.range_offset_m + jitter,
+        .range_rate_mps = context.true_range_rate_mps +
+                          doppler_to_range_rate(wf, config_.freq_error_hz),
+        .power_w =
+            std::max(context.true_echo_power_w * config_.power_advantage,
+                     config_.min_power_w),
+    });
+    modified = true;
+  }
+  return modified;
+}
+
+}  // namespace safe::attack

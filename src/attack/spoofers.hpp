@@ -1,0 +1,181 @@
+// Physical-layer spoofing adversaries beyond the paper's DoS/delay pair
+// (DESIGN.md §17).
+//
+// Three attacker families from the FMCW-spoofing literature:
+//
+//  * PhaseCoherentSpoofAttack — a record/modify/replay spoofer that shifts
+//    range and Doppler independently (Komissarov & Wool, "Spoofing Attacks
+//    Against Vehicular FMCW Radar"). Its `coherence` knob models the phase
+//    error of the replay chain: the coherent fraction of the counterfeit
+//    power lands in the beat-frequency peak, the rest smears into the
+//    receiver's noise floor.
+//
+//  * ChirpModificationAttack — a rogue radar transmitting chirps with a
+//    mismatched sweep slope (Ordean & Garcia, "Millimeter-Wave Automotive
+//    Radar Spoofing"). A matched slope relocates the CFAR peak to a chosen
+//    ghost range; any slope mismatch spreads the dechirped tone across
+//    |1 - slope| * B * T/2 resolution cells, degrading the ghost into
+//    broadband interference.
+//
+//  * ChirpEntrainmentAttack — an attacker that first listens to the
+//    victim's sweep timing, then locks on and transmits counterfeits
+//    (Graff & Humphreys, "Signal Identification and Entrainment for
+//    Practical FMCW Radar Spoofing Attacks"). The lock-on state machine has
+//    an acquisition delay, per-epoch sweep-timing jitter, a residual
+//    frequency error, and an optional challenge-replay capability that
+//    echoes the CRA-modulated probe pattern back after `k` slots — the
+//    adversary class that stresses challenge-response authentication to its
+//    breaking point.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "attack/attack.hpp"
+
+namespace safe::attack {
+
+/// Komissarov & Wool style delay + frequency-shift spoofer.
+struct PhaseCoherentSpoofConfig {
+  /// Extra apparent range of the counterfeit (meters; the delay line).
+  units::Meters range_offset_m{6.0};
+  /// Doppler shift injected by the frequency shifter; the victim reads it
+  /// as a range-rate offset of doppler_shift_hz * lambda / 2.
+  units::Hertz doppler_shift_hz{200.0};
+  /// Fraction of the counterfeit power that stays phase-coherent with the
+  /// victim's dechirp, in (0, 1]. The remainder raises the noise floor.
+  double coherence = 1.0;
+  /// Counterfeit power relative to the genuine echo (> 1 = capture).
+  double power_advantage = 4.0;
+  /// One-way link floor on the counterfeit power at the victim (watts).
+  double min_power_w = 1.0e-10;
+  /// True = the counterfeit masks the genuine echo (capture effect).
+  bool replaces_true_echo = true;
+};
+
+class PhaseCoherentSpoofAttack final : public AttackModel {
+ public:
+  explicit PhaseCoherentSpoofAttack(PhaseCoherentSpoofConfig config);
+
+  bool apply(const AttackContext& context, radar::EchoScene& scene) override;
+
+  [[nodiscard]] std::unique_ptr<AttackModel> clone() const override {
+    return std::make_unique<PhaseCoherentSpoofAttack>(config_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "spoof"; }
+
+  [[nodiscard]] const PhaseCoherentSpoofConfig& config() const {
+    return config_;
+  }
+
+ private:
+  PhaseCoherentSpoofConfig config_;
+};
+
+/// Ordean & Garcia style rogue radar with a mismatched chirp slope.
+struct ChirpModificationConfig {
+  /// Attacker sweep slope as a ratio of the victim's (1.0 = matched). The
+  /// dechirped residual sweeps |1 - ratio| * B_s * T_s / 2 resolution
+  /// cells; even a ~1e-11 mismatch visibly smears a 150 MHz / 2 ms sweep.
+  double slope_ratio = 1.0;
+  /// Ghost placement relative to the true target (meters).
+  units::Meters ghost_offset_m{6.0};
+  /// Rogue transmit power at the victim relative to the genuine echo.
+  double power_advantage = 4.0;
+  /// One-way link floor on the rogue power at the victim (watts).
+  double min_power_w = 1.0e-10;
+};
+
+class ChirpModificationAttack final : public AttackModel {
+ public:
+  explicit ChirpModificationAttack(ChirpModificationConfig config);
+
+  bool apply(const AttackContext& context, radar::EchoScene& scene) override;
+
+  [[nodiscard]] std::unique_ptr<AttackModel> clone() const override {
+    return std::make_unique<ChirpModificationAttack>(config_);
+  }
+
+  [[nodiscard]] std::string name() const override { return "chirp"; }
+
+  [[nodiscard]] const ChirpModificationConfig& config() const {
+    return config_;
+  }
+
+  /// Fraction of the rogue power that lands in one beat-frequency cell.
+  [[nodiscard]] double coherent_fraction(
+      const radar::FmcwParameters& waveform) const;
+
+ private:
+  ChirpModificationConfig config_;
+};
+
+/// Graff & Humphreys style entrainment attacker with an explicit lock-on
+/// state machine.
+struct ChirpEntrainmentConfig {
+  /// Probe-on epochs the attacker must observe before locking on. It stays
+  /// completely passive (and invisible) until then.
+  std::size_t acquire_slots = 3;
+  /// Per-epoch sweep-timing jitter, expressed as the uniform +/- range
+  /// error it induces on the counterfeit (meters).
+  units::Meters timing_jitter_m{0.0};
+  /// Residual entrainment frequency error; the victim reads it as a
+  /// constant range-rate bias of freq_error_hz * lambda / 2.
+  units::Hertz freq_error_hz{0.0};
+  /// Counterfeit range offset (meters).
+  units::Meters range_offset_m{6.0};
+  /// Counterfeit power relative to the genuine echo (> 1 = capture).
+  double power_advantage = 4.0;
+  /// One-way link floor on the counterfeit power at the victim (watts).
+  double min_power_w = 1.0e-10;
+  /// Challenge-replay delay in slots: the attacker transmits at slot t only
+  /// if it observed a probe at slot t - k, echoing the CRA modulation back.
+  /// k = 0 is the perfect replay that mirrors the probe pattern exactly;
+  /// -1 disables the capability (the attacker free-runs once locked).
+  std::int64_t replay_delay_slots = -1;
+  /// Transmitter carrier/LO leakage while locked, as a multiple of the
+  /// scene's pre-attack noise power. This is what the jamming power check
+  /// (Algorithm 2's rx-power test) can still see when the replay is
+  /// otherwise perfectly challenge-synchronized.
+  double leak_noise_factor = 0.0;
+  /// Seed for the per-epoch jitter draws (counter-based, so the alarm
+  /// timeline is reproducible from (spec, seed) alone).
+  std::uint64_t seed = 0;
+};
+
+class ChirpEntrainmentAttack final : public AttackModel {
+ public:
+  explicit ChirpEntrainmentAttack(ChirpEntrainmentConfig config);
+
+  bool apply(const AttackContext& context, radar::EchoScene& scene) override;
+
+  [[nodiscard]] std::unique_ptr<AttackModel> clone() const override {
+    return std::make_unique<ChirpEntrainmentAttack>(config_);
+  }
+
+  void reset() override;
+
+  [[nodiscard]] std::string name() const override { return "entrain"; }
+
+  [[nodiscard]] const ChirpEntrainmentConfig& config() const {
+    return config_;
+  }
+
+  /// True once the acquisition phase has completed (testing hook).
+  [[nodiscard]] bool locked() const { return locked_; }
+
+ private:
+  /// Whether the attacker observed a probe at `step` (false when the step
+  /// predates its listening window).
+  [[nodiscard]] bool heard_probe_at(std::int64_t step) const;
+
+  ChirpEntrainmentConfig config_;
+  bool locked_ = false;
+  std::size_t observed_probes_ = 0;
+  /// Recent (step, probe-on) observations, oldest first; bounded by the
+  /// replay look-back so memory stays O(k).
+  std::deque<std::pair<std::int64_t, bool>> history_;
+};
+
+}  // namespace safe::attack

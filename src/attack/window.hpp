@@ -22,10 +22,9 @@ struct AttackWindow {
 
 /// Applies an inner attack only while inside its window — the paper's
 /// "attack over a finite interval [k1, kn], k1 != 0" formulation.
-class ScheduledAttack final : public SensorAttack {
+class ScheduledAttack final : public AttackModel {
  public:
-  ScheduledAttack(std::shared_ptr<const SensorAttack> inner,
-                  AttackWindow window)
+  ScheduledAttack(std::shared_ptr<AttackModel> inner, AttackWindow window)
       : inner_(std::move(inner)), window_(window) {
     if (!inner_) {
       throw std::invalid_argument("ScheduledAttack: null inner attack");
@@ -35,12 +34,16 @@ class ScheduledAttack final : public SensorAttack {
     }
   }
 
-  void apply(const AttackContext& context,
-             radar::EchoScene& scene) const override {
-    if (window_.contains(context.time_s)) {
-      inner_->apply(context, scene);
-    }
+  bool apply(const AttackContext& context, radar::EchoScene& scene) override {
+    if (!window_.contains(context.time_s)) return false;
+    return inner_->apply(context, scene);
   }
+
+  [[nodiscard]] std::unique_ptr<AttackModel> clone() const override {
+    return std::make_unique<ScheduledAttack>(inner_->clone(), window_);
+  }
+
+  void reset() override { inner_->reset(); }
 
   [[nodiscard]] std::string name() const override {
     return inner_->name() + "@[" + std::to_string(window_.start_s.value()) +
@@ -48,10 +51,10 @@ class ScheduledAttack final : public SensorAttack {
   }
 
   [[nodiscard]] const AttackWindow& window() const { return window_; }
-  [[nodiscard]] const SensorAttack& inner() const { return *inner_; }
+  [[nodiscard]] const AttackModel& inner() const { return *inner_; }
 
  private:
-  std::shared_ptr<const SensorAttack> inner_;
+  std::shared_ptr<AttackModel> inner_;
   AttackWindow window_;
 };
 

@@ -36,7 +36,7 @@ std::vector<std::string> CarFollowingResult::columns() {
 CarFollowingSimulation::CarFollowingSimulation(
     CarFollowingConfig config,
     std::shared_ptr<const vehicle::LeaderProfile> leader,
-    std::shared_ptr<const attack::SensorAttack> attack,
+    std::shared_ptr<const attack::AttackModel> attack,
     std::shared_ptr<const cra::ChallengeSchedule> schedule)
     : config_(std::move(config)),
       leader_profile_(std::move(leader)),
@@ -71,6 +71,12 @@ CarFollowingResult CarFollowingSimulation::run() {
   fault::FaultSchedule faults =
       config_.faults ? *config_.faults : fault::FaultSchedule{};
   faults.reset();
+
+  // Per-run clone of the attack model: entrainment-style attacks carry a
+  // lock-on state machine, and repeated run() calls must start it fresh.
+  std::unique_ptr<attack::AttackModel> attack =
+      attack_ ? attack_->clone() : nullptr;
+  if (attack) attack->reset();
 
   vehicle::VehicleState leader{.position_m = config_.initial_gap_m,
                                .velocity_mps = config_.leader_speed_mps};
@@ -121,20 +127,16 @@ CarFollowingResult CarFollowingSimulation::run() {
     }
 
     bool attack_active = false;
-    if (attack_ && !result.collided) {
+    if (attack && !result.collided) {
       const attack::AttackContext ctx{
           .time_s = t,
+          .step = k,
           .true_distance_m = true_gap,
           .true_range_rate_mps = true_dv,
           .true_echo_power_w = echo_power,
           .waveform = &wf,
       };
-      const radar::EchoScene before = scene;
-      attack_->apply(ctx, scene);
-      attack_active = scene.echoes.size() != before.echoes.size() ||
-                      scene.noise_power_w != before.noise_power_w ||
-                      (!scene.echoes.empty() && !before.echoes.empty() &&
-                       scene.echoes[0].distance_m != before.echoes[0].distance_m);
+      attack_active = attack->apply(ctx, scene);
     }
 
     // --- Radar receiver (+ post-digitization sensor faults, if scheduled).

@@ -87,7 +87,7 @@ class CarFollowingSimulation {
   /// probe gating and the pipeline's detector.
   CarFollowingSimulation(CarFollowingConfig config,
                          std::shared_ptr<const vehicle::LeaderProfile> leader,
-                         std::shared_ptr<const attack::SensorAttack> attack,
+                         std::shared_ptr<const attack::AttackModel> attack,
                          std::shared_ptr<const cra::ChallengeSchedule> schedule);
 
   /// Runs the full horizon and returns the recorded result. Stops stepping
@@ -98,7 +98,7 @@ class CarFollowingSimulation {
  private:
   CarFollowingConfig config_;
   std::shared_ptr<const vehicle::LeaderProfile> leader_profile_;
-  std::shared_ptr<const attack::SensorAttack> attack_;
+  std::shared_ptr<const attack::AttackModel> attack_;
   std::shared_ptr<const cra::ChallengeSchedule> schedule_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "attack/delay_injection.hpp"
 #include "attack/dos_jammer.hpp"
+#include "attack/spec.hpp"
 #include "attack/window.hpp"
 #include "radar/link_budget.hpp"
 #include "units/units.hpp"
@@ -19,7 +20,15 @@ void validate(const ScenarioOptions& options) {
         "ScenarioOptions: horizon_steps must be positive, got " +
         std::to_string(options.horizon_steps));
   }
-  if (options.attack != AttackKind::kNone &&
+  if (attack::attack_spec_enabled(options.attack_spec)) {
+    const attack::SpecCheck check =
+        attack::check_attack_spec(options.attack_spec);
+    if (check.status != attack::SpecStatus::kOk) {
+      throw std::invalid_argument("ScenarioOptions: " + check.message);
+    }
+  }
+  if ((options.attack != AttackKind::kNone ||
+       attack::attack_spec_enabled(options.attack_spec)) &&
       options.attack_end_s < options.attack_start_s) {
     throw std::invalid_argument(
         "ScenarioOptions: attack_end_s (" +
@@ -71,17 +80,24 @@ Scenario make_paper_scenario(const ScenarioOptions& options) {
       break;
   }
 
-  std::shared_ptr<const attack::SensorAttack> inner;
-  switch (options.attack) {
-    case AttackKind::kNone:
-      break;
-    case AttackKind::kDosJammer:
-      inner = std::make_shared<attack::DosJammerAttack>(options.jammer);
-      break;
-    case AttackKind::kDelayInjection:
-      inner = std::make_shared<attack::DelayInjectionAttack>(
-          attack::DelayInjectionConfig{});
-      break;
+  std::shared_ptr<attack::AttackModel> inner;
+  if (attack::attack_spec_enabled(options.attack_spec)) {
+    // Spec language wins over the legacy enum; bare "dos" inherits the
+    // scenario's jammer link budget so the campaign power axis composes.
+    inner =
+        attack::make_attack(options.attack_spec, options.jammer, options.seed);
+  } else {
+    switch (options.attack) {
+      case AttackKind::kNone:
+        break;
+      case AttackKind::kDosJammer:
+        inner = std::make_shared<attack::DosJammerAttack>(options.jammer);
+        break;
+      case AttackKind::kDelayInjection:
+        inner = std::make_shared<attack::DelayInjectionAttack>(
+            attack::DelayInjectionConfig{});
+        break;
+    }
   }
   if (inner) {
     s.attack = std::make_shared<attack::ScheduledAttack>(

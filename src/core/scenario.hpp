@@ -50,6 +50,12 @@ struct ScenarioOptions {
   /// Empty or "none" = the single leader-follower pair. core:: itself never
   /// parses this; platoon::make_paper_platoon and the campaign engine do.
   std::string platoon_spec{};
+  /// Attack in the `--attack` mini-language (see attack/spec.hpp). When it
+  /// names an attack it wins over the legacy `attack` enum; a bare "dos"
+  /// spec inherits this scenario's `jammer` link budget, and the entrainment
+  /// attacker's jitter stream derives from `seed`. Empty or "none" = fall
+  /// back to the enum.
+  std::string attack_spec{};
 };
 
 /// Rejects impossible option combinations with std::invalid_argument:
@@ -62,7 +68,7 @@ void validate(const ScenarioOptions& options);
 struct Scenario {
   CarFollowingConfig config;
   std::shared_ptr<const vehicle::LeaderProfile> leader;
-  std::shared_ptr<const attack::SensorAttack> attack;  ///< may be null
+  std::shared_ptr<const attack::AttackModel> attack;  ///< may be null
   std::shared_ptr<const cra::ChallengeSchedule> schedule;
 
   [[nodiscard]] CarFollowingResult run() const {

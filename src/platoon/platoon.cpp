@@ -7,6 +7,8 @@
 #include <string>
 #include <utility>
 
+#include "attack/spec.hpp"
+#include "attack/window.hpp"
 #include "control/idm.hpp"
 #include "fault/schedule.hpp"
 #include "radar/link_budget.hpp"
@@ -65,7 +67,7 @@ std::vector<std::string> PlatoonResult::columns(std::size_t size) {
 PlatoonSimulation::PlatoonSimulation(
     PlatoonConfig config,
     std::shared_ptr<const vehicle::LeaderProfile> leader,
-    std::shared_ptr<const attack::SensorAttack> attack,
+    std::shared_ptr<const attack::AttackModel> attack,
     std::shared_ptr<const cra::ChallengeSchedule> schedule)
     : config_(std::move(config)),
       leader_profile_(std::move(leader)),
@@ -106,6 +108,12 @@ PlatoonResult PlatoonSimulation::run() {
   const PlatoonOptions& po = config_.platoon;
   const units::Meters initial_gap = po.initial_gap_m;
   const std::size_t n_followers = po.size - 1;
+
+  // Per-run clone of the attack model (pair-scene idiom): stateful attacks
+  // restart their lock-on machines on every run().
+  std::unique_ptr<attack::AttackModel> attack =
+      attack_ ? attack_->clone() : nullptr;
+  if (attack) attack->reset();
 
   // Vehicle j starts at (size-1-j) * gap so every adjacent gap is the
   // configured initial gap (the pair scene's layout for size 2).
@@ -239,21 +247,16 @@ PlatoonResult PlatoonSimulation::run() {
       }
 
       bool attack_active = false;
-      if (attack_ && i == po.attacked && !result.collided) {
+      if (attack && i == po.attacked && !result.collided) {
         const attack::AttackContext ctx{
             .time_s = t,
+            .step = k,
             .true_distance_m = true_gap,
             .true_range_rate_mps = true_dv,
             .true_echo_power_w = echo_power,
             .waveform = &wf,
         };
-        const radar::EchoScene before = scene;
-        attack_->apply(ctx, scene);
-        attack_active =
-            scene.echoes.size() != before.echoes.size() ||
-            scene.noise_power_w != before.noise_power_w ||
-            (!scene.echoes.empty() && !before.echoes.empty() &&
-             scene.echoes[0].distance_m != before.echoes[0].distance_m);
+        attack_active = attack->apply(ctx, scene);
       }
 
       // --- Radar receiver (+ post-digitization faults on the attacked
@@ -393,6 +396,13 @@ PlatoonScenario make_paper_platoon(const core::ScenarioOptions& options) {
   }
   s.leader = pair.leader;
   s.attack = pair.attack;
+  if (!po.attack_spec.empty()) {
+    // Per-string override: the spec's attack replaces whatever the base
+    // options selected, inside the same scenario attack window.
+    s.attack = std::make_shared<attack::ScheduledAttack>(
+        attack::make_attack(po.attack_spec, options.jammer, options.seed),
+        attack::AttackWindow{options.attack_start_s, options.attack_end_s});
+  }
   s.schedule = pair.schedule;
   return s;
 }

@@ -71,7 +71,7 @@ class PlatoonSimulation {
   /// follower's modulator and detector (a fleet-synchronized CRA).
   PlatoonSimulation(PlatoonConfig config,
                     std::shared_ptr<const vehicle::LeaderProfile> leader,
-                    std::shared_ptr<const attack::SensorAttack> attack,
+                    std::shared_ptr<const attack::AttackModel> attack,
                     std::shared_ptr<const cra::ChallengeSchedule> schedule);
 
   /// Runs the full horizon. Stops stepping every vehicle once any gap
@@ -82,7 +82,7 @@ class PlatoonSimulation {
  private:
   PlatoonConfig config_;
   std::shared_ptr<const vehicle::LeaderProfile> leader_profile_;
-  std::shared_ptr<const attack::SensorAttack> attack_;
+  std::shared_ptr<const attack::AttackModel> attack_;
   std::shared_ptr<const cra::ChallengeSchedule> schedule_;
 };
 
@@ -90,7 +90,7 @@ class PlatoonSimulation {
 struct PlatoonScenario {
   PlatoonConfig config;
   std::shared_ptr<const vehicle::LeaderProfile> leader;
-  std::shared_ptr<const attack::SensorAttack> attack;  ///< may be null
+  std::shared_ptr<const attack::AttackModel> attack;  ///< may be null
   std::shared_ptr<const cra::ChallengeSchedule> schedule;
 
   [[nodiscard]] PlatoonResult run() const {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "attack/spec.hpp"
 #include "detect/spec.hpp"
 #include "fault/schedule.hpp"
 
@@ -204,6 +205,18 @@ SpecCheck parse_into(const std::string& spec, PlatoonOptions& out) {
     out.detector_spec = normalized;
   }
 
+  std::string attack_spec;
+  if (params.take_raw("attack", attack_spec)) {
+    const std::string normalized = attack_spec == "none" ? "" : attack_spec;
+    if (!normalized.empty()) {
+      const attack::SpecCheck sub = attack::check_attack_spec(normalized);
+      if (sub.status != attack::SpecStatus::kOk) {
+        return malformed("platoon spec: " + sub.message);
+      }
+    }
+    out.attack_spec = normalized;
+  }
+
   std::string fault;
   if (params.take_raw("fault", fault)) {
     const std::string normalized = fault == "none" ? "" : fault;
@@ -300,7 +313,8 @@ std::string platoon_spec_help() {
   return "platoon spec: comma-separated key=value with keys "
          "n(2..64) attacked(1..n-1) controller(acc|idm) "
          "detector(<detect spec>, quoted if it has commas) "
-         "fault(<fault spec>, quoted) gap(meters) multi_target(on|off) "
+         "fault(<fault spec>, quoted) attack(<attack spec>, quoted) "
+         "gap(meters) multi_target(on|off) "
          "rcs_scale((0,1]) cutin_into cutin_start cutin_len "
          "cutin_frac((0,1)); e.g. \"n=8,attacked=3,detector=chi2\"; empty "
          "= the 2-vehicle pair case study";

@@ -12,6 +12,9 @@
 //                quote values containing commas
 //   fault        fault schedule for the attacked vehicle (fault
 //                mini-language); quote values containing commas
+//   attack       attack on the attacked vehicle's stream (attack
+//                mini-language); quote values containing commas;
+//                "" = inherit the base scenario's attack
 //   gap          initial inter-vehicle gap in meters (default 100)
 //   multi_target on | off: second-ahead echoes in each follower's scene
 //                (default on; follower 1 never has one, so a 2-vehicle
@@ -65,6 +68,7 @@ struct PlatoonOptions {
       core::FollowerController::kAccHierarchy;
   std::string detector_spec;  ///< detect mini-language; "" = inherit.
   std::string fault_spec;     ///< fault mini-language; "" = inherit.
+  std::string attack_spec;    ///< attack mini-language; "" = inherit.
   units::Meters initial_gap_m{100.0};
   bool multi_target = true;
   /// Power scale applied to the second-ahead echo's RCS (partial occlusion

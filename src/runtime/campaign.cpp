@@ -83,6 +83,7 @@ std::size_t CampaignSpec::grid_cells() const {
   mul(detector_specs.size());
   mul(defenses.size());
   mul(platoon_specs.size());
+  mul(attack_specs.size());
   return cells;
 }
 
@@ -118,6 +119,7 @@ core::ScenarioOptions Campaign::expand(std::uint64_t trial_id,
   pick(spec_.detector_specs, o.pipeline.detector_spec);
   pick(spec_.defenses, o.defense_enabled);
   pick(spec_.platoon_specs, o.platoon_spec);
+  pick(spec_.attack_specs, o.attack_spec);
 
   // Randomized axes: sampled in a fixed order from the per-trial parameter
   // stream. Every set distribution is drawn even when the trial's attack
@@ -152,6 +154,7 @@ core::ScenarioOptions Campaign::expand(std::uint64_t trial_id,
   record.max_holdover_steps = o.pipeline.health.max_holdover_steps;
   record.horizon_steps = o.horizon_steps;
   record.platoon_spec = o.platoon_spec;
+  record.attack_spec = (o.attack_spec == "none") ? "" : o.attack_spec;
   return o;
 }
 
@@ -205,7 +208,8 @@ void Campaign::run_pair_trial(const core::ScenarioOptions& options,
   record.degradation_max = result.trace.column_max("degradation");
 
   const units::Seconds dt = scenario.config.sample_time_s;
-  if (options.attack != core::AttackKind::kNone &&
+  if ((options.attack != core::AttackKind::kNone ||
+       !record.attack_spec.empty()) &&
       record.detection_step >= 0) {
     const double latency =
         static_cast<double>(record.detection_step) * dt.value() -
@@ -270,7 +274,8 @@ void Campaign::run_platoon_trial(const core::ScenarioOptions& options,
   }
 
   const units::Seconds dt = scenario.config.base.sample_time_s;
-  if (options.attack != core::AttackKind::kNone &&
+  if ((options.attack != core::AttackKind::kNone ||
+       !record.attack_spec.empty()) &&
       record.detection_step >= 0) {
     const double latency =
         static_cast<double>(record.detection_step) * dt.value() -

@@ -80,6 +80,10 @@ struct CampaignSpec {
   /// platoon::make_paper_platoon — `factory` and `customize` apply to pair
   /// cells only.
   std::vector<std::string> platoon_specs;
+  /// Attack specs (attack mini-language; "" = keep the legacy enum axis for
+  /// that cell). Appended after platoon_specs in the unravel order so specs
+  /// without an attack-spec axis keep their existing trial-to-cell mapping.
+  std::vector<std::string> attack_specs;
 
   // Randomized axes (take precedence over the matching grid axis).
   std::optional<Distribution> attack_onset_s;

@@ -35,6 +35,7 @@ enum class SeedStream : std::uint64_t {
   kChaos = 3,     ///< serve::ChaosProxy per-connection fault-plan draws.
   kRetry = 4,     ///< serve::ResilientClient backoff-jitter draws.
   kVehicle = 5,   ///< platoon:: per-follower radar-noise seed derivation.
+  kAttack = 6,    ///< attack:: per-epoch draws (entrainment sweep jitter).
 };
 
 /// Derives the seed for (`stream`, `counter`) under `master`. Pure function

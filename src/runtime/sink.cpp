@@ -96,7 +96,9 @@ std::string to_jsonl(const TrialRecord& r) {
   out += leader_name(r.leader);
   out += "\",\"attack\":\"";
   out += attack_name(r.attack);
-  out += "\",\"onset_s\":";
+  out += "\",\"attack_spec\":";
+  append_escaped(out, r.attack_spec);
+  out += ",\"onset_s\":";
   append_double(out, r.attack_start_s.value());
   out += ",\"end_s\":";
   append_double(out, r.attack_end_s.value());
@@ -197,7 +199,12 @@ void SummaryAccumulator::add(const TrialRecord& r) {
     linf_amplification_samples_.emplace_back(r.trial_id,
                                              r.linf_amplification);
   }
-  if (r.attack != core::AttackKind::kNone) {
+  const bool spec_attacked = !r.attack_spec.empty() && r.attack_spec != "none";
+  if (spec_attacked) {
+    ++spec_attacked_;
+    if (r.detection_step >= 0) ++spec_detected_;
+  }
+  if (r.attack != core::AttackKind::kNone || spec_attacked) {
     ++attacked_;
     if (r.detection_step >= 0) {
       ++detected_;
@@ -222,6 +229,8 @@ void SummaryAccumulator::merge(const SummaryAccumulator& o) {
   platoon_trials_ += o.platoon_trials_;
   safe_stop_vehicles_ += o.safe_stop_vehicles_;
   detected_vehicles_ += o.detected_vehicles_;
+  spec_attacked_ += o.spec_attacked_;
+  spec_detected_ += o.spec_detected_;
   latency_samples_.insert(latency_samples_.end(), o.latency_samples_.begin(),
                           o.latency_samples_.end());
   min_gap_samples_.insert(min_gap_samples_.end(), o.min_gap_samples_.begin(),
@@ -279,6 +288,8 @@ CampaignSummary SummaryAccumulator::finalize() const {
   s.platoon_trials = platoon_trials_;
   s.safe_stop_vehicles_total = safe_stop_vehicles_;
   s.detected_vehicles_total = detected_vehicles_;
+  s.spec_attack_trials = spec_attacked_;
+  s.spec_attack_detected = spec_detected_;
   const std::vector<double> depth =
       values_in_trial_order(shock_depth_samples_);
   if (!depth.empty()) {
@@ -378,6 +389,16 @@ std::string format_summary(const CampaignSummary& s) {
                   "cascade totals    : safe-stop vehicles %zu, detecting "
                   "vehicles %zu\n",
                   s.safe_stop_vehicles_total, s.detected_vehicles_total);
+    os << line;
+  }
+  // Conditional for the same reason: enum-only campaigns keep their bytes.
+  if (s.spec_attack_trials > 0) {
+    std::snprintf(line, sizeof(line),
+                  "spoofing trials   : %zu via --attack specs (detected "
+                  "%zu, P(detect) %.4f)\n",
+                  s.spec_attack_trials, s.spec_attack_detected,
+                  static_cast<double>(s.spec_attack_detected) /
+                      static_cast<double>(s.spec_attack_trials));
     os << line;
   }
   return os.str();

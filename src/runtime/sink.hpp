@@ -32,6 +32,9 @@ struct TrialRecord {
   std::uint64_t scenario_seed = 0;
   core::LeaderScenario leader = core::LeaderScenario::kConstantDecel;
   core::AttackKind attack = core::AttackKind::kNone;
+  /// `--attack` mini-language spec (attack/spec.hpp); empty = the legacy
+  /// enum axis above. When set it names the attack that actually ran.
+  std::string attack_spec;
   units::Seconds attack_start_s{0.0};
   units::Seconds attack_end_s{0.0};
   double jammer_power_w = 0.0;
@@ -150,6 +153,12 @@ struct CampaignSummary {
   double linf_amplification_max = 0.0;
   std::size_t safe_stop_vehicles_total = 0;
   std::size_t detected_vehicles_total = 0;
+
+  /// Trials whose attack came from the `--attack` spec language (zero on
+  /// legacy enum-only campaigns; format_summary prints the spoofing block
+  /// only when non-zero, keeping pre-spec summaries byte-identical).
+  std::size_t spec_attack_trials = 0;
+  std::size_t spec_attack_detected = 0;
 };
 
 /// Mergeable online accumulator. add() keeps only order-independent tallies
@@ -177,6 +186,8 @@ class SummaryAccumulator {
   std::size_t platoon_trials_ = 0;
   std::size_t safe_stop_vehicles_ = 0;
   std::size_t detected_vehicles_ = 0;
+  std::size_t spec_attacked_ = 0;
+  std::size_t spec_detected_ = 0;
   std::vector<Sample> latency_samples_;
   std::vector<Sample> min_gap_samples_;
   std::vector<Sample> holdover_rmse_samples_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "attack/spec.hpp"
 #include "detect/spec.hpp"
 #include "platoon/spec.hpp"
 
@@ -163,8 +164,34 @@ CampaignSpec parse_campaign_spec(const std::string& text) {
         spec.leaders.push_back(parse_leader(entry, unquote(t)));
       }
     } else if (key == "attack") {
+      // Bare legacy names keep the enum axis (and its exact cell mapping);
+      // any parameterized token upgrades the whole list to the attack-spec
+      // axis so one `attack =` entry stays one axis.
+      bool all_legacy = true;
       for (const auto& t : tokens) {
-        spec.attacks.push_back(parse_attack(entry, unquote(t)));
+        const std::string a = unquote(t);
+        if (a != "none" && a != "dos" && a != "delay") {
+          all_legacy = false;
+          break;
+        }
+      }
+      for (const auto& t : tokens) {
+        const std::string a = unquote(t);
+        if (all_legacy) {
+          spec.attacks.push_back(parse_attack(entry, a));
+          continue;
+        }
+        const std::string normalized = a == "none" ? std::string{} : a;
+        // Same parse-time validation as `detector`: reject a bad attack
+        // spec once here instead of erroring every trial on its cell.
+        if (!normalized.empty()) {
+          const attack::SpecCheck check =
+              attack::check_attack_spec(normalized);
+          if (check.status != attack::SpecStatus::kOk) {
+            fail(entry, check.message);
+          }
+        }
+        spec.attack_specs.push_back(normalized);
       }
     } else if (key == "onset") {
       if (auto dist = try_parse_distribution(entry, first)) {
@@ -271,7 +298,10 @@ std::string campaign_spec_help() {
       "  seed = N              master seed; every trial seed derives from it\n"
       "  horizon = K           simulation steps per trial (default 300)\n"
       "  leader = decel | decel-accel               grid\n"
-      "  attack = none | dos | delay                grid\n"
+      "  attack = none | dos | delay                grid (legacy enum), or\n"
+      "  attack = \"spoof:coherence=0.9\" | \"entrain:replay=0\" | dos   grid\n"
+      "                        (attack mini-language; any parameterized token\n"
+      "                        upgrades the whole list to the spec axis)\n"
       "  onset = 182 | 60|100|140 | uniform(60,240) fixed / grid / random\n"
       "  end = 300             fixed attack end time [s]\n"
       "  duration = 90 | uniform(30,120)   attack end = onset + duration\n"

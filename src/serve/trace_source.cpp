@@ -105,6 +105,11 @@ std::vector<MeasurementFrame> make_measurement_trace(const TraceSpec& spec) {
   std::vector<MeasurementFrame> frames;
   frames.reserve(static_cast<std::size_t>(config.horizon_steps));
 
+  // Per-trace clone: stateful attack models restart for every trace.
+  std::unique_ptr<attack::AttackModel> attack =
+      scenario.attack ? scenario.attack->clone() : nullptr;
+  if (attack) attack->reset();
+
   for (std::int64_t k = 0; k < config.horizon_steps; ++k) {
     const units::Seconds t = static_cast<double>(k) * t_sample;
     const units::MetersPerSecond2 accel =
@@ -134,15 +139,16 @@ std::vector<MeasurementFrame> make_measurement_trace(const TraceSpec& spec) {
       }
     }
 
-    if (scenario.attack) {
+    if (attack) {
       const attack::AttackContext ctx{
           .time_s = t,
+          .step = k,
           .true_distance_m = true_gap,
           .true_range_rate_mps = true_dv,
           .true_echo_power_w = echo_power,
           .waveform = &wf,
       };
-      scenario.attack->apply(ctx, scene);
+      attack->apply(ctx, scene);
     }
 
     radar::RadarMeasurement meas = radar.measure(scene);

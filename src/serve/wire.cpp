@@ -63,8 +63,10 @@ class PayloadWriter {
   void str(const std::string& s, std::size_t max_bytes) {
     const std::size_t n = std::min(s.size(), max_bytes);
     u16(static_cast<std::uint16_t>(n));
-    bytes_.insert(bytes_.end(), s.begin(),
-                  s.begin() + static_cast<std::ptrdiff_t>(n));
+    bytes_.reserve(bytes_.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      bytes_.push_back(static_cast<std::uint8_t>(s[i]));
+    }
   }
 
   [[nodiscard]] std::vector<std::uint8_t> finish(FrameType type) && {

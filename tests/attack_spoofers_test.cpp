@@ -1,0 +1,370 @@
+// Tests for the physical-layer spoofing adversaries (DESIGN.md §17).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "attack/spoofers.hpp"
+#include "radar/link_budget.hpp"
+
+namespace safe::attack {
+namespace {
+
+radar::FmcwParameters waveform() { return radar::bosch_lrr2_parameters(); }
+
+AttackContext context_at(std::int64_t step, double distance_m,
+                         const radar::FmcwParameters& wf,
+                         double range_rate = -1.0) {
+  return AttackContext{
+      .time_s = units::Seconds{static_cast<double>(step)},
+      .step = step,
+      .true_distance_m = units::Meters{distance_m},
+      .true_range_rate_mps = units::MetersPerSecond{range_rate},
+      .true_echo_power_w =
+          radar::received_echo_power_w(wf, units::Meters{distance_m}, 10.0),
+      .waveform = &wf,
+  };
+}
+
+radar::EchoScene normal_scene(const AttackContext& ctx,
+                              bool tx_enabled = true) {
+  radar::EchoScene scene;
+  scene.tx_enabled = tx_enabled;
+  if (tx_enabled) {
+    scene.echoes.push_back(radar::EchoComponent{
+        .distance_m = ctx.true_distance_m,
+        .range_rate_mps = ctx.true_range_rate_mps,
+        .power_w = ctx.true_echo_power_w,
+    });
+  }
+  scene.noise_power_w = 4.0e-14;
+  return scene;
+}
+
+// --- PhaseCoherentSpoofAttack ----------------------------------------------
+
+TEST(PhaseCoherentSpoof, ValidatesConfig) {
+  PhaseCoherentSpoofConfig cfg;
+  cfg.coherence = 0.0;
+  EXPECT_THROW(PhaseCoherentSpoofAttack{cfg}, std::invalid_argument);
+  cfg.coherence = 1.5;
+  EXPECT_THROW(PhaseCoherentSpoofAttack{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.power_advantage = 0.0;
+  EXPECT_THROW(PhaseCoherentSpoofAttack{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.range_offset_m = units::Meters{std::nan("")};
+  EXPECT_THROW(PhaseCoherentSpoofAttack{cfg}, std::invalid_argument);
+}
+
+TEST(PhaseCoherentSpoof, ShiftsRangeAndDoppler) {
+  const auto wf = waveform();
+  const auto ctx = context_at(0, 80.0, wf, -2.0);
+  radar::EchoScene scene = normal_scene(ctx);
+  PhaseCoherentSpoofConfig cfg;
+  cfg.range_offset_m = units::Meters{10.0};
+  cfg.doppler_shift_hz = units::Hertz{400.0};
+  PhaseCoherentSpoofAttack attack{cfg};
+  EXPECT_TRUE(attack.apply(ctx, scene));
+  ASSERT_EQ(scene.echoes.size(), 1u);  // capture: replaces the true echo
+  EXPECT_NEAR(scene.echoes[0].distance_m.value(), 90.0, 1e-9);
+  // v = f_D * lambda / 2 on top of the true range rate.
+  const double expected_shift = 0.5 * wf.wavelength_m.value() * 400.0;
+  EXPECT_NEAR(scene.echoes[0].range_rate_mps.value(), -2.0 + expected_shift,
+              1e-12);
+}
+
+TEST(PhaseCoherentSpoof, PerfectCoherenceAddsNoNoise) {
+  const auto wf = waveform();
+  const auto ctx = context_at(0, 80.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  const double clean_noise = scene.noise_power_w;
+  PhaseCoherentSpoofAttack attack{PhaseCoherentSpoofConfig{}};  // coherence=1
+  attack.apply(ctx, scene);
+  EXPECT_DOUBLE_EQ(scene.noise_power_w, clean_noise);
+}
+
+TEST(PhaseCoherentSpoof, CoherenceSplitsCounterfeitPower) {
+  const auto wf = waveform();
+  const auto ctx = context_at(0, 80.0, wf);
+  PhaseCoherentSpoofConfig cfg;
+  cfg.coherence = 0.6;
+  cfg.min_power_w = 0.0;  // disable the link floor: test the split alone
+  PhaseCoherentSpoofAttack attack{cfg};
+  radar::EchoScene scene = normal_scene(ctx);
+  const double clean_noise = scene.noise_power_w;
+  attack.apply(ctx, scene);
+  ASSERT_EQ(scene.echoes.size(), 1u);
+  const double total = scene.echoes[0].power_w +
+                       (scene.noise_power_w - clean_noise);
+  // 60% lands in the beat peak, 40% smears into the noise floor; the split
+  // conserves the counterfeit power.
+  EXPECT_NEAR(scene.echoes[0].power_w / total, 0.6, 1e-12);
+  EXPECT_NEAR(total, ctx.true_echo_power_w * cfg.power_advantage, 1e-20);
+}
+
+TEST(PhaseCoherentSpoof, NonReplacingModeKeepsGenuineEcho) {
+  const auto wf = waveform();
+  const auto ctx = context_at(0, 80.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  PhaseCoherentSpoofConfig cfg;
+  cfg.replaces_true_echo = false;
+  PhaseCoherentSpoofAttack{cfg}.apply(ctx, scene);
+  EXPECT_EQ(scene.echoes.size(), 2u);
+}
+
+TEST(PhaseCoherentSpoof, RadiatesIntoChallengeSlots) {
+  // The replay chain has latency: the counterfeit is present even when the
+  // probe was suppressed, which is exactly the footprint CRA detects.
+  const auto wf = waveform();
+  const auto ctx = context_at(0, 80.0, wf);
+  radar::EchoScene scene = normal_scene(ctx, /*tx_enabled=*/false);
+  EXPECT_TRUE(PhaseCoherentSpoofAttack{PhaseCoherentSpoofConfig{}}.apply(
+      ctx, scene));
+  EXPECT_EQ(scene.echoes.size(), 1u);
+}
+
+// --- ChirpModificationAttack -----------------------------------------------
+
+TEST(ChirpModification, ValidatesConfig) {
+  ChirpModificationConfig cfg;
+  cfg.slope_ratio = 0.0;
+  EXPECT_THROW(ChirpModificationAttack{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.power_advantage = -1.0;
+  EXPECT_THROW(ChirpModificationAttack{cfg}, std::invalid_argument);
+}
+
+TEST(ChirpModification, MatchedSlopeIsFullyCoherent) {
+  const ChirpModificationAttack attack{ChirpModificationConfig{}};
+  EXPECT_DOUBLE_EQ(attack.coherent_fraction(waveform()), 1.0);
+}
+
+TEST(ChirpModification, SlopeMismatchSmearsAcrossCells) {
+  // cells = |1 - r| * B_s * T_s / 2; even a 1e-9 relative mismatch on the
+  // LRR2 sweep covers many resolution cells.
+  const auto wf = waveform();
+  ChirpModificationConfig cfg;
+  cfg.slope_ratio = 1.0 + 1.0e-9;
+  const ChirpModificationAttack attack{cfg};
+  const double cells = std::abs(1.0 - cfg.slope_ratio) *
+                       wf.sweep_bandwidth_hz.value() *
+                       (0.5 * wf.sweep_time_s.value());
+  EXPECT_NEAR(attack.coherent_fraction(wf), 1.0 / (1.0 + cells), 1e-15);
+  EXPECT_LT(attack.coherent_fraction(wf), 1.0);
+}
+
+TEST(ChirpModification, AddsGhostWithoutMaskingGenuineEcho) {
+  // A rogue radar runs its own transmitter: it cannot capture the victim's
+  // receiver the way a replay can, so the true echo survives.
+  const auto wf = waveform();
+  const auto ctx = context_at(0, 80.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  ChirpModificationConfig cfg;
+  cfg.ghost_offset_m = units::Meters{12.0};
+  EXPECT_TRUE(ChirpModificationAttack{cfg}.apply(ctx, scene));
+  ASSERT_EQ(scene.echoes.size(), 2u);
+  EXPECT_DOUBLE_EQ(scene.echoes[0].distance_m.value(), 80.0);
+  EXPECT_NEAR(scene.echoes[1].distance_m.value(), 92.0, 1e-9);
+}
+
+TEST(ChirpModification, MismatchedSlopeRaisesNoiseFloor) {
+  const auto wf = waveform();
+  const auto ctx = context_at(0, 80.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  const double clean_noise = scene.noise_power_w;
+  ChirpModificationConfig cfg;
+  cfg.slope_ratio = 1.0 + 1.0e-7;  // heavy smear: ghost "degrades" to jamming
+  ChirpModificationAttack attack{cfg};
+  attack.apply(ctx, scene);
+  EXPECT_GT(scene.noise_power_w, clean_noise);
+}
+
+// --- ChirpEntrainmentAttack ------------------------------------------------
+
+ChirpEntrainmentConfig entrain_config() {
+  ChirpEntrainmentConfig cfg;
+  cfg.acquire_slots = 3;
+  return cfg;
+}
+
+TEST(ChirpEntrainment, ValidatesConfig) {
+  ChirpEntrainmentConfig cfg;
+  cfg.acquire_slots = 0;
+  EXPECT_THROW(ChirpEntrainmentAttack{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.timing_jitter_m = units::Meters{-1.0};
+  EXPECT_THROW(ChirpEntrainmentAttack{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.leak_noise_factor = -0.5;
+  EXPECT_THROW(ChirpEntrainmentAttack{cfg}, std::invalid_argument);
+}
+
+TEST(ChirpEntrainment, StaysPassiveUntilAcquired) {
+  const auto wf = waveform();
+  ChirpEntrainmentAttack attack{entrain_config()};
+  for (std::int64_t k = 0; k < 2; ++k) {
+    const auto ctx = context_at(k, 80.0, wf);
+    radar::EchoScene scene = normal_scene(ctx);
+    EXPECT_FALSE(attack.apply(ctx, scene));
+    EXPECT_EQ(scene.echoes.size(), 1u);  // untouched while listening
+    EXPECT_FALSE(attack.locked());
+  }
+}
+
+TEST(ChirpEntrainment, LocksAfterAcquireProbeOnSlots) {
+  const auto wf = waveform();
+  ChirpEntrainmentAttack attack{entrain_config()};
+  for (std::int64_t k = 0; k < 3; ++k) {
+    const auto ctx = context_at(k, 80.0, wf);
+    radar::EchoScene scene = normal_scene(ctx);
+    attack.apply(ctx, scene);
+  }
+  EXPECT_TRUE(attack.locked());
+  const auto ctx = context_at(3, 80.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  EXPECT_TRUE(attack.apply(ctx, scene));
+  ASSERT_EQ(scene.echoes.size(), 1u);
+  EXPECT_NEAR(scene.echoes[0].distance_m.value(), 86.0, 1e-9);  // captured
+}
+
+TEST(ChirpEntrainment, ProbeOffSlotsDoNotCountTowardAcquisition) {
+  const auto wf = waveform();
+  ChirpEntrainmentAttack attack{entrain_config()};
+  for (std::int64_t k = 0; k < 10; ++k) {
+    const auto ctx = context_at(k, 80.0, wf);
+    radar::EchoScene scene = normal_scene(ctx, /*tx_enabled=*/false);
+    attack.apply(ctx, scene);
+  }
+  // Ten silent epochs: the attacker heard no sweeps and cannot sync.
+  EXPECT_FALSE(attack.locked());
+}
+
+TEST(ChirpEntrainment, PerfectReplayIsSilentWhenProbeIs) {
+  // replay = 0: transmit at slot t only if a probe was heard at slot t.
+  // During a challenge (probe off) the attacker is silent too — the CRA
+  // consistency check sees exactly what it expects.
+  const auto wf = waveform();
+  auto cfg = entrain_config();
+  cfg.replay_delay_slots = 0;
+  ChirpEntrainmentAttack attack{cfg};
+  for (std::int64_t k = 0; k < 3; ++k) {
+    const auto ctx = context_at(k, 80.0, wf);
+    radar::EchoScene scene = normal_scene(ctx);
+    attack.apply(ctx, scene);
+  }
+  ASSERT_TRUE(attack.locked());
+
+  const auto challenge_ctx = context_at(3, 80.0, wf);
+  radar::EchoScene challenge = normal_scene(challenge_ctx, false);
+  EXPECT_FALSE(attack.apply(challenge_ctx, challenge));
+  EXPECT_TRUE(challenge.echoes.empty());
+
+  const auto normal_ctx = context_at(4, 80.0, wf);
+  radar::EchoScene scene = normal_scene(normal_ctx);
+  EXPECT_TRUE(attack.apply(normal_ctx, scene));
+  EXPECT_EQ(scene.echoes.size(), 1u);
+}
+
+TEST(ChirpEntrainment, DelayedReplayEchoesProbePatternLate) {
+  // replay = 2: the probe pattern is mirrored two slots later, so the
+  // attacker radiates into a challenge slot whenever the probe two slots
+  // earlier was on — which is what CRA catches.
+  const auto wf = waveform();
+  auto cfg = entrain_config();
+  cfg.acquire_slots = 1;
+  cfg.replay_delay_slots = 2;
+  ChirpEntrainmentAttack attack{cfg};
+
+  {  // slot 0: probe on -> acquires and records
+    const auto ctx = context_at(0, 80.0, wf);
+    radar::EchoScene scene = normal_scene(ctx);
+    attack.apply(ctx, scene);
+    ASSERT_TRUE(attack.locked());
+  }
+  {  // slot 1: probe on, but no probe recorded at slot -1 -> silent
+    const auto ctx = context_at(1, 80.0, wf);
+    radar::EchoScene scene = normal_scene(ctx);
+    EXPECT_FALSE(attack.apply(ctx, scene));
+  }
+  {  // slot 2 is a challenge; probe at slot 0 was on -> attacker radiates
+    const auto ctx = context_at(2, 80.0, wf);
+    radar::EchoScene scene = normal_scene(ctx, false);
+    EXPECT_TRUE(attack.apply(ctx, scene));
+    EXPECT_EQ(scene.echoes.size(), 1u);
+  }
+}
+
+TEST(ChirpEntrainment, LeakageRaisesNoiseEvenWhenChirpIsSilent) {
+  const auto wf = waveform();
+  auto cfg = entrain_config();
+  cfg.replay_delay_slots = 0;
+  cfg.leak_noise_factor = 15.0;
+  ChirpEntrainmentAttack attack{cfg};
+  for (std::int64_t k = 0; k < 3; ++k) {
+    const auto ctx = context_at(k, 80.0, wf);
+    radar::EchoScene scene = normal_scene(ctx);
+    attack.apply(ctx, scene);
+  }
+  const auto ctx = context_at(3, 80.0, wf);
+  radar::EchoScene scene = normal_scene(ctx, false);
+  const double clean_noise = scene.noise_power_w;
+  EXPECT_TRUE(attack.apply(ctx, scene));  // leak modifies the scene...
+  EXPECT_TRUE(scene.echoes.empty());      // ...but no counterfeit chirp
+  EXPECT_DOUBLE_EQ(scene.noise_power_w, clean_noise * 16.0);
+}
+
+TEST(ChirpEntrainment, JitterIsReproducibleFromSeedAndStep) {
+  const auto wf = waveform();
+  auto cfg = entrain_config();
+  cfg.acquire_slots = 1;
+  cfg.timing_jitter_m = units::Meters{0.5};
+  cfg.seed = 42;
+
+  auto run = [&](ChirpEntrainmentAttack& attack) {
+    std::vector<double> distances;
+    for (std::int64_t k = 0; k < 6; ++k) {
+      const auto ctx = context_at(k, 80.0, wf);
+      radar::EchoScene scene = normal_scene(ctx);
+      attack.apply(ctx, scene);
+      if (!scene.echoes.empty()) {
+        distances.push_back(scene.echoes[0].distance_m.value());
+      }
+    }
+    return distances;
+  };
+
+  ChirpEntrainmentAttack a{cfg};
+  ChirpEntrainmentAttack b{cfg};
+  EXPECT_EQ(run(a), run(b));
+
+  cfg.seed = 43;
+  ChirpEntrainmentAttack c{cfg};
+  EXPECT_NE(run(a), run(c));  // a different seed draws different jitter
+}
+
+TEST(ChirpEntrainment, CloneStartsFromPristineState) {
+  const auto wf = waveform();
+  ChirpEntrainmentAttack attack{entrain_config()};
+  for (std::int64_t k = 0; k < 3; ++k) {
+    const auto ctx = context_at(k, 80.0, wf);
+    radar::EchoScene scene = normal_scene(ctx);
+    attack.apply(ctx, scene);
+  }
+  ASSERT_TRUE(attack.locked());
+
+  const auto clone = attack.clone();
+  auto* entrained = dynamic_cast<ChirpEntrainmentAttack*>(clone.get());
+  ASSERT_NE(entrained, nullptr);
+  EXPECT_FALSE(entrained->locked());
+
+  attack.reset();
+  EXPECT_FALSE(attack.locked());
+  const auto ctx = context_at(99, 80.0, wf);
+  radar::EchoScene scene = normal_scene(ctx);
+  EXPECT_FALSE(attack.apply(ctx, scene));  // listening again after reset
+}
+
+}  // namespace
+}  // namespace safe::attack

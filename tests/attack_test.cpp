@@ -43,7 +43,7 @@ TEST(NoAttack, LeavesSceneUntouched) {
   const auto ctx = context_at(0.0, 100.0, wf);
   radar::EchoScene scene = normal_scene(ctx);
   const radar::EchoScene before = scene;
-  NoAttack{}.apply(ctx, scene);
+  EXPECT_FALSE(NoAttack{}.apply(ctx, scene));
   EXPECT_EQ(scene.echoes.size(), before.echoes.size());
   EXPECT_EQ(scene.noise_power_w, before.noise_power_w);
 }
@@ -69,18 +69,18 @@ TEST(ScheduledAttack, ValidatesArguments) {
 
 TEST(ScheduledAttack, FiresOnlyInsideWindow) {
   const auto wf = waveform();
-  const ScheduledAttack attack(
+  ScheduledAttack attack(
       std::make_shared<DosJammerAttack>(radar::JammerParameters{}),
       AttackWindow{units::Seconds{182.0}, units::Seconds{300.0}});
 
   auto ctx = context_at(100.0, 100.0, wf);
   radar::EchoScene scene = normal_scene(ctx);
   const double clean_noise = scene.noise_power_w;
-  attack.apply(ctx, scene);
+  EXPECT_FALSE(attack.apply(ctx, scene));
   EXPECT_EQ(scene.noise_power_w, clean_noise);  // before window
 
   ctx.time_s = units::Seconds{200.0};
-  attack.apply(ctx, scene);
+  EXPECT_TRUE(attack.apply(ctx, scene));
   EXPECT_GT(scene.noise_power_w, clean_noise);  // inside window
 }
 
@@ -101,8 +101,8 @@ TEST(DosJammer, AddsEquationTenPower) {
   const auto ctx = context_at(0.0, 100.0, wf);
   radar::EchoScene scene = normal_scene(ctx);
   const double before = scene.noise_power_w;
-  const DosJammerAttack attack{radar::JammerParameters{}};
-  attack.apply(ctx, scene);
+  DosJammerAttack attack{radar::JammerParameters{}};
+  EXPECT_TRUE(attack.apply(ctx, scene));
   EXPECT_NEAR(scene.noise_power_w - before,
               radar::received_jammer_power_w(wf, radar::JammerParameters{},
                                              units::Meters{100.0}),
@@ -158,8 +158,8 @@ TEST(DelayInjection, ReplacesEchoWithShiftedCounterfeit) {
   const auto wf = waveform();
   const auto ctx = context_at(190.0, 80.0, wf, -2.5);
   radar::EchoScene scene = normal_scene(ctx);
-  const DelayInjectionAttack attack{DelayInjectionConfig{}};
-  attack.apply(ctx, scene);
+  DelayInjectionAttack attack{DelayInjectionConfig{}};
+  EXPECT_TRUE(attack.apply(ctx, scene));
   ASSERT_EQ(scene.echoes.size(), 1u);
   EXPECT_NEAR(scene.echoes[0].distance_m.value(), 86.0, 0.01);
   EXPECT_DOUBLE_EQ(scene.echoes[0].range_rate_mps.value(), -2.5);

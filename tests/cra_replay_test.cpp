@@ -1,0 +1,115 @@
+// Challenge-response authentication vs the spoofing adversary suite:
+// closed-loop detection latency as a function of the attacker's
+// challenge-replay capability (DESIGN.md §17).
+//
+// The paper's CRA catches any attacker that radiates while the probe is
+// suppressed. The entrainment attacker's replay knob `k` controls exactly
+// that footprint: k = 0 mirrors the probe pattern perfectly and blinds the
+// consistency check, leaving only the rx-power test (and, failing that,
+// the collision).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace safe;
+
+core::CarFollowingResult run_with_attack(const std::string& spec,
+                                         std::uint64_t seed = 1) {
+  core::ScenarioOptions o;
+  o.attack_spec = spec;
+  o.estimator = radar::BeatEstimator::kPeriodogram;
+  o.seed = seed;
+  return core::make_paper_scenario(o).run();
+}
+
+// Paper challenge schedule: {15, 50, 175}, then a tail at 182, 189, 196, ...
+// The attack window opens at k = 182 (a challenge slot).
+constexpr std::int64_t kFirstChallenge = 182;
+constexpr std::int64_t kSecondChallenge = 189;
+
+TEST(CraVsReplay, SpoofRadiatesIntoTheOpeningChallenge) {
+  // The phase-coherent spoofer keeps its replay chain running during
+  // challenge slots, so the very first challenge inside the window sees a
+  // counterfeit echo where silence was expected.
+  const auto result = run_with_attack("spoof:coherence=0.9");
+  ASSERT_TRUE(result.detection_step.has_value());
+  EXPECT_EQ(*result.detection_step, kFirstChallenge);
+  EXPECT_FALSE(result.collided);
+}
+
+TEST(CraVsReplay, ChirpRogueRadarIsCaughtLikewise) {
+  const auto result = run_with_attack("chirp:slope=1.00000000002");
+  ASSERT_TRUE(result.detection_step.has_value());
+  EXPECT_EQ(*result.detection_step, kFirstChallenge);
+}
+
+TEST(CraVsReplay, AcquisitionDelayPushesDetectionPastTheFirstChallenge) {
+  // A free-running entrainment attacker is invisible while it listens: the
+  // opening challenge at k = 182 passes clean (and is probe-off, so it does
+  // not count toward acquisition). Lock-on completes at k = 185 and the
+  // next challenge catches the counterfeit.
+  const auto result = run_with_attack("entrain:acquire=3");
+  ASSERT_TRUE(result.detection_step.has_value());
+  EXPECT_EQ(*result.detection_step, kSecondChallenge);
+}
+
+TEST(CraVsReplay, DelayedReplayIsStillCaught) {
+  // replay = 1 echoes the probe pattern one slot late: at a challenge slot
+  // the probe one slot earlier was on, so the attacker radiates into the
+  // silence and the consistency check fires.
+  const auto result = run_with_attack("entrain:acquire=3,replay=1");
+  ASSERT_TRUE(result.detection_step.has_value());
+  EXPECT_EQ(*result.detection_step, kSecondChallenge);
+}
+
+TEST(CraVsReplay, PerfectReplayBlindsCraAndTheVehicleCollides) {
+  // replay = 0, no leakage: the attacker transmits exactly when the probe is
+  // on, so every challenge sees the expected silence and every probe-on
+  // epoch sees a (counterfeit) echo. CRA never fires and the +6 m range lie
+  // rides through the defended pipeline into a collision — the breaking
+  // point the bench's P(detect) < 1.0 cell reports.
+  const auto result = run_with_attack("entrain:acquire=3,replay=0");
+  EXPECT_FALSE(result.detection_step.has_value());
+  EXPECT_TRUE(result.collided);
+}
+
+TEST(CraVsReplay, PeriodMatchedReplayAlsoEvades) {
+  // replay = 7 equals the challenge tail period: probes seven slots before a
+  // tail challenge are themselves challenges, so the delayed mirror is
+  // silent at every challenge — structurally equivalent to k = 0 against a
+  // periodic schedule. (A PRBS-gated schedule breaks this; the spoof-grid
+  // bench sweeps that axis.)
+  const auto result = run_with_attack("entrain:acquire=3,replay=7");
+  EXPECT_FALSE(result.detection_step.has_value());
+}
+
+TEST(CraVsReplay, TransmitterLeakageRecoversDetection) {
+  // Same perfect replay, but the locked transmitter's carrier leakage lifts
+  // the challenge-slot noise floor: Algorithm 2's rx-power test catches what
+  // the consistency check cannot.
+  const auto result = run_with_attack("entrain:acquire=3,replay=0,leak=15");
+  ASSERT_TRUE(result.detection_step.has_value());
+  EXPECT_EQ(*result.detection_step, kSecondChallenge);
+  EXPECT_FALSE(result.collided);
+}
+
+TEST(CraVsReplay, EntrainmentTimelineIsReproducibleFromSeed) {
+  // Determinism regression (tools/lint/check_determinism.py covers the
+  // sources; this covers the closed loop): same spec + seed must reproduce
+  // the alarm timeline and the measurement trace bit-for-bit, jitter
+  // included.
+  const std::string spec = "entrain:acquire=3,jitter=0.5,replay=1,leak=2";
+  const auto a = run_with_attack(spec, /*seed=*/7);
+  const auto b = run_with_attack(spec, /*seed=*/7);
+  EXPECT_EQ(a.detection_step, b.detection_step);
+  EXPECT_EQ(a.collision_step, b.collision_step);
+  EXPECT_EQ(a.trace.column("under_attack"), b.trace.column("under_attack"));
+  EXPECT_EQ(a.trace.column("meas_gap_m"), b.trace.column("meas_gap_m"));
+}
+
+}  // namespace

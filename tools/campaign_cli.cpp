@@ -37,6 +37,7 @@
 #include <string>
 #include <thread>
 
+#include "attack/spec.hpp"
 #include "detect/spec.hpp"
 #include "platoon/spec.hpp"
 #include "runtime/campaign.hpp"
@@ -51,6 +52,7 @@ namespace {
             << " [--spec FILE|'k = v; ...'|help] [--trials N] [--seed N]\n"
                "       [--jobs N] [--detector SPEC[|SPEC...]|help]\n"
                "       [--platoon SPEC[|SPEC...]|help]\n"
+               "       [--attack SPEC[|SPEC...]|help]\n"
                "       [--out PATH|-] [--summary] [--quiet]\n"
                "       [--metrics-out PATH] [--trace-out PATH]\n"
                "       [--trace-detail coarse|fine] [--progress]\n"
@@ -67,6 +69,9 @@ namespace {
                "                 grid axis like the spec's `platoon` key\n"
                "                 (`--platoon help` documents the language;\n"
                "                 `none` = the single leader-follower pair)\n"
+               "  --attack       attack spec(s); `|`-separated values form a\n"
+               "                 grid axis like the spec's `attack` key\n"
+               "                 (`--attack help` documents the language)\n"
                "  --out          JSONL trial records to PATH (`-` = stdout)\n"
                "  --summary      print the aggregate summary block\n"
                "  --quiet        suppress the progress line\n"
@@ -144,6 +149,7 @@ int run(int argc, char** argv) {
   std::string spec_text;
   std::string detector_arg;
   std::string platoon_arg;
+  std::string attack_arg;
   std::optional<std::size_t> trials_override;
   std::optional<std::uint64_t> seed_override;
   std::size_t jobs = 0;  // 0 = hardware concurrency
@@ -184,6 +190,12 @@ int run(int argc, char** argv) {
       platoon_arg = next();
       if (platoon_arg == "help") {
         std::cout << platoon::platoon_spec_help() << "\n";
+        return 0;
+      }
+    } else if (arg == "--attack") {
+      attack_arg = next();
+      if (attack_arg == "help") {
+        std::cout << attack::attack_spec_help() << "\n";
         return 0;
       }
     } else if (arg == "--out") {
@@ -250,6 +262,19 @@ int run(int argc, char** argv) {
               .platoon_specs;
     } catch (const std::invalid_argument& e) {
       std::cerr << e.what() << "\n" << platoon::platoon_spec_help() << "\n";
+      return 2;
+    }
+  }
+  if (!attack_arg.empty()) {
+    // Likewise for the `attack` key: bare legacy names (none/dos/delay)
+    // become the enum axis, anything parameterized the attack-spec axis.
+    try {
+      runtime::CampaignSpec parsed =
+          runtime::parse_campaign_spec("attack = " + attack_arg);
+      spec.attacks = std::move(parsed.attacks);
+      spec.attack_specs = std::move(parsed.attack_specs);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << e.what() << "\n" << attack::attack_spec_help() << "\n";
       return 2;
     }
   }

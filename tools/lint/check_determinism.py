@@ -30,8 +30,9 @@ the classic sources of run-to-run drift:
                     `lint: allow(unordered-iter)` plus a comment proving
                     order cannot reach output.
 
-Scope: src/core, src/dsp, src/estimation, src/cra, src/detect, src/fault,
-src/sim, src/platoon and src/runtime in full, plus the serve-layer files on the byte-parity path
+Scope: src/attack, src/core, src/dsp, src/estimation, src/cra, src/detect,
+src/fault, src/sim, src/platoon and src/runtime in full, plus the
+serve-layer files on the byte-parity path
 (session, trace_source, wire). The rest of src/serve (event loop, chaos
 proxy, load generator) is scheduling-dependent by design and exempt.
 
@@ -48,6 +49,7 @@ from typing import Iterator
 from framework import CheckContext, Finding, register
 
 DET_DIRS = (
+    "src/attack",
     "src/core",
     "src/dsp",
     "src/estimation",
